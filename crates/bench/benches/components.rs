@@ -1,0 +1,129 @@
+//! Micro-benchmarks of the building blocks: renaming table,
+//! availability vector, flag cache, throttle, compiler passes, and
+//! raw simulator throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use rfv_compiler::{compile, CompileOptions};
+use rfv_core::{Availability, CtaThrottle, RegFileConfig, ReleaseFlagCache, RenamingTable};
+use rfv_isa::{ArchReg, BankId, PhysReg};
+use rfv_sim::{simulate, SimConfig};
+use rfv_workloads::suite;
+
+fn group(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("components");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_secs(1));
+    g
+}
+
+fn bench_renaming_table(c: &mut Criterion) {
+    let mut g = group(c);
+    g.bench_function("renaming_map_lookup_release", |b| {
+        let mut t = RenamingTable::new(48);
+        b.iter(|| {
+            for w in 0..48 {
+                t.map(w, ArchReg::R3, PhysReg::new(w as u16));
+            }
+            for w in 0..48 {
+                black_box(t.lookup(w, ArchReg::R3));
+            }
+            for w in 0..48 {
+                t.release(w, ArchReg::R3);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_availability(c: &mut Criterion) {
+    let mut g = group(c);
+    g.bench_function("availability_alloc_free_churn", |b| {
+        let mut a = Availability::new(&RegFileConfig::baseline_full());
+        b.iter(|| {
+            let mut held = Vec::with_capacity(64);
+            for i in 0..64 {
+                held.push(a.alloc_in_bank(BankId::new(i % 4)).unwrap());
+            }
+            for p in held {
+                a.free(p);
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_flag_cache(c: &mut Criterion) {
+    let mut g = group(c);
+    g.bench_function("flag_cache_probe_fill", |b| {
+        let mut f = ReleaseFlagCache::new(10);
+        b.iter(|| {
+            for pc in 0..64usize {
+                black_box(f.probe_and_fill(pc % 12));
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_throttle(c: &mut Criterion) {
+    let mut g = group(c);
+    g.bench_function("throttle_decide", |b| {
+        let mut t = CtaThrottle::new(8);
+        for c in 0..8 {
+            t.launch(c, 200);
+            for _ in 0..c * 20 {
+                t.on_alloc(c);
+            }
+        }
+        b.iter(|| black_box(t.decide(black_box(64))))
+    });
+    g.finish();
+}
+
+fn bench_compiler(c: &mut Criterion) {
+    let mut g = group(c);
+    let w = suite::matrixmul();
+    g.bench_function("compile_matrixmul", |b| {
+        b.iter(|| black_box(compile(&w.kernel, &CompileOptions::default()).unwrap()))
+    });
+    let hw = suite::heartwall();
+    g.bench_function("compile_heartwall", |b| {
+        b.iter(|| black_box(compile(&hw.kernel, &CompileOptions::default()).unwrap()))
+    });
+    g.finish();
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = group(c);
+    let w = suite::vectoradd();
+    let ck = compile(&w.kernel, &CompileOptions::default()).unwrap();
+    g.bench_function("simulate_vectoradd_full", |b| {
+        b.iter(|| black_box(simulate(&ck, &SimConfig::baseline_full()).unwrap().cycles))
+    });
+    g.bench_function("simulate_vectoradd_conventional", |b| {
+        let plain = compile(
+            &w.kernel,
+            &CompileOptions {
+                table_budget_bytes: 0,
+            },
+        )
+        .unwrap();
+        b.iter(|| black_box(simulate(&plain, &SimConfig::conventional()).unwrap().cycles))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    component_benches,
+    bench_renaming_table,
+    bench_availability,
+    bench_flag_cache,
+    bench_throttle,
+    bench_compiler,
+    bench_simulator,
+);
+criterion_main!(component_benches);

@@ -1,0 +1,257 @@
+//! One Criterion benchmark per paper table/figure: each measures the
+//! regeneration of that experiment's data (on a representative
+//! subset where the full suite would be slow) and prints the headline
+//! numbers once, so `cargo bench` both times and reproduces the
+//! evaluation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use rfv_bench::figures;
+use rfv_power::{figure7_sweep, TechNode};
+use rfv_workloads::{suite, TABLE1};
+
+fn quick(c: &mut Criterion) -> criterion::BenchmarkGroup<'_, criterion::measurement::WallTime> {
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(8));
+    g.warm_up_time(Duration::from_secs(1));
+    g
+}
+
+/// A small but diverse subset for the heavier figures.
+fn subset() -> Vec<rfv_workloads::Workload> {
+    ["MatrixMul", "VectorAdd", "BFS", "LIB"]
+        .into_iter()
+        .map(|n| suite::by_name(n).expect("subset name"))
+        .collect()
+}
+
+fn bench_table1(c: &mut Criterion) {
+    println!("Table 1: {} workloads defined", TABLE1.len());
+    let mut g = quick(c);
+    g.bench_function("table1_suite_construction", |b| {
+        b.iter(|| black_box(suite::all()).len())
+    });
+    g.finish();
+}
+
+fn bench_table2(c: &mut Criterion) {
+    use rfv_power::params::{register_bank, renaming_table};
+    println!(
+        "Table 2: renaming {} pJ/access, bank {} pJ/access",
+        renaming_table::ACCESS_PJ,
+        register_bank::ACCESS_PJ
+    );
+    let mut g = quick(c);
+    g.bench_function("table2_energy_eval", |b| {
+        b.iter(|| {
+            let a = rfv_power::RfActivity {
+                cycles: 10_000,
+                rf_reads: 30_000,
+                rf_writes: 10_000,
+                subarray_on_cycles: 160_000,
+                ..Default::default()
+            };
+            black_box(rfv_power::energy(&a, &rfv_power::RfGeometry::virtualized(0.5)).total_pj())
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig1(c: &mut Criterion) {
+    let w = suite::matrixmul();
+    let series = figures::fig1(&w);
+    println!(
+        "Figure 1 (MatrixMul): mean live fraction {:.0}% over {} samples",
+        figures::mean(&series, |&(_, p)| p),
+        series.len()
+    );
+    let mut g = quick(c);
+    g.bench_function("fig1_live_fraction_trace", |b| {
+        b.iter(|| black_box(figures::fig1(&w)).len())
+    });
+    g.finish();
+}
+
+fn bench_fig2(c: &mut Criterion) {
+    let traces = figures::fig2();
+    for (reg, iv) in &traces {
+        println!("Figure 2: r{reg} has {} lifetime(s)", iv.len());
+    }
+    let mut g = quick(c);
+    g.bench_function("fig2_lifetime_trace", |b| {
+        b.iter(|| black_box(figures::fig2()).len())
+    });
+    g.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let half = rfv_power::power_at(50.0);
+    println!(
+        "Figure 7: 50% size -> dyn {:.0}%, total {:.0}%",
+        half.dynamic_pct, half.total_pct
+    );
+    let mut g = quick(c);
+    g.bench_function("fig7_power_curve", |b| {
+        b.iter(|| black_box(figure7_sweep()).len())
+    });
+    g.finish();
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    let w = suite::matrixmul();
+    let ((_, conv), (_, virt)) = figures::fig8(&w);
+    println!(
+        "Figure 8: conventional powers {} subarrays, virtualized packs into {}",
+        conv.iter().filter(|&&o| o > 0).count(),
+        virt.iter().filter(|&&o| o > 0).count()
+    );
+    let mut g = quick(c);
+    g.bench_function("fig8_subarray_occupancy", |b| {
+        b.iter(|| black_box(figures::fig8(&w)).0 .1.len())
+    });
+    g.finish();
+}
+
+fn bench_fig9(c: &mut Criterion) {
+    println!(
+        "Figure 9: planar 22nm {:.2}x vs FinFET 22nm {:.2}x",
+        TechNode::Planar22.leakage_factor(),
+        TechNode::FinFet22.leakage_factor()
+    );
+    let mut g = quick(c);
+    g.bench_function("fig9_leakage_factors", |b| {
+        b.iter(|| {
+            TechNode::all()
+                .iter()
+                .map(|n| n.leakage_factor())
+                .sum::<f64>()
+        })
+    });
+    g.finish();
+}
+
+fn bench_fig10(c: &mut Criterion) {
+    let ws = subset();
+    let rows = figures::fig10(&ws);
+    println!(
+        "Figure 10 (subset): avg allocation reduction {:.1}%",
+        figures::mean(&rows, |r| r.reduction_pct)
+    );
+    let mut g = quick(c);
+    g.bench_function("fig10_alloc_reduction", |b| {
+        b.iter(|| black_box(figures::fig10(&ws)).len())
+    });
+    g.finish();
+}
+
+fn bench_fig11a(c: &mut Criterion) {
+    let ws = subset();
+    let rows = figures::fig11a(&ws);
+    println!(
+        "Figure 11a (subset): GPU-shrink {:+.2}% vs compiler-spill {:+.1}%",
+        figures::mean(&rows, |r| r.shrink_increase_pct()),
+        figures::mean(&rows, |r| r.spill_increase_pct())
+    );
+    let mut g = quick(c);
+    g.bench_function("fig11a_shrink_vs_spill", |b| {
+        b.iter(|| black_box(figures::fig11a(&ws)).len())
+    });
+    g.finish();
+}
+
+fn bench_fig11b(c: &mut Criterion) {
+    let ws = vec![suite::vectoradd(), suite::lps()];
+    let pts = figures::fig11b(&ws);
+    for (wake, ratio) in &pts {
+        println!("Figure 11b: wakeup {wake} -> {ratio:.4}");
+    }
+    let mut g = quick(c);
+    g.bench_function("fig11b_wakeup_sensitivity", |b| {
+        b.iter(|| black_box(figures::fig11b(&ws)).len())
+    });
+    g.finish();
+}
+
+fn bench_fig12(c: &mut Criterion) {
+    let ws = subset();
+    let rows = figures::fig12(&ws);
+    let avg = figures::mean(&rows, |r| r.normalized().2);
+    println!(
+        "Figure 12 (subset): 64KB+PG energy {:.3}x baseline (saves {:.0}%)",
+        avg,
+        100.0 * (1.0 - avg)
+    );
+    let mut g = quick(c);
+    g.bench_function("fig12_energy_breakdown", |b| {
+        b.iter(|| black_box(figures::fig12(&ws)).len())
+    });
+    g.finish();
+}
+
+fn bench_fig13(c: &mut Criterion) {
+    let ws = vec![suite::matrixmul(), suite::backprop()];
+    let rows = figures::fig13(&ws);
+    println!(
+        "Figure 13 (subset): Dyn-0 {:.1}% -> Dyn-10 {:.2}%",
+        figures::mean(&rows, |r| r.dynamic_pct[0]),
+        figures::mean(&rows, |r| r.dynamic_pct[4])
+    );
+    let mut g = quick(c);
+    g.bench_function("fig13_code_increase", |b| {
+        b.iter(|| black_box(figures::fig13(&ws)).len())
+    });
+    g.finish();
+}
+
+fn bench_fig14(c: &mut Criterion) {
+    let ws = vec![suite::heartwall(), suite::mum(), suite::matrixmul()];
+    let rows = figures::fig14(&ws);
+    for r in &rows {
+        println!(
+            "Figure 14: {} unconstrained {}B, saving {:.3}",
+            r.name, r.unconstrained_bytes, r.normalized_saving
+        );
+    }
+    let mut g = quick(c);
+    g.bench_function("fig14_table_sizing", |b| {
+        b.iter(|| black_box(figures::fig14(&ws)).len())
+    });
+    g.finish();
+}
+
+fn bench_fig15(c: &mut Criterion) {
+    let ws = subset();
+    let rows = figures::fig15(&ws);
+    println!(
+        "Figure 15 (subset): [46] alloc ratio {:.3}, static ratio {:.3}",
+        figures::mean(&rows, |r| r.alloc_reduction_ratio),
+        figures::mean(&rows, |r| r.static_reduction_ratio)
+    );
+    let mut g = quick(c);
+    g.bench_function("fig15_hw_only_comparison", |b| {
+        b.iter(|| black_box(figures::fig15(&ws)).len())
+    });
+    g.finish();
+}
+
+criterion_group!(
+    figures_benches,
+    bench_table1,
+    bench_table2,
+    bench_fig1,
+    bench_fig2,
+    bench_fig7,
+    bench_fig8,
+    bench_fig9,
+    bench_fig10,
+    bench_fig11a,
+    bench_fig11b,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+);
+criterion_main!(figures_benches);

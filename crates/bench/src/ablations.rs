@@ -1,0 +1,166 @@
+//! Ablations beyond the paper's evaluation, for the design choices
+//! DESIGN.md calls out: bank-preserving renaming, flag-cache sizing
+//! beyond ten entries, deeper GPU-shrink points, ready-queue sizing,
+//! and the extra renaming pipeline cycle.
+
+use rfv_sim::SimConfig;
+use rfv_workloads::{suite, Workload};
+
+use crate::harness::{compile_full, run};
+
+/// Result of the bank-preservation ablation for one workload.
+#[derive(Clone, Debug)]
+pub struct BankAblationRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Cycles with bank-preserving renaming (the paper's design).
+    pub strict_cycles: u64,
+    /// Allocation stalls with bank-preserving renaming.
+    pub strict_stalls: u64,
+    /// Cycles when renaming may fall back to any bank.
+    pub free_cycles: u64,
+    /// Allocation stalls with free-bank renaming.
+    pub free_stalls: u64,
+}
+
+/// Bank-preserving versus free-bank renaming on an aggressively
+/// shrunk (75%) file, where bank pressure actually bites.
+pub fn bank_preservation(workloads: &[Workload]) -> Vec<BankAblationRow> {
+    workloads
+        .iter()
+        .map(|w| {
+            let ck = compile_full(w);
+            let strict_cfg = SimConfig::gpu_shrink(75);
+            let mut free_cfg = strict_cfg;
+            free_cfg.regfile.bank_preserving = false;
+            let strict = run(&ck, &strict_cfg);
+            let free = run(&ck, &free_cfg);
+            BankAblationRow {
+                name: w.name(),
+                strict_cycles: strict.cycles,
+                strict_stalls: strict.sm0().no_reg_stalls,
+                free_cycles: free.cycles,
+                free_stalls: free.sm0().no_reg_stalls,
+            }
+        })
+        .collect()
+}
+
+/// Flag-cache sizes beyond the paper's ten entries: returns
+/// `(entries, average dynamic decode increase %)`.
+pub fn flag_cache_sweep(workloads: &[Workload], sizes: &[usize]) -> Vec<(usize, f64)> {
+    sizes
+        .iter()
+        .map(|&entries| {
+            let mut sum = 0.0;
+            for w in workloads {
+                let ck = compile_full(w);
+                let mut cfg = SimConfig::baseline_full();
+                cfg.regfile.flag_cache_entries = entries;
+                sum += run(&ck, &cfg).sm0().dynamic_increase_pct();
+            }
+            (entries, sum / workloads.len() as f64)
+        })
+        .collect()
+}
+
+/// GPU-shrink depth sweep: returns `(shrink %, average cycle increase
+/// % over the conventional 128 KB file)`.
+pub fn shrink_sweep(workloads: &[Workload], percents: &[usize]) -> Vec<(usize, f64)> {
+    let baselines: Vec<u64> = workloads
+        .iter()
+        .map(|w| crate::harness::Machine::Conventional.run(w).cycles)
+        .collect();
+    percents
+        .iter()
+        .map(|&pct| {
+            let mut sum = 0.0;
+            for (w, &base) in workloads.iter().zip(&baselines) {
+                let ck = compile_full(w);
+                let r = run(&ck, &SimConfig::gpu_shrink(pct));
+                sum += 100.0 * (r.cycles as f64 - base as f64) / base as f64;
+            }
+            (pct, sum / workloads.len() as f64)
+        })
+        .collect()
+}
+
+/// Two-level-scheduler ready-queue sizing: returns `(queue size,
+/// average cycles normalized to the paper's six-entry queue)`.
+pub fn ready_queue_sweep(workloads: &[Workload], sizes: &[usize]) -> Vec<(usize, f64)> {
+    let reference: Vec<u64> = workloads
+        .iter()
+        .map(|w| {
+            let ck = compile_full(w);
+            run(&ck, &SimConfig::baseline_full()).cycles
+        })
+        .collect();
+    sizes
+        .iter()
+        .map(|&size| {
+            let mut sum = 0.0;
+            for (w, &base) in workloads.iter().zip(&reference) {
+                let ck = compile_full(w);
+                let mut cfg = SimConfig::baseline_full();
+                cfg.ready_queue = size;
+                sum += run(&ck, &cfg).cycles as f64 / base as f64;
+            }
+            (size, sum / workloads.len() as f64)
+        })
+        .collect()
+}
+
+/// The §7.1 extra renaming pipeline cycle: average cycle increase (%)
+/// it costs relative to absorbing the 0.22 ns lookup for free.
+pub fn rename_cycle_cost(workloads: &[Workload]) -> f64 {
+    let mut sum = 0.0;
+    for w in workloads {
+        let ck = compile_full(w);
+        let with = run(&ck, &SimConfig::baseline_full());
+        let mut free_cfg = SimConfig::baseline_full();
+        free_cfg.rename_extra_cycle = false;
+        let without = run(&ck, &free_cfg);
+        sum += 100.0 * (with.cycles as f64 - without.cycles as f64) / without.cycles as f64;
+    }
+    sum / workloads.len() as f64
+}
+
+/// A pressure-heavy subset for the bank ablation.
+pub fn pressure_subset() -> Vec<Workload> {
+    ["Heartwall", "MUM", "BackProp", "ScalarProd"]
+        .into_iter()
+        .map(|n| suite::by_name(n).expect("subset name"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bank_ablation_completes_both_configurations() {
+        // stall *counts* are not ordered between the two policies (a
+        // retried stall is counted per attempt, and scheduling paths
+        // differ), but both configurations must run to completion and
+        // produce positive cycle counts
+        let rows = bank_preservation(&pressure_subset()[..1]);
+        assert_eq!(rows.len(), 1);
+        assert!(rows[0].strict_cycles > 0);
+        assert!(rows[0].free_cycles > 0);
+    }
+
+    #[test]
+    fn flag_cache_sweep_is_monotone_decreasing() {
+        let ws = vec![suite::matrixmul()];
+        let pts = flag_cache_sweep(&ws, &[0, 10, 32]);
+        assert!(pts[0].1 >= pts[1].1);
+        assert!(pts[1].1 >= pts[2].1 - 1e-9);
+    }
+
+    #[test]
+    fn rename_cycle_costs_little() {
+        let ws = vec![suite::vectoradd()];
+        let cost = rename_cycle_cost(&ws);
+        assert!(cost.abs() < 20.0, "rename cycle cost {cost}% out of band");
+    }
+}

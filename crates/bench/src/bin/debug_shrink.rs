@@ -1,0 +1,43 @@
+//! Diagnostic probe for GPU-shrink runs (not part of the experiment
+//! surface).
+use rfv_bench::harness::{compile_full, Machine};
+use rfv_sim::{simulate, SimConfig};
+use rfv_workloads::suite;
+
+fn main() {
+    let name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "Heartwall".into());
+    let w = suite::by_name(&name).unwrap();
+    let ck = compile_full(&w);
+    println!(
+        "{}: regs {}, exempt {}, renamed {}",
+        w.name(),
+        w.kernel.num_regs(),
+        ck.stats().num_exempt,
+        ck.stats().num_renamed
+    );
+    let base = Machine::Conventional.run(&w);
+    println!("conventional: {} cycles", base.cycles);
+    let pct: usize = std::env::args()
+        .nth(2)
+        .map(|s| s.parse().unwrap())
+        .unwrap_or(50);
+    let mut cfg = SimConfig::gpu_shrink(pct);
+    cfg.max_cycles = 3_000_000;
+    match simulate(&ck, &cfg) {
+        Ok(r) => {
+            let s = r.sm0();
+            println!(
+                "shrink: {} cycles, stalls {}, throttled {}, swaps {}, ctas {}, bank conflicts {}",
+                r.cycles,
+                s.no_reg_stalls,
+                s.throttle_restricted_cycles,
+                s.swap_outs,
+                s.ctas_completed,
+                s.bank_conflicts
+            );
+        }
+        Err(e) => println!("shrink error: {e}"),
+    }
+}

@@ -1,0 +1,230 @@
+//! `rfvsim` — run a Table 1 benchmark or a kernel written in assembly
+//! text on the simulated GPU and print a full report.
+//!
+//! ```text
+//! rfvsim MatrixMul
+//! rfvsim MUM --machine shrink50
+//! rfvsim my_kernel.asm --launch 8,128,4 --machine shrink75 --sms 4
+//! rfvsim Heartwall --compare
+//! ```
+//!
+//! Machines: `conventional` (128 KB, no virtualization), `full`
+//! (128 KB + renaming + power gating, the default), `shrink50` /
+//! `shrink60` / `shrink75` (under-provisioned files), `hwonly` (the
+//! \[46\] hardware-only renaming baseline).
+
+use std::env;
+use std::process::exit;
+
+use rfv_bench::harness::{compile_full, compile_plain, rf_activity};
+use rfv_compiler::CompiledKernel;
+use rfv_core::VirtualizationPolicy;
+use rfv_power::model::{energy, RfGeometry};
+use rfv_sim::{simulate, SimConfig, SimResult};
+use rfv_workloads::{suite, PaperGeometry, Workload};
+
+struct Options {
+    target: String,
+    machine: String,
+    sms: usize,
+    launch: Option<(u32, u32, u32)>,
+    compare: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rfvsim <benchmark|file.asm> [--machine conventional|full|shrink50|shrink60|shrink75|hwonly]\n\
+         \x20             [--sms N] [--launch CTAS,THREADS,CONC] [--compare]\n\
+         benchmarks: {}",
+        suite::all()
+            .iter()
+            .map(Workload::name)
+            .collect::<Vec<_>>()
+            .join(" ")
+    );
+    exit(2)
+}
+
+fn parse_args() -> Options {
+    let mut args = env::args().skip(1);
+    let Some(target) = args.next() else { usage() };
+    let mut opts = Options {
+        target,
+        machine: "full".into(),
+        sms: 1,
+        launch: None,
+        compare: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--machine" => opts.machine = args.next().unwrap_or_else(|| usage()),
+            "--sms" => {
+                opts.sms = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--launch" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                let parts: Vec<u32> = spec.split(',').filter_map(|p| p.parse().ok()).collect();
+                if parts.len() != 3 {
+                    usage();
+                }
+                opts.launch = Some((parts[0], parts[1], parts[2]));
+            }
+            "--compare" => opts.compare = true,
+            _ => usage(),
+        }
+    }
+    opts
+}
+
+fn machine_config(name: &str) -> Option<SimConfig> {
+    Some(match name {
+        "conventional" => SimConfig::conventional(),
+        "full" => SimConfig::baseline_full(),
+        "shrink50" => SimConfig::gpu_shrink(50),
+        "shrink60" => SimConfig::gpu_shrink(60),
+        "shrink75" => SimConfig::gpu_shrink(75),
+        "hwonly" => {
+            let mut c = SimConfig::baseline_full();
+            c.regfile.policy = VirtualizationPolicy::HardwareOnly;
+            c
+        }
+        _ => return None,
+    })
+}
+
+fn load_workload(opts: &Options) -> Workload {
+    if let Some(w) = suite::by_name(&opts.target) {
+        return w;
+    }
+    if opts.target.ends_with(".asm") {
+        let text = std::fs::read_to_string(&opts.target).unwrap_or_else(|e| {
+            eprintln!("cannot read {}: {e}", opts.target);
+            exit(1)
+        });
+        let (ctas, threads, conc) = opts.launch.unwrap_or((4, 128, 4));
+        let launch = rfv_isa::LaunchConfig::new(ctas, threads, conc);
+        let kernel =
+            rfv_isa::parse_kernel(opts.target.clone(), &text, launch).unwrap_or_else(|e| {
+                eprintln!("parse error: {e}");
+                exit(1)
+            });
+        return Workload {
+            paper: PaperGeometry {
+                name: "custom",
+                ctas,
+                threads_per_cta: threads,
+                regs_per_kernel: kernel.num_regs(),
+                conc_ctas: conc,
+            },
+            kernel,
+        };
+    }
+    eprintln!("unknown benchmark `{}` (and not an .asm file)", opts.target);
+    usage()
+}
+
+fn report(label: &str, ck: &CompiledKernel, cfg: &SimConfig, result: &SimResult) {
+    let s = result.sm0();
+    println!("== {label} ==");
+    println!(
+        "  machine      : {} KB file, policy {}, {} SM(s), power gating {}",
+        cfg.regfile.size_kib(),
+        cfg.regfile.policy,
+        cfg.num_sms,
+        if cfg.regfile.power_gating {
+            "on"
+        } else {
+            "off"
+        }
+    );
+    println!(
+        "  compile      : {} instrs + {} pir + {} pbr ({:.1}% static growth), {} renamed / {} exempt regs, throttle bound {}/warp",
+        ck.stats().machine_instrs,
+        ck.stats().num_pir,
+        ck.stats().num_pbr,
+        ck.stats().static_increase_pct,
+        ck.stats().num_renamed,
+        ck.stats().num_exempt,
+        ck.max_held_per_warp(),
+    );
+    println!(
+        "  time         : {} cycles, IPC {:.2}, SIMD efficiency {:.2}",
+        result.cycles,
+        s.ipc(),
+        s.simd_efficiency()
+    );
+    println!(
+        "  registers    : peak live {}, allocs {}, early releases {}, alloc stalls {}, throttled cycles {}, swaps {}",
+        s.regfile.peak_live,
+        s.regfile.allocs,
+        s.regfile.releases,
+        s.no_reg_stalls,
+        s.throttle_restricted_cycles,
+        s.swap_outs
+    );
+    println!(
+        "  memory       : {} transactions, {} MSHR merges, {} bank conflicts",
+        s.mem_txns, s.mshr_merges, s.bank_conflicts
+    );
+    println!(
+        "  flag cache   : {} probes, {:.1}% hit rate, {} metadata decoded ({:.2}% dynamic growth)",
+        s.flag_cache.probes(),
+        100.0 * s.flag_cache.hit_rate(),
+        s.meta_decoded,
+        s.dynamic_increase_pct()
+    );
+    let geometry = if cfg.regfile.policy.renames() {
+        RfGeometry::virtualized(cfg.regfile.size_kib() as f64 / 128.0)
+    } else {
+        RfGeometry::conventional()
+    };
+    let e = energy(&rf_activity(s), &geometry);
+    println!(
+        "  RF energy    : {:.1} nJ = dyn {:.1} + static {:.1} + rename {:.1} + flags {:.1}",
+        e.total_pj() / 1000.0,
+        e.dynamic_pj / 1000.0,
+        e.static_pj / 1000.0,
+        e.renaming_pj / 1000.0,
+        e.flag_pj / 1000.0
+    );
+}
+
+fn main() {
+    let opts = parse_args();
+    let Some(mut cfg) = machine_config(&opts.machine) else {
+        usage()
+    };
+    cfg.num_sms = opts.sms.max(1);
+    let w = load_workload(&opts);
+
+    let machines: Vec<(&str, SimConfig)> = if opts.compare {
+        ["conventional", "full", "shrink50", "hwonly"]
+            .into_iter()
+            .map(|m| {
+                let mut c = machine_config(m).expect("known machine");
+                c.num_sms = opts.sms.max(1);
+                (m, c)
+            })
+            .collect()
+    } else {
+        vec![(opts.machine.as_str(), cfg)]
+    };
+
+    for (label, cfg) in machines {
+        let ck = if cfg.regfile.policy.uses_release_flags() {
+            compile_full(&w)
+        } else {
+            compile_plain(&w)
+        };
+        match simulate(&ck, &cfg) {
+            Ok(result) => report(label, &ck, &cfg, &result),
+            Err(e) => {
+                eprintln!("{label}: simulation failed: {e}");
+                exit(1);
+            }
+        }
+    }
+}

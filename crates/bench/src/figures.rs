@@ -1,0 +1,424 @@
+//! Regeneration of every table and figure in the paper's evaluation.
+//!
+//! Each `figN()` function returns the figure's data; the `figures`
+//! binary prints them in the same rows/series the paper reports.
+//! EXPERIMENTS.md records paper-versus-measured for each.
+
+use rfv_power::model::{energy, EnergyBreakdown, RfGeometry};
+use rfv_sim::{RegTraceEvent, SimConfig};
+use rfv_workloads::{suite, Workload};
+
+use crate::harness::{
+    self, compile_full, compile_spilled, compile_unconstrained, conventional_alloc, rf_activity,
+    run, Machine,
+};
+
+/// One row of Figure 10: register allocation reduction.
+#[derive(Clone, Debug)]
+pub struct Fig10Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Conventional allocation (registers) at declared occupancy.
+    pub alloc: usize,
+    /// Peak concurrently-live physical registers under full
+    /// virtualization.
+    pub peak_live: usize,
+    /// Reduction, percent.
+    pub reduction_pct: f64,
+}
+
+/// Figure 10 over the given workloads.
+pub fn fig10(workloads: &[Workload]) -> Vec<Fig10Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let r = Machine::Full128.run(w);
+            let alloc = conventional_alloc(w);
+            let peak = r.sm0().regfile.peak_live;
+            Fig10Row {
+                name: w.name(),
+                alloc,
+                peak_live: peak,
+                reduction_pct: 100.0 * (alloc.saturating_sub(peak)) as f64 / alloc as f64,
+            }
+        })
+        .collect()
+}
+
+/// One row of Figure 11(a): execution-cycle increase on a 64 KB file.
+#[derive(Clone, Debug)]
+pub struct Fig11aRow {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Baseline (128 KB conventional) cycles.
+    pub base_cycles: u64,
+    /// GPU-shrink (64 KB, full virtualization) cycles.
+    pub shrink_cycles: u64,
+    /// Compiler-spill (64 KB, conventional + spilled binary) cycles.
+    pub spill_cycles: u64,
+    /// Whether the compiler had to spill at all.
+    pub spilled: bool,
+}
+
+impl Fig11aRow {
+    /// GPU-shrink cycle increase, percent (negative = speedup).
+    pub fn shrink_increase_pct(&self) -> f64 {
+        100.0 * (self.shrink_cycles as f64 - self.base_cycles as f64) / self.base_cycles as f64
+    }
+
+    /// Compiler-spill cycle increase, percent.
+    pub fn spill_increase_pct(&self) -> f64 {
+        100.0 * (self.spill_cycles as f64 - self.base_cycles as f64) / self.base_cycles as f64
+    }
+}
+
+/// Figure 11(a) over the given workloads.
+pub fn fig11a(workloads: &[Workload]) -> Vec<Fig11aRow> {
+    workloads
+        .iter()
+        .map(|w| {
+            let base = Machine::Conventional.run(w);
+            let shrink = Machine::Shrink64.run(w);
+            let cap = harness::spill_cap(w, 512);
+            let spilled = w.kernel.num_regs() > cap;
+            let spill_kernel = compile_spilled(w, 512);
+            let mut spill_cfg = SimConfig::conventional();
+            spill_cfg.regfile.phys_regs = 512;
+            let spill = run(&spill_kernel, &spill_cfg);
+            Fig11aRow {
+                name: w.name(),
+                base_cycles: base.cycles,
+                shrink_cycles: shrink.cycles,
+                spill_cycles: spill.cycles,
+                spilled,
+            }
+        })
+        .collect()
+}
+
+/// Figure 11(b): cycles with subarray wakeup latency `w`, normalized
+/// to the ungated file, averaged over the workloads.
+pub fn fig11b(workloads: &[Workload]) -> Vec<(u64, f64)> {
+    [1u64, 3, 10]
+        .into_iter()
+        .map(|wake| {
+            let mut ratio_sum = 0.0;
+            for w in workloads {
+                let ck = compile_full(w);
+                let mut gated = SimConfig::baseline_full();
+                gated.regfile.wakeup_cycles = wake;
+                let mut ungated = SimConfig::baseline_full();
+                ungated.regfile.power_gating = false;
+                let g = run(&ck, &gated);
+                let u = run(&ck, &ungated);
+                ratio_sum += g.cycles as f64 / u.cycles as f64;
+            }
+            (wake, ratio_sum / workloads.len() as f64)
+        })
+        .collect()
+}
+
+/// One row of Figure 12: register-file energy for the three
+/// virtualized configurations, normalized to the conventional 128 KB
+/// file.
+#[derive(Clone, Debug)]
+pub struct Fig12Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Baseline (conventional 128 KB) total energy, picojoules.
+    pub baseline_pj: f64,
+    /// 128 KB file with renaming + power gating.
+    pub full128_pg: EnergyBreakdown,
+    /// 64 KB file with renaming, no power gating.
+    pub shrink64: EnergyBreakdown,
+    /// 64 KB file with renaming + power gating.
+    pub shrink64_pg: EnergyBreakdown,
+}
+
+impl Fig12Row {
+    /// Normalized totals `(128KB+PG, 64KB, 64KB+PG)`.
+    pub fn normalized(&self) -> (f64, f64, f64) {
+        (
+            self.full128_pg.total_pj() / self.baseline_pj,
+            self.shrink64.total_pj() / self.baseline_pj,
+            self.shrink64_pg.total_pj() / self.baseline_pj,
+        )
+    }
+}
+
+/// Figure 12 over the given workloads.
+pub fn fig12(workloads: &[Workload]) -> Vec<Fig12Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let base = Machine::Conventional.run(w);
+            let baseline_pj =
+                energy(&rf_activity(base.sm0()), &RfGeometry::conventional()).total_pj();
+
+            let ck = compile_full(w);
+            let full128 = run(&ck, &SimConfig::baseline_full());
+            let full128_pg = energy(&rf_activity(full128.sm0()), &RfGeometry::virtualized(1.0));
+
+            let mut shrink_nopg_cfg = SimConfig::gpu_shrink(50);
+            shrink_nopg_cfg.regfile.power_gating = false;
+            let shrink_nopg = run(&ck, &shrink_nopg_cfg);
+            let shrink64 = energy(
+                &rf_activity(shrink_nopg.sm0()),
+                &RfGeometry::virtualized(0.5),
+            );
+
+            let shrink_pg = run(&ck, &SimConfig::gpu_shrink(50));
+            let shrink64_pg = energy(&rf_activity(shrink_pg.sm0()), &RfGeometry::virtualized(0.5));
+
+            Fig12Row {
+                name: w.name(),
+                baseline_pj,
+                full128_pg,
+                shrink64,
+                shrink64_pg,
+            }
+        })
+        .collect()
+}
+
+/// One row of Figure 13: metadata code growth.
+#[derive(Clone, Debug)]
+pub struct Fig13Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Static code increase, percent.
+    pub static_pct: f64,
+    /// Dynamic decode increase for flag caches of 0/1/2/5/10 entries,
+    /// percent.
+    pub dynamic_pct: [f64; 5],
+}
+
+/// Flag-cache sizes Figure 13 sweeps.
+pub const FIG13_CACHE_SIZES: [usize; 5] = [0, 1, 2, 5, 10];
+
+/// Figure 13 over the given workloads.
+pub fn fig13(workloads: &[Workload]) -> Vec<Fig13Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let ck = compile_full(w);
+            let static_pct = ck.stats().static_increase_pct;
+            let mut dynamic_pct = [0.0; 5];
+            for (i, entries) in FIG13_CACHE_SIZES.into_iter().enumerate() {
+                let mut cfg = SimConfig::baseline_full();
+                cfg.regfile.flag_cache_entries = entries;
+                let r = run(&ck, &cfg);
+                dynamic_pct[i] = r.sm0().dynamic_increase_pct();
+            }
+            Fig13Row {
+                name: w.name(),
+                static_pct,
+                dynamic_pct,
+            }
+        })
+        .collect()
+}
+
+/// One row of Figure 14: renaming-table sizing.
+#[derive(Clone, Debug)]
+pub struct Fig14Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Unconstrained renaming-table size, bytes.
+    pub unconstrained_bytes: usize,
+    /// Table size under the 1 KB budget, bytes.
+    pub constrained_bytes: usize,
+    /// Registers exempted by the budget.
+    pub exempted: usize,
+    /// Register saving under the 1 KB budget, normalized to the
+    /// unconstrained table (1.0 = no loss).
+    pub normalized_saving: f64,
+}
+
+/// Figure 14 over the given workloads.
+pub fn fig14(workloads: &[Workload]) -> Vec<Fig14Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let constrained = compile_full(w);
+            let unconstrained = compile_unconstrained(w);
+            let alloc = conventional_alloc(w);
+            let saving = |peak: usize| alloc.saturating_sub(peak) as f64;
+            let rc = run(&constrained, &SimConfig::baseline_full());
+            let ru = run(&unconstrained, &SimConfig::baseline_full());
+            let (sc, su) = (
+                saving(rc.sm0().regfile.peak_live),
+                saving(ru.sm0().regfile.peak_live),
+            );
+            Fig14Row {
+                name: w.name(),
+                unconstrained_bytes: constrained.stats().unconstrained_table_bytes,
+                constrained_bytes: constrained.stats().table_bytes,
+                exempted: constrained.stats().num_exempt,
+                normalized_saving: if su == 0.0 { 1.0 } else { (sc / su).min(1.0) },
+            }
+        })
+        .collect()
+}
+
+/// One row of Figure 15: hardware-only renaming \[46\] versus the
+/// full compiler-assisted scheme.
+#[derive(Clone, Debug)]
+pub struct Fig15Row {
+    /// Benchmark name.
+    pub name: &'static str,
+    /// Allocation reduction of \[46\] normalized to ours.
+    pub alloc_reduction_ratio: f64,
+    /// Static power reduction of \[46\] normalized to ours.
+    pub static_reduction_ratio: f64,
+}
+
+/// Figure 15 over the given workloads.
+pub fn fig15(workloads: &[Workload]) -> Vec<Fig15Row> {
+    workloads
+        .iter()
+        .map(|w| {
+            let full = Machine::Full128.run(w);
+            let hw = Machine::HardwareOnly.run(w);
+            let alloc = conventional_alloc(w);
+            let red_full = alloc.saturating_sub(full.sm0().regfile.peak_live) as f64;
+            let red_hw = alloc.saturating_sub(hw.sm0().regfile.peak_live) as f64;
+            // static power saving versus an always-on file
+            let saving = |s: &rfv_sim::SimStats| {
+                1.0 - s.subarray_on_cycles as f64 / (16.0 * s.cycles as f64)
+            };
+            let (s_full, s_hw) = (saving(full.sm0()), saving(hw.sm0()));
+            Fig15Row {
+                name: w.name(),
+                alloc_reduction_ratio: if red_full == 0.0 {
+                    1.0
+                } else {
+                    red_hw / red_full
+                },
+                static_reduction_ratio: if s_full <= 0.0 { 1.0 } else { s_hw / s_full },
+            }
+        })
+        .collect()
+}
+
+/// Figure 8: per-subarray occupancy maps for one workload, captured
+/// mid-run, with and without renaming — `(snapshot cycle, occupancy
+/// per global subarray id)` for (conventional, virtualized).
+pub fn fig8(w: &Workload) -> ((u64, Vec<usize>), (u64, Vec<usize>)) {
+    // run once to learn the run length, then snapshot at the midpoint
+    let plain = harness::compile_plain(w);
+    let probe = run(&plain, &SimConfig::conventional());
+    let mid = probe.cycles / 2;
+
+    let mut conv_cfg = SimConfig::conventional();
+    conv_cfg.snapshot_at_cycle = Some(mid);
+    let conv = run(&plain, &conv_cfg);
+
+    let full = compile_full(w);
+    let mut virt_cfg = SimConfig::baseline_full();
+    virt_cfg.snapshot_at_cycle = Some(mid);
+    let virt = run(&full, &virt_cfg);
+
+    (
+        conv.sm0()
+            .subarray_snapshot
+            .clone()
+            .expect("snapshot taken"),
+        virt.sm0()
+            .subarray_snapshot
+            .clone()
+            .expect("snapshot taken"),
+    )
+}
+
+/// Figure 1: live-register fraction over time for one workload
+/// (cycle, percent), within the paper's 10 K-cycle window.
+pub fn fig1(w: &Workload) -> Vec<(u64, f64)> {
+    let ck = compile_full(w);
+    let r = run(&ck, &SimConfig::baseline_full());
+    r.sm0()
+        .samples
+        .iter()
+        .take_while(|s| s.cycle <= 10_000)
+        .filter(|s| s.resident_arch_regs > 0)
+        .map(|s| {
+            (
+                s.cycle,
+                100.0 * s.live_regs as f64 / s.resident_arch_regs as f64,
+            )
+        })
+        .collect()
+}
+
+/// The six applications Figure 1 plots.
+pub fn fig1_apps() -> Vec<Workload> {
+    [
+        "MatrixMul",
+        "Reduction",
+        "VectorAdd",
+        "LPS",
+        "BackProp",
+        "HotSpot",
+    ]
+    .into_iter()
+    .map(|n| suite::by_name(n).expect("figure 1 app"))
+    .collect()
+}
+
+/// Figure 2: warp-0 lifetime events of three representative MatrixMul
+/// registers (long-lived, loop short-lived, epilogue-only), as
+/// live-interval lists per register.
+pub fn fig2() -> Vec<(u8, Vec<(u64, u64)>)> {
+    let w = suite::matrixmul();
+    let ck = compile_full(&w);
+    let mut cfg = SimConfig::baseline_full();
+    cfg.trace_warp0_regs = true;
+    let r = run(&ck, &cfg);
+    // r1 = ctaid (whole-kernel), r5 = tile/k temporary (many short
+    // lives), r13 = epilogue-only — the analogues of the paper's
+    // r1 / r0 / r3.
+    [1u8, 5, 13]
+        .into_iter()
+        .map(|reg| (reg, intervals_for(reg, &r.sm0().reg_trace, r.cycles)))
+        .collect()
+}
+
+fn intervals_for(reg: u8, events: &[RegTraceEvent], end: u64) -> Vec<(u64, u64)> {
+    let mut intervals = Vec::new();
+    let mut open: Option<u64> = None;
+    for e in events.iter().filter(|e| e.reg == reg) {
+        match (e.live, open) {
+            (true, None) => open = Some(e.cycle),
+            (false, Some(s)) => {
+                intervals.push((s, e.cycle));
+                open = None;
+            }
+            _ => {}
+        }
+    }
+    if let Some(s) = open {
+        intervals.push((s, end));
+    }
+    intervals
+}
+
+/// Convenience: the whole Table 1 suite.
+pub fn full_suite() -> Vec<Workload> {
+    suite::all()
+}
+
+/// Compile-only statistics used by several printouts.
+pub fn compile_stats() -> Vec<(&'static str, rfv_compiler::CompileStats)> {
+    suite::all()
+        .iter()
+        .map(|w| (w.name(), *compile_full(w).stats()))
+        .collect()
+}
+
+/// Average of `f` over rows.
+pub fn mean<T>(rows: &[T], f: impl Fn(&T) -> f64) -> f64 {
+    if rows.is_empty() {
+        return 0.0;
+    }
+    rows.iter().map(f).sum::<f64>() / rows.len() as f64
+}

@@ -1,0 +1,143 @@
+//! Shared experiment harness: compiles workloads under the paper's
+//! configurations, runs them, and converts simulator statistics into
+//! energy-model activity.
+
+use rfv_compiler::{compile, spill_to_cap, CompileOptions, CompiledKernel};
+use rfv_core::VirtualizationPolicy;
+use rfv_power::model::RfActivity;
+use rfv_sim::{simulate, SimConfig, SimResult, SimStats};
+use rfv_workloads::Workload;
+
+/// Compiles a workload with the paper's default 1 KB renaming-table
+/// budget (metadata embedded).
+///
+/// # Panics
+///
+/// Panics when compilation fails — suite kernels are known-good.
+pub fn compile_full(w: &Workload) -> CompiledKernel {
+    compile(&w.kernel, &CompileOptions::default()).expect("suite kernels compile")
+}
+
+/// Compiles a workload with a zero renaming budget: no registers are
+/// renamed and no metadata is embedded — the binary the conventional
+/// and hardware-only configurations execute.
+///
+/// # Panics
+///
+/// Panics when compilation fails.
+pub fn compile_plain(w: &Workload) -> CompiledKernel {
+    let opts = CompileOptions {
+        table_budget_bytes: 0,
+    };
+    compile(&w.kernel, &opts).expect("suite kernels compile")
+}
+
+/// Compiles a workload with an effectively unlimited renaming-table
+/// budget (Figure 14's unconstrained point).
+///
+/// # Panics
+///
+/// Panics when compilation fails.
+pub fn compile_unconstrained(w: &Workload) -> CompiledKernel {
+    let opts = CompileOptions {
+        table_budget_bytes: 64 * 1024,
+    };
+    compile(&w.kernel, &opts).expect("suite kernels compile")
+}
+
+/// The register cap the *compiler-spill* baseline must hit so that a
+/// conventionally-allocated kernel fits a file of `phys_regs`
+/// registers at the declared occupancy.
+pub fn spill_cap(w: &Workload, phys_regs: usize) -> usize {
+    let launch = w.kernel.launch();
+    let warps_per_sm = launch.warps_per_cta() as usize * launch.max_conc_ctas_per_sm() as usize;
+    (phys_regs / warps_per_sm.max(1)).max(4)
+}
+
+/// Compiles the compiler-spill baseline for a `phys_regs`-sized file:
+/// spill to the cap, then compile without metadata.
+///
+/// # Panics
+///
+/// Panics when the spill pass or compilation fails.
+pub fn compile_spilled(w: &Workload, phys_regs: usize) -> CompiledKernel {
+    let cap = spill_cap(w, phys_regs);
+    let spilled = spill_to_cap(&w.kernel, cap).expect("spill caps are feasible");
+    let opts = CompileOptions {
+        table_budget_bytes: 0,
+    };
+    compile(&spilled.kernel, &opts).expect("spilled kernels compile")
+}
+
+/// Runs a compiled kernel, panicking on simulator errors (used by
+/// experiments where failure means a harness bug).
+///
+/// # Panics
+///
+/// Panics when the simulation errors.
+pub fn run(kernel: &CompiledKernel, config: &SimConfig) -> SimResult {
+    simulate(kernel, config).unwrap_or_else(|e| panic!("simulation failed: {e}"))
+}
+
+/// Converts an SM's statistics into energy-model activity counts.
+pub fn rf_activity(stats: &SimStats) -> RfActivity {
+    RfActivity {
+        cycles: stats.cycles,
+        rf_reads: stats.regfile.rf_reads,
+        rf_writes: stats.regfile.rf_writes,
+        renaming_lookups: stats.renaming.lookups,
+        renaming_updates: stats.renaming.updates,
+        flag_fetch_decodes: stats.meta_decoded,
+        flag_cache_probes: stats.flag_cache.probes(),
+        subarray_on_cycles: stats.subarray_on_cycles,
+    }
+}
+
+/// The four machine configurations the evaluation compares.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Machine {
+    /// Conventional 128 KB file, no virtualization.
+    Conventional,
+    /// 128 KB file with full virtualization (+ power gating).
+    Full128,
+    /// GPU-shrink: 64 KB file with full virtualization.
+    Shrink64,
+    /// Hardware-only renaming \[46\] on the 128 KB file.
+    HardwareOnly,
+}
+
+impl Machine {
+    /// The simulator configuration for this machine.
+    pub fn config(self) -> SimConfig {
+        match self {
+            Machine::Conventional => SimConfig::conventional(),
+            Machine::Full128 => SimConfig::baseline_full(),
+            Machine::Shrink64 => SimConfig::gpu_shrink(50),
+            Machine::HardwareOnly => {
+                let mut c = SimConfig::baseline_full();
+                c.regfile.policy = VirtualizationPolicy::HardwareOnly;
+                c
+            }
+        }
+    }
+
+    /// The binary this machine executes (with or without metadata).
+    pub fn compile(self, w: &Workload) -> CompiledKernel {
+        match self {
+            Machine::Conventional | Machine::HardwareOnly => compile_plain(w),
+            Machine::Full128 | Machine::Shrink64 => compile_full(w),
+        }
+    }
+
+    /// Compile + run in one step.
+    pub fn run(self, w: &Workload) -> SimResult {
+        run(&self.compile(w), &self.config())
+    }
+}
+
+/// Theoretical conventional register allocation per SM at the
+/// workload's declared occupancy (what Figure 10 normalizes against).
+pub fn conventional_alloc(w: &Workload) -> usize {
+    let launch = w.kernel.launch();
+    w.kernel.num_regs() * launch.warps_per_cta() as usize * launch.max_conc_ctas_per_sm() as usize
+}

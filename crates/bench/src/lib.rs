@@ -1,0 +1,27 @@
+//! # rfv-bench — experiment harness for the reproduction
+//!
+//! Shared code between the `figures` binary (which regenerates every
+//! table and figure of *GPU Register File Virtualization*, MICRO-48
+//! 2015), the Criterion benches, and the workspace integration tests:
+//!
+//! * [`harness`] — compile-and-run helpers for the four machine
+//!   configurations (conventional / full virtualization / GPU-shrink /
+//!   hardware-only renaming), the compiler-spill baseline, and the
+//!   simulator-statistics → energy-model glue;
+//! * [`figures`] — one function per paper table/figure returning the
+//!   figure's data series;
+//! * [`ablations`] — sensitivity studies beyond the paper
+//!   (bank-preserving renaming, flag-cache sizing, deeper shrink
+//!   points, ready-queue sizing, the renaming pipeline cycle).
+//!
+//! ```no_run
+//! use rfv_bench::figures;
+//!
+//! let rows = figures::fig10(&figures::full_suite());
+//! let avg = figures::mean(&rows, |r| r.reduction_pct);
+//! println!("average register allocation reduction: {avg:.1}%");
+//! ```
+
+pub mod ablations;
+pub mod figures;
+pub mod harness;

@@ -1,0 +1,362 @@
+//! Control-flow graph construction over a kernel's machine
+//! instructions.
+//!
+//! The CFG is built on the *pre-metadata* program (the output of
+//! [`rfv_isa::KernelBuilder`]); instruction indices used here are
+//! therefore indices into that original stream. The release-flag
+//! insertion pass later remaps them into the final PC space.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use rfv_isa::{Instr, Kernel, Opcode};
+
+/// A basic-block id (index into [`Cfg::blocks`]).
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub usize);
+
+impl fmt::Debug for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A basic block: a maximal straight-line instruction range.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BasicBlock {
+    /// First instruction index (inclusive).
+    pub start: usize,
+    /// One past the last instruction index (exclusive).
+    pub end: usize,
+    /// Successor blocks in CFG order (fall-through first, then branch
+    /// target).
+    pub succs: Vec<BlockId>,
+    /// Predecessor blocks.
+    pub preds: Vec<BlockId>,
+}
+
+impl BasicBlock {
+    /// Instruction indices in this block.
+    pub fn range(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+
+    /// Number of instructions in the block.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether the block holds no instructions (never true in a built
+    /// CFG).
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+}
+
+/// A control-flow graph for one kernel.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    blocks: Vec<BasicBlock>,
+    /// Map from instruction index to owning block.
+    block_of: Vec<BlockId>,
+    /// The instructions the CFG was built over (machine instructions
+    /// only, in original order).
+    instrs: Vec<Instr>,
+}
+
+/// Error building a CFG.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CfgError {
+    /// The kernel still contains metadata instructions; the CFG is
+    /// built before flag insertion.
+    UnexpectedMetadata { pc: usize },
+}
+
+impl fmt::Display for CfgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfgError::UnexpectedMetadata { pc } => write!(
+                f,
+                "kernel already contains a metadata instruction at {pc:#x}; \
+                 the compiler expects a fresh (pre-metadata) kernel"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CfgError {}
+
+impl Cfg {
+    /// Builds the CFG of a fresh kernel.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel already embeds metadata instructions.
+    pub fn build(kernel: &Kernel) -> Result<Cfg, CfgError> {
+        let mut instrs = Vec::with_capacity(kernel.len());
+        for (pc, item) in kernel.items().iter().enumerate() {
+            match item.as_instr() {
+                Some(i) => instrs.push(i.clone()),
+                None => return Err(CfgError::UnexpectedMetadata { pc }),
+            }
+        }
+        Ok(Cfg::from_instrs(instrs))
+    }
+
+    /// Builds a CFG directly from an instruction list (used internally
+    /// and by tests).
+    pub fn from_instrs(instrs: Vec<Instr>) -> Cfg {
+        assert!(
+            !instrs.is_empty(),
+            "cannot build a CFG over no instructions"
+        );
+        // 1. leaders: entry, branch targets, instructions following a
+        //    control transfer.
+        let mut leaders = BTreeSet::new();
+        leaders.insert(0usize);
+        for (pc, i) in instrs.iter().enumerate() {
+            if let Some(t) = i.target {
+                leaders.insert(t);
+                leaders.insert(pc + 1);
+            }
+            if i.opcode == Opcode::Exit {
+                leaders.insert(pc + 1);
+            }
+        }
+        leaders.retain(|&l| l < instrs.len());
+
+        // 2. carve blocks.
+        let bounds: Vec<usize> = leaders.iter().copied().collect();
+        let mut blocks = Vec::with_capacity(bounds.len());
+        for (bi, &start) in bounds.iter().enumerate() {
+            let end = bounds.get(bi + 1).copied().unwrap_or(instrs.len());
+            blocks.push(BasicBlock {
+                start,
+                end,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+
+        let mut block_of = vec![BlockId(0); instrs.len()];
+        for (bi, b) in blocks.iter().enumerate() {
+            for pc in b.range() {
+                block_of[pc] = BlockId(bi);
+            }
+        }
+
+        // 3. edges.
+        for bi in 0..blocks.len() {
+            let last_pc = blocks[bi].end - 1;
+            let last = &instrs[last_pc];
+            let mut succs = Vec::new();
+            if last.falls_through() && blocks[bi].end < instrs.len() {
+                succs.push(block_of[blocks[bi].end]);
+            }
+            if let Some(t) = last.target {
+                let tb = block_of[t];
+                if !succs.contains(&tb) {
+                    succs.push(tb);
+                }
+            }
+            blocks[bi].succs = succs.clone();
+            for s in succs {
+                blocks[s.0].preds.push(BlockId(bi));
+            }
+        }
+
+        Cfg {
+            blocks,
+            block_of,
+            instrs,
+        }
+    }
+
+    /// All blocks, indexable by [`BlockId`].
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// The block with id `id`.
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.0]
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.blocks.len()
+    }
+
+    /// The block containing instruction `pc`.
+    pub fn block_of(&self, pc: usize) -> BlockId {
+        self.block_of[pc]
+    }
+
+    /// The instruction stream the CFG covers.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// The entry block (always `bb0`).
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Blocks with no successors (EXIT blocks or trailing blocks).
+    pub fn exit_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.succs.is_empty())
+            .map(|(i, _)| BlockId(i))
+    }
+
+    /// Reverse-post-order traversal from the entry (unreachable blocks
+    /// excluded).
+    pub fn reverse_post_order(&self) -> Vec<BlockId> {
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // iterative DFS
+        let mut stack: Vec<(BlockId, usize)> = vec![(self.entry(), 0)];
+        visited[0] = true;
+        while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+            let succs = &self.blocks[b.0].succs;
+            if *next < succs.len() {
+                let s = succs[*next];
+                *next += 1;
+                if !visited[s.0] {
+                    visited[s.0] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        post
+    }
+
+    /// Conditional-branch blocks: blocks ending in a guarded `BRA`
+    /// with two distinct successors.
+    pub fn cond_branch_blocks(&self) -> impl Iterator<Item = BlockId> + '_ {
+        self.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| {
+                b.succs.len() == 2 && {
+                    let last = &self.instrs[b.end - 1];
+                    last.opcode == Opcode::Bra && last.guard.is_some()
+                }
+            })
+            .map(|(i, _)| BlockId(i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_isa::prelude::*;
+    use rfv_isa::PredGuard;
+
+    fn diamond() -> Kernel {
+        // bb0: setp, bra else
+        // bb1: then, bra join
+        // bb2: else
+        // bb3: join, exit
+        let mut b = KernelBuilder::new("diamond");
+        b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(5));
+        b.guard(PredGuard::if_false(Pred::P0));
+        b.bra("else");
+        b.iadd(ArchReg::R1, ArchReg::R0, 1);
+        b.bra("join");
+        b.label("else");
+        b.iadd(ArchReg::R1, ArchReg::R0, 2);
+        b.label("join");
+        b.exit();
+        b.build(LaunchConfig::new(1, 32, 1)).unwrap()
+    }
+
+    fn looped() -> Kernel {
+        let mut b = KernelBuilder::new("loop");
+        b.mov(ArchReg::R0, 8);
+        b.label("top");
+        b.iadd(ArchReg::R0, ArchReg::R0, -1);
+        b.isetp(Cond::Gt, Pred::P0, ArchReg::R0, Operand::Imm(0));
+        b.guard(PredGuard::if_true(Pred::P0));
+        b.bra("top");
+        b.exit();
+        b.build(LaunchConfig::new(1, 32, 1)).unwrap()
+    }
+
+    #[test]
+    fn diamond_shape() {
+        let cfg = Cfg::build(&diamond()).unwrap();
+        assert_eq!(cfg.num_blocks(), 4);
+        assert_eq!(cfg.block(BlockId(0)).succs, vec![BlockId(1), BlockId(2)]);
+        assert_eq!(cfg.block(BlockId(1)).succs, vec![BlockId(3)]);
+        assert_eq!(cfg.block(BlockId(2)).succs, vec![BlockId(3)]);
+        assert_eq!(cfg.block(BlockId(3)).succs, Vec::<BlockId>::new());
+        let mut preds = cfg.block(BlockId(3)).preds.clone();
+        preds.sort();
+        assert_eq!(preds, vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn loop_shape() {
+        let cfg = Cfg::build(&looped()).unwrap();
+        // bb0: mov; bb1: body (iadd, setp, bra); bb2: exit
+        assert_eq!(cfg.num_blocks(), 3);
+        assert_eq!(cfg.block(BlockId(1)).succs, vec![BlockId(2), BlockId(1)]);
+        assert!(cfg.block(BlockId(1)).preds.contains(&BlockId(1)));
+    }
+
+    #[test]
+    fn block_of_maps_each_pc() {
+        let cfg = Cfg::build(&diamond()).unwrap();
+        assert_eq!(cfg.block_of(0), BlockId(0));
+        assert_eq!(cfg.block_of(1), BlockId(0));
+        assert_eq!(cfg.block_of(2), BlockId(1));
+        assert_eq!(cfg.block_of(5), BlockId(3));
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let cfg = Cfg::build(&diamond()).unwrap();
+        let rpo = cfg.reverse_post_order();
+        assert_eq!(rpo[0], BlockId(0));
+        assert_eq!(rpo.len(), 4);
+        // join must come after both arms
+        let pos = |b: BlockId| rpo.iter().position(|&x| x == b).unwrap();
+        assert!(pos(BlockId(3)) > pos(BlockId(1)));
+        assert!(pos(BlockId(3)) > pos(BlockId(2)));
+    }
+
+    #[test]
+    fn cond_branch_detection() {
+        let cfg = Cfg::build(&diamond()).unwrap();
+        let cb: Vec<BlockId> = cfg.cond_branch_blocks().collect();
+        assert_eq!(cb, vec![BlockId(0)]);
+        let cfg = Cfg::build(&looped()).unwrap();
+        let cb: Vec<BlockId> = cfg.cond_branch_blocks().collect();
+        assert_eq!(cb, vec![BlockId(1)]);
+    }
+
+    #[test]
+    fn straight_line_is_one_block() {
+        let mut b = KernelBuilder::new("s");
+        b.mov(ArchReg::R0, 1);
+        b.iadd(ArchReg::R1, ArchReg::R0, 1);
+        b.exit();
+        let cfg = Cfg::build(&b.build(LaunchConfig::new(1, 32, 1)).unwrap()).unwrap();
+        assert_eq!(cfg.num_blocks(), 1);
+        assert_eq!(cfg.block(BlockId(0)).len(), 3);
+        assert_eq!(cfg.exit_blocks().count(), 1);
+    }
+}

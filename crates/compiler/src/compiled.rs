@@ -1,0 +1,381 @@
+//! The compile driver and its output, [`CompiledKernel`].
+
+use std::collections::HashMap;
+use std::fmt;
+
+use rfv_isa::{ArchReg, Kernel, Opcode, ReleaseFlags};
+
+use crate::candidates::{CandidateSelection, DEFAULT_TABLE_BUDGET_BYTES};
+use crate::cfg::{Cfg, CfgError};
+use crate::dom::PostDominators;
+use crate::insert::insert_flags;
+use crate::lifetime::LifetimeStats;
+use crate::liveness::{Liveness, RegSet};
+use crate::regions::DivergenceRegions;
+use crate::release::ReleasePoints;
+use crate::uniform::Uniformity;
+
+/// Compilation options.
+#[derive(Clone, Copy, Debug)]
+pub struct CompileOptions {
+    /// Renaming-table budget in bytes (paper default: 1 KB). Registers
+    /// beyond the budget are exempted from renaming.
+    pub table_budget_bytes: usize,
+}
+
+impl Default for CompileOptions {
+    fn default() -> CompileOptions {
+        CompileOptions {
+            table_budget_bytes: DEFAULT_TABLE_BUDGET_BYTES,
+        }
+    }
+}
+
+/// Aggregate statistics from one compilation.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct CompileStats {
+    /// Machine instructions in the kernel.
+    pub machine_instrs: usize,
+    /// Embedded `pir` metadata instructions.
+    pub num_pir: usize,
+    /// Embedded `pbr` metadata instructions.
+    pub num_pbr: usize,
+    /// Static code growth from metadata, in percent (Figure 13,
+    /// "Static").
+    pub static_increase_pct: f64,
+    /// Renaming-table size without the budget, in bytes (Figure 14).
+    pub unconstrained_table_bytes: usize,
+    /// Renaming-table size under the budget, in bytes.
+    pub table_bytes: usize,
+    /// Registers participating in renaming.
+    pub num_renamed: usize,
+    /// Registers exempted from renaming.
+    pub num_exempt: usize,
+    /// Concurrent warps per SM at full occupancy.
+    pub warps_per_sm: usize,
+    /// Branches that may split a warp.
+    pub num_divergent_branches: usize,
+    /// Average registers released per `pbr` (paper quotes ≈ 2).
+    pub avg_regs_per_pbr: f64,
+}
+
+/// Error from [`compile`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum CompileError {
+    /// The input kernel was not fresh (already carries metadata).
+    Cfg(CfgError),
+    /// The rewritten kernel failed validation (an internal invariant
+    /// violation).
+    Internal(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Cfg(e) => write!(f, "{e}"),
+            CompileError::Internal(e) => write!(f, "internal compiler error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<CfgError> for CompileError {
+    fn from(e: CfgError) -> CompileError {
+        CompileError::Cfg(e)
+    }
+}
+
+/// A kernel compiled for register file virtualization.
+///
+/// Carries the rewritten program (with embedded metadata), per-PC
+/// release flags, the reconvergence table the SIMT stack consumes, and
+/// the renamed/exempt register partition.
+#[derive(Clone, Debug)]
+pub struct CompiledKernel {
+    kernel: Kernel,
+    flags: Vec<ReleaseFlags>,
+    /// Final branch PC → reconvergence PC (`None`: reconverges only at
+    /// program end).
+    reconv: HashMap<usize, Option<usize>>,
+    renamed: RegSet,
+    exempt: RegSet,
+    stats: CompileStats,
+    lifetimes: LifetimeStats,
+    max_held_per_warp: usize,
+    pressure_profile: Vec<usize>,
+}
+
+impl CompiledKernel {
+    /// The rewritten kernel (machine + metadata instructions).
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Release flags for the instruction at final PC `pc`.
+    pub fn flags_at(&self, pc: usize) -> ReleaseFlags {
+        self.flags[pc]
+    }
+
+    /// Reconvergence PC for the conditional branch at final PC `pc`.
+    ///
+    /// Returns `None` for non-branches; `Some(None)` marks a branch
+    /// that reconverges only at program end.
+    pub fn reconv_at(&self, pc: usize) -> Option<Option<usize>> {
+        self.reconv.get(&pc).copied()
+    }
+
+    /// Whether `r` participates in renaming.
+    pub fn is_renamed(&self, r: ArchReg) -> bool {
+        self.renamed.contains(r)
+    }
+
+    /// Whether `r` is exempted from renaming (statically mapped).
+    pub fn is_exempt(&self, r: ArchReg) -> bool {
+        self.exempt.contains(r)
+    }
+
+    /// The renamed register set.
+    pub fn renamed(&self) -> RegSet {
+        self.renamed
+    }
+
+    /// The exempt register set.
+    pub fn exempt(&self) -> RegSet {
+        self.exempt
+    }
+
+    /// Compilation statistics.
+    pub fn stats(&self) -> &CompileStats {
+        &self.stats
+    }
+
+    /// Static lifetime statistics (Figure 2 inputs).
+    pub fn lifetimes(&self) -> &LifetimeStats {
+        &self.lifetimes
+    }
+
+    /// Registers allocated per thread.
+    pub fn num_regs(&self) -> usize {
+        self.kernel.num_regs()
+    }
+
+    /// Worst-case held-register count at each final PC (0 at metadata
+    /// slots): the static register-pressure curve a warp can exert.
+    pub fn pressure_profile(&self) -> &[usize] {
+        &self.pressure_profile
+    }
+
+    /// Compiler-provided per-warp worst-case *concurrent* register
+    /// holding under early release: renamed registers that can be
+    /// held at once plus the always-held exempt registers. GPU-shrink
+    /// uses `this × warps/CTA` as the CTA throttle budget (§8.1).
+    pub fn max_held_per_warp(&self) -> usize {
+        self.max_held_per_warp
+    }
+}
+
+/// Compiles a fresh kernel: lifetime analysis, release-point
+/// computation, candidate selection, and metadata insertion.
+///
+/// # Errors
+///
+/// Fails if the kernel already contains metadata instructions.
+pub fn compile(kernel: &Kernel, options: &CompileOptions) -> Result<CompiledKernel, CompileError> {
+    let cfg = Cfg::build(kernel)?;
+    let liveness = Liveness::compute(&cfg);
+    let pdom = PostDominators::compute(&cfg);
+    let uniformity = Uniformity::compute(cfg.instrs());
+    let regions = DivergenceRegions::compute(&cfg, &pdom, &uniformity);
+
+    // unrestricted pass: find every register that *could* be released,
+    // and estimate lifetimes for candidate selection
+    let all: RegSet = ArchReg::all().collect();
+    let unrestricted = ReleasePoints::compute(&cfg, &liveness, &regions, all);
+    let lifetimes = LifetimeStats::analyze(&cfg, &liveness, &unrestricted);
+    let releasable = unrestricted.released_regs_with(&cfg);
+    let selection = CandidateSelection::select(
+        kernel.launch(),
+        kernel.num_regs(),
+        &lifetimes,
+        releasable,
+        options.table_budget_bytes,
+    );
+
+    // restricted pass: only renamed registers carry release flags
+    let release = ReleasePoints::compute(&cfg, &liveness, &regions, selection.renamed);
+    let held = release.held_profile(&cfg, selection.renamed);
+    let max_held_per_warp = held.iter().copied().max().unwrap_or(0) + selection.exempt.len();
+    let insertion = insert_flags(&cfg, &release);
+    let mut pressure_profile = vec![0usize; insertion.items.len()];
+    for (orig_pc, &new_pc) in insertion.pc_map.iter().enumerate() {
+        pressure_profile[new_pc] = held[orig_pc];
+    }
+
+    // reconvergence table over all conditional branches (the runtime
+    // mask decides whether a branch actually diverges)
+    let mut reconv = HashMap::new();
+    for b in cfg.cond_branch_blocks() {
+        let old_branch_pc = cfg.block(b).end - 1;
+        let new_branch_pc = insertion.pc_map[old_branch_pc];
+        let target = pdom.ipdom(b).map(|r| insertion.block_start[r.0]);
+        reconv.insert(new_branch_pc, target);
+    }
+
+    let machine_instrs = cfg.instrs().len();
+    let num_pir = insertion
+        .items
+        .iter()
+        .filter(|i| matches!(i, rfv_isa::kernel::ProgItem::Pir(_)))
+        .count();
+    let num_pbr = insertion
+        .items
+        .iter()
+        .filter(|i| matches!(i, rfv_isa::kernel::ProgItem::Pbr(_)))
+        .count();
+    let (pbr_regs_total, _) = release.pbr_totals();
+    let num_divergent_branches = regions.divergent_branches().count();
+
+    let stats = CompileStats {
+        machine_instrs,
+        num_pir,
+        num_pbr,
+        static_increase_pct: 100.0 * (num_pir + num_pbr) as f64 / machine_instrs as f64,
+        unconstrained_table_bytes: selection.unconstrained_table_bytes,
+        table_bytes: selection.table_bytes,
+        num_renamed: selection.renamed.len(),
+        num_exempt: selection.exempt.len(),
+        warps_per_sm: selection.warps_per_sm,
+        num_divergent_branches,
+        avg_regs_per_pbr: if num_pbr == 0 {
+            0.0
+        } else {
+            pbr_regs_total as f64 / num_pbr as f64
+        },
+    };
+
+    let rewritten = Kernel::new(kernel.name(), insertion.items, kernel.launch())
+        .map_err(CompileError::Internal)?;
+
+    debug_assert_eq!(rewritten.len(), insertion.flags.len());
+    debug_assert!(reconv.keys().all(|&pc| {
+        rewritten.items()[pc]
+            .as_instr()
+            .is_some_and(|i| i.opcode == Opcode::Bra)
+    }));
+
+    Ok(CompiledKernel {
+        kernel: rewritten,
+        flags: insertion.flags,
+        reconv,
+        renamed: selection.renamed,
+        exempt: selection.exempt,
+        stats,
+        lifetimes,
+        max_held_per_warp,
+        pressure_profile,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_isa::prelude::*;
+    use rfv_isa::{PredGuard, Special};
+
+    fn sample_kernel() -> Kernel {
+        let mut b = KernelBuilder::new("sample");
+        b.s2r(ArchReg::R0, Special::TidX);
+        b.mov(ArchReg::R2, 7);
+        b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(16));
+        b.guard(PredGuard::if_false(Pred::P0));
+        b.bra("else");
+        b.iadd(ArchReg::R1, ArchReg::R2, 1);
+        b.bra("join");
+        b.label("else");
+        b.iadd(ArchReg::R1, ArchReg::R2, 2);
+        b.label("join");
+        b.stg(ArchReg::R0, ArchReg::R1, 0);
+        b.exit();
+        b.build(LaunchConfig::new(16, 256, 4)).unwrap()
+    }
+
+    #[test]
+    fn compile_produces_metadata_and_stats() {
+        let ck = compile(&sample_kernel(), &CompileOptions::default()).unwrap();
+        let s = ck.stats();
+        assert_eq!(s.machine_instrs, 9);
+        assert!(s.num_pir >= 1);
+        assert_eq!(s.num_pbr, 1, "r2 released at the join");
+        assert!(s.static_increase_pct > 0.0);
+        assert!(s.num_renamed > 0);
+        assert_eq!(s.num_divergent_branches, 1);
+        assert!(s.avg_regs_per_pbr >= 1.0);
+    }
+
+    #[test]
+    fn reconv_table_points_at_branch_and_join() {
+        let ck = compile(&sample_kernel(), &CompileOptions::default()).unwrap();
+        // exactly one conditional branch
+        let branch_pcs: Vec<usize> = ck
+            .kernel()
+            .items()
+            .iter()
+            .enumerate()
+            .filter(|(_, it)| {
+                it.as_instr()
+                    .is_some_and(|i| i.opcode == Opcode::Bra && i.guard.is_some())
+            })
+            .map(|(pc, _)| pc)
+            .collect();
+        assert_eq!(branch_pcs.len(), 1);
+        let reconv = ck.reconv_at(branch_pcs[0]).unwrap().unwrap();
+        // the reconvergence slot is the pbr at the join block head
+        assert!(matches!(
+            ck.kernel().items()[reconv],
+            rfv_isa::kernel::ProgItem::Pbr(_)
+        ));
+    }
+
+    #[test]
+    fn flags_align_with_final_pcs() {
+        let ck = compile(&sample_kernel(), &CompileOptions::default()).unwrap();
+        for (pc, item) in ck.kernel().items().iter().enumerate() {
+            if item.is_meta() {
+                assert!(!ck.flags_at(pc).any());
+            }
+        }
+        // at least one machine instruction carries a release flag
+        let any = (0..ck.kernel().len()).any(|pc| ck.flags_at(pc).any());
+        assert!(any);
+    }
+
+    #[test]
+    fn renamed_and_exempt_partition_used_regs() {
+        let ck = compile(&sample_kernel(), &CompileOptions::default()).unwrap();
+        for r in [ArchReg::R0, ArchReg::R1, ArchReg::R2] {
+            assert!(
+                ck.is_renamed(r) ^ ck.is_exempt(r),
+                "{r} must be exactly one of renamed/exempt"
+            );
+        }
+    }
+
+    #[test]
+    fn compiling_twice_fails_cleanly() {
+        let ck = compile(&sample_kernel(), &CompileOptions::default()).unwrap();
+        let err = compile(ck.kernel(), &CompileOptions::default()).unwrap_err();
+        assert!(matches!(err, CompileError::Cfg(_)));
+    }
+
+    #[test]
+    fn zero_budget_compiles_with_everything_exempt() {
+        let opts = CompileOptions {
+            table_budget_bytes: 0,
+        };
+        let ck = compile(&sample_kernel(), &opts).unwrap();
+        assert_eq!(ck.stats().num_renamed, 0);
+        assert_eq!(ck.stats().num_pir, 0, "nothing to release");
+        assert_eq!(ck.stats().num_pbr, 0);
+    }
+}

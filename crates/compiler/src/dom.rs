@@ -1,0 +1,243 @@
+//! Post-dominator analysis (Cooper–Harvey–Kennedy), used to locate
+//! reconvergence points of divergent branches.
+//!
+//! SIMT hardware reconverges a diverged warp at the *immediate
+//! post-dominator* of the branch; the compiler uses the same points to
+//! place `pbr` release flags (paper §6.1, Figure 4b/4c: "the register
+//! can be safely released at the reconvergence point").
+
+use crate::cfg::{BlockId, Cfg};
+
+/// Post-dominator tree over a CFG.
+///
+/// Computed on the reverse CFG with a virtual exit node that all
+/// exit blocks (and none others) flow into; a block whose immediate
+/// post-dominator is the virtual exit reports `None`.
+#[derive(Clone, Debug)]
+pub struct PostDominators {
+    /// `ipdom[b]`: immediate post-dominator of block `b`, or `None`
+    /// when it is the virtual exit.
+    ipdom: Vec<Option<BlockId>>,
+}
+
+impl PostDominators {
+    /// Computes post-dominators for `cfg`.
+    pub fn compute(cfg: &Cfg) -> PostDominators {
+        let n = cfg.num_blocks();
+        // Node numbering: 0..n are real blocks, n is the virtual exit.
+        let virt = n;
+        let mut preds_rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        // reverse CFG: an edge b -> s becomes s -> b, so the reverse
+        // predecessors of b are its successors.
+        for (bi, b) in cfg.blocks().iter().enumerate() {
+            for s in &b.succs {
+                preds_rev[bi].push(s.0);
+            }
+            if b.succs.is_empty() {
+                preds_rev[bi].push(virt);
+            }
+        }
+
+        // Reverse-post-order on the reverse CFG starting from the
+        // virtual exit: DFS over reversed edges.
+        let mut succs_rev: Vec<Vec<usize>> = vec![Vec::new(); n + 1];
+        for (b, ps) in preds_rev.iter().enumerate() {
+            for &p in ps {
+                succs_rev[p].push(b);
+            }
+        }
+        let mut order = Vec::with_capacity(n + 1);
+        let mut visited = vec![false; n + 1];
+        let mut stack = vec![(virt, 0usize)];
+        visited[virt] = true;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            if *next < succs_rev[node].len() {
+                let s = succs_rev[node][*next];
+                *next += 1;
+                if !visited[s] {
+                    visited[s] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order.reverse(); // reverse post-order, virtual exit first
+
+        let mut rpo_num = vec![usize::MAX; n + 1];
+        for (i, &node) in order.iter().enumerate() {
+            rpo_num[node] = i;
+        }
+
+        // Cooper–Harvey–Kennedy iteration.
+        let undefined = usize::MAX;
+        let mut idom = vec![undefined; n + 1];
+        idom[virt] = virt;
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &node in order.iter().skip(1) {
+                let mut new_idom = undefined;
+                for &p in &preds_rev[node] {
+                    if idom[p] == undefined {
+                        continue;
+                    }
+                    new_idom = if new_idom == undefined {
+                        p
+                    } else {
+                        intersect(&idom, &rpo_num, p, new_idom)
+                    };
+                }
+                if new_idom != undefined && idom[node] != new_idom {
+                    idom[node] = new_idom;
+                    changed = true;
+                }
+            }
+        }
+
+        let ipdom = (0..n)
+            .map(|b| {
+                let d = idom[b];
+                if d == undefined || d == virt {
+                    None
+                } else {
+                    Some(BlockId(d))
+                }
+            })
+            .collect();
+        PostDominators { ipdom }
+    }
+
+    /// The immediate post-dominator of `b` (`None` = the virtual exit,
+    /// i.e. the program end).
+    pub fn ipdom(&self, b: BlockId) -> Option<BlockId> {
+        self.ipdom[b.0]
+    }
+
+    /// Whether `a` post-dominates `b` (every path from `b` to exit
+    /// passes through `a`). A block post-dominates itself.
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.ipdom(cur) {
+                Some(next) => cur = next,
+                None => return false,
+            }
+        }
+    }
+}
+
+fn intersect(idom: &[usize], rpo_num: &[usize], mut a: usize, mut b: usize) -> usize {
+    while a != b {
+        while rpo_num[a] > rpo_num[b] {
+            a = idom[a];
+        }
+        while rpo_num[b] > rpo_num[a] {
+            b = idom[b];
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_isa::prelude::*;
+    use rfv_isa::PredGuard;
+
+    fn build(f: impl FnOnce(&mut KernelBuilder)) -> Cfg {
+        let mut b = KernelBuilder::new("t");
+        f(&mut b);
+        Cfg::build(&b.build(LaunchConfig::new(1, 32, 1)).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn diamond_reconverges_at_join() {
+        let cfg = build(|b| {
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(5));
+            b.guard(PredGuard::if_false(Pred::P0));
+            b.bra("else");
+            b.iadd(ArchReg::R1, ArchReg::R0, 1);
+            b.bra("join");
+            b.label("else");
+            b.iadd(ArchReg::R1, ArchReg::R0, 2);
+            b.label("join");
+            b.exit();
+        });
+        let pd = PostDominators::compute(&cfg);
+        // bb0 branch, bb1 then, bb2 else, bb3 join
+        assert_eq!(pd.ipdom(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(pd.ipdom(BlockId(1)), Some(BlockId(3)));
+        assert_eq!(pd.ipdom(BlockId(2)), Some(BlockId(3)));
+        assert_eq!(pd.ipdom(BlockId(3)), None);
+        assert!(pd.post_dominates(BlockId(3), BlockId(0)));
+        assert!(!pd.post_dominates(BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn loop_bottom_test_reconverges_at_exit() {
+        let cfg = build(|b| {
+            b.mov(ArchReg::R0, 8);
+            b.label("top");
+            b.iadd(ArchReg::R0, ArchReg::R0, -1);
+            b.isetp(Cond::Gt, Pred::P0, ArchReg::R0, Operand::Imm(0));
+            b.guard(PredGuard::if_true(Pred::P0));
+            b.bra("top");
+            b.exit();
+        });
+        let pd = PostDominators::compute(&cfg);
+        // bb0 preheader, bb1 body+branch, bb2 exit
+        assert_eq!(pd.ipdom(BlockId(1)), Some(BlockId(2)));
+        assert_eq!(pd.ipdom(BlockId(0)), Some(BlockId(1)));
+    }
+
+    #[test]
+    fn branch_to_separate_exits_has_virtual_ipdom() {
+        let cfg = build(|b| {
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(5));
+            b.guard(PredGuard::if_false(Pred::P0));
+            b.bra("other");
+            b.exit();
+            b.label("other");
+            b.exit();
+        });
+        let pd = PostDominators::compute(&cfg);
+        assert_eq!(pd.ipdom(BlockId(0)), None);
+    }
+
+    #[test]
+    fn nested_diamonds() {
+        let cfg = build(|b| {
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(5));
+            b.guard(PredGuard::if_false(Pred::P0));
+            b.bra("outer_else");
+            // outer then: contains inner diamond
+            b.isetp(Cond::Gt, Pred::P1, ArchReg::R0, Operand::Imm(2));
+            b.guard(PredGuard::if_false(Pred::P1));
+            b.bra("inner_else");
+            b.iadd(ArchReg::R1, ArchReg::R0, 1);
+            b.bra("inner_join");
+            b.label("inner_else");
+            b.iadd(ArchReg::R1, ArchReg::R0, 2);
+            b.label("inner_join");
+            b.iadd(ArchReg::R2, ArchReg::R1, 0);
+            b.bra("outer_join");
+            b.label("outer_else");
+            b.iadd(ArchReg::R2, ArchReg::R0, 3);
+            b.label("outer_join");
+            b.exit();
+        });
+        let pd = PostDominators::compute(&cfg);
+        // bb0 outer branch; bb1 inner branch; bb2 inner then;
+        // bb3 inner else; bb4 inner join; bb5 outer else; bb6 outer join
+        assert_eq!(pd.ipdom(BlockId(1)), Some(BlockId(4)));
+        assert_eq!(pd.ipdom(BlockId(0)), Some(BlockId(6)));
+        assert!(pd.post_dominates(BlockId(6), BlockId(1)));
+        assert!(pd.post_dominates(BlockId(4), BlockId(2)));
+        assert!(!pd.post_dominates(BlockId(4), BlockId(5)));
+    }
+}

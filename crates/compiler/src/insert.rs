@@ -1,0 +1,207 @@
+//! Metadata-instruction insertion: embeds `pir`/`pbr` flag-set
+//! instructions into the code stream and remaps branch targets into
+//! the final PC space.
+//!
+//! Layout per basic block (paper §6.2): any `pbr`s first (they execute
+//! at the reconvergence point, so branch targets land on them), then a
+//! `pir` before each 18-instruction window that contains at least one
+//! release flag, then the machine instructions.
+
+use rfv_isa::kernel::ProgItem;
+use rfv_isa::meta::{PBR_CAPACITY, PIR_COVERAGE};
+use rfv_isa::{Pbr, Pir, ReleaseFlags};
+
+use crate::cfg::Cfg;
+use crate::release::ReleasePoints;
+
+/// Result of metadata insertion.
+#[derive(Clone, Debug)]
+pub struct Insertion {
+    /// The final program stream (machine + metadata instructions) with
+    /// branch targets remapped.
+    pub items: Vec<ProgItem>,
+    /// Release flags aligned with `items` (metadata slots hold
+    /// [`ReleaseFlags::NONE`]); the simulator's decode stage consults
+    /// this instead of re-decoding `pir` payloads.
+    pub flags: Vec<ReleaseFlags>,
+    /// New PC of each basic block's first slot, indexed by block id.
+    pub block_start: Vec<usize>,
+    /// New PC of each original machine instruction.
+    pub pc_map: Vec<usize>,
+}
+
+/// Embeds release metadata into the instruction stream.
+pub fn insert_flags(cfg: &Cfg, release: &ReleasePoints) -> Insertion {
+    let mut items: Vec<ProgItem> = Vec::with_capacity(cfg.instrs().len() * 2);
+    let mut flags: Vec<ReleaseFlags> = Vec::with_capacity(items.capacity());
+    let mut block_start = vec![0usize; cfg.num_blocks()];
+    let mut pc_map = vec![0usize; cfg.instrs().len()];
+
+    for (bi, block) in cfg.blocks().iter().enumerate() {
+        block_start[bi] = items.len();
+
+        // pbr(s) at the block head
+        let pbr_regs = release.pbr_regs(crate::cfg::BlockId(bi));
+        for chunk in pbr_regs.chunks(PBR_CAPACITY) {
+            let pbr = Pbr::from_regs(chunk.to_vec())
+                .expect("chunks() bounds the register count to PBR_CAPACITY");
+            items.push(ProgItem::Pbr(pbr));
+            flags.push(ReleaseFlags::NONE);
+        }
+
+        // 18-instruction windows, each preceded by a pir when needed
+        let pcs: Vec<usize> = block.range().collect();
+        for window in pcs.chunks(PIR_COVERAGE) {
+            let mut pir = Pir::new();
+            let mut any = false;
+            for (off, &pc) in window.iter().enumerate() {
+                let f = release.pir_flags(pc);
+                if f.any() {
+                    pir.set_flags(off, f);
+                    any = true;
+                }
+            }
+            if any {
+                items.push(ProgItem::Pir(pir));
+                flags.push(ReleaseFlags::NONE);
+            }
+            for &pc in window {
+                pc_map[pc] = items.len();
+                items.push(ProgItem::Instr(cfg.instrs()[pc].clone()));
+                flags.push(release.pir_flags(pc));
+            }
+        }
+    }
+
+    // remap branch targets: original targets are always block leaders
+    for item in &mut items {
+        if let ProgItem::Instr(i) = item {
+            if let Some(t) = i.target {
+                i.target = Some(block_start[cfg.block_of(t).0]);
+            }
+        }
+    }
+
+    Insertion {
+        items,
+        flags,
+        block_start,
+        pc_map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::BlockId;
+    use crate::dom::PostDominators;
+    use crate::liveness::{Liveness, RegSet};
+    use crate::regions::DivergenceRegions;
+    use crate::uniform::Uniformity;
+    use rfv_isa::prelude::*;
+    use rfv_isa::{ArchReg, Opcode, PredGuard, Special};
+
+    fn insert(f: impl FnOnce(&mut KernelBuilder)) -> (Cfg, Insertion) {
+        let mut b = KernelBuilder::new("t");
+        f(&mut b);
+        let k = b.build(LaunchConfig::new(1, 32, 1)).unwrap();
+        let cfg = Cfg::build(&k).unwrap();
+        let lv = Liveness::compute(&cfg);
+        let pd = PostDominators::compute(&cfg);
+        let uni = Uniformity::compute(cfg.instrs());
+        let dr = DivergenceRegions::compute(&cfg, &pd, &uni);
+        let all: RegSet = ArchReg::all().collect();
+        let rp = ReleasePoints::compute(&cfg, &lv, &dr, all);
+        let ins = insert_flags(&cfg, &rp);
+        (cfg, ins)
+    }
+
+    #[test]
+    fn pir_inserted_before_releasing_window() {
+        let (_, ins) = insert(|b| {
+            b.mov(ArchReg::R0, 1);
+            b.iadd(ArchReg::R1, ArchReg::R0, 1); // r0 dies
+            b.stg(ArchReg::R1, ArchReg::R1, 0); // r1 dies
+            b.exit();
+        });
+        assert!(matches!(ins.items[0], ProgItem::Pir(_)));
+        assert_eq!(ins.items.len(), 5); // 1 pir + 4 instrs
+                                        // flags survive alignment
+        assert!(ins.flags[2].releases(0)); // IADD at new pc 2
+    }
+
+    #[test]
+    fn no_pir_for_release_free_block() {
+        let (_, ins) = insert(|b| {
+            b.mov(ArchReg::R0, 1);
+            b.mov(ArchReg::R0, 2); // overwrite; no reads at all
+            b.exit();
+        });
+        assert!(ins.items.iter().all(|i| !i.is_meta()));
+    }
+
+    #[test]
+    fn long_block_gets_one_pir_per_window() {
+        let (_, ins) = insert(|b| {
+            // 40 instructions, each defining then killing a register
+            for _ in 0..20 {
+                b.mov(ArchReg::R0, 1);
+                b.stg(ArchReg::R0, ArchReg::R0, 0); // r0 read & dies
+            }
+            b.exit();
+        });
+        let pirs = ins
+            .items
+            .iter()
+            .filter(|i| matches!(i, ProgItem::Pir(_)))
+            .count();
+        // 41 machine instrs -> 3 windows of 18 -> 3 pirs
+        assert_eq!(pirs, 3);
+    }
+
+    #[test]
+    fn branch_targets_remapped_to_block_heads() {
+        let (cfg, ins) = insert(|b| {
+            b.s2r(ArchReg::R0, Special::TidX);
+            b.mov(ArchReg::R2, 7);
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(16));
+            b.guard(PredGuard::if_false(Pred::P0));
+            b.bra("else");
+            b.iadd(ArchReg::R1, ArchReg::R2, 1);
+            b.bra("join");
+            b.label("else");
+            b.iadd(ArchReg::R1, ArchReg::R2, 2);
+            b.label("join");
+            b.stg(ArchReg::R0, ArchReg::R1, 0);
+            b.exit();
+        });
+        // find the conditional branch in the final stream
+        let cond_bra = ins
+            .items
+            .iter()
+            .filter_map(|i| i.as_instr())
+            .find(|i| i.opcode == Opcode::Bra && i.guard.is_some())
+            .unwrap();
+        // its target must be the new start of the else block (bb2)
+        assert_eq!(cond_bra.target, Some(ins.block_start[2]));
+        // the join block (bb3) starts with the pbr releasing r2
+        let join_start = ins.block_start[cfg.block_of(7).0];
+        assert!(matches!(ins.items[join_start], ProgItem::Pbr(_)));
+    }
+
+    #[test]
+    fn pc_map_is_consistent() {
+        let (cfg, ins) = insert(|b| {
+            b.mov(ArchReg::R0, 1);
+            b.iadd(ArchReg::R1, ArchReg::R0, 1);
+            b.stg(ArchReg::R1, ArchReg::R1, 0);
+            b.exit();
+        });
+        for (old_pc, &new_pc) in ins.pc_map.iter().enumerate() {
+            let old = &cfg.instrs()[old_pc];
+            let new = ins.items[new_pc].as_instr().unwrap();
+            assert_eq!(old.opcode, new.opcode);
+        }
+        let _ = BlockId(0);
+    }
+}

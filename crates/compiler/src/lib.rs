@@ -1,0 +1,64 @@
+//! # rfv-compiler — compiler support for GPU register file virtualization
+//!
+//! This crate implements §6 of *GPU Register File Virtualization*
+//! (MICRO-48, 2015): the static analyses and code rewriting that let
+//! the hardware release dead registers early.
+//!
+//! Pipeline (driven by [`compile`]):
+//!
+//! 1. [`cfg::Cfg`] — basic blocks and edges;
+//! 2. [`dom::PostDominators`] — reconvergence points;
+//! 3. [`liveness::Liveness`] — thread-level register liveness;
+//! 4. [`uniform::Uniformity`] — which branches can actually split a
+//!    warp;
+//! 5. [`regions::DivergenceRegions`] — blocks that may run with a
+//!    partial lane mask;
+//! 6. [`release::ReleasePoints`] — `pir` flags at last reads in
+//!    convergent code, `pbr` lists at reconvergence points;
+//! 7. [`candidates::CandidateSelection`] — renaming-table budgeting
+//!    (§6.2) that exempts long-lived registers;
+//! 8. [`insert::insert_flags`] — embeds the 64-bit metadata
+//!    instructions and remaps branch targets.
+//!
+//! The [`spill::spill_to_cap`] pass implements the paper's
+//! *compiler-spill* baseline: capping the register allocation and
+//! spilling the excess to per-thread local memory.
+//!
+//! ```
+//! use rfv_isa::prelude::*;
+//! use rfv_compiler::{compile, CompileOptions};
+//!
+//! let mut b = KernelBuilder::new("demo");
+//! b.mov(ArchReg::R0, 1);
+//! b.iadd(ArchReg::R1, ArchReg::R0, 41); // last read of r0
+//! b.stg(ArchReg::R1, ArchReg::R1, 0);
+//! b.exit();
+//! let kernel = b.build(LaunchConfig::new(1, 64, 2))?;
+//!
+//! let compiled = compile(&kernel, &CompileOptions::default())?;
+//! assert!(compiled.stats().num_pir >= 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod candidates;
+pub mod cfg;
+pub mod compiled;
+pub mod dom;
+pub mod insert;
+pub mod lifetime;
+pub mod liveness;
+pub mod regions;
+pub mod release;
+pub mod spill;
+pub mod uniform;
+
+pub use candidates::CandidateSelection;
+pub use cfg::{BasicBlock, BlockId, Cfg};
+pub use compiled::{compile, CompileError, CompileOptions, CompileStats, CompiledKernel};
+pub use dom::PostDominators;
+pub use lifetime::{LifetimeStats, RegLifetime};
+pub use liveness::{Liveness, RegSet};
+pub use regions::DivergenceRegions;
+pub use release::ReleasePoints;
+pub use spill::{spill_to_cap, SpillError, SpillResult};
+pub use uniform::Uniformity;

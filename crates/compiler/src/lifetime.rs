@@ -1,0 +1,149 @@
+//! Static register-lifetime statistics.
+//!
+//! These drive the renaming-candidate selection (§6.2): the compiler
+//! estimates each register's *value lifetime* (instructions between a
+//! write and the next release point) and its number of *value
+//! instances* (definitions), preferring to rename registers with short
+//! lifetimes and few instances.
+
+use rfv_isa::ArchReg;
+
+use crate::cfg::Cfg;
+use crate::liveness::Liveness;
+use crate::release::ReleasePoints;
+
+/// Lifetime statistics for one architected register.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RegLifetime {
+    /// The register.
+    pub reg: ArchReg,
+    /// Number of static definitions (value instances).
+    pub num_defs: usize,
+    /// Number of instructions at which the register is live-in.
+    pub live_instrs: usize,
+    /// Estimated lifetime per value instance, in instructions.
+    pub avg_lifetime: f64,
+    /// Number of static release sites (`pir` flags + `pbr` listings).
+    pub num_release_sites: usize,
+}
+
+/// Lifetime statistics for every register a kernel uses.
+#[derive(Clone, Debug)]
+pub struct LifetimeStats {
+    per_reg: Vec<RegLifetime>,
+}
+
+impl LifetimeStats {
+    /// Computes lifetime statistics from liveness facts and
+    /// (unrestricted) release points.
+    pub fn analyze(cfg: &Cfg, liveness: &Liveness, release: &ReleasePoints) -> LifetimeStats {
+        let mut defs = [0usize; rfv_isa::MAX_REGS_PER_THREAD];
+        let mut used = [false; rfv_isa::MAX_REGS_PER_THREAD];
+        for i in cfg.instrs() {
+            if let Some(d) = i.dst {
+                defs[d.index()] += 1;
+                used[d.index()] = true;
+            }
+            for r in i.reads() {
+                used[r.index()] = true;
+            }
+        }
+        let mut live = [0usize; rfv_isa::MAX_REGS_PER_THREAD];
+        for pc in 0..cfg.instrs().len() {
+            for r in liveness.live_in_at(pc).iter() {
+                live[r.index()] += 1;
+            }
+        }
+        let per_reg = ArchReg::all()
+            .filter(|r| used[r.index()])
+            .map(|reg| {
+                let num_defs = defs[reg.index()];
+                let live_instrs = live[reg.index()];
+                RegLifetime {
+                    reg,
+                    num_defs,
+                    live_instrs,
+                    avg_lifetime: live_instrs as f64 / num_defs.max(1) as f64,
+                    num_release_sites: release.release_sites_of(cfg, reg).len(),
+                }
+            })
+            .collect();
+        LifetimeStats { per_reg }
+    }
+
+    /// Statistics per used register, ordered by register id.
+    pub fn per_reg(&self) -> &[RegLifetime] {
+        &self.per_reg
+    }
+
+    /// Statistics for one register, if it is used.
+    pub fn of(&self, reg: ArchReg) -> Option<&RegLifetime> {
+        self.per_reg.iter().find(|l| l.reg == reg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::PostDominators;
+    use crate::liveness::RegSet;
+    use crate::regions::DivergenceRegions;
+    use crate::uniform::Uniformity;
+    use rfv_isa::prelude::*;
+
+    fn stats(f: impl FnOnce(&mut KernelBuilder)) -> LifetimeStats {
+        let mut b = KernelBuilder::new("t");
+        f(&mut b);
+        let k = b.build(LaunchConfig::new(1, 32, 1)).unwrap();
+        let cfg = Cfg::build(&k).unwrap();
+        let lv = Liveness::compute(&cfg);
+        let pd = PostDominators::compute(&cfg);
+        let uni = Uniformity::compute(cfg.instrs());
+        let dr = DivergenceRegions::compute(&cfg, &pd, &uni);
+        let all: RegSet = ArchReg::all().collect();
+        let rp = ReleasePoints::compute(&cfg, &lv, &dr, all);
+        LifetimeStats::analyze(&cfg, &lv, &rp)
+    }
+
+    #[test]
+    fn long_vs_short_lifetime_distinguished() {
+        let s = stats(|b| {
+            b.mov(ArchReg::R0, 1); // long-lived: read at the very end
+            b.mov(ArchReg::R1, 2); // short-lived: read immediately
+            b.iadd(ArchReg::R2, ArchReg::R1, 3);
+            b.iadd(ArchReg::R2, ArchReg::R2, 4);
+            b.iadd(ArchReg::R2, ArchReg::R2, 5);
+            b.stg(ArchReg::R2, ArchReg::R0, 0);
+            b.exit();
+        });
+        let r0 = s.of(ArchReg::R0).unwrap();
+        let r1 = s.of(ArchReg::R1).unwrap();
+        assert!(r0.avg_lifetime > r1.avg_lifetime);
+        assert_eq!(r0.num_defs, 1);
+        assert_eq!(r1.num_release_sites, 1);
+    }
+
+    #[test]
+    fn value_instances_counted() {
+        let s = stats(|b| {
+            b.mov(ArchReg::R0, 1);
+            b.stg(ArchReg::R1, ArchReg::R0, 0);
+            b.mov(ArchReg::R0, 2); // second instance
+            b.stg(ArchReg::R1, ArchReg::R0, 4);
+            b.exit();
+        });
+        assert_eq!(s.of(ArchReg::R0).unwrap().num_defs, 2);
+        assert_eq!(s.of(ArchReg::R0).unwrap().num_release_sites, 2);
+    }
+
+    #[test]
+    fn unused_registers_absent() {
+        let s = stats(|b| {
+            b.mov(ArchReg::R0, 1);
+            b.stg(ArchReg::R0, ArchReg::R0, 0);
+            b.exit();
+        });
+        assert!(s.of(ArchReg::new(40)).is_none());
+        assert_eq!(s.per_reg().len(), 1);
+    }
+}

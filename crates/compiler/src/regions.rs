@@ -1,0 +1,241 @@
+//! Divergence regions: the CFG blocks that can execute with a partial
+//! lane mask.
+//!
+//! For every conditional branch that may split the warp (per
+//! [`crate::uniform::Uniformity`]) with immediate post-dominator `R`,
+//! every block reachable from the branch's successors without passing
+//! through `R` belongs to the branch's *divergence region*. Inside a
+//! region a warp-register release is unsafe even when thread-level
+//! liveness says the value is dead, because sibling-path lanes may
+//! still read their lanes of the value (the paper's Figure 4(b)
+//! hazard); deaths inside a region are deferred to a `pbr` at the
+//! region's reconvergence point.
+
+use std::collections::BTreeMap;
+
+use rfv_isa::Opcode;
+
+use crate::cfg::{BlockId, Cfg};
+use crate::dom::PostDominators;
+use crate::uniform::Uniformity;
+
+/// Divergence structure of one kernel.
+#[derive(Clone, Debug)]
+pub struct DivergenceRegions {
+    divergent: Vec<bool>,
+    /// For each divergent-branch block: its reconvergence block
+    /// (`None` = the virtual exit; such branches never reconverge
+    /// before program end).
+    reconv: BTreeMap<BlockId, Option<BlockId>>,
+    /// For each reconvergence block: the divergent-branch blocks that
+    /// reconverge there.
+    branches_at: BTreeMap<BlockId, Vec<BlockId>>,
+    /// For each divergent-branch block: the blocks inside its region.
+    region_blocks: BTreeMap<BlockId, Vec<BlockId>>,
+}
+
+impl DivergenceRegions {
+    /// Computes divergence regions.
+    pub fn compute(cfg: &Cfg, pdom: &PostDominators, uniformity: &Uniformity) -> DivergenceRegions {
+        let mut divergent = vec![false; cfg.num_blocks()];
+        let mut reconv = BTreeMap::new();
+        let mut branches_at: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+        let mut region_blocks: BTreeMap<BlockId, Vec<BlockId>> = BTreeMap::new();
+
+        for b in cfg.cond_branch_blocks() {
+            let branch = &cfg.instrs()[cfg.block(b).end - 1];
+            debug_assert_eq!(branch.opcode, Opcode::Bra);
+            if !uniformity.branch_may_diverge(branch) {
+                continue;
+            }
+            let r = pdom.ipdom(b);
+            reconv.insert(b, r);
+            if let Some(r) = r {
+                branches_at.entry(r).or_default().push(b);
+            }
+            // flood-fill from the successors, stopping at R
+            let mut stack: Vec<BlockId> = cfg.block(b).succs.clone();
+            let mut seen = vec![false; cfg.num_blocks()];
+            let mut members = Vec::new();
+            while let Some(x) = stack.pop() {
+                if Some(x) == r || seen[x.0] {
+                    continue;
+                }
+                seen[x.0] = true;
+                divergent[x.0] = true;
+                members.push(x);
+                stack.extend(cfg.block(x).succs.iter().copied());
+            }
+            members.sort();
+            region_blocks.insert(b, members);
+        }
+
+        DivergenceRegions {
+            divergent,
+            reconv,
+            branches_at,
+            region_blocks,
+        }
+    }
+
+    /// Whether block `b` may execute with a partial lane mask.
+    pub fn is_divergent(&self, b: BlockId) -> bool {
+        self.divergent[b.0]
+    }
+
+    /// Whether block `b` always executes fully converged.
+    pub fn is_convergent(&self, b: BlockId) -> bool {
+        !self.divergent[b.0]
+    }
+
+    /// Divergent-branch blocks and their reconvergence points.
+    pub fn divergent_branches(&self) -> impl Iterator<Item = (BlockId, Option<BlockId>)> + '_ {
+        self.reconv.iter().map(|(&b, &r)| (b, r))
+    }
+
+    /// Blocks that serve as reconvergence points, with the branches
+    /// reconverging at each.
+    pub fn reconvergence_points(&self) -> impl Iterator<Item = (BlockId, &[BlockId])> + '_ {
+        self.branches_at.iter().map(|(&r, bs)| (r, bs.as_slice()))
+    }
+
+    /// Number of divergent blocks.
+    pub fn num_divergent(&self) -> usize {
+        self.divergent.iter().filter(|&&d| d).count()
+    }
+
+    /// The blocks inside the region of divergent-branch block
+    /// `branch` (empty for unknown branches).
+    pub fn region_blocks(&self, branch: BlockId) -> &[BlockId] {
+        self.region_blocks
+            .get(&branch)
+            .map_or(&[], |v| v.as_slice())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_isa::prelude::*;
+    use rfv_isa::{PredGuard, Special};
+
+    fn compute(f: impl FnOnce(&mut KernelBuilder)) -> (Cfg, DivergenceRegions) {
+        let mut b = KernelBuilder::new("t");
+        f(&mut b);
+        let k = b.build(LaunchConfig::new(1, 32, 1)).unwrap();
+        let cfg = Cfg::build(&k).unwrap();
+        let pdom = PostDominators::compute(&cfg);
+        let uni = Uniformity::compute(cfg.instrs());
+        let dr = DivergenceRegions::compute(&cfg, &pdom, &uni);
+        (cfg, dr)
+    }
+
+    fn divergent_diamond(b: &mut KernelBuilder) {
+        b.s2r(ArchReg::R0, Special::TidX);
+        b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(16));
+        b.guard(PredGuard::if_false(Pred::P0));
+        b.bra("else");
+        b.iadd(ArchReg::R1, ArchReg::R0, 1);
+        b.bra("join");
+        b.label("else");
+        b.iadd(ArchReg::R1, ArchReg::R0, 2);
+        b.label("join");
+        b.exit();
+    }
+
+    #[test]
+    fn divergent_diamond_arms_are_divergent() {
+        let (_, dr) = compute(divergent_diamond);
+        assert!(dr.is_convergent(BlockId(0)));
+        assert!(dr.is_divergent(BlockId(1)), "then arm");
+        assert!(dr.is_divergent(BlockId(2)), "else arm");
+        assert!(dr.is_convergent(BlockId(3)), "join");
+        let branches: Vec<_> = dr.divergent_branches().collect();
+        assert_eq!(branches, vec![(BlockId(0), Some(BlockId(3)))]);
+        let rps: Vec<_> = dr.reconvergence_points().collect();
+        assert_eq!(rps.len(), 1);
+        assert_eq!(rps[0].0, BlockId(3));
+    }
+
+    #[test]
+    fn uniform_diamond_has_no_region() {
+        let (_, dr) = compute(|b| {
+            b.s2r(ArchReg::R0, Special::CtaIdX); // uniform condition
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(16));
+            b.guard(PredGuard::if_false(Pred::P0));
+            b.bra("else");
+            b.iadd(ArchReg::R1, ArchReg::R0, 1);
+            b.bra("join");
+            b.label("else");
+            b.iadd(ArchReg::R1, ArchReg::R0, 2);
+            b.label("join");
+            b.exit();
+        });
+        assert_eq!(dr.num_divergent(), 0);
+        assert_eq!(dr.divergent_branches().count(), 0);
+    }
+
+    #[test]
+    fn divergent_loop_body_is_a_region() {
+        let (_, dr) = compute(|b| {
+            b.s2r(ArchReg::R0, Special::TidX); // lane-dependent trip count
+            b.label("top");
+            b.iadd(ArchReg::R0, ArchReg::R0, -1);
+            b.isetp(Cond::Gt, Pred::P0, ArchReg::R0, Operand::Imm(0));
+            b.guard(PredGuard::if_true(Pred::P0));
+            b.bra("top");
+            b.exit();
+        });
+        // bb0 header, bb1 body+branch, bb2 exit
+        assert!(
+            dr.is_divergent(BlockId(1)),
+            "loop body diverges by trip count"
+        );
+        assert!(dr.is_convergent(BlockId(2)), "loop exit reconverges");
+    }
+
+    #[test]
+    fn uniform_loop_body_is_convergent() {
+        let (_, dr) = compute(|b| {
+            b.mov(ArchReg::R0, 8); // uniform trip count
+            b.label("top");
+            b.iadd(ArchReg::R0, ArchReg::R0, -1);
+            b.isetp(Cond::Gt, Pred::P0, ArchReg::R0, Operand::Imm(0));
+            b.guard(PredGuard::if_true(Pred::P0));
+            b.bra("top");
+            b.exit();
+        });
+        assert_eq!(dr.num_divergent(), 0);
+    }
+
+    #[test]
+    fn nested_divergence_marks_inner_join_divergent() {
+        let (_, dr) = compute(|b| {
+            b.s2r(ArchReg::R0, Special::TidX);
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(16));
+            b.guard(PredGuard::if_false(Pred::P0));
+            b.bra("outer_else");
+            b.isetp(Cond::Gt, Pred::P1, ArchReg::R0, Operand::Imm(8));
+            b.guard(PredGuard::if_false(Pred::P1));
+            b.bra("inner_else");
+            b.iadd(ArchReg::R1, ArchReg::R0, 1);
+            b.bra("inner_join");
+            b.label("inner_else");
+            b.iadd(ArchReg::R1, ArchReg::R0, 2);
+            b.label("inner_join");
+            b.iadd(ArchReg::R2, ArchReg::R1, 0);
+            b.bra("outer_join");
+            b.label("outer_else");
+            b.iadd(ArchReg::R2, ArchReg::R0, 3);
+            b.label("outer_join");
+            b.exit();
+        });
+        // inner join (bb4) is inside the outer region -> divergent
+        assert!(dr.is_divergent(BlockId(4)));
+        // outer join is convergent
+        let outer_join = BlockId(6);
+        assert!(dr.is_convergent(outer_join));
+        // both branch blocks recorded
+        assert_eq!(dr.divergent_branches().count(), 2);
+    }
+}

@@ -1,0 +1,514 @@
+//! Register release-point analysis — the heart of the paper's
+//! compiler support (§6.1, Figure 4).
+//!
+//! Two kinds of release points are computed:
+//!
+//! * **`pir` releases** — at a read of register `r` in a *convergent*
+//!   block, `r` is released when thread-level liveness proves it dead
+//!   immediately after the read (cases (a) and (e) of Figure 4, the
+//!   latter recovered for uniform loops by the uniformity analysis).
+//! * **`pbr` releases** — registers that die inside a divergence
+//!   region are conservatively released at the region's reconvergence
+//!   point (cases (b), (c) and (d) of Figure 4). Only *convergent*
+//!   reconvergence blocks emit `pbr`s; deaths inside nested regions
+//!   defer to the outermost convergent reconvergence.
+//!
+//! The analysis can be restricted to a set of *releasable* registers:
+//! the renaming-candidate selection (§6.2) exempts long-lived
+//! registers, and exempted registers must never be released.
+
+use std::collections::BTreeMap;
+
+use rfv_isa::meta::PBR_CAPACITY;
+use rfv_isa::{ArchReg, ReleaseFlags};
+
+use crate::cfg::{BlockId, Cfg};
+use crate::liveness::{Liveness, RegSet};
+use crate::regions::DivergenceRegions;
+
+/// Computed release points for one kernel, in *original* (pre-flag-
+/// insertion) instruction indices.
+#[derive(Clone, Debug, Default)]
+pub struct ReleasePoints {
+    /// Per-instruction release flags (original pc → flags); absent
+    /// entries release nothing.
+    pir: BTreeMap<usize, ReleaseFlags>,
+    /// Registers released at the start of a block (reconvergence
+    /// point), ordered by register id.
+    pbr: BTreeMap<BlockId, Vec<ArchReg>>,
+}
+
+impl ReleasePoints {
+    /// Computes release points for every register in `releasable`.
+    pub fn compute(
+        cfg: &Cfg,
+        liveness: &Liveness,
+        regions: &DivergenceRegions,
+        releasable: RegSet,
+    ) -> ReleasePoints {
+        let mut pir: BTreeMap<usize, ReleaseFlags> = BTreeMap::new();
+        let mut pbr: BTreeMap<BlockId, RegSet> = BTreeMap::new();
+
+        // --- pir: last reads in convergent blocks ---
+        for (bi, block) in cfg.blocks().iter().enumerate() {
+            if regions.is_divergent(BlockId(bi)) {
+                continue;
+            }
+            for pc in block.range() {
+                let instr = &cfg.instrs()[pc];
+                let live_out = liveness.live_out_at(pc);
+                let mut flags = ReleaseFlags::NONE;
+                let mut flagged = RegSet::EMPTY;
+                for (slot, r) in instr.src_regs() {
+                    if !releasable.contains(r) || live_out.contains(r) {
+                        continue;
+                    }
+                    // the destination keeps its mapping; a release of a
+                    // register that is also being redefined here is
+                    // unnecessary (the new value reuses the mapping)
+                    if instr.dst == Some(r) {
+                        continue;
+                    }
+                    // flag each dying register once even when it
+                    // occupies several operand slots
+                    if flagged.insert(r) {
+                        flags.set(slot);
+                    }
+                }
+                if flags.any() {
+                    pir.insert(pc, flags);
+                }
+            }
+        }
+
+        // --- pbr: deaths inside divergence regions, released at the
+        //     region's convergent reconvergence point ---
+        for (branch, reconv) in regions.divergent_branches() {
+            let Some(r_block) = reconv else {
+                // reconverges only at program end; CTA completion
+                // releases everything anyway
+                continue;
+            };
+            if regions.is_divergent(r_block) {
+                // nested region: defer to the outer reconvergence
+                continue;
+            }
+            // registers live at the branch, or defined inside the
+            // region, that are dead when the region reconverges
+            let mut live_in_region = liveness.live_out(branch);
+            for &member in regions.region_blocks(branch) {
+                for pc in cfg.block(member).range() {
+                    live_in_region.extend(cfg.instrs()[pc].writes());
+                }
+            }
+            let dead_at_reconv = live_in_region
+                .difference(liveness.live_in(r_block))
+                .intersection(releasable);
+            if !dead_at_reconv.is_empty() {
+                let entry = pbr.entry(r_block).or_default();
+                *entry = entry.union(dead_at_reconv);
+            }
+        }
+
+        // --- pbr: death edges into convergent blocks (Figure 4(d):
+        //     a register used across loop iterations is released when
+        //     the loop completes). A register live out of a branching
+        //     predecessor but dead on entry to a convergent successor
+        //     dies on that edge; the successor's pbr reclaims it. The
+        //     common case is the exit block of a uniform loop, whose
+        //     loop-carried registers otherwise never release.
+        for (bi, block) in cfg.blocks().iter().enumerate() {
+            let b = BlockId(bi);
+            if regions.is_divergent(b) || block.preds.is_empty() {
+                continue;
+            }
+            let mut incoming = RegSet::EMPTY;
+            for p in &block.preds {
+                incoming = incoming.union(liveness.live_out(*p));
+            }
+            let dead = incoming
+                .difference(liveness.live_in(b))
+                .intersection(releasable);
+            if !dead.is_empty() {
+                let entry = pbr.entry(b).or_default();
+                *entry = entry.union(dead);
+            }
+        }
+
+        ReleasePoints {
+            pir,
+            pbr: pbr
+                .into_iter()
+                .map(|(b, set)| (b, set.iter().collect()))
+                .collect(),
+        }
+    }
+
+    /// The release flags attached to original instruction `pc`.
+    pub fn pir_flags(&self, pc: usize) -> ReleaseFlags {
+        self.pir.get(&pc).copied().unwrap_or(ReleaseFlags::NONE)
+    }
+
+    /// All instructions carrying a `pir` flag.
+    pub fn pir_sites(&self) -> impl Iterator<Item = (usize, ReleaseFlags)> + '_ {
+        self.pir.iter().map(|(&pc, &f)| (pc, f))
+    }
+
+    /// Registers released at the start of block `b`.
+    pub fn pbr_regs(&self, b: BlockId) -> &[ArchReg] {
+        self.pbr.get(&b).map_or(&[], |v| v.as_slice())
+    }
+
+    /// All blocks carrying `pbr` releases.
+    pub fn pbr_sites(&self) -> impl Iterator<Item = (BlockId, &[ArchReg])> + '_ {
+        self.pbr.iter().map(|(&b, v)| (b, v.as_slice()))
+    }
+
+    /// Total number of `pir` release bits.
+    pub fn num_pir_releases(&self) -> usize {
+        self.pir
+            .values()
+            .map(|f| f.bits().count_ones() as usize)
+            .sum()
+    }
+
+    /// Total number of registers released via `pbr`, and the number of
+    /// `pbr` instructions needed (each carries at most nine registers).
+    pub fn pbr_totals(&self) -> (usize, usize) {
+        let regs: usize = self.pbr.values().map(Vec::len).sum();
+        let instrs: usize = self
+            .pbr
+            .values()
+            .map(|v| v.len().div_ceil(PBR_CAPACITY))
+            .sum();
+        (regs, instrs)
+    }
+
+    /// The set of registers that have at least one release point.
+    ///
+    /// Registers outside this set would never be released by the
+    /// hardware; renaming them is pointless (candidate selection
+    /// exempts them for free). Needs the CFG to map `pir` operand
+    /// slots back to register ids.
+    pub fn released_regs_with(&self, cfg: &Cfg) -> RegSet {
+        let mut set = RegSet::EMPTY;
+        for (&pc, &flags) in &self.pir {
+            for (slot, r) in cfg.instrs()[pc].src_regs() {
+                if flags.releases(slot) {
+                    set.insert(r);
+                }
+            }
+        }
+        set.extend(self.pbr.values().flatten().copied());
+        set
+    }
+
+    /// Upper-bounds the number of *renamed* registers one warp can
+    /// hold concurrently (allocated at first write, freed at a
+    /// `pir`/`pbr` release), by a forward union-meet dataflow over the
+    /// held set.
+    ///
+    /// GPU-shrink's CTA throttle uses `this + |exempt|` as the
+    /// per-warp worst case (§8.1: "the maximum number of registers
+    /// required for executing a CTA can be obtained from the GPU
+    /// compiler") — far tighter than the architected register count
+    /// once dead registers release early.
+    pub fn max_held(&self, cfg: &Cfg, renamed: RegSet) -> usize {
+        self.held_profile(cfg, renamed)
+            .into_iter()
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Per-instruction register-pressure profile: for each original
+    /// PC, the worst-case number of *renamed* registers held at that
+    /// point over any path reaching it (the max-over-paths dataflow
+    /// behind [`ReleasePoints::max_held`]).
+    pub fn held_profile(&self, cfg: &Cfg, renamed: RegSet) -> Vec<usize> {
+        let nblocks = cfg.num_blocks();
+        let mut held_out = vec![RegSet::EMPTY; nblocks];
+        let mut profile = vec![0usize; cfg.instrs().len()];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in &cfg.reverse_post_order() {
+                let bi = b.0;
+                let mut inn = RegSet::EMPTY;
+                for p in &cfg.block(b).preds {
+                    inn = inn.union(held_out[p.0]);
+                }
+                // pbr releases fire at the block head
+                for &r in self.pbr_regs(b) {
+                    inn.remove(r);
+                }
+                let mut held = inn;
+                for pc in cfg.block(b).range() {
+                    let instr = &cfg.instrs()[pc];
+                    // the destination is allocated before the sources
+                    // release, so the transient point counts both
+                    if let Some(d) = instr.writes() {
+                        if renamed.contains(d) {
+                            held.insert(d);
+                        }
+                    }
+                    profile[pc] = profile[pc].max(held.len());
+                    let flags = self.pir_flags(pc);
+                    if flags.any() {
+                        for (slot, r) in instr.src_regs() {
+                            if flags.releases(slot) {
+                                held.remove(r);
+                            }
+                        }
+                    }
+                }
+                if held != held_out[bi] {
+                    held_out[bi] = held;
+                    changed = true;
+                }
+            }
+        }
+        profile
+    }
+
+    /// For lifetime estimation: all release sites of register `r`, as
+    /// original instruction indices (`pbr` sites use the first
+    /// instruction of their block).
+    pub fn release_sites_of(&self, cfg: &Cfg, r: ArchReg) -> Vec<usize> {
+        let mut sites = Vec::new();
+        for (&pc, &flags) in &self.pir {
+            for (slot, reg) in cfg.instrs()[pc].src_regs() {
+                if reg == r && flags.releases(slot) {
+                    sites.push(pc);
+                }
+            }
+        }
+        for (&b, regs) in &self.pbr {
+            if regs.contains(&r) {
+                sites.push(cfg.block(b).start);
+            }
+        }
+        sites.sort_unstable();
+        sites
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::PostDominators;
+    use crate::uniform::Uniformity;
+    use rfv_isa::prelude::*;
+    use rfv_isa::{PredGuard, Special};
+
+    fn analyze(f: impl FnOnce(&mut KernelBuilder)) -> (Cfg, ReleasePoints) {
+        let mut b = KernelBuilder::new("t");
+        f(&mut b);
+        let k = b.build(LaunchConfig::new(1, 32, 1)).unwrap();
+        let cfg = Cfg::build(&k).unwrap();
+        let lv = Liveness::compute(&cfg);
+        let pd = PostDominators::compute(&cfg);
+        let uni = Uniformity::compute(cfg.instrs());
+        let dr = DivergenceRegions::compute(&cfg, &pd, &uni);
+        let all: RegSet = ArchReg::all().collect();
+        let rp = ReleasePoints::compute(&cfg, &lv, &dr, all);
+        (cfg, rp)
+    }
+
+    #[test]
+    fn straight_line_last_read_released() {
+        let (_, rp) = analyze(|b| {
+            b.mov(ArchReg::R0, 1); // pc 0
+            b.iadd(ArchReg::R1, ArchReg::R0, 1); // pc 1: last read of r0
+            b.stg(ArchReg::R2, ArchReg::R1, 0); // pc 2: last read of r1, r2
+            b.exit();
+        });
+        assert!(rp.pir_flags(1).releases(0), "r0 dies at its read in pc 1");
+        // pc 2 reads r2 (slot 0, addr) and r1 (slot 1, data); both die
+        assert!(rp.pir_flags(2).releases(0));
+        assert!(rp.pir_flags(2).releases(1));
+    }
+
+    #[test]
+    fn redefined_register_not_released_at_its_own_redefinition() {
+        let (_, rp) = analyze(|b| {
+            b.mov(ArchReg::R0, 1);
+            b.iadd(ArchReg::R0, ArchReg::R0, 1); // src == dst: keep mapping
+            b.stg(ArchReg::R1, ArchReg::R0, 0);
+            b.exit();
+        });
+        assert!(!rp.pir_flags(1).any(), "no release when src is also dst");
+    }
+
+    #[test]
+    fn divergent_arm_reads_deferred_to_pbr_at_join() {
+        let (cfg, rp) = analyze(|b| {
+            b.s2r(ArchReg::R0, Special::TidX); // pc 0
+            b.mov(ArchReg::R2, 7); // pc 1: r2 read in both arms
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(16)); // pc 2
+            b.guard(PredGuard::if_false(Pred::P0));
+            b.bra("else"); // pc 3
+            b.iadd(ArchReg::R1, ArchReg::R2, 1); // pc 4: then
+            b.bra("join"); // pc 5
+            b.label("else");
+            b.iadd(ArchReg::R1, ArchReg::R2, 2); // pc 6: else
+            b.label("join");
+            b.stg(ArchReg::R0, ArchReg::R1, 0); // pc 7
+            b.exit();
+        });
+        // the reads of r2 inside the arms must NOT carry pir flags
+        assert!(!rp.pir_flags(4).any());
+        assert!(!rp.pir_flags(6).any());
+        // instead r2 is released by pbr at the join block
+        let join = cfg.block_of(7);
+        assert_eq!(rp.pbr_regs(join), &[ArchReg::R2]);
+    }
+
+    #[test]
+    fn register_defined_in_region_dead_at_join_released_by_pbr() {
+        let (cfg, rp) = analyze(|b| {
+            b.s2r(ArchReg::R0, Special::TidX);
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(16));
+            b.guard(PredGuard::if_false(Pred::P0));
+            b.bra("join");
+            // then-only block defines and uses r3
+            b.iadd(ArchReg::R3, ArchReg::R0, 5);
+            b.stg(ArchReg::R0, ArchReg::R3, 0);
+            b.label("join");
+            b.exit();
+        });
+        let join = cfg.block_of(cfg.instrs().len() - 1);
+        assert!(rp.pbr_regs(join).contains(&ArchReg::R3));
+    }
+
+    #[test]
+    fn uniform_loop_releases_inside_body() {
+        // Figure 4(e): no loop-carried dependence; uniform trip count
+        let (_, rp) = analyze(|b| {
+            b.mov(ArchReg::R0, 8); // counter (uniform)
+            b.mov(ArchReg::R2, 0x100); // base addr
+            b.label("top");
+            b.ldg(ArchReg::R1, ArchReg::R2, 0); // pc 2: r1 fresh each iter
+            b.stg(ArchReg::R2, ArchReg::R1, 4); // pc 3: last read of r1
+            b.iadd(ArchReg::R0, ArchReg::R0, -1); // pc 4
+            b.isetp(Cond::Gt, Pred::P0, ArchReg::R0, Operand::Imm(0)); // pc 5
+            b.guard(PredGuard::if_true(Pred::P0));
+            b.bra("top"); // pc 6
+            b.exit();
+        });
+        // r1 dies at pc 3 (slot 1 = data operand) inside the uniform loop
+        assert!(rp.pir_flags(3).releases(1), "in-loop release of r1");
+    }
+
+    #[test]
+    fn loop_carried_register_not_released_in_body() {
+        let (_, rp) = analyze(|b| {
+            b.mov(ArchReg::R0, 8);
+            b.mov(ArchReg::R1, 0);
+            b.label("top");
+            b.iadd(ArchReg::R1, ArchReg::R1, 1); // loop-carried
+            b.iadd(ArchReg::R0, ArchReg::R0, -1);
+            b.isetp(Cond::Gt, Pred::P0, ArchReg::R0, Operand::Imm(0));
+            b.guard(PredGuard::if_true(Pred::P0));
+            b.bra("top");
+            b.stg(ArchReg::R0, ArchReg::R1, 0); // final read after loop
+            b.exit();
+        });
+        for pc in 2..=5 {
+            {
+                let (slot, r) = (0usize, ArchReg::R1);
+                let _ = r;
+                if pc == 2 {
+                    assert!(
+                        !rp.pir_flags(pc).releases(slot),
+                        "loop-carried r1 must not be released in the body"
+                    );
+                }
+            }
+        }
+        // after the loop the STG reads r0 (addr) and r1 (data): both die
+        assert!(rp.pir_flags(6).releases(0));
+        assert!(rp.pir_flags(6).releases(1));
+    }
+
+    #[test]
+    fn loop_carried_register_released_at_uniform_loop_exit() {
+        // Figure 4(d): r1 is carried around a uniform loop and never
+        // read after it — its release point is the loop exit block
+        let (cfg, rp) = analyze(|b| {
+            b.mov(ArchReg::R0, 8);
+            b.mov(ArchReg::R1, 0);
+            b.label("top");
+            b.iadd(ArchReg::R1, ArchReg::R1, 1); // loop-carried, dead after
+            b.iadd(ArchReg::R0, ArchReg::R0, -1);
+            b.isetp(Cond::Gt, Pred::P0, ArchReg::R0, Operand::Imm(0));
+            b.guard(PredGuard::if_true(Pred::P0));
+            b.bra("top");
+            b.stg(ArchReg::R2, ArchReg::R0, 0); // r1 not read after the loop
+            b.exit();
+        });
+        let exit_block = cfg.block_of(6);
+        assert!(
+            rp.pbr_regs(exit_block).contains(&ArchReg::R1),
+            "loop-carried r1 must release at the loop exit, got {:?}",
+            rp.pbr_regs(exit_block)
+        );
+        // and never inside the body
+        for pc in 2..=5 {
+            assert!(!rp.release_sites_of(&cfg, ArchReg::R1).contains(&pc));
+        }
+    }
+
+    #[test]
+    fn restriction_to_releasable_set() {
+        let mut only_r0 = RegSet::EMPTY;
+        only_r0.insert(ArchReg::R0);
+        let mut b = KernelBuilder::new("t");
+        b.mov(ArchReg::R0, 1);
+        b.mov(ArchReg::R1, 2);
+        b.iadd(ArchReg::R2, ArchReg::R0, Operand::Reg(ArchReg::R1));
+        b.stg(ArchReg::R2, ArchReg::R2, 0);
+        b.exit();
+        let k = b.build(LaunchConfig::new(1, 32, 1)).unwrap();
+        let cfg = Cfg::build(&k).unwrap();
+        let lv = Liveness::compute(&cfg);
+        let pd = PostDominators::compute(&cfg);
+        let uni = Uniformity::compute(cfg.instrs());
+        let dr = DivergenceRegions::compute(&cfg, &pd, &uni);
+        let rp = ReleasePoints::compute(&cfg, &lv, &dr, only_r0);
+        // pc 2 reads r0 (slot 0) and r1 (slot 1); only r0 is releasable
+        assert!(rp.pir_flags(2).releases(0));
+        assert!(!rp.pir_flags(2).releases(1));
+        let released = rp.released_regs_with(&cfg);
+        assert!(released.contains(ArchReg::R0));
+        assert!(!released.contains(ArchReg::R1));
+    }
+
+    #[test]
+    fn duplicate_operand_released_once() {
+        let (_, rp) = analyze(|b| {
+            b.mov(ArchReg::R0, 3);
+            b.imul(ArchReg::R1, ArchReg::R0, Operand::Reg(ArchReg::R0)); // r0 * r0
+            b.stg(ArchReg::R1, ArchReg::R1, 0);
+            b.exit();
+        });
+        let f = rp.pir_flags(1);
+        assert!(f.releases(0) ^ f.releases(1), "exactly one slot flagged");
+    }
+
+    #[test]
+    fn release_sites_reported_for_lifetime_estimation() {
+        let (cfg, rp) = analyze(|b| {
+            b.mov(ArchReg::R0, 1); // def at 0
+            b.iadd(ArchReg::R1, ArchReg::R0, 1); // release site of r0 at 1
+            b.stg(ArchReg::R1, ArchReg::R1, 0);
+            b.exit();
+        });
+        assert_eq!(rp.release_sites_of(&cfg, ArchReg::R0), vec![1]);
+        assert_eq!(
+            rp.num_pir_releases(),
+            rp.pir_sites()
+                .map(|(_, f)| f.bits().count_ones() as usize)
+                .sum::<usize>()
+        );
+    }
+}

@@ -1,0 +1,209 @@
+//! Uniformity analysis: which registers and predicates provably hold
+//! the same value in every lane of a warp.
+//!
+//! A branch guarded by a *uniform* predicate can never split a warp,
+//! so its body is not a divergence region and intra-region `pir`
+//! releases stay safe (this recovers the paper's Figure 4(e) in-loop
+//! release for uniform-trip loops such as matrixMul's k-loop).
+//!
+//! The analysis is flow-insensitive and monotone: it starts by
+//! assuming everything uniform and demotes a register/predicate when
+//! any definition of it is non-uniform, iterating to a fixpoint.
+
+use rfv_isa::{Instr, Opcode, Special};
+
+use crate::liveness::RegSet;
+
+/// Result of uniformity analysis over one kernel.
+#[derive(Clone, Debug)]
+pub struct Uniformity {
+    uniform_regs: RegSet,
+    uniform_preds: [bool; 4],
+}
+
+impl Uniformity {
+    /// Analyzes an instruction stream.
+    pub fn compute(instrs: &[Instr]) -> Uniformity {
+        let mut uniform_regs: RegSet = rfv_isa::ArchReg::all().collect();
+        let mut uniform_preds = [true; 4];
+
+        let special_uniform = |s: Special| {
+            matches!(
+                s,
+                Special::CtaIdX | Special::NTidX | Special::NCtaIdX | Special::WarpId
+            )
+        };
+
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for i in instrs {
+                let srcs_uniform = i.reads().all(|r| uniform_regs.contains(r));
+                let psrc_uniform = i.psrc.is_none_or(|p| uniform_preds[p.index()]);
+                let guard_uniform = i.guard.is_none_or(|g| uniform_preds[g.pred.index()]);
+                let def_uniform = match i.opcode {
+                    // loads produce arbitrary (lane-varying) data
+                    op if op.is_load() => false,
+                    Opcode::S2r(s) => special_uniform(s) && guard_uniform,
+                    _ => srcs_uniform && psrc_uniform && guard_uniform,
+                };
+                if !def_uniform {
+                    if let Some(d) = i.dst {
+                        if uniform_regs.contains(d) {
+                            uniform_regs.remove(d);
+                            changed = true;
+                        }
+                    }
+                    if let Some(p) = i.pdst {
+                        if uniform_preds[p.index()] {
+                            uniform_preds[p.index()] = false;
+                            changed = true;
+                        }
+                    }
+                }
+            }
+        }
+
+        Uniformity {
+            uniform_regs,
+            uniform_preds,
+        }
+    }
+
+    /// Whether register `r` is uniform across the warp.
+    pub fn reg_is_uniform(&self, r: rfv_isa::ArchReg) -> bool {
+        self.uniform_regs.contains(r)
+    }
+
+    /// Whether predicate `p` is uniform across the warp.
+    pub fn pred_is_uniform(&self, p: rfv_isa::Pred) -> bool {
+        self.uniform_preds[p.index()]
+    }
+
+    /// Whether a conditional branch can split a warp.
+    ///
+    /// Unconditional branches and branches guarded by uniform
+    /// predicates cannot diverge.
+    pub fn branch_may_diverge(&self, branch: &Instr) -> bool {
+        debug_assert_eq!(branch.opcode, Opcode::Bra);
+        match branch.guard {
+            None => false,
+            Some(g) => !self.pred_is_uniform(g.pred),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_isa::prelude::*;
+    use rfv_isa::PredGuard;
+
+    fn analyze(f: impl FnOnce(&mut KernelBuilder)) -> (Uniformity, Vec<Instr>) {
+        let mut b = KernelBuilder::new("t");
+        f(&mut b);
+        let k = b.build(LaunchConfig::new(1, 32, 1)).unwrap();
+        let instrs: Vec<Instr> = k
+            .items()
+            .iter()
+            .filter_map(|i| i.as_instr().cloned())
+            .collect();
+        (Uniformity::compute(&instrs), instrs)
+    }
+
+    #[test]
+    fn tid_is_divergent_ctaid_is_uniform() {
+        let (u, _) = analyze(|b| {
+            b.s2r(ArchReg::R0, Special::TidX);
+            b.s2r(ArchReg::R1, Special::CtaIdX);
+            b.exit();
+        });
+        assert!(!u.reg_is_uniform(ArchReg::R0));
+        assert!(u.reg_is_uniform(ArchReg::R1));
+    }
+
+    #[test]
+    fn uniformity_propagates_through_arithmetic() {
+        let (u, _) = analyze(|b| {
+            b.s2r(ArchReg::R0, Special::CtaIdX);
+            b.iadd(ArchReg::R1, ArchReg::R0, 4); // uniform + imm
+            b.s2r(ArchReg::R2, Special::TidX);
+            b.iadd(ArchReg::R3, ArchReg::R1, Operand::Reg(ArchReg::R2)); // mixes tid
+            b.exit();
+        });
+        assert!(u.reg_is_uniform(ArchReg::R1));
+        assert!(!u.reg_is_uniform(ArchReg::R3));
+    }
+
+    #[test]
+    fn loads_are_divergent() {
+        let (u, _) = analyze(|b| {
+            b.mov(ArchReg::R0, 0);
+            b.ldg(ArchReg::R1, ArchReg::R0, 0);
+            b.exit();
+        });
+        assert!(u.reg_is_uniform(ArchReg::R0));
+        assert!(!u.reg_is_uniform(ArchReg::R1));
+    }
+
+    #[test]
+    fn uniform_loop_branch_does_not_diverge() {
+        let (u, instrs) = analyze(|b| {
+            b.mov(ArchReg::R0, 8); // immediate: uniform counter
+            b.label("top");
+            b.iadd(ArchReg::R0, ArchReg::R0, -1);
+            b.isetp(Cond::Gt, Pred::P0, ArchReg::R0, Operand::Imm(0));
+            b.guard(PredGuard::if_true(Pred::P0));
+            b.bra("top");
+            b.exit();
+        });
+        assert!(u.pred_is_uniform(Pred::P0));
+        let bra = instrs.iter().find(|i| i.opcode == Opcode::Bra).unwrap();
+        assert!(!u.branch_may_diverge(bra));
+    }
+
+    #[test]
+    fn tid_dependent_branch_diverges() {
+        let (u, instrs) = analyze(|b| {
+            b.s2r(ArchReg::R0, Special::TidX);
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(16));
+            b.guard(PredGuard::if_true(Pred::P0));
+            b.bra("skip");
+            b.label("skip");
+            b.exit();
+        });
+        let bra = instrs.iter().find(|i| i.opcode == Opcode::Bra).unwrap();
+        assert!(u.branch_may_diverge(bra));
+    }
+
+    #[test]
+    fn partial_write_under_divergent_guard_demotes() {
+        let (u, _) = analyze(|b| {
+            b.s2r(ArchReg::R0, Special::TidX);
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(16));
+            b.mov(ArchReg::R1, 3); // uniform so far
+            b.guard(PredGuard::if_true(Pred::P0));
+            b.mov(ArchReg::R1, 4); // lane-dependent overwrite
+            b.exit();
+        });
+        assert!(!u.reg_is_uniform(ArchReg::R1));
+    }
+
+    #[test]
+    fn fixpoint_handles_mutual_dependence() {
+        // r0 seeded divergent, r1 = f(r0), r0 = g(r1): both divergent
+        let (u, _) = analyze(|b| {
+            b.s2r(ArchReg::R0, Special::LaneId);
+            b.label("top");
+            b.iadd(ArchReg::R1, ArchReg::R0, 1);
+            b.iadd(ArchReg::R0, ArchReg::R1, 1);
+            b.isetp(Cond::Lt, Pred::P0, ArchReg::R0, Operand::Imm(100));
+            b.guard(PredGuard::if_true(Pred::P0));
+            b.bra("top");
+            b.exit();
+        });
+        assert!(!u.reg_is_uniform(ArchReg::R0));
+        assert!(!u.reg_is_uniform(ArchReg::R1));
+        assert!(!u.pred_is_uniform(Pred::P0));
+    }
+}

@@ -1,0 +1,296 @@
+//! Compiler analysis edge cases: multi-exit loops, nested loops,
+//! unreachable code, spill interactions with control flow, and the
+//! max-held bound.
+
+use rfv_compiler::{
+    compile, spill_to_cap, Cfg, CompileOptions, DivergenceRegions, Liveness, PostDominators,
+    RegSet, ReleasePoints, Uniformity,
+};
+use rfv_isa::prelude::*;
+use rfv_isa::{ArchReg as R, PredGuard, Special};
+
+fn build(f: impl FnOnce(&mut KernelBuilder)) -> Kernel {
+    let mut b = KernelBuilder::new("edge");
+    f(&mut b);
+    b.build(LaunchConfig::new(2, 64, 2)).unwrap()
+}
+
+fn release_points(kernel: &Kernel) -> (Cfg, ReleasePoints) {
+    let cfg = Cfg::build(kernel).unwrap();
+    let lv = Liveness::compute(&cfg);
+    let pd = PostDominators::compute(&cfg);
+    let uni = Uniformity::compute(cfg.instrs());
+    let dr = DivergenceRegions::compute(&cfg, &pd, &uni);
+    let all: RegSet = R::all().collect();
+    let rp = ReleasePoints::compute(&cfg, &lv, &dr, all);
+    (cfg, rp)
+}
+
+#[test]
+fn loop_with_break_style_exit() {
+    // a uniform loop with an early-exit branch in the middle of the
+    // body: two exits reaching the same block
+    let k = build(|b| {
+        b.mov(R::R0, 16);
+        b.mov(R::R1, 0);
+        b.label("top");
+        b.iadd(R::R1, R::R1, 3);
+        b.isetp(Cond::Gt, Pred::P1, R::R1, Operand::Imm(30));
+        b.guard(PredGuard::if_true(Pred::P1));
+        b.bra("out"); // early exit
+        b.iadd(R::R0, R::R0, -1);
+        b.isetp(Cond::Gt, Pred::P0, R::R0, Operand::Imm(0));
+        b.guard(PredGuard::if_true(Pred::P0));
+        b.bra("top");
+        b.label("out");
+        b.stg(R::R2, R::R1, 0);
+        b.exit();
+    });
+    let ck = compile(&k, &CompileOptions::default()).unwrap();
+    assert!(ck.stats().num_pir + ck.stats().num_pbr > 0);
+    // r0 (the counter) is dead at "out": must be released there or
+    // earlier, never kept forever
+    let (cfg, rp) = release_points(&k);
+    let sites = rp.release_sites_of(&cfg, R::R0);
+    assert!(!sites.is_empty(), "loop counter must have a release site");
+}
+
+#[test]
+fn nested_uniform_loops_release_inner_temporaries() {
+    let k = build(|b| {
+        b.mov(R::R0, 4); // outer counter
+        b.label("outer");
+        b.mov(R::R1, 4); // inner counter
+        b.label("inner");
+        b.mov(R::R2, 7); // inner temporary: dead within the iteration
+        b.stg(R::R3, R::R2, 0);
+        b.iadd(R::R1, R::R1, -1);
+        b.isetp(Cond::Gt, Pred::P0, R::R1, Operand::Imm(0));
+        b.guard(PredGuard::if_true(Pred::P0));
+        b.bra("inner");
+        b.iadd(R::R0, R::R0, -1);
+        b.isetp(Cond::Gt, Pred::P0, R::R0, Operand::Imm(0));
+        b.guard(PredGuard::if_true(Pred::P0));
+        b.bra("outer");
+        b.exit();
+    });
+    let (cfg, rp) = release_points(&k);
+    // r2's value dies at the STG inside the innermost (uniform) loop
+    let sites = rp.release_sites_of(&cfg, R::R2);
+    assert!(
+        sites
+            .iter()
+            .any(|&pc| cfg.instrs()[pc].opcode == rfv_isa::Opcode::Stg),
+        "inner temporary must release at its in-loop read, got {sites:?}"
+    );
+}
+
+#[test]
+fn divergent_region_nested_in_uniform_loop() {
+    let k = build(|b| {
+        b.s2r(R::R4, Special::TidX);
+        b.mov(R::R0, 4);
+        b.label("top");
+        b.mov(R::R2, 9); // consumed inside the divergent arm
+        b.isetp(Cond::Lt, Pred::P1, R::R4, Operand::Imm(16));
+        b.guard(PredGuard::if_false(Pred::P1));
+        b.bra("skip");
+        b.stg(R::R3, R::R2, 0);
+        b.label("skip");
+        b.iadd(R::R0, R::R0, -1);
+        b.isetp(Cond::Gt, Pred::P0, R::R0, Operand::Imm(0));
+        b.guard(PredGuard::if_true(Pred::P0));
+        b.bra("top");
+        b.exit();
+    });
+    let (cfg, rp) = release_points(&k);
+    // the STG's read of r2 is inside a divergence region: no pir there
+    let stg_pc = cfg
+        .instrs()
+        .iter()
+        .position(|i| i.opcode == rfv_isa::Opcode::Stg)
+        .unwrap();
+    assert!(!rp.pir_flags(stg_pc).any(), "no release under divergence");
+    // r2 still gets released at the reconvergence ("skip") block
+    let sites = rp.release_sites_of(&cfg, R::R2);
+    assert!(!sites.is_empty(), "r2 must release at reconvergence");
+}
+
+#[test]
+fn spill_preserves_semantics_through_branches() {
+    // a branchy kernel before/after spilling computes identical values
+    use rfv_sim::{simulate, SimConfig};
+    let k = build(|b| {
+        b.s2r(R::new(0), Special::TidX);
+        for i in 1..20u8 {
+            b.iadd(R::new(i), R::new(i - 1), i as i32);
+        }
+        b.isetp(Cond::Lt, Pred::P0, R::new(0), Operand::Imm(16));
+        b.guard(PredGuard::if_false(Pred::P0));
+        b.bra("else");
+        b.iadd(R::new(19), R::new(19), 1000);
+        b.bra("join");
+        b.label("else");
+        b.iadd(R::new(19), R::new(19), 2000);
+        b.label("join");
+        b.shl(R::new(1), R::new(0), 2);
+        b.stg(R::new(1), R::new(19), 0x7000);
+        b.exit();
+    });
+    let spilled = spill_to_cap(&k, 10).unwrap();
+    assert!(spilled.num_spilled > 0);
+    let plain = CompileOptions {
+        table_budget_bytes: 0,
+    };
+    let base = simulate(&compile(&k, &plain).unwrap(), &SimConfig::conventional()).unwrap();
+    let after = simulate(
+        &compile(&spilled.kernel, &plain).unwrap(),
+        &SimConfig::conventional(),
+    )
+    .unwrap();
+    for tid in 0..64u64 {
+        assert_eq!(
+            base.memories[0].peek_word(0x7000 + tid * 4),
+            after.memories[0].peek_word(0x7000 + tid * 4),
+            "tid {tid}"
+        );
+    }
+    assert!(
+        after.cycles > base.cycles,
+        "spilling must cost cycles: {} vs {}",
+        after.cycles,
+        base.cycles
+    );
+}
+
+#[test]
+fn max_held_bound_is_respected_at_runtime() {
+    use rfv_sim::{simulate, SimConfig};
+    // the runtime peak dynamic holding of one warp can never exceed
+    // the compiler's max-held bound; with 1 CTA of 1 warp we can check
+    // the SM-wide peak against it
+    let k = {
+        let mut b = KernelBuilder::new("held");
+        b.s2r(R::new(0), Special::TidX);
+        for i in 1..24u8 {
+            b.iadd(R::new(i), R::new(i - 1), 1);
+        }
+        // consume everything so registers stay live to this point
+        for i in 1..24u8 {
+            b.iadd(R::new(0), R::new(0), Operand::Reg(R::new(i)));
+        }
+        b.stg(R::new(1), R::new(0), 0);
+        b.exit();
+        b.build(LaunchConfig::new(1, 32, 1)).unwrap()
+    };
+    let ck = compile(&k, &CompileOptions::default()).unwrap();
+    let r = simulate(&ck, &SimConfig::baseline_full()).unwrap();
+    assert!(
+        r.sm0().regfile.peak_live <= ck.max_held_per_warp(),
+        "runtime peak {} exceeded the compiler bound {}",
+        r.sm0().regfile.peak_live,
+        ck.max_held_per_warp()
+    );
+}
+
+#[test]
+fn unreachable_code_does_not_break_compilation() {
+    // code after an unconditional branch that nothing targets
+    let k = build(|b| {
+        b.mov(R::R0, 1);
+        b.bra("end");
+        b.iadd(R::R1, R::R0, 1); // unreachable
+        b.stg(R::R1, R::R1, 0); // unreachable
+        b.label("end");
+        b.stg(R::R0, R::R0, 0);
+        b.exit();
+    });
+    let ck = compile(&k, &CompileOptions::default()).unwrap();
+    assert!(ck.kernel().len() >= k.len());
+}
+
+#[test]
+fn empty_arm_diamond() {
+    // if-without-else on a divergent condition
+    let k = build(|b| {
+        b.s2r(R::R0, Special::TidX);
+        b.mov(R::R1, 5);
+        b.isetp(Cond::Lt, Pred::P0, R::R0, Operand::Imm(7));
+        b.guard(PredGuard::if_false(Pred::P0));
+        b.bra("join");
+        b.stg(R::R2, R::R1, 0); // then-arm only
+        b.label("join");
+        b.exit();
+    });
+    let (cfg, rp) = release_points(&k);
+    // r1 read only in the arm; released at the join
+    let join = cfg.block_of(cfg.instrs().len() - 1);
+    assert!(rp.pbr_regs(join).contains(&R::R1));
+}
+
+#[test]
+fn more_than_nine_deaths_split_across_pbrs() {
+    // twelve registers read only inside a divergent arm die at the
+    // join: one pbr holds at most nine ids, so two must be emitted
+    let k = build(|b| {
+        b.s2r(R::new(0), Special::TidX);
+        for i in 1..=12u8 {
+            b.mov(R::new(i), i as i32);
+        }
+        b.isetp(Cond::Lt, Pred::P0, R::new(0), Operand::Imm(16));
+        b.guard(PredGuard::if_false(Pred::P0));
+        b.bra("join");
+        for i in 1..=12u8 {
+            b.stg(R::new(13), R::new(i), 4 * i as i32);
+        }
+        b.label("join");
+        b.exit();
+    });
+    let ck = compile(&k, &CompileOptions::default()).unwrap();
+    assert!(
+        ck.stats().num_pbr >= 2,
+        "12 dying registers need at least two pbrs, got {}",
+        ck.stats().num_pbr
+    );
+    // every pbr carries at most nine registers by construction
+    for item in ck.kernel().items() {
+        if let rfv_isa::kernel::ProgItem::Pbr(p) = item {
+            assert!(p.len() <= 9);
+        }
+    }
+}
+
+#[test]
+fn pir_windows_cover_long_blocks() {
+    // a 40-instruction basic block with releases throughout needs a
+    // pir every 18 instructions (three windows)
+    let k = build(|b| {
+        for _ in 0..20 {
+            b.mov(R::R0, 1);
+            b.stg(R::R1, R::R0, 0);
+        }
+        b.exit();
+    });
+    let ck = compile(&k, &CompileOptions::default()).unwrap();
+    assert_eq!(ck.stats().num_pir, 3, "41 instructions = 3 pir windows");
+}
+
+#[test]
+fn avg_regs_per_pbr_is_paper_scale() {
+    // the paper quotes ~2 registers per pbr on average; our suite
+    // should be in the low single digits
+    let mut total = 0.0;
+    let mut n = 0;
+    for w in rfv_workloads::suite::all() {
+        let ck = compile(&w.kernel, &CompileOptions::default()).unwrap();
+        if ck.stats().num_pbr > 0 {
+            total += ck.stats().avg_regs_per_pbr;
+            n += 1;
+        }
+    }
+    let avg = total / n as f64;
+    assert!(
+        (1.0..=6.0).contains(&avg),
+        "average registers per pbr {avg:.2} out of the paper's scale"
+    );
+}

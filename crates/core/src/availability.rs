@@ -1,0 +1,223 @@
+//! Physical register availability vectors (paper §7.1): one bit
+//! vector per register bank, with a subarray-packing allocation policy
+//! that feeds the power-gating logic (§8.2).
+
+use rfv_isa::{BankId, PhysReg, NUM_REG_BANKS};
+
+use crate::config::{RegFileConfig, SUBARRAYS_PER_BANK};
+
+/// Per-bank physical register availability with subarray occupancy
+/// tracking.
+#[derive(Clone, Debug)]
+pub struct Availability {
+    bank_size: usize,
+    subarray_size: usize,
+    /// `free[bank][idx]`: whether the register is unassigned.
+    free: Vec<Vec<bool>>,
+    /// Live registers per global subarray id.
+    subarray_occupancy: Vec<usize>,
+    free_count: usize,
+}
+
+impl Availability {
+    /// Creates a fully-free availability vector for `config`.
+    pub fn new(config: &RegFileConfig) -> Availability {
+        Availability {
+            bank_size: config.bank_size(),
+            subarray_size: config.subarray_size(),
+            free: vec![vec![true; config.bank_size()]; NUM_REG_BANKS],
+            subarray_occupancy: vec![0; config.num_subarrays()],
+            free_count: config.phys_regs,
+        }
+    }
+
+    /// The bank a physical register lives in.
+    pub fn bank_of(&self, p: PhysReg) -> BankId {
+        BankId::new(p.index() / self.bank_size)
+    }
+
+    /// The global subarray id a physical register lives in.
+    pub fn subarray_of(&self, p: PhysReg) -> usize {
+        let bank = p.index() / self.bank_size;
+        let within = p.index() % self.bank_size;
+        bank * SUBARRAYS_PER_BANK + within / self.subarray_size
+    }
+
+    /// Allocates a register in `bank`, preferring subarrays that are
+    /// already occupied (lowest index first) so that gated subarrays
+    /// stay gated.
+    ///
+    /// Returns `None` when the bank is full.
+    pub fn alloc_in_bank(&mut self, bank: BankId) -> Option<PhysReg> {
+        let b = bank.index();
+        // pass 1: subarrays already on
+        for sa in 0..SUBARRAYS_PER_BANK {
+            if self.subarray_occupancy[b * SUBARRAYS_PER_BANK + sa] == 0 {
+                continue;
+            }
+            if let Some(p) = self.alloc_in_subarray(b, sa) {
+                return Some(p);
+            }
+        }
+        // pass 2: open the lowest gated subarray
+        for sa in 0..SUBARRAYS_PER_BANK {
+            if self.subarray_occupancy[b * SUBARRAYS_PER_BANK + sa] != 0 {
+                continue;
+            }
+            if let Some(p) = self.alloc_in_subarray(b, sa) {
+                return Some(p);
+            }
+        }
+        None
+    }
+
+    fn alloc_in_subarray(&mut self, bank: usize, sa: usize) -> Option<PhysReg> {
+        let lo = sa * self.subarray_size;
+        let hi = lo + self.subarray_size;
+        for idx in lo..hi {
+            if self.free[bank][idx] {
+                self.free[bank][idx] = false;
+                self.subarray_occupancy[bank * SUBARRAYS_PER_BANK + sa] += 1;
+                self.free_count -= 1;
+                return Some(PhysReg::new((bank * self.bank_size + idx) as u16));
+            }
+        }
+        None
+    }
+
+    /// Frees a previously allocated register; returns the register's
+    /// global subarray id and whether the subarray became empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the register was already free (a double release is
+    /// a hardware-model bug; the renaming table filters idempotent
+    /// releases before they reach the availability vector).
+    pub fn free(&mut self, p: PhysReg) -> (usize, bool) {
+        let bank = p.index() / self.bank_size;
+        let idx = p.index() % self.bank_size;
+        assert!(
+            !self.free[bank][idx],
+            "double free of physical register {p}"
+        );
+        self.free[bank][idx] = true;
+        self.free_count += 1;
+        let sa = self.subarray_of(p);
+        self.subarray_occupancy[sa] -= 1;
+        (sa, self.subarray_occupancy[sa] == 0)
+    }
+
+    /// Number of free registers across all banks.
+    pub fn free_count(&self) -> usize {
+        self.free_count
+    }
+
+    /// Number of free registers in one bank.
+    pub fn free_in_bank(&self, bank: BankId) -> usize {
+        self.free[bank.index()].iter().filter(|&&f| f).count()
+    }
+
+    /// Live (assigned) registers right now.
+    pub fn live_count(&self) -> usize {
+        self.free.len() * self.bank_size - self.free_count
+    }
+
+    /// Occupancy of each global subarray.
+    pub fn subarray_occupancy(&self) -> &[usize] {
+        &self.subarray_occupancy
+    }
+
+    /// Number of subarrays currently holding at least one live
+    /// register.
+    pub fn occupied_subarrays(&self) -> usize {
+        self.subarray_occupancy.iter().filter(|&&o| o > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn avail() -> Availability {
+        Availability::new(&RegFileConfig::baseline_full())
+    }
+
+    #[test]
+    fn allocation_packs_lowest_subarray_first() {
+        let mut a = avail();
+        let bank = BankId::new(1);
+        let mut regs = Vec::new();
+        for _ in 0..65 {
+            regs.push(a.alloc_in_bank(bank).unwrap());
+        }
+        // first 64 fill subarray 0 of bank 1, the 65th opens subarray 1
+        assert!(regs[..64].iter().all(|&p| a.subarray_of(p) == 4));
+        assert_eq!(a.subarray_of(regs[64]), 5);
+        assert_eq!(a.occupied_subarrays(), 2);
+        assert_eq!(a.free_count(), 1024 - 65);
+    }
+
+    #[test]
+    fn free_reopens_space_and_reports_empty_subarray() {
+        let mut a = avail();
+        let p = a.alloc_in_bank(BankId::new(0)).unwrap();
+        let (sa, empty) = a.free(p);
+        assert_eq!(sa, 0);
+        assert!(empty);
+        assert_eq!(a.free_count(), 1024);
+        assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    fn freed_registers_are_reused_before_new_subarrays() {
+        let mut a = avail();
+        let bank = BankId::new(2);
+        let first = a.alloc_in_bank(bank).unwrap();
+        let _second = a.alloc_in_bank(bank).unwrap();
+        a.free(first);
+        let third = a.alloc_in_bank(bank).unwrap();
+        assert_eq!(third, first, "packing reuses the freed slot");
+        assert_eq!(a.occupied_subarrays(), 1);
+    }
+
+    #[test]
+    fn bank_exhaustion_returns_none() {
+        let mut a = avail();
+        let bank = BankId::new(3);
+        for _ in 0..256 {
+            assert!(a.alloc_in_bank(bank).is_some());
+        }
+        assert!(a.alloc_in_bank(bank).is_none());
+        assert_eq!(a.free_in_bank(bank), 0);
+        assert_eq!(a.free_in_bank(BankId::new(0)), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut a = avail();
+        let p = a.alloc_in_bank(BankId::new(0)).unwrap();
+        a.free(p);
+        a.free(p);
+    }
+
+    #[test]
+    fn bank_and_subarray_of_roundtrip() {
+        let a = avail();
+        // register 700 -> bank 2 (512..768), within-bank 188 -> subarray 2
+        let p = PhysReg::new(700);
+        assert_eq!(a.bank_of(p), BankId::new(2));
+        assert_eq!(a.subarray_of(p), 2 * 4 + 188 / 64);
+    }
+
+    #[test]
+    fn shrunk_file_geometry() {
+        let mut a = Availability::new(&RegFileConfig::shrunk(50));
+        assert_eq!(a.free_count(), 512);
+        let bank = BankId::new(0);
+        for _ in 0..128 {
+            assert!(a.alloc_in_bank(bank).is_some());
+        }
+        assert!(a.alloc_in_bank(bank).is_none());
+    }
+}

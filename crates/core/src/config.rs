@@ -1,0 +1,207 @@
+//! Register-file and virtualization configuration.
+
+use std::fmt;
+
+use rfv_isa::NUM_REG_BANKS;
+
+/// Subarrays per register bank (the power-gating granularity,
+/// Figure 8).
+pub const SUBARRAYS_PER_BANK: usize = 4;
+
+/// Physical warp-registers in the baseline 128 KB register file
+/// (1024 × 32 lanes × 4 B).
+pub const BASELINE_PHYS_REGS: usize = 1024;
+
+/// How architected registers map to physical registers.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum VirtualizationPolicy {
+    /// Conventional GPU: every architected register of every resident
+    /// warp is statically allocated at CTA launch and held until CTA
+    /// completion.
+    None,
+    /// The NVIDIA-patent hardware-only scheme of Tarjan & Skadron
+    /// \[46\]: a physical register is allocated at a register's first
+    /// write and held until CTA completion (release on redefinition
+    /// immediately re-allocates, so occupancy is first-write → CTA
+    /// end). No compiler lifetime knowledge.
+    HardwareOnly,
+    /// The paper's full scheme: allocation at first write, release at
+    /// the compiler-computed lifetime end (`pir`/`pbr` flags).
+    Full,
+}
+
+impl VirtualizationPolicy {
+    /// Whether any renaming hardware is present.
+    pub fn renames(self) -> bool {
+        !matches!(self, VirtualizationPolicy::None)
+    }
+
+    /// Whether compiler release flags are honoured.
+    pub fn uses_release_flags(self) -> bool {
+        matches!(self, VirtualizationPolicy::Full)
+    }
+}
+
+impl fmt::Display for VirtualizationPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            VirtualizationPolicy::None => "none",
+            VirtualizationPolicy::HardwareOnly => "hardware-only",
+            VirtualizationPolicy::Full => "full",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Register-file hardware configuration for one SM.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RegFileConfig {
+    /// Total physical warp-registers (1024 = 128 KB baseline;
+    /// 512 = the GPU-shrink 64 KB file).
+    pub phys_regs: usize,
+    /// Renaming / release policy.
+    pub policy: VirtualizationPolicy,
+    /// Whether unused subarrays are power-gated.
+    pub power_gating: bool,
+    /// Cycles a gated subarray needs to wake before first use
+    /// (CACTI-P estimates < 1; the paper sweeps 1/3/10).
+    pub wakeup_cycles: u64,
+    /// Entries in the release flag cache (paper default: 10).
+    pub flag_cache_entries: usize,
+    /// Whether renaming is restricted to the compiler-assigned bank
+    /// (paper §7.1 preserves the compiler's bank striping to avoid
+    /// operand-collector conflicts; disabling this is an ablation).
+    pub bank_preserving: bool,
+}
+
+impl RegFileConfig {
+    /// The paper's baseline: 128 KB file, full virtualization, power
+    /// gating with a 1-cycle wakeup, 10-entry flag cache.
+    pub fn baseline_full() -> RegFileConfig {
+        RegFileConfig {
+            phys_regs: BASELINE_PHYS_REGS,
+            policy: VirtualizationPolicy::Full,
+            power_gating: true,
+            wakeup_cycles: 1,
+            flag_cache_entries: 10,
+            bank_preserving: true,
+        }
+    }
+
+    /// The conventional GPU: 128 KB file, no renaming, no gating.
+    pub fn conventional() -> RegFileConfig {
+        RegFileConfig {
+            phys_regs: BASELINE_PHYS_REGS,
+            policy: VirtualizationPolicy::None,
+            power_gating: false,
+            wakeup_cycles: 0,
+            flag_cache_entries: 0,
+            bank_preserving: true,
+        }
+    }
+
+    /// GPU-shrink: a file shrunk by `percent`% (the paper evaluates
+    /// 50%, 40% and 30%), full virtualization.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `percent >= 100`.
+    pub fn shrunk(percent: usize) -> RegFileConfig {
+        assert!(percent < 100, "cannot shrink the register file away");
+        let mut c = RegFileConfig::baseline_full();
+        let per_subarray = NUM_REG_BANKS * SUBARRAYS_PER_BANK;
+        // round down to whole subarrays so banks stay uniform
+        c.phys_regs = BASELINE_PHYS_REGS * (100 - percent) / 100 / per_subarray * per_subarray;
+        c
+    }
+
+    /// Physical registers per bank.
+    pub fn bank_size(&self) -> usize {
+        self.phys_regs / NUM_REG_BANKS
+    }
+
+    /// Physical registers per subarray.
+    pub fn subarray_size(&self) -> usize {
+        self.bank_size() / SUBARRAYS_PER_BANK
+    }
+
+    /// Total subarrays across all banks.
+    pub fn num_subarrays(&self) -> usize {
+        NUM_REG_BANKS * SUBARRAYS_PER_BANK
+    }
+
+    /// Register file capacity in kilobytes (32 lanes × 4 B per
+    /// warp-register).
+    pub fn size_kib(&self) -> usize {
+        self.phys_regs * rfv_isa::WARP_SIZE * 4 / 1024
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description when the register count does not divide
+    /// evenly into banks and subarrays.
+    pub fn validate(&self) -> Result<(), String> {
+        let per_bank = NUM_REG_BANKS * SUBARRAYS_PER_BANK;
+        if self.phys_regs == 0 || !self.phys_regs.is_multiple_of(per_bank) {
+            return Err(format!(
+                "physical register count {} must be a positive multiple of {per_bank}",
+                self.phys_regs
+            ));
+        }
+        Ok(())
+    }
+}
+
+impl Default for RegFileConfig {
+    fn default() -> RegFileConfig {
+        RegFileConfig::baseline_full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_geometry() {
+        let c = RegFileConfig::baseline_full();
+        assert_eq!(c.phys_regs, 1024);
+        assert_eq!(c.bank_size(), 256);
+        assert_eq!(c.subarray_size(), 64);
+        assert_eq!(c.num_subarrays(), 16);
+        assert_eq!(c.size_kib(), 128);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn shrink_halves_the_file() {
+        let c = RegFileConfig::shrunk(50);
+        assert_eq!(c.phys_regs, 512);
+        assert_eq!(c.size_kib(), 64);
+        assert!(c.validate().is_ok());
+        let c40 = RegFileConfig::shrunk(40);
+        assert_eq!(c40.phys_regs, 608); // 614 rounded down to whole subarrays
+        assert!(c40.validate().is_ok());
+        assert_eq!(c40.size_kib(), 76);
+    }
+
+    #[test]
+    fn invalid_sizes_rejected() {
+        let mut c = RegFileConfig::baseline_full();
+        c.phys_regs = 100; // not a multiple of 16
+        assert!(c.validate().is_err());
+        c.phys_regs = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn policy_capabilities() {
+        assert!(!VirtualizationPolicy::None.renames());
+        assert!(VirtualizationPolicy::HardwareOnly.renames());
+        assert!(!VirtualizationPolicy::HardwareOnly.uses_release_flags());
+        assert!(VirtualizationPolicy::Full.uses_release_flags());
+        assert_eq!(VirtualizationPolicy::Full.to_string(), "full");
+    }
+}

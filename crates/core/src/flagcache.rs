@@ -1,0 +1,162 @@
+//! The release flag cache (paper §7.2): a tiny direct-mapped cache of
+//! `pir` payloads, shared across warps, that eliminates repeated
+//! fetch/decode of metadata instructions.
+//!
+//! Warps within a CTA execute the same code close together in time, so
+//! one warp's `pir` fetch fills the cache and later warps hit. Each
+//! entry stores the 54-bit flag payload tagged by the `pir`'s PC; ten
+//! entries (68 B total) capture almost all locality (Figure 13).
+
+/// Access statistics for the release flag cache.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct FlagCacheStats {
+    /// Probes that hit (the `pir` fetch/decode was skipped).
+    pub hits: u64,
+    /// Probes that missed (the `pir` was fetched from the instruction
+    /// cache and decoded).
+    pub misses: u64,
+}
+
+impl FlagCacheStats {
+    /// Total probes.
+    pub fn probes(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; zero when never probed.
+    pub fn hit_rate(&self) -> f64 {
+        if self.probes() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.probes() as f64
+        }
+    }
+}
+
+/// A direct-mapped release flag cache.
+///
+/// With zero entries every probe misses, modelling the
+/// no-flag-cache configuration (Figure 13's `Dynamic-0`).
+#[derive(Clone, Debug)]
+pub struct ReleaseFlagCache {
+    /// Tag store: the PC of the `pir` cached in each entry.
+    tags: Vec<Option<usize>>,
+    stats: FlagCacheStats,
+}
+
+impl ReleaseFlagCache {
+    /// Creates a cache with `entries` slots.
+    pub fn new(entries: usize) -> ReleaseFlagCache {
+        ReleaseFlagCache {
+            tags: vec![None; entries],
+            stats: FlagCacheStats::default(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn entries(&self) -> usize {
+        self.tags.len()
+    }
+
+    /// Probes the cache for the `pir` at `pc`; on a miss the entry is
+    /// filled (the hardware fetches and decodes the `pir`, then stores
+    /// its payload). Returns whether the probe hit.
+    pub fn probe_and_fill(&mut self, pc: usize) -> bool {
+        if self.tags.is_empty() {
+            self.stats.misses += 1;
+            return false;
+        }
+        let idx = pc % self.tags.len();
+        if self.tags[idx] == Some(pc) {
+            self.stats.hits += 1;
+            true
+        } else {
+            self.stats.misses += 1;
+            self.tags[idx] = Some(pc);
+            false
+        }
+    }
+
+    /// Probes without filling (used by the fetch stage to decide
+    /// whether to skip the instruction-cache fetch).
+    pub fn probe(&self, pc: usize) -> bool {
+        if self.tags.is_empty() {
+            return false;
+        }
+        self.tags[pc % self.tags.len()] == Some(pc)
+    }
+
+    /// Invalidates all entries (kernel switch).
+    pub fn flush(&mut self) {
+        self.tags.fill(None);
+    }
+
+    /// Access statistics.
+    pub fn stats(&self) -> FlagCacheStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_probe_misses_then_hits() {
+        let mut c = ReleaseFlagCache::new(10);
+        assert!(!c.probe_and_fill(42));
+        assert!(c.probe_and_fill(42));
+        assert!(c.probe_and_fill(42));
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn conflicting_pcs_evict() {
+        let mut c = ReleaseFlagCache::new(10);
+        assert!(!c.probe_and_fill(3));
+        assert!(!c.probe_and_fill(13)); // same index, different tag
+        assert!(!c.probe_and_fill(3)); // evicted
+        assert_eq!(c.stats().misses, 3);
+    }
+
+    #[test]
+    fn zero_entry_cache_always_misses() {
+        let mut c = ReleaseFlagCache::new(0);
+        for _ in 0..5 {
+            assert!(!c.probe_and_fill(7));
+        }
+        assert_eq!(c.stats().hit_rate(), 0.0);
+        assert_eq!(c.stats().misses, 5);
+    }
+
+    #[test]
+    fn distinct_indices_coexist() {
+        let mut c = ReleaseFlagCache::new(4);
+        for pc in 0..4 {
+            c.probe_and_fill(pc);
+        }
+        for pc in 0..4 {
+            assert!(c.probe(pc));
+        }
+        assert_eq!(c.stats().probes(), 4);
+    }
+
+    #[test]
+    fn flush_clears_tags() {
+        let mut c = ReleaseFlagCache::new(4);
+        c.probe_and_fill(1);
+        c.flush();
+        assert!(!c.probe(1));
+    }
+
+    #[test]
+    fn hit_rate_math() {
+        let mut c = ReleaseFlagCache::new(2);
+        c.probe_and_fill(0);
+        c.probe_and_fill(0);
+        c.probe_and_fill(0);
+        c.probe_and_fill(0);
+        assert!((c.stats().hit_rate() - 0.75).abs() < 1e-12);
+    }
+}

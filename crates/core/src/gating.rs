@@ -1,0 +1,159 @@
+//! Subarray-level power gating (paper §8.2, Figure 8).
+//!
+//! A whole subarray sleeps behind a single sleep transistor when no
+//! live register resides in it. Waking a gated subarray costs
+//! `wakeup_cycles`; the gating model tracks, per subarray, when it
+//! becomes usable, and integrates subarray-on time for the leakage
+//! energy model.
+
+/// Power state of the register file's subarrays.
+#[derive(Clone, Debug)]
+pub struct SubarrayGating {
+    enabled: bool,
+    wakeup_cycles: u64,
+    /// `ready_at[sa]`: `None` when gated, else the cycle from which
+    /// accesses may proceed.
+    ready_at: Vec<Option<u64>>,
+    /// Integral of powered-on subarrays over time, in subarray-cycles.
+    on_integral: u64,
+    last_change: u64,
+    on_count: usize,
+    /// Number of 0→1 power-up transitions (wakeup events).
+    wakeups: u64,
+}
+
+impl SubarrayGating {
+    /// Creates the gating state for `num_subarrays` subarrays.
+    ///
+    /// With `enabled == false` every subarray is permanently on (the
+    /// conventional ungated register file) and `wakeup_cycles` is
+    /// ignored.
+    pub fn new(num_subarrays: usize, enabled: bool, wakeup_cycles: u64) -> SubarrayGating {
+        let ready_at = if enabled {
+            vec![None; num_subarrays]
+        } else {
+            vec![Some(0); num_subarrays]
+        };
+        SubarrayGating {
+            enabled,
+            wakeup_cycles,
+            ready_at,
+            on_integral: 0,
+            last_change: 0,
+            on_count: if enabled { 0 } else { num_subarrays },
+            wakeups: 0,
+        }
+    }
+
+    fn settle(&mut self, now: u64) {
+        debug_assert!(now >= self.last_change, "time went backwards");
+        self.on_integral += self.on_count as u64 * (now - self.last_change);
+        self.last_change = now;
+    }
+
+    /// Marks a subarray as occupied at `now` (first register allocated
+    /// into it). Returns the cycle from which the subarray is usable.
+    pub fn note_occupied(&mut self, sa: usize, now: u64) -> u64 {
+        if let Some(ready) = self.ready_at[sa] {
+            return ready.max(now);
+        }
+        debug_assert!(self.enabled, "gating disabled implies always-on");
+        self.settle(now);
+        self.on_count += 1;
+        self.wakeups += 1;
+        let ready = now + self.wakeup_cycles;
+        self.ready_at[sa] = Some(ready);
+        ready
+    }
+
+    /// Marks a subarray as emptied at `now` (last register freed); the
+    /// subarray is gated off immediately.
+    pub fn note_emptied(&mut self, sa: usize, now: u64) {
+        if !self.enabled {
+            return;
+        }
+        if self.ready_at[sa].is_some() {
+            self.settle(now);
+            self.on_count -= 1;
+            self.ready_at[sa] = None;
+        }
+    }
+
+    /// Whether the subarray is powered (possibly still waking).
+    pub fn is_on(&self, sa: usize) -> bool {
+        self.ready_at[sa].is_some()
+    }
+
+    /// Subarrays currently powered.
+    pub fn on_count(&self) -> usize {
+        self.on_count
+    }
+
+    /// Total powered-on subarray-cycles up to `now`.
+    pub fn on_integral(&mut self, now: u64) -> u64 {
+        self.settle(now);
+        self.on_integral
+    }
+
+    /// Number of wakeup events so far.
+    pub fn wakeups(&self) -> u64 {
+        self.wakeups
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wakeup_latency_applied_once() {
+        let mut g = SubarrayGating::new(16, true, 3);
+        assert!(!g.is_on(5));
+        assert_eq!(g.note_occupied(5, 100), 103);
+        assert!(g.is_on(5));
+        // already on: ready immediately
+        assert_eq!(g.note_occupied(5, 101), 103);
+        assert_eq!(g.note_occupied(5, 200), 200);
+        assert_eq!(g.wakeups(), 1);
+    }
+
+    #[test]
+    fn integral_counts_on_time() {
+        let mut g = SubarrayGating::new(4, true, 0);
+        g.note_occupied(0, 10);
+        g.note_occupied(1, 20);
+        g.note_emptied(0, 30);
+        // sa0 on 10..30 (20 cycles), sa1 on 20..50 (30 cycles)
+        assert_eq!(g.on_integral(50), 20 + 30);
+        assert_eq!(g.on_count(), 1);
+    }
+
+    #[test]
+    fn disabled_gating_is_always_on() {
+        let mut g = SubarrayGating::new(4, false, 10);
+        assert!(g.is_on(3));
+        assert_eq!(g.note_occupied(2, 100), 100, "no wakeup cost");
+        g.note_emptied(2, 200);
+        assert!(g.is_on(2), "never gated off");
+        assert_eq!(g.on_integral(100), 400, "4 subarrays x 100 cycles");
+        assert_eq!(g.wakeups(), 0);
+    }
+
+    #[test]
+    fn empty_then_reoccupy_costs_another_wakeup() {
+        let mut g = SubarrayGating::new(2, true, 5);
+        g.note_occupied(0, 0);
+        g.note_emptied(0, 10);
+        assert_eq!(g.note_occupied(0, 20), 25);
+        assert_eq!(g.wakeups(), 2);
+        assert_eq!(g.on_integral(30), 10 + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "time went backwards")]
+    fn non_monotonic_time_rejected_in_debug() {
+        let mut g = SubarrayGating::new(1, true, 0);
+        g.note_occupied(0, 10);
+        g.note_emptied(0, 5);
+    }
+}

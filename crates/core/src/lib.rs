@@ -1,0 +1,49 @@
+//! # rfv-core — GPU register file virtualization
+//!
+//! The hardware models from *GPU Register File Virtualization*
+//! (Jeon, Ravi, Kim, Annavaram — MICRO-48, 2015), reusable outside the
+//! bundled simulator:
+//!
+//! * [`RenamingTable`] — per-warp architected → physical mappings
+//!   (§7.1), with access counting for the energy model;
+//! * [`Availability`] — per-bank availability vectors with
+//!   subarray-packing allocation (§7.1 + §8.2);
+//! * [`ReleaseFlagCache`] — the 10-entry direct-mapped cache of `pir`
+//!   payloads that removes repeated metadata fetch/decode (§7.2);
+//! * [`SubarrayGating`] — subarray-level power gating with wakeup
+//!   latency and on-time integration (§8.2);
+//! * [`CtaThrottle`] — GPU-shrink's per-CTA register balance counters
+//!   that guarantee forward progress on an under-provisioned file
+//!   (§8.1);
+//! * [`RegisterFile`] — the facade combining all of the above.
+//!
+//! ```
+//! use rfv_core::{RegFileConfig, RegisterFile, WriteOutcome};
+//! use rfv_isa::ArchReg;
+//!
+//! // a GPU-shrink file: 64 KB instead of the architected 128 KB
+//! let mut rf = RegisterFile::new(RegFileConfig::shrunk(50), 48)?;
+//! let WriteOutcome::Mapped { phys, .. } = rf.write(0, ArchReg::R3, 0) else {
+//!     panic!("the empty file cannot be out of registers");
+//! };
+//! assert_eq!(rf.read(0, ArchReg::R3), Some(phys));
+//! rf.release(0, ArchReg::R3, 10); // pir/pbr fired: reusable at once
+//! assert_eq!(rf.live_count(), 0);
+//! # Ok::<(), String>(())
+//! ```
+
+pub mod availability;
+pub mod config;
+pub mod flagcache;
+pub mod gating;
+pub mod regfile;
+pub mod renaming;
+pub mod throttle;
+
+pub use availability::Availability;
+pub use config::{RegFileConfig, VirtualizationPolicy, BASELINE_PHYS_REGS, SUBARRAYS_PER_BANK};
+pub use flagcache::{FlagCacheStats, ReleaseFlagCache};
+pub use gating::SubarrayGating;
+pub use regfile::{RegFileStats, RegisterFile, StaticAllocError, WriteOutcome};
+pub use renaming::{RenamingStats, RenamingTable};
+pub use throttle::{CtaThrottle, ThrottleDecision};

@@ -1,0 +1,538 @@
+//! The virtualized register file: renaming table + availability
+//! vectors + subarray power gating behind one facade.
+//!
+//! The register file is policy-agnostic: the caller (the simulator)
+//! decides which registers are *statically* mapped at warp launch
+//! (all of them for a conventional GPU, the exempt set for full
+//! virtualization, none for the hardware-only scheme) and when to call
+//! [`RegisterFile::release`] (never for the conventional and
+//! hardware-only schemes).
+
+use std::fmt;
+
+use rfv_isa::{ArchReg, BankId, PhysReg, MAX_REGS_PER_THREAD, NUM_REG_BANKS};
+
+use crate::availability::Availability;
+use crate::config::RegFileConfig;
+use crate::gating::SubarrayGating;
+use crate::renaming::{RenamingStats, RenamingTable};
+
+/// Aggregate register-file event counters (consumed by the energy
+/// model).
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct RegFileStats {
+    /// Physical register file read accesses (one per warp operand).
+    pub rf_reads: u64,
+    /// Physical register file write accesses.
+    pub rf_writes: u64,
+    /// Dynamic allocations (first writes of renamed registers).
+    pub allocs: u64,
+    /// Early releases (`pir`/`pbr` triggered).
+    pub releases: u64,
+    /// Static allocations at warp launch.
+    pub static_allocs: u64,
+    /// Allocation attempts that found no free register.
+    pub alloc_failures: u64,
+    /// Peak concurrently-live physical registers.
+    pub peak_live: usize,
+}
+
+/// Outcome of a register write.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WriteOutcome {
+    /// The write proceeds to `phys`, usable from cycle `ready_at`
+    /// (later than `now` only when a gated subarray must wake).
+    Mapped {
+        /// The physical destination.
+        phys: PhysReg,
+        /// Cycle from which the register may be written.
+        ready_at: u64,
+        /// Whether this write allocated a fresh physical register.
+        newly_allocated: bool,
+    },
+    /// No free physical register in the required bank(s); the warp
+    /// must stall and the scheduler should consult the CTA throttle.
+    NoFreeRegister,
+}
+
+/// Error launching a warp's static registers.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StaticAllocError {
+    /// The bank that ran out of registers.
+    pub bank: BankId,
+}
+
+impl fmt::Display for StaticAllocError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "no free physical register in {} for static mapping",
+            self.bank
+        )
+    }
+}
+
+impl std::error::Error for StaticAllocError {}
+
+/// The per-SM virtualized register file.
+#[derive(Clone, Debug)]
+pub struct RegisterFile {
+    config: RegFileConfig,
+    avail: Availability,
+    table: RenamingTable,
+    /// Static (renaming-exempt) mappings, per warp slot.
+    static_map: Vec<[Option<PhysReg>; MAX_REGS_PER_THREAD]>,
+    gating: SubarrayGating,
+    stats: RegFileStats,
+}
+
+impl RegisterFile {
+    /// Creates a register file with `warp_slots` warp contexts.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the configuration is inconsistent (see
+    /// [`RegFileConfig::validate`]).
+    pub fn new(config: RegFileConfig, warp_slots: usize) -> Result<RegisterFile, String> {
+        config.validate()?;
+        Ok(RegisterFile {
+            avail: Availability::new(&config),
+            table: RenamingTable::new(warp_slots),
+            static_map: vec![[None; MAX_REGS_PER_THREAD]; warp_slots],
+            gating: SubarrayGating::new(
+                config.num_subarrays(),
+                config.power_gating,
+                config.wakeup_cycles,
+            ),
+            stats: RegFileStats::default(),
+            config,
+        })
+    }
+
+    /// The configuration this file was built with.
+    pub fn config(&self) -> &RegFileConfig {
+        &self.config
+    }
+
+    /// Statically maps `regs` for a launching warp (conventional
+    /// allocation, or the renaming-exempt set).
+    ///
+    /// # Errors
+    ///
+    /// Fails when a bank runs out of registers, releasing any
+    /// registers this call already mapped so the warp slot stays clean
+    /// for a retry; the caller must not launch the warp.
+    pub fn launch_warp<I>(&mut self, warp: usize, regs: I, now: u64) -> Result<(), StaticAllocError>
+    where
+        I: IntoIterator<Item = ArchReg>,
+    {
+        let mut mapped: Vec<ArchReg> = Vec::new();
+        for reg in regs {
+            debug_assert!(self.static_map[warp][reg.index()].is_none());
+            let Some(phys) = self.alloc_for(warp, reg) else {
+                // roll back this call's partial allocations
+                let bank = self.bank_of_reg(warp, reg);
+                for undo in mapped {
+                    let p = self.static_map[warp][undo.index()]
+                        .take()
+                        .expect("just mapped");
+                    self.note_free(p, now);
+                    self.stats.static_allocs -= 1;
+                }
+                return Err(StaticAllocError { bank });
+            };
+            self.note_alloc(phys, now);
+            self.stats.static_allocs += 1;
+            self.static_map[warp][reg.index()] = Some(phys);
+            mapped.push(reg);
+        }
+        Ok(())
+    }
+
+    /// The bank a warp's architected register belongs to.
+    ///
+    /// The compiler stripes operands by register id to avoid operand-
+    /// collector conflicts; hardware additionally swizzles by warp id
+    /// (as Fermi-class register files do) so that every warp's
+    /// registers spread evenly over the four banks — per-warp operand
+    /// conflict behaviour is unchanged, but capacity stays balanced.
+    pub fn bank_of_reg(&self, warp: usize, reg: ArchReg) -> BankId {
+        BankId::new((reg.index() + warp) % NUM_REG_BANKS)
+    }
+
+    fn alloc_for(&mut self, warp: usize, reg: ArchReg) -> Option<PhysReg> {
+        let home = self.bank_of_reg(warp, reg);
+        if let Some(p) = self.avail.alloc_in_bank(home) {
+            return Some(p);
+        }
+        if self.config.bank_preserving {
+            return None;
+        }
+        // ablation mode: fall back to any other bank
+        (0..NUM_REG_BANKS)
+            .map(BankId::new)
+            .filter(|&b| b != home)
+            .find_map(|b| self.avail.alloc_in_bank(b))
+    }
+
+    fn note_alloc(&mut self, phys: PhysReg, now: u64) -> u64 {
+        let sa = self.avail.subarray_of(phys);
+        let ready = self.gating.note_occupied(sa, now);
+        self.stats.peak_live = self.stats.peak_live.max(self.avail.live_count());
+        ready
+    }
+
+    fn note_free(&mut self, phys: PhysReg, now: u64) {
+        let (sa, emptied) = self.avail.free(phys);
+        if emptied {
+            self.gating.note_emptied(sa, now);
+        }
+    }
+
+    /// Resolves a register write: returns the existing mapping or
+    /// allocates a fresh physical register in the register's bank.
+    /// A failed allocation leaves all counters except
+    /// [`RegFileStats::alloc_failures`] untouched, so stalled retries
+    /// do not inflate access energy.
+    pub fn write(&mut self, warp: usize, reg: ArchReg, now: u64) -> WriteOutcome {
+        if let Some(phys) = self.static_map[warp][reg.index()] {
+            self.stats.rf_writes += 1;
+            return WriteOutcome::Mapped {
+                phys,
+                ready_at: now,
+                newly_allocated: false,
+            };
+        }
+        if let Some(phys) = self.table.lookup(warp, reg) {
+            self.stats.rf_writes += 1;
+            return WriteOutcome::Mapped {
+                phys,
+                ready_at: now,
+                newly_allocated: false,
+            };
+        }
+        match self.alloc_for(warp, reg) {
+            Some(phys) => {
+                let ready_at = self.note_alloc(phys, now);
+                self.stats.allocs += 1;
+                self.stats.rf_writes += 1;
+                self.table.map(warp, reg, phys);
+                WriteOutcome::Mapped {
+                    phys,
+                    ready_at,
+                    newly_allocated: true,
+                }
+            }
+            None => {
+                self.stats.alloc_failures += 1;
+                WriteOutcome::NoFreeRegister
+            }
+        }
+    }
+
+    /// Resolves a register read. Returns `None` when the register was
+    /// never written (an undefined read — well-formed kernels never do
+    /// this for renamed registers).
+    pub fn read(&mut self, warp: usize, reg: ArchReg) -> Option<PhysReg> {
+        self.stats.rf_reads += 1;
+        if let Some(phys) = self.static_map[warp][reg.index()] {
+            return Some(phys);
+        }
+        self.table.lookup(warp, reg)
+    }
+
+    /// Reads a mapping without counting an access (statistics and
+    /// initialization helpers).
+    pub fn peek(&self, warp: usize, reg: ArchReg) -> Option<PhysReg> {
+        self.static_map[warp][reg.index()].or_else(|| self.table.peek(warp, reg))
+    }
+
+    /// Releases a renamed register (a `pir`/`pbr` firing). Idempotent;
+    /// static mappings are unaffected. Returns whether a physical
+    /// register was actually freed.
+    pub fn release(&mut self, warp: usize, reg: ArchReg, now: u64) -> bool {
+        if self.static_map[warp][reg.index()].is_some() {
+            return false;
+        }
+        match self.table.release(warp, reg) {
+            Some(phys) => {
+                self.note_free(phys, now);
+                self.stats.releases += 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Releases everything a warp holds (warp completion), static
+    /// mappings included. Returns the number of physical registers
+    /// freed.
+    pub fn retire_warp(&mut self, warp: usize, now: u64) -> usize {
+        let mut freed = self.table.release_warp(warp);
+        for slot in self.static_map[warp].iter_mut() {
+            if let Some(p) = slot.take() {
+                freed.push(p);
+            }
+        }
+        for &p in &freed {
+            self.note_free(p, now);
+        }
+        freed.len()
+    }
+
+    /// Free physical registers across all banks.
+    pub fn free_count(&self) -> usize {
+        self.avail.free_count()
+    }
+
+    /// Live (assigned) physical registers.
+    pub fn live_count(&self) -> usize {
+        self.avail.live_count()
+    }
+
+    /// Subarrays currently powered on.
+    pub fn subarrays_on(&self) -> usize {
+        if self.config.power_gating {
+            self.gating.on_count()
+        } else {
+            self.config.num_subarrays()
+        }
+    }
+
+    /// Integral of powered subarrays over time (subarray-cycles).
+    pub fn subarray_on_integral(&mut self, now: u64) -> u64 {
+        self.gating.on_integral(now)
+    }
+
+    /// Subarray wakeup events so far.
+    pub fn wakeups(&self) -> u64 {
+        self.gating.wakeups()
+    }
+
+    /// Register-file event counters.
+    pub fn stats(&self) -> RegFileStats {
+        self.stats
+    }
+
+    /// Renaming-table access counters.
+    pub fn renaming_stats(&self) -> RenamingStats {
+        self.table.stats()
+    }
+
+    /// The bank a physical register resides in (operand-collector
+    /// conflict modelling).
+    pub fn bank_of_phys(&self, p: PhysReg) -> BankId {
+        self.avail.bank_of(p)
+    }
+
+    /// Live registers per global subarray id (Figure 8's occupancy
+    /// map; subarray ids are `bank * 4 + subarray-within-bank`).
+    pub fn subarray_occupancy(&self) -> &[usize] {
+        self.avail.subarray_occupancy()
+    }
+
+    /// Live renaming-table mappings (dynamic, excludes static).
+    pub fn mapped_count(&self) -> usize {
+        self.table.total_mapped()
+    }
+
+    /// The dynamically-mapped registers of one warp (used by the
+    /// GPU-shrink spill fallback to pick what to save).
+    pub fn mapped_regs(&self, warp: usize) -> Vec<ArchReg> {
+        ArchReg::all()
+            .filter(|&r| self.table.peek(warp, r).is_some())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rf(config: RegFileConfig) -> RegisterFile {
+        RegisterFile::new(config, 48).unwrap()
+    }
+
+    #[test]
+    fn write_allocates_then_reuses_mapping() {
+        let mut f = rf(RegFileConfig::baseline_full());
+        let w = 3;
+        let r = ArchReg::R2;
+        let WriteOutcome::Mapped {
+            phys,
+            newly_allocated,
+            ..
+        } = f.write(w, r, 0)
+        else {
+            panic!("allocation failed")
+        };
+        assert!(newly_allocated);
+        // second write reuses the same physical register
+        match f.write(w, r, 5) {
+            WriteOutcome::Mapped {
+                phys: p2,
+                newly_allocated: fresh,
+                ..
+            } => {
+                assert_eq!(p2, phys);
+                assert!(!fresh);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(f.read(w, r), Some(phys));
+        assert_eq!(f.live_count(), 1);
+    }
+
+    #[test]
+    fn bank_preservation_holds() {
+        let mut f = rf(RegFileConfig::baseline_full());
+        for w in [0usize, 1, 7] {
+            for id in 0..8u8 {
+                let reg = ArchReg::new(id);
+                let WriteOutcome::Mapped { phys, .. } = f.write(w, reg, 0) else {
+                    panic!()
+                };
+                assert_eq!(
+                    f.avail.bank_of(phys),
+                    f.bank_of_reg(w, reg),
+                    "renamed register must stay in its (swizzled) compiler bank"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn release_frees_and_is_idempotent() {
+        let mut f = rf(RegFileConfig::baseline_full());
+        f.write(0, ArchReg::R1, 0);
+        assert!(f.release(0, ArchReg::R1, 1));
+        assert!(!f.release(0, ArchReg::R1, 2));
+        assert_eq!(f.live_count(), 0);
+        assert_eq!(f.stats().releases, 1);
+    }
+
+    #[test]
+    fn static_mappings_resist_release() {
+        let mut f = rf(RegFileConfig::baseline_full());
+        f.launch_warp(0, [ArchReg::R0, ArchReg::R4], 0).unwrap();
+        assert_eq!(f.stats().static_allocs, 2);
+        assert!(
+            !f.release(0, ArchReg::R0, 1),
+            "static regs never release early"
+        );
+        assert_eq!(f.live_count(), 2);
+        let phys = f.read(0, ArchReg::R0).unwrap();
+        match f.write(0, ArchReg::R0, 2) {
+            WriteOutcome::Mapped {
+                phys: p,
+                newly_allocated,
+                ..
+            } => {
+                assert_eq!(p, phys);
+                assert!(!newly_allocated);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn retire_warp_frees_everything() {
+        let mut f = rf(RegFileConfig::baseline_full());
+        f.launch_warp(2, [ArchReg::R0], 0).unwrap();
+        f.write(2, ArchReg::R1, 0);
+        f.write(2, ArchReg::R2, 0);
+        assert_eq!(f.retire_warp(2, 10), 3);
+        assert_eq!(f.live_count(), 0);
+        assert_eq!(f.free_count(), 1024);
+    }
+
+    #[test]
+    fn bank_exhaustion_reports_no_free_register() {
+        let mut f = rf(RegFileConfig::shrunk(50));
+        // bank 0 in the 64 KB file holds 128 registers; with the warp
+        // swizzle, warp 0's r0/r4/... target bank 0. Fill from a
+        // single warp so everything lands in one bank: warp 0 has 16
+        // register ids mapping to bank 0 (r0, r4, ..., r60), so use
+        // several warps with compensating ids.
+        let mut failures = 0;
+        let mut successes = 0;
+        for w in 0..48usize {
+            for id in (0..60u8).filter(|id| (usize::from(*id) + w) % 4 == 0) {
+                match f.write(w, ArchReg::new(id), 0) {
+                    WriteOutcome::Mapped { .. } => successes += 1,
+                    WriteOutcome::NoFreeRegister => failures += 1,
+                }
+            }
+        }
+        assert_eq!(successes, 128, "bank 0 capacity in the shrunk file");
+        assert!(failures > 0, "bank 0 must eventually fill");
+        assert_eq!(f.stats().alloc_failures, failures);
+        assert!(f.free_count() > 0, "other banks still free");
+    }
+
+    #[test]
+    fn gating_reports_wakeups_and_integral() {
+        let mut f = rf(RegFileConfig::baseline_full());
+        match f.write(0, ArchReg::R0, 10) {
+            WriteOutcome::Mapped { ready_at, .. } => {
+                assert_eq!(ready_at, 11, "1-cycle wakeup for a fresh subarray")
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(f.subarrays_on(), 1);
+        assert_eq!(f.wakeups(), 1);
+        f.release(0, ArchReg::R0, 30);
+        assert_eq!(f.subarrays_on(), 0);
+        assert_eq!(f.subarray_on_integral(40), 20);
+    }
+
+    #[test]
+    fn ungated_file_reports_all_subarrays_on() {
+        let mut f = rf(RegFileConfig::conventional());
+        assert_eq!(f.subarrays_on(), 16);
+        match f.write(0, ArchReg::R0, 10) {
+            WriteOutcome::Mapped { ready_at, .. } => assert_eq!(ready_at, 10),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_read_returns_none() {
+        let mut f = rf(RegFileConfig::baseline_full());
+        assert_eq!(f.read(0, ArchReg::R7), None);
+        assert_eq!(f.stats().rf_reads, 1);
+    }
+
+    #[test]
+    fn peak_live_tracks_maximum() {
+        let mut f = rf(RegFileConfig::baseline_full());
+        f.write(0, ArchReg::R0, 0);
+        f.write(0, ArchReg::R1, 0);
+        f.release(0, ArchReg::R0, 1);
+        f.release(0, ArchReg::R1, 1);
+        f.write(0, ArchReg::R2, 2);
+        assert_eq!(f.stats().peak_live, 2);
+    }
+
+    #[test]
+    fn bank_fallback_ablation() {
+        let mut cfg = RegFileConfig::shrunk(50);
+        cfg.bank_preserving = false;
+        let mut f = RegisterFile::new(cfg, 48).unwrap();
+        // target bank 0 only (ids compensating the warp swizzle); with
+        // the fallback enabled, allocations overflow into other banks
+        let mut allocated = 0;
+        'outer: for w in 0..48usize {
+            for id in (0..60u8).filter(|id| (usize::from(*id) + w) % 4 == 0) {
+                match f.write(w, ArchReg::new(id), 0) {
+                    WriteOutcome::Mapped { .. } => allocated += 1,
+                    WriteOutcome::NoFreeRegister => break 'outer,
+                }
+            }
+        }
+        assert!(
+            allocated > 128,
+            "fallback must spill into other banks, got {allocated}"
+        );
+    }
+}

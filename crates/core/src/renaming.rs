@@ -1,0 +1,187 @@
+//! The per-SM register renaming table (paper §7.1).
+//!
+//! The table is indexed by (warp slot, architected register id) and
+//! stores a 10-bit physical register id. It is banked four ways so the
+//! operand collector can look up several operands concurrently; bank
+//! conflicts are the simulator's concern — this module models content
+//! and access counting.
+
+use rfv_isa::{ArchReg, PhysReg, MAX_REGS_PER_THREAD};
+
+/// Access counters for renaming-table energy accounting.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct RenamingStats {
+    /// Name lookups (reads of the table).
+    pub lookups: u64,
+    /// Mapping installs and removals (writes to the table).
+    pub updates: u64,
+}
+
+/// The renaming table: per-warp architected → physical mappings.
+#[derive(Clone, Debug)]
+pub struct RenamingTable {
+    /// `map[warp][reg]`
+    map: Vec<[Option<PhysReg>; MAX_REGS_PER_THREAD]>,
+    mapped_per_warp: Vec<usize>,
+    stats: RenamingStats,
+}
+
+impl RenamingTable {
+    /// Creates a table for `warp_slots` warp contexts.
+    pub fn new(warp_slots: usize) -> RenamingTable {
+        RenamingTable {
+            map: vec![[None; MAX_REGS_PER_THREAD]; warp_slots],
+            mapped_per_warp: vec![0; warp_slots],
+            stats: RenamingStats::default(),
+        }
+    }
+
+    /// Number of warp slots.
+    pub fn warp_slots(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Looks up the physical register mapped to `(warp, reg)`,
+    /// counting a table access.
+    pub fn lookup(&mut self, warp: usize, reg: ArchReg) -> Option<PhysReg> {
+        self.stats.lookups += 1;
+        self.map[warp][reg.index()]
+    }
+
+    /// Reads a mapping without counting an access (for statistics and
+    /// assertions).
+    pub fn peek(&self, warp: usize, reg: ArchReg) -> Option<PhysReg> {
+        self.map[warp][reg.index()]
+    }
+
+    /// Installs a mapping.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slot is already mapped; the register file must
+    /// release before remapping.
+    pub fn map(&mut self, warp: usize, reg: ArchReg, phys: PhysReg) {
+        self.stats.updates += 1;
+        let slot = &mut self.map[warp][reg.index()];
+        assert!(
+            slot.is_none(),
+            "warp {warp} {reg} is already mapped to {:?}",
+            slot.unwrap()
+        );
+        *slot = Some(phys);
+        self.mapped_per_warp[warp] += 1;
+    }
+
+    /// Removes a mapping, returning the freed physical register.
+    /// Releasing an unmapped register is a no-op (the hardware treats
+    /// spurious `pbr` releases as idempotent).
+    pub fn release(&mut self, warp: usize, reg: ArchReg) -> Option<PhysReg> {
+        let slot = &mut self.map[warp][reg.index()];
+        let freed = slot.take();
+        if freed.is_some() {
+            self.stats.updates += 1;
+            self.mapped_per_warp[warp] -= 1;
+        }
+        freed
+    }
+
+    /// Removes every mapping of a warp (CTA/warp completion),
+    /// returning the freed physical registers.
+    pub fn release_warp(&mut self, warp: usize) -> Vec<PhysReg> {
+        let mut freed = Vec::with_capacity(self.mapped_per_warp[warp]);
+        for slot in self.map[warp].iter_mut() {
+            if let Some(p) = slot.take() {
+                freed.push(p);
+            }
+        }
+        self.stats.updates += freed.len() as u64;
+        self.mapped_per_warp[warp] = 0;
+        freed
+    }
+
+    /// Number of live mappings for one warp.
+    pub fn mapped_count(&self, warp: usize) -> usize {
+        self.mapped_per_warp[warp]
+    }
+
+    /// Total live mappings.
+    pub fn total_mapped(&self) -> usize {
+        self.mapped_per_warp.iter().sum()
+    }
+
+    /// Access counters.
+    pub fn stats(&self) -> RenamingStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_lookup_release_cycle() {
+        let mut t = RenamingTable::new(4);
+        let (w, r, p) = (2, ArchReg::R5, PhysReg::new(77));
+        assert_eq!(t.lookup(w, r), None);
+        t.map(w, r, p);
+        assert_eq!(t.lookup(w, r), Some(p));
+        assert_eq!(t.mapped_count(w), 1);
+        assert_eq!(t.release(w, r), Some(p));
+        assert_eq!(t.lookup(w, r), None);
+        assert_eq!(t.mapped_count(w), 0);
+    }
+
+    #[test]
+    fn release_is_idempotent() {
+        let mut t = RenamingTable::new(1);
+        t.map(0, ArchReg::R0, PhysReg::new(1));
+        assert!(t.release(0, ArchReg::R0).is_some());
+        assert!(t.release(0, ArchReg::R0).is_none());
+        assert!(t.release(0, ArchReg::R7).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn double_map_panics() {
+        let mut t = RenamingTable::new(1);
+        t.map(0, ArchReg::R0, PhysReg::new(1));
+        t.map(0, ArchReg::R0, PhysReg::new(2));
+    }
+
+    #[test]
+    fn warps_are_independent() {
+        let mut t = RenamingTable::new(3);
+        t.map(0, ArchReg::R1, PhysReg::new(10));
+        t.map(1, ArchReg::R1, PhysReg::new(20));
+        assert_eq!(t.lookup(0, ArchReg::R1), Some(PhysReg::new(10)));
+        assert_eq!(t.lookup(1, ArchReg::R1), Some(PhysReg::new(20)));
+        assert_eq!(t.total_mapped(), 2);
+    }
+
+    #[test]
+    fn release_warp_frees_everything() {
+        let mut t = RenamingTable::new(2);
+        for i in 0..5u8 {
+            t.map(1, ArchReg::new(i), PhysReg::new(100 + u16::from(i)));
+        }
+        let mut freed = t.release_warp(1);
+        freed.sort();
+        assert_eq!(freed.len(), 5);
+        assert_eq!(t.mapped_count(1), 0);
+        assert_eq!(t.release_warp(1), Vec::new());
+    }
+
+    #[test]
+    fn stats_count_lookups_and_updates() {
+        let mut t = RenamingTable::new(1);
+        t.map(0, ArchReg::R0, PhysReg::new(0)); // update
+        let _ = t.lookup(0, ArchReg::R0); // lookup
+        let _ = t.lookup(0, ArchReg::R1); // lookup (miss still reads)
+        t.release(0, ArchReg::R0); // update
+        t.release(0, ArchReg::R0); // no-op
+        let s = t.stats();
+        assert_eq!(s.lookups, 2);
+        assert_eq!(s.updates, 2);
+    }
+}

@@ -1,0 +1,201 @@
+//! CTA-level register throttling for GPU-shrink (paper §8.1).
+//!
+//! With an under-provisioned physical register file, unconstrained
+//! allocation could leave every resident CTA short of registers and
+//! deadlock the SM. The warp scheduler therefore tracks, per CTA, a
+//! *register balance counter* `C − k_i` (worst-case registers the CTA
+//! may still demand: `C` = registers/warp × warps/CTA, `k_i` =
+//! registers currently assigned). When the free-register pool drops to
+//! the point where not even the closest-to-finished CTA is guaranteed
+//! to complete, the scheduler restricts issue to the CTA with the
+//! minimum balance until releases replenish the pool.
+
+/// The scheduler's decision for this cycle.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ThrottleDecision {
+    /// Any warp may issue.
+    Unrestricted,
+    /// Only warps of this CTA slot may issue instructions that can
+    /// allocate registers.
+    OnlyCta(usize),
+}
+
+#[derive(Clone, Copy, Debug)]
+struct CtaBalance {
+    budget: usize,
+    assigned: usize,
+}
+
+/// Per-CTA register balance counters (eight suffice in the baseline:
+/// at most eight CTAs run concurrently per SM).
+#[derive(Clone, Debug)]
+pub struct CtaThrottle {
+    slots: Vec<Option<CtaBalance>>,
+    /// Times the throttle restricted issue (for statistics).
+    restrictions: u64,
+}
+
+impl CtaThrottle {
+    /// Creates counters for `max_ctas` CTA slots.
+    pub fn new(max_ctas: usize) -> CtaThrottle {
+        CtaThrottle {
+            slots: vec![None; max_ctas],
+            restrictions: 0,
+        }
+    }
+
+    /// Registers a CTA launch with worst-case demand `budget`
+    /// (`C = regs/warp × warps/CTA`).
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slot is occupied.
+    pub fn launch(&mut self, cta_slot: usize, budget: usize) {
+        assert!(
+            self.slots[cta_slot].is_none(),
+            "CTA slot {cta_slot} already occupied"
+        );
+        self.slots[cta_slot] = Some(CtaBalance {
+            budget,
+            assigned: 0,
+        });
+    }
+
+    /// Removes a completed CTA.
+    pub fn retire(&mut self, cta_slot: usize) {
+        self.slots[cta_slot] = None;
+    }
+
+    /// Notes a register allocated to a CTA.
+    pub fn on_alloc(&mut self, cta_slot: usize) {
+        if let Some(b) = &mut self.slots[cta_slot] {
+            b.assigned += 1;
+        }
+    }
+
+    /// Notes a register released by a CTA.
+    pub fn on_release(&mut self, cta_slot: usize) {
+        if let Some(b) = &mut self.slots[cta_slot] {
+            b.assigned = b.assigned.saturating_sub(1);
+        }
+    }
+
+    /// The balance `C − k_i` of a resident CTA (saturating at zero:
+    /// a CTA may transiently hold more than its compiler-declared
+    /// worst case when exempt static allocations are counted).
+    pub fn balance(&self, cta_slot: usize) -> Option<usize> {
+        self.slots[cta_slot].map(|b| b.budget.saturating_sub(b.assigned))
+    }
+
+    /// The resident CTA with the minimum balance (ties broken by the
+    /// lowest slot).
+    pub fn min_balance_cta(&self) -> Option<(usize, usize)> {
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(|(i, s)| s.map(|b| (i, b.budget.saturating_sub(b.assigned))))
+            .min_by_key(|&(i, bal)| (bal, i))
+    }
+
+    /// Decides whether issue must be restricted given the free
+    /// physical register count (paper §8.1).
+    pub fn decide(&mut self, free_regs: usize) -> ThrottleDecision {
+        match self.min_balance_cta() {
+            Some((slot, bal)) if free_regs <= bal => {
+                self.restrictions += 1;
+                ThrottleDecision::OnlyCta(slot)
+            }
+            _ => ThrottleDecision::Unrestricted,
+        }
+    }
+
+    /// Number of resident CTAs.
+    pub fn resident(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Times the throttle restricted issue.
+    pub fn restrictions(&self) -> u64 {
+        self.restrictions
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn open_when_registers_plentiful() {
+        let mut t = CtaThrottle::new(8);
+        t.launch(0, 100);
+        t.launch(1, 100);
+        assert_eq!(t.decide(512), ThrottleDecision::Unrestricted);
+        assert_eq!(t.resident(), 2);
+    }
+
+    #[test]
+    fn restricts_to_min_balance_cta() {
+        let mut t = CtaThrottle::new(8);
+        t.launch(0, 100);
+        t.launch(1, 100);
+        // CTA 1 already holds 80 registers -> balance 20
+        for _ in 0..80 {
+            t.on_alloc(1);
+        }
+        assert_eq!(t.balance(1), Some(20));
+        // 15 free < min balance 20 -> restrict to CTA 1
+        assert_eq!(t.decide(15), ThrottleDecision::OnlyCta(1));
+        assert_eq!(t.restrictions(), 1);
+        // 50 free > 20 -> open again
+        assert_eq!(t.decide(50), ThrottleDecision::Unrestricted);
+    }
+
+    #[test]
+    fn releases_restore_balance() {
+        let mut t = CtaThrottle::new(2);
+        t.launch(0, 10);
+        for _ in 0..10 {
+            t.on_alloc(0);
+        }
+        assert_eq!(t.balance(0), Some(0));
+        for _ in 0..4 {
+            t.on_release(0);
+        }
+        assert_eq!(t.balance(0), Some(4));
+    }
+
+    #[test]
+    fn retire_frees_the_slot() {
+        let mut t = CtaThrottle::new(2);
+        t.launch(0, 10);
+        t.retire(0);
+        assert_eq!(t.balance(0), None);
+        assert_eq!(t.min_balance_cta(), None);
+        t.launch(0, 20); // reusable
+        assert_eq!(t.balance(0), Some(20));
+    }
+
+    #[test]
+    fn over_budget_saturates() {
+        let mut t = CtaThrottle::new(1);
+        t.launch(0, 2);
+        for _ in 0..5 {
+            t.on_alloc(0);
+        }
+        assert_eq!(t.balance(0), Some(0));
+    }
+
+    #[test]
+    fn no_ctas_means_unrestricted() {
+        let mut t = CtaThrottle::new(4);
+        assert_eq!(t.decide(0), ThrottleDecision::Unrestricted);
+    }
+
+    #[test]
+    #[should_panic(expected = "already occupied")]
+    fn double_launch_panics() {
+        let mut t = CtaThrottle::new(1);
+        t.launch(0, 1);
+        t.launch(0, 1);
+    }
+}

@@ -1,0 +1,221 @@
+//! Register-file invariants under randomized allocate/release churn.
+
+use proptest::prelude::*;
+
+use rfv_core::{CtaThrottle, RegFileConfig, RegisterFile, ThrottleDecision, WriteOutcome};
+use rfv_isa::ArchReg;
+
+/// One step of the churn workload.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Write { warp: usize, reg: u8 },
+    Release { warp: usize, reg: u8 },
+    Retire { warp: usize },
+}
+
+fn arb_op(warps: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        3 => (0..warps, 0u8..63).prop_map(|(warp, reg)| Op::Write { warp, reg }),
+        2 => (0..warps, 0u8..63).prop_map(|(warp, reg)| Op::Release { warp, reg }),
+        1 => (0..warps).prop_map(|warp| Op::Retire { warp }),
+    ]
+}
+
+proptest! {
+    /// Conservation: live + free == capacity at every step, the live
+    /// count equals the sum of mappings, and subarray occupancy is
+    /// consistent with the live count.
+    #[test]
+    fn churn_conserves_registers(
+        ops in proptest::collection::vec(arb_op(8), 1..300),
+        shrink in prop_oneof![Just(0usize), Just(50), Just(75)],
+    ) {
+        let config = if shrink == 0 {
+            RegFileConfig::baseline_full()
+        } else {
+            RegFileConfig::shrunk(shrink)
+        };
+        let capacity = config.phys_regs;
+        let mut rf = RegisterFile::new(config, 8).unwrap();
+        let mut now = 0u64;
+        for op in ops {
+            now += 1;
+            match op {
+                Op::Write { warp, reg } => {
+                    let _ = rf.write(warp, ArchReg::new(reg), now);
+                }
+                Op::Release { warp, reg } => {
+                    rf.release(warp, ArchReg::new(reg), now);
+                }
+                Op::Retire { warp } => {
+                    rf.retire_warp(warp, now);
+                }
+            }
+            prop_assert_eq!(rf.live_count() + rf.free_count(), capacity);
+            prop_assert!(rf.stats().peak_live <= capacity);
+            // occupied subarrays can hold at most capacity registers
+            prop_assert!(rf.subarrays_on() <= 16);
+            if rf.live_count() == 0 && rf.config().power_gating {
+                prop_assert_eq!(rf.subarrays_on(), 0);
+            }
+        }
+        // retiring everything returns the file to empty
+        for warp in 0..8 {
+            rf.retire_warp(warp, now + 1);
+        }
+        prop_assert_eq!(rf.live_count(), 0);
+        prop_assert_eq!(rf.free_count(), capacity);
+    }
+
+    /// Reads after writes always observe the same physical register
+    /// until a release or retirement intervenes.
+    #[test]
+    fn mapping_is_stable_between_writes(
+        regs in proptest::collection::vec(0u8..63, 1..40),
+    ) {
+        let mut rf = RegisterFile::new(RegFileConfig::baseline_full(), 4).unwrap();
+        for (i, &reg) in regs.iter().enumerate() {
+            let warp = i % 4;
+            let r = ArchReg::new(reg);
+            if let WriteOutcome::Mapped { phys, .. } = rf.write(warp, r, i as u64) {
+                prop_assert_eq!(rf.read(warp, r), Some(phys));
+                // a second write keeps the mapping
+                if let WriteOutcome::Mapped { phys: p2, newly_allocated, .. } =
+                    rf.write(warp, r, i as u64)
+                {
+                    prop_assert_eq!(p2, phys);
+                    prop_assert!(!newly_allocated);
+                }
+            }
+        }
+    }
+
+    /// The throttle's balance arithmetic: k_i tracks alloc/release
+    /// pairs and the decision flips exactly at `free <= min balance`.
+    #[test]
+    fn throttle_balance_arithmetic(
+        allocs in proptest::collection::vec(0usize..4, 0..200),
+        budget in 50usize..200,
+    ) {
+        let mut t = CtaThrottle::new(4);
+        for c in 0..4 {
+            t.launch(c, budget);
+        }
+        let mut k = [0usize; 4];
+        for c in allocs {
+            t.on_alloc(c);
+            k[c] += 1;
+        }
+        for (c, &kc) in k.iter().enumerate() {
+            prop_assert_eq!(t.balance(c), Some(budget.saturating_sub(kc)));
+        }
+        let min_bal = (0..4).map(|c| budget.saturating_sub(k[c])).min().unwrap();
+        prop_assert_eq!(
+            t.decide(min_bal + 1) == ThrottleDecision::Unrestricted,
+            true,
+            "one register above the minimum balance must stay open"
+        );
+        if min_bal > 0 {
+            prop_assert!(matches!(t.decide(min_bal), ThrottleDecision::OnlyCta(_)));
+        }
+    }
+}
+
+#[test]
+fn gating_integral_equals_manual_accounting() {
+    let mut rf = RegisterFile::new(RegFileConfig::baseline_full(), 2).unwrap();
+    // one register on from cycle 10 to 50: its subarray is on 40 cycles
+    let r = ArchReg::R0;
+    assert!(matches!(rf.write(0, r, 10), WriteOutcome::Mapped { .. }));
+    rf.release(0, r, 50);
+    assert_eq!(rf.subarray_on_integral(100), 40);
+    // two registers in the same subarray: no double counting
+    assert!(matches!(
+        rf.write(0, ArchReg::R0, 100),
+        WriteOutcome::Mapped { .. }
+    ));
+    assert!(matches!(
+        rf.write(0, ArchReg::R4, 100),
+        WriteOutcome::Mapped { .. }
+    ));
+    rf.release(0, ArchReg::R0, 120);
+    rf.release(0, ArchReg::R4, 150);
+    assert_eq!(rf.subarray_on_integral(200), 40 + 50);
+}
+
+#[test]
+fn static_and_dynamic_mappings_do_not_alias() {
+    let mut rf = RegisterFile::new(RegFileConfig::baseline_full(), 4).unwrap();
+    rf.launch_warp(0, [ArchReg::R0, ArchReg::R1], 0).unwrap();
+    let s0 = rf.read(0, ArchReg::R0).unwrap();
+    let s1 = rf.read(0, ArchReg::R1).unwrap();
+    let WriteOutcome::Mapped { phys: d0, .. } = rf.write(0, ArchReg::R2, 0) else {
+        panic!()
+    };
+    let WriteOutcome::Mapped { phys: d1, .. } = rf.write(1, ArchReg::R2, 0) else {
+        panic!()
+    };
+    let all = [s0, s1, d0, d1];
+    for (i, a) in all.iter().enumerate() {
+        for b in &all[i + 1..] {
+            assert_ne!(a, b, "physical registers must be exclusive");
+        }
+    }
+}
+
+#[test]
+fn alloc_failure_reports_and_recovers() {
+    // a 75%-shrunk file has 64 registers per bank
+    let mut rf = RegisterFile::new(RegFileConfig::shrunk(75), 48).unwrap();
+    let mut held = Vec::new();
+    // fill warp 0's bank-0 registers (ids ≡ 0 mod 4 for warp 0)
+    for id in (0..60u8).step_by(4) {
+        for w in (0..48).step_by(4) {
+            match rf.write(w, ArchReg::new(id), 0) {
+                WriteOutcome::Mapped { .. } => held.push((w, id)),
+                WriteOutcome::NoFreeRegister => {}
+            }
+        }
+    }
+    assert_eq!(held.len(), 64, "bank 0 holds exactly 64 in the 16 KB file");
+    assert!(matches!(
+        rf.write(0, ArchReg::new(60), 0),
+        WriteOutcome::NoFreeRegister
+    ));
+    // releasing one register makes the next allocation succeed
+    let (w, id) = held[0];
+    assert!(rf.release(w, ArchReg::new(id), 1));
+    assert!(matches!(
+        rf.write(0, ArchReg::new(60), 2),
+        WriteOutcome::Mapped { .. }
+    ));
+}
+
+#[test]
+fn failed_static_launch_rolls_back_cleanly() {
+    // demand more static registers than the file holds: the failing
+    // launch must leave the slot clean and the file unchanged
+    let mut rf = RegisterFile::new(RegFileConfig::shrunk(75), 48).unwrap();
+    let many: Vec<ArchReg> = (0..48u8).map(ArchReg::new).collect();
+    let mut launched = 0;
+    let mut failed_at = None;
+    for w in 0..48 {
+        match rf.launch_warp(w, many.iter().copied(), 0) {
+            Ok(()) => launched += 1,
+            Err(_) => {
+                failed_at = Some(w);
+                break;
+            }
+        }
+    }
+    let w = failed_at.expect("a 16 KB file cannot hold 48 warps x 48 regs");
+    assert_eq!(
+        rf.live_count(),
+        launched * 48,
+        "failed launch must not leak"
+    );
+    // the failed slot is reusable with a smaller set
+    rf.retire_warp(0, 1); // make room
+    assert!(rf.launch_warp(w, (0..4u8).map(ArchReg::new), 2).is_ok());
+    assert_eq!(rf.live_count(), (launched - 1) * 48 + 4);
+}

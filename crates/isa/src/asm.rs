@@ -1,0 +1,542 @@
+//! A text assembler for the disassembly syntax: parse what
+//! [`Kernel::disassemble`] prints (plus labels) back into a [`Kernel`].
+//!
+//! Grammar, one item per line:
+//!
+//! ```text
+//! /*0010*/  IADD r4, r5, 0x10        ; leading address comments optional
+//! @!p0 BRA -> 0x6                    ; absolute slot target…
+//! @p1 BRA -> loop                    ; …or a label reference
+//! loop:                              ; label definition
+//! LDG r0, [r2+0x40]
+//! STG [r2+0x0], r3
+//! ISETP.NE p0, r8, 0x0
+//! SEL r3, r2, 0x7, p2
+//! S2R.TID.X r0
+//! .pir 000 000 …                     ; 18 groups, most-significant first
+//! .pbr r3 r7
+//! EXIT
+//! ```
+//!
+//! `#`/`;`-prefixed comments and blank lines are ignored.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::{Instr, Operand, PredGuard};
+use crate::kernel::{Kernel, LaunchConfig, ProgItem};
+use crate::meta::{Pbr, Pir, ReleaseFlags, PIR_COVERAGE};
+use crate::op::{Cond, Opcode, Special};
+use crate::reg::{ArchReg, Pred};
+
+/// Parse failure, with the 1-based source line.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ParseError {
+    /// 1-based line number.
+    pub line: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err<T>(line: usize, message: impl Into<String>) -> Result<T, ParseError> {
+    Err(ParseError {
+        line,
+        message: message.into(),
+    })
+}
+
+/// Parses assembly text into a kernel.
+///
+/// # Errors
+///
+/// Returns the first syntax error, unresolved label, or kernel
+/// validation failure.
+pub fn parse_kernel(
+    name: impl Into<String>,
+    text: &str,
+    launch: LaunchConfig,
+) -> Result<Kernel, ParseError> {
+    let mut items: Vec<ProgItem> = Vec::new();
+    let mut labels: HashMap<String, usize> = HashMap::new();
+    let mut fixups: Vec<(usize, String, usize)> = Vec::new(); // (slot, label, line)
+
+    for (idx, raw) in text.lines().enumerate() {
+        let line_no = idx + 1;
+        let mut line = raw.trim();
+        // strip a leading /*addr*/ comment
+        if let Some(rest) = line.strip_prefix("/*") {
+            match rest.split_once("*/") {
+                Some((_, tail)) => line = tail.trim(),
+                None => return err(line_no, "unterminated /*address*/ comment"),
+            }
+        }
+        // strip trailing comments
+        if let Some(pos) = line.find([';', '#']) {
+            line = line[..pos].trim();
+        }
+        if line.is_empty() {
+            continue;
+        }
+        // label definition
+        if let Some(label) = line.strip_suffix(':') {
+            let label = label.trim();
+            if label.is_empty() || label.contains(char::is_whitespace) {
+                return err(line_no, format!("bad label `{label}`"));
+            }
+            if labels.insert(label.to_string(), items.len()).is_some() {
+                return err(line_no, format!("duplicate label `{label}`"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".pir") {
+            items.push(ProgItem::Pir(parse_pir(rest, line_no)?));
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(".pbr") {
+            items.push(ProgItem::Pbr(parse_pbr(rest, line_no)?));
+            continue;
+        }
+        let (instr, label_ref) = parse_instr(line, line_no)?;
+        if let Some(label) = label_ref {
+            fixups.push((items.len(), label, line_no));
+        }
+        items.push(ProgItem::Instr(instr));
+    }
+
+    for (slot, label, line_no) in fixups {
+        let Some(&target) = labels.get(&label) else {
+            return err(line_no, format!("unresolved label `{label}`"));
+        };
+        if let ProgItem::Instr(i) = &mut items[slot] {
+            i.target = Some(target);
+        }
+    }
+
+    Kernel::new(name, items, launch).map_err(|e| ParseError {
+        line: 0,
+        message: e,
+    })
+}
+
+fn parse_pir(rest: &str, line: usize) -> Result<Pir, ParseError> {
+    let groups: Vec<&str> = rest.split_whitespace().collect();
+    if groups.len() != PIR_COVERAGE {
+        return err(
+            line,
+            format!(
+                ".pir needs {PIR_COVERAGE} flag groups, got {}",
+                groups.len()
+            ),
+        );
+    }
+    let mut pir = Pir::new();
+    // printed most-significant (instruction 17) first
+    for (i, g) in groups.iter().enumerate() {
+        let bits = u8::from_str_radix(g, 2).map_err(|_| ParseError {
+            line,
+            message: format!("bad flag group `{g}`"),
+        })?;
+        if bits >= 8 {
+            return err(line, format!("flag group `{g}` exceeds 3 bits"));
+        }
+        pir.set_flags(PIR_COVERAGE - 1 - i, ReleaseFlags::from_bits(bits));
+    }
+    Ok(pir)
+}
+
+fn parse_pbr(rest: &str, line: usize) -> Result<Pbr, ParseError> {
+    let mut pbr = Pbr::new();
+    for tok in rest.split_whitespace() {
+        let reg = parse_reg(tok, line)?;
+        pbr.push(reg).map_err(|e| ParseError {
+            line,
+            message: e.to_string(),
+        })?;
+    }
+    Ok(pbr)
+}
+
+fn parse_reg(tok: &str, line: usize) -> Result<ArchReg, ParseError> {
+    tok.strip_prefix('r')
+        .and_then(|n| n.parse::<u8>().ok())
+        .and_then(ArchReg::try_new)
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("bad register `{tok}`"),
+        })
+}
+
+fn parse_pred(tok: &str, line: usize) -> Result<Pred, ParseError> {
+    match tok {
+        "p0" => Ok(Pred::P0),
+        "p1" => Ok(Pred::P1),
+        "p2" => Ok(Pred::P2),
+        "p3" => Ok(Pred::P3),
+        _ => err(line, format!("bad predicate `{tok}`")),
+    }
+}
+
+fn parse_imm(tok: &str, line: usize) -> Result<i32, ParseError> {
+    let (neg, body) = match tok.strip_prefix('-') {
+        Some(b) => (true, b),
+        None => (false, tok),
+    };
+    let value = if let Some(hex) = body.strip_prefix("0x") {
+        u32::from_str_radix(hex, 16).map(|v| v as i32)
+    } else {
+        body.parse::<i32>()
+    };
+    match value {
+        Ok(v) => Ok(if neg { v.wrapping_neg() } else { v }),
+        Err(_) => err(line, format!("bad immediate `{tok}`")),
+    }
+}
+
+fn parse_operand(tok: &str, line: usize) -> Result<Operand, ParseError> {
+    if tok.starts_with('r') && tok[1..].chars().all(|c| c.is_ascii_digit()) {
+        Ok(Operand::Reg(parse_reg(tok, line)?))
+    } else {
+        Ok(Operand::Imm(parse_imm(tok, line)?))
+    }
+}
+
+/// Parses `[rN+0xOFF]` or `[0xADDR+0xOFF]` into (address operand, offset).
+fn parse_mem(tok: &str, line: usize) -> Result<(Operand, i32), ParseError> {
+    let inner = tok
+        .strip_prefix('[')
+        .and_then(|t| t.strip_suffix(']'))
+        .ok_or_else(|| ParseError {
+            line,
+            message: format!("bad memory operand `{tok}`"),
+        })?;
+    match inner.rsplit_once('+') {
+        Some((base, off)) => Ok((parse_operand(base, line)?, parse_imm(off, line)?)),
+        None => Ok((parse_operand(inner, line)?, 0)),
+    }
+}
+
+fn mnemonic_opcode(m: &str, line: usize) -> Result<Opcode, ParseError> {
+    use Opcode::*;
+    let cond = |c: &str| match c {
+        "LT" => Some(Cond::Lt),
+        "LE" => Some(Cond::Le),
+        "GT" => Some(Cond::Gt),
+        "GE" => Some(Cond::Ge),
+        "EQ" => Some(Cond::Eq),
+        "NE" => Some(Cond::Ne),
+        _ => None,
+    };
+    if let Some(c) = m.strip_prefix("ISETP.") {
+        return cond(c).map(Isetp).ok_or_else(|| ParseError {
+            line,
+            message: format!("bad condition `{c}`"),
+        });
+    }
+    if let Some(c) = m.strip_prefix("FSETP.") {
+        return cond(c).map(Fsetp).ok_or_else(|| ParseError {
+            line,
+            message: format!("bad condition `{c}`"),
+        });
+    }
+    if let Some(s) = m.strip_prefix("S2R.") {
+        let special = match s {
+            "TID.X" => Special::TidX,
+            "CTAID.X" => Special::CtaIdX,
+            "NTID.X" => Special::NTidX,
+            "NCTAID.X" => Special::NCtaIdX,
+            "LANEID" => Special::LaneId,
+            "WARPID" => Special::WarpId,
+            _ => return err(line, format!("bad special register `{s}`")),
+        };
+        return Ok(S2r(special));
+    }
+    Ok(match m {
+        "IADD" => Iadd,
+        "ISUB" => Isub,
+        "IMUL" => Imul,
+        "IMAD" => Imad,
+        "AND" => And,
+        "OR" => Or,
+        "XOR" => Xor,
+        "SHL" => Shl,
+        "SHR" => Shr,
+        "MOV" => Mov,
+        "IMIN" => Imin,
+        "IMAX" => Imax,
+        "SEL" => Sel,
+        "FADD" => Fadd,
+        "FMUL" => Fmul,
+        "FFMA" => Ffma,
+        "FMIN" => Fmin,
+        "FMAX" => Fmax,
+        "FRCP" => Frcp,
+        "FSQRT" => Fsqrt,
+        "FEXP" => Fexp,
+        "FLOG" => Flog,
+        "LDG" => Ldg,
+        "STG" => Stg,
+        "LDS" => Lds,
+        "STS" => Sts,
+        "LDL" => Ldl,
+        "STL" => Stl,
+        "BRA" => Bra,
+        "BAR.SYNC" | "BAR" => Bar,
+        "EXIT" => Exit,
+        "NOP" => Nop,
+        _ => return err(line, format!("unknown mnemonic `{m}`")),
+    })
+}
+
+fn parse_instr(line_text: &str, line: usize) -> Result<(Instr, Option<String>), ParseError> {
+    let mut rest = line_text;
+    // optional guard
+    let mut guard = None;
+    if let Some(g) = rest.strip_prefix('@') {
+        let (gtok, tail) = g
+            .split_once(char::is_whitespace)
+            .ok_or_else(|| ParseError {
+                line,
+                message: "guard without instruction".into(),
+            })?;
+        let (negated, ptok) = match gtok.strip_prefix('!') {
+            Some(p) => (true, p),
+            None => (false, gtok),
+        };
+        guard = Some(PredGuard {
+            pred: parse_pred(ptok, line)?,
+            negated,
+        });
+        rest = tail.trim_start();
+    }
+    let (mnemonic, operands_text) = match rest.split_once(char::is_whitespace) {
+        Some((m, t)) => (m, t.trim()),
+        None => (rest, ""),
+    };
+    let opcode = mnemonic_opcode(mnemonic, line)?;
+    let mut i = Instr::new(opcode);
+    i.guard = guard;
+
+    // branch: "-> 0x6" or "-> label"
+    if opcode == Opcode::Bra {
+        let target = operands_text
+            .strip_prefix("->")
+            .map(str::trim)
+            .ok_or_else(|| ParseError {
+                line,
+                message: "BRA needs `-> target`".into(),
+            })?;
+        if let Some(hex) = target.strip_prefix("0x") {
+            let t = usize::from_str_radix(hex, 16).map_err(|_| ParseError {
+                line,
+                message: format!("bad branch target `{target}`"),
+            })?;
+            i.target = Some(t);
+            return Ok((i, None));
+        }
+        if let Ok(t) = target.parse::<usize>() {
+            i.target = Some(t);
+            return Ok((i, None));
+        }
+        i.target = Some(usize::MAX); // patched by the fixup pass
+        return Ok((i, Some(target.to_string())));
+    }
+
+    let tokens: Vec<&str> = operands_text
+        .split(',')
+        .map(str::trim)
+        .filter(|t| !t.is_empty())
+        .collect();
+
+    if opcode.is_mem() {
+        if opcode.is_load() {
+            // LDG dst, [addr+off]
+            if tokens.len() != 2 {
+                return err(line, "load needs `dst, [addr+off]`");
+            }
+            i.dst = Some(parse_reg(tokens[0], line)?);
+            let (addr, off) = parse_mem(tokens[1], line)?;
+            i.srcs.push(addr);
+            i.mem_offset = off;
+        } else {
+            // STG [addr+off], data
+            if tokens.len() != 2 {
+                return err(line, "store needs `[addr+off], data`");
+            }
+            let (addr, off) = parse_mem(tokens[0], line)?;
+            let data = parse_operand(tokens[1], line)?;
+            i.srcs.push(addr);
+            i.srcs.push(data);
+            i.mem_offset = off;
+        }
+        return Ok((i, None));
+    }
+
+    let mut toks = tokens.into_iter();
+    if opcode.writes_reg() {
+        let dst = toks.next().ok_or_else(|| ParseError {
+            line,
+            message: "missing destination".into(),
+        })?;
+        i.dst = Some(parse_reg(dst, line)?);
+    } else if opcode.writes_pred() {
+        let pdst = toks.next().ok_or_else(|| ParseError {
+            line,
+            message: "missing destination predicate".into(),
+        })?;
+        i.pdst = Some(parse_pred(pdst, line)?);
+    }
+    // SEL's trailing predicate source
+    let remaining: Vec<&str> = toks.collect();
+    let (srcs, psrc) = if opcode == Opcode::Sel {
+        match remaining.split_last() {
+            Some((last, rest)) => (rest.to_vec(), Some(parse_pred(last, line)?)),
+            None => return err(line, "SEL needs sources and a predicate"),
+        }
+    } else {
+        (remaining, None)
+    };
+    i.psrc = psrc;
+    for s in srcs {
+        i.srcs.push(parse_operand(s, line)?);
+    }
+    if let Err(e) = i.validate() {
+        return err(line, e);
+    }
+    Ok((i, None))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::KernelBuilder;
+
+    fn launch() -> LaunchConfig {
+        LaunchConfig::new(2, 64, 2)
+    }
+
+    #[test]
+    fn disassembly_roundtrips() {
+        let mut b = KernelBuilder::new("rt");
+        b.s2r(ArchReg::R0, Special::TidX);
+        b.imad(
+            ArchReg::R1,
+            ArchReg::R0,
+            Operand::Imm(4),
+            Operand::Reg(ArchReg::R0),
+        );
+        b.ldg(ArchReg::R2, ArchReg::R1, 0x100);
+        b.isetp(Cond::Ne, Pred::P2, ArchReg::R2, Operand::Imm(0));
+        b.guard(PredGuard::if_false(Pred::P2));
+        b.bra("end");
+        b.sel(
+            ArchReg::R3,
+            Operand::Reg(ArchReg::R2),
+            Operand::Imm(7),
+            Pred::P2,
+        );
+        b.stg(ArchReg::R1, ArchReg::R3, 0x2000);
+        b.label("end");
+        b.exit();
+        let k = b.build(launch()).unwrap();
+        let text = k.disassemble();
+        let parsed = parse_kernel("rt", &text, launch()).unwrap();
+        assert_eq!(parsed, k);
+    }
+
+    #[test]
+    fn compiled_disassembly_with_metadata_roundtrips() {
+        use crate::meta::{Pbr, Pir, ReleaseFlags};
+        let mut pir = Pir::new();
+        pir.set_flags(2, ReleaseFlags::from_bits(0b101));
+        let pbr = Pbr::from_regs(vec![ArchReg::new(9), ArchReg::new(44)]).unwrap();
+        let mut b = KernelBuilder::new("m");
+        b.mov(ArchReg::R0, 1);
+        b.exit();
+        let base = b.build(launch()).unwrap();
+        let mut items = vec![ProgItem::Pir(pir), ProgItem::Pbr(pbr)];
+        items.extend(base.items().iter().cloned());
+        let k = Kernel::new("m", items, launch()).unwrap();
+        let parsed = parse_kernel("m", &k.disassemble(), launch()).unwrap();
+        assert_eq!(parsed, k);
+    }
+
+    #[test]
+    fn labels_resolve_forward_and_backward() {
+        let text = "
+            MOV r0, 10
+        top:
+            IADD r0, r0, -1
+            ISETP.GT p0, r0, 0x0
+            @p0 BRA -> top
+            @!p0 BRA -> done
+            NOP
+        done:
+            EXIT
+        ";
+        let k = parse_kernel("l", text, launch()).unwrap();
+        let instrs: Vec<_> = k.items().iter().filter_map(|i| i.as_instr()).collect();
+        assert_eq!(instrs[3].target, Some(1));
+        assert_eq!(instrs[4].target, Some(6));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "
+            # a comment
+            MOV r0, 0x2a   ; trailing comment
+
+            /*0008*/ EXIT
+        ";
+        let k = parse_kernel("c", text, launch()).unwrap();
+        assert_eq!(k.num_machine_instrs(), 2);
+        let mov = k.items()[0].as_instr().unwrap();
+        assert_eq!(mov.srcs[0], Operand::Imm(0x2a));
+    }
+
+    #[test]
+    fn negative_hex_immediates_parse_like_display_prints() {
+        // Display prints -1 as 0xffffffff
+        let text = "IADD r1, r0, 0xffffffff\nEXIT";
+        let k = parse_kernel("n", text, launch()).unwrap();
+        assert_eq!(k.items()[0].as_instr().unwrap().srcs[1], Operand::Imm(-1));
+        // and explicit negatives work too
+        let text = "IADD r1, r0, -5\nEXIT";
+        let k = parse_kernel("n2", text, launch()).unwrap();
+        assert_eq!(k.items()[0].as_instr().unwrap().srcs[1], Operand::Imm(-5));
+    }
+
+    #[test]
+    fn errors_carry_line_numbers() {
+        let e = parse_kernel("e", "MOV r0, 1\nBOGUS r1\nEXIT", launch()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("BOGUS"));
+        let e = parse_kernel("e", "BRA -> nowhere\nEXIT", launch()).unwrap_err();
+        assert!(e.message.contains("unresolved"));
+        let e = parse_kernel("e", "LDG r0\nEXIT", launch()).unwrap_err();
+        assert!(e.message.contains("load needs"));
+    }
+
+    #[test]
+    fn duplicate_labels_rejected() {
+        let e = parse_kernel("d", "x:\nx:\nEXIT", launch()).unwrap_err();
+        assert!(e.message.contains("duplicate"));
+    }
+
+    #[test]
+    fn store_with_immediate_address_parses() {
+        // spill code uses immediate base addresses
+        let text = "STL [0x0+0x8], r3\nLDL r4, [0x0+0x8]\nEXIT";
+        let k = parse_kernel("s", text, launch()).unwrap();
+        let st = k.items()[0].as_instr().unwrap();
+        assert_eq!(st.srcs[0], Operand::Imm(0));
+        assert_eq!(st.mem_offset, 8);
+    }
+}

@@ -1,0 +1,463 @@
+//! `KernelBuilder` — a tiny assembler with labels for authoring
+//! kernels in Rust.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::instr::{Instr, Operand, PredGuard};
+use crate::kernel::{Kernel, LaunchConfig, ProgItem};
+use crate::op::{Cond, Opcode, Special};
+use crate::reg::{ArchReg, Pred};
+
+/// Error produced while assembling a kernel.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum BuildError {
+    /// A branch referenced a label that was never defined.
+    UnresolvedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// An emitted instruction failed structural validation.
+    InvalidInstr(String),
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::UnresolvedLabel(l) => write!(f, "unresolved label `{l}`"),
+            BuildError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            BuildError::InvalidInstr(e) => write!(f, "invalid instruction: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// An incremental kernel assembler.
+///
+/// Instructions are appended with one method per opcode; `label`
+/// defines branch targets that may be referenced before or after their
+/// definition. `guard` attaches a predicate guard to the *next*
+/// emitted instruction.
+///
+/// ```
+/// use rfv_isa::prelude::*;
+///
+/// let mut b = KernelBuilder::new("count_down");
+/// let r0 = ArchReg::R0;
+/// b.mov(r0, Operand::Imm(10));
+/// b.label("loop");
+/// b.iadd(r0, r0, Operand::Imm(-1));
+/// b.isetp(Cond::Gt, Pred::P0, r0, Operand::Imm(0));
+/// b.guard(PredGuard::if_true(Pred::P0));
+/// b.bra("loop");
+/// b.exit();
+/// let k = b.build(LaunchConfig::new(1, 32, 1))?;
+/// assert_eq!(k.num_machine_instrs(), 5);
+/// # Ok::<(), rfv_isa::builder::BuildError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct KernelBuilder {
+    name: String,
+    instrs: Vec<Instr>,
+    labels: HashMap<String, usize>,
+    fixups: Vec<(usize, String)>,
+    pending_guard: Option<PredGuard>,
+}
+
+impl KernelBuilder {
+    /// Creates a builder for a kernel named `name`.
+    pub fn new(name: impl Into<String>) -> KernelBuilder {
+        KernelBuilder {
+            name: name.into(),
+            ..KernelBuilder::default()
+        }
+    }
+
+    /// Number of instructions emitted so far (also: the PC the next
+    /// instruction will occupy).
+    pub fn pc(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Defines a label at the current PC.
+    ///
+    /// # Panics
+    ///
+    /// Panics on duplicate definition (an assembly bug, caught early).
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let prev = self.labels.insert(name.clone(), self.instrs.len());
+        assert!(prev.is_none(), "duplicate label `{name}`");
+        self
+    }
+
+    /// Attaches a guard to the next emitted instruction.
+    pub fn guard(&mut self, guard: PredGuard) -> &mut Self {
+        self.pending_guard = Some(guard);
+        self
+    }
+
+    fn emit(&mut self, mut instr: Instr) -> &mut Self {
+        if let Some(g) = self.pending_guard.take() {
+            instr.guard = Some(g);
+        }
+        self.instrs.push(instr);
+        self
+    }
+
+    fn emit3(&mut self, opcode: Opcode, dst: ArchReg, srcs: Vec<Operand>) -> &mut Self {
+        let mut i = Instr::new(opcode);
+        i.dst = Some(dst);
+        i.srcs = srcs;
+        self.emit(i)
+    }
+
+    // --- moves and special registers ---
+
+    /// `dst = src`
+    pub fn mov(&mut self, dst: ArchReg, src: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Mov, dst, vec![src.into()])
+    }
+
+    /// `dst = special`
+    pub fn s2r(&mut self, dst: ArchReg, special: Special) -> &mut Self {
+        self.emit3(Opcode::S2r(special), dst, vec![])
+    }
+
+    // --- integer ALU ---
+
+    /// `dst = a + b`
+    pub fn iadd(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Iadd, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a - b`
+    pub fn isub(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Isub, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a * b`
+    pub fn imul(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Imul, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a * b + c`
+    pub fn imad(
+        &mut self,
+        dst: ArchReg,
+        a: ArchReg,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> &mut Self {
+        self.emit3(Opcode::Imad, dst, vec![a.into(), b.into(), c.into()])
+    }
+
+    /// `dst = a & b`
+    pub fn and(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::And, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a | b`
+    pub fn or(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Or, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a ^ b`
+    pub fn xor(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Xor, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a << b`
+    pub fn shl(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Shl, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a >> b`
+    pub fn shr(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Shr, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = min(a, b)` (signed)
+    pub fn imin(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Imin, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = max(a, b)` (signed)
+    pub fn imax(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Imax, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = pred ? a : b`
+    pub fn sel(
+        &mut self,
+        dst: ArchReg,
+        a: impl Into<Operand>,
+        b: impl Into<Operand>,
+        pred: Pred,
+    ) -> &mut Self {
+        let mut i = Instr::new(Opcode::Sel);
+        i.dst = Some(dst);
+        i.srcs = vec![a.into(), b.into()];
+        i.psrc = Some(pred);
+        self.emit(i)
+    }
+
+    // --- float ALU ---
+
+    /// `dst = a + b` (f32)
+    pub fn fadd(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Fadd, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a * b` (f32)
+    pub fn fmul(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Fmul, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = a * b + c` (f32)
+    pub fn ffma(
+        &mut self,
+        dst: ArchReg,
+        a: ArchReg,
+        b: impl Into<Operand>,
+        c: impl Into<Operand>,
+    ) -> &mut Self {
+        self.emit3(Opcode::Ffma, dst, vec![a.into(), b.into(), c.into()])
+    }
+
+    /// `dst = min(a, b)` (f32)
+    pub fn fmin(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Fmin, dst, vec![a.into(), b.into()])
+    }
+
+    /// `dst = max(a, b)` (f32)
+    pub fn fmax(&mut self, dst: ArchReg, a: ArchReg, b: impl Into<Operand>) -> &mut Self {
+        self.emit3(Opcode::Fmax, dst, vec![a.into(), b.into()])
+    }
+
+    // --- SFU ---
+
+    /// `dst = 1 / a` (f32)
+    pub fn frcp(&mut self, dst: ArchReg, a: ArchReg) -> &mut Self {
+        self.emit3(Opcode::Frcp, dst, vec![a.into()])
+    }
+
+    /// `dst = sqrt(a)` (f32)
+    pub fn fsqrt(&mut self, dst: ArchReg, a: ArchReg) -> &mut Self {
+        self.emit3(Opcode::Fsqrt, dst, vec![a.into()])
+    }
+
+    /// `dst = exp2(a)` (f32)
+    pub fn fexp(&mut self, dst: ArchReg, a: ArchReg) -> &mut Self {
+        self.emit3(Opcode::Fexp, dst, vec![a.into()])
+    }
+
+    /// `dst = log2(a)` (f32)
+    pub fn flog(&mut self, dst: ArchReg, a: ArchReg) -> &mut Self {
+        self.emit3(Opcode::Flog, dst, vec![a.into()])
+    }
+
+    // --- predicates ---
+
+    /// `pdst = a <cond> b` (signed)
+    pub fn isetp(
+        &mut self,
+        cond: Cond,
+        pdst: Pred,
+        a: ArchReg,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        let mut i = Instr::new(Opcode::Isetp(cond));
+        i.pdst = Some(pdst);
+        i.srcs = vec![a.into(), b.into()];
+        self.emit(i)
+    }
+
+    /// `pdst = a <cond> b` (f32)
+    pub fn fsetp(
+        &mut self,
+        cond: Cond,
+        pdst: Pred,
+        a: ArchReg,
+        b: impl Into<Operand>,
+    ) -> &mut Self {
+        let mut i = Instr::new(Opcode::Fsetp(cond));
+        i.pdst = Some(pdst);
+        i.srcs = vec![a.into(), b.into()];
+        self.emit(i)
+    }
+
+    // --- memory ---
+
+    fn emit_load(&mut self, op: Opcode, dst: ArchReg, addr: ArchReg, offset: i32) -> &mut Self {
+        let mut i = Instr::new(op);
+        i.dst = Some(dst);
+        i.srcs = vec![addr.into()];
+        i.mem_offset = offset;
+        self.emit(i)
+    }
+
+    fn emit_store(&mut self, op: Opcode, addr: ArchReg, data: ArchReg, offset: i32) -> &mut Self {
+        let mut i = Instr::new(op);
+        i.srcs = vec![addr.into(), data.into()];
+        i.mem_offset = offset;
+        self.emit(i)
+    }
+
+    /// `dst = global[addr + offset]`
+    pub fn ldg(&mut self, dst: ArchReg, addr: ArchReg, offset: i32) -> &mut Self {
+        self.emit_load(Opcode::Ldg, dst, addr, offset)
+    }
+
+    /// `global[addr + offset] = data`
+    pub fn stg(&mut self, addr: ArchReg, data: ArchReg, offset: i32) -> &mut Self {
+        self.emit_store(Opcode::Stg, addr, data, offset)
+    }
+
+    /// `dst = shared[addr + offset]`
+    pub fn lds(&mut self, dst: ArchReg, addr: ArchReg, offset: i32) -> &mut Self {
+        self.emit_load(Opcode::Lds, dst, addr, offset)
+    }
+
+    /// `shared[addr + offset] = data`
+    pub fn sts(&mut self, addr: ArchReg, data: ArchReg, offset: i32) -> &mut Self {
+        self.emit_store(Opcode::Sts, addr, data, offset)
+    }
+
+    /// `dst = local[addr + offset]` (spill fill)
+    pub fn ldl(&mut self, dst: ArchReg, addr: ArchReg, offset: i32) -> &mut Self {
+        self.emit_load(Opcode::Ldl, dst, addr, offset)
+    }
+
+    /// `local[addr + offset] = data` (spill)
+    pub fn stl(&mut self, addr: ArchReg, data: ArchReg, offset: i32) -> &mut Self {
+        self.emit_store(Opcode::Stl, addr, data, offset)
+    }
+
+    // --- control ---
+
+    /// Branch to `label` (honours a pending guard for conditional
+    /// branches).
+    pub fn bra(&mut self, label: impl Into<String>) -> &mut Self {
+        let fixup_pc = self.instrs.len();
+        self.fixups.push((fixup_pc, label.into()));
+        let mut i = Instr::new(Opcode::Bra);
+        i.target = Some(usize::MAX); // patched by build()
+        self.emit(i)
+    }
+
+    /// CTA-wide barrier.
+    pub fn bar(&mut self) -> &mut Self {
+        self.emit(Instr::new(Opcode::Bar))
+    }
+
+    /// Thread exit.
+    pub fn exit(&mut self) -> &mut Self {
+        self.emit(Instr::new(Opcode::Exit))
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.emit(Instr::new(Opcode::Nop))
+    }
+
+    /// Resolves labels and produces the final [`Kernel`].
+    ///
+    /// # Errors
+    ///
+    /// Fails on unresolved labels or structurally invalid instructions.
+    pub fn build(mut self, launch: LaunchConfig) -> Result<Kernel, BuildError> {
+        for (pc, label) in &self.fixups {
+            let target = *self
+                .labels
+                .get(label)
+                .ok_or_else(|| BuildError::UnresolvedLabel(label.clone()))?;
+            self.instrs[*pc].target = Some(target);
+        }
+        let items = self.instrs.into_iter().map(ProgItem::Instr).collect();
+        Kernel::new(self.name, items, launch).map_err(BuildError::InvalidInstr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = KernelBuilder::new("t");
+        b.mov(ArchReg::R0, 0);
+        b.guard(PredGuard::if_true(Pred::P0));
+        b.bra("end"); // forward reference
+        b.label("loop");
+        b.iadd(ArchReg::R0, ArchReg::R0, 1);
+        b.bra("loop"); // backward reference
+        b.label("end");
+        b.exit();
+        let k = b.build(LaunchConfig::new(1, 32, 1)).unwrap();
+        let instrs: Vec<_> = k.items().iter().filter_map(|i| i.as_instr()).collect();
+        assert_eq!(instrs[1].target, Some(4)); // "end" is the EXIT at pc 4
+        assert_eq!(instrs[3].target, Some(2)); // "loop" is the IADD at pc 2
+    }
+
+    #[test]
+    fn unresolved_label_fails() {
+        let mut b = KernelBuilder::new("t");
+        b.bra("nowhere");
+        b.exit();
+        assert_eq!(
+            b.build(LaunchConfig::new(1, 32, 1)),
+            Err(BuildError::UnresolvedLabel("nowhere".into()))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate label")]
+    fn duplicate_label_panics() {
+        let mut b = KernelBuilder::new("t");
+        b.label("x");
+        b.label("x");
+    }
+
+    #[test]
+    fn guard_applies_to_next_instruction_only() {
+        let mut b = KernelBuilder::new("t");
+        b.guard(PredGuard::if_false(Pred::P1));
+        b.iadd(ArchReg::R0, ArchReg::R0, 1);
+        b.iadd(ArchReg::R1, ArchReg::R1, 1);
+        b.exit();
+        let k = b.build(LaunchConfig::new(1, 32, 1)).unwrap();
+        let instrs: Vec<_> = k.items().iter().filter_map(|i| i.as_instr()).collect();
+        assert!(instrs[0].guard.is_some());
+        assert!(instrs[1].guard.is_none());
+    }
+
+    #[test]
+    fn memory_forms() {
+        let mut b = KernelBuilder::new("t");
+        b.ldg(ArchReg::R1, ArchReg::R0, 16);
+        b.stg(ArchReg::R0, ArchReg::R1, 32);
+        b.lds(ArchReg::R2, ArchReg::R0, 0);
+        b.sts(ArchReg::R0, ArchReg::R2, 0);
+        b.ldl(ArchReg::R3, ArchReg::R0, 4);
+        b.stl(ArchReg::R0, ArchReg::R3, 4);
+        b.exit();
+        let k = b.build(LaunchConfig::new(1, 32, 1)).unwrap();
+        assert_eq!(k.num_machine_instrs(), 7);
+        assert_eq!(k.num_regs(), 4);
+    }
+
+    #[test]
+    fn doc_example_compiles_and_runs() {
+        let mut b = KernelBuilder::new("axpy");
+        b.s2r(ArchReg::R0, Special::TidX);
+        b.imad(ArchReg::R0, ArchReg::R0, Operand::Imm(4), Operand::Imm(0));
+        b.ldg(ArchReg::R1, ArchReg::R0, 0);
+        b.fmul(ArchReg::R1, ArchReg::R1, Operand::Imm(0x40000000)); // 2.0f
+        b.stg(ArchReg::R0, ArchReg::R1, 4096);
+        b.exit();
+        let k = b.build(LaunchConfig::new(4, 128, 4)).unwrap();
+        assert_eq!(k.num_regs(), 2);
+        assert_eq!(k.launch().warps_per_cta(), 4);
+    }
+}

@@ -1,0 +1,358 @@
+//! Machine instructions: operands, predicate guards, and the
+//! [`Instr`] type itself.
+
+use std::fmt;
+
+use crate::op::Opcode;
+use crate::reg::{ArchReg, Pred};
+use crate::MAX_SRC_OPERANDS;
+
+/// A source operand: an architected register or a 32-bit immediate.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Operand {
+    /// Architected register source.
+    Reg(ArchReg),
+    /// Immediate constant (sign-extended where relevant).
+    Imm(i32),
+}
+
+impl Operand {
+    /// The register this operand names, if any.
+    pub fn reg(self) -> Option<ArchReg> {
+        match self {
+            Operand::Reg(r) => Some(r),
+            Operand::Imm(_) => None,
+        }
+    }
+}
+
+impl From<ArchReg> for Operand {
+    fn from(r: ArchReg) -> Operand {
+        Operand::Reg(r)
+    }
+}
+
+impl From<i32> for Operand {
+    fn from(v: i32) -> Operand {
+        Operand::Imm(v)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Reg(r) => write!(f, "{r}"),
+            Operand::Imm(v) => write!(f, "{v:#x}"),
+        }
+    }
+}
+
+/// A predicate guard (`@p0` / `@!p0`) controlling whether an
+/// instruction executes in each lane.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub struct PredGuard {
+    /// The predicate register consulted.
+    pub pred: Pred,
+    /// When true the guard is the *negation* of the predicate.
+    pub negated: bool,
+}
+
+impl PredGuard {
+    /// Guard that executes lanes where `pred` is true.
+    pub fn if_true(pred: Pred) -> PredGuard {
+        PredGuard {
+            pred,
+            negated: false,
+        }
+    }
+
+    /// Guard that executes lanes where `pred` is false.
+    pub fn if_false(pred: Pred) -> PredGuard {
+        PredGuard {
+            pred,
+            negated: true,
+        }
+    }
+
+    /// Applies the guard to a raw predicate value.
+    pub fn passes(self, pred_value: bool) -> bool {
+        pred_value != self.negated
+    }
+}
+
+impl fmt::Display for PredGuard {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.negated {
+            write!(f, "@!{}", self.pred)
+        } else {
+            write!(f, "@{}", self.pred)
+        }
+    }
+}
+
+/// A single machine instruction.
+///
+/// Instructions carry at most [`MAX_SRC_OPERANDS`] register/immediate
+/// sources; memory operations additionally carry an immediate address
+/// offset, and branches carry a target PC (an instruction index within
+/// the kernel).
+#[derive(Clone, PartialEq, Eq, Hash, Debug)]
+pub struct Instr {
+    /// Operation to perform.
+    pub opcode: Opcode,
+    /// Destination register, when [`Opcode::writes_reg`].
+    pub dst: Option<ArchReg>,
+    /// Destination predicate, when [`Opcode::writes_pred`].
+    pub pdst: Option<Pred>,
+    /// Source operands (0 to 3).
+    pub srcs: Vec<Operand>,
+    /// Predicate source consumed by `SEL`.
+    pub psrc: Option<Pred>,
+    /// Immediate byte offset for memory operations.
+    pub mem_offset: i32,
+    /// Branch target PC (instruction index), for `BRA`.
+    pub target: Option<usize>,
+    /// Optional execution guard.
+    pub guard: Option<PredGuard>,
+}
+
+impl Instr {
+    /// Creates a bare instruction with no operands; used by the
+    /// builder, which then fills in the fields it needs.
+    pub fn new(opcode: Opcode) -> Instr {
+        Instr {
+            opcode,
+            dst: None,
+            pdst: None,
+            srcs: Vec::new(),
+            psrc: None,
+            mem_offset: 0,
+            target: None,
+            guard: None,
+        }
+    }
+
+    /// Register source operands, in operand-slot order.
+    ///
+    /// The slot position matters: the paper's per-instruction release
+    /// flag dedicates one bit per operand slot (§6.2), so the compiler
+    /// and the decode stage must agree on slot numbering.
+    pub fn src_regs(&self) -> impl Iterator<Item = (usize, ArchReg)> + '_ {
+        self.srcs
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, op)| op.reg().map(|r| (slot, r)))
+    }
+
+    /// All architected registers this instruction reads (deduplicated
+    /// only by slot; a register appearing in two slots appears twice).
+    pub fn reads(&self) -> impl Iterator<Item = ArchReg> + '_ {
+        self.src_regs().map(|(_, r)| r)
+    }
+
+    /// The architected register this instruction writes, if any.
+    pub fn writes(&self) -> Option<ArchReg> {
+        self.dst
+    }
+
+    /// Whether the instruction can fall through to the next PC.
+    ///
+    /// `EXIT` never falls through; an *unconditional* branch never
+    /// falls through; everything else does.
+    pub fn falls_through(&self) -> bool {
+        match self.opcode {
+            Opcode::Exit => false,
+            Opcode::Bra => self.guard.is_some(),
+            _ => true,
+        }
+    }
+
+    /// Validates structural invariants; the builder calls this on every
+    /// emitted instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the violated invariant.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.srcs.len() > MAX_SRC_OPERANDS {
+            return Err(format!(
+                "{}: {} source operands exceed the maximum of {MAX_SRC_OPERANDS}",
+                self.opcode,
+                self.srcs.len()
+            ));
+        }
+        if self.opcode.writes_reg() && self.dst.is_none() {
+            return Err(format!("{}: missing destination register", self.opcode));
+        }
+        if !self.opcode.writes_reg() && self.dst.is_some() {
+            return Err(format!(
+                "{}: destination register on a non-writing opcode",
+                self.opcode
+            ));
+        }
+        if self.opcode.writes_pred() && self.pdst.is_none() {
+            return Err(format!("{}: missing destination predicate", self.opcode));
+        }
+        if self.opcode == Opcode::Bra && self.target.is_none() {
+            return Err("BRA: missing branch target".into());
+        }
+        if self.opcode != Opcode::Bra && self.target.is_some() {
+            return Err(format!("{}: branch target on a non-branch", self.opcode));
+        }
+        if self.opcode == Opcode::Sel && self.psrc.is_none() {
+            return Err("SEL: missing predicate source".into());
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Instr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(g) = self.guard {
+            write!(f, "{g} ")?;
+        }
+        write!(f, "{}", self.opcode)?;
+        let mut first = true;
+        let mut sep = |f: &mut fmt::Formatter<'_>| -> fmt::Result {
+            if first {
+                first = false;
+                write!(f, " ")
+            } else {
+                write!(f, ", ")
+            }
+        };
+        if let Some(d) = self.dst {
+            sep(f)?;
+            write!(f, "{d}")?;
+        }
+        if let Some(p) = self.pdst {
+            sep(f)?;
+            write!(f, "{p}")?;
+        }
+        if self.opcode.is_mem() {
+            // loads: dst, [addr+off]; stores: [addr+off], data
+            if self.opcode.is_load() {
+                sep(f)?;
+                write!(f, "[{}+{:#x}]", self.srcs[0], self.mem_offset)?;
+            } else {
+                sep(f)?;
+                write!(f, "[{}+{:#x}]", self.srcs[0], self.mem_offset)?;
+                sep(f)?;
+                write!(f, "{}", self.srcs[1])?;
+            }
+        } else {
+            for s in &self.srcs {
+                sep(f)?;
+                write!(f, "{s}")?;
+            }
+        }
+        if let Some(p) = self.psrc {
+            sep(f)?;
+            write!(f, "{p}")?;
+        }
+        if let Some(t) = self.target {
+            sep(f)?;
+            write!(f, "-> {t:#x}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Cond;
+
+    fn iadd(dst: u8, a: u8, b: i32) -> Instr {
+        let mut i = Instr::new(Opcode::Iadd);
+        i.dst = Some(ArchReg::new(dst));
+        i.srcs = vec![Operand::Reg(ArchReg::new(a)), Operand::Imm(b)];
+        i
+    }
+
+    #[test]
+    fn valid_iadd() {
+        assert!(iadd(0, 1, 5).validate().is_ok());
+    }
+
+    #[test]
+    fn missing_dst_rejected() {
+        let mut i = iadd(0, 1, 5);
+        i.dst = None;
+        assert!(i.validate().unwrap_err().contains("missing destination"));
+    }
+
+    #[test]
+    fn too_many_srcs_rejected() {
+        let mut i = iadd(0, 1, 5);
+        i.srcs = vec![Operand::Imm(0); 4];
+        assert!(i.validate().unwrap_err().contains("exceed"));
+    }
+
+    #[test]
+    fn branch_needs_target() {
+        let mut b = Instr::new(Opcode::Bra);
+        assert!(b.validate().is_err());
+        b.target = Some(4);
+        assert!(b.validate().is_ok());
+    }
+
+    #[test]
+    fn setp_needs_pdst() {
+        let mut i = Instr::new(Opcode::Isetp(Cond::Lt));
+        i.srcs = vec![Operand::Reg(ArchReg::R0), Operand::Imm(3)];
+        assert!(i.validate().is_err());
+        i.pdst = Some(Pred::P0);
+        assert!(i.validate().is_ok());
+    }
+
+    #[test]
+    fn fall_through_rules() {
+        assert!(!Instr::new(Opcode::Exit).falls_through());
+        let mut b = Instr::new(Opcode::Bra);
+        b.target = Some(0);
+        assert!(
+            !b.falls_through(),
+            "unconditional branch never falls through"
+        );
+        b.guard = Some(PredGuard::if_true(Pred::P0));
+        assert!(b.falls_through(), "conditional branch may fall through");
+        assert!(iadd(0, 1, 2).falls_through());
+    }
+
+    #[test]
+    fn src_regs_preserves_slots() {
+        let mut i = Instr::new(Opcode::Imad);
+        i.dst = Some(ArchReg::R0);
+        i.srcs = vec![
+            Operand::Reg(ArchReg::R1),
+            Operand::Imm(4),
+            Operand::Reg(ArchReg::R2),
+        ];
+        let slots: Vec<(usize, ArchReg)> = i.src_regs().collect();
+        assert_eq!(slots, vec![(0, ArchReg::R1), (2, ArchReg::R2)]);
+    }
+
+    #[test]
+    fn guard_semantics() {
+        let g = PredGuard::if_true(Pred::P1);
+        assert!(g.passes(true) && !g.passes(false));
+        let n = PredGuard::if_false(Pred::P1);
+        assert!(!n.passes(true) && n.passes(false));
+        assert_eq!(n.to_string(), "@!p1");
+    }
+
+    #[test]
+    fn display_forms() {
+        let i = iadd(4, 5, 16);
+        assert_eq!(i.to_string(), "IADD r4, r5, 0x10");
+        let mut ld = Instr::new(Opcode::Ldg);
+        ld.dst = Some(ArchReg::R0);
+        ld.srcs = vec![Operand::Reg(ArchReg::R2)];
+        ld.mem_offset = 64;
+        assert_eq!(ld.to_string(), "LDG r0, [r2+0x40]");
+        let mut st = Instr::new(Opcode::Stg);
+        st.srcs = vec![Operand::Reg(ArchReg::R2), Operand::Reg(ArchReg::R3)];
+        assert_eq!(st.to_string(), "STG [r2+0x0], r3");
+    }
+}

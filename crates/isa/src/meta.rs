@@ -1,0 +1,452 @@
+//! Metadata (release flag) instructions — the paper's Figure 5.
+//!
+//! Two metadata instruction kinds convey compiler-computed register
+//! lifetime information to the hardware:
+//!
+//! * [`Pir`] — *per-instruction release flags*: 18 three-bit groups,
+//!   one group per following instruction in the basic block, one bit
+//!   per source-operand slot. A set bit means "the register in this
+//!   operand slot is dead after this read and may be released".
+//! * [`Pbr`] — *per-branch release flags*: up to nine 6-bit architected
+//!   register ids released unconditionally at a reconvergence point.
+//!
+//! Both are encoded in a 64-bit word (CUDA code is 64-bit aligned) with
+//! a 10-bit opcode split into a low 4-bit field and a high 6-bit field,
+//! mirroring the Fermi encoding the paper cites, leaving exactly 54
+//! payload bits.
+
+use std::fmt;
+
+use crate::reg::ArchReg;
+use crate::MAX_SRC_OPERANDS;
+
+/// Number of following instructions one `pir` covers.
+pub const PIR_COVERAGE: usize = 18;
+
+/// Maximum register ids one `pbr` can carry.
+pub const PBR_CAPACITY: usize = 9;
+
+/// 10-bit opcode value reserved for `pir` (arbitrary unused encoding).
+pub const PIR_OPCODE: u16 = 0x3e5;
+
+/// 10-bit opcode value reserved for `pbr`.
+pub const PBR_OPCODE: u16 = 0x3e6;
+
+/// 6-bit sentinel meaning "no register" in a `pbr` slot (63 is not a
+/// valid architected register id, the Fermi per-thread limit being 63
+/// registers `r0..r62`).
+const PBR_EMPTY: u64 = 0x3f;
+
+/// The release flags for one instruction: one bit per source-operand
+/// slot (at most [`MAX_SRC_OPERANDS`] = 3).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ReleaseFlags(u8);
+
+impl ReleaseFlags {
+    /// No operand released.
+    pub const NONE: ReleaseFlags = ReleaseFlags(0);
+
+    /// Creates flags from a 3-bit mask (bit *i* = operand slot *i*).
+    ///
+    /// # Panics
+    ///
+    /// Panics if bits above the third are set.
+    pub fn from_bits(bits: u8) -> ReleaseFlags {
+        assert!(bits < 8, "release flags use only 3 bits, got {bits:#x}");
+        ReleaseFlags(bits)
+    }
+
+    /// The raw 3-bit mask.
+    pub fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether the register in operand slot `slot` is released after
+    /// the read.
+    pub fn releases(self, slot: usize) -> bool {
+        assert!(slot < MAX_SRC_OPERANDS, "operand slot {slot} out of range");
+        self.0 & (1 << slot) != 0
+    }
+
+    /// Marks operand slot `slot` as released.
+    pub fn set(&mut self, slot: usize) {
+        assert!(slot < MAX_SRC_OPERANDS, "operand slot {slot} out of range");
+        self.0 |= 1 << slot;
+    }
+
+    /// Whether any operand is released.
+    pub fn any(self) -> bool {
+        self.0 != 0
+    }
+}
+
+impl fmt::Debug for ReleaseFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:03b}", self.0)
+    }
+}
+
+/// A *per-instruction release* metadata instruction (Figure 5a).
+///
+/// Placed at the head of a basic block (and every 18 instructions
+/// within one), it carries the release flags for the 18 instructions
+/// that follow it.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+pub struct Pir {
+    flags: [ReleaseFlags; PIR_COVERAGE],
+}
+
+impl Pir {
+    /// A `pir` releasing nothing.
+    pub fn new() -> Pir {
+        Pir::default()
+    }
+
+    /// The flags for the `idx`-th following instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 18`.
+    pub fn flags(&self, idx: usize) -> ReleaseFlags {
+        self.flags[idx]
+    }
+
+    /// Sets the flags for the `idx`-th following instruction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx >= 18`.
+    pub fn set_flags(&mut self, idx: usize, flags: ReleaseFlags) {
+        self.flags[idx] = flags;
+    }
+
+    /// Whether the `pir` releases anything at all.
+    pub fn any(&self) -> bool {
+        self.flags.iter().any(|f| f.any())
+    }
+
+    /// Total number of release bits set.
+    pub fn release_count(&self) -> usize {
+        self.flags
+            .iter()
+            .map(|f| f.bits().count_ones() as usize)
+            .sum()
+    }
+
+    /// The 54-bit payload: 18 consecutive 3-bit groups, instruction 0
+    /// in the least-significant bits.
+    pub fn payload(&self) -> u64 {
+        self.flags
+            .iter()
+            .enumerate()
+            .fold(0u64, |acc, (i, f)| acc | (u64::from(f.bits()) << (3 * i)))
+    }
+
+    /// Reconstructs a `pir` from a 54-bit payload.
+    pub fn from_payload(payload: u64) -> Pir {
+        let mut pir = Pir::new();
+        for i in 0..PIR_COVERAGE {
+            pir.flags[i] = ReleaseFlags::from_bits(((payload >> (3 * i)) & 0b111) as u8);
+        }
+        pir
+    }
+
+    /// Encodes the full 64-bit metadata instruction word.
+    pub fn encode(&self) -> u64 {
+        encode_word(PIR_OPCODE, self.payload())
+    }
+}
+
+impl fmt::Display for Pir {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".pir")?;
+        for flags in self.flags.iter().rev() {
+            write!(f, " {flags:?}")?;
+        }
+        Ok(())
+    }
+}
+
+/// A *per-branch release* metadata instruction (Figure 5b).
+///
+/// Placed at the start of a reconvergence block, it lists architected
+/// registers whose conservative release point is that reconvergence.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Debug)]
+pub struct Pbr {
+    regs: Vec<ArchReg>,
+}
+
+impl Pbr {
+    /// A `pbr` releasing nothing.
+    pub fn new() -> Pbr {
+        Pbr::default()
+    }
+
+    /// Builds a `pbr` from a register list.
+    ///
+    /// # Errors
+    ///
+    /// Fails when more than nine registers are supplied; the compiler
+    /// is responsible for splitting longer lists across several `pbr`s.
+    pub fn from_regs(regs: Vec<ArchReg>) -> Result<Pbr, PbrOverflow> {
+        if regs.len() > PBR_CAPACITY {
+            return Err(PbrOverflow { count: regs.len() });
+        }
+        Ok(Pbr { regs })
+    }
+
+    /// Appends a register; fails when already full.
+    pub fn push(&mut self, reg: ArchReg) -> Result<(), PbrOverflow> {
+        if self.regs.len() == PBR_CAPACITY {
+            return Err(PbrOverflow {
+                count: PBR_CAPACITY + 1,
+            });
+        }
+        self.regs.push(reg);
+        Ok(())
+    }
+
+    /// The registers released at this point.
+    pub fn regs(&self) -> &[ArchReg] {
+        &self.regs
+    }
+
+    /// Number of registers released.
+    pub fn len(&self) -> usize {
+        self.regs.len()
+    }
+
+    /// Whether the `pbr` releases nothing.
+    pub fn is_empty(&self) -> bool {
+        self.regs.is_empty()
+    }
+
+    /// The 54-bit payload: nine consecutive 6-bit groups, slot 0 in the
+    /// least-significant bits, unused slots holding the sentinel 63.
+    pub fn payload(&self) -> u64 {
+        let mut payload = 0u64;
+        for slot in 0..PBR_CAPACITY {
+            let v = self
+                .regs
+                .get(slot)
+                .map_or(PBR_EMPTY, |r| u64::from(r.raw()));
+            payload |= v << (6 * slot);
+        }
+        payload
+    }
+
+    /// Reconstructs a `pbr` from a 54-bit payload.
+    ///
+    /// Unknown 6-bit values other than the empty sentinel are invalid.
+    pub fn from_payload(payload: u64) -> Result<Pbr, DecodeError> {
+        let mut regs = Vec::new();
+        for slot in 0..PBR_CAPACITY {
+            let v = ((payload >> (6 * slot)) & 0x3f) as u8;
+            if u64::from(v) == PBR_EMPTY {
+                continue;
+            }
+            let reg = ArchReg::try_new(v).ok_or(DecodeError::BadRegisterId(v))?;
+            regs.push(reg);
+        }
+        Ok(Pbr { regs })
+    }
+
+    /// Encodes the full 64-bit metadata instruction word.
+    pub fn encode(&self) -> u64 {
+        encode_word(PBR_OPCODE, self.payload())
+    }
+}
+
+impl fmt::Display for Pbr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, ".pbr")?;
+        for r in &self.regs {
+            write!(f, " {r}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Error: more than nine registers pushed into one `pbr`.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PbrOverflow {
+    /// The offending register count.
+    pub count: usize,
+}
+
+impl fmt::Display for PbrOverflow {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pbr can carry at most {PBR_CAPACITY} registers, got {}",
+            self.count
+        )
+    }
+}
+
+impl std::error::Error for PbrOverflow {}
+
+/// A decoded metadata instruction.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum MetaInstr {
+    /// Per-instruction release flags.
+    Pir(Pir),
+    /// Per-branch release flags.
+    Pbr(Pbr),
+}
+
+/// Error decoding a 64-bit metadata word.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum DecodeError {
+    /// The 10-bit opcode is neither `pir` nor `pbr`.
+    UnknownOpcode(u16),
+    /// A `pbr` slot held an invalid register id.
+    BadRegisterId(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::UnknownOpcode(op) => {
+                write!(f, "unknown metadata opcode {op:#05x}")
+            }
+            DecodeError::BadRegisterId(id) => {
+                write!(f, "invalid architected register id {id} in pbr payload")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes a 64-bit metadata word into a [`MetaInstr`].
+///
+/// # Errors
+///
+/// Returns [`DecodeError::UnknownOpcode`] for unreserved opcodes and
+/// [`DecodeError::BadRegisterId`] for malformed `pbr` payloads.
+pub fn decode(word: u64) -> Result<MetaInstr, DecodeError> {
+    let (opcode, payload) = split_word(word);
+    match opcode {
+        PIR_OPCODE => Ok(MetaInstr::Pir(Pir::from_payload(payload))),
+        PBR_OPCODE => Ok(MetaInstr::Pbr(Pbr::from_payload(payload)?)),
+        other => Err(DecodeError::UnknownOpcode(other)),
+    }
+}
+
+/// Packs a 10-bit opcode (split 4 low + 6 high, Fermi-style) and a
+/// 54-bit payload into one 64-bit word.
+fn encode_word(opcode: u16, payload: u64) -> u64 {
+    debug_assert!(opcode < 1 << 10);
+    debug_assert!(payload < 1 << 54);
+    let low4 = u64::from(opcode) & 0xf;
+    let high6 = u64::from(opcode) >> 4;
+    low4 | (payload << 4) | (high6 << 58)
+}
+
+/// Inverse of [`encode_word`].
+fn split_word(word: u64) -> (u16, u64) {
+    let low4 = word & 0xf;
+    let high6 = word >> 58;
+    let opcode = (low4 | (high6 << 4)) as u16;
+    let payload = (word >> 4) & ((1 << 54) - 1);
+    (opcode, payload)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn release_flags_bits() {
+        let mut f = ReleaseFlags::NONE;
+        assert!(!f.any());
+        f.set(0);
+        f.set(2);
+        assert!(f.releases(0) && !f.releases(1) && f.releases(2));
+        assert_eq!(f.bits(), 0b101);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn release_flags_slot_bounds() {
+        ReleaseFlags::NONE.releases(3);
+    }
+
+    #[test]
+    fn pir_roundtrip() {
+        let mut pir = Pir::new();
+        let mut f = ReleaseFlags::NONE;
+        f.set(1);
+        pir.set_flags(0, f);
+        pir.set_flags(17, ReleaseFlags::from_bits(0b111));
+        let decoded = Pir::from_payload(pir.payload());
+        assert_eq!(decoded, pir);
+        assert_eq!(pir.release_count(), 4);
+    }
+
+    #[test]
+    fn pir_word_roundtrip() {
+        let mut pir = Pir::new();
+        pir.set_flags(5, ReleaseFlags::from_bits(0b011));
+        match decode(pir.encode()).unwrap() {
+            MetaInstr::Pir(p) => assert_eq!(p, pir),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pbr_roundtrip() {
+        let regs = vec![ArchReg::new(0), ArchReg::new(62), ArchReg::new(31)];
+        let pbr = Pbr::from_regs(regs.clone()).unwrap();
+        match decode(pbr.encode()).unwrap() {
+            MetaInstr::Pbr(p) => assert_eq!(p.regs(), regs.as_slice()),
+            other => panic!("decoded {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pbr_capacity_enforced() {
+        let regs = (0..10).map(ArchReg::new).collect();
+        assert!(Pbr::from_regs(regs).is_err());
+        let mut pbr = Pbr::from_regs((0..9).map(ArchReg::new).collect()).unwrap();
+        assert_eq!(pbr.len(), PBR_CAPACITY);
+        assert!(pbr.push(ArchReg::new(20)).is_err());
+    }
+
+    #[test]
+    fn pbr_empty_slots_are_sentinels() {
+        let pbr = Pbr::new();
+        assert!(pbr.is_empty());
+        // all nine slots hold 0b111111
+        assert_eq!(
+            pbr.payload(),
+            (0..9).fold(0u64, |a, i| a | (0x3f << (6 * i)))
+        );
+    }
+
+    #[test]
+    fn unknown_opcode_rejected() {
+        assert_eq!(decode(0), Err(DecodeError::UnknownOpcode(0)));
+    }
+
+    #[test]
+    fn opcode_split_is_fermi_style() {
+        // 10-bit opcode 0b1111100101 splits into high6=111110, low4=0101
+        let word = encode_word(PIR_OPCODE, 0);
+        assert_eq!(word & 0xf, u64::from(PIR_OPCODE) & 0xf);
+        assert_eq!(word >> 58, u64::from(PIR_OPCODE) >> 4);
+        let (op, payload) = split_word(word);
+        assert_eq!(op, PIR_OPCODE);
+        assert_eq!(payload, 0);
+    }
+
+    #[test]
+    fn display_forms() {
+        let mut pir = Pir::new();
+        pir.set_flags(0, ReleaseFlags::from_bits(0b001));
+        assert!(pir.to_string().starts_with(".pir"));
+        let pbr = Pbr::from_regs(vec![ArchReg::R3]).unwrap();
+        assert_eq!(pbr.to_string(), ".pbr r3");
+    }
+}

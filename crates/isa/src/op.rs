@@ -1,0 +1,362 @@
+//! Opcodes, execution classes, comparison conditions, and special
+//! (read-only) hardware registers.
+
+use std::fmt;
+
+/// The operation an instruction performs.
+///
+/// The set is the PTXPlus-level subset needed to express the paper's 16
+/// benchmarks: integer/float arithmetic, predicate-setting compares,
+/// global/shared/local memory accesses, and control flow. Each opcode
+/// belongs to an [`ExecClass`] that the simulator maps to a functional
+/// unit and latency.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Opcode {
+    // --- integer ALU ---
+    /// `dst = a + b`
+    Iadd,
+    /// `dst = a - b`
+    Isub,
+    /// `dst = a * b` (low 32 bits)
+    Imul,
+    /// `dst = a * b + c`
+    Imad,
+    /// `dst = a & b`
+    And,
+    /// `dst = a | b`
+    Or,
+    /// `dst = a ^ b`
+    Xor,
+    /// `dst = a << b`
+    Shl,
+    /// `dst = a >> b` (logical)
+    Shr,
+    /// `dst = a` (register/immediate move)
+    Mov,
+    /// `dst = min(a, b)` (signed)
+    Imin,
+    /// `dst = max(a, b)` (signed)
+    Imax,
+    /// `dst = pred ? a : b`
+    Sel,
+    // --- float ALU (values are f32 bit patterns) ---
+    /// `dst = a + b` (f32)
+    Fadd,
+    /// `dst = a * b` (f32)
+    Fmul,
+    /// `dst = a * b + c` (f32 fused multiply-add)
+    Ffma,
+    /// `dst = min(a, b)` (f32)
+    Fmin,
+    /// `dst = max(a, b)` (f32)
+    Fmax,
+    // --- SFU (special function unit) ---
+    /// `dst = 1 / a` (f32 reciprocal)
+    Frcp,
+    /// `dst = sqrt(a)` (f32)
+    Fsqrt,
+    /// `dst = exp2(a)` (f32)
+    Fexp,
+    /// `dst = log2(a)` (f32)
+    Flog,
+    // --- predicate-setting compares ---
+    /// `pdst = a <cond> b` (signed integers)
+    Isetp(Cond),
+    /// `pdst = a <cond> b` (f32)
+    Fsetp(Cond),
+    // --- memory ---
+    /// `dst = global[a + imm]`
+    Ldg,
+    /// `global[a + imm] = b`
+    Stg,
+    /// `dst = shared[a + imm]`
+    Lds,
+    /// `shared[a + imm] = b`
+    Sts,
+    /// `dst = local[a + imm]` (per-thread local; used by spill code)
+    Ldl,
+    /// `local[a + imm] = b` (per-thread local; used by spill code)
+    Stl,
+    // --- control ---
+    /// Branch to a PC when the guard predicate holds in any lane.
+    Bra,
+    /// CTA-wide barrier.
+    Bar,
+    /// Thread exit.
+    Exit,
+    /// Read a special register (`dst = special`).
+    S2r(Special),
+    /// No operation.
+    Nop,
+}
+
+impl Opcode {
+    /// The execution class (functional unit + latency group) of this
+    /// opcode.
+    pub fn exec_class(self) -> ExecClass {
+        use Opcode::*;
+        match self {
+            Iadd | Isub | Imul | Imad | And | Or | Xor | Shl | Shr | Mov | Imin | Imax | Sel
+            | Fadd | Fmul | Ffma | Fmin | Fmax | Isetp(_) | Fsetp(_) | S2r(_) | Nop => {
+                ExecClass::Alu
+            }
+            Frcp | Fsqrt | Fexp | Flog => ExecClass::Sfu,
+            Ldg | Stg => ExecClass::GlobalMem,
+            Lds | Sts => ExecClass::SharedMem,
+            Ldl | Stl => ExecClass::LocalMem,
+            Bra | Bar | Exit => ExecClass::Control,
+        }
+    }
+
+    /// Whether this opcode writes a destination register.
+    pub fn writes_reg(self) -> bool {
+        use Opcode::*;
+        !matches!(
+            self,
+            Stg | Sts | Stl | Bra | Bar | Exit | Nop | Isetp(_) | Fsetp(_)
+        )
+    }
+
+    /// Whether this opcode writes a destination predicate.
+    pub fn writes_pred(self) -> bool {
+        matches!(self, Opcode::Isetp(_) | Opcode::Fsetp(_))
+    }
+
+    /// Whether this opcode is a memory operation (any space).
+    pub fn is_mem(self) -> bool {
+        matches!(
+            self.exec_class(),
+            ExecClass::GlobalMem | ExecClass::SharedMem | ExecClass::LocalMem
+        )
+    }
+
+    /// Whether this is a load (reads memory into a register).
+    pub fn is_load(self) -> bool {
+        matches!(self, Opcode::Ldg | Opcode::Lds | Opcode::Ldl)
+    }
+
+    /// Whether this is a store (writes a register to memory).
+    pub fn is_store(self) -> bool {
+        matches!(self, Opcode::Stg | Opcode::Sts | Opcode::Stl)
+    }
+
+    /// The mnemonic used by the disassembler.
+    pub fn mnemonic(self) -> String {
+        use Opcode::*;
+        match self {
+            Iadd => "IADD".into(),
+            Isub => "ISUB".into(),
+            Imul => "IMUL".into(),
+            Imad => "IMAD".into(),
+            And => "AND".into(),
+            Or => "OR".into(),
+            Xor => "XOR".into(),
+            Shl => "SHL".into(),
+            Shr => "SHR".into(),
+            Mov => "MOV".into(),
+            Imin => "IMIN".into(),
+            Imax => "IMAX".into(),
+            Sel => "SEL".into(),
+            Fadd => "FADD".into(),
+            Fmul => "FMUL".into(),
+            Ffma => "FFMA".into(),
+            Fmin => "FMIN".into(),
+            Fmax => "FMAX".into(),
+            Frcp => "FRCP".into(),
+            Fsqrt => "FSQRT".into(),
+            Fexp => "FEXP".into(),
+            Flog => "FLOG".into(),
+            Isetp(c) => format!("ISETP.{c}"),
+            Fsetp(c) => format!("FSETP.{c}"),
+            Ldg => "LDG".into(),
+            Stg => "STG".into(),
+            Lds => "LDS".into(),
+            Sts => "STS".into(),
+            Ldl => "LDL".into(),
+            Stl => "STL".into(),
+            Bra => "BRA".into(),
+            Bar => "BAR.SYNC".into(),
+            Exit => "EXIT".into(),
+            S2r(s) => format!("S2R.{s}"),
+            Nop => "NOP".into(),
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.mnemonic())
+    }
+}
+
+/// Functional-unit / latency class of an opcode.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum ExecClass {
+    /// Integer / single-precision float pipeline.
+    Alu,
+    /// Special function unit (transcendentals, reciprocal, sqrt).
+    Sfu,
+    /// Global (off-chip) memory.
+    GlobalMem,
+    /// Shared (on-chip scratchpad) memory.
+    SharedMem,
+    /// Per-thread local memory (spill space); off-chip but always
+    /// coalesced because consecutive lanes map to consecutive words.
+    LocalMem,
+    /// Control flow (branch, barrier, exit).
+    Control,
+}
+
+impl ExecClass {
+    /// Whether operations of this class have variable (long) latency
+    /// that sends the issuing warp to the pending queue of the
+    /// two-level scheduler.
+    pub fn is_long_latency(self) -> bool {
+        matches!(self, ExecClass::GlobalMem | ExecClass::LocalMem)
+    }
+}
+
+/// Comparison condition for `ISETP` / `FSETP`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Cond {
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+}
+
+impl Cond {
+    /// Evaluates the condition on signed integers.
+    pub fn eval_i32(self, a: i32, b: i32) -> bool {
+        match self {
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+        }
+    }
+
+    /// Evaluates the condition on f32 values.
+    pub fn eval_f32(self, a: f32, b: f32) -> bool {
+        match self {
+            Cond::Lt => a < b,
+            Cond::Le => a <= b,
+            Cond::Gt => a > b,
+            Cond::Ge => a >= b,
+            Cond::Eq => a == b,
+            Cond::Ne => a != b,
+        }
+    }
+}
+
+impl fmt::Display for Cond {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Cond::Lt => "LT",
+            Cond::Le => "LE",
+            Cond::Gt => "GT",
+            Cond::Ge => "GE",
+            Cond::Eq => "EQ",
+            Cond::Ne => "NE",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Special read-only hardware registers accessible via `S2R`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum Special {
+    /// Thread index within the CTA (x dimension).
+    TidX,
+    /// CTA index within the grid (x dimension).
+    CtaIdX,
+    /// Number of threads per CTA.
+    NTidX,
+    /// Number of CTAs in the grid.
+    NCtaIdX,
+    /// Lane id within the warp.
+    LaneId,
+    /// Warp id within the CTA.
+    WarpId,
+}
+
+impl fmt::Display for Special {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Special::TidX => "TID.X",
+            Special::CtaIdX => "CTAID.X",
+            Special::NTidX => "NTID.X",
+            Special::NCtaIdX => "NCTAID.X",
+            Special::LaneId => "LANEID",
+            Special::WarpId => "WARPID",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exec_classes() {
+        assert_eq!(Opcode::Iadd.exec_class(), ExecClass::Alu);
+        assert_eq!(Opcode::Frcp.exec_class(), ExecClass::Sfu);
+        assert_eq!(Opcode::Ldg.exec_class(), ExecClass::GlobalMem);
+        assert_eq!(Opcode::Sts.exec_class(), ExecClass::SharedMem);
+        assert_eq!(Opcode::Stl.exec_class(), ExecClass::LocalMem);
+        assert_eq!(Opcode::Exit.exec_class(), ExecClass::Control);
+    }
+
+    #[test]
+    fn long_latency_classes() {
+        assert!(ExecClass::GlobalMem.is_long_latency());
+        assert!(ExecClass::LocalMem.is_long_latency());
+        assert!(!ExecClass::SharedMem.is_long_latency());
+        assert!(!ExecClass::Alu.is_long_latency());
+    }
+
+    #[test]
+    fn reg_write_classification() {
+        assert!(Opcode::Iadd.writes_reg());
+        assert!(Opcode::Ldg.writes_reg());
+        assert!(!Opcode::Stg.writes_reg());
+        assert!(!Opcode::Isetp(Cond::Lt).writes_reg());
+        assert!(Opcode::Isetp(Cond::Lt).writes_pred());
+        assert!(!Opcode::Bra.writes_reg());
+    }
+
+    #[test]
+    fn load_store_classification() {
+        assert!(Opcode::Ldg.is_load() && Opcode::Ldg.is_mem());
+        assert!(Opcode::Stl.is_store() && Opcode::Stl.is_mem());
+        assert!(!Opcode::Iadd.is_mem());
+    }
+
+    #[test]
+    fn cond_eval() {
+        assert!(Cond::Lt.eval_i32(-1, 0));
+        assert!(Cond::Ge.eval_i32(0, 0));
+        assert!(Cond::Ne.eval_f32(1.0, 2.0));
+        assert!(!Cond::Eq.eval_f32(1.0, 2.0));
+        assert!(Cond::Gt.eval_f32(2.5, 1.0));
+        assert!(Cond::Le.eval_i32(3, 3));
+    }
+
+    #[test]
+    fn mnemonics() {
+        assert_eq!(Opcode::Isetp(Cond::Ne).to_string(), "ISETP.NE");
+        assert_eq!(Opcode::S2r(Special::TidX).to_string(), "S2R.TID.X");
+        assert_eq!(Opcode::Ffma.to_string(), "FFMA");
+    }
+}

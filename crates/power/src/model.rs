@@ -1,0 +1,190 @@
+//! The register-file energy model: converts simulator event counts
+//! into the four-way energy breakdown of Figure 12 (dynamic, static,
+//! renaming table, flag instructions).
+
+use crate::params::{self, flag_instruction, register_bank, renaming_table, CYCLE_S};
+
+/// Register-file activity of one simulation, as event counts.
+#[derive(Clone, Copy, PartialEq, Default, Debug)]
+pub struct RfActivity {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Physical register file reads (warp-operand granularity).
+    pub rf_reads: u64,
+    /// Physical register file writes.
+    pub rf_writes: u64,
+    /// Renaming-table lookups.
+    pub renaming_lookups: u64,
+    /// Renaming-table updates (map/release).
+    pub renaming_updates: u64,
+    /// Metadata instructions fetched from the instruction cache and
+    /// decoded (`pir` flag-cache misses plus all `pbr` fetches).
+    pub flag_fetch_decodes: u64,
+    /// Release-flag-cache probes.
+    pub flag_cache_probes: u64,
+    /// Integral of powered-on subarrays over time, in subarray-cycles
+    /// (for an ungated file: `num_subarrays × cycles`).
+    pub subarray_on_cycles: u64,
+}
+
+/// Register-file configuration facts the model needs.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RfGeometry {
+    /// Physical capacity as a fraction of the 128 KB baseline
+    /// (1.0 = 128 KB, 0.5 = GPU-shrink 64 KB).
+    pub size_fraction: f64,
+    /// Whether renaming hardware exists (adds renaming-table leakage).
+    pub has_renaming: bool,
+    /// Whether the release-flag cache exists (adds its leakage).
+    pub has_flag_cache: bool,
+}
+
+impl RfGeometry {
+    /// The conventional 128 KB file without virtualization hardware.
+    pub fn conventional() -> RfGeometry {
+        RfGeometry {
+            size_fraction: 1.0,
+            has_renaming: false,
+            has_flag_cache: false,
+        }
+    }
+
+    /// A virtualized file at `size_fraction` of the baseline.
+    pub fn virtualized(size_fraction: f64) -> RfGeometry {
+        RfGeometry {
+            size_fraction,
+            has_renaming: true,
+            has_flag_cache: true,
+        }
+    }
+}
+
+/// Energy totals in picojoules, by component (Figure 12's stack).
+#[derive(Clone, Copy, PartialEq, Default, Debug)]
+pub struct EnergyBreakdown {
+    /// Register-file dynamic (access) energy.
+    pub dynamic_pj: f64,
+    /// Register-file leakage energy.
+    pub static_pj: f64,
+    /// Renaming-table access + leakage energy.
+    pub renaming_pj: f64,
+    /// Metadata-instruction fetch/decode + flag-cache energy.
+    pub flag_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total register-file-related energy.
+    pub fn total_pj(&self) -> f64 {
+        self.dynamic_pj + self.static_pj + self.renaming_pj + self.flag_pj
+    }
+}
+
+/// Computes the energy breakdown for one run.
+pub fn energy(activity: &RfActivity, geometry: &RfGeometry) -> EnergyBreakdown {
+    let dyn_scale = params::dynamic_energy_scale(geometry.size_fraction);
+    let dynamic_pj =
+        (activity.rf_reads + activity.rf_writes) as f64 * register_bank::WARP_ACCESS_PJ * dyn_scale;
+
+    // leakage: powered subarray-cycles × per-subarray leak power. The
+    // subarray count is fixed (4 banks × 4), so a shrunk file has
+    // proportionally smaller subarrays whose leakage scales with
+    // capacity.
+    let static_pj = activity.subarray_on_cycles as f64
+        * register_bank::LEAK_PER_SUBARRAY_W
+        * params::leakage_scale(geometry.size_fraction)
+        * CYCLE_S
+        * 1e12;
+
+    let renaming_pj = if geometry.has_renaming {
+        (activity.renaming_lookups + activity.renaming_updates) as f64 * renaming_table::ACCESS_PJ
+            + renaming_table::LEAK_TOTAL_W * activity.cycles as f64 * CYCLE_S * 1e12
+    } else {
+        0.0
+    };
+
+    let flag_pj = if geometry.has_flag_cache {
+        activity.flag_fetch_decodes as f64
+            * (flag_instruction::FETCH_PJ + flag_instruction::DECODE_PJ)
+            + activity.flag_cache_probes as f64 * flag_instruction::CACHE_ACCESS_PJ
+            + flag_instruction::CACHE_LEAK_W * activity.cycles as f64 * CYCLE_S * 1e12
+    } else {
+        0.0
+    };
+
+    EnergyBreakdown {
+        dynamic_pj,
+        static_pj,
+        renaming_pj,
+        flag_pj,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base_activity() -> RfActivity {
+        RfActivity {
+            cycles: 10_000,
+            rf_reads: 30_000,
+            rf_writes: 10_000,
+            renaming_lookups: 40_000,
+            renaming_updates: 5_000,
+            flag_fetch_decodes: 100,
+            flag_cache_probes: 2_000,
+            subarray_on_cycles: 16 * 10_000,
+        }
+    }
+
+    #[test]
+    fn conventional_has_no_overhead_components() {
+        let e = energy(&base_activity(), &RfGeometry::conventional());
+        assert_eq!(e.renaming_pj, 0.0);
+        assert_eq!(e.flag_pj, 0.0);
+        assert!(e.dynamic_pj > 0.0 && e.static_pj > 0.0);
+    }
+
+    #[test]
+    fn dynamic_energy_matches_hand_math() {
+        let mut a = base_activity();
+        a.rf_reads = 100;
+        a.rf_writes = 0;
+        let e = energy(&a, &RfGeometry::conventional());
+        // 100 accesses x 8 subbanks x 4.68 pJ
+        assert!((e.dynamic_pj - 100.0 * 37.44).abs() < 1e-9);
+    }
+
+    #[test]
+    fn halving_the_file_cuts_both_components() {
+        // same subarray count (16), but each subarray is half-sized
+        let a = base_activity();
+        let full = energy(&a, &RfGeometry::virtualized(1.0));
+        let half = energy(&a, &RfGeometry::virtualized(0.5));
+        assert!((half.dynamic_pj / full.dynamic_pj - 0.8).abs() < 1e-9);
+        assert!((half.static_pj / full.static_pj - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn power_gating_reduces_static_energy() {
+        let mut gated = base_activity();
+        gated.subarray_on_cycles = 4 * 10_000; // only 4 of 16 on
+        let on = energy(&base_activity(), &RfGeometry::virtualized(1.0));
+        let off = energy(&gated, &RfGeometry::virtualized(1.0));
+        assert!((off.static_pj / on.static_pj - 0.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overheads_are_small_next_to_rf_energy() {
+        let e = energy(&base_activity(), &RfGeometry::virtualized(1.0));
+        assert!(e.renaming_pj < 0.10 * e.total_pj());
+        assert!(e.flag_pj < 0.02 * e.total_pj());
+        assert!(e.total_pj() > 0.0);
+    }
+
+    #[test]
+    fn breakdown_sums() {
+        let e = energy(&base_activity(), &RfGeometry::virtualized(0.5));
+        let sum = e.dynamic_pj + e.static_pj + e.renaming_pj + e.flag_pj;
+        assert!((e.total_pj() - sum).abs() < 1e-9);
+    }
+}

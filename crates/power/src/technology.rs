@@ -1,0 +1,105 @@
+//! Figure 9: GPU leakage-power fraction across technology nodes.
+//!
+//! The paper uses PTM device models inside GPUWattch to show that the
+//! leakage fraction of total GPU power climbs with planar scaling,
+//! that the 22 nm FinFET transition resets it to roughly the 40 nm
+//! level, and that the climb then resumes from the new reset point —
+//! the argument for why architecture-level leakage reduction stays
+//! relevant. The factors below encode that published shape,
+//! normalized to planar 40 nm.
+
+use std::fmt;
+
+/// A technology node from the paper's Figure 9 sweep.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum TechNode {
+    /// 40 nm planar MOSFET (the evaluation baseline).
+    Planar40,
+    /// 32 nm planar MOSFET.
+    Planar32,
+    /// 22 nm planar MOSFET (hypothetical: never shipped for GPUs).
+    Planar22,
+    /// 22 nm FinFET.
+    FinFet22,
+    /// 16 nm FinFET.
+    FinFet16,
+    /// 10 nm FinFET.
+    FinFet10,
+}
+
+impl TechNode {
+    /// All nodes in the order Figure 9 plots them.
+    pub fn all() -> [TechNode; 6] {
+        [
+            TechNode::Planar40,
+            TechNode::Planar32,
+            TechNode::Planar22,
+            TechNode::FinFet22,
+            TechNode::FinFet16,
+            TechNode::FinFet10,
+        ]
+    }
+
+    /// GPU leakage-power fraction, normalized to planar 40 nm.
+    pub fn leakage_factor(self) -> f64 {
+        match self {
+            TechNode::Planar40 => 1.00,
+            TechNode::Planar32 => 1.12,
+            TechNode::Planar22 => 1.33,
+            TechNode::FinFet22 => 1.02,
+            TechNode::FinFet16 => 1.14,
+            TechNode::FinFet10 => 1.28,
+        }
+    }
+
+    /// Whether the node uses FinFET devices.
+    pub fn is_finfet(self) -> bool {
+        matches!(
+            self,
+            TechNode::FinFet22 | TechNode::FinFet16 | TechNode::FinFet10
+        )
+    }
+}
+
+impl fmt::Display for TechNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TechNode::Planar40 => "40nm(P)",
+            TechNode::Planar32 => "32nm(P)",
+            TechNode::Planar22 => "22nm(P)",
+            TechNode::FinFet22 => "22nm(F)",
+            TechNode::FinFet16 => "16nm(F)",
+            TechNode::FinFet10 => "10nm(F)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planar_scaling_climbs() {
+        assert!(TechNode::Planar32.leakage_factor() > TechNode::Planar40.leakage_factor());
+        assert!(TechNode::Planar22.leakage_factor() > TechNode::Planar32.leakage_factor());
+    }
+
+    #[test]
+    fn finfet_resets_then_climbs_again() {
+        // the FinFET transition brings leakage back near the baseline
+        assert!(TechNode::FinFet22.leakage_factor() < TechNode::Planar22.leakage_factor());
+        assert!((TechNode::FinFet22.leakage_factor() - 1.0).abs() < 0.05);
+        // and the climb resumes
+        assert!(TechNode::FinFet16.leakage_factor() > TechNode::FinFet22.leakage_factor());
+        assert!(TechNode::FinFet10.leakage_factor() > TechNode::FinFet16.leakage_factor());
+    }
+
+    #[test]
+    fn classification_and_order() {
+        assert!(!TechNode::Planar40.is_finfet());
+        assert!(TechNode::FinFet10.is_finfet());
+        assert_eq!(TechNode::all().len(), 6);
+        assert_eq!(TechNode::FinFet16.to_string(), "16nm(F)");
+    }
+}

@@ -1,0 +1,150 @@
+//! Simulator configuration (the paper's §9 baseline machine).
+
+use rfv_core::RegFileConfig;
+
+/// Timing and capacity parameters for one simulated GPU.
+///
+/// Defaults model the paper's baseline: Fermi-style SMs with a 128 KB
+/// four-bank register file, a two-level warp scheduler with a six-warp
+/// ready queue, and two schedulers issuing one instruction each per
+/// cycle.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SimConfig {
+    /// Streaming multiprocessors (the paper simulates 16; per-SM
+    /// ratios are unaffected, so most experiments run fewer).
+    pub num_sms: usize,
+    /// Warp contexts per SM.
+    pub max_warps_per_sm: usize,
+    /// CTA slots per SM.
+    pub max_ctas_per_sm: usize,
+    /// Two-level scheduler ready-queue capacity.
+    pub ready_queue: usize,
+    /// Warp schedulers per SM (instructions issued per cycle).
+    pub schedulers: usize,
+    /// Issue-to-issue delay after an ALU instruction, cycles.
+    pub alu_latency: u64,
+    /// Issue-to-issue delay after an SFU instruction, cycles.
+    pub sfu_latency: u64,
+    /// Shared-memory load-to-use latency, cycles.
+    pub shared_latency: u64,
+    /// Global-memory base latency, cycles.
+    pub mem_base_latency: u64,
+    /// Additional latency per coalesced 128 B transaction, cycles.
+    pub mem_per_txn: u64,
+    /// Extra pipeline cycle for the renaming-table lookup (§7.1: the
+    /// 0.22 ns table access is conservatively charged one cycle).
+    pub rename_extra_cycle: bool,
+    /// Register-file hardware configuration.
+    pub regfile: RegFileConfig,
+    /// Cycle interval for live-register sampling (Figure 1).
+    pub sample_interval: u64,
+    /// Record per-register allocate/release events of hardware warp
+    /// slot 0 (drives the Figure 2 lifetime traces).
+    pub trace_warp0_regs: bool,
+    /// Capture a per-subarray occupancy snapshot at this cycle
+    /// (drives the Figure 8 occupancy maps).
+    pub snapshot_at_cycle: Option<u64>,
+    /// Watchdog: abort runs exceeding this many cycles.
+    pub max_cycles: u64,
+}
+
+impl SimConfig {
+    /// The paper's baseline machine with the given register file.
+    pub fn with_regfile(regfile: RegFileConfig) -> SimConfig {
+        SimConfig {
+            num_sms: 1,
+            max_warps_per_sm: 48,
+            max_ctas_per_sm: 8,
+            ready_queue: 6,
+            schedulers: 2,
+            alu_latency: 1,
+            sfu_latency: 8,
+            shared_latency: 24,
+            mem_base_latency: 200,
+            mem_per_txn: 8,
+            rename_extra_cycle: regfile.policy.renames(),
+            regfile,
+            sample_interval: 16,
+            trace_warp0_regs: false,
+            snapshot_at_cycle: None,
+            max_cycles: 80_000_000,
+        }
+    }
+
+    /// Baseline 128 KB file with full virtualization.
+    pub fn baseline_full() -> SimConfig {
+        SimConfig::with_regfile(RegFileConfig::baseline_full())
+    }
+
+    /// Conventional GPU (no renaming, no gating).
+    pub fn conventional() -> SimConfig {
+        SimConfig::with_regfile(RegFileConfig::conventional())
+    }
+
+    /// GPU-shrink at `percent`% size reduction.
+    pub fn gpu_shrink(percent: usize) -> SimConfig {
+        SimConfig::with_regfile(RegFileConfig::shrunk(percent))
+    }
+
+    /// Validates capacity parameters.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.num_sms == 0 || self.schedulers == 0 || self.ready_queue == 0 {
+            return Err("SM, scheduler, and ready-queue counts must be positive".into());
+        }
+        if self.max_warps_per_sm == 0 || self.max_ctas_per_sm == 0 {
+            return Err("warp and CTA capacities must be positive".into());
+        }
+        self.regfile.validate()
+    }
+}
+
+impl Default for SimConfig {
+    fn default() -> SimConfig {
+        SimConfig::baseline_full()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rfv_core::VirtualizationPolicy;
+
+    #[test]
+    fn baseline_matches_paper() {
+        let c = SimConfig::baseline_full();
+        assert_eq!(c.max_warps_per_sm, 48);
+        assert_eq!(c.ready_queue, 6);
+        assert_eq!(c.schedulers, 2);
+        assert_eq!(c.max_ctas_per_sm, 8);
+        assert!(c.rename_extra_cycle);
+        assert!(c.validate().is_ok());
+    }
+
+    #[test]
+    fn conventional_skips_rename_cycle() {
+        let c = SimConfig::conventional();
+        assert_eq!(c.regfile.policy, VirtualizationPolicy::None);
+        assert!(!c.rename_extra_cycle);
+    }
+
+    #[test]
+    fn shrink_configs_validate() {
+        for pct in [30, 40, 50] {
+            assert!(SimConfig::gpu_shrink(pct).validate().is_ok());
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = SimConfig::baseline_full();
+        c.schedulers = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::baseline_full();
+        c.regfile.phys_regs = 7;
+        assert!(c.validate().is_err());
+    }
+}

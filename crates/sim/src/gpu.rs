@@ -1,0 +1,106 @@
+//! Multi-SM GPU wrapper: distributes a grid's CTAs across SMs and
+//! aggregates statistics.
+//!
+//! SMs in this model do not share state (the workloads are
+//! embarrassingly parallel at CTA granularity and the paper's metrics
+//! are per-SM ratios), so each SM runs to completion independently and
+//! the GPU's execution time is the slowest SM's.
+
+use rfv_compiler::CompiledKernel;
+
+use crate::config::SimConfig;
+use crate::memory::GlobalMemory;
+use crate::sm::{SimError, Sm};
+use crate::stats::SimStats;
+
+/// Result of a whole-GPU simulation.
+#[derive(Clone, Debug)]
+pub struct SimResult {
+    /// GPU execution time: the slowest SM's cycle count.
+    pub cycles: u64,
+    /// Per-SM statistics.
+    pub per_sm: Vec<SimStats>,
+    /// Per-SM final global memories (SMs are independent; workload
+    /// verification reads the SM that ran the CTA of interest).
+    pub memories: Vec<GlobalMemory>,
+}
+
+impl SimResult {
+    /// Statistics of SM 0 (the usual reporting SM).
+    pub fn sm0(&self) -> &SimStats {
+        &self.per_sm[0]
+    }
+
+    /// Sums a per-SM counter.
+    pub fn total<F: Fn(&SimStats) -> u64>(&self, f: F) -> u64 {
+        self.per_sm.iter().map(f).sum()
+    }
+}
+
+/// Runs `kernel` on a GPU configured by `config`, with CTAs
+/// distributed round-robin across SMs. `init` pre-loads global
+/// memory on every SM (each SM has a private copy of the address
+/// space).
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate_with_init(
+    kernel: &CompiledKernel,
+    config: &SimConfig,
+    init: &[(u64, u32)],
+) -> Result<SimResult, SimError> {
+    let grid = kernel.kernel().launch().grid_ctas();
+    let mut assignments: Vec<Vec<u32>> = vec![Vec::new(); config.num_sms];
+    for cta in 0..grid {
+        assignments[(cta as usize) % config.num_sms].push(cta);
+    }
+    let run_one = |assigned: Vec<u32>| -> Result<crate::sm::SmResult, SimError> {
+        let mut sm = Sm::new(*config, kernel, assigned)?;
+        for &(addr, value) in init {
+            sm.write_global(addr, value);
+        }
+        sm.run()
+    };
+
+    // SMs share no state, so they run on real threads when there is
+    // more than one
+    let results: Vec<Result<crate::sm::SmResult, SimError>> = if config.num_sms == 1 {
+        vec![run_one(assignments.into_iter().next().expect("one SM"))]
+    } else {
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = assignments
+                .into_iter()
+                .map(|assigned| scope.spawn(|| run_one(assigned)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("SM thread panicked"))
+                .collect()
+        })
+    };
+
+    let mut per_sm = Vec::with_capacity(config.num_sms);
+    let mut memories = Vec::with_capacity(config.num_sms);
+    let mut cycles = 0;
+    for result in results {
+        let result = result?;
+        cycles = cycles.max(result.stats.cycles);
+        per_sm.push(result.stats);
+        memories.push(result.global);
+    }
+    Ok(SimResult {
+        cycles,
+        per_sm,
+        memories,
+    })
+}
+
+/// [`simulate_with_init`] without memory pre-loads.
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate(kernel: &CompiledKernel, config: &SimConfig) -> Result<SimResult, SimError> {
+    simulate_with_init(kernel, config, &[])
+}

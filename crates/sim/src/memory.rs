@@ -1,0 +1,207 @@
+//! Functional + timing memory model: global, shared, and per-thread
+//! local spaces, with 128 B coalescing for global accesses.
+
+use std::collections::HashMap;
+
+/// Size of one coalesced memory transaction, bytes.
+pub const SEGMENT_BYTES: u64 = 128;
+
+/// Global (device) memory: a sparse word store. Unwritten words read
+/// as a deterministic address-derived pattern so that data-dependent
+/// kernels (graph traversals, reductions over "input" arrays) behave
+/// reproducibly without explicit initialization.
+#[derive(Clone, Default, Debug)]
+pub struct GlobalMemory {
+    words: HashMap<u64, u32>,
+    /// Word reads served.
+    pub reads: u64,
+    /// Word writes served.
+    pub writes: u64,
+}
+
+impl GlobalMemory {
+    /// An empty memory (all defaults).
+    pub fn new() -> GlobalMemory {
+        GlobalMemory::default()
+    }
+
+    /// The deterministic content of an unwritten word.
+    pub fn default_word(addr: u64) -> u32 {
+        ((addr >> 2) as u32).wrapping_mul(0x9e37_79b9) ^ 0x5bd1_e995
+    }
+
+    /// Reads the 32-bit word at byte address `addr` (word aligned;
+    /// low bits ignored).
+    pub fn read_word(&mut self, addr: u64) -> u32 {
+        self.reads += 1;
+        let a = addr & !3;
+        self.words
+            .get(&a)
+            .copied()
+            .unwrap_or_else(|| GlobalMemory::default_word(a))
+    }
+
+    /// Writes the 32-bit word at byte address `addr`.
+    pub fn write_word(&mut self, addr: u64, value: u32) {
+        self.writes += 1;
+        self.words.insert(addr & !3, value);
+    }
+
+    /// Reads without counting (verification helpers).
+    pub fn peek_word(&self, addr: u64) -> u32 {
+        let a = addr & !3;
+        self.words
+            .get(&a)
+            .copied()
+            .unwrap_or_else(|| GlobalMemory::default_word(a))
+    }
+
+    /// Words explicitly written so far.
+    pub fn footprint_words(&self) -> usize {
+        self.words.len()
+    }
+}
+
+/// Counts the coalesced 128 B transactions needed to serve a warp's
+/// per-lane addresses (lanes with `None` are inactive).
+pub fn coalesce_count(addrs: &[Option<u64>]) -> usize {
+    let mut segments: Vec<u64> = addrs.iter().flatten().map(|a| a / SEGMENT_BYTES).collect();
+    segments.sort_unstable();
+    segments.dedup();
+    segments.len()
+}
+
+/// Per-CTA shared memory (a plain word array).
+#[derive(Clone, Debug)]
+pub struct SharedMemory {
+    words: Vec<u32>,
+}
+
+impl SharedMemory {
+    /// Creates a shared memory of `bytes` bytes (rounded down to
+    /// whole words).
+    pub fn new(bytes: usize) -> SharedMemory {
+        SharedMemory {
+            words: vec![0; bytes / 4],
+        }
+    }
+
+    /// Reads the word at byte offset `addr` (wrapping within the
+    /// array, mirroring hardware address truncation).
+    pub fn read_word(&self, addr: u64) -> u32 {
+        let idx = (addr / 4) as usize % self.words.len().max(1);
+        self.words.get(idx).copied().unwrap_or(0)
+    }
+
+    /// Writes the word at byte offset `addr`.
+    pub fn write_word(&mut self, addr: u64, value: u32) {
+        if self.words.is_empty() {
+            return;
+        }
+        let len = self.words.len();
+        self.words[(addr / 4) as usize % len] = value;
+    }
+
+    /// Clears contents (CTA slot reuse).
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+/// Per-thread local memory (spill space): sparse, zero-filled,
+/// keyed by (hardware warp slot, lane, word address).
+#[derive(Clone, Default, Debug)]
+pub struct LocalMemory {
+    words: HashMap<(usize, usize, u64), u32>,
+    /// Word accesses served (spill traffic statistic).
+    pub accesses: u64,
+}
+
+impl LocalMemory {
+    /// An empty local memory.
+    pub fn new() -> LocalMemory {
+        LocalMemory::default()
+    }
+
+    /// Reads a thread's local word.
+    pub fn read_word(&mut self, warp_slot: usize, lane: usize, addr: u64) -> u32 {
+        self.accesses += 1;
+        self.words
+            .get(&(warp_slot, lane, addr / 4))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Writes a thread's local word.
+    pub fn write_word(&mut self, warp_slot: usize, lane: usize, addr: u64, value: u32) {
+        self.accesses += 1;
+        self.words.insert((warp_slot, lane, addr / 4), value);
+    }
+
+    /// Drops a warp slot's contents (warp retirement).
+    pub fn clear_warp(&mut self, warp_slot: usize) {
+        self.words.retain(|&(w, _, _), _| w != warp_slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn global_read_your_writes() {
+        let mut m = GlobalMemory::new();
+        m.write_word(0x100, 42);
+        assert_eq!(m.read_word(0x100), 42);
+        assert_eq!(m.read_word(0x102), 42, "word aligned");
+        assert_eq!(m.footprint_words(), 1);
+    }
+
+    #[test]
+    fn global_default_pattern_is_deterministic() {
+        let mut m = GlobalMemory::new();
+        let v1 = m.read_word(0x2000);
+        let v2 = m.read_word(0x2000);
+        assert_eq!(v1, v2);
+        assert_ne!(m.read_word(0x2000), m.read_word(0x2004));
+        assert_eq!(m.reads, 4);
+    }
+
+    #[test]
+    fn coalescing_counts_unique_segments() {
+        // all 32 lanes in one 128 B segment -> 1 transaction
+        let unit: Vec<Option<u64>> = (0..32).map(|i| Some(i * 4)).collect();
+        assert_eq!(coalesce_count(&unit), 1);
+        // stride-128 -> 32 transactions
+        let strided: Vec<Option<u64>> = (0..32).map(|i| Some(i * 128)).collect();
+        assert_eq!(coalesce_count(&strided), 32);
+        // inactive lanes don't count
+        let sparse: Vec<Option<u64>> = (0..32)
+            .map(|i| if i < 2 { Some(i * 4) } else { None })
+            .collect();
+        assert_eq!(coalesce_count(&sparse), 1);
+        assert_eq!(coalesce_count(&[None; 32]), 0);
+    }
+
+    #[test]
+    fn shared_memory_roundtrip() {
+        let mut s = SharedMemory::new(1024);
+        s.write_word(16, 7);
+        assert_eq!(s.read_word(16), 7);
+        s.reset();
+        assert_eq!(s.read_word(16), 0);
+    }
+
+    #[test]
+    fn local_memory_is_per_thread() {
+        let mut l = LocalMemory::new();
+        l.write_word(0, 3, 8, 11);
+        l.write_word(1, 3, 8, 22);
+        assert_eq!(l.read_word(0, 3, 8), 11);
+        assert_eq!(l.read_word(1, 3, 8), 22);
+        assert_eq!(l.read_word(0, 4, 8), 0, "unwritten lane reads zero");
+        l.clear_warp(0);
+        assert_eq!(l.read_word(0, 3, 8), 0);
+        assert_eq!(l.read_word(1, 3, 8), 22);
+    }
+}

@@ -1,0 +1,1226 @@
+//! One streaming multiprocessor: fetch (with release-flag-cache
+//! probing), two-level warp scheduling, SIMT execution, the
+//! virtualized register file, and the GPU-shrink CTA throttle.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::fmt;
+
+use rfv_compiler::CompiledKernel;
+use rfv_core::{
+    CtaThrottle, RegisterFile, ReleaseFlagCache, ThrottleDecision, VirtualizationPolicy,
+    WriteOutcome,
+};
+use rfv_isa::kernel::ProgItem;
+use rfv_isa::{ArchReg, Instr, Opcode, Operand, Special, WARP_SIZE};
+
+use crate::config::SimConfig;
+use crate::memory::{coalesce_count, GlobalMemory, LocalMemory, SharedMemory};
+use crate::stats::{RegTraceEvent, Sample, SimStats};
+use crate::warp::{SimtStack, Warp, WarpStatus, NO_RECONV};
+
+/// Value pattern left in freed registers, to surface use-after-release
+/// bugs in differential tests.
+const POISON: u32 = 0xdead_beef;
+
+/// Simulation failure.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum SimError {
+    /// The initial CTA could not be launched (static register demand
+    /// exceeds the physical file even with nothing resident).
+    LaunchImpossible {
+        /// Registers demanded by one CTA.
+        demanded: usize,
+        /// Physical registers available.
+        capacity: usize,
+    },
+    /// The watchdog cycle limit was exceeded (a deadlock or runaway
+    /// kernel).
+    Watchdog {
+        /// The limit that was hit.
+        cycles: u64,
+    },
+    /// Configuration rejected.
+    BadConfig(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::LaunchImpossible { demanded, capacity } => write!(
+                f,
+                "one CTA statically demands {demanded} registers but only {capacity} exist"
+            ),
+            SimError::Watchdog { cycles } => {
+                write!(f, "simulation exceeded the {cycles}-cycle watchdog")
+            }
+            SimError::BadConfig(e) => write!(f, "bad configuration: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// Result of one SM's run.
+#[derive(Clone, Debug)]
+pub struct SmResult {
+    /// Statistics for this SM.
+    pub stats: SimStats,
+    /// Final global memory (for output verification).
+    pub global: GlobalMemory,
+}
+
+#[derive(Clone, Debug)]
+struct CtaState {
+    warp_slots: Vec<usize>,
+    live_warps: usize,
+    at_barrier: usize,
+}
+
+enum IssueOutcome {
+    Issued,
+    Blocked,
+    NoReg,
+}
+
+/// One simulated SM executing an assigned list of CTAs of a compiled
+/// kernel.
+pub struct Sm<'k> {
+    config: SimConfig,
+    kernel: &'k CompiledKernel,
+    policy: VirtualizationPolicy,
+    regfile: RegisterFile,
+    flag_cache: ReleaseFlagCache,
+    throttle: CtaThrottle,
+    warps: Vec<Warp>,
+    /// Functional values, indexed by *physical* register — so a buggy
+    /// early release corrupts outputs instead of hiding.
+    values: Vec<[u32; WARP_SIZE]>,
+    /// Predicate lane-masks per warp slot.
+    preds: Vec<[u32; 4]>,
+    global: GlobalMemory,
+    shared: Vec<SharedMemory>,
+    local: LocalMemory,
+    spill_values: HashMap<(usize, u8), [u32; WARP_SIZE]>,
+    ready: Vec<usize>,
+    waiting_ready: VecDeque<usize>,
+    rr_cursor: usize,
+    assigned: Vec<u32>,
+    next_assigned: usize,
+    cta_slots: Vec<Option<CtaState>>,
+    load_events: BinaryHeap<Reverse<(u64, usize, u8)>>,
+    /// MSHR-style merge: global-memory 128 B segments currently in
+    /// flight and when their data arrives. A load hitting an in-flight
+    /// segment rides along instead of issuing a new transaction.
+    inflight_segments: HashMap<u64, u64>,
+    stats: SimStats,
+    now: u64,
+    next_sample: u64,
+    static_regs: Vec<ArchReg>,
+}
+
+impl<'k> Sm<'k> {
+    /// Creates an SM that will execute `assigned` (grid CTA ids) of
+    /// `kernel`.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid configuration.
+    pub fn new(
+        config: SimConfig,
+        kernel: &'k CompiledKernel,
+        assigned: Vec<u32>,
+    ) -> Result<Sm<'k>, SimError> {
+        config.validate().map_err(SimError::BadConfig)?;
+        let policy = config.regfile.policy;
+        let regfile = RegisterFile::new(config.regfile, config.max_warps_per_sm)
+            .map_err(SimError::BadConfig)?;
+        let num_regs = kernel.num_regs();
+        let static_regs: Vec<ArchReg> = match policy {
+            VirtualizationPolicy::None => (0..num_regs as u8).map(ArchReg::new).collect(),
+            VirtualizationPolicy::Full => kernel.exempt().iter().collect(),
+            VirtualizationPolicy::HardwareOnly => Vec::new(),
+        };
+        Ok(Sm {
+            flag_cache: ReleaseFlagCache::new(config.regfile.flag_cache_entries),
+            throttle: CtaThrottle::new(config.max_ctas_per_sm),
+            warps: (0..config.max_warps_per_sm).map(Warp::idle).collect(),
+            values: vec![[POISON; WARP_SIZE]; config.regfile.phys_regs],
+            preds: vec![[0; 4]; config.max_warps_per_sm],
+            global: GlobalMemory::new(),
+            shared: (0..config.max_ctas_per_sm)
+                .map(|_| SharedMemory::new(48 * 1024))
+                .collect(),
+            local: LocalMemory::new(),
+            spill_values: HashMap::new(),
+            ready: Vec::new(),
+            waiting_ready: VecDeque::new(),
+            rr_cursor: 0,
+            assigned,
+            next_assigned: 0,
+            cta_slots: vec![None; config.max_ctas_per_sm],
+            load_events: BinaryHeap::new(),
+            inflight_segments: HashMap::new(),
+            stats: SimStats::default(),
+            now: 0,
+            next_sample: 0,
+            regfile,
+            policy,
+            kernel,
+            config,
+            static_regs,
+        })
+    }
+
+    /// Pre-loads global memory before the run (workload inputs).
+    pub fn write_global(&mut self, addr: u64, value: u32) {
+        self.global.write_word(addr, value);
+    }
+
+    /// Runs all assigned CTAs to completion.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run(mut self) -> Result<SmResult, SimError> {
+        self.fill_cta_slots()?;
+        while self.work_remains() {
+            self.step();
+            if self.now > self.config.max_cycles {
+                self.dump_stuck_state();
+                return Err(SimError::Watchdog {
+                    cycles: self.config.max_cycles,
+                });
+            }
+        }
+        self.stats.cycles = self.now;
+        self.stats.regfile = self.regfile.stats();
+        self.stats.renaming = self.regfile.renaming_stats();
+        self.stats.flag_cache = self.flag_cache.stats();
+        self.stats.subarray_on_cycles = if self.config.regfile.power_gating {
+            self.regfile.subarray_on_integral(self.now)
+        } else {
+            self.config.regfile.num_subarrays() as u64 * self.now
+        };
+        self.stats.wakeups = self.regfile.wakeups();
+        Ok(SmResult {
+            stats: self.stats,
+            global: self.global,
+        })
+    }
+
+    /// Prints a one-shot diagnostic when the watchdog fires (warp
+    /// statuses, register pressure, throttle state).
+    fn dump_stuck_state(&mut self) {
+        eprintln!(
+            "WATCHDOG at cycle {}: free regs {}, live {}, ready {:?}",
+            self.now,
+            self.regfile.free_count(),
+            self.regfile.live_count(),
+            self.ready
+        );
+        eprintln!(
+            "throttle: {:?}, resident CTAs {}",
+            self.throttle.min_balance_cta(),
+            self.resident_ctas()
+        );
+        for w in &self.warps {
+            if w.status == WarpStatus::Idle {
+                continue;
+            }
+            eprintln!(
+                "  warp {} cta {} status {:?} pc {:#x} next_issue {} outstanding {:#x} mapped {}",
+                w.slot,
+                w.cta_slot,
+                w.status,
+                if w.stack.is_done() {
+                    usize::MAX
+                } else {
+                    w.stack.pc()
+                },
+                w.next_issue_at,
+                w.outstanding,
+                self.regfile.mapped_regs(w.slot).len(),
+            );
+        }
+    }
+
+    fn work_remains(&self) -> bool {
+        self.next_assigned < self.assigned.len() || self.cta_slots.iter().any(Option::is_some)
+    }
+
+    // ---------------------------------------------------------- CTA launch
+
+    fn fill_cta_slots(&mut self) -> Result<(), SimError> {
+        let conc = self
+            .kernel
+            .kernel()
+            .launch()
+            .max_conc_ctas_per_sm()
+            .min(self.config.max_ctas_per_sm as u32) as usize;
+        let mut launched_any = self.cta_slots.iter().any(Option::is_some);
+        for slot in 0..self.config.max_ctas_per_sm {
+            if self.cta_slots[slot].is_some() || self.resident_ctas() >= conc {
+                continue;
+            }
+            if self.next_assigned >= self.assigned.len() {
+                break;
+            }
+            let cta_id = self.assigned[self.next_assigned];
+            if self.try_launch_cta(slot, cta_id) {
+                self.next_assigned += 1;
+                launched_any = true;
+            } else if !launched_any {
+                let launch = self.kernel.kernel().launch();
+                return Err(SimError::LaunchImpossible {
+                    demanded: self.static_regs.len() * launch.warps_per_cta() as usize,
+                    capacity: self.config.regfile.phys_regs,
+                });
+            } else {
+                break; // retry when registers free up
+            }
+        }
+        Ok(())
+    }
+
+    fn resident_ctas(&self) -> usize {
+        self.cta_slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    fn try_launch_cta(&mut self, cta_slot: usize, cta_id: u32) -> bool {
+        let launch = self.kernel.kernel().launch();
+        let warps_per_cta = launch.warps_per_cta() as usize;
+        let free_slots: Vec<usize> = self
+            .warps
+            .iter()
+            .filter(|w| w.status == WarpStatus::Idle)
+            .map(|w| w.slot)
+            .take(warps_per_cta)
+            .collect();
+        if free_slots.len() < warps_per_cta {
+            return false;
+        }
+        // static register allocation, with rollback on failure
+        let mut launched: Vec<usize> = Vec::new();
+        for &ws in &free_slots {
+            if self
+                .regfile
+                .launch_warp(ws, self.static_regs.iter().copied(), self.now)
+                .is_err()
+            {
+                for &undo in &launched {
+                    self.regfile.retire_warp(undo, self.now);
+                }
+                return false;
+            }
+            launched.push(ws);
+        }
+        // worst-case registers this CTA may hold at once: with early
+        // release the compiler's max-held bound applies; without it
+        // (conventional / hardware-only) registers accumulate until
+        // CTA completion, so the full allocation is the bound
+        let per_warp = if self.policy.uses_release_flags() {
+            self.kernel.max_held_per_warp().min(self.kernel.num_regs())
+        } else {
+            self.kernel.num_regs()
+        };
+        let budget = per_warp * warps_per_cta;
+        self.throttle.launch(cta_slot, budget);
+        for _ in 0..self.static_regs.len() * warps_per_cta {
+            self.throttle.on_alloc(cta_slot);
+        }
+        // initialize static register values deterministically
+        for &ws in &free_slots {
+            for &r in &self.static_regs {
+                if let Some(p) = self.regfile.peek(ws, r) {
+                    self.values[p.index()] = [0; WARP_SIZE];
+                }
+            }
+        }
+        let threads = launch.threads_per_cta() as usize;
+        for (wi, &ws) in free_slots.iter().enumerate() {
+            let first = wi * WARP_SIZE;
+            let lanes = threads.saturating_sub(first).min(WARP_SIZE);
+            let mask = if lanes == WARP_SIZE {
+                u32::MAX
+            } else {
+                (1u32 << lanes) - 1
+            };
+            let w = &mut self.warps[ws];
+            w.cta_slot = cta_slot;
+            w.warp_in_cta = wi;
+            w.cta_id = cta_id;
+            w.stack = SimtStack::new(mask);
+            w.status = WarpStatus::Ready;
+            w.next_issue_at = self.now;
+            w.outstanding = 0;
+            w.spilled_regs.clear();
+            self.preds[ws] = [0; 4];
+            self.enqueue_ready(ws);
+        }
+        self.shared[cta_slot].reset();
+        self.cta_slots[cta_slot] = Some(CtaState {
+            warp_slots: free_slots,
+            live_warps: warps_per_cta,
+            at_barrier: 0,
+        });
+        true
+    }
+
+    // ------------------------------------------------------- ready queue
+
+    fn enqueue_ready(&mut self, slot: usize) {
+        if self.ready.contains(&slot) {
+            return;
+        }
+        if self.ready.len() < self.config.ready_queue {
+            self.ready.push(slot);
+        } else if !self.waiting_ready.contains(&slot) {
+            self.waiting_ready.push_back(slot);
+        }
+    }
+
+    fn remove_from_ready(&mut self, slot: usize) {
+        self.ready.retain(|&s| s != slot);
+    }
+
+    fn refill_ready(&mut self) {
+        while self.ready.len() < self.config.ready_queue {
+            let Some(slot) = self.waiting_ready.pop_front() else {
+                break;
+            };
+            if self.warps[slot].status == WarpStatus::Ready {
+                self.ready.push(slot);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------- stepping
+
+    fn step(&mut self) {
+        self.drain_load_events();
+        self.try_swap_ins();
+        self.refill_ready();
+
+        let mut decision = if self.policy.renames() {
+            self.throttle.decide(self.regfile.free_count())
+        } else {
+            ThrottleDecision::Unrestricted
+        };
+        if let ThrottleDecision::OnlyCta(c) = decision {
+            // a CTA with no runnable warp (all at a barrier, pending, or
+            // swapped out) cannot use the restriction; enforcing it
+            // would stall the whole SM behind warps that cannot issue
+            let runnable = self
+                .warps
+                .iter()
+                .any(|w| w.cta_slot == c && w.status == WarpStatus::Ready);
+            if runnable {
+                self.stats.throttle_restricted_cycles += 1;
+                self.ensure_cta_schedulable(c);
+            } else {
+                decision = ThrottleDecision::Unrestricted;
+            }
+        }
+
+        let mut issued: Vec<usize> = Vec::with_capacity(self.config.schedulers);
+        for _ in 0..self.config.schedulers {
+            let Some(pick) = self.pick_warp(decision, &issued) else {
+                continue;
+            };
+            match self.try_issue(pick) {
+                IssueOutcome::Issued => issued.push(pick),
+                IssueOutcome::Blocked => {}
+                IssueOutcome::NoReg => {
+                    self.stats.no_reg_stalls += 1;
+                    self.maybe_spill_for(pick);
+                    // rotate the stalled warp out of the ready queue so
+                    // it cannot clog the two-level scheduler while
+                    // other warps could run (and release registers)
+                    self.remove_from_ready(pick);
+                    self.waiting_ready.push_back(pick);
+                    self.refill_ready();
+                }
+            }
+        }
+
+        self.sample_if_due();
+
+        if issued.is_empty() {
+            // nothing issued: jump to the next interesting cycle
+            self.now = self.next_event_cycle().max(self.now + 1);
+        } else {
+            self.now += 1;
+        }
+    }
+
+    fn next_event_cycle(&self) -> u64 {
+        let mut next = u64::MAX;
+        if let Some(&Reverse((t, _, _))) = self.load_events.peek() {
+            next = next.min(t);
+        }
+        for w in &self.warps {
+            match w.status {
+                WarpStatus::Ready => next = next.min(w.next_issue_at),
+                WarpStatus::SwappedOut => next = next.min(w.swap_ready_at),
+                _ => {}
+            }
+        }
+        if next == u64::MAX {
+            self.now + 1
+        } else {
+            next.max(self.now + 1)
+        }
+    }
+
+    fn drain_load_events(&mut self) {
+        while let Some(&Reverse((t, slot, reg))) = self.load_events.peek() {
+            if t > self.now {
+                break;
+            }
+            self.load_events.pop();
+            let w = &mut self.warps[slot];
+            w.clear_outstanding(ArchReg::new(reg));
+            if w.status == WarpStatus::PendingMem && w.outstanding == 0 {
+                w.status = WarpStatus::Ready;
+                w.next_issue_at = w.next_issue_at.max(t);
+                self.enqueue_ready(slot);
+            }
+        }
+    }
+
+    /// When the throttle restricts issue to one CTA, its warps must be
+    /// able to enter the ready queue even if throttle-blocked warps of
+    /// other CTAs currently fill it — otherwise the two-level
+    /// scheduler livelocks (blocked warps never vacate their slots).
+    fn ensure_cta_schedulable(&mut self, cta: usize) {
+        if self
+            .ready
+            .iter()
+            .any(|&s| self.warps[s].cta_slot == cta && self.warps[s].status == WarpStatus::Ready)
+        {
+            return;
+        }
+        // find a runnable warp of the restricted CTA outside the queue
+        let candidate = self
+            .warps
+            .iter()
+            .find(|w| {
+                w.cta_slot == cta && w.status == WarpStatus::Ready && !self.ready.contains(&w.slot)
+            })
+            .map(|w| w.slot);
+        let Some(incoming) = candidate else { return };
+        self.waiting_ready.retain(|&s| s != incoming);
+        if self.ready.len() >= self.config.ready_queue {
+            // evict one blocked warp of another CTA back to waiting
+            if let Some(pos) = self
+                .ready
+                .iter()
+                .position(|&s| self.warps[s].cta_slot != cta)
+            {
+                let evicted = self.ready.remove(pos);
+                self.waiting_ready.push_back(evicted);
+            }
+        }
+        if self.ready.len() < self.config.ready_queue {
+            self.ready.push(incoming);
+        }
+    }
+
+    fn pick_warp(&mut self, decision: ThrottleDecision, already: &[usize]) -> Option<usize> {
+        let n = self.ready.len();
+        if n == 0 {
+            return None;
+        }
+        for k in 0..n {
+            let idx = (self.rr_cursor + k) % n;
+            let slot = self.ready[idx];
+            if already.contains(&slot) {
+                continue;
+            }
+            let w = &self.warps[slot];
+            if w.status != WarpStatus::Ready || w.next_issue_at > self.now {
+                continue;
+            }
+            if let ThrottleDecision::OnlyCta(c) = decision {
+                if w.cta_slot != c {
+                    continue;
+                }
+            }
+            self.rr_cursor = (idx + 1) % n;
+            return Some(slot);
+        }
+        None
+    }
+
+    // ---------------------------------------------------------------- fetch
+
+    fn try_issue(&mut self, slot: usize) -> IssueOutcome {
+        loop {
+            let pc = self.warps[slot].stack.pc();
+            debug_assert!(pc < self.kernel.kernel().len(), "pc {pc} out of program");
+            match &self.kernel.kernel().items()[pc] {
+                ProgItem::Pir(_) => {
+                    self.stats.meta_encountered += 1;
+                    if self.flag_cache.probe_and_fill(pc) {
+                        // hit: the fetch stage skips the pir for free
+                        self.warps[slot].stack.advance(pc + 1);
+                        continue;
+                    }
+                    // miss: fetched from the I-cache and decoded
+                    self.stats.meta_decoded += 1;
+                    self.warps[slot].stack.advance(pc + 1);
+                    self.warps[slot].next_issue_at = self.now + 1;
+                    return IssueOutcome::Issued;
+                }
+                ProgItem::Pbr(p) => {
+                    self.stats.meta_encountered += 1;
+                    self.stats.meta_decoded += 1;
+                    if self.policy.uses_release_flags() {
+                        let cta = self.warps[slot].cta_slot;
+                        for &r in p.regs() {
+                            if self.regfile.release(slot, r, self.now) {
+                                self.throttle.on_release(cta);
+                                self.trace_reg(slot, r, false);
+                            }
+                        }
+                    }
+                    self.warps[slot].stack.advance(pc + 1);
+                    self.warps[slot].next_issue_at = self.now + 1;
+                    return IssueOutcome::Issued;
+                }
+                ProgItem::Instr(i) => {
+                    let instr = i.clone();
+                    return self.issue_instr(slot, pc, &instr);
+                }
+            }
+        }
+    }
+
+    fn trace_reg(&mut self, slot: usize, reg: ArchReg, live: bool) {
+        if self.config.trace_warp0_regs && slot == 0 {
+            self.stats.reg_trace.push(RegTraceEvent {
+                cycle: self.now,
+                reg: reg.raw(),
+                live,
+            });
+        }
+    }
+
+    // ---------------------------------------------------------------- issue
+
+    fn guard_mask(&self, slot: usize, i: &Instr) -> u32 {
+        match i.guard {
+            None => u32::MAX,
+            Some(g) => {
+                let bits = self.preds[slot][g.pred.index()];
+                if g.negated {
+                    !bits
+                } else {
+                    bits
+                }
+            }
+        }
+    }
+
+    fn read_operand(&mut self, slot: usize, op: Operand) -> [u32; WARP_SIZE] {
+        match op {
+            Operand::Imm(v) => [v as u32; WARP_SIZE],
+            Operand::Reg(r) => match self.regfile.read(slot, r) {
+                Some(p) => self.values[p.index()],
+                None => [POISON; WARP_SIZE],
+            },
+        }
+    }
+
+    fn issue_instr(&mut self, slot: usize, pc: usize, i: &Instr) -> IssueOutcome {
+        // scoreboard: block on in-flight loads touching srcs or dst
+        {
+            let w = &self.warps[slot];
+            if i.reads().any(|r| w.has_outstanding(r))
+                || i.dst.is_some_and(|d| w.has_outstanding(d))
+            {
+                return IssueOutcome::Blocked;
+            }
+        }
+
+        let active = self.warps[slot].stack.mask();
+        let exec = active & self.guard_mask(slot, i);
+        let cta = self.warps[slot].cta_slot;
+
+        // control flow needs no register-file write path
+        match i.opcode {
+            Opcode::Bra => {
+                self.issue_cost(slot, 1);
+                self.stats.instrs_issued += 1;
+                self.stats.active_lane_sum += u64::from(active.count_ones());
+                let target = i.target.expect("validated branch");
+                let reconv = self.kernel.reconv_at(pc).flatten().unwrap_or(NO_RECONV);
+                if exec == active {
+                    self.warps[slot].stack.advance(target);
+                } else if exec == 0 {
+                    self.warps[slot].stack.advance(pc + 1);
+                } else {
+                    self.warps[slot].stack.diverge(exec, target, pc + 1, reconv);
+                }
+                self.after_control(slot);
+                return IssueOutcome::Issued;
+            }
+            Opcode::Exit => {
+                self.stats.instrs_issued += 1;
+                self.stats.active_lane_sum += u64::from(active.count_ones());
+                self.warps[slot].stack.exit_lanes(active);
+                if self.warps[slot].stack.is_done() {
+                    self.finish_warp(slot);
+                } else {
+                    self.issue_cost(slot, 1);
+                }
+                return IssueOutcome::Issued;
+            }
+            Opcode::Bar => {
+                self.stats.instrs_issued += 1;
+                self.stats.active_lane_sum += u64::from(active.count_ones());
+                self.stats.barrier_waits += 1;
+                self.warps[slot].stack.advance(pc + 1);
+                self.warps[slot].status = WarpStatus::AtBarrier;
+                self.remove_from_ready(slot);
+                if let Some(cs) = self.cta_slots[cta].as_mut() {
+                    cs.at_barrier += 1;
+                }
+                self.maybe_release_barrier(cta);
+                return IssueOutcome::Issued;
+            }
+            Opcode::Nop => {
+                self.stats.instrs_issued += 1;
+                self.stats.active_lane_sum += u64::from(active.count_ones());
+                self.warps[slot].stack.advance(pc + 1);
+                self.issue_cost(slot, 1);
+                return IssueOutcome::Issued;
+            }
+            _ => {}
+        }
+
+        // destination allocation first: a failed allocation must leave
+        // the warp unchanged so it can retry
+        let mut dst_phys = None;
+        let mut ready_at = self.now;
+        if let Some(d) = i.dst {
+            match self.regfile.write(slot, d, self.now) {
+                WriteOutcome::Mapped {
+                    phys,
+                    ready_at: r,
+                    newly_allocated,
+                } => {
+                    if newly_allocated {
+                        self.throttle.on_alloc(cta);
+                        // fresh physical register: poison so stale data
+                        // from a previous owner cannot leak silently
+                        self.values[phys.index()] = [POISON; WARP_SIZE];
+                        self.trace_reg(slot, d, true);
+                    }
+                    dst_phys = Some(phys);
+                    ready_at = ready_at.max(r);
+                }
+                WriteOutcome::NoFreeRegister => return IssueOutcome::NoReg,
+            }
+        }
+
+        // operand fetch, counting operand-collector bank conflicts:
+        // two register sources resident in the same bank serialize on
+        // the bank port and cost an extra collection cycle each
+        // (§7.1's motivation for bank-preserving renaming)
+        let mut src_banks = [false; rfv_isa::NUM_REG_BANKS];
+        let mut conflicts = 0u64;
+        for op in &i.srcs {
+            if let Operand::Reg(r) = op {
+                if let Some(p) = self.regfile.peek(slot, *r) {
+                    let b = self.regfile.bank_of_phys(p).index();
+                    if src_banks[b] {
+                        conflicts += 1;
+                    }
+                    src_banks[b] = true;
+                }
+            }
+        }
+        self.stats.bank_conflicts += conflicts;
+        let srcs: Vec<[u32; WARP_SIZE]> = i
+            .srcs
+            .iter()
+            .map(|&op| self.read_operand(slot, op))
+            .collect();
+
+        // compiler release flags fire after the operands are read
+        if self.policy.uses_release_flags() {
+            let flags = self.kernel.flags_at(pc);
+            if flags.any() {
+                for (op_slot, r) in i.src_regs() {
+                    if flags.releases(op_slot) && self.regfile.release(slot, r, self.now) {
+                        self.throttle.on_release(cta);
+                        self.trace_reg(slot, r, false);
+                    }
+                }
+            }
+        }
+
+        let outcome = self.execute(slot, pc, i, exec, &srcs, dst_phys, ready_at, conflicts);
+        self.stats.instrs_issued += 1;
+        self.stats.active_lane_sum += u64::from(exec.count_ones());
+        outcome
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute(
+        &mut self,
+        slot: usize,
+        pc: usize,
+        i: &Instr,
+        exec: u32,
+        srcs: &[[u32; WARP_SIZE]],
+        dst_phys: Option<rfv_isa::PhysReg>,
+        ready_at: u64,
+        bank_conflicts: u64,
+    ) -> IssueOutcome {
+        use Opcode::*;
+        let rename_penalty = if self.config.rename_extra_cycle && self.policy.renames() {
+            1
+        } else {
+            0
+        };
+        let lanes = |m: u32| (0..WARP_SIZE).filter(move |&l| m & (1 << l) != 0);
+
+        match i.opcode {
+            Ldg | Ldl | Lds => {
+                let addrs: Vec<Option<u64>> = (0..WARP_SIZE)
+                    .map(|l| {
+                        (exec & (1 << l) != 0).then(|| {
+                            let base = srcs[0][l] as u64;
+                            base.wrapping_add(i.mem_offset as i64 as u64)
+                        })
+                    })
+                    .collect();
+                let mut out = dst_phys.map(|p| self.values[p.index()]).unwrap_or_default();
+                let latency = match i.opcode {
+                    Lds => {
+                        let cta = self.warps[slot].cta_slot;
+                        for l in lanes(exec) {
+                            out[l] = self.shared[cta].read_word(addrs[l].unwrap());
+                        }
+                        self.config.shared_latency
+                    }
+                    Ldl => {
+                        for l in lanes(exec) {
+                            out[l] = self.local.read_word(slot, l, addrs[l].unwrap());
+                        }
+                        let txns = exec.count_ones() as u64 * 4 / 32 + 1;
+                        self.stats.mem_txns += txns;
+                        self.config.mem_base_latency + txns * self.config.mem_per_txn
+                    }
+                    _ => {
+                        for l in lanes(exec) {
+                            out[l] = self.global.read_word(addrs[l].unwrap());
+                        }
+                        self.global_load_latency(&addrs)
+                    }
+                };
+                if let Some(p) = dst_phys {
+                    self.values[p.index()] = out;
+                }
+                let dst = i.dst.expect("loads have a destination");
+                let done_at = ready_at.max(self.now) + bank_conflicts + latency;
+                self.warps[slot].set_outstanding(dst);
+                self.load_events.push(Reverse((done_at, slot, dst.raw())));
+                self.warps[slot].stack.advance(pc + 1);
+                if i.opcode == Lds {
+                    // short-latency: stay in the ready queue
+                    self.issue_cost(slot, 1 + rename_penalty);
+                } else {
+                    // long-latency: two-level scheduler pending queue
+                    self.warps[slot].status = WarpStatus::PendingMem;
+                    self.remove_from_ready(slot);
+                }
+                IssueOutcome::Issued
+            }
+            Stg | Stl | Sts => {
+                let addrs: Vec<Option<u64>> = (0..WARP_SIZE)
+                    .map(|l| {
+                        (exec & (1 << l) != 0)
+                            .then(|| (srcs[0][l] as u64).wrapping_add(i.mem_offset as i64 as u64))
+                    })
+                    .collect();
+                match i.opcode {
+                    Sts => {
+                        let cta = self.warps[slot].cta_slot;
+                        for l in lanes(exec) {
+                            self.shared[cta].write_word(addrs[l].unwrap(), srcs[1][l]);
+                        }
+                    }
+                    Stl => {
+                        for l in lanes(exec) {
+                            self.local
+                                .write_word(slot, l, addrs[l].unwrap(), srcs[1][l]);
+                        }
+                        self.stats.mem_txns += exec.count_ones() as u64 * 4 / 32 + 1;
+                    }
+                    _ => {
+                        for l in lanes(exec) {
+                            self.global.write_word(addrs[l].unwrap(), srcs[1][l]);
+                        }
+                        self.stats.mem_txns += coalesce_count(&addrs) as u64;
+                    }
+                }
+                self.warps[slot].stack.advance(pc + 1);
+                self.issue_cost(slot, 1 + rename_penalty + bank_conflicts);
+                IssueOutcome::Issued
+            }
+            Isetp(c) => {
+                let pd = i.pdst.expect("validated setp");
+                let mut bits = self.preds[slot][pd.index()];
+                for l in lanes(exec) {
+                    let t = c.eval_i32(srcs[0][l] as i32, srcs[1][l] as i32);
+                    if t {
+                        bits |= 1 << l;
+                    } else {
+                        bits &= !(1 << l);
+                    }
+                }
+                self.preds[slot][pd.index()] = bits;
+                self.warps[slot].stack.advance(pc + 1);
+                self.issue_cost(
+                    slot,
+                    self.config.alu_latency + rename_penalty + bank_conflicts,
+                );
+                IssueOutcome::Issued
+            }
+            Fsetp(c) => {
+                let pd = i.pdst.expect("validated setp");
+                let mut bits = self.preds[slot][pd.index()];
+                for l in lanes(exec) {
+                    let t = c.eval_f32(f32::from_bits(srcs[0][l]), f32::from_bits(srcs[1][l]));
+                    if t {
+                        bits |= 1 << l;
+                    } else {
+                        bits &= !(1 << l);
+                    }
+                }
+                self.preds[slot][pd.index()] = bits;
+                self.warps[slot].stack.advance(pc + 1);
+                self.issue_cost(
+                    slot,
+                    self.config.alu_latency + rename_penalty + bank_conflicts,
+                );
+                IssueOutcome::Issued
+            }
+            _ => {
+                // ALU / SFU / S2R: pure lane-wise compute
+                let w = &self.warps[slot];
+                let (cta_id, warp_in_cta) = (w.cta_id, w.warp_in_cta);
+                let launch = self.kernel.kernel().launch();
+                let psrc_bits = i.psrc.map(|p| self.preds[slot][p.index()]);
+                let mut out = dst_phys.map(|p| self.values[p.index()]).unwrap_or_default();
+                for l in lanes(exec) {
+                    let a = srcs.first().map_or(0, |s| s[l]);
+                    let b = srcs.get(1).map_or(0, |s| s[l]);
+                    let c = srcs.get(2).map_or(0, |s| s[l]);
+                    let (fa, fb, fc) = (f32::from_bits(a), f32::from_bits(b), f32::from_bits(c));
+                    out[l] = match i.opcode {
+                        Iadd => a.wrapping_add(b),
+                        Isub => a.wrapping_sub(b),
+                        Imul => a.wrapping_mul(b),
+                        Imad => a.wrapping_mul(b).wrapping_add(c),
+                        And => a & b,
+                        Or => a | b,
+                        Xor => a ^ b,
+                        Shl => a.wrapping_shl(b & 31),
+                        Shr => a.wrapping_shr(b & 31),
+                        Mov => a,
+                        Imin => (a as i32).min(b as i32) as u32,
+                        Imax => (a as i32).max(b as i32) as u32,
+                        Sel => {
+                            if psrc_bits.expect("validated sel") & (1 << l) != 0 {
+                                a
+                            } else {
+                                b
+                            }
+                        }
+                        Fadd => (fa + fb).to_bits(),
+                        Fmul => (fa * fb).to_bits(),
+                        Ffma => fa.mul_add(fb, fc).to_bits(),
+                        Fmin => fa.min(fb).to_bits(),
+                        Fmax => fa.max(fb).to_bits(),
+                        Frcp => (1.0 / fa).to_bits(),
+                        Fsqrt => fa.sqrt().to_bits(),
+                        Fexp => fa.exp2().to_bits(),
+                        Flog => fa.log2().to_bits(),
+                        S2r(s) => match s {
+                            Special::TidX => (warp_in_cta * WARP_SIZE + l) as u32,
+                            Special::CtaIdX => cta_id,
+                            Special::NTidX => launch.threads_per_cta(),
+                            Special::NCtaIdX => launch.grid_ctas(),
+                            Special::LaneId => l as u32,
+                            Special::WarpId => warp_in_cta as u32,
+                        },
+                        other => unreachable!("handled elsewhere: {other:?}"),
+                    };
+                }
+                if let Some(p) = dst_phys {
+                    self.values[p.index()] = out;
+                }
+                let lat = match i.opcode.exec_class() {
+                    rfv_isa::ExecClass::Sfu => self.config.sfu_latency,
+                    _ => self.config.alu_latency,
+                };
+                self.warps[slot].stack.advance(pc + 1);
+                let wait =
+                    (ready_at.saturating_sub(self.now)).max(lat + rename_penalty) + bank_conflicts;
+                self.issue_cost(slot, wait);
+                IssueOutcome::Issued
+            }
+        }
+    }
+
+    fn issue_cost(&mut self, slot: usize, cycles: u64) {
+        self.warps[slot].next_issue_at = self.now + cycles.max(1);
+    }
+
+    fn after_control(&mut self, slot: usize) {
+        if self.warps[slot].stack.is_done() {
+            self.finish_warp(slot);
+        }
+    }
+
+    // -------------------------------------------------------- warp endings
+
+    fn finish_warp(&mut self, slot: usize) {
+        let cta = self.warps[slot].cta_slot;
+        self.warps[slot].status = WarpStatus::Finished;
+        self.remove_from_ready(slot);
+        if self.config.trace_warp0_regs && slot == 0 {
+            for r in self.regfile.mapped_regs(slot) {
+                self.trace_reg(slot, r, false);
+            }
+        }
+        let freed = self.regfile.retire_warp(slot, self.now);
+        for _ in 0..freed {
+            self.throttle.on_release(cta);
+        }
+        self.local.clear_warp(slot);
+        let done = {
+            let cs = self.cta_slots[cta].as_mut().expect("warp belongs to a CTA");
+            cs.live_warps -= 1;
+            cs.live_warps == 0
+        };
+        if done {
+            self.complete_cta(cta);
+        } else {
+            self.maybe_release_barrier(cta);
+        }
+    }
+
+    fn complete_cta(&mut self, cta: usize) {
+        let cs = self.cta_slots[cta].take().expect("completing a live CTA");
+        for ws in cs.warp_slots {
+            self.warps[ws].status = WarpStatus::Idle;
+        }
+        self.throttle.retire(cta);
+        self.stats.ctas_completed += 1;
+        // launch more work if any remains
+        let _ = self.fill_cta_slots();
+    }
+
+    fn maybe_release_barrier(&mut self, cta: usize) {
+        let release = match self.cta_slots[cta].as_ref() {
+            Some(cs) => cs.at_barrier > 0 && cs.at_barrier == cs.live_warps,
+            None => false,
+        };
+        if !release {
+            return;
+        }
+        let slots = self.cta_slots[cta]
+            .as_ref()
+            .expect("checked")
+            .warp_slots
+            .clone();
+        if let Some(cs) = self.cta_slots[cta].as_mut() {
+            cs.at_barrier = 0;
+        }
+        for ws in slots {
+            if self.warps[ws].status == WarpStatus::AtBarrier {
+                self.warps[ws].status = WarpStatus::Ready;
+                self.warps[ws].next_issue_at = self.now + 1;
+                self.enqueue_ready(ws);
+            }
+        }
+    }
+
+    // ---------------------------------------------- GPU-shrink spill logic
+
+    /// When the throttled CTA itself cannot allocate, fall back to the
+    /// paper's scheduler-driven register spilling: swap out another
+    /// warp's registers to memory and reload them when space frees up.
+    fn maybe_spill_for(&mut self, stalled: usize) {
+        let decision = self.throttle.decide(self.regfile.free_count());
+        let ThrottleDecision::OnlyCta(c) = decision else {
+            return;
+        };
+        if self.warps[stalled].cta_slot != c {
+            return;
+        }
+        // victim: the warp (any CTA, not the stalled one) holding the
+        // most dynamically-mapped registers — preferring CTAs with no
+        // warp waiting at a barrier, since a swapped-out warp cannot
+        // reach its barrier and would hold its whole CTA hostage
+        let cta_at_barrier: Vec<bool> = (0..self.cta_slots.len())
+            .map(|c| {
+                self.warps
+                    .iter()
+                    .any(|w| w.cta_slot == c && w.status == WarpStatus::AtBarrier)
+            })
+            .collect();
+        let candidates = |avoid_barrier_ctas: bool| {
+            self.warps
+                .iter()
+                .filter(|w| {
+                    w.slot != stalled
+                        && matches!(w.status, WarpStatus::Ready | WarpStatus::PendingMem)
+                        && w.outstanding == 0
+                        && (!avoid_barrier_ctas || !cta_at_barrier[w.cta_slot])
+                })
+                .map(|w| (self.regfile.mapped_regs(w.slot).len(), w.slot))
+                .filter(|&(n, _)| n > 0)
+                .max_by_key(|&(n, _)| n)
+        };
+        let victim = candidates(true).or_else(|| candidates(false));
+        let Some((_, victim)) = victim else { return };
+        let regs = self.regfile.mapped_regs(victim);
+        let vc = self.warps[victim].cta_slot;
+        for &r in &regs {
+            if let Some(p) = self.regfile.read(victim, r) {
+                self.spill_values
+                    .insert((victim, r.raw()), self.values[p.index()]);
+            }
+            if self.regfile.release(victim, r, self.now) {
+                self.throttle.on_release(vc);
+            }
+        }
+        let cost = self.config.mem_base_latency + regs.len() as u64 * self.config.mem_per_txn;
+        self.stats.mem_txns += regs.len() as u64;
+        let w = &mut self.warps[victim];
+        w.spilled_regs = regs;
+        w.status = WarpStatus::SwappedOut;
+        w.swap_ready_at = self.now + cost;
+        self.remove_from_ready(victim);
+        self.stats.swap_outs += 1;
+    }
+
+    fn try_swap_ins(&mut self) {
+        for slot in 0..self.warps.len() {
+            if self.warps[slot].status != WarpStatus::SwappedOut
+                || self.warps[slot].swap_ready_at > self.now
+            {
+                continue;
+            }
+            let regs = self.warps[slot].spilled_regs.clone();
+            if self.regfile.free_count() < regs.len() {
+                continue; // not enough space yet
+            }
+            let cta = self.warps[slot].cta_slot;
+            let mut restored = Vec::new();
+            let mut ok = true;
+            for &r in &regs {
+                match self.regfile.write(slot, r, self.now) {
+                    WriteOutcome::Mapped { phys, .. } => {
+                        if let Some(v) = self.spill_values.get(&(slot, r.raw())) {
+                            self.values[phys.index()] = *v;
+                        }
+                        self.throttle.on_alloc(cta);
+                        restored.push(r);
+                    }
+                    WriteOutcome::NoFreeRegister => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                // roll back and retry later
+                for r in restored {
+                    if let Some(p) = self.regfile.read(slot, r) {
+                        self.spill_values
+                            .insert((slot, r.raw()), self.values[p.index()]);
+                    }
+                    self.regfile.release(slot, r, self.now);
+                    self.throttle.on_release(cta);
+                }
+                continue;
+            }
+            for &r in &regs {
+                self.spill_values.remove(&(slot, r.raw()));
+            }
+            self.stats.mem_txns += regs.len() as u64;
+            let w = &mut self.warps[slot];
+            w.spilled_regs.clear();
+            w.status = WarpStatus::Ready;
+            w.next_issue_at = self.now + self.config.mem_base_latency;
+            self.enqueue_ready(slot);
+        }
+    }
+
+    /// Timing for a global load: coalesce the lanes' addresses into
+    /// 128 B segments, merge with in-flight segments (MSHR behaviour),
+    /// and charge base latency plus one burst per *new* transaction.
+    /// Returns the load-to-use latency.
+    fn global_load_latency(&mut self, addrs: &[Option<u64>]) -> u64 {
+        let mut segments: Vec<u64> = addrs
+            .iter()
+            .flatten()
+            .map(|a| a / crate::memory::SEGMENT_BYTES)
+            .collect();
+        segments.sort_unstable();
+        segments.dedup();
+        // lazily expire completed segments
+        let now = self.now;
+        self.inflight_segments.retain(|_, &mut ready| ready > now);
+        let mut new_txns = 0u64;
+        let mut done_at = now;
+        for seg in segments {
+            match self.inflight_segments.get(&seg) {
+                Some(&ready) => {
+                    self.stats.mshr_merges += 1;
+                    done_at = done_at.max(ready);
+                }
+                None => {
+                    new_txns += 1;
+                    let ready =
+                        now + self.config.mem_base_latency + new_txns * self.config.mem_per_txn;
+                    self.inflight_segments.insert(seg, ready);
+                    done_at = done_at.max(ready);
+                }
+            }
+        }
+        self.stats.mem_txns += new_txns;
+        done_at.saturating_sub(now).max(1)
+    }
+
+    // ------------------------------------------------------------ sampling
+
+    fn sample_if_due(&mut self) {
+        if let Some(at) = self.config.snapshot_at_cycle {
+            if self.now >= at && self.stats.subarray_snapshot.is_none() {
+                self.stats.subarray_snapshot =
+                    Some((self.now, self.regfile.subarray_occupancy().to_vec()));
+            }
+        }
+        if self.now < self.next_sample || self.stats.samples.len() >= 4_000_000 {
+            return;
+        }
+        self.next_sample = self.now + self.config.sample_interval;
+        let warps_per_cta = self.kernel.kernel().launch().warps_per_cta() as usize;
+        let resident = self.resident_ctas() * warps_per_cta * self.kernel.num_regs();
+        self.stats.samples.push(Sample {
+            cycle: self.now,
+            live_regs: self.regfile.live_count(),
+            resident_arch_regs: resident,
+            subarrays_on: self.regfile.subarrays_on(),
+        });
+    }
+}

@@ -1,0 +1,209 @@
+//! Simulation statistics and per-cycle samples.
+
+use rfv_core::{FlagCacheStats, RegFileStats, RenamingStats};
+
+/// One periodic sample of register-file occupancy (drives Figure 1 and
+/// the energy model's averages).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Sample {
+    /// Sample cycle.
+    pub cycle: u64,
+    /// Live (allocated) physical registers.
+    pub live_regs: usize,
+    /// Architected registers currently resident (allocation the
+    /// conventional GPU would hold): `regs/kernel × resident warps`.
+    pub resident_arch_regs: usize,
+    /// Subarrays powered on.
+    pub subarrays_on: usize,
+}
+
+/// One register allocate/release event of warp slot 0 (Figure 2's
+/// lifetime traces).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct RegTraceEvent {
+    /// Event cycle.
+    pub cycle: u64,
+    /// Architected register id.
+    pub reg: u8,
+    /// `true` = became live (allocated), `false` = released.
+    pub live: bool,
+}
+
+/// Aggregate statistics for one SM run.
+#[derive(Clone, Default, Debug)]
+pub struct SimStats {
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// Machine instructions issued (warp granularity).
+    pub instrs_issued: u64,
+    /// Sum of active lanes over all issued instructions (SIMD
+    /// efficiency numerator).
+    pub active_lane_sum: u64,
+    /// Metadata instructions decoded (`pir` flag-cache misses plus all
+    /// `pbr` fetches) — Figure 13's dynamic overhead.
+    pub meta_decoded: u64,
+    /// Metadata slots encountered in fetch (decoded or skipped).
+    pub meta_encountered: u64,
+    /// Global/local memory transactions issued.
+    pub mem_txns: u64,
+    /// Global-memory requests merged into an already-in-flight
+    /// 128 B segment (MSHR hits).
+    pub mshr_merges: u64,
+    /// Cycles a warp stalled because its bank had no free register.
+    pub no_reg_stalls: u64,
+    /// Operand-collector register-bank conflicts (two source operands
+    /// of one instruction resident in the same bank; each costs an
+    /// extra collection cycle).
+    pub bank_conflicts: u64,
+    /// GPU-shrink emergency register spills (warp swap-outs).
+    pub swap_outs: u64,
+    /// Barrier waits observed.
+    pub barrier_waits: u64,
+    /// CTAs completed.
+    pub ctas_completed: u64,
+    /// Scheduler cycles with a CTA-throttle restriction active.
+    pub throttle_restricted_cycles: u64,
+    /// Periodic occupancy samples.
+    pub samples: Vec<Sample>,
+    /// Register file event counters.
+    pub regfile: RegFileStats,
+    /// Renaming table access counters.
+    pub renaming: RenamingStats,
+    /// Release flag cache counters.
+    pub flag_cache: FlagCacheStats,
+    /// Integral of powered subarrays over time (subarray-cycles).
+    pub subarray_on_cycles: u64,
+    /// Subarray wakeup events.
+    pub wakeups: u64,
+    /// Warp-slot-0 register lifetime events (only populated when
+    /// `SimConfig::trace_warp0_regs` is set).
+    pub reg_trace: Vec<RegTraceEvent>,
+    /// Per-subarray live-register occupancy captured at
+    /// `SimConfig::snapshot_at_cycle` (cycle, occupancy per global
+    /// subarray id) — the Figure 8 map.
+    pub subarray_snapshot: Option<(u64, Vec<usize>)>,
+}
+
+impl SimStats {
+    /// Total dynamic decode count: machine instructions plus decoded
+    /// metadata (Figure 13 compares this against machine-only).
+    pub fn total_decoded(&self) -> u64 {
+        self.instrs_issued + self.meta_decoded
+    }
+
+    /// SIMD efficiency: mean fraction of the 32 lanes active per
+    /// issued instruction (1.0 = never diverged).
+    pub fn simd_efficiency(&self) -> f64 {
+        if self.instrs_issued == 0 {
+            0.0
+        } else {
+            self.active_lane_sum as f64 / (self.instrs_issued as f64 * 32.0)
+        }
+    }
+
+    /// Instructions per cycle (warp-instruction granularity; the
+    /// baseline dual-issue SM peaks at 2.0).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs_issued as f64 / self.cycles as f64
+        }
+    }
+
+    /// Dynamic code increase from metadata, percent.
+    pub fn dynamic_increase_pct(&self) -> f64 {
+        if self.instrs_issued == 0 {
+            0.0
+        } else {
+            100.0 * self.meta_decoded as f64 / self.instrs_issued as f64
+        }
+    }
+
+    /// Mean live physical registers across samples.
+    pub fn mean_live_regs(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.live_regs as f64).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Mean fraction of resident architected registers that are live
+    /// (Figure 1's Y axis).
+    pub fn mean_live_fraction(&self) -> f64 {
+        let pts: Vec<f64> = self
+            .samples
+            .iter()
+            .filter(|s| s.resident_arch_regs > 0)
+            .map(|s| s.live_regs as f64 / s.resident_arch_regs as f64)
+            .collect();
+        if pts.is_empty() {
+            0.0
+        } else {
+            pts.iter().sum::<f64>() / pts.len() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_accounting() {
+        let s = SimStats {
+            instrs_issued: 1000,
+            meta_decoded: 110,
+            ..SimStats::default()
+        };
+        assert_eq!(s.total_decoded(), 1110);
+        assert!((s.dynamic_increase_pct() - 11.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = SimStats::default();
+        assert_eq!(s.dynamic_increase_pct(), 0.0);
+        assert_eq!(s.mean_live_regs(), 0.0);
+        assert_eq!(s.mean_live_fraction(), 0.0);
+        assert_eq!(s.ipc(), 0.0);
+    }
+
+    #[test]
+    fn simd_efficiency_math() {
+        let s = SimStats {
+            instrs_issued: 10,
+            active_lane_sum: 160, // half the lanes on average
+            ..SimStats::default()
+        };
+        assert!((s.simd_efficiency() - 0.5).abs() < 1e-12);
+        assert_eq!(SimStats::default().simd_efficiency(), 0.0);
+    }
+
+    #[test]
+    fn ipc_math() {
+        let s = SimStats {
+            cycles: 500,
+            instrs_issued: 800,
+            ..SimStats::default()
+        };
+        assert!((s.ipc() - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_means() {
+        let mk = |cycle, live, arch| Sample {
+            cycle,
+            live_regs: live,
+            resident_arch_regs: arch,
+            subarrays_on: 4,
+        };
+        let s = SimStats {
+            samples: vec![mk(0, 10, 100), mk(16, 30, 100), mk(32, 20, 0)],
+            ..SimStats::default()
+        };
+        assert!((s.mean_live_regs() - 20.0).abs() < 1e-12);
+        // the zero-resident sample is excluded from the fraction
+        assert!((s.mean_live_fraction() - 0.2).abs() < 1e-12);
+    }
+}

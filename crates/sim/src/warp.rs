@@ -1,0 +1,337 @@
+//! Warp state: the SIMT reconvergence stack and per-warp scheduling
+//! status.
+
+use std::fmt;
+
+/// Sentinel "no reconvergence PC" (branches whose post-dominator is
+/// the program exit never reconverge before the warp finishes).
+pub const NO_RECONV: usize = usize::MAX;
+
+/// One SIMT stack entry.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct StackEntry {
+    /// Popping point: when `pc` reaches this, the entry is complete.
+    pub reconv_pc: usize,
+    /// Next PC this entry executes.
+    pub pc: usize,
+    /// Lanes this entry covers.
+    pub mask: u32,
+}
+
+/// The per-warp SIMT reconvergence stack.
+///
+/// The top entry is the executing path. A divergent branch turns the
+/// top into the reconvergence continuation and pushes the not-taken
+/// and taken paths above it; paths pop when they reach their
+/// reconvergence PC.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SimtStack {
+    entries: Vec<StackEntry>,
+}
+
+impl SimtStack {
+    /// A fresh stack starting at PC 0 with the given active lanes.
+    pub fn new(mask: u32) -> SimtStack {
+        SimtStack {
+            entries: vec![StackEntry {
+                reconv_pc: NO_RECONV,
+                pc: 0,
+                mask,
+            }],
+        }
+    }
+
+    /// Whether every lane has exited.
+    pub fn is_done(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The executing PC.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the warp has finished.
+    pub fn pc(&self) -> usize {
+        self.entries.last().expect("warp finished").pc
+    }
+
+    /// The executing lane mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the warp has finished.
+    pub fn mask(&self) -> u32 {
+        self.entries.last().expect("warp finished").mask
+    }
+
+    /// Stack depth (diagnostics).
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    fn normalize(&mut self) {
+        while let Some(top) = self.entries.last() {
+            if top.mask == 0 || top.pc == top.reconv_pc {
+                self.entries.pop();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// Moves the executing path to `next_pc`, popping entries whose
+    /// reconvergence point is reached.
+    pub fn advance(&mut self, next_pc: usize) {
+        if let Some(top) = self.entries.last_mut() {
+            top.pc = next_pc;
+        }
+        self.normalize();
+    }
+
+    /// Records a divergent branch: `taken` lanes go to `target`, the
+    /// rest to `fallthrough`, reconverging at `reconv_pc`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `taken` is empty or covers the whole mask — those
+    /// cases are uniform and must use [`SimtStack::advance`].
+    pub fn diverge(&mut self, taken: u32, target: usize, fallthrough: usize, reconv_pc: usize) {
+        let top = *self.entries.last().expect("warp finished");
+        assert!(
+            taken != 0 && taken != top.mask,
+            "diverge() requires a genuinely split mask"
+        );
+        assert_eq!(taken & !top.mask, 0, "taken lanes must be active");
+        // the current entry becomes the reconvergence continuation
+        self.entries.last_mut().expect("non-empty").pc = reconv_pc;
+        self.entries.push(StackEntry {
+            reconv_pc,
+            pc: fallthrough,
+            mask: top.mask & !taken,
+        });
+        self.entries.push(StackEntry {
+            reconv_pc,
+            pc: target,
+            mask: taken,
+        });
+        self.normalize();
+    }
+
+    /// Deactivates `lanes` everywhere (EXIT under possibly-divergent
+    /// control flow).
+    pub fn exit_lanes(&mut self, lanes: u32) {
+        for e in &mut self.entries {
+            e.mask &= !lanes;
+        }
+        self.normalize();
+    }
+}
+
+impl fmt::Display for SimtStack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "stack[")?;
+        for (i, e) in self.entries.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "pc={:#x} mask={:08x} r={:#x}", e.pc, e.mask, e.reconv_pc)?;
+        }
+        write!(f, "]")
+    }
+}
+
+/// Scheduling status of a warp context.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WarpStatus {
+    /// Slot not in use.
+    Idle,
+    /// Eligible for scheduling.
+    Ready,
+    /// Waiting for an outstanding memory access (two-level scheduler's
+    /// pending queue).
+    PendingMem,
+    /// Waiting at a CTA barrier.
+    AtBarrier,
+    /// Registers spilled to memory by the GPU-shrink fallback; waiting
+    /// to swap back in.
+    SwappedOut,
+    /// All lanes exited.
+    Finished,
+}
+
+/// One hardware warp context.
+#[derive(Clone, Debug)]
+pub struct Warp {
+    /// Hardware warp slot (index into the SM's warp table).
+    pub slot: usize,
+    /// Hardware CTA slot this warp belongs to.
+    pub cta_slot: usize,
+    /// Warp index within its CTA.
+    pub warp_in_cta: usize,
+    /// Grid-wide CTA index.
+    pub cta_id: u32,
+    /// SIMT stack.
+    pub stack: SimtStack,
+    /// Scheduling status.
+    pub status: WarpStatus,
+    /// Earliest cycle the warp may issue again.
+    pub next_issue_at: u64,
+    /// Architected registers with outstanding (in-flight) loads,
+    /// as a bitmask.
+    pub outstanding: u64,
+    /// Registers saved by a GPU-shrink spill (empty otherwise).
+    pub spilled_regs: Vec<rfv_isa::ArchReg>,
+    /// Cycle the spill/reload traffic completes.
+    pub swap_ready_at: u64,
+}
+
+impl Warp {
+    /// An idle warp context for `slot`.
+    pub fn idle(slot: usize) -> Warp {
+        Warp {
+            slot,
+            cta_slot: 0,
+            warp_in_cta: 0,
+            cta_id: 0,
+            stack: SimtStack::new(0),
+            status: WarpStatus::Idle,
+            next_issue_at: 0,
+            outstanding: 0,
+            spilled_regs: Vec::new(),
+            swap_ready_at: 0,
+        }
+    }
+
+    /// Whether register `r` has an in-flight load.
+    pub fn has_outstanding(&self, r: rfv_isa::ArchReg) -> bool {
+        self.outstanding & (1u64 << r.index()) != 0
+    }
+
+    /// Marks register `r` as having an in-flight load.
+    pub fn set_outstanding(&mut self, r: rfv_isa::ArchReg) {
+        self.outstanding |= 1u64 << r.index();
+    }
+
+    /// Clears register `r`'s in-flight load.
+    pub fn clear_outstanding(&mut self, r: rfv_isa::ArchReg) {
+        self.outstanding &= !(1u64 << r.index());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const FULL: u32 = u32::MAX;
+
+    #[test]
+    fn straight_line_advance() {
+        let mut s = SimtStack::new(FULL);
+        assert_eq!(s.pc(), 0);
+        s.advance(1);
+        s.advance(2);
+        assert_eq!(s.pc(), 2);
+        assert_eq!(s.mask(), FULL);
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn diverge_then_reconverge() {
+        let mut s = SimtStack::new(FULL);
+        s.advance(3); // at the branch
+        let taken = 0x0000_ffff;
+        s.diverge(taken, 10, 4, 20);
+        // taken path first
+        assert_eq!(s.pc(), 10);
+        assert_eq!(s.mask(), taken);
+        assert_eq!(s.depth(), 3);
+        // taken path reaches reconvergence
+        s.advance(20);
+        assert_eq!(s.pc(), 4, "switch to fall-through path");
+        assert_eq!(s.mask(), !taken & FULL);
+        s.advance(20);
+        // both popped: continuation at reconv with full mask
+        assert_eq!(s.pc(), 20);
+        assert_eq!(s.mask(), FULL);
+        assert_eq!(s.depth(), 1);
+    }
+
+    #[test]
+    fn nested_divergence() {
+        let mut s = SimtStack::new(FULL);
+        s.diverge(0x00ff_00ff, 100, 1, 50);
+        assert_eq!(s.pc(), 100);
+        // inner divergence within the taken path
+        s.diverge(0x0000_00ff, 200, 101, 150);
+        assert_eq!(s.pc(), 200);
+        assert_eq!(s.mask(), 0x0000_00ff);
+        s.advance(150); // inner taken done
+        assert_eq!(s.pc(), 101);
+        assert_eq!(s.mask(), 0x00ff_0000);
+        s.advance(150); // inner fall-through done
+        assert_eq!(s.pc(), 150);
+        assert_eq!(s.mask(), 0x00ff_00ff, "inner reconverged");
+        s.advance(50); // outer taken done
+        assert_eq!(s.mask(), 0xff00_ff00);
+        s.advance(50);
+        assert_eq!(s.pc(), 50);
+        assert_eq!(s.mask(), FULL);
+    }
+
+    #[test]
+    fn branch_directly_to_reconvergence_pops_immediately() {
+        let mut s = SimtStack::new(FULL);
+        // taken lanes jump straight to the reconvergence point
+        s.diverge(0xffff_0000, 20, 1, 20);
+        // the taken entry (pc == reconv) popped during normalization:
+        // fall-through path executes first
+        assert_eq!(s.pc(), 1);
+        assert_eq!(s.mask(), 0x0000_ffff);
+        s.advance(20);
+        assert_eq!(s.pc(), 20);
+        assert_eq!(s.mask(), FULL);
+    }
+
+    #[test]
+    fn exit_under_divergence() {
+        let mut s = SimtStack::new(FULL);
+        s.diverge(0x0000_ffff, 10, 1, NO_RECONV);
+        // the taken half exits
+        s.exit_lanes(s.mask());
+        // execution falls to the not-taken half
+        assert_eq!(s.pc(), 1);
+        assert_eq!(s.mask(), 0xffff_0000);
+        s.exit_lanes(0xffff_0000);
+        assert!(s.is_done());
+    }
+
+    #[test]
+    fn partial_warp_mask() {
+        let mut s = SimtStack::new(0x0000_00ff); // 8-thread tail warp
+        s.diverge(0x0000_000f, 5, 1, 9);
+        assert_eq!(s.mask(), 0x0000_000f);
+        s.advance(9);
+        assert_eq!(s.mask(), 0x0000_00f0);
+        s.advance(9);
+        assert_eq!(s.mask(), 0x0000_00ff);
+    }
+
+    #[test]
+    #[should_panic(expected = "genuinely split")]
+    fn uniform_branch_must_not_diverge() {
+        let mut s = SimtStack::new(FULL);
+        s.diverge(FULL, 10, 1, 20);
+    }
+
+    #[test]
+    fn warp_outstanding_bits() {
+        let mut w = Warp::idle(0);
+        let r = rfv_isa::ArchReg::new(17);
+        assert!(!w.has_outstanding(r));
+        w.set_outstanding(r);
+        assert!(w.has_outstanding(r));
+        w.clear_outstanding(r);
+        assert!(!w.has_outstanding(r));
+        assert_eq!(w.status, WarpStatus::Idle);
+    }
+}

@@ -1,0 +1,350 @@
+//! Timing-behaviour tests: the simulator's latency, scheduling, and
+//! contention mechanisms must be *observable* in cycle counts, not
+//! just bookkept.
+
+use rfv_compiler::{compile, CompileOptions, CompiledKernel};
+use rfv_isa::prelude::*;
+use rfv_isa::{ArchReg as R, PredGuard, Special};
+use rfv_sim::{simulate, SimConfig};
+
+fn build(f: impl FnOnce(&mut KernelBuilder), launch: LaunchConfig) -> CompiledKernel {
+    let mut b = KernelBuilder::new("timing");
+    f(&mut b);
+    compile(&b.build(launch).unwrap(), &CompileOptions::default()).unwrap()
+}
+
+fn cycles(ck: &CompiledKernel, cfg: &SimConfig) -> u64 {
+    simulate(ck, cfg).unwrap().cycles
+}
+
+#[test]
+fn sfu_chain_is_slower_than_alu_chain() {
+    let launch = LaunchConfig::new(1, 32, 1);
+    let alu = build(
+        |b| {
+            b.mov(R::R0, 0x3f80_0000);
+            for _ in 0..32 {
+                b.fadd(R::R0, R::R0, Operand::Imm(0x3f80_0000));
+            }
+            b.stg(R::R1, R::R0, 0);
+            b.exit();
+        },
+        launch,
+    );
+    let sfu = build(
+        |b| {
+            b.mov(R::R0, 0x3f80_0000);
+            for _ in 0..32 {
+                b.fsqrt(R::R0, R::R0);
+            }
+            b.stg(R::R1, R::R0, 0);
+            b.exit();
+        },
+        launch,
+    );
+    let cfg = SimConfig::baseline_full();
+    assert!(
+        cycles(&sfu, &cfg) > cycles(&alu, &cfg) + 32,
+        "32 SFU ops must cost several cycles more each than ALU ops"
+    );
+}
+
+#[test]
+fn strided_loads_cost_more_than_coalesced() {
+    let launch = LaunchConfig::new(1, 32, 1);
+    let coalesced = build(
+        |b| {
+            b.s2r(R::R0, Special::LaneId);
+            b.shl(R::R1, R::R0, 2); // 4-byte stride: one 128 B segment
+            b.ldg(R::R2, R::R1, 0);
+            b.stg(R::R1, R::R2, 0x8000);
+            b.exit();
+        },
+        launch,
+    );
+    let strided = build(
+        |b| {
+            b.s2r(R::R0, Special::LaneId);
+            b.shl(R::R1, R::R0, 7); // 128-byte stride: 32 segments
+            b.ldg(R::R2, R::R1, 0);
+            b.stg(R::R1, R::R2, 0x8000);
+            b.exit();
+        },
+        launch,
+    );
+    let cfg = SimConfig::baseline_full();
+    assert!(
+        cycles(&strided, &cfg) > cycles(&coalesced, &cfg),
+        "uncoalesced access must pay per-transaction latency"
+    );
+}
+
+#[test]
+fn bank_conflicts_cost_cycles() {
+    let launch = LaunchConfig::new(1, 32, 1);
+    // r4 and r8 share a bank (ids ≡ 0 mod 4); r4 and r5 do not
+    let conflicting = build(
+        |b| {
+            b.mov(R::new(4), 1);
+            b.mov(R::new(8), 2);
+            for _ in 0..64 {
+                b.iadd(R::new(12), R::new(4), Operand::Reg(R::new(8)));
+            }
+            b.stg(R::new(0), R::new(12), 0);
+            b.exit();
+        },
+        launch,
+    );
+    let clean = build(
+        |b| {
+            b.mov(R::new(4), 1);
+            b.mov(R::new(5), 2);
+            for _ in 0..64 {
+                b.iadd(R::new(12), R::new(4), Operand::Reg(R::new(5)));
+            }
+            b.stg(R::new(0), R::new(12), 0);
+            b.exit();
+        },
+        launch,
+    );
+    let cfg = SimConfig::baseline_full();
+    let (rc, rn) = (
+        simulate(&conflicting, &cfg).unwrap(),
+        simulate(&clean, &cfg).unwrap(),
+    );
+    assert!(rc.sm0().bank_conflicts >= 64);
+    assert_eq!(rn.sm0().bank_conflicts, 0);
+    assert!(rc.cycles > rn.cycles, "{} !> {}", rc.cycles, rn.cycles);
+}
+
+#[test]
+fn memory_latency_config_is_respected() {
+    let launch = LaunchConfig::new(1, 32, 1);
+    let ck = build(
+        |b| {
+            b.s2r(R::R0, Special::LaneId);
+            b.shl(R::R1, R::R0, 2);
+            b.ldg(R::R2, R::R1, 0);
+            b.iadd(R::R2, R::R2, 1); // dependent: must wait for the load
+            b.stg(R::R1, R::R2, 0x8000);
+            b.exit();
+        },
+        launch,
+    );
+    let mut slow = SimConfig::baseline_full();
+    slow.mem_base_latency = 800;
+    let fast_cycles = cycles(&ck, &SimConfig::baseline_full());
+    let slow_cycles = cycles(&ck, &slow);
+    assert!(
+        slow_cycles >= fast_cycles + 550,
+        "quadrupled memory latency must dominate: {slow_cycles} vs {fast_cycles}"
+    );
+}
+
+#[test]
+fn two_level_scheduler_hides_memory_latency() {
+    // many warps interleaving loads: more concurrent warps should
+    // give strictly better throughput per CTA than one warp
+    let kernel = |b: &mut KernelBuilder| {
+        b.s2r(R::R0, Special::TidX);
+        b.s2r(R::R1, Special::CtaIdX);
+        b.imad(R::R0, R::R1, Operand::Imm(256), Operand::Reg(R::R0));
+        b.shl(R::R1, R::R0, 2);
+        b.mov(R::R4, 8);
+        b.label("loop");
+        b.ldg(R::R2, R::R1, 0);
+        b.iadd(R::R3, R::R2, 1);
+        b.stg(R::R1, R::R3, 0x40000);
+        b.iadd(R::R4, R::R4, -1);
+        b.isetp(Cond::Gt, Pred::P0, R::R4, Operand::Imm(0));
+        b.guard(PredGuard::if_true(Pred::P0));
+        b.bra("loop");
+        b.exit();
+    };
+    let one_warp = build(kernel, LaunchConfig::new(1, 32, 1));
+    let eight_warps = build(kernel, LaunchConfig::new(1, 256, 1));
+    let cfg = SimConfig::baseline_full();
+    let c1 = cycles(&one_warp, &cfg);
+    let c8 = cycles(&eight_warps, &cfg);
+    // 8x the work in far less than 8x the time (latency hiding)
+    assert!(
+        c8 < c1 * 3,
+        "8 warps must overlap memory latency: {c8} vs {c1} for one warp"
+    );
+}
+
+#[test]
+fn rename_pipeline_cycle_is_observable() {
+    let launch = LaunchConfig::new(1, 32, 1);
+    let ck = build(
+        |b| {
+            b.mov(R::R0, 0);
+            for _ in 0..64 {
+                b.iadd(R::R0, R::R0, 1);
+            }
+            b.stg(R::R1, R::R0, 0);
+            b.exit();
+        },
+        launch,
+    );
+    let with = SimConfig::baseline_full();
+    let mut without = SimConfig::baseline_full();
+    without.rename_extra_cycle = false;
+    assert!(
+        cycles(&ck, &with) > cycles(&ck, &without),
+        "the extra renaming pipeline cycle must show up for a dependent chain"
+    );
+}
+
+#[test]
+fn wakeup_latency_delays_first_write() {
+    let launch = LaunchConfig::new(1, 32, 1);
+    let ck = build(
+        |b| {
+            // a dependent chain of fresh allocations
+            b.mov(R::R0, 1);
+            for i in 1..16u8 {
+                b.iadd(R::new(i), R::new(i - 1), 1);
+            }
+            b.stg(R::R0, R::new(15), 0);
+            b.exit();
+        },
+        launch,
+    );
+    let mut fast = SimConfig::baseline_full();
+    fast.regfile.wakeup_cycles = 0;
+    let mut slow = SimConfig::baseline_full();
+    slow.regfile.wakeup_cycles = 40;
+    assert!(
+        cycles(&ck, &slow) > cycles(&ck, &fast),
+        "a 40-cycle subarray wakeup must be visible on a cold file"
+    );
+}
+
+#[test]
+fn partial_tail_warp_executes_correct_lane_count() {
+    // 169 threads/CTA (the NN benchmark shape): the sixth warp has
+    // only 9 active lanes
+    let ck = build(
+        |b| {
+            b.s2r(R::R0, Special::TidX);
+            b.shl(R::R1, R::R0, 2);
+            b.stg(R::R1, R::R0, 0x9000);
+            b.exit();
+        },
+        LaunchConfig::new(1, 169, 1),
+    );
+    let r = simulate(&ck, &SimConfig::baseline_full()).unwrap();
+    for tid in 0..169u64 {
+        assert_eq!(r.memories[0].peek_word(0x9000 + tid * 4), tid as u32);
+    }
+    // lane 169..192 never wrote
+    for tid in 169..192u64 {
+        assert_ne!(r.memories[0].peek_word(0x9000 + tid * 4), tid as u32);
+    }
+}
+
+#[test]
+fn cta_slot_reuse_resets_shared_memory() {
+    // CTA n reads shared memory before writing it; a stale value from
+    // the previous resident CTA would leak into its output
+    let ck = build(
+        |b| {
+            b.s2r(R::R0, Special::TidX);
+            b.s2r(R::R1, Special::CtaIdX);
+            b.shl(R::R2, R::R0, 2);
+            b.lds(R::R3, R::R2, 0); // must read 0 on a fresh CTA
+            b.iadd(R::R4, R::R3, Operand::Reg(R::R1));
+            b.sts(R::R2, R::R4, 0); // pollute for the next tenant
+            b.imad(R::R5, R::R1, Operand::Imm(32), Operand::Reg(R::R0));
+            b.shl(R::R5, R::R5, 2);
+            b.stg(R::R5, R::R4, 0xa000);
+            b.exit();
+        },
+        LaunchConfig::new(6, 32, 1), // six CTAs reuse one slot
+    );
+    let r = simulate(&ck, &SimConfig::baseline_full()).unwrap();
+    for cta in 0..6u64 {
+        for tid in 0..32u64 {
+            assert_eq!(
+                r.memories[0].peek_word(0xa000 + (cta * 32 + tid) * 4),
+                cta as u32,
+                "cta {cta} tid {tid} saw stale shared memory"
+            );
+        }
+    }
+}
+
+#[test]
+fn simd_efficiency_reflects_divergence() {
+    let uniform = build(
+        |b| {
+            b.s2r(R::R0, Special::TidX);
+            b.shl(R::R1, R::R0, 2);
+            b.stg(R::R1, R::R0, 0xb000);
+            b.exit();
+        },
+        LaunchConfig::new(1, 32, 1),
+    );
+    let divergent = build(
+        |b| {
+            b.s2r(R::R0, Special::LaneId);
+            b.isetp(Cond::Lt, Pred::P0, R::R0, Operand::Imm(8));
+            b.guard(PredGuard::if_false(Pred::P0));
+            b.bra("else");
+            // quarter-mask arm with real work
+            for _ in 0..8 {
+                b.iadd(R::R1, R::R0, 1);
+            }
+            b.bra("join");
+            b.label("else");
+            for _ in 0..8 {
+                b.iadd(R::R1, R::R0, 2);
+            }
+            b.label("join");
+            b.shl(R::R2, R::R0, 2);
+            b.stg(R::R2, R::R1, 0xb100);
+            b.exit();
+        },
+        LaunchConfig::new(1, 32, 1),
+    );
+    let cfg = SimConfig::baseline_full();
+    let eu = simulate(&uniform, &cfg).unwrap().sm0().simd_efficiency();
+    let ed = simulate(&divergent, &cfg).unwrap().sm0().simd_efficiency();
+    assert!(
+        eu > 0.99,
+        "uniform kernel must keep all lanes busy, got {eu}"
+    );
+    assert!(
+        ed < 0.75,
+        "the divergent kernel spends most instructions under partial masks, got {ed}"
+    );
+}
+
+#[test]
+fn mshr_merges_same_segment_loads() {
+    // eight warps all load the SAME cache line: only the first pays a
+    // transaction, the rest merge
+    let shared_line = build(
+        |b| {
+            b.s2r(R::R0, Special::LaneId);
+            b.and(R::R1, R::R0, 0); // addr 0 for every lane
+            b.ldg(R::R2, R::R1, 0x100);
+            b.shl(R::R3, R::R0, 2);
+            b.stg(R::R3, R::R2, 0xc000);
+            b.exit();
+        },
+        LaunchConfig::new(1, 256, 1),
+    );
+    let r = simulate(&shared_line, &SimConfig::baseline_full()).unwrap();
+    assert!(
+        r.sm0().mshr_merges >= 4,
+        "later warps must merge into the in-flight segment, got {}",
+        r.sm0().mshr_merges
+    );
+    assert!(
+        r.sm0().mem_txns < 8 + 8, // 8 warps x (1 load + 1 store segment)
+        "merged loads must not re-issue transactions, got {}",
+        r.sm0().mem_txns
+    );
+}

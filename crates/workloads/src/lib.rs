@@ -1,0 +1,24 @@
+//! # rfv-workloads — the paper's benchmark suite, synthesized
+//!
+//! Sixteen kernels reproducing Table 1 of *GPU Register File
+//! Virtualization* (MICRO-48, 2015) — launch geometry, exact register
+//! counts, and control-flow class per benchmark — plus a
+//! parameterized [`generator`] for property tests and ablations.
+//!
+//! ```
+//! use rfv_workloads::suite;
+//!
+//! let mm = suite::matrixmul();
+//! assert_eq!(mm.kernel.num_regs(), 14); // Table 1
+//! assert_eq!(suite::all().len(), 16);
+//! ```
+
+pub mod generator;
+pub mod suite;
+pub mod table1;
+pub mod validate;
+
+pub use generator::{synth, SynthParams};
+pub use suite::{all, by_name, Workload};
+pub use table1::{paper_geometry, PaperGeometry, TABLE1};
+pub use validate::{standard_init, validator_for};

@@ -1,0 +1,159 @@
+//! Table 1: workload geometry from the paper.
+
+/// Launch geometry of one paper benchmark (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PaperGeometry {
+    /// Benchmark name as printed in the paper.
+    pub name: &'static str,
+    /// Grid size (number of CTAs).
+    pub ctas: u32,
+    /// Threads per CTA.
+    pub threads_per_cta: u32,
+    /// Registers per kernel (the count outside the parentheses in
+    /// Table 1, which includes address and condition registers).
+    pub regs_per_kernel: usize,
+    /// Concurrent CTAs per SM.
+    pub conc_ctas: u32,
+}
+
+/// The sixteen benchmarks of Table 1.
+pub const TABLE1: [PaperGeometry; 16] = [
+    PaperGeometry {
+        name: "MatrixMul",
+        ctas: 64,
+        threads_per_cta: 256,
+        regs_per_kernel: 14,
+        conc_ctas: 6,
+    },
+    PaperGeometry {
+        name: "BlackScholes",
+        ctas: 480,
+        threads_per_cta: 128,
+        regs_per_kernel: 18,
+        conc_ctas: 8,
+    },
+    PaperGeometry {
+        name: "DCT8x8",
+        ctas: 4096,
+        threads_per_cta: 64,
+        regs_per_kernel: 22,
+        conc_ctas: 8,
+    },
+    PaperGeometry {
+        name: "Reduction",
+        ctas: 64,
+        threads_per_cta: 256,
+        regs_per_kernel: 14,
+        conc_ctas: 6,
+    },
+    PaperGeometry {
+        name: "VectorAdd",
+        ctas: 196,
+        threads_per_cta: 256,
+        regs_per_kernel: 4,
+        conc_ctas: 6,
+    },
+    PaperGeometry {
+        name: "BackProp",
+        ctas: 4096,
+        threads_per_cta: 256,
+        regs_per_kernel: 17,
+        conc_ctas: 6,
+    },
+    PaperGeometry {
+        name: "BFS",
+        ctas: 1954,
+        threads_per_cta: 512,
+        regs_per_kernel: 9,
+        conc_ctas: 3,
+    },
+    PaperGeometry {
+        name: "Heartwall",
+        ctas: 51,
+        threads_per_cta: 512,
+        regs_per_kernel: 29,
+        conc_ctas: 2,
+    },
+    PaperGeometry {
+        name: "HotSpot",
+        ctas: 1849,
+        threads_per_cta: 256,
+        regs_per_kernel: 22,
+        conc_ctas: 3,
+    },
+    PaperGeometry {
+        name: "LUD",
+        ctas: 15,
+        threads_per_cta: 32,
+        regs_per_kernel: 19,
+        conc_ctas: 6,
+    },
+    PaperGeometry {
+        name: "Gaussian",
+        ctas: 2,
+        threads_per_cta: 512,
+        regs_per_kernel: 8,
+        conc_ctas: 3,
+    },
+    PaperGeometry {
+        name: "LIB",
+        ctas: 64,
+        threads_per_cta: 64,
+        regs_per_kernel: 22,
+        conc_ctas: 8,
+    },
+    PaperGeometry {
+        name: "LPS",
+        ctas: 100,
+        threads_per_cta: 128,
+        regs_per_kernel: 17,
+        conc_ctas: 8,
+    },
+    PaperGeometry {
+        name: "NN",
+        ctas: 168,
+        threads_per_cta: 169,
+        regs_per_kernel: 14,
+        conc_ctas: 8,
+    },
+    PaperGeometry {
+        name: "MUM",
+        ctas: 196,
+        threads_per_cta: 256,
+        regs_per_kernel: 19,
+        conc_ctas: 6,
+    },
+    PaperGeometry {
+        name: "ScalarProd",
+        ctas: 128,
+        threads_per_cta: 256,
+        regs_per_kernel: 17,
+        conc_ctas: 6,
+    },
+];
+
+/// Looks up a benchmark's paper geometry by name.
+pub fn paper_geometry(name: &str) -> Option<PaperGeometry> {
+    TABLE1.iter().find(|g| g.name == name).copied()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sixteen_benchmarks() {
+        assert_eq!(TABLE1.len(), 16);
+        assert_eq!(paper_geometry("MUM").unwrap().regs_per_kernel, 19);
+        assert_eq!(paper_geometry("Heartwall").unwrap().conc_ctas, 2);
+        assert!(paper_geometry("NoSuch").is_none());
+    }
+
+    #[test]
+    fn names_unique() {
+        let mut names: Vec<&str> = TABLE1.iter().map(|g| g.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 16);
+    }
+}

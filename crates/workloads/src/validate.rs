@@ -1,0 +1,546 @@
+//! Functional validators: reference models that check a benchmark's
+//! *numerical outputs*, independent of any register-file
+//! configuration.
+//!
+//! Each validator receives the kernel's launch geometry, the memory
+//! initialization it was run with, and a `peek` closure over final
+//! global memory. Validators exist for the benchmarks whose semantics
+//! are simple enough to mirror exactly; the rest are covered by the
+//! cross-configuration identity tests.
+
+use crate::suite::buffers;
+use crate::Workload;
+
+/// Reads final global memory (word address → value).
+pub type Peek<'a> = &'a dyn Fn(u64) -> u32;
+
+/// A reference-model check for one benchmark's outputs.
+pub type Validator = fn(&Workload, &[(u64, u32)], Peek<'_>) -> Result<(), String>;
+
+fn f(bits: u32) -> f32 {
+    f32::from_bits(bits)
+}
+
+/// Deterministic float inputs for buffer `base`: `index → value`.
+fn input_f32(index: u64) -> f32 {
+    // small, exactly-representable values: sums stay exact in f32
+    ((index % 64) as f32) * 0.25 + 1.0
+}
+
+/// Builds the standard float initialization: buffers A..D hold
+/// `input(i)`, `2·input(i)`, `3·input(i)`, `4·input(i)` over `words`
+/// words each (benchmarks that write C/D overwrite them; none reads a
+/// buffer after writing it).
+pub fn standard_init(words: u64) -> Vec<(u64, u32)> {
+    let mut init = Vec::with_capacity(4 * words as usize);
+    for i in 0..words {
+        init.push((buffers::A as u64 + i * 4, input_f32(i).to_bits()));
+        init.push((buffers::B as u64 + i * 4, (input_f32(i) * 2.0).to_bits()));
+        init.push((buffers::C as u64 + i * 4, (input_f32(i) * 3.0).to_bits()));
+        init.push((buffers::D as u64 + i * 4, (input_f32(i) * 4.0).to_bits()));
+    }
+    init
+}
+
+/// `VectorAdd`: `C[i] = A[i] + B[i]` over the whole grid.
+pub fn validate_vectoradd(
+    w: &Workload,
+    _init: &[(u64, u32)],
+    peek: Peek<'_>,
+) -> Result<(), String> {
+    let threads = w.kernel.launch().total_threads();
+    for i in 0..threads {
+        let expected = input_f32(i) + input_f32(i) * 2.0;
+        let got = f(peek(buffers::C as u64 + i * 4));
+        if (got - expected).abs() > 1e-6 {
+            return Err(format!("VectorAdd c[{i}] = {got}, expected {expected}"));
+        }
+    }
+    Ok(())
+}
+
+/// `Reduction`: `C[cta] = Σ A[cta*256 + t]` for `t` in `0..256`.
+pub fn validate_reduction(
+    w: &Workload,
+    _init: &[(u64, u32)],
+    peek: Peek<'_>,
+) -> Result<(), String> {
+    for cta in 0..u64::from(w.kernel.launch().grid_ctas()) {
+        let expected: f32 = (0..256).map(|t| input_f32(cta * 256 + t)).sum();
+        let got = f(peek(buffers::C as u64 + cta * 4));
+        // the tree reduction reassociates, but our inputs are exact
+        // quarter-integers, so the sum is still exact in f32
+        if (got - expected).abs() > expected.abs() * 1e-5 {
+            return Err(format!("Reduction c[{cta}] = {got}, expected {expected}"));
+        }
+    }
+    Ok(())
+}
+
+/// `ScalarProd`: `C[cta] = Σ_t Σ_k A[idx] * B[idx]` with
+/// `idx = k*2048 + cta*256 + t` for `k` in `1..=8`.
+pub fn validate_scalarprod(
+    w: &Workload,
+    _init: &[(u64, u32)],
+    peek: Peek<'_>,
+) -> Result<(), String> {
+    for cta in 0..u64::from(w.kernel.launch().grid_ctas()) {
+        let mut expected = 0.0f64;
+        for t in 0..256u64 {
+            let gid = cta * 256 + t;
+            for k in 1..=8u64 {
+                let idx = k * 2048 + gid;
+                expected += f64::from(input_f32(idx)) * f64::from(input_f32(idx) * 2.0);
+            }
+        }
+        let got = f(peek(buffers::C as u64 + cta * 4));
+        let expected = expected as f32;
+        if (got - expected).abs() > expected.abs() * 1e-3 {
+            return Err(format!("ScalarProd c[{cta}] = {got}, expected {expected}"));
+        }
+    }
+    Ok(())
+}
+
+/// `NN`: `C[gid] = sqrt(Σ_k (A[idx] - B[idx])²) * 0.5 + 1.0` with
+/// `idx = k*1024 + gid` for `k` in `1..=4`.
+pub fn validate_nn(w: &Workload, _init: &[(u64, u32)], peek: Peek<'_>) -> Result<(), String> {
+    let launch = w.kernel.launch();
+    for cta in 0..u64::from(launch.grid_ctas()) {
+        for t in 0..u64::from(launch.threads_per_cta()) {
+            let gid = cta * u64::from(launch.threads_per_cta()) + t;
+            let mut acc = 0.0f32;
+            for k in 1..=4u64 {
+                let idx = k * 1024 + gid;
+                let d = input_f32(idx) - input_f32(idx) * 2.0;
+                acc = d.mul_add(d, acc);
+            }
+            let expected = acc.sqrt() * 0.5 + 1.0;
+            let got = f(peek(buffers::C as u64 + gid * 4));
+            if (got - expected).abs() > expected.abs() * 1e-5 {
+                return Err(format!("NN c[{gid}] = {got}, expected {expected}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `MatrixMul`: an exact floating-point mirror of the tiled kernel —
+/// per tile `t` (4 down to 1), threads stage `A[t*256 + gid]` and
+/// `B[t*256 + gid]` into shared tiles, then each thread accumulates
+/// `acc = a.mul_add(b, acc)` over `k` (16 down to 1) with
+/// `a = tileA[row*16 + k-1]`, `b = tileB[(k-1)*16 + col]`.
+pub fn validate_matrixmul(
+    w: &Workload,
+    _init: &[(u64, u32)],
+    peek: Peek<'_>,
+) -> Result<(), String> {
+    for cta in 0..u64::from(w.kernel.launch().grid_ctas()) {
+        // stage the four tiles exactly as the kernel's STS does
+        let tile_a = |tile: u64, t: u64| input_f32(tile * 256 + cta * 256 + t);
+        let tile_b = |tile: u64, t: u64| input_f32(tile * 256 + cta * 256 + t) * 2.0;
+        for tid in 0..256u64 {
+            let (col, row) = (tid & 15, tid >> 4);
+            let mut acc = 0.0f32;
+            for tile in (1..=4u64).rev() {
+                for k in (1..=16u64).rev() {
+                    let a = tile_a(tile, row * 16 + (k - 1));
+                    let b = tile_b(tile, (k - 1) * 16 + col);
+                    acc = a.mul_add(b, acc);
+                }
+            }
+            let gid = cta * 256 + tid;
+            let got = f(peek(buffers::C as u64 + gid * 4));
+            if got != acc {
+                return Err(format!("MatrixMul c[{gid}] = {got}, expected {acc}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `HotSpot`: five-point stencil with wrap-masked neighbours and a
+/// `min(x, y) == 0` boundary that keeps the old value.
+pub fn validate_hotspot(w: &Workload, _init: &[(u64, u32)], peek: Peek<'_>) -> Result<(), String> {
+    let launch = w.kernel.launch();
+    let a = |idx: u64| input_f32(idx & 4095);
+    for cta in 0..u64::from(launch.grid_ctas()) {
+        for tid in 0..256u64 {
+            let gid = cta * 256 + tid;
+            let x = gid & 15;
+            let y = tid >> 4;
+            let center = a(gid & 4095);
+            let south = a(gid.wrapping_add(16) & 4095);
+            let north = a(gid.wrapping_sub(16) & 4095);
+            let east = a(gid.wrapping_add(1) & 4095);
+            let west = a(gid.wrapping_sub(1) & 4095);
+            let lap = center.mul_add(-4.0, (south + north) + (east + west));
+            let fresh = lap.mul_add(0.1, center);
+            let expected = if x.min(y) == 0 { center } else { fresh };
+            let got = f(peek(buffers::B as u64 + gid * 4));
+            if got != expected {
+                return Err(format!("HotSpot b[{gid}] = {got}, expected {expected}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `BlackScholes`: the exact SFU chain — `d1 = (log2(S/X) + 0.06T) /
+/// sqrt(T)`, `d2 = d1 − 0.3`, `call = S·2^d1 + X·2^d2` (and the same
+/// value stored as the "put" proxy).
+pub fn validate_blackscholes(
+    w: &Workload,
+    _init: &[(u64, u32)],
+    peek: Peek<'_>,
+) -> Result<(), String> {
+    for gid in 0..w.kernel.launch().total_threads() {
+        let s = input_f32(gid);
+        let x = input_f32(gid) * 2.0;
+        let t = input_f32(gid) * 3.0;
+        let sqrt_t = t.sqrt();
+        let r9 = s * (1.0 / x);
+        let r12 = r9.log2() + t * 0.06;
+        let d1 = r12 * (1.0 / sqrt_t);
+        let d2 = d1 + (-0.3);
+        let c1 = s * d1.exp2();
+        let c2 = x * d2.exp2();
+        let call = c1 + c2;
+        let put = c2 + c1;
+        let got_call = f(peek(buffers::D as u64 + gid * 4));
+        let got_put = f(peek(buffers::E as u64 + gid * 4));
+        if got_call != call || got_put != put {
+            return Err(format!(
+                "BlackScholes[{gid}] = ({got_call}, {got_put}), expected ({call}, {put})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `BackProp`: forward weight accumulation, sigmoid proxy
+/// `1 / (2^acc + 1)`, a same-slot shared-memory exchange, and two
+/// stores.
+pub fn validate_backprop(w: &Workload, _init: &[(u64, u32)], peek: Peek<'_>) -> Result<(), String> {
+    for gid in 0..w.kernel.launch().total_threads() {
+        let input = input_f32(gid);
+        let mut acc = 0.0f32;
+        for k in (1..=16u64).rev() {
+            let weight = input_f32(k * 256 + gid) * 2.0;
+            acc = weight.mul_add(input, acc);
+        }
+        let sig = 1.0 / (acc.exp2() + 1.0);
+        let r15 = sig * 0.3 + sig; // own shared slot read back
+        let r16 = r15 * 2.0;
+        let got_c = f(peek(buffers::C as u64 + gid * 4));
+        let got_d = f(peek(buffers::D as u64 + gid * 4));
+        if got_c != r15 || got_d != r16 {
+            return Err(format!(
+                "BackProp[{gid}] = ({got_c}, {got_d}), expected ({r15}, {r16})"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `Gaussian`: `C[gid] = A[gid] + B[gid]·0.5` (the guard `A > 0`
+/// always holds for the standard inputs, exercising the guarded
+/// multiply path).
+pub fn validate_gaussian(w: &Workload, _init: &[(u64, u32)], peek: Peek<'_>) -> Result<(), String> {
+    for gid in 0..w.kernel.launch().total_threads() {
+        let a = input_f32(gid);
+        let b = input_f32(gid) * 2.0;
+        let expected = a + b * 0.5;
+        let got = f(peek(buffers::C as u64 + gid * 4));
+        if got != expected {
+            return Err(format!("Gaussian c[{gid}] = {got}, expected {expected}"));
+        }
+    }
+    Ok(())
+}
+
+/// `LPS`: in-plane shared-memory neighbours plus one out-of-plane
+/// global neighbour, `max(lap·0.15 + c, 0)`.
+pub fn validate_lps(w: &Workload, _init: &[(u64, u32)], peek: Peek<'_>) -> Result<(), String> {
+    let launch = w.kernel.launch();
+    for cta in 0..u64::from(launch.grid_ctas()) {
+        for tid in 0..128u64 {
+            let gid = cta * 128 + tid;
+            let center = input_f32(gid);
+            let right = input_f32(cta * 128 + ((tid + 1) & 127));
+            let left = input_f32(cta * 128 + ((tid.wrapping_sub(1)) & 127));
+            let z = input_f32((gid + 128) & 8191);
+            let lap = center.mul_add(-3.0, (right + left) + z);
+            let expected = lap.mul_add(0.15, center).max(0.0);
+            let got = f(peek(buffers::B as u64 + gid * 4));
+            if got != expected {
+                return Err(format!("LPS b[{gid}] = {got}, expected {expected}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `LIB`: the Monte Carlo LCG walk, path product, running sum and
+/// sum-of-squares, and the payoff epilogue — integer and float ops
+/// mirrored bit-exactly.
+pub fn validate_lib(w: &Workload, _init: &[(u64, u32)], peek: Peek<'_>) -> Result<(), String> {
+    for gid in 0..w.kernel.launch().total_threads() {
+        let mut seed = input_f32(gid).to_bits();
+        let mut path = 1.0f32;
+        let mut sum = 0.0f32;
+        let mut sumsq = 0.0f32;
+        for _ in 0..16 {
+            seed = seed.wrapping_mul(1_103_515_245).wrapping_add(12345);
+            let r8 = (seed >> 9) | 0x3f80_0000;
+            let step = ((f(r8) + (-1.5)) * 0.2).exp2();
+            path *= step;
+            sum += path;
+            sumsq = path.mul_add(path, sumsq);
+        }
+        let payoff = (path + (-1.0)).max(0.0) * 0.9;
+        let expected = (payoff + sum * (1.0 / sumsq.sqrt())) * 0.5;
+        let got = f(peek(buffers::C as u64 + gid * 4));
+        if got != expected {
+            return Err(format!("LIB c[{gid}] = {got}, expected {expected}"));
+        }
+    }
+    Ok(())
+}
+
+/// `DCT8x8`: the two shared-memory passes — per-thread row
+/// accumulation over the staged tile, then a column pass over every
+/// thread's row result.
+pub fn validate_dct8x8(w: &Workload, _init: &[(u64, u32)], peek: Peek<'_>) -> Result<(), String> {
+    for cta in 0..u64::from(w.kernel.launch().grid_ctas()) {
+        let tile = |t: u64| input_f32(cta * 64 + t);
+        // row pass for every thread (the column pass reads them all)
+        let mut row_acc = [0.0f32; 64];
+        for (tid, acc_slot) in row_acc.iter_mut().enumerate() {
+            let tid = tid as u64;
+            let (x, y) = (tid & 7, tid >> 3);
+            let mut acc = 0.0f32;
+            for k in (1..=8u64).rev() {
+                let r11 = tile(y * 8 + (k - 1));
+                let r13 = r11.mul_add(0.125, tile((k - 1) * 8 + x));
+                acc += r13;
+            }
+            *acc_slot = acc;
+        }
+        for tid in 0..64u64 {
+            let x = tid & 7;
+            let mut acc2 = 0.0f32;
+            for k in (1..=8u64).rev() {
+                acc2 += row_acc[((k - 1) * 8 + x) as usize] * 0.25;
+            }
+            let expected = (acc2 * 0.5 + row_acc[tid as usize]).max(0.0);
+            let gid = cta * 64 + tid;
+            let got = f(peek(buffers::C as u64 + gid * 4));
+            if got != expected {
+                return Err(format!("DCT8x8 c[{gid}] = {got}, expected {expected}"));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// `Heartwall`: the windowed SAD pipeline over four frames, the
+/// square root, and the data-dependent threshold store.
+pub fn validate_heartwall(
+    w: &Workload,
+    _init: &[(u64, u32)],
+    peek: Peek<'_>,
+) -> Result<(), String> {
+    for gid in 0..w.kernel.launch().total_threads() {
+        let mut acc = 0.0f32;
+        for k in (1..=4u64).rev() {
+            let idx = k * 512 + gid;
+            let (a, b, c, d) = (
+                input_f32(idx),
+                input_f32(idx) * 2.0,
+                input_f32(idx) * 3.0,
+                input_f32(idx) * 4.0,
+            );
+            let mean = (a + b) * 0.5 + (c + d) * 0.5;
+            #[allow(clippy::neg_multiply)] // mirrors the kernel's FMUL by -1.0
+            let neg = mean * -1.0;
+            let mut sad = (a + neg) * (a + neg);
+            sad = (b + neg).mul_add(b + neg, sad);
+            sad = (c + neg).mul_add(c + neg, sad);
+            sad = (d + neg).mul_add(d + neg, sad);
+            acc += sad;
+        }
+        let r25 = acc.sqrt();
+        let expected = if r25 > 2.0 { r25 * 0.25 } else { r25 + 1.0 };
+        let got_e = f(peek(buffers::E as u64 + gid * 4));
+        let got_f = peek(buffers::F as u64 + gid * 4);
+        if got_e != expected || got_f != 7 {
+            return Err(format!(
+                "Heartwall[{gid}] = ({got_e}, {got_f}), expected ({expected}, 7)"
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// `MUM`: the pointer-chasing suffix-tree walk over buffer C's bit
+/// patterns, and the integer postprocessing chain.
+pub fn validate_mum(w: &Workload, _init: &[(u64, u32)], peek: Peek<'_>) -> Result<(), String> {
+    for gid in 0..w.kernel.launch().total_threads() {
+        let mut node = u64::from(input_f32(gid).to_bits() & 4095);
+        let len = ((input_f32(gid) * 2.0).to_bits() & 15) + 1;
+        let mut mlen = 0u32;
+        for _ in 0..len {
+            let rec = (input_f32(node) * 3.0).to_bits();
+            mlen += (rec >> 12) & 1;
+            node = u64::from(rec & 4095);
+        }
+        let r13 = (mlen << 1).wrapping_add(mlen).wrapping_mul(3);
+        let r15 = (r13 & 255) + 7;
+        let expected = (r15 as i32).max(mlen as i32) as u32;
+        let got = peek(buffers::D as u64 + gid * 4);
+        if got != expected {
+            return Err(format!("MUM d[{gid}] = {got}, expected {expected}"));
+        }
+    }
+    Ok(())
+}
+
+/// `BFS`: recompute the frontier expansion and check every touched
+/// neighbour's level is 1 while untouched slots keep their
+/// initialization.
+pub fn validate_bfs(w: &Workload, _init: &[(u64, u32)], peek: Peek<'_>) -> Result<(), String> {
+    let mut touched = vec![false; 1024];
+    for gid in 0..w.kernel.launch().total_threads() {
+        if input_f32(gid).to_bits() & 1 == 0 {
+            continue;
+        }
+        let count = ((input_f32(gid) * 2.0).to_bits() & 7) + 1;
+        for k in (1..=u64::from(count)).rev() {
+            let n = (input_f32(k * 4 + gid) * 3.0).to_bits() & 1023;
+            touched[n as usize] = true;
+        }
+    }
+    for (n, &hit) in touched.iter().enumerate() {
+        let got = peek(buffers::D as u64 + n as u64 * 4);
+        let expected = if hit {
+            1
+        } else {
+            (input_f32(n as u64) * 4.0).to_bits()
+        };
+        if got != expected {
+            return Err(format!("BFS level[{n}] = {got}, expected {expected}"));
+        }
+    }
+    Ok(())
+}
+
+/// `LUD`: the serialized pivot loop — each iteration's active lanes
+/// (`lane > pivot`) read a snapshot of shared memory, update their own
+/// slot, and emit an `L` factor.
+pub fn validate_lud(w: &Workload, _init: &[(u64, u32)], peek: Peek<'_>) -> Result<(), String> {
+    for cta in 0..u64::from(w.kernel.launch().grid_ctas()) {
+        let mut vals: Vec<f32> = (0..32).map(|l| input_f32(cta * 32 + l)).collect();
+        let mut l_out = [[None::<f32>; 32]; 8];
+        for p in 0..8usize {
+            let snapshot = vals.clone();
+            for lane in (p + 1)..32 {
+                let pivot = snapshot[p];
+                let ratio = snapshot[lane] * (1.0 / pivot);
+                let other = snapshot[(p * 5 + lane) & 31];
+                vals[lane] = ratio.mul_add(other, snapshot[lane]);
+                l_out[p][lane] = Some(ratio);
+            }
+        }
+        for lane in 0..32u64 {
+            let expected = vals[lane as usize] + 0.0;
+            let got = f(peek(buffers::C as u64 + (cta * 32 + lane) * 4));
+            if got != expected {
+                return Err(format!(
+                    "LUD c[{}] = {got}, expected {expected}",
+                    cta * 32 + lane
+                ));
+            }
+        }
+        for (p, row) in l_out.iter().enumerate() {
+            for (lane, entry) in row.iter().enumerate() {
+                let Some(expected) = entry else { continue };
+                let addr = buffers::B as u64 + (cta * 256 + p as u64 * 32 + lane as u64) * 4;
+                let got = f(peek(addr));
+                if got != *expected {
+                    return Err(format!("LUD l[{p}][{lane}] = {got}, expected {expected}"));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The validators available, by benchmark name.
+pub fn validator_for(name: &str) -> Option<Validator> {
+    match name {
+        "VectorAdd" => Some(validate_vectoradd),
+        "Reduction" => Some(validate_reduction),
+        "ScalarProd" => Some(validate_scalarprod),
+        "NN" => Some(validate_nn),
+        "MatrixMul" => Some(validate_matrixmul),
+        "HotSpot" => Some(validate_hotspot),
+        "BlackScholes" => Some(validate_blackscholes),
+        "BackProp" => Some(validate_backprop),
+        "Gaussian" => Some(validate_gaussian),
+        "LPS" => Some(validate_lps),
+        "LIB" => Some(validate_lib),
+        "DCT8x8" => Some(validate_dct8x8),
+        "Heartwall" => Some(validate_heartwall),
+        "MUM" => Some(validate_mum),
+        "BFS" => Some(validate_bfs),
+        "LUD" => Some(validate_lud),
+        _ => None,
+    }
+}
+
+/// Words of input data the validators' [`standard_init`] must cover
+/// for a workload (largest index any kernel touches, rounded up).
+pub fn init_words_for(w: &Workload) -> u64 {
+    let threads = w.kernel.launch().total_threads();
+    // ScalarProd reaches k*2048 + gid (k ≤ 8); NN reaches k*1024 + gid;
+    // HotSpot's wrap mask reaches word 4095; MatrixMul reaches
+    // 4*256 + gid — all bounded by the ScalarProd term
+    8 * 2048 + threads + 1024
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::suite;
+
+    #[test]
+    fn validators_registered_for_known_benchmarks() {
+        for w in crate::suite::all() {
+            assert!(
+                validator_for(w.name()).is_some(),
+                "{} lacks a reference model",
+                w.name()
+            );
+        }
+        assert!(validator_for("NoSuch").is_none());
+    }
+
+    #[test]
+    fn standard_init_is_deterministic_and_disjoint() {
+        let init = standard_init(16);
+        assert_eq!(init.len(), 64);
+        let again = standard_init(16);
+        assert_eq!(init, again);
+        // A and B regions do not overlap
+        let a_max = buffers::A as u64 + 15 * 4;
+        assert!(a_max < buffers::B as u64);
+    }
+
+    #[test]
+    fn init_words_cover_the_hungriest_kernel() {
+        let sp = suite::scalarprod();
+        let needed = 8 * 2048 + sp.kernel.launch().total_threads();
+        assert!(init_words_for(&sp) >= needed);
+    }
+}

