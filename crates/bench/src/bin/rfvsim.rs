@@ -6,21 +6,40 @@
 //! rfvsim MUM --machine shrink50
 //! rfvsim my_kernel.asm --launch 8,128,4 --machine shrink75 --sms 4
 //! rfvsim Heartwall --compare
+//! rfvsim BackProp --trace trace.json --stats-json stats.json
 //! ```
 //!
 //! Machines: `conventional` (128 KB, no virtualization), `full`
 //! (128 KB + renaming + power gating, the default), `shrink50` /
 //! `shrink60` / `shrink75` (under-provisioned files), `hwonly` (the
 //! \[46\] hardware-only renaming baseline).
+//!
+//! Tracing and metrics flags:
+//!
+//! * `--trace <out.json>` — record structured events (register
+//!   allocate/release/rename, flag-cache probes, throttle decisions,
+//!   power gating, scheduler issue/stall, memory lifecycle) and write
+//!   them as Chrome trace-event JSON, loadable in Perfetto or
+//!   `chrome://tracing`. One track per (SM, warp).
+//! * `--trace-capacity <N>` — per-SM event ring capacity (default
+//!   1048576; the oldest-first ring drops the tail beyond this).
+//! * `--stats-json <out.json>` — write the end-of-run counters,
+//!   derived gauges, and occupancy histograms as JSON.
+//!
+//! With `--compare`, the machine label is inserted before the file
+//! extension (`trace.json` → `trace.full.json`).
 
 use std::env;
+use std::fs::File;
+use std::io::{BufWriter, Write};
 use std::process::exit;
 
 use rfv_bench::harness::{compile_full, compile_plain, rf_activity};
 use rfv_compiler::CompiledKernel;
 use rfv_core::VirtualizationPolicy;
 use rfv_power::model::{energy, RfGeometry};
-use rfv_sim::{simulate, SimConfig, SimResult};
+use rfv_sim::{simulate_traced, SimConfig, SimResult, TracedRun};
+use rfv_trace::TraceEvent;
 use rfv_workloads::{suite, PaperGeometry, Workload};
 
 struct Options {
@@ -29,12 +48,16 @@ struct Options {
     sms: usize,
     launch: Option<(u32, u32, u32)>,
     compare: bool,
+    trace: Option<String>,
+    trace_capacity: usize,
+    stats_json: Option<String>,
 }
 
 fn usage() -> ! {
     eprintln!(
         "usage: rfvsim <benchmark|file.asm> [--machine conventional|full|shrink50|shrink60|shrink75|hwonly]\n\
          \x20             [--sms N] [--launch CTAS,THREADS,CONC] [--compare]\n\
+         \x20             [--trace out.json] [--trace-capacity N] [--stats-json out.json]\n\
          benchmarks: {}",
         suite::all()
             .iter()
@@ -54,6 +77,9 @@ fn parse_args() -> Options {
         sms: 1,
         launch: None,
         compare: false,
+        trace: None,
+        trace_capacity: 1 << 20,
+        stats_json: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -73,6 +99,14 @@ fn parse_args() -> Options {
                 opts.launch = Some((parts[0], parts[1], parts[2]));
             }
             "--compare" => opts.compare = true,
+            "--trace" => opts.trace = Some(args.next().unwrap_or_else(|| usage())),
+            "--trace-capacity" => {
+                opts.trace_capacity = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--stats-json" => opts.stats_json = Some(args.next().unwrap_or_else(|| usage())),
             _ => usage(),
         }
     }
@@ -192,6 +226,52 @@ fn report(label: &str, ck: &CompiledKernel, cfg: &SimConfig, result: &SimResult)
     );
 }
 
+/// `base` with `label` inserted before the extension, when several
+/// machines write to the same flag (`--compare`).
+fn out_path(base: &str, label: &str, multiple: bool) -> String {
+    if !multiple {
+        return base.to_string();
+    }
+    match base.rsplit_once('.') {
+        Some((stem, ext)) => format!("{stem}.{label}.{ext}"),
+        None => format!("{base}.{label}"),
+    }
+}
+
+fn write_chrome_trace(path: &str, events: &[TraceEvent]) {
+    let file = File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        exit(1)
+    });
+    let mut w = BufWriter::new(file);
+    rfv_trace::chrome::write_trace(&mut w, events).unwrap_or_else(|e| {
+        eprintln!("cannot write {path}: {e}");
+        exit(1)
+    });
+    println!("  trace        : {} events -> {path}", events.len());
+}
+
+fn write_stats_json(path: &str, run: &TracedRun, cfg: &SimConfig) {
+    let mut m = run.result.sm0().to_metrics();
+    m.add("gpu.cycles", run.result.cycles);
+    m.add("gpu.sms", cfg.num_sms as u64);
+    for e in &run.events {
+        m.record_event(e);
+    }
+    let file = File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        exit(1)
+    });
+    let mut w = BufWriter::new(file);
+    w.write_all(m.to_json().as_bytes())
+        .and_then(|()| w.flush())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+    println!("  stats        : -> {path}");
+}
+
 fn main() {
     let opts = parse_args();
     let Some(mut cfg) = machine_config(&opts.machine) else {
@@ -212,6 +292,12 @@ fn main() {
     } else {
         vec![(opts.machine.as_str(), cfg)]
     };
+    let multiple = machines.len() > 1;
+    let capacity = if opts.trace.is_some() || opts.stats_json.is_some() {
+        opts.trace_capacity
+    } else {
+        0
+    };
 
     for (label, cfg) in machines {
         let ck = if cfg.regfile.policy.uses_release_flags() {
@@ -219,8 +305,16 @@ fn main() {
         } else {
             compile_plain(&w)
         };
-        match simulate(&ck, &cfg) {
-            Ok(result) => report(label, &ck, &cfg, &result),
+        match simulate_traced(&ck, &cfg, capacity) {
+            Ok(run) => {
+                report(label, &ck, &cfg, &run.result);
+                if let Some(base) = &opts.trace {
+                    write_chrome_trace(&out_path(base, label, multiple), &run.events);
+                }
+                if let Some(base) = &opts.stats_json {
+                    write_stats_json(&out_path(base, label, multiple), &run, &cfg);
+                }
+            }
             Err(e) => {
                 eprintln!("{label}: simulation failed: {e}");
                 exit(1);

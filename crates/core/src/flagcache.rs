@@ -7,6 +7,8 @@
 //! entry stores the 54-bit flag payload tagged by the `pir`'s PC; ten
 //! entries (68 B total) capture almost all locality (Figure 13).
 
+use rfv_trace::{Sink, TraceEvent, TraceKind};
+
 /// Access statistics for the release flag cache.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
 pub struct FlagCacheStats {
@@ -75,6 +77,29 @@ impl ReleaseFlagCache {
             self.tags[idx] = Some(pc);
             false
         }
+    }
+
+    /// [`ReleaseFlagCache::probe_and_fill`], emitting a
+    /// [`TraceKind::FlagCacheHit`] or [`TraceKind::FlagCacheMiss`]
+    /// event attributed to the probing warp.
+    pub fn probe_and_fill_traced(
+        &mut self,
+        pc: usize,
+        now: u64,
+        sm: u16,
+        warp: usize,
+        sink: &mut Sink,
+    ) -> bool {
+        let hit = self.probe_and_fill(pc);
+        if sink.enabled() {
+            let kind = if hit {
+                TraceKind::FlagCacheHit { pc: pc as u32 }
+            } else {
+                TraceKind::FlagCacheMiss { pc: pc as u32 }
+            };
+            sink.emit(TraceEvent::warp_event(now, sm, warp, kind));
+        }
+        hit
     }
 
     /// Probes without filling (used by the fetch stage to decide
@@ -148,6 +173,19 @@ mod tests {
         c.probe_and_fill(1);
         c.flush();
         assert!(!c.probe(1));
+    }
+
+    #[test]
+    fn traced_probe_emits_hit_and_miss_events() {
+        let mut sink = Sink::ring(8);
+        let mut c = ReleaseFlagCache::new(4);
+        assert!(!c.probe_and_fill_traced(9, 100, 1, 5, &mut sink));
+        assert!(c.probe_and_fill_traced(9, 101, 1, 6, &mut sink));
+        let events = sink.into_events();
+        assert_eq!(events[0].kind, TraceKind::FlagCacheMiss { pc: 9 });
+        assert_eq!(events[1].kind, TraceKind::FlagCacheHit { pc: 9 });
+        assert_eq!((events[1].sm, events[1].warp), (1, 6));
+        assert_eq!(c.stats().probes(), 2);
     }
 
     #[test]

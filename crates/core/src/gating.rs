@@ -6,6 +6,8 @@
 //! becomes usable, and integrates subarray-on time for the leakage
 //! energy model.
 
+use rfv_trace::{Sink, TraceEvent, TraceKind};
+
 /// Power state of the register file's subarrays.
 #[derive(Clone, Debug)]
 pub struct SubarrayGating {
@@ -66,6 +68,25 @@ impl SubarrayGating {
         ready
     }
 
+    /// [`SubarrayGating::note_occupied`], emitting a
+    /// [`TraceKind::GateOn`] event (with the wakeup stall charged)
+    /// when the subarray transitions from gated to powered.
+    pub fn note_occupied_traced(&mut self, sa: usize, now: u64, sm: u16, sink: &mut Sink) -> u64 {
+        let was_on = self.ready_at[sa].is_some();
+        let ready = self.note_occupied(sa, now);
+        if !was_on && sink.enabled() {
+            sink.emit(TraceEvent::sm_event(
+                now,
+                sm,
+                TraceKind::GateOn {
+                    subarray: sa as u16,
+                    wakeup: ready.saturating_sub(now) as u32,
+                },
+            ));
+        }
+        ready
+    }
+
     /// Marks a subarray as emptied at `now` (last register freed); the
     /// subarray is gated off immediately.
     pub fn note_emptied(&mut self, sa: usize, now: u64) {
@@ -76,6 +97,23 @@ impl SubarrayGating {
             self.settle(now);
             self.on_count -= 1;
             self.ready_at[sa] = None;
+        }
+    }
+
+    /// [`SubarrayGating::note_emptied`], emitting a
+    /// [`TraceKind::GateOff`] event when the subarray is actually
+    /// gated off (gating enabled and previously powered).
+    pub fn note_emptied_traced(&mut self, sa: usize, now: u64, sm: u16, sink: &mut Sink) {
+        let gated = self.enabled && self.ready_at[sa].is_some();
+        self.note_emptied(sa, now);
+        if gated && sink.enabled() {
+            sink.emit(TraceEvent::sm_event(
+                now,
+                sm,
+                TraceKind::GateOff {
+                    subarray: sa as u16,
+                },
+            ));
         }
     }
 
@@ -147,6 +185,33 @@ mod tests {
         assert_eq!(g.note_occupied(0, 20), 25);
         assert_eq!(g.wakeups(), 2);
         assert_eq!(g.on_integral(30), 10 + 10);
+    }
+
+    #[test]
+    fn traced_variants_emit_gate_events() {
+        let mut sink = Sink::ring(16);
+        let mut g = SubarrayGating::new(2, true, 5);
+        assert_eq!(g.note_occupied_traced(0, 10, 3, &mut sink), 15);
+        // already powered: no second GateOn
+        g.note_occupied_traced(0, 12, 3, &mut sink);
+        g.note_emptied_traced(0, 20, 3, &mut sink);
+        // already gated: no second GateOff
+        g.note_emptied_traced(0, 21, 3, &mut sink);
+        let events = sink.into_events();
+        assert_eq!(events.len(), 2);
+        assert_eq!(
+            events[0].kind,
+            TraceKind::GateOn {
+                subarray: 0,
+                wakeup: 5
+            }
+        );
+        assert_eq!(events[0].sm, 3);
+        assert_eq!(events[1].kind, TraceKind::GateOff { subarray: 0 });
+        // traced calls through a noop sink behave identically
+        let mut g2 = SubarrayGating::new(2, true, 5);
+        assert_eq!(g2.note_occupied_traced(0, 10, 0, &mut Sink::Noop), 15);
+        assert_eq!(g2.wakeups(), 1);
     }
 
     #[test]

@@ -11,6 +11,7 @@
 use std::fmt;
 
 use rfv_isa::{ArchReg, BankId, PhysReg, MAX_REGS_PER_THREAD, NUM_REG_BANKS};
+use rfv_trace::{Sink, TraceEvent, TraceKind};
 
 use crate::availability::Availability;
 use crate::config::RegFileConfig;
@@ -126,6 +127,28 @@ impl RegisterFile {
     where
         I: IntoIterator<Item = ArchReg>,
     {
+        self.launch_warp_traced(warp, regs, now, 0, &mut Sink::Noop)
+    }
+
+    /// [`RegisterFile::launch_warp`], emitting a
+    /// [`TraceKind::RegAlloc`] event per static mapping (plus gating
+    /// events for subarrays the allocations power on).
+    ///
+    /// # Errors
+    ///
+    /// See [`RegisterFile::launch_warp`]. A rolled-back partial launch
+    /// leaves matching release events in the trace.
+    pub fn launch_warp_traced<I>(
+        &mut self,
+        warp: usize,
+        regs: I,
+        now: u64,
+        sm: u16,
+        sink: &mut Sink,
+    ) -> Result<(), StaticAllocError>
+    where
+        I: IntoIterator<Item = ArchReg>,
+    {
         let mut mapped: Vec<ArchReg> = Vec::new();
         for reg in regs {
             debug_assert!(self.static_map[warp][reg.index()].is_none());
@@ -136,12 +159,14 @@ impl RegisterFile {
                     let p = self.static_map[warp][undo.index()]
                         .take()
                         .expect("just mapped");
-                    self.note_free(p, now);
+                    self.emit_release(undo, p, now, sm, warp, sink);
+                    self.note_free_traced(p, now, sm, sink);
                     self.stats.static_allocs -= 1;
                 }
                 return Err(StaticAllocError { bank });
             };
-            self.note_alloc(phys, now);
+            self.note_alloc_traced(phys, now, sm, sink);
+            self.emit_alloc(reg, phys, now, sm, warp, sink);
             self.stats.static_allocs += 1;
             self.static_map[warp][reg.index()] = Some(phys);
             mapped.push(reg);
@@ -175,17 +200,63 @@ impl RegisterFile {
             .find_map(|b| self.avail.alloc_in_bank(b))
     }
 
-    fn note_alloc(&mut self, phys: PhysReg, now: u64) -> u64 {
+    fn note_alloc_traced(&mut self, phys: PhysReg, now: u64, sm: u16, sink: &mut Sink) -> u64 {
         let sa = self.avail.subarray_of(phys);
-        let ready = self.gating.note_occupied(sa, now);
+        let ready = self.gating.note_occupied_traced(sa, now, sm, sink);
         self.stats.peak_live = self.stats.peak_live.max(self.avail.live_count());
         ready
     }
 
-    fn note_free(&mut self, phys: PhysReg, now: u64) {
+    fn note_free_traced(&mut self, phys: PhysReg, now: u64, sm: u16, sink: &mut Sink) {
         let (sa, emptied) = self.avail.free(phys);
         if emptied {
-            self.gating.note_emptied(sa, now);
+            self.gating.note_emptied_traced(sa, now, sm, sink);
+        }
+    }
+
+    fn emit_alloc(
+        &self,
+        reg: ArchReg,
+        phys: PhysReg,
+        now: u64,
+        sm: u16,
+        warp: usize,
+        sink: &mut Sink,
+    ) {
+        if sink.enabled() {
+            sink.emit(TraceEvent::warp_event(
+                now,
+                sm,
+                warp,
+                TraceKind::RegAlloc {
+                    reg: reg.index() as u16,
+                    phys: phys.index() as u32,
+                    bank: self.avail.bank_of(phys).index() as u8,
+                },
+            ));
+        }
+    }
+
+    fn emit_release(
+        &self,
+        reg: ArchReg,
+        phys: PhysReg,
+        now: u64,
+        sm: u16,
+        warp: usize,
+        sink: &mut Sink,
+    ) {
+        if sink.enabled() {
+            sink.emit(TraceEvent::warp_event(
+                now,
+                sm,
+                warp,
+                TraceKind::RegRelease {
+                    reg: reg.index() as u16,
+                    phys: phys.index() as u32,
+                    bank: self.avail.bank_of(phys).index() as u8,
+                },
+            ));
         }
     }
 
@@ -195,6 +266,21 @@ impl RegisterFile {
     /// [`RegFileStats::alloc_failures`] untouched, so stalled retries
     /// do not inflate access energy.
     pub fn write(&mut self, warp: usize, reg: ArchReg, now: u64) -> WriteOutcome {
+        self.write_traced(warp, reg, now, 0, &mut Sink::Noop)
+    }
+
+    /// [`RegisterFile::write`], emitting [`TraceKind::RegAlloc`] and
+    /// [`TraceKind::RegRename`] events when the write allocates a
+    /// fresh physical register (plus a [`TraceKind::GateOn`] when the
+    /// allocation powers a gated subarray).
+    pub fn write_traced(
+        &mut self,
+        warp: usize,
+        reg: ArchReg,
+        now: u64,
+        sm: u16,
+        sink: &mut Sink,
+    ) -> WriteOutcome {
         if let Some(phys) = self.static_map[warp][reg.index()] {
             self.stats.rf_writes += 1;
             return WriteOutcome::Mapped {
@@ -213,10 +299,11 @@ impl RegisterFile {
         }
         match self.alloc_for(warp, reg) {
             Some(phys) => {
-                let ready_at = self.note_alloc(phys, now);
+                let ready_at = self.note_alloc_traced(phys, now, sm, sink);
                 self.stats.allocs += 1;
                 self.stats.rf_writes += 1;
-                self.table.map(warp, reg, phys);
+                self.emit_alloc(reg, phys, now, sm, warp, sink);
+                self.table.map_traced(warp, reg, phys, now, sm, sink);
                 WriteOutcome::Mapped {
                     phys,
                     ready_at,
@@ -251,12 +338,27 @@ impl RegisterFile {
     /// static mappings are unaffected. Returns whether a physical
     /// register was actually freed.
     pub fn release(&mut self, warp: usize, reg: ArchReg, now: u64) -> bool {
+        self.release_traced(warp, reg, now, 0, &mut Sink::Noop)
+    }
+
+    /// [`RegisterFile::release`], emitting a [`TraceKind::RegRelease`]
+    /// event when a physical register is actually freed (plus a
+    /// [`TraceKind::GateOff`] when its subarray empties).
+    pub fn release_traced(
+        &mut self,
+        warp: usize,
+        reg: ArchReg,
+        now: u64,
+        sm: u16,
+        sink: &mut Sink,
+    ) -> bool {
         if self.static_map[warp][reg.index()].is_some() {
             return false;
         }
         match self.table.release(warp, reg) {
             Some(phys) => {
-                self.note_free(phys, now);
+                self.emit_release(reg, phys, now, sm, warp, sink);
+                self.note_free_traced(phys, now, sm, sink);
                 self.stats.releases += 1;
                 true
             }
@@ -268,6 +370,22 @@ impl RegisterFile {
     /// mappings included. Returns the number of physical registers
     /// freed.
     pub fn retire_warp(&mut self, warp: usize, now: u64) -> usize {
+        self.retire_warp_traced(warp, now, 0, &mut Sink::Noop)
+    }
+
+    /// [`RegisterFile::retire_warp`], emitting a
+    /// [`TraceKind::RegRelease`] event per freed register.
+    pub fn retire_warp_traced(&mut self, warp: usize, now: u64, sm: u16, sink: &mut Sink) -> usize {
+        if sink.enabled() {
+            // Snapshot the arch → phys pairs before tearing the
+            // mappings down so the events carry architected ids.
+            let pairs: Vec<(ArchReg, PhysReg)> = ArchReg::all()
+                .filter_map(|r| self.peek(warp, r).map(|p| (r, p)))
+                .collect();
+            for (r, p) in pairs {
+                self.emit_release(r, p, now, sm, warp, sink);
+            }
+        }
         let mut freed = self.table.release_warp(warp);
         for slot in self.static_map[warp].iter_mut() {
             if let Some(p) = slot.take() {
@@ -275,7 +393,7 @@ impl RegisterFile {
             }
         }
         for &p in &freed {
-            self.note_free(p, now);
+            self.note_free_traced(p, now, sm, sink);
         }
         freed.len()
     }
@@ -512,6 +630,58 @@ mod tests {
         f.release(0, ArchReg::R1, 1);
         f.write(0, ArchReg::R2, 2);
         assert_eq!(f.stats().peak_live, 2);
+    }
+
+    #[test]
+    fn traced_lifecycle_emits_register_events() {
+        use crate::renaming::NO_PHYS;
+
+        let mut sink = Sink::ring(64);
+        let mut f = rf(RegFileConfig::baseline_full());
+        let w = 1;
+
+        f.launch_warp_traced(w, [ArchReg::R0], 0, 2, &mut sink)
+            .unwrap();
+        let WriteOutcome::Mapped { phys, .. } = f.write_traced(w, ArchReg::R3, 1, 2, &mut sink)
+        else {
+            panic!("allocation failed")
+        };
+        assert!(f.release_traced(w, ArchReg::R3, 5, 2, &mut sink));
+        assert_eq!(f.retire_warp_traced(w, 9, 2, &mut sink), 1);
+
+        let events = sink.into_events();
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        let phys_id = phys.index() as u32;
+        // static alloc: GateOn then RegAlloc for R0
+        assert!(matches!(kinds[0], TraceKind::GateOn { .. }));
+        assert!(matches!(kinds[1], TraceKind::RegAlloc { reg: 0, .. }));
+        // dynamic write: GateOn (different subarray), RegAlloc, RegRename
+        assert!(matches!(kinds[2], TraceKind::GateOn { .. }));
+        assert_eq!(
+            kinds[3],
+            TraceKind::RegAlloc {
+                reg: 3,
+                phys: phys_id,
+                bank: f.bank_of_phys(phys).index() as u8,
+            }
+        );
+        assert!(matches!(
+            kinds[4],
+            TraceKind::RegRename {
+                reg: 3,
+                old_phys: NO_PHYS,
+                ..
+            }
+        ));
+        // early release then GateOff
+        assert!(matches!(kinds[5], TraceKind::RegRelease { reg: 3, .. }));
+        assert!(matches!(kinds[6], TraceKind::GateOff { .. }));
+        // retire releases the static R0
+        assert!(matches!(kinds[7], TraceKind::RegRelease { reg: 0, .. }));
+        assert!(matches!(kinds[8], TraceKind::GateOff { .. }));
+        assert_eq!(events.len(), 9);
+        // every event is attributed to SM 2; warp events to warp 1
+        assert!(events.iter().all(|e| e.sm == 2));
     }
 
     #[test]

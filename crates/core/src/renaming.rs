@@ -7,6 +7,11 @@
 //! and access counting.
 
 use rfv_isa::{ArchReg, PhysReg, MAX_REGS_PER_THREAD};
+use rfv_trace::{Sink, TraceEvent, TraceKind};
+
+/// Sentinel `old_phys` in [`TraceKind::RegRename`] events: the
+/// architected register had no previously-traced physical mapping.
+pub const NO_PHYS: u32 = u32::MAX;
 
 /// Access counters for renaming-table energy accounting.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -24,6 +29,12 @@ pub struct RenamingTable {
     map: Vec<[Option<PhysReg>; MAX_REGS_PER_THREAD]>,
     mapped_per_warp: Vec<usize>,
     stats: RenamingStats,
+    /// Last physical register each `(warp, reg)` was mapped to.
+    /// Trace-only history: written by [`RenamingTable::map_traced`]
+    /// with an enabled sink, never touched on the untraced path, so
+    /// re-mapping after a release can be reported as a rename with
+    /// the old physical id.
+    history: Vec<[Option<PhysReg>; MAX_REGS_PER_THREAD]>,
 }
 
 impl RenamingTable {
@@ -33,6 +44,7 @@ impl RenamingTable {
             map: vec![[None; MAX_REGS_PER_THREAD]; warp_slots],
             mapped_per_warp: vec![0; warp_slots],
             stats: RenamingStats::default(),
+            history: vec![[None; MAX_REGS_PER_THREAD]; warp_slots],
         }
     }
 
@@ -70,6 +82,40 @@ impl RenamingTable {
         );
         *slot = Some(phys);
         self.mapped_per_warp[warp] += 1;
+    }
+
+    /// [`RenamingTable::map`], emitting a [`TraceKind::RegRename`]
+    /// event. `old_phys` is the physical register this name was last
+    /// mapped to (a genuine rename after release + reallocation), or
+    /// [`NO_PHYS`] for a first-time binding.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slot is already mapped.
+    pub fn map_traced(
+        &mut self,
+        warp: usize,
+        reg: ArchReg,
+        phys: PhysReg,
+        now: u64,
+        sm: u16,
+        sink: &mut Sink,
+    ) {
+        self.map(warp, reg, phys);
+        if sink.enabled() {
+            let old = self.history[warp][reg.index()];
+            sink.emit(TraceEvent::warp_event(
+                now,
+                sm,
+                warp,
+                TraceKind::RegRename {
+                    reg: reg.index() as u16,
+                    old_phys: old.map_or(NO_PHYS, |p| p.index() as u32),
+                    new_phys: phys.index() as u32,
+                },
+            ));
+            self.history[warp][reg.index()] = Some(phys);
+        }
     }
 
     /// Removes a mapping, returning the freed physical register.
@@ -170,6 +216,32 @@ mod tests {
         assert_eq!(freed.len(), 5);
         assert_eq!(t.mapped_count(1), 0);
         assert_eq!(t.release_warp(1), Vec::new());
+    }
+
+    #[test]
+    fn map_traced_reports_rename_chains() {
+        let mut sink = Sink::ring(8);
+        let mut t = RenamingTable::new(2);
+        t.map_traced(0, ArchReg::R3, PhysReg::new(7), 1, 0, &mut sink);
+        assert_eq!(t.release(0, ArchReg::R3), Some(PhysReg::new(7)));
+        t.map_traced(0, ArchReg::R3, PhysReg::new(19), 5, 0, &mut sink);
+        let events = sink.into_events();
+        assert_eq!(
+            events[0].kind,
+            TraceKind::RegRename {
+                reg: 3,
+                old_phys: NO_PHYS,
+                new_phys: 7
+            }
+        );
+        assert_eq!(
+            events[1].kind,
+            TraceKind::RegRename {
+                reg: 3,
+                old_phys: 7,
+                new_phys: 19
+            }
+        );
     }
 
     #[test]

@@ -10,6 +10,8 @@
 //! to complete, the scheduler restricts issue to the CTA with the
 //! minimum balance until releases replenish the pool.
 
+use rfv_trace::{Sink, TraceEvent, TraceKind};
+
 /// The scheduler's decision for this cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
 pub enum ThrottleDecision {
@@ -61,6 +63,33 @@ impl CtaThrottle {
         });
     }
 
+    /// [`CtaThrottle::launch`], emitting a
+    /// [`TraceKind::ThrottleAdmit`] event with the admitted budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the slot is occupied.
+    pub fn launch_traced(
+        &mut self,
+        cta_slot: usize,
+        budget: usize,
+        now: u64,
+        sm: u16,
+        sink: &mut Sink,
+    ) {
+        self.launch(cta_slot, budget);
+        if sink.enabled() {
+            sink.emit(TraceEvent::sm_event(
+                now,
+                sm,
+                TraceKind::ThrottleAdmit {
+                    cta: cta_slot as u32,
+                    budget: budget as u32,
+                },
+            ));
+        }
+    }
+
     /// Removes a completed CTA.
     pub fn retire(&mut self, cta_slot: usize) {
         self.slots[cta_slot] = None;
@@ -77,6 +106,37 @@ impl CtaThrottle {
     pub fn on_release(&mut self, cta_slot: usize) {
         if let Some(b) = &mut self.slots[cta_slot] {
             b.assigned = b.assigned.saturating_sub(1);
+        }
+    }
+
+    /// [`CtaThrottle::on_alloc`], emitting a
+    /// [`TraceKind::ThrottleBalance`] event with the updated
+    /// `C − k_i` counter.
+    pub fn on_alloc_traced(&mut self, cta_slot: usize, now: u64, sm: u16, sink: &mut Sink) {
+        self.on_alloc(cta_slot);
+        self.emit_balance(cta_slot, now, sm, sink);
+    }
+
+    /// [`CtaThrottle::on_release`], emitting a
+    /// [`TraceKind::ThrottleBalance`] event with the updated
+    /// `C − k_i` counter.
+    pub fn on_release_traced(&mut self, cta_slot: usize, now: u64, sm: u16, sink: &mut Sink) {
+        self.on_release(cta_slot);
+        self.emit_balance(cta_slot, now, sm, sink);
+    }
+
+    fn emit_balance(&self, cta_slot: usize, now: u64, sm: u16, sink: &mut Sink) {
+        if sink.enabled() {
+            if let Some(bal) = self.balance(cta_slot) {
+                sink.emit(TraceEvent::sm_event(
+                    now,
+                    sm,
+                    TraceKind::ThrottleBalance {
+                        cta: cta_slot as u32,
+                        balance: bal as i64,
+                    },
+                ));
+            }
         }
     }
 
@@ -107,6 +167,31 @@ impl CtaThrottle {
             }
             _ => ThrottleDecision::Unrestricted,
         }
+    }
+
+    /// [`CtaThrottle::decide`], emitting a
+    /// [`TraceKind::ThrottleDeny`] event when issue is restricted.
+    pub fn decide_traced(
+        &mut self,
+        free_regs: usize,
+        now: u64,
+        sm: u16,
+        sink: &mut Sink,
+    ) -> ThrottleDecision {
+        let decision = self.decide(free_regs);
+        if sink.enabled() {
+            if let ThrottleDecision::OnlyCta(slot) = decision {
+                sink.emit(TraceEvent::sm_event(
+                    now,
+                    sm,
+                    TraceKind::ThrottleDeny {
+                        cta: slot as u32,
+                        balance: self.balance(slot).unwrap_or(0) as i64,
+                    },
+                ));
+            }
+        }
+        decision
     }
 
     /// Number of resident CTAs.
@@ -189,6 +274,34 @@ mod tests {
     fn no_ctas_means_unrestricted() {
         let mut t = CtaThrottle::new(4);
         assert_eq!(t.decide(0), ThrottleDecision::Unrestricted);
+    }
+
+    #[test]
+    fn traced_variants_emit_throttle_events() {
+        let mut sink = Sink::ring(16);
+        let mut t = CtaThrottle::new(2);
+        t.launch_traced(0, 3, 5, 0, &mut sink);
+        t.on_alloc_traced(0, 6, 0, &mut sink);
+        t.on_release_traced(0, 7, 0, &mut sink);
+        assert_eq!(
+            t.decide_traced(1, 8, 0, &mut sink),
+            ThrottleDecision::OnlyCta(0)
+        );
+        assert_eq!(
+            t.decide_traced(100, 9, 0, &mut sink),
+            ThrottleDecision::Unrestricted
+        );
+        let events = sink.into_events();
+        let kinds: Vec<_> = events.iter().map(|e| e.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::ThrottleAdmit { cta: 0, budget: 3 },
+                TraceKind::ThrottleBalance { cta: 0, balance: 2 },
+                TraceKind::ThrottleBalance { cta: 0, balance: 3 },
+                TraceKind::ThrottleDeny { cta: 0, balance: 3 },
+            ]
+        );
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! the GPU's execution time is the slowest SM's.
 
 use rfv_compiler::CompiledKernel;
+use rfv_trace::TraceEvent;
 
 use crate::config::SimConfig;
 use crate::memory::GlobalMemory;
@@ -37,6 +38,16 @@ impl SimResult {
     }
 }
 
+/// A [`SimResult`] together with the structured trace it produced.
+#[derive(Clone, Debug)]
+pub struct TracedRun {
+    /// The simulation outcome (identical to an untraced run).
+    pub result: SimResult,
+    /// All SMs' trace events, merged and sorted by cycle (per-SM
+    /// relative order preserved).
+    pub events: Vec<TraceEvent>,
+}
+
 /// Runs `kernel` on a GPU configured by `config`, with CTAs
 /// distributed round-robin across SMs. `init` pre-loads global
 /// memory on every SM (each SM has a private copy of the address
@@ -50,13 +61,54 @@ pub fn simulate_with_init(
     config: &SimConfig,
     init: &[(u64, u32)],
 ) -> Result<SimResult, SimError> {
+    Ok(run_all(kernel, config, init, 0)?.result)
+}
+
+/// [`simulate`] with structured tracing: every SM records up to
+/// `trace_capacity` events in a bounded ring (capacity `0` disables
+/// tracing entirely, compiling the instrumentation down to untaken
+/// branches).
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate_traced(
+    kernel: &CompiledKernel,
+    config: &SimConfig,
+    trace_capacity: usize,
+) -> Result<TracedRun, SimError> {
+    run_all(kernel, config, &[], trace_capacity)
+}
+
+/// [`simulate_with_init`] with structured tracing; see
+/// [`simulate_traced`].
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate_traced_with_init(
+    kernel: &CompiledKernel,
+    config: &SimConfig,
+    init: &[(u64, u32)],
+    trace_capacity: usize,
+) -> Result<TracedRun, SimError> {
+    run_all(kernel, config, init, trace_capacity)
+}
+
+fn run_all(
+    kernel: &CompiledKernel,
+    config: &SimConfig,
+    init: &[(u64, u32)],
+    trace_capacity: usize,
+) -> Result<TracedRun, SimError> {
     let grid = kernel.kernel().launch().grid_ctas();
     let mut assignments: Vec<Vec<u32>> = vec![Vec::new(); config.num_sms];
     for cta in 0..grid {
         assignments[(cta as usize) % config.num_sms].push(cta);
     }
-    let run_one = |assigned: Vec<u32>| -> Result<crate::sm::SmResult, SimError> {
+    let run_one = |sm_id: usize, assigned: Vec<u32>| -> Result<crate::sm::SmResult, SimError> {
         let mut sm = Sm::new(*config, kernel, assigned)?;
+        sm.set_tracing(sm_id as u16, trace_capacity);
         for &(addr, value) in init {
             sm.write_global(addr, value);
         }
@@ -66,12 +118,14 @@ pub fn simulate_with_init(
     // SMs share no state, so they run on real threads when there is
     // more than one
     let results: Vec<Result<crate::sm::SmResult, SimError>> = if config.num_sms == 1 {
-        vec![run_one(assignments.into_iter().next().expect("one SM"))]
+        vec![run_one(0, assignments.into_iter().next().expect("one SM"))]
     } else {
         std::thread::scope(|scope| {
+            let run_one = &run_one;
             let handles: Vec<_> = assignments
                 .into_iter()
-                .map(|assigned| scope.spawn(|| run_one(assigned)))
+                .enumerate()
+                .map(|(sm_id, assigned)| scope.spawn(move || run_one(sm_id, assigned)))
                 .collect();
             handles
                 .into_iter()
@@ -82,17 +136,24 @@ pub fn simulate_with_init(
 
     let mut per_sm = Vec::with_capacity(config.num_sms);
     let mut memories = Vec::with_capacity(config.num_sms);
+    let mut events: Vec<TraceEvent> = Vec::new();
     let mut cycles = 0;
     for result in results {
-        let result = result?;
+        let mut result = result?;
         cycles = cycles.max(result.stats.cycles);
         per_sm.push(result.stats);
         memories.push(result.global);
+        events.append(&mut result.events);
     }
-    Ok(SimResult {
-        cycles,
-        per_sm,
-        memories,
+    // stable sort: per-SM emission order is preserved within a cycle
+    events.sort_by_key(|e| e.cycle);
+    Ok(TracedRun {
+        result: SimResult {
+            cycles,
+            per_sm,
+            memories,
+        },
+        events,
     })
 }
 

@@ -50,7 +50,9 @@ pub mod stats;
 pub mod warp;
 
 pub use config::SimConfig;
-pub use gpu::{simulate, simulate_with_init, SimResult};
+pub use gpu::{
+    simulate, simulate_traced, simulate_traced_with_init, simulate_with_init, SimResult, TracedRun,
+};
 pub use memory::GlobalMemory;
 pub use sm::{SimError, Sm, SmResult};
 pub use stats::{RegTraceEvent, Sample, SimStats};

@@ -13,6 +13,7 @@ use rfv_core::{
 };
 use rfv_isa::kernel::ProgItem;
 use rfv_isa::{ArchReg, Instr, Opcode, Operand, Special, WARP_SIZE};
+use rfv_trace::{MemPhase, Sink, StallReason, TraceEvent, TraceKind};
 
 use crate::config::SimConfig;
 use crate::memory::{coalesce_count, GlobalMemory, LocalMemory, SharedMemory};
@@ -68,6 +69,9 @@ pub struct SmResult {
     pub stats: SimStats,
     /// Final global memory (for output verification).
     pub global: GlobalMemory,
+    /// Structured trace events (empty unless [`Sm::set_tracing`]
+    /// installed a recording sink).
+    pub events: Vec<TraceEvent>,
 }
 
 #[derive(Clone, Debug)]
@@ -117,6 +121,11 @@ pub struct Sm<'k> {
     now: u64,
     next_sample: u64,
     static_regs: Vec<ArchReg>,
+    /// Structured-trace destination; [`Sink::Noop`] unless
+    /// [`Sm::set_tracing`] was called.
+    sink: Sink,
+    /// This SM's id in trace events.
+    sm_id: u16,
 }
 
 impl<'k> Sm<'k> {
@@ -169,12 +178,26 @@ impl<'k> Sm<'k> {
             kernel,
             config,
             static_regs,
+            sink: Sink::Noop,
+            sm_id: 0,
         })
     }
 
     /// Pre-loads global memory before the run (workload inputs).
     pub fn write_global(&mut self, addr: u64, value: u32) {
         self.global.write_word(addr, value);
+    }
+
+    /// Installs a bounded recording sink (`capacity > 0`) or disables
+    /// tracing (`capacity == 0`). `sm_id` stamps every event this SM
+    /// emits. Call before [`Sm::run`].
+    pub fn set_tracing(&mut self, sm_id: u16, capacity: usize) {
+        self.sm_id = sm_id;
+        self.sink = if capacity == 0 {
+            Sink::Noop
+        } else {
+            Sink::ring(capacity)
+        };
     }
 
     /// Runs all assigned CTAs to completion.
@@ -206,6 +229,7 @@ impl<'k> Sm<'k> {
         Ok(SmResult {
             stats: self.stats,
             global: self.global,
+            events: self.sink.into_events(),
         })
     }
 
@@ -305,11 +329,18 @@ impl<'k> Sm<'k> {
         for &ws in &free_slots {
             if self
                 .regfile
-                .launch_warp(ws, self.static_regs.iter().copied(), self.now)
+                .launch_warp_traced(
+                    ws,
+                    self.static_regs.iter().copied(),
+                    self.now,
+                    self.sm_id,
+                    &mut self.sink,
+                )
                 .is_err()
             {
                 for &undo in &launched {
-                    self.regfile.retire_warp(undo, self.now);
+                    self.regfile
+                        .retire_warp_traced(undo, self.now, self.sm_id, &mut self.sink);
                 }
                 return false;
             }
@@ -325,9 +356,22 @@ impl<'k> Sm<'k> {
             self.kernel.num_regs()
         };
         let budget = per_warp * warps_per_cta;
-        self.throttle.launch(cta_slot, budget);
+        self.throttle
+            .launch_traced(cta_slot, budget, self.now, self.sm_id, &mut self.sink);
+        if self.sink.enabled() {
+            self.sink.emit(TraceEvent::sm_event(
+                self.now,
+                self.sm_id,
+                TraceKind::CtaLaunch { cta: cta_id },
+            ));
+        }
+        // the static bulk updates the balance once, not per register,
+        // to keep launch traces compact
         for _ in 0..self.static_regs.len() * warps_per_cta {
             self.throttle.on_alloc(cta_slot);
+        }
+        if !self.static_regs.is_empty() {
+            self.emit_balance(cta_slot);
         }
         // initialize static register values deterministically
         for &ws in &free_slots {
@@ -403,7 +447,12 @@ impl<'k> Sm<'k> {
         self.refill_ready();
 
         let mut decision = if self.policy.renames() {
-            self.throttle.decide(self.regfile.free_count())
+            self.throttle.decide_traced(
+                self.regfile.free_count(),
+                self.now,
+                self.sm_id,
+                &mut self.sink,
+            )
         } else {
             ThrottleDecision::Unrestricted
         };
@@ -430,9 +479,10 @@ impl<'k> Sm<'k> {
             };
             match self.try_issue(pick) {
                 IssueOutcome::Issued => issued.push(pick),
-                IssueOutcome::Blocked => {}
+                IssueOutcome::Blocked => self.trace_stall(pick, StallReason::Scoreboard),
                 IssueOutcome::NoReg => {
                     self.stats.no_reg_stalls += 1;
+                    self.trace_stall(pick, StallReason::NoReg);
                     self.maybe_spill_for(pick);
                     // rotate the stalled warp out of the ready queue so
                     // it cannot clog the two-level scheduler while
@@ -560,15 +610,32 @@ impl<'k> Sm<'k> {
             let pc = self.warps[slot].stack.pc();
             debug_assert!(pc < self.kernel.kernel().len(), "pc {pc} out of program");
             match &self.kernel.kernel().items()[pc] {
-                ProgItem::Pir(_) => {
+                ProgItem::Pir(p) => {
                     self.stats.meta_encountered += 1;
-                    if self.flag_cache.probe_and_fill(pc) {
+                    if self.flag_cache.probe_and_fill_traced(
+                        pc,
+                        self.now,
+                        self.sm_id,
+                        slot,
+                        &mut self.sink,
+                    ) {
                         // hit: the fetch stage skips the pir for free
                         self.warps[slot].stack.advance(pc + 1);
                         continue;
                     }
                     // miss: fetched from the I-cache and decoded
                     self.stats.meta_decoded += 1;
+                    if self.sink.enabled() {
+                        self.sink.emit(TraceEvent::warp_event(
+                            self.now,
+                            self.sm_id,
+                            slot,
+                            TraceKind::PirDecode {
+                                pc: pc as u32,
+                                flags: p.release_count() as u16,
+                            },
+                        ));
+                    }
                     self.warps[slot].stack.advance(pc + 1);
                     self.warps[slot].next_issue_at = self.now + 1;
                     return IssueOutcome::Issued;
@@ -576,11 +643,33 @@ impl<'k> Sm<'k> {
                 ProgItem::Pbr(p) => {
                     self.stats.meta_encountered += 1;
                     self.stats.meta_decoded += 1;
+                    if self.sink.enabled() {
+                        self.sink.emit(TraceEvent::warp_event(
+                            self.now,
+                            self.sm_id,
+                            slot,
+                            TraceKind::PbrDecode {
+                                pc: pc as u32,
+                                released: p.regs().len() as u16,
+                            },
+                        ));
+                    }
                     if self.policy.uses_release_flags() {
                         let cta = self.warps[slot].cta_slot;
                         for &r in p.regs() {
-                            if self.regfile.release(slot, r, self.now) {
-                                self.throttle.on_release(cta);
+                            if self.regfile.release_traced(
+                                slot,
+                                r,
+                                self.now,
+                                self.sm_id,
+                                &mut self.sink,
+                            ) {
+                                self.throttle.on_release_traced(
+                                    cta,
+                                    self.now,
+                                    self.sm_id,
+                                    &mut self.sink,
+                                );
                                 self.trace_reg(slot, r, false);
                             }
                         }
@@ -604,6 +693,51 @@ impl<'k> Sm<'k> {
                 reg: reg.raw(),
                 live,
             });
+        }
+    }
+
+    /// Emits the current `C − k_i` balance of a resident CTA (used
+    /// after bulk counter updates where per-register events would
+    /// flood the trace).
+    fn emit_balance(&mut self, cta: usize) {
+        if self.sink.enabled() {
+            if let Some(bal) = self.throttle.balance(cta) {
+                self.sink.emit(TraceEvent::sm_event(
+                    self.now,
+                    self.sm_id,
+                    TraceKind::ThrottleBalance {
+                        cta: cta as u32,
+                        balance: bal as i64,
+                    },
+                ));
+            }
+        }
+    }
+
+    /// Emits a scheduler [`TraceKind::Issue`] event.
+    fn trace_issue(&mut self, slot: usize, pc: usize, exec: u32) {
+        if self.sink.enabled() {
+            self.sink.emit(TraceEvent::warp_event(
+                self.now,
+                self.sm_id,
+                slot,
+                TraceKind::Issue {
+                    pc: pc as u32,
+                    active_lanes: exec.count_ones() as u8,
+                },
+            ));
+        }
+    }
+
+    /// Emits a scheduler [`TraceKind::Stall`] event.
+    fn trace_stall(&mut self, slot: usize, reason: StallReason) {
+        if self.sink.enabled() {
+            self.sink.emit(TraceEvent::warp_event(
+                self.now,
+                self.sm_id,
+                slot,
+                TraceKind::Stall { reason },
+            ));
         }
     }
 
@@ -654,6 +788,7 @@ impl<'k> Sm<'k> {
                 self.issue_cost(slot, 1);
                 self.stats.instrs_issued += 1;
                 self.stats.active_lane_sum += u64::from(active.count_ones());
+                self.trace_issue(slot, pc, active);
                 let target = i.target.expect("validated branch");
                 let reconv = self.kernel.reconv_at(pc).flatten().unwrap_or(NO_RECONV);
                 if exec == active {
@@ -669,6 +804,7 @@ impl<'k> Sm<'k> {
             Opcode::Exit => {
                 self.stats.instrs_issued += 1;
                 self.stats.active_lane_sum += u64::from(active.count_ones());
+                self.trace_issue(slot, pc, active);
                 self.warps[slot].stack.exit_lanes(active);
                 if self.warps[slot].stack.is_done() {
                     self.finish_warp(slot);
@@ -681,6 +817,8 @@ impl<'k> Sm<'k> {
                 self.stats.instrs_issued += 1;
                 self.stats.active_lane_sum += u64::from(active.count_ones());
                 self.stats.barrier_waits += 1;
+                self.trace_issue(slot, pc, active);
+                self.trace_stall(slot, StallReason::Barrier);
                 self.warps[slot].stack.advance(pc + 1);
                 self.warps[slot].status = WarpStatus::AtBarrier;
                 self.remove_from_ready(slot);
@@ -693,6 +831,7 @@ impl<'k> Sm<'k> {
             Opcode::Nop => {
                 self.stats.instrs_issued += 1;
                 self.stats.active_lane_sum += u64::from(active.count_ones());
+                self.trace_issue(slot, pc, active);
                 self.warps[slot].stack.advance(pc + 1);
                 self.issue_cost(slot, 1);
                 return IssueOutcome::Issued;
@@ -705,18 +844,25 @@ impl<'k> Sm<'k> {
         let mut dst_phys = None;
         let mut ready_at = self.now;
         if let Some(d) = i.dst {
-            match self.regfile.write(slot, d, self.now) {
+            match self
+                .regfile
+                .write_traced(slot, d, self.now, self.sm_id, &mut self.sink)
+            {
                 WriteOutcome::Mapped {
                     phys,
                     ready_at: r,
                     newly_allocated,
                 } => {
                     if newly_allocated {
-                        self.throttle.on_alloc(cta);
+                        self.throttle
+                            .on_alloc_traced(cta, self.now, self.sm_id, &mut self.sink);
                         // fresh physical register: poison so stale data
                         // from a previous owner cannot leak silently
                         self.values[phys.index()] = [POISON; WARP_SIZE];
                         self.trace_reg(slot, d, true);
+                    }
+                    if r > self.now {
+                        self.trace_stall(slot, StallReason::GateWakeup);
                     }
                     dst_phys = Some(phys);
                     ready_at = ready_at.max(r);
@@ -754,14 +900,24 @@ impl<'k> Sm<'k> {
             let flags = self.kernel.flags_at(pc);
             if flags.any() {
                 for (op_slot, r) in i.src_regs() {
-                    if flags.releases(op_slot) && self.regfile.release(slot, r, self.now) {
-                        self.throttle.on_release(cta);
+                    if flags.releases(op_slot)
+                        && self.regfile.release_traced(
+                            slot,
+                            r,
+                            self.now,
+                            self.sm_id,
+                            &mut self.sink,
+                        )
+                    {
+                        self.throttle
+                            .on_release_traced(cta, self.now, self.sm_id, &mut self.sink);
                         self.trace_reg(slot, r, false);
                     }
                 }
             }
         }
 
+        self.trace_issue(slot, pc, exec);
         let outcome = self.execute(slot, pc, i, exec, &srcs, dst_phys, ready_at, conflicts);
         self.stats.instrs_issued += 1;
         self.stats.active_lane_sum += u64::from(exec.count_ones());
@@ -819,7 +975,7 @@ impl<'k> Sm<'k> {
                         for l in lanes(exec) {
                             out[l] = self.global.read_word(addrs[l].unwrap());
                         }
-                        self.global_load_latency(&addrs)
+                        self.global_load_latency(slot, &addrs)
                     }
                 };
                 if let Some(p) = dst_phys {
@@ -837,6 +993,20 @@ impl<'k> Sm<'k> {
                     // long-latency: two-level scheduler pending queue
                     self.warps[slot].status = WarpStatus::PendingMem;
                     self.remove_from_ready(slot);
+                    self.trace_stall(slot, StallReason::Memory);
+                    if i.opcode == Ldg && self.sink.enabled() {
+                        let base = addrs.iter().flatten().next().copied().unwrap_or(0);
+                        self.sink.emit(TraceEvent::warp_event(
+                            done_at,
+                            self.sm_id,
+                            slot,
+                            TraceKind::Mem {
+                                phase: MemPhase::Complete,
+                                addr: base,
+                                segments: 0,
+                            },
+                        ));
+                    }
                 }
                 IssueOutcome::Issued
             }
@@ -999,9 +1169,14 @@ impl<'k> Sm<'k> {
                 self.trace_reg(slot, r, false);
             }
         }
-        let freed = self.regfile.retire_warp(slot, self.now);
+        let freed = self
+            .regfile
+            .retire_warp_traced(slot, self.now, self.sm_id, &mut self.sink);
         for _ in 0..freed {
             self.throttle.on_release(cta);
+        }
+        if freed > 0 {
+            self.emit_balance(cta);
         }
         self.local.clear_warp(slot);
         let done = {
@@ -1018,6 +1193,17 @@ impl<'k> Sm<'k> {
 
     fn complete_cta(&mut self, cta: usize) {
         let cs = self.cta_slots[cta].take().expect("completing a live CTA");
+        if self.sink.enabled() {
+            let cta_id = cs
+                .warp_slots
+                .first()
+                .map_or(cta as u32, |&ws| self.warps[ws].cta_id);
+            self.sink.emit(TraceEvent::sm_event(
+                self.now,
+                self.sm_id,
+                TraceKind::CtaComplete { cta: cta_id },
+            ));
+        }
         for ws in cs.warp_slots {
             self.warps[ws].status = WarpStatus::Idle;
         }
@@ -1093,14 +1279,41 @@ impl<'k> Sm<'k> {
         let Some((_, victim)) = victim else { return };
         let regs = self.regfile.mapped_regs(victim);
         let vc = self.warps[victim].cta_slot;
+        if self.sink.enabled() {
+            self.sink.emit(TraceEvent::warp_event(
+                self.now,
+                self.sm_id,
+                victim,
+                TraceKind::SwapOut {
+                    warp_regs: regs.len() as u32,
+                },
+            ));
+        }
         for &r in &regs {
             if let Some(p) = self.regfile.read(victim, r) {
                 self.spill_values
                     .insert((victim, r.raw()), self.values[p.index()]);
+                if self.sink.enabled() {
+                    self.sink.emit(TraceEvent::warp_event(
+                        self.now,
+                        self.sm_id,
+                        victim,
+                        TraceKind::Spill {
+                            reg: r.index() as u16,
+                            phys: p.index() as u32,
+                        },
+                    ));
+                }
             }
-            if self.regfile.release(victim, r, self.now) {
+            if self
+                .regfile
+                .release_traced(victim, r, self.now, self.sm_id, &mut self.sink)
+            {
                 self.throttle.on_release(vc);
             }
+        }
+        if !regs.is_empty() {
+            self.emit_balance(vc);
         }
         let cost = self.config.mem_base_latency + regs.len() as u64 * self.config.mem_per_txn;
         self.stats.mem_txns += regs.len() as u64;
@@ -1127,7 +1340,10 @@ impl<'k> Sm<'k> {
             let mut restored = Vec::new();
             let mut ok = true;
             for &r in &regs {
-                match self.regfile.write(slot, r, self.now) {
+                match self
+                    .regfile
+                    .write_traced(slot, r, self.now, self.sm_id, &mut self.sink)
+                {
                     WriteOutcome::Mapped { phys, .. } => {
                         if let Some(v) = self.spill_values.get(&(slot, r.raw())) {
                             self.values[phys.index()] = *v;
@@ -1148,11 +1364,23 @@ impl<'k> Sm<'k> {
                         self.spill_values
                             .insert((slot, r.raw()), self.values[p.index()]);
                     }
-                    self.regfile.release(slot, r, self.now);
+                    self.regfile
+                        .release_traced(slot, r, self.now, self.sm_id, &mut self.sink);
                     self.throttle.on_release(cta);
                 }
                 continue;
             }
+            if self.sink.enabled() {
+                self.sink.emit(TraceEvent::warp_event(
+                    self.now,
+                    self.sm_id,
+                    slot,
+                    TraceKind::SwapIn {
+                        warp_regs: regs.len() as u32,
+                    },
+                ));
+            }
+            self.emit_balance(cta);
             for &r in &regs {
                 self.spill_values.remove(&(slot, r.raw()));
             }
@@ -1169,7 +1397,7 @@ impl<'k> Sm<'k> {
     /// 128 B segments, merge with in-flight segments (MSHR behaviour),
     /// and charge base latency plus one burst per *new* transaction.
     /// Returns the load-to-use latency.
-    fn global_load_latency(&mut self, addrs: &[Option<u64>]) -> u64 {
+    fn global_load_latency(&mut self, slot: usize, addrs: &[Option<u64>]) -> u64 {
         let mut segments: Vec<u64> = addrs
             .iter()
             .flatten()
@@ -1181,11 +1409,16 @@ impl<'k> Sm<'k> {
         let now = self.now;
         self.inflight_segments.retain(|_, &mut ready| ready > now);
         let mut new_txns = 0u64;
+        let mut merged = 0u16;
+        let base = segments
+            .first()
+            .map_or(0, |&s| s * crate::memory::SEGMENT_BYTES);
         let mut done_at = now;
         for seg in segments {
             match self.inflight_segments.get(&seg) {
                 Some(&ready) => {
                     self.stats.mshr_merges += 1;
+                    merged += 1;
                     done_at = done_at.max(ready);
                 }
                 None => {
@@ -1198,6 +1431,32 @@ impl<'k> Sm<'k> {
             }
         }
         self.stats.mem_txns += new_txns;
+        if self.sink.enabled() {
+            if new_txns > 0 {
+                self.sink.emit(TraceEvent::warp_event(
+                    now,
+                    self.sm_id,
+                    slot,
+                    TraceKind::Mem {
+                        phase: MemPhase::Issue,
+                        addr: base,
+                        segments: new_txns as u16,
+                    },
+                ));
+            }
+            if merged > 0 {
+                self.sink.emit(TraceEvent::warp_event(
+                    now,
+                    self.sm_id,
+                    slot,
+                    TraceKind::Mem {
+                        phase: MemPhase::MshrMerge,
+                        addr: base,
+                        segments: merged,
+                    },
+                ));
+            }
+        }
         done_at.saturating_sub(now).max(1)
     }
 

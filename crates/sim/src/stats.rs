@@ -1,6 +1,7 @@
 //! Simulation statistics and per-cycle samples.
 
 use rfv_core::{FlagCacheStats, RegFileStats, RenamingStats};
+use rfv_trace::MetricsRegistry;
 
 /// One periodic sample of register-file occupancy (drives Figure 1 and
 /// the energy model's averages).
@@ -30,7 +31,7 @@ pub struct RegTraceEvent {
 }
 
 /// Aggregate statistics for one SM run.
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, PartialEq, Default, Debug)]
 pub struct SimStats {
     /// Total simulated cycles.
     pub cycles: u64,
@@ -143,6 +144,55 @@ impl SimStats {
             pts.iter().sum::<f64>() / pts.len() as f64
         }
     }
+
+    /// Exports every counter and derived ratio into a
+    /// [`MetricsRegistry`] (the `--stats-json` payload). Counter names
+    /// are dotted (`sim.cycles`, `regfile.allocs`, ...); derived
+    /// ratios become gauges; per-sample live-register occupancy is
+    /// folded into a histogram.
+    pub fn to_metrics(&self) -> MetricsRegistry {
+        let mut m = MetricsRegistry::new();
+        m.add("sim.cycles", self.cycles);
+        m.add("sim.instrs_issued", self.instrs_issued);
+        m.add("sim.active_lane_sum", self.active_lane_sum);
+        m.add("sim.meta_decoded", self.meta_decoded);
+        m.add("sim.meta_encountered", self.meta_encountered);
+        m.add("sim.mem_txns", self.mem_txns);
+        m.add("sim.mshr_merges", self.mshr_merges);
+        m.add("sim.no_reg_stalls", self.no_reg_stalls);
+        m.add("sim.bank_conflicts", self.bank_conflicts);
+        m.add("sim.swap_outs", self.swap_outs);
+        m.add("sim.barrier_waits", self.barrier_waits);
+        m.add("sim.ctas_completed", self.ctas_completed);
+        m.add(
+            "sim.throttle_restricted_cycles",
+            self.throttle_restricted_cycles,
+        );
+        m.add("regfile.rf_reads", self.regfile.rf_reads);
+        m.add("regfile.rf_writes", self.regfile.rf_writes);
+        m.add("regfile.allocs", self.regfile.allocs);
+        m.add("regfile.releases", self.regfile.releases);
+        m.add("regfile.static_allocs", self.regfile.static_allocs);
+        m.add("regfile.alloc_failures", self.regfile.alloc_failures);
+        m.add("regfile.peak_live", self.regfile.peak_live as u64);
+        m.add("renaming.lookups", self.renaming.lookups);
+        m.add("renaming.updates", self.renaming.updates);
+        m.add("flag_cache.hits", self.flag_cache.hits);
+        m.add("flag_cache.misses", self.flag_cache.misses);
+        m.add("gating.subarray_on_cycles", self.subarray_on_cycles);
+        m.add("gating.wakeups", self.wakeups);
+        m.set_gauge("sim.ipc", self.ipc());
+        m.set_gauge("sim.simd_efficiency", self.simd_efficiency());
+        m.set_gauge("sim.dynamic_increase_pct", self.dynamic_increase_pct());
+        m.set_gauge("sim.mean_live_regs", self.mean_live_regs());
+        m.set_gauge("sim.mean_live_fraction", self.mean_live_fraction());
+        m.set_gauge("flag_cache.hit_rate", self.flag_cache.hit_rate());
+        for s in &self.samples {
+            m.observe("samples.live_regs", s.live_regs as u64);
+            m.observe("samples.subarrays_on", s.subarrays_on as u64);
+        }
+        m
+    }
 }
 
 #[cfg(test)]
@@ -167,6 +217,46 @@ mod tests {
         assert_eq!(s.mean_live_regs(), 0.0);
         assert_eq!(s.mean_live_fraction(), 0.0);
         assert_eq!(s.ipc(), 0.0);
+        assert_eq!(s.simd_efficiency(), 0.0);
+        assert_eq!(s.total_decoded(), 0);
+        // every derived gauge of an empty run must be finite (no
+        // NaN/inf leaking into --stats-json)
+        let m = s.to_metrics();
+        let json = m.to_json();
+        let parsed = rfv_trace::json::parse(&json).expect("valid JSON");
+        let gauges = parsed
+            .get("gauges")
+            .and_then(|g| g.as_obj())
+            .expect("gauges object");
+        for (name, v) in gauges {
+            let n = v.as_num().expect("numeric gauge");
+            assert!(n.is_finite(), "gauge {name} is not finite: {n}");
+        }
+    }
+
+    #[test]
+    fn metrics_export_round_trips() {
+        let s = SimStats {
+            cycles: 100,
+            instrs_issued: 150,
+            samples: vec![Sample {
+                cycle: 0,
+                live_regs: 12,
+                resident_arch_regs: 48,
+                subarrays_on: 3,
+            }],
+            ..SimStats::default()
+        };
+        let m = s.to_metrics();
+        assert_eq!(m.counter("sim.cycles"), 100);
+        assert_eq!(m.counter("sim.instrs_issued"), 150);
+        assert!((m.gauge("sim.ipc").expect("ipc gauge") - 1.5).abs() < 1e-12);
+        let parsed = rfv_trace::json::parse(&m.to_json()).expect("valid JSON");
+        let counters = parsed.get("counters").and_then(|c| c.as_obj()).unwrap();
+        assert_eq!(
+            counters.get("sim.cycles").and_then(|v| v.as_num()),
+            Some(100.0)
+        );
     }
 
     #[test]

@@ -1,0 +1,276 @@
+//! Streaming Chrome trace-event JSON writer.
+//!
+//! Output follows the Trace Event Format's "JSON object" flavor
+//! (`{"traceEvents": [...]}`), loadable in Perfetto and
+//! `chrome://tracing`. Tracks are laid out as:
+//!
+//! * **process** = SM (`pid` is the SM index, named `SM <n>` via a
+//!   `process_name` metadata event);
+//! * **thread** = warp scheduler slot (`tid` is the slot, named
+//!   `warp <n>`); SM-scoped events (throttle, gating, CTA lifecycle)
+//!   land on a dedicated `sm events` thread.
+//!
+//! One simulated cycle maps to one microsecond of trace time, so the
+//! viewer's time axis reads directly in cycles.
+//!
+//! Most events are instants (`ph: "i"`); CTA balance-counter updates
+//! are emitted as counter samples (`ph: "C"`) so Perfetto plots the
+//! `C - k_i` trajectory from Section 8.1 of the paper as a graph.
+
+use std::collections::BTreeSet;
+use std::fmt::Write as _;
+use std::io::{self, Write};
+
+use crate::event::{TraceEvent, TraceKind};
+use crate::json::quote;
+
+/// Incremental writer: construct, feed events in any order, `finish`.
+pub struct ChromeWriter<W: Write> {
+    out: W,
+    first: bool,
+    named_processes: BTreeSet<u16>,
+    named_threads: BTreeSet<(u16, u16)>,
+}
+
+impl<W: Write> ChromeWriter<W> {
+    /// Starts a trace document on `out`.
+    pub fn new(mut out: W) -> io::Result<ChromeWriter<W>> {
+        out.write_all(b"{\"traceEvents\":[")?;
+        Ok(ChromeWriter {
+            out,
+            first: true,
+            named_processes: BTreeSet::new(),
+            named_threads: BTreeSet::new(),
+        })
+    }
+
+    fn sep(&mut self) -> io::Result<()> {
+        if self.first {
+            self.first = false;
+        } else {
+            self.out.write_all(b",\n")?;
+        }
+        Ok(())
+    }
+
+    fn raw(&mut self, record: &str) -> io::Result<()> {
+        self.sep()?;
+        self.out.write_all(record.as_bytes())
+    }
+
+    fn ensure_tracks(&mut self, ev: &TraceEvent) -> io::Result<()> {
+        if self.named_processes.insert(ev.sm) {
+            let rec = format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"args\":{{\"name\":{}}}}}",
+                ev.sm,
+                quote(&format!("SM {}", ev.sm))
+            );
+            self.raw(&rec)?;
+        }
+        if self.named_threads.insert((ev.sm, ev.warp)) {
+            let label = if ev.warp == TraceEvent::NO_WARP {
+                "sm events".to_string()
+            } else {
+                format!("warp {}", ev.warp)
+            };
+            let rec = format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{},\"tid\":{},\"args\":{{\"name\":{}}}}}",
+                ev.sm,
+                ev.warp,
+                quote(&label)
+            );
+            self.raw(&rec)?;
+        }
+        Ok(())
+    }
+
+    /// Appends one event.
+    pub fn write_event(&mut self, ev: &TraceEvent) -> io::Result<()> {
+        self.ensure_tracks(ev)?;
+        let mut rec = String::with_capacity(128);
+        match ev.kind {
+            // counter sample: Perfetto draws these as a graph per SM
+            TraceKind::ThrottleBalance { cta, balance } => {
+                let _ = write!(
+                    rec,
+                    "{{\"name\":\"balance\",\"ph\":\"C\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{{}:{}}}}}",
+                    ev.cycle,
+                    ev.sm,
+                    ev.warp,
+                    quote(&format!("cta{cta}")),
+                    balance
+                );
+            }
+            _ => {
+                let _ = write!(
+                    rec,
+                    "{{\"name\":{},\"ph\":\"i\",\"s\":\"t\",\"ts\":{},\"pid\":{},\"tid\":{},\"args\":{{",
+                    quote(ev.kind.name()),
+                    ev.cycle,
+                    ev.sm,
+                    ev.warp
+                );
+                write_args(&mut rec, &ev.kind);
+                rec.push_str("}}");
+            }
+        }
+        self.raw(&rec)
+    }
+
+    /// Closes the document and returns the underlying writer.
+    pub fn finish(mut self) -> io::Result<W> {
+        self.out.write_all(
+            b"],\"displayTimeUnit\":\"ns\",\"otherData\":{\"producer\":\"rfv-trace\"}}",
+        )?;
+        self.out.flush()?;
+        Ok(self.out)
+    }
+}
+
+fn write_args(rec: &mut String, kind: &TraceKind) {
+    match *kind {
+        TraceKind::RegAlloc { reg, phys, bank } | TraceKind::RegRelease { reg, phys, bank } => {
+            let _ = write!(rec, "\"reg\":{reg},\"phys\":{phys},\"bank\":{bank}");
+        }
+        TraceKind::RegRename {
+            reg,
+            old_phys,
+            new_phys,
+        } => {
+            let _ = write!(
+                rec,
+                "\"reg\":{reg},\"old_phys\":{old_phys},\"new_phys\":{new_phys}"
+            );
+        }
+        TraceKind::FlagCacheHit { pc } | TraceKind::FlagCacheMiss { pc } => {
+            let _ = write!(rec, "\"pc\":{pc}");
+        }
+        TraceKind::PirDecode { pc, flags } => {
+            let _ = write!(rec, "\"pc\":{pc},\"flags\":{flags}");
+        }
+        TraceKind::PbrDecode { pc, released } => {
+            let _ = write!(rec, "\"pc\":{pc},\"released\":{released}");
+        }
+        TraceKind::ThrottleAdmit { cta, budget } => {
+            let _ = write!(rec, "\"cta\":{cta},\"budget\":{budget}");
+        }
+        TraceKind::ThrottleDeny { cta, balance } => {
+            let _ = write!(rec, "\"cta\":{cta},\"balance\":{balance}");
+        }
+        TraceKind::ThrottleBalance { cta, balance } => {
+            let _ = write!(rec, "\"cta\":{cta},\"balance\":{balance}");
+        }
+        TraceKind::Spill { reg, phys } => {
+            let _ = write!(rec, "\"reg\":{reg},\"phys\":{phys}");
+        }
+        TraceKind::SwapOut { warp_regs } | TraceKind::SwapIn { warp_regs } => {
+            let _ = write!(rec, "\"warp_regs\":{warp_regs}");
+        }
+        TraceKind::GateOff { subarray } => {
+            let _ = write!(rec, "\"subarray\":{subarray}");
+        }
+        TraceKind::GateOn { subarray, wakeup } => {
+            let _ = write!(rec, "\"subarray\":{subarray},\"wakeup\":{wakeup}");
+        }
+        TraceKind::Issue { pc, active_lanes } => {
+            let _ = write!(rec, "\"pc\":{pc},\"active_lanes\":{active_lanes}");
+        }
+        TraceKind::Stall { reason } => {
+            let _ = write!(rec, "\"reason\":{}", quote(reason.label()));
+        }
+        TraceKind::Mem {
+            phase,
+            addr,
+            segments,
+        } => {
+            let _ = write!(
+                rec,
+                "\"phase\":{},\"addr\":{addr},\"segments\":{segments}",
+                quote(phase.label())
+            );
+        }
+        TraceKind::CtaLaunch { cta } | TraceKind::CtaComplete { cta } => {
+            let _ = write!(rec, "\"cta\":{cta}");
+        }
+    }
+}
+
+/// Writes a complete capture in one call.
+pub fn write_trace<W: Write>(out: W, events: &[TraceEvent]) -> io::Result<W> {
+    let mut w = ChromeWriter::new(out)?;
+    for ev in events {
+        w.write_event(ev)?;
+    }
+    w.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{MemPhase, StallReason};
+    use crate::json;
+
+    #[test]
+    fn output_is_valid_json_with_tracks() {
+        let events = vec![
+            TraceEvent::warp_event(
+                5,
+                0,
+                2,
+                TraceKind::RegAlloc {
+                    reg: 3,
+                    phys: 17,
+                    bank: 1,
+                },
+            ),
+            TraceEvent::sm_event(
+                6,
+                0,
+                TraceKind::ThrottleBalance {
+                    cta: 1,
+                    balance: -2,
+                },
+            ),
+            TraceEvent::warp_event(
+                7,
+                1,
+                0,
+                TraceKind::Stall {
+                    reason: StallReason::NoReg,
+                },
+            ),
+            TraceEvent::warp_event(
+                8,
+                1,
+                0,
+                TraceKind::Mem {
+                    phase: MemPhase::Issue,
+                    addr: 4096,
+                    segments: 2,
+                },
+            ),
+        ];
+        let buf = write_trace(Vec::new(), &events).unwrap();
+        let doc = json::parse(std::str::from_utf8(&buf).unwrap()).unwrap();
+        let recs = doc.get("traceEvents").unwrap().as_arr().unwrap();
+        // 4 events + 2 process_name + 3 thread_name metadata records
+        assert_eq!(recs.len(), 9);
+        let names: Vec<&str> = recs
+            .iter()
+            .map(|r| r.get("name").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"process_name"));
+        assert!(names.contains(&"thread_name"));
+        assert!(names.contains(&"reg_alloc"));
+        assert!(names.contains(&"balance"));
+        let alloc = recs
+            .iter()
+            .find(|r| r.get("name").unwrap().as_str() == Some("reg_alloc"))
+            .unwrap();
+        assert_eq!(alloc.get("ts").unwrap().as_num(), Some(5.0));
+        assert_eq!(
+            alloc.get("args").unwrap().get("phys").unwrap().as_num(),
+            Some(17.0)
+        );
+    }
+}

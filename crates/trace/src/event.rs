@@ -1,0 +1,259 @@
+//! The typed trace-event vocabulary.
+//!
+//! Events are small `Copy` values: a header (cycle, SM, warp slot) plus
+//! a [`TraceKind`] payload. Keeping them `Copy` and string-free means a
+//! [`crate::RingSink`] capture is a flat memcpy-able buffer and the
+//! disabled path never allocates.
+
+/// Why a warp could not issue this cycle.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StallReason {
+    /// No instruction available (warp finished or fetch-limited).
+    NoInstr,
+    /// Waiting on an operand scoreboard dependency.
+    Scoreboard,
+    /// Waiting at a CTA barrier.
+    Barrier,
+    /// Waiting on an outstanding memory access.
+    Memory,
+    /// Register allocation failed: no free physical register.
+    NoReg,
+    /// Destination subarray is power-gated and still waking up.
+    GateWakeup,
+    /// The CTA throttle restricted issue to another CTA.
+    Throttled,
+}
+
+impl StallReason {
+    /// Stable lower-case label used in trace output and metric names.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallReason::NoInstr => "no_instr",
+            StallReason::Scoreboard => "scoreboard",
+            StallReason::Barrier => "barrier",
+            StallReason::Memory => "memory",
+            StallReason::NoReg => "no_reg",
+            StallReason::GateWakeup => "gate_wakeup",
+            StallReason::Throttled => "throttled",
+        }
+    }
+}
+
+/// Lifecycle phase of a memory transaction.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MemPhase {
+    /// Issued by a warp; segments counted after coalescing.
+    Issue,
+    /// Merged into an existing MSHR entry instead of going to DRAM.
+    MshrMerge,
+    /// Data returned and the warp was woken.
+    Complete,
+}
+
+impl MemPhase {
+    /// Stable lower-case label used in trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MemPhase::Issue => "issue",
+            MemPhase::MshrMerge => "mshr_merge",
+            MemPhase::Complete => "complete",
+        }
+    }
+}
+
+/// What happened. Field conventions: `reg` is the architectural index,
+/// `phys` the physical register id, `bank` the operand-collector bank.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum TraceKind {
+    /// A physical register was allocated for an architectural write.
+    RegAlloc { reg: u16, phys: u32, bank: u8 },
+    /// A physical register was returned to the free pool.
+    RegRelease { reg: u16, phys: u32, bank: u8 },
+    /// An architectural register was renamed to a new physical one
+    /// (write to an already-mapped name).
+    RegRename {
+        reg: u16,
+        old_phys: u32,
+        new_phys: u32,
+    },
+    /// Release-flag-cache probe that hit.
+    FlagCacheHit { pc: u32 },
+    /// Release-flag-cache probe that missed (metadata fetch charged).
+    FlagCacheMiss { pc: u32 },
+    /// A `pir` (register-release metadata) instruction was decoded.
+    PirDecode { pc: u32, flags: u16 },
+    /// A `pbr` (branch + release metadata) instruction was decoded.
+    PbrDecode { pc: u32, released: u16 },
+    /// GPU-shrink throttle admitted a CTA launch.
+    ThrottleAdmit { cta: u32, budget: u32 },
+    /// GPU-shrink throttle restricted issue to a single CTA.
+    ThrottleDeny { cta: u32, balance: i64 },
+    /// A CTA balance counter (`C - k_i`) changed.
+    ThrottleBalance { cta: u32, balance: i64 },
+    /// Emergency spill of a physical register to memory.
+    Spill { reg: u16, phys: u32 },
+    /// Registers of a warp were swapped out to backing store.
+    SwapOut { warp_regs: u32 },
+    /// Registers of a warp were swapped back in.
+    SwapIn { warp_regs: u32 },
+    /// A register-file subarray was power-gated off.
+    GateOff { subarray: u16 },
+    /// A power-gated subarray was woken; `wakeup` is the stall charged.
+    GateOn { subarray: u16, wakeup: u32 },
+    /// A warp issued an instruction.
+    Issue { pc: u32, active_lanes: u8 },
+    /// A warp was considered but could not issue.
+    Stall { reason: StallReason },
+    /// A memory transaction changed lifecycle phase.
+    Mem {
+        phase: MemPhase,
+        addr: u64,
+        segments: u16,
+    },
+    /// A CTA began running on an SM.
+    CtaLaunch { cta: u32 },
+    /// A CTA finished and its resources were reclaimed.
+    CtaComplete { cta: u32 },
+}
+
+impl TraceKind {
+    /// Stable event name (Chrome trace `name` field, metric prefix).
+    pub fn name(&self) -> &'static str {
+        match self {
+            TraceKind::RegAlloc { .. } => "reg_alloc",
+            TraceKind::RegRelease { .. } => "reg_release",
+            TraceKind::RegRename { .. } => "reg_rename",
+            TraceKind::FlagCacheHit { .. } => "flag_cache_hit",
+            TraceKind::FlagCacheMiss { .. } => "flag_cache_miss",
+            TraceKind::PirDecode { .. } => "pir_decode",
+            TraceKind::PbrDecode { .. } => "pbr_decode",
+            TraceKind::ThrottleAdmit { .. } => "throttle_admit",
+            TraceKind::ThrottleDeny { .. } => "throttle_deny",
+            TraceKind::ThrottleBalance { .. } => "throttle_balance",
+            TraceKind::Spill { .. } => "spill",
+            TraceKind::SwapOut { .. } => "swap_out",
+            TraceKind::SwapIn { .. } => "swap_in",
+            TraceKind::GateOff { .. } => "gate_off",
+            TraceKind::GateOn { .. } => "gate_on",
+            TraceKind::Issue { .. } => "issue",
+            TraceKind::Stall { .. } => "stall",
+            TraceKind::Mem { .. } => "mem",
+            TraceKind::CtaLaunch { .. } => "cta_launch",
+            TraceKind::CtaComplete { .. } => "cta_complete",
+        }
+    }
+}
+
+/// One trace record: where/when plus the typed payload.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceEvent {
+    /// Simulation cycle the event occurred on.
+    pub cycle: u64,
+    /// SM the event occurred on.
+    pub sm: u16,
+    /// Warp scheduler slot within the SM; [`TraceEvent::NO_WARP`] for
+    /// SM-scoped events (gating, throttling, CTA lifecycle).
+    pub warp: u16,
+    /// The typed payload.
+    pub kind: TraceKind,
+}
+
+impl TraceEvent {
+    /// Sentinel warp id for events not attributable to a warp slot.
+    pub const NO_WARP: u16 = u16::MAX;
+
+    /// An event attributed to a warp slot.
+    pub fn warp_event(cycle: u64, sm: u16, warp: usize, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            sm,
+            warp: warp as u16,
+            kind,
+        }
+    }
+
+    /// An SM-scoped event (no meaningful warp slot).
+    pub fn sm_event(cycle: u64, sm: u16, kind: TraceKind) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            sm,
+            warp: TraceEvent::NO_WARP,
+            kind,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_are_small_and_copy() {
+        // the hot path copies events by value into the ring; keep them
+        // within a couple of words so that stays cheap
+        assert!(std::mem::size_of::<TraceEvent>() <= 40);
+        let e = TraceEvent::warp_event(
+            1,
+            0,
+            3,
+            TraceKind::Issue {
+                pc: 7,
+                active_lanes: 32,
+            },
+        );
+        let f = e; // Copy
+        assert_eq!(e, f);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let kinds = [
+            TraceKind::RegAlloc {
+                reg: 0,
+                phys: 0,
+                bank: 0,
+            },
+            TraceKind::RegRelease {
+                reg: 0,
+                phys: 0,
+                bank: 0,
+            },
+            TraceKind::RegRename {
+                reg: 0,
+                old_phys: 0,
+                new_phys: 0,
+            },
+            TraceKind::FlagCacheHit { pc: 0 },
+            TraceKind::FlagCacheMiss { pc: 0 },
+            TraceKind::PirDecode { pc: 0, flags: 0 },
+            TraceKind::PbrDecode { pc: 0, released: 0 },
+            TraceKind::ThrottleAdmit { cta: 0, budget: 0 },
+            TraceKind::ThrottleDeny { cta: 0, balance: 0 },
+            TraceKind::ThrottleBalance { cta: 0, balance: 0 },
+            TraceKind::Spill { reg: 0, phys: 0 },
+            TraceKind::SwapOut { warp_regs: 0 },
+            TraceKind::SwapIn { warp_regs: 0 },
+            TraceKind::GateOff { subarray: 0 },
+            TraceKind::GateOn {
+                subarray: 0,
+                wakeup: 0,
+            },
+            TraceKind::Issue {
+                pc: 0,
+                active_lanes: 0,
+            },
+            TraceKind::Stall {
+                reason: StallReason::NoReg,
+            },
+            TraceKind::Mem {
+                phase: MemPhase::Issue,
+                addr: 0,
+                segments: 0,
+            },
+            TraceKind::CtaLaunch { cta: 0 },
+            TraceKind::CtaComplete { cta: 0 },
+        ];
+        let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), kinds.len());
+    }
+}

@@ -1,0 +1,33 @@
+//! # rfv-trace
+//!
+//! Structured event tracing and metrics for the register-file
+//! virtualization simulator. The crate has three parts:
+//!
+//! * a typed [`TraceEvent`] vocabulary ([`event`]) covering every
+//!   microarchitectural mechanism the simulator models: register
+//!   allocate/release/rename, release-flag-cache probes, `pir`/`pbr`
+//!   decode, CTA throttling, emergency spills, subarray power gating,
+//!   warp-scheduler issue/stall, and memory transactions;
+//! * sinks ([`sink`]): the [`TraceSink`] trait with a zero-cost
+//!   [`NoopSink`], a bounded [`RingSink`], and the enum-dispatched
+//!   [`Sink`] the simulator threads through its hot loops. When
+//!   tracing is off the per-event cost is a single discriminant test
+//!   — callers gate event *construction* on [`Sink::enabled`];
+//! * output ([`chrome`], [`metrics`], [`json`]): a streaming Chrome
+//!   trace-event JSON writer (loadable in Perfetto / `chrome://tracing`
+//!   with per-SM process tracks and per-warp thread tracks) and a
+//!   counter/histogram [`MetricsRegistry`] serializable to JSON.
+//!
+//! Everything is dependency-free; JSON is written (and, for tests,
+//! parsed) by the small hand-rolled [`json`] module.
+
+pub mod chrome;
+pub mod event;
+pub mod json;
+pub mod metrics;
+pub mod sink;
+
+pub use chrome::ChromeWriter;
+pub use event::{MemPhase, StallReason, TraceEvent, TraceKind};
+pub use metrics::{Histogram, MetricsRegistry};
+pub use sink::{NoopSink, RingSink, Sink, TraceSink};

@@ -1,0 +1,200 @@
+//! Trace sinks: where events go.
+//!
+//! The simulator threads a [`Sink`] (enum dispatch — no virtual call,
+//! no generic explosion through the `Sm`/`Gpu` structs) through its hot
+//! loops. Emission sites follow the pattern
+//!
+//! ```ignore
+//! if sink.enabled() {
+//!     sink.emit(TraceEvent::warp_event(cycle, sm, slot, TraceKind::Issue { .. }));
+//! }
+//! ```
+//!
+//! so that with [`Sink::Noop`] the entire site reduces to one
+//! discriminant test and the event payload is never constructed. The
+//! `trace_overhead` bench in `crates/bench` holds this to <2% on a
+//! Table 1 workload.
+
+use crate::event::TraceEvent;
+
+/// A consumer of trace events.
+///
+/// `enabled` exists so callers can skip building the event payload
+/// entirely when the sink discards everything; implementations must
+/// tolerate `emit` being called regardless.
+pub trait TraceSink {
+    /// Whether events are being recorded. Callers should gate event
+    /// construction on this.
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Record one event.
+    fn emit(&mut self, ev: TraceEvent);
+}
+
+/// Discards everything; `enabled()` is `false` so instrumented code
+/// compiles down to a branch around the emission site.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline(always)]
+    fn emit(&mut self, _ev: TraceEvent) {}
+}
+
+/// A bounded in-memory capture. When full it keeps the *oldest*
+/// `capacity` events and counts the rest in [`RingSink::dropped`] —
+/// for the simulator the interesting structure (launch, first
+/// allocations, gating warm-up) is at the front, and keeping a prefix
+/// makes captures deterministic under capacity changes.
+#[derive(Clone, Debug)]
+pub struct RingSink {
+    buf: Vec<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A sink holding at most `capacity` events (min 1).
+    pub fn with_capacity(capacity: usize) -> RingSink {
+        let capacity = capacity.max(1);
+        RingSink {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Events recorded, in emission order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.buf
+    }
+
+    /// Number of events discarded because the sink was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the sink, returning the captured events.
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        self.buf
+    }
+}
+
+impl TraceSink for RingSink {
+    #[inline]
+    fn emit(&mut self, ev: TraceEvent) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(ev);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
+/// Enum-dispatched sink the simulator owns. Avoids making every
+/// simulator struct generic over a sink type while keeping the
+/// disabled path branch-cheap.
+#[derive(Clone, Debug, Default)]
+pub enum Sink {
+    /// Tracing off; all emission sites reduce to a discriminant test.
+    #[default]
+    Noop,
+    /// Bounded capture for later Chrome-JSON export.
+    Ring(RingSink),
+}
+
+impl Sink {
+    /// A bounded capturing sink.
+    pub fn ring(capacity: usize) -> Sink {
+        Sink::Ring(RingSink::with_capacity(capacity))
+    }
+
+    /// Whether emission sites should construct events.
+    #[inline(always)]
+    pub fn enabled(&self) -> bool {
+        !matches!(self, Sink::Noop)
+    }
+
+    /// Record one event.
+    #[inline]
+    pub fn emit(&mut self, ev: TraceEvent) {
+        match self {
+            Sink::Noop => {}
+            Sink::Ring(r) => r.emit(ev),
+        }
+    }
+
+    /// The captured events, if this sink captures any.
+    pub fn events(&self) -> &[TraceEvent] {
+        match self {
+            Sink::Noop => &[],
+            Sink::Ring(r) => r.events(),
+        }
+    }
+
+    /// Consumes the sink, returning captured events (empty for noop).
+    pub fn into_events(self) -> Vec<TraceEvent> {
+        match self {
+            Sink::Noop => Vec::new(),
+            Sink::Ring(r) => r.into_events(),
+        }
+    }
+}
+
+impl TraceSink for Sink {
+    fn enabled(&self) -> bool {
+        Sink::enabled(self)
+    }
+
+    fn emit(&mut self, ev: TraceEvent) {
+        Sink::emit(self, ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::TraceKind;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent::sm_event(cycle, 0, TraceKind::CtaLaunch { cta: cycle as u32 })
+    }
+
+    #[test]
+    fn noop_reports_disabled_and_discards() {
+        let mut s = NoopSink;
+        assert!(!s.enabled());
+        s.emit(ev(1));
+        let mut e = Sink::Noop;
+        assert!(!Sink::enabled(&e));
+        e.emit(ev(2));
+        assert!(e.events().is_empty());
+    }
+
+    #[test]
+    fn ring_keeps_prefix_and_counts_drops() {
+        let mut r = RingSink::with_capacity(3);
+        for c in 0..5 {
+            r.emit(ev(c));
+        }
+        assert_eq!(r.events().len(), 3);
+        assert_eq!(r.dropped(), 2);
+        assert_eq!(r.events()[0].cycle, 0);
+        assert_eq!(r.events()[2].cycle, 2);
+    }
+
+    #[test]
+    fn enum_sink_routes_to_ring() {
+        let mut s = Sink::ring(8);
+        assert!(s.enabled());
+        s.emit(ev(7));
+        assert_eq!(s.events().len(), 1);
+        assert_eq!(s.into_events()[0].cycle, 7);
+    }
+}

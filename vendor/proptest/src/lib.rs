@@ -1,0 +1,105 @@
+//! A self-contained, offline subset of the [proptest] API.
+//!
+//! The real `proptest` crate cannot be fetched in this build
+//! environment, so this crate re-implements the slice of its surface
+//! the workspace actually uses: `Strategy` with `prop_map`, range and
+//! tuple strategies, `Just`, `any::<T>()`, `prop_oneof!` (weighted and
+//! unweighted), `proptest::collection::vec`, `proptest::option::of`,
+//! `ProptestConfig`, and the `proptest!` / `prop_assert*` macros.
+//!
+//! Semantics differ from upstream in two deliberate ways:
+//!
+//! * sampling is **deterministic** — the RNG is seeded from the test
+//!   function's name, so every run explores the same inputs and
+//!   failures reproduce without a persistence file;
+//! * there is **no shrinking** — a failing case panics with the
+//!   assertion message; the sampled bindings are visible in the
+//!   assertion's own formatting.
+//!
+//! [proptest]: https://crates.io/crates/proptest
+
+pub mod arbitrary;
+pub mod collection;
+pub mod option;
+pub mod strategy;
+pub mod test_runner;
+
+pub mod prelude {
+    //! Glob-import surface matching `proptest::prelude::*`.
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` body (panics on failure;
+/// this port does not shrink, so the semantics match `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tok:tt)*) => { assert!($($tok)*) };
+}
+
+/// Equality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tok:tt)*) => { assert_eq!($($tok)*) };
+}
+
+/// Inequality assertion inside a `proptest!` body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tok:tt)*) => { assert_ne!($($tok)*) };
+}
+
+/// A weighted or unweighted union of strategies producing the same
+/// value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:literal => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+}
+
+/// Declares property tests: each function runs `config.cases` times
+/// with fresh deterministic samples of its `in`-bound strategies.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_body! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_body! {
+            ($crate::test_runner::ProptestConfig::default()) $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ( ($cfg:expr)
+      $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block
+      )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $cfg;
+                let mut rng = $crate::test_runner::TestRng::from_name(stringify!($name));
+                for _ in 0..config.cases {
+                    $(let $pat = $crate::strategy::Strategy::sample(&($strat), &mut rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}

@@ -1,0 +1,42 @@
+//! `proptest::option::of`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// The strategy returned by [`of`].
+#[derive(Clone, Copy, Debug)]
+pub struct OptionStrategy<S>(S);
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Option<S::Value> {
+        // upstream defaults to a high Some probability; 3-in-4 keeps
+        // both variants well represented at small case counts
+        if rng.below(4) == 0 {
+            None
+        } else {
+            Some(self.0.sample(rng))
+        }
+    }
+}
+
+/// Samples `None` or a `Some` drawn from `inner`.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Just;
+
+    #[test]
+    fn both_variants_appear() {
+        let mut rng = TestRng::from_name("option");
+        let s = of(Just(1u8));
+        let vals: Vec<Option<u8>> = (0..64).map(|_| s.sample(&mut rng)).collect();
+        assert!(vals.iter().any(Option::is_none));
+        assert!(vals.iter().any(Option::is_some));
+    }
+}
