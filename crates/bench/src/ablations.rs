@@ -26,24 +26,21 @@ pub struct BankAblationRow {
 /// Bank-preserving versus free-bank renaming on an aggressively
 /// shrunk (75%) file, where bank pressure actually bites.
 pub fn bank_preservation(workloads: &[Workload]) -> Vec<BankAblationRow> {
-    workloads
-        .iter()
-        .map(|w| {
-            let ck = compile_full(w);
-            let strict_cfg = SimConfig::gpu_shrink(75);
-            let mut free_cfg = strict_cfg;
-            free_cfg.regfile.bank_preserving = false;
-            let strict = run(&ck, &strict_cfg);
-            let free = run(&ck, &free_cfg);
-            BankAblationRow {
-                name: w.name(),
-                strict_cycles: strict.cycles,
-                strict_stalls: strict.sm0().no_reg_stalls,
-                free_cycles: free.cycles,
-                free_stalls: free.sm0().no_reg_stalls,
-            }
-        })
-        .collect()
+    crate::pool::par_map(workloads, |w| {
+        let ck = compile_full(w);
+        let strict_cfg = SimConfig::gpu_shrink(75);
+        let mut free_cfg = strict_cfg;
+        free_cfg.regfile.bank_preserving = false;
+        let strict = run(&ck, &strict_cfg);
+        let free = run(&ck, &free_cfg);
+        BankAblationRow {
+            name: w.name(),
+            strict_cycles: strict.cycles,
+            strict_stalls: strict.sm0().no_reg_stalls,
+            free_cycles: free.cycles,
+            free_stalls: free.sm0().no_reg_stalls,
+        }
+    })
 }
 
 /// Flag-cache sizes beyond the paper's ten entries: returns
@@ -52,14 +49,13 @@ pub fn flag_cache_sweep(workloads: &[Workload], sizes: &[usize]) -> Vec<(usize, 
     sizes
         .iter()
         .map(|&entries| {
-            let mut sum = 0.0;
-            for w in workloads {
+            let pcts = crate::pool::par_map(workloads, |w| {
                 let ck = compile_full(w);
                 let mut cfg = SimConfig::baseline_full();
                 cfg.regfile.flag_cache_entries = entries;
-                sum += run(&ck, &cfg).sm0().dynamic_increase_pct();
-            }
-            (entries, sum / workloads.len() as f64)
+                run(&ck, &cfg).sm0().dynamic_increase_pct()
+            });
+            (entries, pcts.iter().sum::<f64>() / workloads.len() as f64)
         })
         .collect()
 }
@@ -67,20 +63,19 @@ pub fn flag_cache_sweep(workloads: &[Workload], sizes: &[usize]) -> Vec<(usize, 
 /// GPU-shrink depth sweep: returns `(shrink %, average cycle increase
 /// % over the conventional 128 KB file)`.
 pub fn shrink_sweep(workloads: &[Workload], percents: &[usize]) -> Vec<(usize, f64)> {
-    let baselines: Vec<u64> = workloads
-        .iter()
-        .map(|w| crate::harness::Machine::Conventional.run(w).cycles)
-        .collect();
+    let baselines: Vec<u64> = crate::pool::par_map(workloads, |w| {
+        crate::harness::Machine::Conventional.run(w).cycles
+    });
+    let indices: Vec<usize> = (0..workloads.len()).collect();
     percents
         .iter()
         .map(|&pct| {
-            let mut sum = 0.0;
-            for (w, &base) in workloads.iter().zip(&baselines) {
-                let ck = compile_full(w);
+            let incs = crate::pool::par_map(&indices, |&i| {
+                let ck = compile_full(&workloads[i]);
                 let r = run(&ck, &SimConfig::gpu_shrink(pct));
-                sum += 100.0 * (r.cycles as f64 - base as f64) / base as f64;
-            }
-            (pct, sum / workloads.len() as f64)
+                100.0 * (r.cycles as f64 - baselines[i] as f64) / baselines[i] as f64
+            });
+            (pct, incs.iter().sum::<f64>() / workloads.len() as f64)
         })
         .collect()
 }
@@ -88,24 +83,21 @@ pub fn shrink_sweep(workloads: &[Workload], percents: &[usize]) -> Vec<(usize, f
 /// Two-level-scheduler ready-queue sizing: returns `(queue size,
 /// average cycles normalized to the paper's six-entry queue)`.
 pub fn ready_queue_sweep(workloads: &[Workload], sizes: &[usize]) -> Vec<(usize, f64)> {
-    let reference: Vec<u64> = workloads
-        .iter()
-        .map(|w| {
-            let ck = compile_full(w);
-            run(&ck, &SimConfig::baseline_full()).cycles
-        })
-        .collect();
+    let reference: Vec<u64> = crate::pool::par_map(workloads, |w| {
+        let ck = compile_full(w);
+        run(&ck, &SimConfig::baseline_full()).cycles
+    });
+    let indices: Vec<usize> = (0..workloads.len()).collect();
     sizes
         .iter()
         .map(|&size| {
-            let mut sum = 0.0;
-            for (w, &base) in workloads.iter().zip(&reference) {
-                let ck = compile_full(w);
+            let ratios = crate::pool::par_map(&indices, |&i| {
+                let ck = compile_full(&workloads[i]);
                 let mut cfg = SimConfig::baseline_full();
                 cfg.ready_queue = size;
-                sum += run(&ck, &cfg).cycles as f64 / base as f64;
-            }
-            (size, sum / workloads.len() as f64)
+                run(&ck, &cfg).cycles as f64 / reference[i] as f64
+            });
+            (size, ratios.iter().sum::<f64>() / workloads.len() as f64)
         })
         .collect()
 }
@@ -113,16 +105,15 @@ pub fn ready_queue_sweep(workloads: &[Workload], sizes: &[usize]) -> Vec<(usize,
 /// The §7.1 extra renaming pipeline cycle: average cycle increase (%)
 /// it costs relative to absorbing the 0.22 ns lookup for free.
 pub fn rename_cycle_cost(workloads: &[Workload]) -> f64 {
-    let mut sum = 0.0;
-    for w in workloads {
+    let costs = crate::pool::par_map(workloads, |w| {
         let ck = compile_full(w);
         let with = run(&ck, &SimConfig::baseline_full());
         let mut free_cfg = SimConfig::baseline_full();
         free_cfg.rename_extra_cycle = false;
         let without = run(&ck, &free_cfg);
-        sum += 100.0 * (with.cycles as f64 - without.cycles as f64) / without.cycles as f64;
-    }
-    sum / workloads.len() as f64
+        100.0 * (with.cycles as f64 - without.cycles as f64) / without.cycles as f64
+    });
+    costs.iter().sum::<f64>() / workloads.len() as f64
 }
 
 /// A pressure-heavy subset for the bank ablation.

@@ -4,58 +4,101 @@
 //! ```text
 //! cargo run --release -p rfv-bench --bin figures -- all
 //! cargo run --release -p rfv-bench --bin figures -- fig11a
+//! cargo run --release -p rfv-bench --bin figures -- all --jobs 8 --csv out
 //! ```
+//!
+//! `--jobs N` sizes the worker pool that fans independent
+//! (workload, configuration) runs across threads (default: the
+//! `RFV_JOBS` environment variable, else the machine's available
+//! parallelism; `--jobs 1` restores fully sequential execution).
+//! Table and CSV row order is identical at every job count.
 
 use std::env;
 
 use rfv_bench::ablations;
 use rfv_bench::figures::{self, FIG13_CACHE_SIZES};
 use rfv_bench::harness;
+use rfv_bench::pool;
 use rfv_power::params::{register_bank, renaming_table, VDD_V};
 use rfv_power::{figure7_sweep, TechNode};
 use rfv_workloads::TABLE1;
 
+const KNOWN: [&str; 15] = [
+    "table1",
+    "table2",
+    "fig1",
+    "fig2",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "fig11a",
+    "fig11b",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "ablations",
+];
+
+fn usage(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
+    eprintln!(
+        "usage: figures [FIGURE] [--csv DIR] [--jobs N]\n\
+         \x20 FIGURE: all (default) {}\n\
+         \x20 --csv DIR   also write each figure's data series as CSV files into DIR\n\
+         \x20 --jobs N    worker threads for the sweep pool (default: RFV_JOBS or all cores)",
+        KNOWN.join(" ")
+    );
+    std::process::exit(2);
+}
+
+/// Removes `--flag VALUE` from `args`, returning the value. Flags are
+/// consumed wherever they appear, so `figures fig7 --csv out` and
+/// `figures --csv out fig7` parse identically.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    args.remove(pos);
+    if pos >= args.len() {
+        usage(&format!("{flag} needs an operand"));
+    }
+    Some(args.remove(pos))
+}
+
 fn main() {
-    let args: Vec<String> = env::args().skip(1).collect();
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    // optional: `--csv DIR` after the figure name dumps the data series
-    if let Some(pos) = args.iter().position(|a| a == "--csv") {
-        let dir = args
-            .get(pos + 1)
-            .map(std::path::PathBuf::from)
-            .unwrap_or_else(|| std::path::PathBuf::from("figures_csv"));
+    let mut args: Vec<String> = env::args().skip(1).collect();
+    if let Some(n) = take_flag(&mut args, "--jobs") {
+        match n.parse::<usize>() {
+            Ok(n) if n >= 1 => pool::set_jobs(n),
+            _ => usage(&format!("--jobs needs a positive integer, got `{n}`")),
+        }
+    }
+    // optional: `--csv DIR` dumps the data series next to the tables
+    if let Some(dir) = take_flag(&mut args, "--csv") {
+        let dir = std::path::PathBuf::from(dir);
         std::fs::create_dir_all(&dir).expect("create csv dir");
         CSV_DIR.set(dir).expect("set once");
     }
-    let known = [
-        "table1",
-        "table2",
-        "fig1",
-        "fig2",
-        "fig7",
-        "fig8",
-        "fig9",
-        "fig10",
-        "fig11a",
-        "fig11b",
-        "fig12",
-        "fig13",
-        "fig14",
-        "fig15",
-        "ablations",
-    ];
+    if let Some(stray) = args.iter().find(|a| a.starts_with('-')) {
+        usage(&format!("unknown flag `{stray}`"));
+    }
+    if args.len() > 1 {
+        usage(&format!("expected one figure name, got {args:?}"));
+    }
+    let what = args.first().map(String::as_str).unwrap_or("all");
     if what == "all" {
-        for k in known {
+        for k in KNOWN {
             dispatch(k);
             println!();
         }
         return;
     }
-    if known.contains(&what) {
+    if KNOWN.contains(&what) {
         dispatch(what);
     } else {
-        eprintln!("unknown figure `{what}`; known: all {}", known.join(" "));
-        std::process::exit(2);
+        usage(&format!("unknown figure `{what}`"));
     }
 }
 

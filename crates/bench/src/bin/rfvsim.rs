@@ -27,7 +27,12 @@
 //!   derived gauges, and occupancy histograms as JSON.
 //!
 //! With `--compare`, the machine label is inserted before the file
-//! extension (`trace.json` → `trace.full.json`).
+//! extension (`trace.json` → `trace.full.json`). The compared
+//! machines run concurrently on the job pool and multi-SM
+//! simulations shard SMs across worker threads; `--jobs N` bounds
+//! both (default: `RFV_JOBS` or the machine's available parallelism,
+//! `--jobs 1` forces fully sequential execution). Results are
+//! bit-identical at every job count.
 
 use std::env;
 use std::fs::File;
@@ -35,6 +40,7 @@ use std::io::{BufWriter, Write};
 use std::process::exit;
 
 use rfv_bench::harness::{compile_full, compile_plain, rf_activity};
+use rfv_bench::pool;
 use rfv_compiler::CompiledKernel;
 use rfv_core::VirtualizationPolicy;
 use rfv_power::model::{energy, RfGeometry};
@@ -46,6 +52,7 @@ struct Options {
     target: String,
     machine: String,
     sms: usize,
+    jobs: Option<usize>,
     launch: Option<(u32, u32, u32)>,
     compare: bool,
     trace: Option<String>,
@@ -56,7 +63,7 @@ struct Options {
 fn usage() -> ! {
     eprintln!(
         "usage: rfvsim <benchmark|file.asm> [--machine conventional|full|shrink50|shrink60|shrink75|hwonly]\n\
-         \x20             [--sms N] [--launch CTAS,THREADS,CONC] [--compare]\n\
+         \x20             [--sms N] [--jobs N] [--launch CTAS,THREADS,CONC] [--compare]\n\
          \x20             [--trace out.json] [--trace-capacity N] [--stats-json out.json]\n\
          benchmarks: {}",
         suite::all()
@@ -75,6 +82,7 @@ fn parse_args() -> Options {
         target,
         machine: "full".into(),
         sms: 1,
+        jobs: None,
         launch: None,
         compare: false,
         trace: None,
@@ -89,6 +97,14 @@ fn parse_args() -> Options {
                     .next()
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
+            }
+            "--jobs" => {
+                opts.jobs = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &usize| n > 0)
+                        .unwrap_or_else(|| usage()),
+                )
             }
             "--launch" => {
                 let spec = args.next().unwrap_or_else(|| usage());
@@ -274,10 +290,14 @@ fn write_stats_json(path: &str, run: &TracedRun, cfg: &SimConfig) {
 
 fn main() {
     let opts = parse_args();
+    if let Some(n) = opts.jobs {
+        pool::set_jobs(n);
+    }
     let Some(mut cfg) = machine_config(&opts.machine) else {
         usage()
     };
     cfg.num_sms = opts.sms.max(1);
+    cfg.sm_jobs = opts.jobs;
     let w = load_workload(&opts);
 
     let machines: Vec<(&str, SimConfig)> = if opts.compare {
@@ -286,6 +306,7 @@ fn main() {
             .map(|m| {
                 let mut c = machine_config(m).expect("known machine");
                 c.num_sms = opts.sms.max(1);
+                c.sm_jobs = opts.jobs;
                 (m, c)
             })
             .collect()
@@ -299,13 +320,19 @@ fn main() {
         0
     };
 
-    for (label, cfg) in machines {
+    // fan the machines across the job pool, then print in the fixed
+    // machine order so `--compare` output is stable
+    let runs = pool::par_map(&machines, |(label, cfg)| {
         let ck = if cfg.regfile.policy.uses_release_flags() {
             compile_full(&w)
         } else {
             compile_plain(&w)
         };
-        match simulate_traced(&ck, &cfg, capacity) {
+        let run = simulate_traced(&ck, cfg, capacity);
+        (*label, *cfg, ck, run)
+    });
+    for (label, cfg, ck, run) in runs {
+        match run {
             Ok(run) => {
                 report(label, &ck, &cfg, &run.result);
                 if let Some(base) = &opts.trace {

@@ -29,20 +29,17 @@ pub struct Fig10Row {
 
 /// Figure 10 over the given workloads.
 pub fn fig10(workloads: &[Workload]) -> Vec<Fig10Row> {
-    workloads
-        .iter()
-        .map(|w| {
-            let r = Machine::Full128.run(w);
-            let alloc = conventional_alloc(w);
-            let peak = r.sm0().regfile.peak_live;
-            Fig10Row {
-                name: w.name(),
-                alloc,
-                peak_live: peak,
-                reduction_pct: 100.0 * (alloc.saturating_sub(peak)) as f64 / alloc as f64,
-            }
-        })
-        .collect()
+    crate::pool::par_map(workloads, |w| {
+        let r = Machine::Full128.run(w);
+        let alloc = conventional_alloc(w);
+        let peak = r.sm0().regfile.peak_live;
+        Fig10Row {
+            name: w.name(),
+            alloc,
+            peak_live: peak,
+            reduction_pct: 100.0 * (alloc.saturating_sub(peak)) as f64 / alloc as f64,
+        }
+    })
 }
 
 /// One row of Figure 11(a): execution-cycle increase on a 64 KB file.
@@ -74,26 +71,23 @@ impl Fig11aRow {
 
 /// Figure 11(a) over the given workloads.
 pub fn fig11a(workloads: &[Workload]) -> Vec<Fig11aRow> {
-    workloads
-        .iter()
-        .map(|w| {
-            let base = Machine::Conventional.run(w);
-            let shrink = Machine::Shrink64.run(w);
-            let cap = harness::spill_cap(w, 512);
-            let spilled = w.kernel.num_regs() > cap;
-            let spill_kernel = compile_spilled(w, 512);
-            let mut spill_cfg = SimConfig::conventional();
-            spill_cfg.regfile.phys_regs = 512;
-            let spill = run(&spill_kernel, &spill_cfg);
-            Fig11aRow {
-                name: w.name(),
-                base_cycles: base.cycles,
-                shrink_cycles: shrink.cycles,
-                spill_cycles: spill.cycles,
-                spilled,
-            }
-        })
-        .collect()
+    crate::pool::par_map(workloads, |w| {
+        let base = Machine::Conventional.run(w);
+        let shrink = Machine::Shrink64.run(w);
+        let cap = harness::spill_cap(w, 512);
+        let spilled = w.kernel.num_regs() > cap;
+        let spill_kernel = compile_spilled(w, 512);
+        let mut spill_cfg = SimConfig::conventional();
+        spill_cfg.regfile.phys_regs = 512;
+        let spill = run(&spill_kernel, &spill_cfg);
+        Fig11aRow {
+            name: w.name(),
+            base_cycles: base.cycles,
+            shrink_cycles: shrink.cycles,
+            spill_cycles: spill.cycles,
+            spilled,
+        }
+    })
 }
 
 /// Figure 11(b): cycles with subarray wakeup latency `w`, normalized
@@ -102,8 +96,7 @@ pub fn fig11b(workloads: &[Workload]) -> Vec<(u64, f64)> {
     [1u64, 3, 10]
         .into_iter()
         .map(|wake| {
-            let mut ratio_sum = 0.0;
-            for w in workloads {
+            let ratios = crate::pool::par_map(workloads, |w| {
                 let ck = compile_full(w);
                 let mut gated = SimConfig::baseline_full();
                 gated.regfile.wakeup_cycles = wake;
@@ -111,9 +104,9 @@ pub fn fig11b(workloads: &[Workload]) -> Vec<(u64, f64)> {
                 ungated.regfile.power_gating = false;
                 let g = run(&ck, &gated);
                 let u = run(&ck, &ungated);
-                ratio_sum += g.cycles as f64 / u.cycles as f64;
-            }
-            (wake, ratio_sum / workloads.len() as f64)
+                g.cycles as f64 / u.cycles as f64
+            });
+            (wake, ratios.iter().sum::<f64>() / workloads.len() as f64)
         })
         .collect()
 }
@@ -148,37 +141,33 @@ impl Fig12Row {
 
 /// Figure 12 over the given workloads.
 pub fn fig12(workloads: &[Workload]) -> Vec<Fig12Row> {
-    workloads
-        .iter()
-        .map(|w| {
-            let base = Machine::Conventional.run(w);
-            let baseline_pj =
-                energy(&rf_activity(base.sm0()), &RfGeometry::conventional()).total_pj();
+    crate::pool::par_map(workloads, |w| {
+        let base = Machine::Conventional.run(w);
+        let baseline_pj = energy(&rf_activity(base.sm0()), &RfGeometry::conventional()).total_pj();
 
-            let ck = compile_full(w);
-            let full128 = run(&ck, &SimConfig::baseline_full());
-            let full128_pg = energy(&rf_activity(full128.sm0()), &RfGeometry::virtualized(1.0));
+        let ck = compile_full(w);
+        let full128 = run(&ck, &SimConfig::baseline_full());
+        let full128_pg = energy(&rf_activity(full128.sm0()), &RfGeometry::virtualized(1.0));
 
-            let mut shrink_nopg_cfg = SimConfig::gpu_shrink(50);
-            shrink_nopg_cfg.regfile.power_gating = false;
-            let shrink_nopg = run(&ck, &shrink_nopg_cfg);
-            let shrink64 = energy(
-                &rf_activity(shrink_nopg.sm0()),
-                &RfGeometry::virtualized(0.5),
-            );
+        let mut shrink_nopg_cfg = SimConfig::gpu_shrink(50);
+        shrink_nopg_cfg.regfile.power_gating = false;
+        let shrink_nopg = run(&ck, &shrink_nopg_cfg);
+        let shrink64 = energy(
+            &rf_activity(shrink_nopg.sm0()),
+            &RfGeometry::virtualized(0.5),
+        );
 
-            let shrink_pg = run(&ck, &SimConfig::gpu_shrink(50));
-            let shrink64_pg = energy(&rf_activity(shrink_pg.sm0()), &RfGeometry::virtualized(0.5));
+        let shrink_pg = run(&ck, &SimConfig::gpu_shrink(50));
+        let shrink64_pg = energy(&rf_activity(shrink_pg.sm0()), &RfGeometry::virtualized(0.5));
 
-            Fig12Row {
-                name: w.name(),
-                baseline_pj,
-                full128_pg,
-                shrink64,
-                shrink64_pg,
-            }
-        })
-        .collect()
+        Fig12Row {
+            name: w.name(),
+            baseline_pj,
+            full128_pg,
+            shrink64,
+            shrink64_pg,
+        }
+    })
 }
 
 /// One row of Figure 13: metadata code growth.
@@ -198,25 +187,22 @@ pub const FIG13_CACHE_SIZES: [usize; 5] = [0, 1, 2, 5, 10];
 
 /// Figure 13 over the given workloads.
 pub fn fig13(workloads: &[Workload]) -> Vec<Fig13Row> {
-    workloads
-        .iter()
-        .map(|w| {
-            let ck = compile_full(w);
-            let static_pct = ck.stats().static_increase_pct;
-            let mut dynamic_pct = [0.0; 5];
-            for (i, entries) in FIG13_CACHE_SIZES.into_iter().enumerate() {
-                let mut cfg = SimConfig::baseline_full();
-                cfg.regfile.flag_cache_entries = entries;
-                let r = run(&ck, &cfg);
-                dynamic_pct[i] = r.sm0().dynamic_increase_pct();
-            }
-            Fig13Row {
-                name: w.name(),
-                static_pct,
-                dynamic_pct,
-            }
-        })
-        .collect()
+    crate::pool::par_map(workloads, |w| {
+        let ck = compile_full(w);
+        let static_pct = ck.stats().static_increase_pct;
+        let mut dynamic_pct = [0.0; 5];
+        for (i, entries) in FIG13_CACHE_SIZES.into_iter().enumerate() {
+            let mut cfg = SimConfig::baseline_full();
+            cfg.regfile.flag_cache_entries = entries;
+            let r = run(&ck, &cfg);
+            dynamic_pct[i] = r.sm0().dynamic_increase_pct();
+        }
+        Fig13Row {
+            name: w.name(),
+            static_pct,
+            dynamic_pct,
+        }
+    })
 }
 
 /// One row of Figure 14: renaming-table sizing.
@@ -237,28 +223,25 @@ pub struct Fig14Row {
 
 /// Figure 14 over the given workloads.
 pub fn fig14(workloads: &[Workload]) -> Vec<Fig14Row> {
-    workloads
-        .iter()
-        .map(|w| {
-            let constrained = compile_full(w);
-            let unconstrained = compile_unconstrained(w);
-            let alloc = conventional_alloc(w);
-            let saving = |peak: usize| alloc.saturating_sub(peak) as f64;
-            let rc = run(&constrained, &SimConfig::baseline_full());
-            let ru = run(&unconstrained, &SimConfig::baseline_full());
-            let (sc, su) = (
-                saving(rc.sm0().regfile.peak_live),
-                saving(ru.sm0().regfile.peak_live),
-            );
-            Fig14Row {
-                name: w.name(),
-                unconstrained_bytes: constrained.stats().unconstrained_table_bytes,
-                constrained_bytes: constrained.stats().table_bytes,
-                exempted: constrained.stats().num_exempt,
-                normalized_saving: if su == 0.0 { 1.0 } else { (sc / su).min(1.0) },
-            }
-        })
-        .collect()
+    crate::pool::par_map(workloads, |w| {
+        let constrained = compile_full(w);
+        let unconstrained = compile_unconstrained(w);
+        let alloc = conventional_alloc(w);
+        let saving = |peak: usize| alloc.saturating_sub(peak) as f64;
+        let rc = run(&constrained, &SimConfig::baseline_full());
+        let ru = run(&unconstrained, &SimConfig::baseline_full());
+        let (sc, su) = (
+            saving(rc.sm0().regfile.peak_live),
+            saving(ru.sm0().regfile.peak_live),
+        );
+        Fig14Row {
+            name: w.name(),
+            unconstrained_bytes: constrained.stats().unconstrained_table_bytes,
+            constrained_bytes: constrained.stats().table_bytes,
+            exempted: constrained.stats().num_exempt,
+            normalized_saving: if su == 0.0 { 1.0 } else { (sc / su).min(1.0) },
+        }
+    })
 }
 
 /// One row of Figure 15: hardware-only renaming \[46\] versus the
@@ -275,30 +258,26 @@ pub struct Fig15Row {
 
 /// Figure 15 over the given workloads.
 pub fn fig15(workloads: &[Workload]) -> Vec<Fig15Row> {
-    workloads
-        .iter()
-        .map(|w| {
-            let full = Machine::Full128.run(w);
-            let hw = Machine::HardwareOnly.run(w);
-            let alloc = conventional_alloc(w);
-            let red_full = alloc.saturating_sub(full.sm0().regfile.peak_live) as f64;
-            let red_hw = alloc.saturating_sub(hw.sm0().regfile.peak_live) as f64;
-            // static power saving versus an always-on file
-            let saving = |s: &rfv_sim::SimStats| {
-                1.0 - s.subarray_on_cycles as f64 / (16.0 * s.cycles as f64)
-            };
-            let (s_full, s_hw) = (saving(full.sm0()), saving(hw.sm0()));
-            Fig15Row {
-                name: w.name(),
-                alloc_reduction_ratio: if red_full == 0.0 {
-                    1.0
-                } else {
-                    red_hw / red_full
-                },
-                static_reduction_ratio: if s_full <= 0.0 { 1.0 } else { s_hw / s_full },
-            }
-        })
-        .collect()
+    crate::pool::par_map(workloads, |w| {
+        let full = Machine::Full128.run(w);
+        let hw = Machine::HardwareOnly.run(w);
+        let alloc = conventional_alloc(w);
+        let red_full = alloc.saturating_sub(full.sm0().regfile.peak_live) as f64;
+        let red_hw = alloc.saturating_sub(hw.sm0().regfile.peak_live) as f64;
+        // static power saving versus an always-on file
+        let saving =
+            |s: &rfv_sim::SimStats| 1.0 - s.subarray_on_cycles as f64 / (16.0 * s.cycles as f64);
+        let (s_full, s_hw) = (saving(full.sm0()), saving(hw.sm0()));
+        Fig15Row {
+            name: w.name(),
+            alloc_reduction_ratio: if red_full == 0.0 {
+                1.0
+            } else {
+                red_hw / red_full
+            },
+            static_reduction_ratio: if s_full <= 0.0 { 1.0 } else { s_hw / s_full },
+        }
+    })
 }
 
 /// Figure 8: per-subarray occupancy maps for one workload, captured

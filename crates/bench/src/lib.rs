@@ -12,7 +12,10 @@
 //!   figure's data series;
 //! * [`ablations`] — sensitivity studies beyond the paper
 //!   (bank-preserving renaming, flag-cache sizing, deeper shrink
-//!   points, ready-queue sizing, the renaming pipeline cycle).
+//!   points, ready-queue sizing, the renaming pipeline cycle);
+//! * [`pool`] — the zero-dependency job pool that fans independent
+//!   (workload, configuration) runs across worker threads while
+//!   keeping table and CSV row order stable (`--jobs N` / `RFV_JOBS`).
 //!
 //! ```no_run
 //! use rfv_bench::figures;
@@ -25,3 +28,4 @@
 pub mod ablations;
 pub mod figures;
 pub mod harness;
+pub mod pool;

@@ -1,0 +1,132 @@
+//! Zero-dependency scoped-thread job pool.
+//!
+//! The figure/table sweeps are embarrassingly parallel: every
+//! (workload, configuration) run is independent, and the paper's
+//! evaluation replays hundreds of them. [`par_map`] fans such runs
+//! out across worker threads while returning results **in input
+//! order**, so table rows and CSV files are byte-identical to a
+//! sequential run.
+//!
+//! The worker count comes from, in priority order: an explicit
+//! [`set_jobs`] call (the binaries' `--jobs N` flag), the `RFV_JOBS`
+//! environment variable, and finally the machine's available
+//! parallelism. One worker short-circuits to a plain sequential map.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Global worker-count override; `0` means "not set".
+static JOBS: AtomicUsize = AtomicUsize::new(0);
+
+/// Fixes the pool's worker count for the rest of the process (the
+/// `--jobs N` flag). Values below one are clamped to one.
+pub fn set_jobs(n: usize) {
+    JOBS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The worker count [`par_map`] will use: [`set_jobs`] if called,
+/// else [`default_jobs`].
+pub fn jobs() -> usize {
+    match JOBS.load(Ordering::Relaxed) {
+        0 => default_jobs(),
+        n => n,
+    }
+}
+
+/// The environment-derived default worker count: `RFV_JOBS` when set
+/// to a positive integer, else the machine's available parallelism.
+pub fn default_jobs() -> usize {
+    std::env::var("RFV_JOBS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Maps `f` over `items` on the pool's workers (see [`jobs`]),
+/// preserving input order in the returned vector.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(jobs(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count.
+pub fn par_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let workers = workers.min(items.len()).max(1);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+    // work-stealing by atomic cursor: workers pull the next index and
+    // write the result into its slot, so output order is input order
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(item);
+                *slots[i].lock().expect("result slot poisoned") = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| {
+            slot.into_inner()
+                .expect("result slot poisoned")
+                .expect("worker filled every slot")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..100).collect();
+        for workers in [1, 2, 7, 64] {
+            let out = par_map_with(workers, &items, |&i| i * 3);
+            assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn handles_empty_and_single_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map_with(8, &empty, |x| *x).is_empty());
+        assert_eq!(par_map_with(8, &[42u32], |x| *x + 1), vec![43]);
+    }
+
+    #[test]
+    fn uneven_work_still_lands_in_order() {
+        // later items finish first; order must still hold
+        let items: Vec<u64> = (0..16).rev().collect();
+        let out = par_map_with(4, &items, |&n| {
+            std::thread::sleep(std::time::Duration::from_millis(n / 4));
+            n
+        });
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn default_jobs_is_positive() {
+        assert!(default_jobs() >= 1);
+        assert!(jobs() >= 1);
+    }
+}

@@ -219,3 +219,87 @@ fn failed_static_launch_rolls_back_cleanly() {
     assert!(rf.launch_warp(w, (0..4u8).map(ArchReg::new), 2).is_ok());
     assert_eq!(rf.live_count(), (launched - 1) * 48 + 4);
 }
+
+/// One step of the CTA-throttle churn.
+#[derive(Clone, Copy, Debug)]
+enum ThrottleOp {
+    Launch { slot: usize, budget: usize },
+    Alloc { slot: usize },
+    Release { slot: usize },
+    Retire { slot: usize },
+    Decide { free: usize },
+}
+
+fn arb_throttle_op(slots: usize) -> impl Strategy<Value = ThrottleOp> {
+    prop_oneof![
+        2 => (0..slots, 1usize..200).prop_map(|(slot, budget)| ThrottleOp::Launch { slot, budget }),
+        4 => (0..slots).prop_map(|slot| ThrottleOp::Alloc { slot }),
+        4 => (0..slots).prop_map(|slot| ThrottleOp::Release { slot }),
+        1 => (0..slots).prop_map(|slot| ThrottleOp::Retire { slot }),
+        2 => (0usize..600).prop_map(|free| ThrottleOp::Decide { free }),
+    ]
+}
+
+proptest! {
+    /// The §8.1 balance counters `C − k_i` must never underflow (wrap
+    /// past zero) regardless of how allocates and releases interleave
+    /// — including releases outnumbering allocates (early release of
+    /// registers counted against exempt static allocations) and
+    /// allocates overshooting the declared budget. At every step a
+    /// resident CTA's balance stays within `[0, budget]` and the
+    /// throttle's min-balance choice refers to a resident CTA.
+    #[test]
+    fn throttle_balances_never_underflow(
+        ops in proptest::collection::vec(arb_throttle_op(8), 1..400),
+    ) {
+        let mut t = CtaThrottle::new(8);
+        let mut budgets = [None::<usize>; 8];
+        for op in ops {
+            match op {
+                ThrottleOp::Launch { slot, budget } => {
+                    // occupied slots keep their CTA; relaunch is an SM
+                    // bug, not a throttle scenario
+                    if budgets[slot].is_none() {
+                        t.launch(slot, budget);
+                        budgets[slot] = Some(budget);
+                    }
+                }
+                ThrottleOp::Alloc { slot } => t.on_alloc(slot),
+                ThrottleOp::Release { slot } => t.on_release(slot),
+                ThrottleOp::Retire { slot } => {
+                    t.retire(slot);
+                    budgets[slot] = None;
+                }
+                ThrottleOp::Decide { free } => {
+                    if let ThrottleDecision::OnlyCta(slot) = t.decide(free) {
+                        prop_assert!(
+                            budgets[slot].is_some(),
+                            "throttle restricted to a vacated slot {slot}"
+                        );
+                    }
+                }
+            }
+            for (slot, budget) in budgets.iter().enumerate() {
+                match (*budget, t.balance(slot)) {
+                    (Some(budget), Some(bal)) => prop_assert!(
+                        bal <= budget,
+                        "slot {slot} balance {bal} exceeds budget {budget} (underflow?)"
+                    ),
+                    (None, None) => {}
+                    (expect, got) => prop_assert!(
+                        false,
+                        "slot {slot} residency mismatch: budget {expect:?}, balance {got:?}"
+                    ),
+                }
+            }
+            prop_assert_eq!(
+                t.resident(),
+                budgets.iter().filter(|b| b.is_some()).count()
+            );
+            if let Some((slot, bal)) = t.min_balance_cta() {
+                prop_assert!(budgets[slot].is_some());
+                prop_assert!(bal <= budgets[slot].unwrap());
+            }
+        }
+    }
+}

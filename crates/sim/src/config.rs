@@ -46,6 +46,12 @@ pub struct SimConfig {
     pub snapshot_at_cycle: Option<u64>,
     /// Watchdog: abort runs exceeding this many cycles.
     pub max_cycles: u64,
+    /// Worker threads for SM execution. `None` defers to the
+    /// `RFV_JOBS` environment variable, falling back to the machine's
+    /// available parallelism; `Some(1)` forces the sequential path.
+    /// SMs share no state, so the result is bit-identical either way
+    /// (see `gpu::run_all`).
+    pub sm_jobs: Option<usize>,
 }
 
 impl SimConfig {
@@ -68,6 +74,7 @@ impl SimConfig {
             trace_warp0_regs: false,
             snapshot_at_cycle: None,
             max_cycles: 80_000_000,
+            sm_jobs: None,
         }
     }
 
@@ -97,6 +104,9 @@ impl SimConfig {
         }
         if self.max_warps_per_sm == 0 || self.max_ctas_per_sm == 0 {
             return Err("warp and CTA capacities must be positive".into());
+        }
+        if self.sm_jobs == Some(0) {
+            return Err("sm_jobs must be positive when set".into());
         }
         self.regfile.validate()
     }
@@ -146,5 +156,13 @@ mod tests {
         let mut c = SimConfig::baseline_full();
         c.regfile.phys_regs = 7;
         assert!(c.validate().is_err());
+        let mut c = SimConfig::baseline_full();
+        c.num_sms = 0;
+        assert!(c.validate().is_err());
+        let mut c = SimConfig::baseline_full();
+        c.sm_jobs = Some(0);
+        assert!(c.validate().is_err());
+        c.sm_jobs = Some(4);
+        assert!(c.validate().is_ok());
     }
 }

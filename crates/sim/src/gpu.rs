@@ -5,6 +5,18 @@
 //! embarrassingly parallel at CTA granularity and the paper's metrics
 //! are per-SM ratios), so each SM runs to completion independently and
 //! the GPU's execution time is the slowest SM's.
+//!
+//! # Parallel execution
+//!
+//! Because SMs are independent, multi-SM runs execute each SM on its
+//! own `std::thread::scope` worker and merge the results afterwards.
+//! The merge is deterministic: per-SM statistics and memories are
+//! collected in SM order regardless of thread completion order, and
+//! trace events are combined by [`rfv_trace::merge_shards`] on the
+//! total key `(cycle, sm, seq)` — so a parallel run is bit-identical
+//! to a sequential one. [`SimConfig::sm_jobs`] (or the `RFV_JOBS`
+//! environment variable, checked when the config leaves it `None`)
+//! forces the worker count; `1` restores the sequential path.
 
 use rfv_compiler::CompiledKernel;
 use rfv_trace::TraceEvent;
@@ -28,6 +40,10 @@ pub struct SimResult {
 
 impl SimResult {
     /// Statistics of SM 0 (the usual reporting SM).
+    ///
+    /// Always present: configurations with zero SMs are rejected with
+    /// [`SimError::BadConfig`] before any simulation runs, so every
+    /// constructed `SimResult` holds at least one SM.
     pub fn sm0(&self) -> &SimStats {
         &self.per_sm[0]
     }
@@ -95,12 +111,36 @@ pub fn simulate_traced_with_init(
     run_all(kernel, config, init, trace_capacity)
 }
 
+/// Worker threads for SM execution: the config's `sm_jobs` if set,
+/// else the `RFV_JOBS` environment variable, else the machine's
+/// available parallelism — never more than the SM count.
+fn sm_workers(config: &SimConfig) -> usize {
+    config
+        .sm_jobs
+        .or_else(|| {
+            std::env::var("RFV_JOBS")
+                .ok()
+                .and_then(|v| v.parse().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+        .min(config.num_sms)
+        .max(1)
+}
+
 fn run_all(
     kernel: &CompiledKernel,
     config: &SimConfig,
     init: &[(u64, u32)],
     trace_capacity: usize,
 ) -> Result<TracedRun, SimError> {
+    // reject zero-SM (and other degenerate) configs before the CTA
+    // distribution below divides by num_sms or reporting indexes SM 0
+    config.validate().map_err(SimError::BadConfig)?;
     let grid = kernel.kernel().launch().grid_ctas();
     let mut assignments: Vec<Vec<u32>> = vec![Vec::new(); config.num_sms];
     for cta in 0..grid {
@@ -115,10 +155,15 @@ fn run_all(
         sm.run()
     };
 
-    // SMs share no state, so they run on real threads when there is
-    // more than one
-    let results: Vec<Result<crate::sm::SmResult, SimError>> = if config.num_sms == 1 {
-        vec![run_one(0, assignments.into_iter().next().expect("one SM"))]
+    // SMs share no state, so they run on real threads when more than
+    // one worker is allowed; results are collected in SM order either
+    // way, so the merge below never sees scheduling effects
+    let results: Vec<Result<crate::sm::SmResult, SimError>> = if sm_workers(config) == 1 {
+        assignments
+            .into_iter()
+            .enumerate()
+            .map(|(sm_id, assigned)| run_one(sm_id, assigned))
+            .collect()
     } else {
         std::thread::scope(|scope| {
             let run_one = &run_one;
@@ -136,24 +181,22 @@ fn run_all(
 
     let mut per_sm = Vec::with_capacity(config.num_sms);
     let mut memories = Vec::with_capacity(config.num_sms);
-    let mut events: Vec<TraceEvent> = Vec::new();
+    let mut shards: Vec<Vec<TraceEvent>> = Vec::with_capacity(config.num_sms);
     let mut cycles = 0;
     for result in results {
-        let mut result = result?;
+        let result = result?;
         cycles = cycles.max(result.stats.cycles);
         per_sm.push(result.stats);
         memories.push(result.global);
-        events.append(&mut result.events);
+        shards.push(result.events);
     }
-    // stable sort: per-SM emission order is preserved within a cycle
-    events.sort_by_key(|e| e.cycle);
     Ok(TracedRun {
         result: SimResult {
             cycles,
             per_sm,
             memories,
         },
-        events,
+        events: rfv_trace::merge_shards(shards),
     })
 }
 

@@ -10,7 +10,7 @@ pub const SEGMENT_BYTES: u64 = 128;
 /// as a deterministic address-derived pattern so that data-dependent
 /// kernels (graph traversals, reductions over "input" arrays) behave
 /// reproducibly without explicit initialization.
-#[derive(Clone, Default, Debug)]
+#[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct GlobalMemory {
     words: HashMap<u64, u32>,
     /// Word reads served.

@@ -1,7 +1,7 @@
 //! # rfv-trace
 //!
 //! Structured event tracing and metrics for the register-file
-//! virtualization simulator. The crate has three parts:
+//! virtualization simulator. The crate has four parts:
 //!
 //! * a typed [`TraceEvent`] vocabulary ([`event`]) covering every
 //!   microarchitectural mechanism the simulator models: register
@@ -13,6 +13,9 @@
 //!   [`Sink`] the simulator threads through its hot loops. When
 //!   tracing is off the per-event cost is a single discriminant test
 //!   — callers gate event *construction* on [`Sink::enabled`];
+//! * deterministic stream merging ([`merge`]): per-SM event shards
+//!   recorded on worker threads are combined by `(cycle, sm, seq)`
+//!   into a trace bit-identical to a sequential run;
 //! * output ([`chrome`], [`metrics`], [`json`]): a streaming Chrome
 //!   trace-event JSON writer (loadable in Perfetto / `chrome://tracing`
 //!   with per-SM process tracks and per-warp thread tracks) and a
@@ -24,10 +27,12 @@
 pub mod chrome;
 pub mod event;
 pub mod json;
+pub mod merge;
 pub mod metrics;
 pub mod sink;
 
 pub use chrome::ChromeWriter;
 pub use event::{MemPhase, StallReason, TraceEvent, TraceKind};
+pub use merge::merge_shards;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{NoopSink, RingSink, Sink, TraceSink};

@@ -4,10 +4,23 @@
 //! no generic explosion through the `Sm`/`Gpu` structs) through its hot
 //! loops. Emission sites follow the pattern
 //!
-//! ```ignore
+//! ```
+//! use rfv_trace::{Sink, TraceEvent, TraceKind};
+//!
+//! let mut sink = Sink::ring(64);
+//! let (cycle, sm, slot) = (12, 0, 3);
 //! if sink.enabled() {
-//!     sink.emit(TraceEvent::warp_event(cycle, sm, slot, TraceKind::Issue { .. }));
+//!     sink.emit(TraceEvent::warp_event(
+//!         cycle,
+//!         sm,
+//!         slot,
+//!         TraceKind::Issue {
+//!             pc: 0x40,
+//!             active_lanes: 32,
+//!         },
+//!     ));
 //! }
+//! assert_eq!(sink.events().len(), 1);
 //! ```
 //!
 //! so that with [`Sink::Noop`] the entire site reduces to one

@@ -1,0 +1,135 @@
+//! Differential tests for parallel execution: threaded SM execution
+//! and the bench job pool must be *bit-identical* to sequential runs
+//! — same statistics, same memories, same Chrome trace JSON, same
+//! table rows.
+
+use rfv_bench::figures;
+use rfv_bench::harness::compile_full;
+use rfv_bench::pool;
+use rfv_sim::{simulate_traced_with_init, simulate_with_init, SimConfig, SimError};
+use rfv_trace::TraceEvent;
+use rfv_workloads::{suite, synth, PaperGeometry, SynthParams, Workload};
+
+fn chrome_json(events: &[TraceEvent]) -> String {
+    let out = rfv_trace::chrome::write_trace(Vec::new(), events).expect("in-memory write");
+    String::from_utf8(out).expect("chrome trace is utf-8")
+}
+
+/// A multi-CTA synthetic workload that keeps several SMs busy.
+fn multi_cta_workload() -> Workload {
+    let p = SynthParams {
+        regs: 24,
+        loop_trips: 6,
+        divergent_loop: true,
+        diamond: true,
+        mem_ops: 2,
+        ctas: 12,
+        threads_per_cta: 128,
+        conc_ctas: 2,
+    };
+    Workload {
+        paper: PaperGeometry {
+            name: "synth-multi-cta",
+            ctas: p.ctas,
+            threads_per_cta: p.threads_per_cta,
+            regs_per_kernel: 24,
+            conc_ctas: p.conc_ctas,
+        },
+        kernel: synth(p),
+    }
+}
+
+fn init_words() -> Vec<(u64, u32)> {
+    (0..256).map(|i| (i * 4, (i * 31) as u32)).collect()
+}
+
+/// The tentpole guarantee: a 4-SM run with SMs sharded across worker
+/// threads produces exactly the statistics, memories, trace events,
+/// and Chrome JSON of the sequential run.
+#[test]
+fn parallel_sms_bit_identical_to_sequential() {
+    for w in [multi_cta_workload(), suite::vectoradd()] {
+        let ck = compile_full(&w);
+        let mut seq_cfg = SimConfig::baseline_full();
+        seq_cfg.num_sms = 4;
+        seq_cfg.sm_jobs = Some(1);
+        let mut par_cfg = seq_cfg;
+        par_cfg.sm_jobs = Some(4);
+        let init = init_words();
+
+        let seq = simulate_traced_with_init(&ck, &seq_cfg, &init, 1 << 20).unwrap();
+        let par = simulate_traced_with_init(&ck, &par_cfg, &init, 1 << 20).unwrap();
+
+        assert_eq!(seq.result.cycles, par.result.cycles, "{}", w.name());
+        assert_eq!(seq.result.per_sm, par.result.per_sm, "{}", w.name());
+        assert_eq!(seq.result.memories, par.result.memories, "{}", w.name());
+        assert!(!seq.events.is_empty(), "{} must trace events", w.name());
+        assert_eq!(seq.events, par.events, "{}", w.name());
+        assert_eq!(
+            chrome_json(&seq.events),
+            chrome_json(&par.events),
+            "{} Chrome JSON must be byte-identical",
+            w.name()
+        );
+    }
+}
+
+/// Untraced runs go through the same sharded path; check them too.
+#[test]
+fn untraced_parallel_matches_sequential() {
+    let w = multi_cta_workload();
+    let ck = compile_full(&w);
+    let mut seq_cfg = SimConfig::gpu_shrink(50);
+    seq_cfg.num_sms = 4;
+    seq_cfg.sm_jobs = Some(1);
+    let mut par_cfg = seq_cfg;
+    par_cfg.sm_jobs = Some(4);
+    let init = init_words();
+    let seq = simulate_with_init(&ck, &seq_cfg, &init).unwrap();
+    let par = simulate_with_init(&ck, &par_cfg, &init).unwrap();
+    assert_eq!(seq.cycles, par.cycles);
+    assert_eq!(seq.per_sm, par.per_sm);
+    assert_eq!(seq.memories, par.memories);
+}
+
+/// A zero-SM configuration must be rejected with a proper error at
+/// simulation entry, not panic deep in CTA distribution or reporting.
+#[test]
+fn zero_sm_config_is_a_bad_config_error() {
+    let w = suite::vectoradd();
+    let ck = compile_full(&w);
+    let mut cfg = SimConfig::baseline_full();
+    cfg.num_sms = 0;
+    match simulate_with_init(&ck, &cfg, &[]) {
+        Err(SimError::BadConfig(msg)) => {
+            assert!(msg.contains("positive"), "unexpected message: {msg}")
+        }
+        other => panic!("expected BadConfig, got {other:?}"),
+    }
+    let mut cfg = SimConfig::baseline_full();
+    cfg.sm_jobs = Some(0);
+    assert!(matches!(
+        simulate_with_init(&ck, &cfg, &[]),
+        Err(SimError::BadConfig(_))
+    ));
+}
+
+/// The bench job pool must not change any table row: `fig10` (which
+/// feeds the figures binary and its CSVs) is replayed serially and
+/// with four workers.
+#[test]
+fn job_pool_rows_identical_across_job_counts() {
+    let ws = vec![suite::vectoradd(), suite::reduction()];
+    pool::set_jobs(1);
+    let serial = figures::fig10(&ws);
+    pool::set_jobs(4);
+    let parallel = figures::fig10(&ws);
+    pool::set_jobs(1);
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.name, p.name, "row order must be stable");
+        assert_eq!(s.alloc, p.alloc);
+        assert_eq!(s.peak_live, p.peak_live);
+        assert_eq!(s.reduction_pct.to_bits(), p.reduction_pct.to_bits());
+    }
+}
