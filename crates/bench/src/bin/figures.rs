@@ -46,10 +46,11 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: figures [FIGURE] [--csv DIR] [--jobs N]\n\
+        "usage: figures [FIGURE] [--csv DIR] [--jobs N] [--sanitize off|check|recover]\n\
          \x20 FIGURE: all (default) {}\n\
-         \x20 --csv DIR   also write each figure's data series as CSV files into DIR\n\
-         \x20 --jobs N    worker threads for the sweep pool (default: RFV_JOBS or all cores)",
+         \x20 --csv DIR       also write each figure's data series as CSV files into DIR\n\
+         \x20 --jobs N        worker threads for the sweep pool (default: RFV_JOBS or all cores)\n\
+         \x20 --sanitize L    run every sweep under the online register-file sanitizer",
         KNOWN.join(" ")
     );
     std::process::exit(2);
@@ -73,6 +74,14 @@ fn main() {
         match n.parse::<usize>() {
             Ok(n) if n >= 1 => pool::set_jobs(n),
             _ => usage(&format!("--jobs needs a positive integer, got `{n}`")),
+        }
+    }
+    if let Some(level) = take_flag(&mut args, "--sanitize") {
+        match rfv_sim::SanitizeLevel::parse(&level) {
+            Some(l) => harness::set_sanitize(l),
+            None => usage(&format!(
+                "--sanitize needs off|check|recover, got `{level}`"
+            )),
         }
     }
     // optional: `--csv DIR` dumps the data series next to the tables
@@ -125,6 +134,12 @@ fn dispatch(what: &str) {
 
 fn header(title: &str) {
     println!("=== {title} ===");
+    // echo active robustness settings so logged/CSV'd output is
+    // self-describing (figures never injects faults, only sanitizes)
+    let level = harness::sanitize_level();
+    if level.is_on() {
+        println!("[robustness] sanitizer {level}, fault plan none");
+    }
 }
 
 static CSV_DIR: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();

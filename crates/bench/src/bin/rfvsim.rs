@@ -26,6 +26,17 @@
 //! * `--stats-json <out.json>` — write the end-of-run counters,
 //!   derived gauges, and occupancy histograms as JSON.
 //!
+//! Robustness flags:
+//!
+//! * `--sanitize off|check|recover` — online register-file sanitizer
+//!   level: `check` aborts with a structured unsoundness report (exit
+//!   code 3), `recover` quarantines the offending CTA and finishes
+//!   the kernel.
+//! * `--inject KIND:N[,KIND:N...]` — seeded fault-injection plan
+//!   (e.g. `premature-release:2` or `all:1`); `--seed <n>` picks the
+//!   deterministic placement stream (default 0). Active settings are
+//!   echoed in every report header.
+//!
 //! With `--compare`, the machine label is inserted before the file
 //! extension (`trace.json` → `trace.full.json`). The compared
 //! machines run concurrently on the job pool and multi-SM
@@ -44,7 +55,9 @@ use rfv_bench::pool;
 use rfv_compiler::CompiledKernel;
 use rfv_core::VirtualizationPolicy;
 use rfv_power::model::{energy, RfGeometry};
-use rfv_sim::{simulate_traced, SimConfig, SimResult, TracedRun};
+use rfv_sim::{
+    simulate_traced, FaultPlan, SanitizeLevel, SimConfig, SimError, SimResult, TracedRun,
+};
 use rfv_trace::TraceEvent;
 use rfv_workloads::{suite, PaperGeometry, Workload};
 
@@ -58,6 +71,9 @@ struct Options {
     trace: Option<String>,
     trace_capacity: usize,
     stats_json: Option<String>,
+    sanitize: SanitizeLevel,
+    inject: Option<String>,
+    seed: u64,
 }
 
 fn usage() -> ! {
@@ -65,6 +81,9 @@ fn usage() -> ! {
         "usage: rfvsim <benchmark|file.asm> [--machine conventional|full|shrink50|shrink60|shrink75|hwonly]\n\
          \x20             [--sms N] [--jobs N] [--launch CTAS,THREADS,CONC] [--compare]\n\
          \x20             [--trace out.json] [--trace-capacity N] [--stats-json out.json]\n\
+         \x20             [--sanitize off|check|recover] [--inject KIND:N[,KIND:N...]] [--seed N]\n\
+         fault kinds: premature-release dropped-release pir-flip pbr-flip rename-corrupt\n\
+         \x20            stale-flag-hit spill-loss all\n\
          benchmarks: {}",
         suite::all()
             .iter()
@@ -88,6 +107,9 @@ fn parse_args() -> Options {
         trace: None,
         trace_capacity: 1 << 20,
         stats_json: None,
+        sanitize: SanitizeLevel::Off,
+        inject: None,
+        seed: 0,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -123,6 +145,19 @@ fn parse_args() -> Options {
                     .unwrap_or_else(|| usage())
             }
             "--stats-json" => opts.stats_json = Some(args.next().unwrap_or_else(|| usage())),
+            "--sanitize" => {
+                opts.sanitize = args
+                    .next()
+                    .and_then(|s| SanitizeLevel::parse(&s))
+                    .unwrap_or_else(|| usage())
+            }
+            "--inject" => opts.inject = Some(args.next().unwrap_or_else(|| usage())),
+            "--seed" => {
+                opts.seed = args
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             _ => usage(),
         }
     }
@@ -190,6 +225,14 @@ fn report(label: &str, ck: &CompiledKernel, cfg: &SimConfig, result: &SimResult)
             "off"
         }
     );
+    if cfg.sanitize.is_on() || !cfg.faults.is_empty() {
+        println!(
+            "  robustness   : sanitizer {}, fault plan {} (seed {})",
+            cfg.sanitize,
+            cfg.faults.summary(),
+            cfg.faults.seed
+        );
+    }
     println!(
         "  compile      : {} instrs + {} pir + {} pbr ({:.1}% static growth), {} renamed / {} exempt regs, throttle bound {}/warp",
         ck.stats().machine_instrs,
@@ -271,6 +314,20 @@ fn write_stats_json(path: &str, run: &TracedRun, cfg: &SimConfig) {
     let mut m = run.result.sm0().to_metrics();
     m.add("gpu.cycles", run.result.cycles);
     m.add("gpu.sms", cfg.num_sms as u64);
+    // robustness settings ride along so the artifact is self-describing
+    m.add("config.sanitize_level", cfg.sanitize as u64);
+    if !cfg.faults.is_empty() {
+        m.add("config.fault_seed", cfg.faults.seed);
+        for k in rfv_sim::FaultKind::ALL {
+            let planned = cfg.faults.count(k);
+            if planned > 0 {
+                m.add(
+                    &format!("config.faults_planned.{}", k.name()),
+                    planned.into(),
+                );
+            }
+        }
+    }
     for e in &run.events {
         m.record_event(e);
     }
@@ -293,11 +350,23 @@ fn main() {
     if let Some(n) = opts.jobs {
         pool::set_jobs(n);
     }
+    let faults = match &opts.inject {
+        Some(spec) => FaultPlan::parse(spec, opts.seed).unwrap_or_else(|e| {
+            eprintln!("bad --inject spec: {e}");
+            exit(2)
+        }),
+        None => FaultPlan::none(),
+    };
+    let apply = |c: &mut SimConfig| {
+        c.num_sms = opts.sms.max(1);
+        c.sm_jobs = opts.jobs;
+        c.sanitize = opts.sanitize;
+        c.faults = faults;
+    };
     let Some(mut cfg) = machine_config(&opts.machine) else {
         usage()
     };
-    cfg.num_sms = opts.sms.max(1);
-    cfg.sm_jobs = opts.jobs;
+    apply(&mut cfg);
     let w = load_workload(&opts);
 
     let machines: Vec<(&str, SimConfig)> = if opts.compare {
@@ -305,8 +374,7 @@ fn main() {
             .into_iter()
             .map(|m| {
                 let mut c = machine_config(m).expect("known machine");
-                c.num_sms = opts.sms.max(1);
-                c.sm_jobs = opts.jobs;
+                apply(&mut c);
                 (m, c)
             })
             .collect()
@@ -343,8 +411,16 @@ fn main() {
                 }
             }
             Err(e) => {
+                // a sanitizer detection under --sanitize check is the
+                // expected outcome of a fault-injection run, not an
+                // internal failure — give it its own exit code
+                let code = if matches!(e, SimError::Unsound { .. }) {
+                    3
+                } else {
+                    1
+                };
                 eprintln!("{label}: simulation failed: {e}");
-                exit(1);
+                exit(code);
             }
         }
     }

@@ -2,11 +2,31 @@
 //! configurations, runs them, and converts simulator statistics into
 //! energy-model activity.
 
+use std::sync::OnceLock;
+
 use rfv_compiler::{compile, spill_to_cap, CompileOptions, CompiledKernel};
 use rfv_core::VirtualizationPolicy;
 use rfv_power::model::RfActivity;
-use rfv_sim::{simulate, SimConfig, SimResult, SimStats};
+use rfv_sim::{simulate, SanitizeLevel, SimConfig, SimResult, SimStats};
 use rfv_workloads::Workload;
+
+/// Process-wide sanitizer override for harness-driven experiments
+/// (set once from a CLI flag before any runs start). Sweep code never
+/// threads a sanitize level through its dozens of config sites; the
+/// override is applied centrally in [`run`].
+static SANITIZE: OnceLock<SanitizeLevel> = OnceLock::new();
+
+/// Requests that every subsequent [`run`] executes under `level`.
+/// First call wins; later calls are ignored.
+pub fn set_sanitize(level: SanitizeLevel) {
+    let _ = SANITIZE.set(level);
+}
+
+/// The sanitize level harness runs execute under ([`SanitizeLevel::Off`]
+/// unless [`set_sanitize`] was called).
+pub fn sanitize_level() -> SanitizeLevel {
+    SANITIZE.get().copied().unwrap_or_default()
+}
 
 /// Compiles a workload with the paper's default 1 KB renaming-table
 /// budget (metadata embedded).
@@ -70,13 +90,19 @@ pub fn compile_spilled(w: &Workload, phys_regs: usize) -> CompiledKernel {
 }
 
 /// Runs a compiled kernel, panicking on simulator errors (used by
-/// experiments where failure means a harness bug).
+/// experiments where failure means a harness bug). The process-wide
+/// sanitize override (see [`set_sanitize`]) is applied unless the
+/// config already requests a level itself.
 ///
 /// # Panics
 ///
 /// Panics when the simulation errors.
 pub fn run(kernel: &CompiledKernel, config: &SimConfig) -> SimResult {
-    simulate(kernel, config).unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    let mut config = *config;
+    if !config.sanitize.is_on() {
+        config.sanitize = sanitize_level();
+    }
+    simulate(kernel, &config).unwrap_or_else(|e| panic!("simulation failed: {e}"))
 }
 
 /// Converts an SM's statistics into energy-model activity counts.

@@ -102,6 +102,27 @@ impl ReleaseFlagCache {
         hit
     }
 
+    /// Fault injection only: records a *stale* hit for the `pir` at
+    /// `pc` — the probe counts as a hit and the tag is installed as
+    /// if a fill had happened, even though nothing was ever decoded.
+    /// Models serving stale metadata to the decoder. Emits a
+    /// [`TraceKind::FlagCacheHit`] like a genuine hit.
+    pub fn force_hit_traced(&mut self, pc: usize, now: u64, sm: u16, warp: usize, sink: &mut Sink) {
+        self.stats.hits += 1;
+        if !self.tags.is_empty() {
+            let idx = pc % self.tags.len();
+            self.tags[idx] = Some(pc);
+        }
+        if sink.enabled() {
+            sink.emit(TraceEvent::warp_event(
+                now,
+                sm,
+                warp,
+                TraceKind::FlagCacheHit { pc: pc as u32 },
+            ));
+        }
+    }
+
     /// Probes without filling (used by the fetch stage to decide
     /// whether to skip the instruction-cache fetch).
     pub fn probe(&self, pc: usize) -> bool {

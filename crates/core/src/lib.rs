@@ -15,7 +15,10 @@
 //! * [`CtaThrottle`] — GPU-shrink's per-CTA register balance counters
 //!   that guarantee forward progress on an under-provisioned file
 //!   (§8.1);
-//! * [`RegisterFile`] — the facade combining all of the above.
+//! * [`RegisterFile`] — the facade combining all of the above;
+//! * [`Sanitizer`] — an online shadow-model checker that detects
+//!   unsound releases, aliased mappings, and table/availability
+//!   disagreement (used by the simulator's `--sanitize` modes).
 //!
 //! ```
 //! use rfv_core::{RegFileConfig, RegisterFile, WriteOutcome};
@@ -38,6 +41,7 @@ pub mod flagcache;
 pub mod gating;
 pub mod regfile;
 pub mod renaming;
+pub mod sanitize;
 pub mod throttle;
 
 pub use availability::Availability;
@@ -46,4 +50,5 @@ pub use flagcache::{FlagCacheStats, ReleaseFlagCache};
 pub use gating::SubarrayGating;
 pub use regfile::{RegFileStats, RegisterFile, StaticAllocError, WriteOutcome};
 pub use renaming::{RenamingStats, RenamingTable};
+pub use sanitize::{SanitizeLevel, Sanitizer, Violation, ViolationKind};
 pub use throttle::{CtaThrottle, ThrottleDecision};

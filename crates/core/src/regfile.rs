@@ -34,6 +34,10 @@ pub struct RegFileStats {
     pub static_allocs: u64,
     /// Allocation attempts that found no free register.
     pub alloc_failures: u64,
+    /// Frees of an already-free register (never happens absent
+    /// injected faults; the sanitizer reports these as double
+    /// releases).
+    pub double_free_attempts: u64,
     /// Peak concurrently-live physical registers.
     pub peak_live: usize,
 }
@@ -208,9 +212,16 @@ impl RegisterFile {
     }
 
     fn note_free_traced(&mut self, phys: PhysReg, now: u64, sm: u16, sink: &mut Sink) {
-        let (sa, emptied) = self.avail.free(phys);
-        if emptied {
-            self.gating.note_emptied_traced(sa, now, sm, sink);
+        match self.avail.free(phys) {
+            Some((sa, emptied)) => {
+                if emptied {
+                    self.gating.note_emptied_traced(sa, now, sm, sink);
+                }
+            }
+            // double free: tolerated (renaming-table corruption can
+            // funnel two names to one physical register); counted so
+            // the sanitizer can report it
+            None => self.stats.double_free_attempts += 1,
         }
     }
 
@@ -460,6 +471,37 @@ impl RegisterFile {
         ArchReg::all()
             .filter(|&r| self.table.peek(warp, r).is_some())
             .collect()
+    }
+
+    /// A warp's dynamic (renamed) mappings as `(arch, phys)` pairs
+    /// (the sanitizer's retirement sweep).
+    pub fn mapped_pairs(&self, warp: usize) -> Vec<(ArchReg, PhysReg)> {
+        ArchReg::all()
+            .filter_map(|r| self.table.peek(warp, r).map(|p| (r, p)))
+            .collect()
+    }
+
+    /// Whether a physical register is currently assigned in the
+    /// availability vector (sanitizer cross-check).
+    pub fn is_phys_live(&self, p: PhysReg) -> bool {
+        self.avail.is_live(p)
+    }
+
+    /// Free registers in one bank (watchdog diagnostics).
+    pub fn free_in_bank(&self, bank: BankId) -> usize {
+        self.avail.free_in_bank(bank)
+    }
+
+    /// Fault injection only: corrupts the renaming-table entry of a
+    /// mapped `(warp, reg)` to point at `phys`, returning the
+    /// previous mapping. No statistics or gating state change — the
+    /// corruption is invisible to the hardware until something reads
+    /// through it, exactly like a flipped SRAM bit.
+    pub fn inject_remap(&mut self, warp: usize, reg: ArchReg, phys: PhysReg) -> Option<PhysReg> {
+        if self.static_map[warp][reg.index()].is_some() {
+            return None;
+        }
+        self.table.corrupt(warp, reg, phys)
     }
 }
 

@@ -66,32 +66,39 @@ impl RenamingTable {
         self.map[warp][reg.index()]
     }
 
-    /// Installs a mapping.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the slot is already mapped; the register file must
-    /// release before remapping.
+    /// Installs a mapping. The slot must be unmapped (the register
+    /// file releases before remapping); this internal invariant is
+    /// checked with a `debug_assert!` only, so release builds on a
+    /// faulted machine degrade instead of aborting.
     pub fn map(&mut self, warp: usize, reg: ArchReg, phys: PhysReg) {
         self.stats.updates += 1;
         let slot = &mut self.map[warp][reg.index()];
-        assert!(
+        debug_assert!(
             slot.is_none(),
             "warp {warp} {reg} is already mapped to {:?}",
             slot.unwrap()
         );
+        if slot.is_none() {
+            self.mapped_per_warp[warp] += 1;
+        }
         *slot = Some(phys);
-        self.mapped_per_warp[warp] += 1;
+    }
+
+    /// Overwrites an existing mapping in place, returning the
+    /// previous physical register. Used only by the fault-injection
+    /// plane to model renaming-table corruption; returns `None` (and
+    /// changes nothing) when the slot is unmapped.
+    pub fn corrupt(&mut self, warp: usize, reg: ArchReg, phys: PhysReg) -> Option<PhysReg> {
+        let slot = &mut self.map[warp][reg.index()];
+        let old = (*slot)?;
+        *slot = Some(phys);
+        Some(old)
     }
 
     /// [`RenamingTable::map`], emitting a [`TraceKind::RegRename`]
     /// event. `old_phys` is the physical register this name was last
     /// mapped to (a genuine rename after release + reallocation), or
     /// [`NO_PHYS`] for a first-time binding.
-    ///
-    /// # Panics
-    ///
-    /// Panics when the slot is already mapped.
     pub fn map_traced(
         &mut self,
         warp: usize,
@@ -187,12 +194,28 @@ mod tests {
         assert!(t.release(0, ArchReg::R7).is_none());
     }
 
+    // the double-map invariant is a debug_assert! so faulted release
+    // builds degrade gracefully; check it only where it's compiled in
+    #[cfg(debug_assertions)]
     #[test]
     #[should_panic(expected = "already mapped")]
     fn double_map_panics() {
         let mut t = RenamingTable::new(1);
         t.map(0, ArchReg::R0, PhysReg::new(1));
         t.map(0, ArchReg::R0, PhysReg::new(2));
+    }
+
+    #[test]
+    fn corrupt_rewrites_only_mapped_slots() {
+        let mut t = RenamingTable::new(1);
+        assert_eq!(t.corrupt(0, ArchReg::R0, PhysReg::new(9)), None);
+        t.map(0, ArchReg::R0, PhysReg::new(1));
+        assert_eq!(
+            t.corrupt(0, ArchReg::R0, PhysReg::new(9)),
+            Some(PhysReg::new(1))
+        );
+        assert_eq!(t.peek(0, ArchReg::R0), Some(PhysReg::new(9)));
+        assert_eq!(t.mapped_count(0), 1, "corruption is content-only");
     }
 
     #[test]

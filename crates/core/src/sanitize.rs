@@ -1,0 +1,516 @@
+//! Online register-file sanitizer: a shadow model of *architectural
+//! intent* checked against the (possibly faulted) hardware structures.
+//!
+//! The virtualization scheme is only sound if early release never
+//! frees a live register and the renaming table, availability
+//! vectors, and flag metadata never disagree. The sanitizer maintains
+//! an independent shadow map — which architectural register of which
+//! warp *should* currently own which physical register — updated only
+//! at points of architectural intent (a genuine allocation, a
+//! metadata-directed release, a warp retirement). The simulator then
+//! asks the sanitizer to compare the hardware's answer against the
+//! shadow at every operand read and write.
+//!
+//! Crucially, injected faults (see `rfv-faults`) perturb the hardware
+//! structures *without* updating the shadow, so every divergence the
+//! checks report corresponds to a real unsoundness a program could
+//! observe.
+
+use std::fmt;
+
+use rfv_isa::{ArchReg, PhysReg, MAX_REGS_PER_THREAD};
+
+/// Sentinel: no shadow mapping.
+const UNMAPPED: u32 = u32::MAX;
+
+/// How much online checking the simulator performs.
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub enum SanitizeLevel {
+    /// No checking: the shadow model is not even built. Bit-identical
+    /// to a simulator without the sanitizer.
+    #[default]
+    Off,
+    /// Detect violations and abort the simulation with a structured
+    /// error (no panics).
+    Check,
+    /// Detect violations, quarantine the offending warp's CTA, and
+    /// let the rest of the kernel finish.
+    Recover,
+}
+
+impl SanitizeLevel {
+    /// Whether any checking is active.
+    pub fn is_on(self) -> bool {
+        self != SanitizeLevel::Off
+    }
+
+    /// Stable lower-case label for CLI parsing and run headers.
+    pub fn label(self) -> &'static str {
+        match self {
+            SanitizeLevel::Off => "off",
+            SanitizeLevel::Check => "check",
+            SanitizeLevel::Recover => "recover",
+        }
+    }
+
+    /// Parses the spelling produced by [`SanitizeLevel::label`].
+    pub fn parse(s: &str) -> Option<SanitizeLevel> {
+        [
+            SanitizeLevel::Off,
+            SanitizeLevel::Check,
+            SanitizeLevel::Recover,
+        ]
+        .into_iter()
+        .find(|l| l.label() == s)
+    }
+}
+
+impl fmt::Display for SanitizeLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The class of unsoundness detected.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum ViolationKind {
+    /// An operand read of a register whose physical backing was
+    /// released while the architectural value was still live.
+    UseAfterRelease,
+    /// The renaming table answers a different physical register than
+    /// the architectural intent established (table corruption).
+    MappingMismatch,
+    /// A freshly allocated physical register is still architecturally
+    /// owned by another (warp, register) pair.
+    AliasedPhys,
+    /// The renaming table maps to a physical register the
+    /// availability vector considers free.
+    AvailDisagree,
+    /// A physical register was freed twice (availability-level
+    /// double release).
+    DoubleFree,
+    /// At warp retirement, a register the metadata released was still
+    /// mapped in hardware (a swallowed release).
+    DroppedRelease,
+    /// Physical registers were still live after the kernel completed.
+    RegisterLeak,
+    /// A swapped-out register's spill value was lost before swap-in.
+    SpillLoss,
+}
+
+impl ViolationKind {
+    /// Stable lower-case label for error messages and metrics.
+    pub fn label(self) -> &'static str {
+        match self {
+            ViolationKind::UseAfterRelease => "use_after_release",
+            ViolationKind::MappingMismatch => "mapping_mismatch",
+            ViolationKind::AliasedPhys => "aliased_phys",
+            ViolationKind::AvailDisagree => "avail_disagree",
+            ViolationKind::DoubleFree => "double_free",
+            ViolationKind::DroppedRelease => "dropped_release",
+            ViolationKind::RegisterLeak => "register_leak",
+            ViolationKind::SpillLoss => "spill_loss",
+        }
+    }
+}
+
+/// One detected unsoundness, with enough context to debug it from the
+/// error alone.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct Violation {
+    /// What went wrong.
+    pub kind: ViolationKind,
+    /// Cycle of detection.
+    pub cycle: u64,
+    /// Warp slot the violation was detected on (`usize::MAX` for
+    /// SM-scoped checks such as the end-of-kernel leak sweep).
+    pub warp: usize,
+    /// Architectural register involved (`u16::MAX` when not
+    /// register-specific).
+    pub reg: u16,
+    /// Physical register involved (`u32::MAX` when unknown).
+    pub phys: u32,
+}
+
+impl Violation {
+    /// Sentinel warp for SM-scoped violations.
+    pub const NO_WARP: usize = usize::MAX;
+    /// Sentinel architectural register.
+    pub const NO_REG: u16 = u16::MAX;
+    /// Sentinel physical register.
+    pub const NO_PHYS: u32 = u32::MAX;
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} at cycle {}", self.kind.label(), self.cycle)?;
+        if self.warp != Violation::NO_WARP {
+            write!(f, ", warp slot {}", self.warp)?;
+        }
+        if self.reg != Violation::NO_REG {
+            write!(f, ", r{}", self.reg)?;
+        }
+        if self.phys != Violation::NO_PHYS {
+            write!(f, ", phys {}", self.phys)?;
+        }
+        Ok(())
+    }
+}
+
+/// The shadow model plus its checks. One per SM.
+#[derive(Clone, Debug)]
+pub struct Sanitizer {
+    level: SanitizeLevel,
+    /// Architectural intent: `shadow[warp][reg]` is the physical
+    /// register this name should own ([`UNMAPPED`] when dead).
+    shadow: Vec<[u32; MAX_REGS_PER_THREAD]>,
+    /// Reverse map: which (warp, reg) architecturally owns a physical
+    /// register.
+    owner: Vec<Option<(u16, u8)>>,
+    detections: u64,
+}
+
+impl Sanitizer {
+    /// Builds a sanitizer for an SM with `warp_slots` warp contexts
+    /// and `phys_regs` physical registers. At `SanitizeLevel::Off`
+    /// the shadow structures are left empty and every method is a
+    /// cheap no-op.
+    pub fn new(level: SanitizeLevel, warp_slots: usize, phys_regs: usize) -> Sanitizer {
+        let (shadow, owner) = if level.is_on() {
+            (
+                vec![[UNMAPPED; MAX_REGS_PER_THREAD]; warp_slots],
+                vec![None; phys_regs],
+            )
+        } else {
+            (Vec::new(), Vec::new())
+        };
+        Sanitizer {
+            level,
+            shadow,
+            owner,
+            detections: 0,
+        }
+    }
+
+    /// The configured level.
+    pub fn level(&self) -> SanitizeLevel {
+        self.level
+    }
+
+    /// Whether checks run at all.
+    pub fn enabled(&self) -> bool {
+        self.level.is_on()
+    }
+
+    /// Violations detected so far.
+    pub fn detections(&self) -> u64 {
+        self.detections
+    }
+
+    fn detect(&mut self, v: Violation) -> Option<Violation> {
+        self.detections += 1;
+        Some(v)
+    }
+
+    /// Records an intended mapping (fresh allocation at a write,
+    /// static launch mapping, or swap-in) and checks that the
+    /// physical register is not still architecturally owned
+    /// elsewhere. A reported alias identifies the *victim* — the
+    /// (warp, register) whose live backing store was stolen — since
+    /// that is the state recovery must retire.
+    pub fn note_map(
+        &mut self,
+        warp: usize,
+        reg: ArchReg,
+        phys: PhysReg,
+        cycle: u64,
+    ) -> Option<Violation> {
+        if !self.enabled() {
+            return None;
+        }
+        // tear down this name's previous ownership (write-after-
+        // release reallocation is architecturally a plain rename)
+        let old = self.shadow[warp][reg.index()];
+        if old != UNMAPPED {
+            if let Some(o) = self.owner.get_mut(old as usize) {
+                if *o == Some((warp as u16, reg.raw())) {
+                    *o = None;
+                }
+            }
+        }
+        let p = phys.index();
+        let victim = match self.owner.get(p).copied().flatten() {
+            Some((w2, r2))
+                if (w2 as usize, r2 as usize) != (warp, reg.index())
+                    && self.shadow[w2 as usize][r2 as usize] == p as u32 =>
+            {
+                Some((w2, r2))
+            }
+            _ => None,
+        };
+        self.shadow[warp][reg.index()] = p as u32;
+        if let Some(o) = self.owner.get_mut(p) {
+            *o = Some((warp as u16, reg.raw()));
+        }
+        if let Some((w2, r2)) = victim {
+            return self.detect(Violation {
+                kind: ViolationKind::AliasedPhys,
+                cycle,
+                warp: w2 as usize,
+                reg: u16::from(r2),
+                phys: p as u32,
+            });
+        }
+        None
+    }
+
+    /// Records an intended release (metadata-directed early release,
+    /// or a scheduler-driven spill that architecturally parks the
+    /// value elsewhere). Idempotent, like the hardware release path.
+    pub fn note_release(&mut self, warp: usize, reg: ArchReg) {
+        if !self.enabled() {
+            return;
+        }
+        let old = self.shadow[warp][reg.index()];
+        if old != UNMAPPED {
+            self.shadow[warp][reg.index()] = UNMAPPED;
+            if let Some(o) = self.owner.get_mut(old as usize) {
+                if *o == Some((warp as u16, reg.raw())) {
+                    *o = None;
+                }
+            }
+        }
+    }
+
+    /// Drops every shadow mapping of a warp (retirement or
+    /// quarantine).
+    pub fn note_retire(&mut self, warp: usize) {
+        if !self.enabled() {
+            return;
+        }
+        for reg in ArchReg::all() {
+            self.note_release(warp, reg);
+        }
+    }
+
+    /// Checks one operand read: `table` is the renaming answer and
+    /// `live` whether that physical register is marked assigned in
+    /// the availability vector.
+    pub fn check_read(
+        &mut self,
+        warp: usize,
+        reg: ArchReg,
+        table: Option<PhysReg>,
+        live: bool,
+        cycle: u64,
+    ) -> Option<Violation> {
+        if !self.enabled() {
+            return None;
+        }
+        let shadow = self.shadow[warp][reg.index()];
+        let v = |kind, phys| Violation {
+            kind,
+            cycle,
+            warp,
+            reg: reg.raw() as u16,
+            phys,
+        };
+        match table {
+            None if shadow != UNMAPPED => self.detect(v(ViolationKind::UseAfterRelease, shadow)),
+            Some(p) if shadow != UNMAPPED && p.index() as u32 != shadow => {
+                self.detect(v(ViolationKind::MappingMismatch, p.index() as u32))
+            }
+            Some(p) if !live => self.detect(v(ViolationKind::AvailDisagree, p.index() as u32)),
+            _ => None,
+        }
+    }
+
+    /// Checks a warp's residual hardware mappings at retirement:
+    /// anything still mapped in the table that the shadow already
+    /// released is a swallowed (dropped) release.
+    pub fn check_retire(
+        &mut self,
+        warp: usize,
+        still_mapped: &[(ArchReg, PhysReg)],
+        cycle: u64,
+    ) -> Option<Violation> {
+        if !self.enabled() {
+            return None;
+        }
+        for &(reg, phys) in still_mapped {
+            if self.shadow[warp][reg.index()] == UNMAPPED {
+                return self.detect(Violation {
+                    kind: ViolationKind::DroppedRelease,
+                    cycle,
+                    warp,
+                    reg: reg.raw() as u16,
+                    phys: phys.index() as u32,
+                });
+            }
+        }
+        None
+    }
+
+    /// End-of-kernel sweep: with all warps retired, no physical
+    /// register may remain live.
+    pub fn check_leak(&mut self, live_regs: usize, cycle: u64) -> Option<Violation> {
+        if !self.enabled() || live_regs == 0 {
+            return None;
+        }
+        self.detect(Violation {
+            kind: ViolationKind::RegisterLeak,
+            cycle,
+            warp: Violation::NO_WARP,
+            reg: Violation::NO_REG,
+            phys: Violation::NO_PHYS,
+        })
+    }
+
+    /// Reports an externally observed violation (availability-level
+    /// double free, lost spill value) through the same counting path.
+    pub fn report(&mut self, v: Violation) -> Option<Violation> {
+        if !self.enabled() {
+            return None;
+        }
+        self.detect(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn san() -> Sanitizer {
+        Sanitizer::new(SanitizeLevel::Check, 8, 64)
+    }
+
+    #[test]
+    fn off_level_is_inert() {
+        let mut s = Sanitizer::new(SanitizeLevel::Off, 8, 64);
+        assert!(!s.enabled());
+        assert!(s.note_map(0, ArchReg::R1, PhysReg::new(3), 0).is_none());
+        assert!(s.check_read(0, ArchReg::R1, None, false, 1).is_none());
+        assert_eq!(s.detections(), 0);
+    }
+
+    #[test]
+    fn clean_lifecycle_has_no_violations() {
+        let mut s = san();
+        let p = PhysReg::new(7);
+        assert!(s.note_map(0, ArchReg::R2, p, 0).is_none());
+        assert!(s.check_read(0, ArchReg::R2, Some(p), true, 1).is_none());
+        s.note_release(0, ArchReg::R2);
+        // released register re-read through a fresh mapping is clean
+        let p2 = PhysReg::new(9);
+        assert!(s.note_map(0, ArchReg::R2, p2, 2).is_none());
+        assert!(s.check_read(0, ArchReg::R2, Some(p2), true, 3).is_none());
+        assert_eq!(s.detections(), 0);
+    }
+
+    #[test]
+    fn premature_release_is_use_after_release() {
+        let mut s = san();
+        let p = PhysReg::new(5);
+        s.note_map(1, ArchReg::R3, p, 0);
+        // hardware lost the mapping (injected premature release): the
+        // shadow still says R3 is live
+        let v = s.check_read(1, ArchReg::R3, None, false, 4).unwrap();
+        assert_eq!(v.kind, ViolationKind::UseAfterRelease);
+        assert_eq!(v.warp, 1);
+        assert_eq!(v.reg, 3);
+        assert_eq!(s.detections(), 1);
+        assert!(format!("{v}").contains("use_after_release"));
+    }
+
+    #[test]
+    fn corrupted_mapping_is_mismatch() {
+        let mut s = san();
+        s.note_map(0, ArchReg::R1, PhysReg::new(10), 0);
+        let v = s
+            .check_read(0, ArchReg::R1, Some(PhysReg::new(11)), true, 2)
+            .unwrap();
+        assert_eq!(v.kind, ViolationKind::MappingMismatch);
+    }
+
+    #[test]
+    fn table_pointing_at_free_register_disagrees() {
+        let mut s = san();
+        s.note_map(0, ArchReg::R1, PhysReg::new(10), 0);
+        let v = s
+            .check_read(0, ArchReg::R1, Some(PhysReg::new(10)), false, 2)
+            .unwrap();
+        assert_eq!(v.kind, ViolationKind::AvailDisagree);
+    }
+
+    #[test]
+    fn alias_detected_when_freed_register_is_reallocated() {
+        let mut s = san();
+        let p = PhysReg::new(20);
+        s.note_map(0, ArchReg::R4, p, 0);
+        // a premature release freed p behind the shadow's back; a new
+        // warp now allocates it while warp 0 still owns it — the
+        // violation names the victim, warp 0's R4
+        let v = s.note_map(2, ArchReg::R0, p, 5).unwrap();
+        assert_eq!(v.kind, ViolationKind::AliasedPhys);
+        assert_eq!(v.warp, 0);
+        assert_eq!(v.reg, 4);
+    }
+
+    #[test]
+    fn legitimate_reallocation_after_release_is_clean() {
+        let mut s = san();
+        let p = PhysReg::new(20);
+        s.note_map(0, ArchReg::R4, p, 0);
+        s.note_release(0, ArchReg::R4);
+        assert!(s.note_map(2, ArchReg::R0, p, 5).is_none());
+    }
+
+    #[test]
+    fn dropped_release_caught_at_retirement() {
+        let mut s = san();
+        let p = PhysReg::new(8);
+        s.note_map(0, ArchReg::R2, p, 0);
+        s.note_release(0, ArchReg::R2);
+        // the hardware release was swallowed: the table still maps R2
+        let v = s.check_retire(0, &[(ArchReg::R2, p)], 9).unwrap();
+        assert_eq!(v.kind, ViolationKind::DroppedRelease);
+        // a register the shadow still considers live is fine to see
+        s.note_map(1, ArchReg::R5, PhysReg::new(9), 10);
+        assert!(s
+            .check_retire(1, &[(ArchReg::R5, PhysReg::new(9))], 11)
+            .is_none());
+    }
+
+    #[test]
+    fn leak_sweep_fires_only_on_leftovers() {
+        let mut s = san();
+        assert!(s.check_leak(0, 100).is_none());
+        let v = s.check_leak(3, 100).unwrap();
+        assert_eq!(v.kind, ViolationKind::RegisterLeak);
+        assert_eq!(v.warp, Violation::NO_WARP);
+    }
+
+    #[test]
+    fn retire_clears_shadow_state() {
+        let mut s = san();
+        let p = PhysReg::new(12);
+        s.note_map(0, ArchReg::R1, p, 0);
+        s.note_retire(0);
+        assert!(s.note_map(1, ArchReg::R2, p, 1).is_none(), "no stale alias");
+        assert!(s.check_read(0, ArchReg::R1, None, false, 2).is_none());
+    }
+
+    #[test]
+    fn levels_parse_and_display() {
+        for l in [
+            SanitizeLevel::Off,
+            SanitizeLevel::Check,
+            SanitizeLevel::Recover,
+        ] {
+            assert_eq!(SanitizeLevel::parse(l.label()), Some(l));
+            assert_eq!(format!("{l}"), l.label());
+        }
+        assert_eq!(SanitizeLevel::parse("paranoid"), None);
+        assert_eq!(SanitizeLevel::default(), SanitizeLevel::Off);
+    }
+}

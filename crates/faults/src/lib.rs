@@ -1,0 +1,415 @@
+//! rfv-faults — a deterministic, seeded fault-injection plane.
+//!
+//! The simulator's correctness argument rests on early release never
+//! freeing a live register. This crate provides the *attack side* of
+//! that argument: a [`FaultPlan`] describes which microarchitectural
+//! faults to inject (premature release, dropped release, metadata
+//! bit-flips, renaming-table corruption, stale flag-cache hits, spill
+//! write loss) and a [`FaultInjector`] decides — reproducibly, from a
+//! seed — exactly which dynamic occurrences of each site get
+//! perturbed.
+//!
+//! The crate is zero-dependency and knows nothing about the
+//! simulator: the simulator asks [`FaultInjector::should_fire`] at
+//! each candidate site and applies the perturbation itself.
+//!
+//! Determinism contract: the firing pattern is a pure function of
+//! `(seed, kind, occurrence number)`. Two runs with the same plan and
+//! the same sequence of `should_fire` calls observe the same faults,
+//! regardless of wall clock, thread scheduling, or allocation order.
+
+/// The kinds of fault the plane can inject.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Debug)]
+pub enum FaultKind {
+    /// Release a register that the architectural intent still holds
+    /// live (the paper's cardinal sin: an unsound early release).
+    PrematureRelease,
+    /// Swallow a release that should have happened (leaks physical
+    /// registers; starves the throttle).
+    DroppedRelease,
+    /// Flip a per-instruction release (pir) flag bit at decode.
+    PirFlagFlip,
+    /// Flip a pbr bulk-release decision at decode.
+    PbrFlagFlip,
+    /// Corrupt a renaming-table entry (point an arch reg at a
+    /// different physical register).
+    RenameCorrupt,
+    /// Report a flag-cache hit for a line that was never filled
+    /// (stale metadata served to the decoder).
+    StaleFlagCacheHit,
+    /// Drop a spill write on the floor during a register swap-out.
+    SpillWriteLoss,
+}
+
+/// Number of distinct [`FaultKind`]s.
+pub const NUM_FAULT_KINDS: usize = 7;
+
+impl FaultKind {
+    /// Every kind, in a fixed canonical order.
+    pub const ALL: [FaultKind; NUM_FAULT_KINDS] = [
+        FaultKind::PrematureRelease,
+        FaultKind::DroppedRelease,
+        FaultKind::PirFlagFlip,
+        FaultKind::PbrFlagFlip,
+        FaultKind::RenameCorrupt,
+        FaultKind::StaleFlagCacheHit,
+        FaultKind::SpillWriteLoss,
+    ];
+
+    /// Stable index into per-kind arrays.
+    pub fn index(self) -> usize {
+        match self {
+            FaultKind::PrematureRelease => 0,
+            FaultKind::DroppedRelease => 1,
+            FaultKind::PirFlagFlip => 2,
+            FaultKind::PbrFlagFlip => 3,
+            FaultKind::RenameCorrupt => 4,
+            FaultKind::StaleFlagCacheHit => 5,
+            FaultKind::SpillWriteLoss => 6,
+        }
+    }
+
+    /// The CLI / trace spelling of this kind.
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultKind::PrematureRelease => "premature-release",
+            FaultKind::DroppedRelease => "dropped-release",
+            FaultKind::PirFlagFlip => "pir-flip",
+            FaultKind::PbrFlagFlip => "pbr-flip",
+            FaultKind::RenameCorrupt => "rename-corrupt",
+            FaultKind::StaleFlagCacheHit => "stale-flag-hit",
+            FaultKind::SpillWriteLoss => "spill-loss",
+        }
+    }
+
+    /// Parses the CLI spelling produced by [`FaultKind::name`].
+    pub fn parse(s: &str) -> Option<FaultKind> {
+        FaultKind::ALL.into_iter().find(|k| k.name() == s)
+    }
+}
+
+impl std::fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A declarative fault-injection plan: a seed plus, per kind, how
+/// many faults to inject over the run. `Copy` so it can ride inside
+/// `SimConfig` unchanged; all mutable injection state lives in
+/// [`FaultInjector`].
+#[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
+pub struct FaultPlan {
+    /// Seed for the per-kind firing streams.
+    pub seed: u64,
+    counts: [u16; NUM_FAULT_KINDS],
+}
+
+impl FaultPlan {
+    /// The empty plan: inject nothing.
+    pub fn none() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// A plan injecting `count` faults of a single kind.
+    pub fn single(kind: FaultKind, count: u16, seed: u64) -> FaultPlan {
+        FaultPlan::none().with(kind, count).seeded(seed)
+    }
+
+    /// Builder: sets the injection count for `kind`.
+    pub fn with(mut self, kind: FaultKind, count: u16) -> FaultPlan {
+        self.counts[kind.index()] = count;
+        self
+    }
+
+    /// Builder: sets the seed.
+    pub fn seeded(mut self, seed: u64) -> FaultPlan {
+        self.seed = seed;
+        self
+    }
+
+    /// Parses a CLI spec: a comma-separated list of `kind` or
+    /// `kind:count` entries (count defaults to 1), where `kind` is a
+    /// [`FaultKind::name`] or the wildcard `all`.
+    ///
+    /// ```
+    /// use rfv_faults::{FaultKind, FaultPlan};
+    /// let p = FaultPlan::parse("premature-release:3,rename-corrupt", 42).unwrap();
+    /// assert_eq!(p.count(FaultKind::PrematureRelease), 3);
+    /// assert_eq!(p.count(FaultKind::RenameCorrupt), 1);
+    /// assert_eq!(p.seed, 42);
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable message for unknown kinds or
+    /// malformed counts.
+    pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
+        let mut plan = FaultPlan::none().seeded(seed);
+        for entry in spec.split(',').filter(|e| !e.is_empty()) {
+            let (name, count) = match entry.split_once(':') {
+                Some((name, n)) => {
+                    let count: u16 = n
+                        .parse()
+                        .map_err(|_| format!("bad fault count in `{entry}`"))?;
+                    (name, count)
+                }
+                None => (entry, 1),
+            };
+            if name == "all" {
+                for k in FaultKind::ALL {
+                    plan.counts[k.index()] = count;
+                }
+            } else {
+                let kind = FaultKind::parse(name).ok_or_else(|| {
+                    format!(
+                        "unknown fault kind `{name}` (expected one of: all {})",
+                        FaultKind::ALL.map(FaultKind::name).join(" ")
+                    )
+                })?;
+                plan.counts[kind.index()] = count;
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Number of faults of `kind` this plan injects.
+    pub fn count(&self, kind: FaultKind) -> u16 {
+        self.counts[kind.index()]
+    }
+
+    /// True when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.counts.iter().all(|&c| c == 0)
+    }
+
+    /// The CLI spelling of this plan (`none` when empty), suitable
+    /// for run headers and JSON artifacts.
+    pub fn summary(&self) -> String {
+        if self.is_empty() {
+            return "none".to_string();
+        }
+        FaultKind::ALL
+            .into_iter()
+            .filter(|&k| self.count(k) > 0)
+            .map(|k| format!("{}:{}", k.name(), self.count(k)))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+/// Sebastiano Vigna's splitmix64: a tiny, statistically solid step
+/// function used here purely for reproducible fault placement.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One kind's firing stream: fires `remaining` times, at occurrence
+/// numbers spaced by seeded pseudo-random gaps.
+#[derive(Clone, Debug)]
+struct Stream {
+    rng: u64,
+    seen: u64,
+    next_at: u64,
+    remaining: u16,
+    fired: u64,
+}
+
+impl Stream {
+    fn new(seed: u64, kind: FaultKind, count: u16) -> Stream {
+        // decorrelate kinds sharing a seed: fold the kind index into
+        // the stream state before the first draw
+        let mut rng = seed ^ (kind.index() as u64 + 1).wrapping_mul(0xa076_1d64_78bd_642f);
+        let first = 1 + splitmix64(&mut rng) % 8;
+        Stream {
+            rng,
+            seen: 0,
+            next_at: first,
+            remaining: count,
+            fired: 0,
+        }
+    }
+
+    fn should_fire(&mut self) -> bool {
+        if self.remaining == 0 {
+            return false;
+        }
+        self.seen += 1;
+        if self.seen < self.next_at {
+            return false;
+        }
+        self.remaining -= 1;
+        self.fired += 1;
+        self.next_at = self.seen + 1 + splitmix64(&mut self.rng) % 32;
+        true
+    }
+}
+
+/// The runtime half of the plane: owns per-kind pseudo-random
+/// streams and answers "does this dynamic occurrence get faulted?".
+#[derive(Clone, Debug)]
+pub struct FaultInjector {
+    streams: Vec<Stream>,
+}
+
+impl FaultInjector {
+    /// Builds an injector executing `plan`.
+    pub fn new(plan: &FaultPlan) -> FaultInjector {
+        FaultInjector {
+            streams: FaultKind::ALL
+                .into_iter()
+                .map(|k| Stream::new(plan.seed, k, plan.count(k)))
+                .collect(),
+        }
+    }
+
+    /// Reports — and consumes — whether the current dynamic
+    /// occurrence of a `kind` site should be faulted. Call exactly
+    /// once per candidate site, in program order.
+    pub fn should_fire(&mut self, kind: FaultKind) -> bool {
+        self.streams[kind.index()].should_fire()
+    }
+
+    /// A deterministic choice in `0..n` for parameterizing a fault
+    /// (e.g. which register to corrupt). Draws from the kind's
+    /// stream so the choice is reproducible.
+    pub fn pick(&mut self, kind: FaultKind, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (splitmix64(&mut self.streams[kind.index()].rng) % n as u64) as usize
+    }
+
+    /// Faults of `kind` fired so far.
+    pub fn fired(&self, kind: FaultKind) -> u64 {
+        self.streams[kind.index()].fired
+    }
+
+    /// Total faults fired across all kinds.
+    pub fn total_fired(&self) -> u64 {
+        self.streams.iter().map(|s| s.fired).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips() {
+        let p = FaultPlan::parse("premature-release:2,spill-loss", 7).unwrap();
+        assert_eq!(p.count(FaultKind::PrematureRelease), 2);
+        assert_eq!(p.count(FaultKind::SpillWriteLoss), 1);
+        assert_eq!(p.count(FaultKind::DroppedRelease), 0);
+        assert_eq!(p.seed, 7);
+        assert_eq!(p.summary(), "premature-release:2,spill-loss:1");
+        let again = FaultPlan::parse(&p.summary(), 7).unwrap();
+        assert_eq!(again, p);
+    }
+
+    #[test]
+    fn parse_all_wildcard() {
+        let p = FaultPlan::parse("all:3", 0).unwrap();
+        for k in FaultKind::ALL {
+            assert_eq!(p.count(k), 3);
+        }
+        assert!(!p.is_empty());
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("no-such-fault", 0).is_err());
+        assert!(FaultPlan::parse("premature-release:lots", 0).is_err());
+        assert_eq!(FaultPlan::parse("", 0).unwrap(), FaultPlan::none());
+        assert_eq!(FaultPlan::none().summary(), "none");
+    }
+
+    #[test]
+    fn firing_is_deterministic_and_bounded() {
+        let plan = FaultPlan::single(FaultKind::PrematureRelease, 5, 1234);
+        let fire = |mut inj: FaultInjector| -> Vec<u64> {
+            let mut hits = Vec::new();
+            for occurrence in 0..10_000u64 {
+                if inj.should_fire(FaultKind::PrematureRelease) {
+                    hits.push(occurrence);
+                }
+            }
+            assert_eq!(inj.fired(FaultKind::PrematureRelease), hits.len() as u64);
+            hits
+        };
+        let a = fire(FaultInjector::new(&plan));
+        let b = fire(FaultInjector::new(&plan));
+        assert_eq!(a, b, "same seed, same firing pattern");
+        assert_eq!(a.len(), 5, "exactly the planned count fires");
+    }
+
+    #[test]
+    fn seeds_move_the_firing_points() {
+        let hits = |seed: u64| -> Vec<u64> {
+            let plan = FaultPlan::single(FaultKind::DroppedRelease, 4, seed);
+            let mut inj = FaultInjector::new(&plan);
+            (0..1000u64)
+                .filter(|_| inj.should_fire(FaultKind::DroppedRelease))
+                .collect()
+        };
+        assert_ne!(hits(1), hits(2));
+    }
+
+    #[test]
+    fn kinds_are_decorrelated() {
+        let plan = FaultPlan::none()
+            .with(FaultKind::PirFlagFlip, 3)
+            .with(FaultKind::PbrFlagFlip, 3)
+            .seeded(99);
+        let mut inj = FaultInjector::new(&plan);
+        let mut pir = Vec::new();
+        let mut pbr = Vec::new();
+        for occurrence in 0..1000u64 {
+            if inj.should_fire(FaultKind::PirFlagFlip) {
+                pir.push(occurrence);
+            }
+            if inj.should_fire(FaultKind::PbrFlagFlip) {
+                pbr.push(occurrence);
+            }
+        }
+        assert_ne!(pir, pbr, "same seed, different kinds, different points");
+        assert_eq!(inj.total_fired(), 6);
+    }
+
+    #[test]
+    fn empty_plan_never_fires() {
+        let mut inj = FaultInjector::new(&FaultPlan::none());
+        for _ in 0..100 {
+            for k in FaultKind::ALL {
+                assert!(!inj.should_fire(k));
+            }
+        }
+        assert_eq!(inj.total_fired(), 0);
+    }
+
+    #[test]
+    fn pick_is_in_range_and_deterministic() {
+        let plan = FaultPlan::single(FaultKind::RenameCorrupt, 1, 5);
+        let mut a = FaultInjector::new(&plan);
+        let mut b = FaultInjector::new(&plan);
+        for n in 1..50 {
+            let x = a.pick(FaultKind::RenameCorrupt, n);
+            assert!(x < n);
+            assert_eq!(x, b.pick(FaultKind::RenameCorrupt, n));
+        }
+        assert_eq!(a.pick(FaultKind::RenameCorrupt, 0), 0, "degenerate range");
+    }
+
+    #[test]
+    fn names_parse_back() {
+        for k in FaultKind::ALL {
+            assert_eq!(FaultKind::parse(k.name()), Some(k));
+            assert_eq!(format!("{k}"), k.name());
+        }
+        assert_eq!(FaultKind::parse("bogus"), None);
+    }
+}

@@ -1,6 +1,7 @@
 //! Simulator configuration (the paper's §9 baseline machine).
 
-use rfv_core::RegFileConfig;
+use rfv_core::{RegFileConfig, SanitizeLevel};
+use rfv_faults::FaultPlan;
 
 /// Timing and capacity parameters for one simulated GPU.
 ///
@@ -52,6 +53,13 @@ pub struct SimConfig {
     /// SMs share no state, so the result is bit-identical either way
     /// (see `gpu::run_all`).
     pub sm_jobs: Option<usize>,
+    /// Online soundness checking of the virtualized register file
+    /// (shadow-model sanitizer). At [`SanitizeLevel::Off`] — the
+    /// default — the run is bit-identical to a sanitizer-free build.
+    pub sanitize: SanitizeLevel,
+    /// Deterministic fault-injection plan perturbing the release
+    /// machinery (see `rfv_faults`). Empty by default.
+    pub faults: FaultPlan,
 }
 
 impl SimConfig {
@@ -75,6 +83,8 @@ impl SimConfig {
             snapshot_at_cycle: None,
             max_cycles: 80_000_000,
             sm_jobs: None,
+            sanitize: SanitizeLevel::Off,
+            faults: FaultPlan::none(),
         }
     }
 

@@ -174,7 +174,7 @@ fn run_all(
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("SM thread panicked"))
+                .map(|h| h.join().unwrap_or(Err(SimError::WorkerPanic)))
                 .collect()
         })
     };

@@ -54,5 +54,10 @@ pub use gpu::{
     simulate, simulate_traced, simulate_traced_with_init, simulate_with_init, SimResult, TracedRun,
 };
 pub use memory::GlobalMemory;
-pub use sm::{SimError, Sm, SmResult};
+pub use sm::{SimError, Sm, SmResult, WarpDiag, WatchdogSnapshot};
 pub use stats::{RegTraceEvent, Sample, SimStats};
+
+// re-exported so simulator users can configure sanitizing and fault
+// injection without naming the leaf crates
+pub use rfv_core::{SanitizeLevel, Violation, ViolationKind};
+pub use rfv_faults::{FaultKind, FaultPlan};

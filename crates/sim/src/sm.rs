@@ -8,12 +8,13 @@ use std::fmt;
 
 use rfv_compiler::CompiledKernel;
 use rfv_core::{
-    CtaThrottle, RegisterFile, ReleaseFlagCache, ThrottleDecision, VirtualizationPolicy,
-    WriteOutcome,
+    CtaThrottle, RegisterFile, ReleaseFlagCache, SanitizeLevel, Sanitizer, ThrottleDecision,
+    Violation, ViolationKind, VirtualizationPolicy, WriteOutcome,
 };
+use rfv_faults::{FaultInjector, FaultKind};
 use rfv_isa::kernel::ProgItem;
-use rfv_isa::{ArchReg, Instr, Opcode, Operand, Special, WARP_SIZE};
-use rfv_trace::{MemPhase, Sink, StallReason, TraceEvent, TraceKind};
+use rfv_isa::{ArchReg, BankId, Instr, Opcode, Operand, PhysReg, Special, WARP_SIZE};
+use rfv_trace::{FaultLabel, MemPhase, Sink, StallReason, TraceEvent, TraceKind};
 
 use crate::config::SimConfig;
 use crate::memory::{coalesce_count, GlobalMemory, LocalMemory, SharedMemory};
@@ -36,13 +37,27 @@ pub enum SimError {
         capacity: usize,
     },
     /// The watchdog cycle limit was exceeded (a deadlock or runaway
-    /// kernel).
+    /// kernel). Carries the machine state at the moment the limit was
+    /// hit so the stall can be diagnosed from the error alone.
     Watchdog {
         /// The limit that was hit.
         cycles: u64,
+        /// Warp, register, and throttle state at capture.
+        snapshot: Box<WatchdogSnapshot>,
+    },
+    /// The online sanitizer (`SanitizeLevel::Check`) detected an
+    /// unsound register-file state.
+    Unsound {
+        /// What the sanitizer observed.
+        violation: Violation,
+        /// The SM it happened on.
+        sm: u16,
     },
     /// Configuration rejected.
     BadConfig(String),
+    /// An SM worker thread terminated abnormally (a defect in the
+    /// simulator itself, not in the simulated machine).
+    WorkerPanic,
 }
 
 impl fmt::Display for SimError {
@@ -52,15 +67,78 @@ impl fmt::Display for SimError {
                 f,
                 "one CTA statically demands {demanded} registers but only {capacity} exist"
             ),
-            SimError::Watchdog { cycles } => {
-                write!(f, "simulation exceeded the {cycles}-cycle watchdog")
+            SimError::Watchdog { cycles, snapshot } => {
+                write!(
+                    f,
+                    "simulation exceeded the {cycles}-cycle watchdog\n{snapshot}"
+                )
+            }
+            SimError::Unsound { violation, sm } => {
+                write!(f, "unsound register state on SM {sm}: {violation}")
             }
             SimError::BadConfig(e) => write!(f, "bad configuration: {e}"),
+            SimError::WorkerPanic => write!(f, "an SM worker thread terminated abnormally"),
         }
     }
 }
 
 impl std::error::Error for SimError {}
+
+/// Machine state captured when the watchdog fires, carried by
+/// [`SimError::Watchdog`].
+#[derive(Clone, PartialEq, Eq, Default, Debug)]
+pub struct WatchdogSnapshot {
+    /// Cycle at capture.
+    pub cycle: u64,
+    /// Free physical registers per bank.
+    pub free_per_bank: Vec<usize>,
+    /// Live physical registers.
+    pub live_regs: usize,
+    /// Resident CTA slots with their `C − k_i` throttle balances.
+    pub cta_balances: Vec<(usize, usize)>,
+    /// Ready-queue contents (warp slots).
+    pub ready: Vec<usize>,
+    /// Every non-idle warp's state.
+    pub warps: Vec<WarpDiag>,
+}
+
+/// One warp's state inside a [`WatchdogSnapshot`].
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct WarpDiag {
+    /// Hardware warp slot.
+    pub slot: usize,
+    /// CTA slot the warp belongs to.
+    pub cta_slot: usize,
+    /// Scheduler status name.
+    pub status: String,
+    /// Program counter (`None` once every lane exited).
+    pub pc: Option<usize>,
+    /// Earliest cycle the warp may issue again.
+    pub next_issue_at: u64,
+    /// Scoreboard bitmask of registers with in-flight loads.
+    pub outstanding: u64,
+    /// Dynamically mapped registers held.
+    pub mapped: usize,
+}
+
+impl fmt::Display for WatchdogSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "cycle {}: free regs per bank {:?}, live {}, ready {:?}",
+            self.cycle, self.free_per_bank, self.live_regs, self.ready
+        )?;
+        writeln!(f, "resident CTAs (slot, balance): {:?}", self.cta_balances)?;
+        for w in &self.warps {
+            writeln!(
+                f,
+                "  warp {} cta {} status {} pc {:?} next_issue {} outstanding {:#x} mapped {}",
+                w.slot, w.cta_slot, w.status, w.pc, w.next_issue_at, w.outstanding, w.mapped
+            )?;
+        }
+        Ok(())
+    }
+}
 
 /// Result of one SM's run.
 #[derive(Clone, Debug)]
@@ -126,6 +204,14 @@ pub struct Sm<'k> {
     sink: Sink,
     /// This SM's id in trace events.
     sm_id: u16,
+    /// Online shadow-model checker (`SimConfig::sanitize`).
+    sanitizer: Sanitizer,
+    /// Deterministic fault injector (`SimConfig::faults`).
+    injector: FaultInjector,
+    /// First unhandled violation detected in the current step; `run`
+    /// turns it into [`SimError::Unsound`] (`Check`) or a quarantine
+    /// (`Recover`).
+    violation: Option<Violation>,
 }
 
 impl<'k> Sm<'k> {
@@ -173,6 +259,13 @@ impl<'k> Sm<'k> {
             stats: SimStats::default(),
             now: 0,
             next_sample: 0,
+            sanitizer: Sanitizer::new(
+                config.sanitize,
+                config.max_warps_per_sm,
+                config.regfile.phys_regs,
+            ),
+            injector: FaultInjector::new(&config.faults),
+            violation: None,
             regfile,
             policy,
             kernel,
@@ -209,13 +302,36 @@ impl<'k> Sm<'k> {
         self.fill_cta_slots()?;
         while self.work_remains() {
             self.step();
+            if let Some(v) = self.violation.take() {
+                if self.sanitizer.level() == SanitizeLevel::Check {
+                    return Err(SimError::Unsound {
+                        violation: v,
+                        sm: self.sm_id,
+                    });
+                }
+                self.quarantine(v);
+            }
             if self.now > self.config.max_cycles {
-                self.dump_stuck_state();
                 return Err(SimError::Watchdog {
                     cycles: self.config.max_cycles,
+                    snapshot: Box::new(self.snapshot()),
                 });
             }
         }
+        // end-of-kernel sweep: with every warp retired, no physical
+        // register may remain assigned
+        if let Some(v) = self
+            .sanitizer
+            .check_leak(self.regfile.live_count(), self.now)
+        {
+            if self.sanitizer.level() == SanitizeLevel::Check {
+                return Err(SimError::Unsound {
+                    violation: v,
+                    sm: self.sm_id,
+                });
+            }
+        }
+        self.stats.sanitizer_detections = self.sanitizer.detections();
         self.stats.cycles = self.now;
         self.stats.regfile = self.regfile.stats();
         self.stats.renaming = self.regfile.renaming_stats();
@@ -233,39 +349,34 @@ impl<'k> Sm<'k> {
         })
     }
 
-    /// Prints a one-shot diagnostic when the watchdog fires (warp
-    /// statuses, register pressure, throttle state).
-    fn dump_stuck_state(&mut self) {
-        eprintln!(
-            "WATCHDOG at cycle {}: free regs {}, live {}, ready {:?}",
-            self.now,
-            self.regfile.free_count(),
-            self.regfile.live_count(),
-            self.ready
-        );
-        eprintln!(
-            "throttle: {:?}, resident CTAs {}",
-            self.throttle.min_balance_cta(),
-            self.resident_ctas()
-        );
-        for w in &self.warps {
-            if w.status == WarpStatus::Idle {
-                continue;
-            }
-            eprintln!(
-                "  warp {} cta {} status {:?} pc {:#x} next_issue {} outstanding {:#x} mapped {}",
-                w.slot,
-                w.cta_slot,
-                w.status,
-                if w.stack.is_done() {
-                    usize::MAX
-                } else {
-                    w.stack.pc()
-                },
-                w.next_issue_at,
-                w.outstanding,
-                self.regfile.mapped_regs(w.slot).len(),
-            );
+    /// Captures the diagnostic machine state attached to
+    /// [`SimError::Watchdog`] (warp statuses, register pressure,
+    /// throttle balances).
+    fn snapshot(&self) -> WatchdogSnapshot {
+        WatchdogSnapshot {
+            cycle: self.now,
+            free_per_bank: (0..rfv_isa::NUM_REG_BANKS)
+                .map(|b| self.regfile.free_in_bank(BankId::new(b)))
+                .collect(),
+            live_regs: self.regfile.live_count(),
+            cta_balances: (0..self.cta_slots.len())
+                .filter_map(|c| self.throttle.balance(c).map(|b| (c, b)))
+                .collect(),
+            ready: self.ready.clone(),
+            warps: self
+                .warps
+                .iter()
+                .filter(|w| w.status != WarpStatus::Idle)
+                .map(|w| WarpDiag {
+                    slot: w.slot,
+                    cta_slot: w.cta_slot,
+                    status: format!("{:?}", w.status),
+                    pc: (!w.stack.is_done()).then(|| w.stack.pc()),
+                    next_issue_at: w.next_issue_at,
+                    outstanding: w.outstanding,
+                    mapped: self.regfile.mapped_regs(w.slot).len(),
+                })
+                .collect(),
         }
     }
 
@@ -375,9 +486,12 @@ impl<'k> Sm<'k> {
         }
         // initialize static register values deterministically
         for &ws in &free_slots {
-            for &r in &self.static_regs {
+            for i in 0..self.static_regs.len() {
+                let r = self.static_regs[i];
                 if let Some(p) = self.regfile.peek(ws, r) {
                     self.values[p.index()] = [0; WARP_SIZE];
+                    let v = self.sanitizer.note_map(ws, r, p, self.now);
+                    self.flag_violation(v);
                 }
             }
         }
@@ -612,6 +726,26 @@ impl<'k> Sm<'k> {
             match &self.kernel.kernel().items()[pc] {
                 ProgItem::Pir(p) => {
                     self.stats.meta_encountered += 1;
+                    if self.injector.should_fire(FaultKind::StaleFlagCacheHit) {
+                        // fault: the probe aliases a stale entry and the
+                        // decoder is served another pir's payload — the
+                        // fetch is skipped like a genuine hit and a wrong
+                        // register gets an early release
+                        self.flag_cache.force_hit_traced(
+                            pc,
+                            self.now,
+                            self.sm_id,
+                            slot,
+                            &mut self.sink,
+                        );
+                        self.inject_release(
+                            slot,
+                            FaultKind::StaleFlagCacheHit,
+                            FaultLabel::StaleFlagHit,
+                        );
+                        self.warps[slot].stack.advance(pc + 1);
+                        continue;
+                    }
                     if self.flag_cache.probe_and_fill_traced(
                         pc,
                         self.now,
@@ -657,13 +791,28 @@ impl<'k> Sm<'k> {
                     if self.policy.uses_release_flags() {
                         let cta = self.warps[slot].cta_slot;
                         for &r in p.regs() {
-                            if self.regfile.release_traced(
-                                slot,
-                                r,
-                                self.now,
-                                self.sm_id,
-                                &mut self.sink,
-                            ) {
+                            // the metadata's architectural intent stands
+                            // even when the hardware action is faulted
+                            self.sanitizer.note_release(slot, r);
+                            let dropped = self.injector.should_fire(FaultKind::DroppedRelease);
+                            let flipped = self.injector.should_fire(FaultKind::PbrFlagFlip);
+                            if dropped || flipped {
+                                // the release never reaches the register
+                                // file: a swallowed signal, or a 1→0 flag
+                                // bit flip in the pbr payload
+                                let phys = self
+                                    .regfile
+                                    .peek(slot, r)
+                                    .map_or(Violation::NO_PHYS, |ph| ph.index() as u32);
+                                let label = if dropped {
+                                    FaultLabel::DroppedRelease
+                                } else {
+                                    FaultLabel::PbrFlip
+                                };
+                                self.trace_fault(slot, label, u16::from(r.raw()), phys);
+                                continue;
+                            }
+                            if self.release_checked(slot, r) {
                                 self.throttle.on_release_traced(
                                     cta,
                                     self.now,
@@ -741,6 +890,138 @@ impl<'k> Sm<'k> {
         }
     }
 
+    // ------------------------------------------------ sanitizer & faults
+
+    /// Latches the first violation of the current step; `run()` turns
+    /// it into [`SimError::Unsound`] (Check) or a CTA quarantine
+    /// (Recover) after the step completes.
+    fn flag_violation(&mut self, v: Option<Violation>) {
+        if let Some(v) = v {
+            if self.violation.is_none() {
+                self.violation = Some(v);
+            }
+        }
+    }
+
+    /// [`RegisterFile::release_traced`] with a double-free check: the
+    /// availability vector counts attempts to free an already-free
+    /// physical register, which is only reachable downstream of an
+    /// injected fault (e.g. two table entries aliasing one physical
+    /// register after corruption).
+    fn release_checked(&mut self, slot: usize, r: ArchReg) -> bool {
+        if !self.sanitizer.enabled() {
+            return self
+                .regfile
+                .release_traced(slot, r, self.now, self.sm_id, &mut self.sink);
+        }
+        let before = self.regfile.stats().double_free_attempts;
+        let freed = self
+            .regfile
+            .release_traced(slot, r, self.now, self.sm_id, &mut self.sink);
+        if self.regfile.stats().double_free_attempts > before {
+            let v = self.sanitizer.report(Violation {
+                kind: ViolationKind::DoubleFree,
+                cycle: self.now,
+                warp: slot,
+                reg: u16::from(r.raw()),
+                phys: Violation::NO_PHYS,
+            });
+            self.flag_violation(v);
+        }
+        freed
+    }
+
+    /// Counts an injected fault and emits the
+    /// [`TraceKind::FaultInjected`] event that ties it to the warp it
+    /// perturbed.
+    fn trace_fault(&mut self, slot: usize, fault: FaultLabel, reg: u16, phys: u32) {
+        self.stats.faults_injected += 1;
+        if self.sink.enabled() {
+            self.sink.emit(TraceEvent::warp_event(
+                self.now,
+                self.sm_id,
+                slot,
+                TraceKind::FaultInjected { fault, reg, phys },
+            ));
+        }
+    }
+
+    /// Releases one deterministically-picked dynamically-mapped
+    /// register of `slot` behind the sanitizer's back — the shared
+    /// mechanics of the premature-release and stale-flag-cache faults.
+    fn inject_release(&mut self, slot: usize, kind: FaultKind, label: FaultLabel) {
+        let regs = self.regfile.mapped_regs(slot);
+        if regs.is_empty() {
+            return;
+        }
+        let r = regs[self.injector.pick(kind, regs.len())];
+        let phys = self
+            .regfile
+            .peek(slot, r)
+            .map_or(Violation::NO_PHYS, |p| p.index() as u32);
+        let cta = self.warps[slot].cta_slot;
+        if self.release_checked(slot, r) {
+            self.throttle.on_release(cta);
+            self.trace_reg(slot, r, false);
+        }
+        self.trace_fault(slot, label, u16::from(r.raw()), phys);
+    }
+
+    /// `SanitizeLevel::Recover`: retires the CTA owning the offending
+    /// warp — its registers are reclaimed, its in-flight state is
+    /// dropped, and its warps never issue again — so the rest of the
+    /// kernel completes on sound state.
+    fn quarantine(&mut self, v: Violation) {
+        self.stats.sanitizer_detections = self.sanitizer.detections();
+        if v.warp == Violation::NO_WARP || v.warp >= self.warps.len() {
+            return;
+        }
+        if self.warps[v.warp].status == WarpStatus::Idle {
+            return; // the owning CTA already completed
+        }
+        let cta = self.warps[v.warp].cta_slot;
+        let Some(cs) = self.cta_slots[cta].take() else {
+            return;
+        };
+        let cta_id = cs
+            .warp_slots
+            .first()
+            .map_or(cta as u32, |&ws| self.warps[ws].cta_id);
+        for &ws in &cs.warp_slots {
+            self.remove_from_ready(ws);
+            self.waiting_ready.retain(|&s| s != ws);
+            self.regfile
+                .retire_warp_traced(ws, self.now, self.sm_id, &mut self.sink);
+            self.sanitizer.note_retire(ws);
+            self.local.clear_warp(ws);
+            let w = &mut self.warps[ws];
+            w.status = WarpStatus::Idle;
+            w.outstanding = 0;
+            w.spilled_regs.clear();
+        }
+        self.spill_values
+            .retain(|&(s, _), _| !cs.warp_slots.contains(&s));
+        let heap = std::mem::take(&mut self.load_events);
+        self.load_events = heap
+            .into_iter()
+            .filter(|&Reverse((_, s, _))| !cs.warp_slots.contains(&s))
+            .collect();
+        self.throttle.retire(cta);
+        self.stats.quarantined_warps += cs.warp_slots.len() as u64;
+        self.stats.quarantined_ctas += 1;
+        if self.sink.enabled() {
+            self.sink.emit(TraceEvent::sm_event(
+                self.now,
+                self.sm_id,
+                TraceKind::Quarantine {
+                    cta: cta_id,
+                    warps: cs.warp_slots.len() as u16,
+                },
+            ));
+        }
+        let _ = self.fill_cta_slots();
+    }
+
     // ---------------------------------------------------------------- issue
 
     fn guard_mask(&self, slot: usize, i: &Instr) -> u32 {
@@ -760,10 +1041,18 @@ impl<'k> Sm<'k> {
     fn read_operand(&mut self, slot: usize, op: Operand) -> [u32; WARP_SIZE] {
         match op {
             Operand::Imm(v) => [v as u32; WARP_SIZE],
-            Operand::Reg(r) => match self.regfile.read(slot, r) {
-                Some(p) => self.values[p.index()],
-                None => [POISON; WARP_SIZE],
-            },
+            Operand::Reg(r) => {
+                let table = self.regfile.read(slot, r);
+                if self.sanitizer.enabled() {
+                    let live = table.is_some_and(|p| self.regfile.is_phys_live(p));
+                    let v = self.sanitizer.check_read(slot, r, table, live, self.now);
+                    self.flag_violation(v);
+                }
+                match table {
+                    Some(p) => self.values[p.index()],
+                    None => [POISON; WARP_SIZE],
+                }
+            }
         }
     }
 
@@ -776,6 +1065,18 @@ impl<'k> Sm<'k> {
             {
                 return IssueOutcome::Blocked;
             }
+        }
+
+        // fault injection: a spurious early release at instruction
+        // issue — the exact hazard the release-flag analysis must
+        // never cause, perturbing the hardware behind the shadow
+        // model's back
+        if self.injector.should_fire(FaultKind::PrematureRelease) {
+            self.inject_release(
+                slot,
+                FaultKind::PrematureRelease,
+                FaultLabel::PrematureRelease,
+            );
         }
 
         let active = self.warps[slot].stack.mask();
@@ -864,6 +1165,26 @@ impl<'k> Sm<'k> {
                     if r > self.now {
                         self.trace_stall(slot, StallReason::GateWakeup);
                     }
+                    let v = self.sanitizer.note_map(slot, d, phys, self.now);
+                    self.flag_violation(v);
+                    if self.injector.should_fire(FaultKind::RenameCorrupt) {
+                        // bit flip in the renaming-table entry: the
+                        // mapping now points at an arbitrary physical
+                        // register while the value lands in the old one
+                        let target = PhysReg::new(
+                            self.injector
+                                .pick(FaultKind::RenameCorrupt, self.config.regfile.phys_regs)
+                                as u16,
+                        );
+                        if self.regfile.inject_remap(slot, d, target).is_some() {
+                            self.trace_fault(
+                                slot,
+                                FaultLabel::RenameCorrupt,
+                                u16::from(d.raw()),
+                                target.index() as u32,
+                            );
+                        }
+                    }
                     dst_phys = Some(phys);
                     ready_at = ready_at.max(r);
                 }
@@ -895,23 +1216,65 @@ impl<'k> Sm<'k> {
             .map(|&op| self.read_operand(slot, op))
             .collect();
 
+        if self.violation.is_some() && self.sanitizer.level() == SanitizeLevel::Recover {
+            // a violation is pending (possibly raised by this very
+            // instruction's mapping or operand reads): squash the issue
+            // before any release fires or a value commits, so the retry
+            // next cycle replays it from an unchanged machine state —
+            // the offending CTA is quarantined before the next step
+            self.trace_issue(slot, pc, exec);
+            return IssueOutcome::Issued;
+        }
+
         // compiler release flags fire after the operands are read
         if self.policy.uses_release_flags() {
             let flags = self.kernel.flags_at(pc);
             if flags.any() {
                 for (op_slot, r) in i.src_regs() {
-                    if flags.releases(op_slot)
-                        && self.regfile.release_traced(
+                    if !flags.releases(op_slot) {
+                        continue;
+                    }
+                    self.sanitizer.note_release(slot, r);
+                    if self.injector.should_fire(FaultKind::DroppedRelease) {
+                        // the pir-commanded release is swallowed
+                        let phys = self
+                            .regfile
+                            .peek(slot, r)
+                            .map_or(Violation::NO_PHYS, |ph| ph.index() as u32);
+                        self.trace_fault(
                             slot,
-                            r,
-                            self.now,
-                            self.sm_id,
-                            &mut self.sink,
-                        )
-                    {
+                            FaultLabel::DroppedRelease,
+                            u16::from(r.raw()),
+                            phys,
+                        );
+                        continue;
+                    }
+                    if self.release_checked(slot, r) {
                         self.throttle
                             .on_release_traced(cta, self.now, self.sm_id, &mut self.sink);
                         self.trace_reg(slot, r, false);
+                    }
+                }
+            }
+            if self.injector.should_fire(FaultKind::PirFlagFlip) {
+                // a 0→1 bit flip in the pir payload: a release flag
+                // appears on a source operand the compiler never marked
+                let extra: Vec<ArchReg> = i
+                    .src_regs()
+                    .filter(|&(s, _)| !flags.releases(s))
+                    .map(|(_, r)| r)
+                    .collect();
+                if !extra.is_empty() {
+                    let r = extra[self.injector.pick(FaultKind::PirFlagFlip, extra.len())];
+                    let phys = self
+                        .regfile
+                        .peek(slot, r)
+                        .map_or(Violation::NO_PHYS, |ph| ph.index() as u32);
+                    if self.release_checked(slot, r) {
+                        self.throttle
+                            .on_release_traced(cta, self.now, self.sm_id, &mut self.sink);
+                        self.trace_reg(slot, r, false);
+                        self.trace_fault(slot, FaultLabel::PirFlip, u16::from(r.raw()), phys);
                     }
                 }
             }
@@ -1169,9 +1532,28 @@ impl<'k> Sm<'k> {
                 self.trace_reg(slot, r, false);
             }
         }
+        if self.sanitizer.enabled() {
+            // anything still mapped in hardware that the shadow already
+            // released is a swallowed (dropped) release
+            let pairs = self.regfile.mapped_pairs(slot);
+            let v = self.sanitizer.check_retire(slot, &pairs, self.now);
+            self.flag_violation(v);
+        }
+        let before_df = self.regfile.stats().double_free_attempts;
         let freed = self
             .regfile
             .retire_warp_traced(slot, self.now, self.sm_id, &mut self.sink);
+        if self.sanitizer.enabled() && self.regfile.stats().double_free_attempts > before_df {
+            let v = self.sanitizer.report(Violation {
+                kind: ViolationKind::DoubleFree,
+                cycle: self.now,
+                warp: slot,
+                reg: Violation::NO_REG,
+                phys: Violation::NO_PHYS,
+            });
+            self.flag_violation(v);
+        }
+        self.sanitizer.note_retire(slot);
         for _ in 0..freed {
             self.throttle.on_release(cta);
         }
@@ -1179,11 +1561,11 @@ impl<'k> Sm<'k> {
             self.emit_balance(cta);
         }
         self.local.clear_warp(slot);
-        let done = {
-            let cs = self.cta_slots[cta].as_mut().expect("warp belongs to a CTA");
-            cs.live_warps -= 1;
+        debug_assert!(self.cta_slots[cta].is_some(), "warp belongs to a CTA");
+        let done = self.cta_slots[cta].as_mut().is_some_and(|cs| {
+            cs.live_warps = cs.live_warps.saturating_sub(1);
             cs.live_warps == 0
-        };
+        });
         if done {
             self.complete_cta(cta);
         } else {
@@ -1192,7 +1574,10 @@ impl<'k> Sm<'k> {
     }
 
     fn complete_cta(&mut self, cta: usize) {
-        let cs = self.cta_slots[cta].take().expect("completing a live CTA");
+        debug_assert!(self.cta_slots[cta].is_some(), "completing a live CTA");
+        let Some(cs) = self.cta_slots[cta].take() else {
+            return;
+        };
         if self.sink.enabled() {
             let cta_id = cs
                 .warp_slots
@@ -1291,8 +1676,19 @@ impl<'k> Sm<'k> {
         }
         for &r in &regs {
             if let Some(p) = self.regfile.read(victim, r) {
-                self.spill_values
-                    .insert((victim, r.raw()), self.values[p.index()]);
+                if self.injector.should_fire(FaultKind::SpillWriteLoss) {
+                    // the spill store is lost: no backup is recorded, so
+                    // swap-in will restore stale/poison data
+                    self.trace_fault(
+                        victim,
+                        FaultLabel::SpillLoss,
+                        u16::from(r.raw()),
+                        p.index() as u32,
+                    );
+                } else {
+                    self.spill_values
+                        .insert((victim, r.raw()), self.values[p.index()]);
+                }
                 if self.sink.enabled() {
                     self.sink.emit(TraceEvent::warp_event(
                         self.now,
@@ -1305,10 +1701,8 @@ impl<'k> Sm<'k> {
                     ));
                 }
             }
-            if self
-                .regfile
-                .release_traced(victim, r, self.now, self.sm_id, &mut self.sink)
-            {
+            self.sanitizer.note_release(victim, r);
+            if self.release_checked(victim, r) {
                 self.throttle.on_release(vc);
             }
         }
@@ -1345,9 +1739,24 @@ impl<'k> Sm<'k> {
                     .write_traced(slot, r, self.now, self.sm_id, &mut self.sink)
                 {
                     WriteOutcome::Mapped { phys, .. } => {
-                        if let Some(v) = self.spill_values.get(&(slot, r.raw())) {
-                            self.values[phys.index()] = *v;
+                        match self.spill_values.get(&(slot, r.raw())) {
+                            Some(val) => self.values[phys.index()] = *val,
+                            None => {
+                                // the spill backup never made it to memory
+                                // (SpillWriteLoss): restoring leaves stale
+                                // contents behind this mapping
+                                let v = self.sanitizer.report(Violation {
+                                    kind: ViolationKind::SpillLoss,
+                                    cycle: self.now,
+                                    warp: slot,
+                                    reg: u16::from(r.raw()),
+                                    phys: phys.index() as u32,
+                                });
+                                self.flag_violation(v);
+                            }
                         }
+                        let v = self.sanitizer.note_map(slot, r, phys, self.now);
+                        self.flag_violation(v);
                         self.throttle.on_alloc(cta);
                         restored.push(r);
                     }
@@ -1364,6 +1773,7 @@ impl<'k> Sm<'k> {
                         self.spill_values
                             .insert((slot, r.raw()), self.values[p.index()]);
                     }
+                    self.sanitizer.note_release(slot, r);
                     self.regfile
                         .release_traced(slot, r, self.now, self.sm_id, &mut self.sink);
                     self.throttle.on_release(cta);

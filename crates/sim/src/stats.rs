@@ -64,6 +64,15 @@ pub struct SimStats {
     pub ctas_completed: u64,
     /// Scheduler cycles with a CTA-throttle restriction active.
     pub throttle_restricted_cycles: u64,
+    /// Faults injected by the configured `FaultPlan`.
+    pub faults_injected: u64,
+    /// Soundness violations the sanitizer detected (0 when the
+    /// sanitizer is off).
+    pub sanitizer_detections: u64,
+    /// Warps quarantined by `SanitizeLevel::Recover`.
+    pub quarantined_warps: u64,
+    /// CTAs quarantined by `SanitizeLevel::Recover`.
+    pub quarantined_ctas: u64,
     /// Periodic occupancy samples.
     pub samples: Vec<Sample>,
     /// Register file event counters.
@@ -168,6 +177,10 @@ impl SimStats {
             "sim.throttle_restricted_cycles",
             self.throttle_restricted_cycles,
         );
+        m.add("sim.faults_injected", self.faults_injected);
+        m.add("sim.sanitizer_detections", self.sanitizer_detections);
+        m.add("sim.quarantined_warps", self.quarantined_warps);
+        m.add("sim.quarantined_ctas", self.quarantined_ctas);
         m.add("regfile.rf_reads", self.regfile.rf_reads);
         m.add("regfile.rf_writes", self.regfile.rf_writes);
         m.add("regfile.allocs", self.regfile.allocs);
@@ -175,6 +188,10 @@ impl SimStats {
         m.add("regfile.static_allocs", self.regfile.static_allocs);
         m.add("regfile.alloc_failures", self.regfile.alloc_failures);
         m.add("regfile.peak_live", self.regfile.peak_live as u64);
+        m.add(
+            "regfile.double_free_attempts",
+            self.regfile.double_free_attempts,
+        );
         m.add("renaming.lookups", self.renaming.lookups);
         m.add("renaming.updates", self.renaming.updates);
         m.add("flag_cache.hits", self.flag_cache.hits);

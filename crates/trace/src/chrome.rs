@@ -192,6 +192,16 @@ fn write_args(rec: &mut String, kind: &TraceKind) {
         TraceKind::CtaLaunch { cta } | TraceKind::CtaComplete { cta } => {
             let _ = write!(rec, "\"cta\":{cta}");
         }
+        TraceKind::FaultInjected { fault, reg, phys } => {
+            let _ = write!(
+                rec,
+                "\"fault\":{},\"reg\":{reg},\"phys\":{phys}",
+                quote(fault.label())
+            );
+        }
+        TraceKind::Quarantine { cta, warps } => {
+            let _ = write!(rec, "\"cta\":{cta},\"warps\":{warps}");
+        }
     }
 }
 

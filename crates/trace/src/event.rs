@@ -61,6 +61,43 @@ impl MemPhase {
     }
 }
 
+/// Which microarchitectural fault was injected (mirrors the
+/// `rfv-faults` kind vocabulary; both crates are zero-dependency, so
+/// the label set is duplicated here the same way [`StallReason`]
+/// duplicates scheduler vocabulary).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum FaultLabel {
+    /// A live register was released early.
+    PrematureRelease,
+    /// A due release was swallowed.
+    DroppedRelease,
+    /// A pir flag bit was flipped at decode.
+    PirFlip,
+    /// A pbr release decision was flipped at decode.
+    PbrFlip,
+    /// A renaming-table entry was corrupted.
+    RenameCorrupt,
+    /// A stale flag-cache hit was served.
+    StaleFlagHit,
+    /// A spill write was dropped during swap-out.
+    SpillLoss,
+}
+
+impl FaultLabel {
+    /// Stable lower-case label used in trace output.
+    pub fn label(self) -> &'static str {
+        match self {
+            FaultLabel::PrematureRelease => "premature_release",
+            FaultLabel::DroppedRelease => "dropped_release",
+            FaultLabel::PirFlip => "pir_flip",
+            FaultLabel::PbrFlip => "pbr_flip",
+            FaultLabel::RenameCorrupt => "rename_corrupt",
+            FaultLabel::StaleFlagHit => "stale_flag_hit",
+            FaultLabel::SpillLoss => "spill_loss",
+        }
+    }
+}
+
 /// What happened. Field conventions: `reg` is the architectural index,
 /// `phys` the physical register id, `bank` the operand-collector bank.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -114,6 +151,17 @@ pub enum TraceKind {
     CtaLaunch { cta: u32 },
     /// A CTA finished and its resources were reclaimed.
     CtaComplete { cta: u32 },
+    /// The fault plane perturbed simulator state. `reg`/`phys`
+    /// identify the perturbed register where meaningful (`u16::MAX` /
+    /// `u32::MAX` otherwise).
+    FaultInjected {
+        fault: FaultLabel,
+        reg: u16,
+        phys: u32,
+    },
+    /// The sanitizer quarantined a CTA after detecting unsound
+    /// state; `warps` warps were retired early.
+    Quarantine { cta: u32, warps: u16 },
 }
 
 impl TraceKind {
@@ -140,6 +188,8 @@ impl TraceKind {
             TraceKind::Mem { .. } => "mem",
             TraceKind::CtaLaunch { .. } => "cta_launch",
             TraceKind::CtaComplete { .. } => "cta_complete",
+            TraceKind::FaultInjected { .. } => "fault_injected",
+            TraceKind::Quarantine { .. } => "quarantine",
         }
     }
 }
@@ -252,6 +302,12 @@ mod tests {
             },
             TraceKind::CtaLaunch { cta: 0 },
             TraceKind::CtaComplete { cta: 0 },
+            TraceKind::FaultInjected {
+                fault: FaultLabel::PrematureRelease,
+                reg: 0,
+                phys: 0,
+            },
+            TraceKind::Quarantine { cta: 0, warps: 0 },
         ];
         let names: std::collections::BTreeSet<&str> = kinds.iter().map(|k| k.name()).collect();
         assert_eq!(names.len(), kinds.len());

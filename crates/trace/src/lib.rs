@@ -32,7 +32,7 @@ pub mod metrics;
 pub mod sink;
 
 pub use chrome::ChromeWriter;
-pub use event::{MemPhase, StallReason, TraceEvent, TraceKind};
+pub use event::{FaultLabel, MemPhase, StallReason, TraceEvent, TraceKind};
 pub use merge::merge_shards;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{NoopSink, RingSink, Sink, TraceSink};

@@ -109,6 +109,29 @@ proptest! {
         }
     }
 
+    /// The sanitizer raises no false positives: on a fault-free run of
+    /// any kernel shape, `SanitizeLevel::Check` must complete without
+    /// an `Unsound` error and with zero recorded detections, for every
+    /// machine policy (including GPU-shrink's spill/swap traffic).
+    #[test]
+    fn check_mode_has_zero_false_positives(p in arb_params()) {
+        let kernel = synth(p);
+        let w = wrap(kernel);
+        for m in [Machine::Conventional, Machine::Full128, Machine::Shrink64, Machine::HardwareOnly] {
+            let mut cfg = m.config();
+            cfg.sanitize = rfv_sim::SanitizeLevel::Check;
+            let compiled = m.compile(&w);
+            let r = rfv_sim::simulate(&compiled, &cfg);
+            match r {
+                Ok(res) => prop_assert_eq!(
+                    res.sm0().sanitizer_detections, 0,
+                    "machine {:?} recorded detections without faults for {:?}", m, p
+                ),
+                Err(e) => prop_assert!(false, "machine {:?} flagged a fault-free run: {} ({:?})", m, e, p),
+            }
+        }
+    }
+
     /// A plain (zero-budget) compile embeds no metadata and the
     /// binary still runs correctly.
     #[test]
