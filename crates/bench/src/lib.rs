@@ -28,4 +28,5 @@
 pub mod ablations;
 pub mod figures;
 pub mod harness;
+pub mod perf;
 pub mod pool;

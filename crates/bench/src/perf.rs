@@ -1,0 +1,240 @@
+//! Perf-trajectory harness: wall-clock measurements of the cycle
+//! engine itself, as opposed to the *simulated* results everything
+//! else in this crate reports.
+//!
+//! [`run`] executes the figure workloads under all four machine
+//! policies ([`Machine`]), timing each simulation and recording
+//! simulated cycles, issued instructions, and the engine's
+//! cycles-per-second throughput. [`to_json`] renders the report as
+//! JSON (schema `rfv-perf-v1`) so successive commits can track engine
+//! performance over time — the `perf` binary writes it to
+//! `BENCH_PR4.json` at the repo root by default.
+//!
+//! Wall-clock numbers are machine-dependent; `cycles` and `instrs`
+//! are bit-deterministic and double as a cheap cross-check that a
+//! perf-motivated change did not alter simulated behaviour.
+
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use crate::figures::full_suite;
+use crate::harness::{self, Machine};
+
+/// Workloads measured in `--quick` mode (CI smoke): enough to touch
+/// every policy's interesting paths without a full sweep.
+const QUICK_WORKLOADS: usize = 4;
+
+/// One (workload, policy) measurement.
+#[derive(Clone, Debug)]
+pub struct WorkloadPerf {
+    /// Workload name (Table 1 row).
+    pub name: &'static str,
+    /// Simulated GPU cycles (slowest SM).
+    pub cycles: u64,
+    /// Instructions issued, summed over SMs.
+    pub instrs: u64,
+    /// Best wall time over the configured repeats, seconds.
+    pub wall_s: f64,
+}
+
+impl WorkloadPerf {
+    /// Engine throughput in simulated cycles per wall-clock second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        if self.wall_s > 0.0 {
+            self.cycles as f64 / self.wall_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// All workload measurements under one machine policy.
+#[derive(Clone, Debug)]
+pub struct PolicyPerf {
+    /// Policy name (JSON key style).
+    pub machine: &'static str,
+    /// Per-workload rows, suite order.
+    pub rows: Vec<WorkloadPerf>,
+}
+
+impl PolicyPerf {
+    /// Summed best wall time, seconds.
+    pub fn total_wall_s(&self) -> f64 {
+        self.rows.iter().map(|r| r.wall_s).sum()
+    }
+
+    /// Summed simulated cycles.
+    pub fn total_cycles(&self) -> u64 {
+        self.rows.iter().map(|r| r.cycles).sum()
+    }
+
+    /// Aggregate engine throughput, simulated cycles per second.
+    pub fn cycles_per_sec(&self) -> f64 {
+        let wall = self.total_wall_s();
+        if wall > 0.0 {
+            self.total_cycles() as f64 / wall
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The four measured machine policies with their JSON names.
+pub const MACHINES: [(Machine, &str); 4] = [
+    (Machine::Conventional, "conventional"),
+    (Machine::Full128, "full_virtualization"),
+    (Machine::Shrink64, "gpu_shrink_50"),
+    (Machine::HardwareOnly, "hardware_only"),
+];
+
+/// Runs the harness: every suite workload (or the first
+/// [`QUICK_WORKLOADS`] under `quick`) under all four policies,
+/// `repeat` timed runs each (the best is kept — the engine is
+/// deterministic, so variance is scheduler noise, not workload
+/// noise). Compilation happens outside the timed region.
+pub fn run(quick: bool, repeat: usize) -> Vec<PolicyPerf> {
+    let mut suite = full_suite();
+    if quick {
+        suite.truncate(QUICK_WORKLOADS);
+    }
+    let repeat = repeat.max(1);
+    MACHINES
+        .iter()
+        .map(|&(machine, name)| {
+            let rows = suite
+                .iter()
+                .map(|w| {
+                    let compiled = machine.compile(w);
+                    let config = machine.config();
+                    let mut best = f64::INFINITY;
+                    let mut cycles = 0;
+                    let mut instrs = 0;
+                    for _ in 0..repeat {
+                        let t0 = Instant::now();
+                        let result = harness::run(&compiled, &config);
+                        let wall = t0.elapsed().as_secs_f64();
+                        best = best.min(wall);
+                        cycles = result.cycles;
+                        instrs = result.per_sm.iter().map(|s| s.instrs_issued).sum();
+                    }
+                    WorkloadPerf {
+                        name: w.name(),
+                        cycles,
+                        instrs,
+                        wall_s: best,
+                    }
+                })
+                .collect();
+            PolicyPerf {
+                machine: name,
+                rows,
+            }
+        })
+        .collect()
+}
+
+/// An end-to-end `figures all` sweep measurement recorded alongside
+/// the per-workload data (the PR's before/after wall times).
+#[derive(Clone, Copy, Debug)]
+pub struct SweepRecord {
+    /// Wall seconds before the engine overhaul.
+    pub before_s: f64,
+    /// Wall seconds after.
+    pub after_s: f64,
+}
+
+impl SweepRecord {
+    /// `before / after` speedup.
+    pub fn speedup(&self) -> f64 {
+        if self.after_s > 0.0 {
+            self.before_s / self.after_s
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Renders the report as JSON (schema `rfv-perf-v1`).
+pub fn to_json(
+    policies: &[PolicyPerf],
+    quick: bool,
+    repeat: usize,
+    sweep: Option<SweepRecord>,
+) -> String {
+    let mut s = String::new();
+    let _ = writeln!(s, "{{");
+    let _ = writeln!(s, "  \"schema\": \"rfv-perf-v1\",");
+    let _ = writeln!(s, "  \"quick\": {quick},");
+    let _ = writeln!(s, "  \"repeat\": {repeat},");
+    if let Some(rec) = sweep {
+        let _ = writeln!(s, "  \"figures_sweep\": {{");
+        let _ = writeln!(s, "    \"before_s\": {:.3},", rec.before_s);
+        let _ = writeln!(s, "    \"after_s\": {:.3},", rec.after_s);
+        let _ = writeln!(s, "    \"speedup\": {:.3}", rec.speedup());
+        let _ = writeln!(s, "  }},");
+    }
+    let _ = writeln!(s, "  \"policies\": [");
+    for (pi, p) in policies.iter().enumerate() {
+        let _ = writeln!(s, "    {{");
+        let _ = writeln!(s, "      \"machine\": \"{}\",", p.machine);
+        let _ = writeln!(s, "      \"total_wall_s\": {:.6},", p.total_wall_s());
+        let _ = writeln!(s, "      \"total_cycles\": {},", p.total_cycles());
+        let _ = writeln!(s, "      \"cycles_per_sec\": {:.1},", p.cycles_per_sec());
+        let _ = writeln!(s, "      \"workloads\": [");
+        for (ri, r) in p.rows.iter().enumerate() {
+            let comma = if ri + 1 == p.rows.len() { "" } else { "," };
+            let _ = writeln!(
+                s,
+                "        {{\"name\": \"{}\", \"cycles\": {}, \"instrs\": {}, \
+                 \"wall_s\": {:.6}, \"cycles_per_sec\": {:.1}}}{comma}",
+                r.name,
+                r.cycles,
+                r.instrs,
+                r.wall_s,
+                r.cycles_per_sec()
+            );
+        }
+        let _ = writeln!(s, "      ]");
+        let comma = if pi + 1 == policies.len() { "" } else { "," };
+        let _ = writeln!(s, "    }}{comma}");
+    }
+    let _ = writeln!(s, "  ]");
+    let _ = writeln!(s, "}}");
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_produces_all_policies() {
+        let report = run(true, 1);
+        assert_eq!(report.len(), 4);
+        for p in &report {
+            assert_eq!(p.rows.len(), QUICK_WORKLOADS);
+            assert!(p.total_cycles() > 0);
+            assert!(p.rows.iter().all(|r| r.instrs > 0));
+        }
+    }
+
+    #[test]
+    fn json_is_well_formed_enough() {
+        let report = run(true, 1);
+        let json = to_json(
+            &report,
+            true,
+            1,
+            Some(SweepRecord {
+                before_s: 2.0,
+                after_s: 1.0,
+            }),
+        );
+        assert!(json.contains("\"schema\": \"rfv-perf-v1\""));
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert_eq!(json.matches("\"machine\"").count(), 4);
+        // balanced braces / brackets (hand-rolled writer)
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+}

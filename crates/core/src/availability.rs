@@ -1,6 +1,22 @@
 //! Physical register availability vectors (paper §7.1): one bit
 //! vector per register bank, with a subarray-packing allocation policy
 //! that feeds the power-gating logic (§8.2).
+//!
+//! # Representation
+//!
+//! Availability is a single `u64` bitset over *global* physical
+//! register indices (bit set = free), plus cached per-bank free
+//! counts and per-subarray live-register counts. Allocation scans a
+//! subarray's bit range word-by-word and picks the lowest set bit
+//! with `trailing_zeros`, which is exactly the ascending first-fit
+//! order of the original `Vec<Vec<bool>>` scan — the packing policy
+//! (and therefore every downstream statistic) is bit-identical.
+//!
+//! Subarray boundaries are **not** assumed word-aligned: shrunk
+//! register files have subarrays like 38 registers (`shrunk(40)` →
+//! 608 regs → 152/bank → 38/subarray), so the scan masks partial
+//! head and tail words. A subarray whose cached occupancy equals its
+//! capacity is skipped without touching the bitset at all.
 
 use rfv_isa::{BankId, PhysReg, NUM_REG_BANKS};
 
@@ -12,22 +28,32 @@ use crate::config::{RegFileConfig, SUBARRAYS_PER_BANK};
 pub struct Availability {
     bank_size: usize,
     subarray_size: usize,
-    /// `free[bank][idx]`: whether the register is unassigned.
-    free: Vec<Vec<bool>>,
+    phys_regs: usize,
+    /// Free bitmap over global physical indices (bit set = free).
+    words: Vec<u64>,
     /// Live registers per global subarray id.
     subarray_occupancy: Vec<usize>,
     free_count: usize,
+    free_per_bank: [usize; NUM_REG_BANKS],
 }
 
 impl Availability {
     /// Creates a fully-free availability vector for `config`.
     pub fn new(config: &RegFileConfig) -> Availability {
+        let phys_regs = config.phys_regs;
+        let mut words = vec![u64::MAX; phys_regs.div_ceil(64)];
+        // bits at or above phys_regs are permanently "not free"
+        if !phys_regs.is_multiple_of(64) {
+            *words.last_mut().expect("phys_regs > 0") = (1u64 << (phys_regs % 64)) - 1;
+        }
         Availability {
             bank_size: config.bank_size(),
             subarray_size: config.subarray_size(),
-            free: vec![vec![true; config.bank_size()]; NUM_REG_BANKS],
+            phys_regs,
+            words,
             subarray_occupancy: vec![0; config.num_subarrays()],
-            free_count: config.phys_regs,
+            free_count: phys_regs,
+            free_per_bank: [config.bank_size(); NUM_REG_BANKS],
         }
     }
 
@@ -59,7 +85,8 @@ impl Availability {
                 return Some(p);
             }
         }
-        // pass 2: open the lowest gated subarray
+        // pass 2: open the lowest gated subarray (occupancy 0 means
+        // every register in it is free, so its first index wins)
         for sa in 0..SUBARRAYS_PER_BANK {
             if self.subarray_occupancy[b * SUBARRAYS_PER_BANK + sa] != 0 {
                 continue;
@@ -72,14 +99,33 @@ impl Availability {
     }
 
     fn alloc_in_subarray(&mut self, bank: usize, sa: usize) -> Option<PhysReg> {
-        let lo = sa * self.subarray_size;
+        let gsa = bank * SUBARRAYS_PER_BANK + sa;
+        // full subarray: no bit to find, skip the word scan entirely
+        if self.subarray_occupancy[gsa] == self.subarray_size {
+            return None;
+        }
+        let lo = bank * self.bank_size + sa * self.subarray_size;
         let hi = lo + self.subarray_size;
-        for idx in lo..hi {
-            if self.free[bank][idx] {
-                self.free[bank][idx] = false;
-                self.subarray_occupancy[bank * SUBARRAYS_PER_BANK + sa] += 1;
+        let first = lo / 64;
+        let last = (hi - 1) / 64;
+        for w in first..=last {
+            let mut word = self.words[w];
+            if w == first {
+                word &= u64::MAX << (lo % 64);
+            }
+            if w == last {
+                let top = hi - w * 64;
+                if top < 64 {
+                    word &= (1u64 << top) - 1;
+                }
+            }
+            if word != 0 {
+                let bit = word.trailing_zeros() as usize;
+                self.words[w] &= !(1u64 << bit);
+                self.subarray_occupancy[gsa] += 1;
                 self.free_count -= 1;
-                return Some(PhysReg::new((bank * self.bank_size + idx) as u16));
+                self.free_per_bank[bank] -= 1;
+                return Some(PhysReg::new((w * 64 + bit) as u16));
             }
         }
         None
@@ -94,13 +140,14 @@ impl Availability {
     /// so a `None` here is a double release the sanitizer should
     /// report; the vector itself stays consistent either way.
     pub fn free(&mut self, p: PhysReg) -> Option<(usize, bool)> {
-        let bank = p.index() / self.bank_size;
-        let idx = p.index() % self.bank_size;
-        if self.free[bank][idx] {
+        let idx = p.index();
+        let mask = 1u64 << (idx % 64);
+        if self.words[idx / 64] & mask != 0 {
             return None;
         }
-        self.free[bank][idx] = true;
+        self.words[idx / 64] |= mask;
         self.free_count += 1;
+        self.free_per_bank[idx / self.bank_size] += 1;
         let sa = self.subarray_of(p);
         self.subarray_occupancy[sa] -= 1;
         Some((sa, self.subarray_occupancy[sa] == 0))
@@ -108,9 +155,7 @@ impl Availability {
 
     /// Whether a physical register is currently assigned.
     pub fn is_live(&self, p: PhysReg) -> bool {
-        let bank = p.index() / self.bank_size;
-        let idx = p.index() % self.bank_size;
-        !self.free[bank][idx]
+        self.words[p.index() / 64] & (1u64 << (p.index() % 64)) == 0
     }
 
     /// Number of free registers across all banks.
@@ -120,12 +165,12 @@ impl Availability {
 
     /// Number of free registers in one bank.
     pub fn free_in_bank(&self, bank: BankId) -> usize {
-        self.free[bank.index()].iter().filter(|&&f| f).count()
+        self.free_per_bank[bank.index()]
     }
 
     /// Live (assigned) registers right now.
     pub fn live_count(&self) -> usize {
-        self.free.len() * self.bank_size - self.free_count
+        self.phys_regs - self.free_count
     }
 
     /// Occupancy of each global subarray.
@@ -227,5 +272,125 @@ mod tests {
             assert!(a.alloc_in_bank(bank).is_some());
         }
         assert!(a.alloc_in_bank(bank).is_none());
+    }
+
+    /// The pre-bitset implementation, kept as an executable model:
+    /// per-bank `Vec<bool>` with linear first-fit subarray scans.
+    struct RefAvail {
+        bank_size: usize,
+        subarray_size: usize,
+        free: Vec<Vec<bool>>,
+        subarray_occupancy: Vec<usize>,
+        free_count: usize,
+    }
+
+    impl RefAvail {
+        fn new(config: &RegFileConfig) -> RefAvail {
+            RefAvail {
+                bank_size: config.bank_size(),
+                subarray_size: config.subarray_size(),
+                free: vec![vec![true; config.bank_size()]; NUM_REG_BANKS],
+                subarray_occupancy: vec![0; config.num_subarrays()],
+                free_count: config.phys_regs,
+            }
+        }
+
+        fn subarray_of(&self, p: PhysReg) -> usize {
+            let bank = p.index() / self.bank_size;
+            bank * SUBARRAYS_PER_BANK + (p.index() % self.bank_size) / self.subarray_size
+        }
+
+        fn alloc_in_bank(&mut self, bank: BankId) -> Option<PhysReg> {
+            let b = bank.index();
+            for pass in 0..2 {
+                for sa in 0..SUBARRAYS_PER_BANK {
+                    let occupied = self.subarray_occupancy[b * SUBARRAYS_PER_BANK + sa] != 0;
+                    if occupied != (pass == 0) {
+                        continue;
+                    }
+                    let lo = sa * self.subarray_size;
+                    for idx in lo..lo + self.subarray_size {
+                        if self.free[b][idx] {
+                            self.free[b][idx] = false;
+                            self.subarray_occupancy[b * SUBARRAYS_PER_BANK + sa] += 1;
+                            self.free_count -= 1;
+                            return Some(PhysReg::new((b * self.bank_size + idx) as u16));
+                        }
+                    }
+                }
+            }
+            None
+        }
+
+        fn free_reg(&mut self, p: PhysReg) -> Option<(usize, bool)> {
+            let (bank, idx) = (p.index() / self.bank_size, p.index() % self.bank_size);
+            if self.free[bank][idx] {
+                return None;
+            }
+            self.free[bank][idx] = true;
+            self.free_count += 1;
+            let sa = self.subarray_of(p);
+            self.subarray_occupancy[sa] -= 1;
+            Some((sa, self.subarray_occupancy[sa] == 0))
+        }
+
+        fn free_in_bank(&self, bank: BankId) -> usize {
+            self.free[bank.index()].iter().filter(|&&f| f).count()
+        }
+    }
+
+    /// Model-based differential test: random alloc/free churn must
+    /// produce identical registers, reports, and counters on the
+    /// bitset and on the pre-overhaul `Vec<bool>` reference, for both
+    /// a word-aligned geometry (64-reg subarrays) and a non-aligned
+    /// one (`shrunk(40)` → 38-reg subarrays spanning word boundaries).
+    #[test]
+    fn bitset_matches_vec_bool_model() {
+        for config in [RegFileConfig::baseline_full(), RegFileConfig::shrunk(40)] {
+            let mut a = Availability::new(&config);
+            let mut r = RefAvail::new(&config);
+            let mut live: Vec<PhysReg> = Vec::new();
+            // deterministic LCG so failures reproduce
+            let mut seed: u64 = 0x9e37_79b9_7f4a_7c15;
+            let mut next = || {
+                seed = seed
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                seed >> 33
+            };
+            for step in 0..20_000u32 {
+                let roll = next();
+                if live.is_empty() || roll % 5 < 3 {
+                    let bank = BankId::new((next() % NUM_REG_BANKS as u64) as usize);
+                    let (got, want) = (a.alloc_in_bank(bank), r.alloc_in_bank(bank));
+                    assert_eq!(got, want, "alloc diverged at step {step}");
+                    if let Some(p) = got {
+                        live.push(p);
+                    }
+                } else {
+                    let victim = live.swap_remove((next() as usize) % live.len());
+                    assert_eq!(
+                        a.free(victim),
+                        r.free_reg(victim),
+                        "free diverged at {step}"
+                    );
+                    // occasional double free must report None on both
+                    if roll % 7 == 0 {
+                        assert_eq!(a.free(victim), None);
+                        assert_eq!(r.free_reg(victim), None);
+                    }
+                }
+                assert_eq!(a.free_count(), r.free_count);
+                if step % 512 == 0 {
+                    assert_eq!(a.subarray_occupancy(), &r.subarray_occupancy[..]);
+                    for b in 0..NUM_REG_BANKS {
+                        assert_eq!(
+                            a.free_in_bank(BankId::new(b)),
+                            r.free_in_bank(BankId::new(b))
+                        );
+                    }
+                }
+            }
+        }
     }
 }

@@ -215,6 +215,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg(debug_assertions)] // the guard is a debug_assert!
     #[should_panic(expected = "time went backwards")]
     fn non_monotonic_time_rejected_in_debug() {
         let mut g = SubarrayGating::new(1, true, 0);

@@ -465,6 +465,14 @@ impl RegisterFile {
         self.table.total_mapped()
     }
 
+    /// Live renaming-table mappings of one warp — the cached count
+    /// behind [`RegisterFile::mapped_regs`]`.len()`, without
+    /// materializing the register list (the spill victim scan calls
+    /// this per candidate warp).
+    pub fn mapped_count_of(&self, warp: usize) -> usize {
+        self.table.mapped_count(warp)
+    }
+
     /// The dynamically-mapped registers of one warp (used by the
     /// GPU-shrink spill fallback to pick what to save).
     pub fn mapped_regs(&self, warp: usize) -> Vec<ArchReg> {

@@ -31,9 +31,10 @@ pub struct RenamingTable {
     stats: RenamingStats,
     /// Last physical register each `(warp, reg)` was mapped to.
     /// Trace-only history: written by [`RenamingTable::map_traced`]
-    /// with an enabled sink, never touched on the untraced path, so
-    /// re-mapping after a release can be reported as a rename with
-    /// the old physical id.
+    /// with an enabled sink, never touched on the untraced path.
+    /// Allocated lazily on the first traced mapping — untraced runs
+    /// (the common case) never pay the
+    /// `warp_slots × MAX_REGS_PER_THREAD` footprint per SM.
     history: Vec<[Option<PhysReg>; MAX_REGS_PER_THREAD]>,
 }
 
@@ -44,7 +45,7 @@ impl RenamingTable {
             map: vec![[None; MAX_REGS_PER_THREAD]; warp_slots],
             mapped_per_warp: vec![0; warp_slots],
             stats: RenamingStats::default(),
-            history: vec![[None; MAX_REGS_PER_THREAD]; warp_slots],
+            history: Vec::new(),
         }
     }
 
@@ -110,6 +111,9 @@ impl RenamingTable {
     ) {
         self.map(warp, reg, phys);
         if sink.enabled() {
+            if self.history.is_empty() {
+                self.history = vec![[None; MAX_REGS_PER_THREAD]; self.map.len()];
+            }
             let old = self.history[warp][reg.index()];
             sink.emit(TraceEvent::warp_event(
                 now,
@@ -265,6 +269,18 @@ mod tests {
                 new_phys: 19
             }
         );
+    }
+
+    #[test]
+    fn history_allocates_only_for_enabled_sinks() {
+        let mut t = RenamingTable::new(48);
+        assert!(t.history.is_empty(), "untraced construction is free");
+        let mut noop = Sink::Noop;
+        t.map_traced(0, ArchReg::R1, PhysReg::new(1), 0, 0, &mut noop);
+        assert!(t.history.is_empty(), "disabled sink never allocates");
+        let mut ring = Sink::ring(4);
+        t.map_traced(1, ArchReg::R1, PhysReg::new(2), 0, 0, &mut ring);
+        assert_eq!(t.history.len(), 48, "first traced map allocates");
     }
 
     #[test]

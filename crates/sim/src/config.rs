@@ -60,6 +60,12 @@ pub struct SimConfig {
     /// Deterministic fault-injection plan perturbing the release
     /// machinery (see `rfv_faults`). Empty by default.
     pub faults: FaultPlan,
+    /// Differential-testing switch: compute idle-cycle skips with the
+    /// pre-overhaul O(warps) status rescan instead of the incremental
+    /// wake-event index. The two are equivalent by construction; the
+    /// engine-equivalence suite runs both and asserts bit-identical
+    /// results. Off (incremental) by default.
+    pub reference_wake_scan: bool,
 }
 
 impl SimConfig {
@@ -85,6 +91,7 @@ impl SimConfig {
             sm_jobs: None,
             sanitize: SanitizeLevel::Off,
             faults: FaultPlan::none(),
+            reference_wake_scan: false,
         }
     }
 

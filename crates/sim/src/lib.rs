@@ -45,6 +45,7 @@
 pub mod config;
 pub mod gpu;
 pub mod memory;
+pub mod predecode;
 pub mod sm;
 pub mod stats;
 pub mod warp;

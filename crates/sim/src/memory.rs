@@ -2,9 +2,67 @@
 //! local spaces, with 128 B coalescing for global accesses.
 
 use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher};
+
+use rfv_isa::WARP_SIZE;
 
 /// Size of one coalesced memory transaction, bytes.
 pub const SEGMENT_BYTES: u64 = 128;
+
+/// A multiply–xor hasher for the sparse memory maps. Word addresses
+/// hash on every simulated load/store lane, and the default SipHash
+/// showed up prominently in profiles; integer keys need no DoS
+/// resistance here. Only the map's *internal* layout changes — lookup
+/// results, equality, and every statistic are unaffected.
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FastHashBuilder;
+
+impl BuildHasher for FastHashBuilder {
+    type Hasher = FastHasher;
+
+    fn build_hasher(&self) -> FastHasher {
+        FastHasher(0)
+    }
+}
+
+/// See [`FastHashBuilder`].
+#[derive(Clone, Copy, Default, Debug)]
+pub struct FastHasher(u64);
+
+impl FastHasher {
+    #[inline]
+    fn add(&mut self, v: u64) {
+        self.0 = (self.0.rotate_left(5) ^ v).wrapping_mul(0x517c_c1b7_2722_0a95);
+    }
+}
+
+impl Hasher for FastHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.add(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
 
 /// Global (device) memory: a sparse word store. Unwritten words read
 /// as a deterministic address-derived pattern so that data-dependent
@@ -12,7 +70,7 @@ pub const SEGMENT_BYTES: u64 = 128;
 /// reproducibly without explicit initialization.
 #[derive(Clone, Default, PartialEq, Eq, Debug)]
 pub struct GlobalMemory {
-    words: HashMap<u64, u32>,
+    words: HashMap<u64, u32, FastHashBuilder>,
     /// Word reads served.
     pub reads: u64,
     /// Word writes served.
@@ -62,13 +120,45 @@ impl GlobalMemory {
     }
 }
 
+/// A warp's per-lane addresses coalesced into sorted, deduplicated
+/// 128 B segment ids, in a fixed-size buffer (one warp has at most
+/// [`WARP_SIZE`] distinct segments, so the hot path never allocates).
+#[derive(Clone, Copy, Debug)]
+pub struct SegmentSet {
+    segs: [u64; WARP_SIZE],
+    len: usize,
+}
+
+impl SegmentSet {
+    /// Coalesces `addrs` (lanes with `None` are inactive).
+    pub fn from_addrs(addrs: &[Option<u64>]) -> SegmentSet {
+        let mut segs = [0u64; WARP_SIZE];
+        let mut n = 0;
+        for a in addrs.iter().flatten() {
+            segs[n] = a / SEGMENT_BYTES;
+            n += 1;
+        }
+        segs[..n].sort_unstable();
+        let mut len = 0;
+        for i in 0..n {
+            if len == 0 || segs[len - 1] != segs[i] {
+                segs[len] = segs[i];
+                len += 1;
+            }
+        }
+        SegmentSet { segs, len }
+    }
+
+    /// The distinct segment ids, ascending.
+    pub fn segments(&self) -> &[u64] {
+        &self.segs[..self.len]
+    }
+}
+
 /// Counts the coalesced 128 B transactions needed to serve a warp's
 /// per-lane addresses (lanes with `None` are inactive).
 pub fn coalesce_count(addrs: &[Option<u64>]) -> usize {
-    let mut segments: Vec<u64> = addrs.iter().flatten().map(|a| a / SEGMENT_BYTES).collect();
-    segments.sort_unstable();
-    segments.dedup();
-    segments.len()
+    SegmentSet::from_addrs(addrs).len
 }
 
 /// Per-CTA shared memory (a plain word array).
@@ -112,7 +202,7 @@ impl SharedMemory {
 /// keyed by (hardware warp slot, lane, word address).
 #[derive(Clone, Default, Debug)]
 pub struct LocalMemory {
-    words: HashMap<(usize, usize, u64), u32>,
+    words: HashMap<(usize, usize, u64), u32, FastHashBuilder>,
     /// Word accesses served (spill traffic statistic).
     pub accesses: u64,
 }

@@ -3,7 +3,7 @@
 //! virtualized register file, and the GPU-shrink CTA throttle.
 
 use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap, VecDeque};
+use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
 
 use rfv_compiler::CompiledKernel;
@@ -12,14 +12,17 @@ use rfv_core::{
     Violation, ViolationKind, VirtualizationPolicy, WriteOutcome,
 };
 use rfv_faults::{FaultInjector, FaultKind};
-use rfv_isa::kernel::ProgItem;
-use rfv_isa::{ArchReg, BankId, Instr, Opcode, Operand, PhysReg, Special, WARP_SIZE};
+use rfv_isa::{
+    ArchReg, BankId, Opcode, Operand, PhysReg, PredGuard, Special, MAX_REGS_PER_THREAD,
+    MAX_SRC_OPERANDS, WARP_SIZE,
+};
 use rfv_trace::{FaultLabel, MemPhase, Sink, StallReason, TraceEvent, TraceKind};
 
 use crate::config::SimConfig;
 use crate::memory::{coalesce_count, GlobalMemory, LocalMemory, SharedMemory};
+use crate::predecode::{PdItem, PredecodedInstr, PredecodedKernel};
 use crate::stats::{RegTraceEvent, Sample, SimStats};
-use crate::warp::{SimtStack, Warp, WarpStatus, NO_RECONV};
+use crate::warp::{SimtStack, Warp, WarpStatus};
 
 /// Value pattern left in freed registers, to surface use-after-release
 /// bugs in differential tests.
@@ -165,11 +168,86 @@ enum IssueOutcome {
     NoReg,
 }
 
+/// Iterator over the set lane indices of a warp mask, ascending, by
+/// bit-scanning — cost scales with active lanes instead of always
+/// walking all [`WARP_SIZE`] bit positions.
+#[derive(Clone, Copy)]
+struct Lanes(u32);
+
+impl Iterator for Lanes {
+    type Item = usize;
+
+    #[inline]
+    fn next(&mut self) -> Option<usize> {
+        if self.0 == 0 {
+            return None;
+        }
+        let l = self.0.trailing_zeros() as usize;
+        self.0 &= self.0 - 1;
+        Some(l)
+    }
+}
+
+/// Dense backing store for swapped-out register values, indexed by
+/// `warp_slot × MAX_REGS_PER_THREAD + reg`. Replaces a
+/// `HashMap<(usize, u8), [u32; WARP_SIZE]>`: lookups become one
+/// multiply-add, and a quarantined warp's entries clear with a linear
+/// sweep of its own rows instead of a whole-map `retain`. The table
+/// is allocated lazily on the first spill, so configurations that
+/// never spill (no GPU shrink) pay nothing.
+#[derive(Clone, Debug)]
+struct SpillStore {
+    values: Vec<Option<[u32; WARP_SIZE]>>,
+    warp_slots: usize,
+}
+
+impl SpillStore {
+    fn new(warp_slots: usize) -> SpillStore {
+        SpillStore {
+            values: Vec::new(),
+            warp_slots,
+        }
+    }
+
+    #[inline]
+    fn idx(slot: usize, reg: ArchReg) -> usize {
+        slot * MAX_REGS_PER_THREAD + reg.index()
+    }
+
+    fn insert(&mut self, slot: usize, reg: ArchReg, val: [u32; WARP_SIZE]) {
+        if self.values.is_empty() {
+            self.values = vec![None; self.warp_slots * MAX_REGS_PER_THREAD];
+        }
+        self.values[Self::idx(slot, reg)] = Some(val);
+    }
+
+    fn get(&self, slot: usize, reg: ArchReg) -> Option<&[u32; WARP_SIZE]> {
+        self.values.get(Self::idx(slot, reg))?.as_ref()
+    }
+
+    fn remove(&mut self, slot: usize, reg: ArchReg) {
+        if let Some(v) = self.values.get_mut(Self::idx(slot, reg)) {
+            *v = None;
+        }
+    }
+
+    fn clear_warp(&mut self, slot: usize) {
+        if self.values.is_empty() {
+            return;
+        }
+        let base = slot * MAX_REGS_PER_THREAD;
+        self.values[base..base + MAX_REGS_PER_THREAD].fill(None);
+    }
+}
+
 /// One simulated SM executing an assigned list of CTAs of a compiled
 /// kernel.
 pub struct Sm<'k> {
     config: SimConfig,
     kernel: &'k CompiledKernel,
+    /// Issue-ready program image (see [`crate::predecode`]), built
+    /// once in [`Sm::new`].
+    prog: PredecodedKernel,
     policy: VirtualizationPolicy,
     regfile: RegisterFile,
     flag_cache: ReleaseFlagCache,
@@ -183,22 +261,54 @@ pub struct Sm<'k> {
     global: GlobalMemory,
     shared: Vec<SharedMemory>,
     local: LocalMemory,
-    spill_values: HashMap<(usize, u8), [u32; WARP_SIZE]>,
+    spill_values: SpillStore,
     ready: Vec<usize>,
     waiting_ready: VecDeque<usize>,
+    /// Per-slot occurrence counts mirroring `ready` / `waiting_ready`
+    /// membership, so the hot-path `contains` / `position` checks are
+    /// O(1) array reads. Counts (not booleans) because the two-level
+    /// scheduler can transiently hold a slot twice (enqueue into a
+    /// non-full queue while the slot still sits in `waiting_ready`,
+    /// later refilled into `ready` again).
+    ready_count: Vec<u32>,
+    waiting_count: Vec<u32>,
     rr_cursor: usize,
     assigned: Vec<u32>,
     next_assigned: usize,
     cta_slots: Vec<Option<CtaState>>,
     load_events: BinaryHeap<Reverse<(u64, usize, u8)>>,
+    /// Incremental next-wake index over warps: `(cycle, slot)` pushed
+    /// at every transition into `Ready` / `SwappedOut` and at every
+    /// `next_issue_at` update. Entries are validated lazily at pop —
+    /// an entry counts only while it still matches the warp's current
+    /// wake time — so `next_event_cycle` is a heap peek instead of an
+    /// O(warps) rescan every idle cycle.
+    wake_events: BinaryHeap<Reverse<(u64, usize)>>,
     /// MSHR-style merge: global-memory 128 B segments currently in
     /// flight and when their data arrives. A load hitting an in-flight
     /// segment rides along instead of issuing a new transaction.
-    inflight_segments: HashMap<u64, u64>,
+    /// Stored as a flat `(segment, ready_at)` list — the live set is a
+    /// handful of segments, where a linear scan beats hashing.
+    inflight_segments: Vec<(u64, u64)>,
+    /// Number of warps currently in `SwappedOut`, so the per-step
+    /// swap-in probe can skip its all-warps scan when nothing is out
+    /// (the common case outside GPU-shrink).
+    swapped_out: usize,
+    /// Scratch for `step`'s issued-this-cycle list, reused across
+    /// steps to keep the scheduler loop allocation-free.
+    issued_scratch: Vec<usize>,
     stats: SimStats,
     now: u64,
     next_sample: u64,
     static_regs: Vec<ArchReg>,
+    /// `kernel.num_regs()`, cached: the accessor recomputes a full
+    /// program scan per call and sits on the sampling path.
+    num_regs: usize,
+    /// Launch geometry, cached off the kernel for the S2R and
+    /// sampling hot paths.
+    warps_per_cta: usize,
+    threads_per_cta: u32,
+    grid_ctas: u32,
     /// Structured-trace destination; [`Sink::Noop`] unless
     /// [`Sm::set_tracing`] was called.
     sink: Sink,
@@ -231,6 +341,10 @@ impl<'k> Sm<'k> {
         let regfile = RegisterFile::new(config.regfile, config.max_warps_per_sm)
             .map_err(SimError::BadConfig)?;
         let num_regs = kernel.num_regs();
+        let launch = kernel.kernel().launch();
+        let warps_per_cta = launch.warps_per_cta() as usize;
+        let threads_per_cta = launch.threads_per_cta();
+        let grid_ctas = launch.grid_ctas();
         let static_regs: Vec<ArchReg> = match policy {
             VirtualizationPolicy::None => (0..num_regs as u8).map(ArchReg::new).collect(),
             VirtualizationPolicy::Full => kernel.exempt().iter().collect(),
@@ -247,15 +361,20 @@ impl<'k> Sm<'k> {
                 .map(|_| SharedMemory::new(48 * 1024))
                 .collect(),
             local: LocalMemory::new(),
-            spill_values: HashMap::new(),
+            spill_values: SpillStore::new(config.max_warps_per_sm),
             ready: Vec::new(),
             waiting_ready: VecDeque::new(),
+            ready_count: vec![0; config.max_warps_per_sm],
+            waiting_count: vec![0; config.max_warps_per_sm],
             rr_cursor: 0,
             assigned,
             next_assigned: 0,
             cta_slots: vec![None; config.max_ctas_per_sm],
             load_events: BinaryHeap::new(),
-            inflight_segments: HashMap::new(),
+            wake_events: BinaryHeap::new(),
+            inflight_segments: Vec::new(),
+            swapped_out: 0,
+            issued_scratch: Vec::new(),
             stats: SimStats::default(),
             now: 0,
             next_sample: 0,
@@ -266,8 +385,13 @@ impl<'k> Sm<'k> {
             ),
             injector: FaultInjector::new(&config.faults),
             violation: None,
+            num_regs,
+            warps_per_cta,
+            threads_per_cta,
+            grid_ctas,
             regfile,
             policy,
+            prog: PredecodedKernel::new(kernel),
             kernel,
             config,
             static_regs,
@@ -374,7 +498,7 @@ impl<'k> Sm<'k> {
                     pc: (!w.stack.is_done()).then(|| w.stack.pc()),
                     next_issue_at: w.next_issue_at,
                     outstanding: w.outstanding,
-                    mapped: self.regfile.mapped_regs(w.slot).len(),
+                    mapped: self.regfile.mapped_count_of(w.slot),
                 })
                 .collect(),
         }
@@ -462,9 +586,9 @@ impl<'k> Sm<'k> {
         // (conventional / hardware-only) registers accumulate until
         // CTA completion, so the full allocation is the bound
         let per_warp = if self.policy.uses_release_flags() {
-            self.kernel.max_held_per_warp().min(self.kernel.num_regs())
+            self.kernel.max_held_per_warp().min(self.num_regs)
         } else {
-            self.kernel.num_regs()
+            self.num_regs
         };
         let budget = per_warp * warps_per_cta;
         self.throttle
@@ -515,6 +639,7 @@ impl<'k> Sm<'k> {
             w.spilled_regs.clear();
             self.preds[ws] = [0; 4];
             self.enqueue_ready(ws);
+            self.note_wake(ws);
         }
         self.shared[cta_slot].reset();
         self.cta_slots[cta_slot] = Some(CtaState {
@@ -527,19 +652,33 @@ impl<'k> Sm<'k> {
 
     // ------------------------------------------------------- ready queue
 
+    fn ready_push(&mut self, slot: usize) {
+        self.ready.push(slot);
+        self.ready_count[slot] += 1;
+    }
+
+    fn waiting_push(&mut self, slot: usize) {
+        self.waiting_ready.push_back(slot);
+        self.waiting_count[slot] += 1;
+    }
+
     fn enqueue_ready(&mut self, slot: usize) {
-        if self.ready.contains(&slot) {
+        if self.ready_count[slot] > 0 {
             return;
         }
         if self.ready.len() < self.config.ready_queue {
-            self.ready.push(slot);
-        } else if !self.waiting_ready.contains(&slot) {
-            self.waiting_ready.push_back(slot);
+            self.ready_push(slot);
+        } else if self.waiting_count[slot] == 0 {
+            self.waiting_push(slot);
         }
     }
 
     fn remove_from_ready(&mut self, slot: usize) {
+        if self.ready_count[slot] == 0 {
+            return;
+        }
         self.ready.retain(|&s| s != slot);
+        self.ready_count[slot] = 0;
     }
 
     fn refill_ready(&mut self) {
@@ -547,10 +686,25 @@ impl<'k> Sm<'k> {
             let Some(slot) = self.waiting_ready.pop_front() else {
                 break;
             };
+            self.waiting_count[slot] -= 1;
             if self.warps[slot].status == WarpStatus::Ready {
-                self.ready.push(slot);
+                self.ready_push(slot);
             }
         }
+    }
+
+    /// Records `slot`'s current wake time in the incremental
+    /// next-event index. Must be called after every transition into
+    /// `Ready` / `SwappedOut` and every `next_issue_at` update; stale
+    /// entries are discarded lazily by [`Sm::next_event_cycle`].
+    fn note_wake(&mut self, slot: usize) {
+        let w = &self.warps[slot];
+        let t = match w.status {
+            WarpStatus::Ready => w.next_issue_at,
+            WarpStatus::SwappedOut => w.swap_ready_at,
+            _ => return,
+        };
+        self.wake_events.push(Reverse((t, slot)));
     }
 
     // ------------------------------------------------------------- stepping
@@ -586,7 +740,9 @@ impl<'k> Sm<'k> {
             }
         }
 
-        let mut issued: Vec<usize> = Vec::with_capacity(self.config.schedulers);
+        // reusable scratch: a fresh Vec here would malloc every cycle
+        let mut issued = std::mem::take(&mut self.issued_scratch);
+        issued.clear();
         for _ in 0..self.config.schedulers {
             let Some(pick) = self.pick_warp(decision, &issued) else {
                 continue;
@@ -602,7 +758,7 @@ impl<'k> Sm<'k> {
                     // it cannot clog the two-level scheduler while
                     // other warps could run (and release registers)
                     self.remove_from_ready(pick);
-                    self.waiting_ready.push_back(pick);
+                    self.waiting_push(pick);
                     self.refill_ready();
                 }
             }
@@ -610,15 +766,60 @@ impl<'k> Sm<'k> {
 
         self.sample_if_due();
 
-        if issued.is_empty() {
+        let idle = issued.is_empty();
+        self.issued_scratch = issued;
+        if idle {
             // nothing issued: jump to the next interesting cycle
-            self.now = self.next_event_cycle().max(self.now + 1);
+            let next = if self.config.reference_wake_scan {
+                self.next_event_cycle_rescan()
+            } else {
+                self.next_event_cycle()
+            };
+            self.now = next.max(self.now + 1);
         } else {
             self.now += 1;
         }
     }
 
-    fn next_event_cycle(&self) -> u64 {
+    /// Earliest upcoming wake time, from the incremental index: pop
+    /// entries that no longer match their warp's state until the top
+    /// is live, then min with the load-completion heap.
+    ///
+    /// Equivalent to [`Sm::next_event_cycle_rescan`]: every
+    /// `(status, wake-time)` a warp currently holds was pushed when it
+    /// was set, and validation discards exactly the entries whose warp
+    /// has since moved on — never a live one — so the first live entry
+    /// in heap order is the true minimum.
+    fn next_event_cycle(&mut self) -> u64 {
+        let mut next = u64::MAX;
+        if let Some(&Reverse((t, _, _))) = self.load_events.peek() {
+            next = next.min(t);
+        }
+        while let Some(&Reverse((t, slot))) = self.wake_events.peek() {
+            let w = &self.warps[slot];
+            let live = match w.status {
+                WarpStatus::Ready => w.next_issue_at == t,
+                WarpStatus::SwappedOut => w.swap_ready_at == t,
+                _ => false,
+            };
+            if live {
+                next = next.min(t);
+                break;
+            }
+            self.wake_events.pop();
+        }
+        if next == u64::MAX {
+            self.now + 1
+        } else {
+            next.max(self.now + 1)
+        }
+    }
+
+    /// The pre-overhaul O(warps) rescan, kept behind
+    /// [`SimConfig::reference_wake_scan`] as the executable
+    /// specification the differential tests compare the incremental
+    /// index against.
+    fn next_event_cycle_rescan(&self) -> u64 {
         let mut next = u64::MAX;
         if let Some(&Reverse((t, _, _))) = self.load_events.peek() {
             next = next.min(t);
@@ -649,6 +850,7 @@ impl<'k> Sm<'k> {
                 w.status = WarpStatus::Ready;
                 w.next_issue_at = w.next_issue_at.max(t);
                 self.enqueue_ready(slot);
+                self.note_wake(slot);
             }
         }
     }
@@ -670,11 +872,12 @@ impl<'k> Sm<'k> {
             .warps
             .iter()
             .find(|w| {
-                w.cta_slot == cta && w.status == WarpStatus::Ready && !self.ready.contains(&w.slot)
+                w.cta_slot == cta && w.status == WarpStatus::Ready && self.ready_count[w.slot] == 0
             })
             .map(|w| w.slot);
         let Some(incoming) = candidate else { return };
         self.waiting_ready.retain(|&s| s != incoming);
+        self.waiting_count[incoming] = 0;
         if self.ready.len() >= self.config.ready_queue {
             // evict one blocked warp of another CTA back to waiting
             if let Some(pos) = self
@@ -683,11 +886,12 @@ impl<'k> Sm<'k> {
                 .position(|&s| self.warps[s].cta_slot != cta)
             {
                 let evicted = self.ready.remove(pos);
-                self.waiting_ready.push_back(evicted);
+                self.ready_count[evicted] -= 1;
+                self.waiting_push(evicted);
             }
         }
         if self.ready.len() < self.config.ready_queue {
-            self.ready.push(incoming);
+            self.ready_push(incoming);
         }
     }
 
@@ -696,9 +900,13 @@ impl<'k> Sm<'k> {
         if n == 0 {
             return None;
         }
-        for k in 0..n {
-            let idx = (self.rr_cursor + k) % n;
-            let slot = self.ready[idx];
+        // conditional wrap instead of `%` per probe: the scan order and
+        // cursor updates are exactly the round-robin of `(cursor+k) % n`
+        let mut idx = self.rr_cursor % n;
+        for _ in 0..n {
+            let cur = idx;
+            idx = if idx + 1 == n { 0 } else { idx + 1 };
+            let slot = self.ready[cur];
             if already.contains(&slot) {
                 continue;
             }
@@ -711,7 +919,7 @@ impl<'k> Sm<'k> {
                     continue;
                 }
             }
-            self.rr_cursor = (idx + 1) % n;
+            self.rr_cursor = idx;
             return Some(slot);
         }
         None
@@ -722,9 +930,11 @@ impl<'k> Sm<'k> {
     fn try_issue(&mut self, slot: usize) -> IssueOutcome {
         loop {
             let pc = self.warps[slot].stack.pc();
-            debug_assert!(pc < self.kernel.kernel().len(), "pc {pc} out of program");
-            match &self.kernel.kernel().items()[pc] {
-                ProgItem::Pir(p) => {
+            debug_assert!(pc < self.prog.len(), "pc {pc} out of program");
+            // PdItem is Copy: lifting it off the program image ends
+            // the borrow, so the arms below can mutate freely
+            match *self.prog.item(pc) {
+                PdItem::Pir { release_count } => {
                     self.stats.meta_encountered += 1;
                     if self.injector.should_fire(FaultKind::StaleFlagCacheHit) {
                         // fault: the probe aliases a stale entry and the
@@ -766,15 +976,15 @@ impl<'k> Sm<'k> {
                             slot,
                             TraceKind::PirDecode {
                                 pc: pc as u32,
-                                flags: p.release_count() as u16,
+                                flags: release_count,
                             },
                         ));
                     }
                     self.warps[slot].stack.advance(pc + 1);
-                    self.warps[slot].next_issue_at = self.now + 1;
+                    self.issue_cost(slot, 1);
                     return IssueOutcome::Issued;
                 }
-                ProgItem::Pbr(p) => {
+                PdItem::Pbr { lo, hi } => {
                     self.stats.meta_encountered += 1;
                     self.stats.meta_decoded += 1;
                     if self.sink.enabled() {
@@ -784,13 +994,14 @@ impl<'k> Sm<'k> {
                             slot,
                             TraceKind::PbrDecode {
                                 pc: pc as u32,
-                                released: p.regs().len() as u16,
+                                released: (hi - lo) as u16,
                             },
                         ));
                     }
                     if self.policy.uses_release_flags() {
                         let cta = self.warps[slot].cta_slot;
-                        for &r in p.regs() {
+                        for idx in lo..hi {
+                            let r = self.prog.pbr_regs(idx, idx + 1)[0];
                             // the metadata's architectural intent stands
                             // even when the hardware action is faulted
                             self.sanitizer.note_release(slot, r);
@@ -824,12 +1035,11 @@ impl<'k> Sm<'k> {
                         }
                     }
                     self.warps[slot].stack.advance(pc + 1);
-                    self.warps[slot].next_issue_at = self.now + 1;
+                    self.issue_cost(slot, 1);
                     return IssueOutcome::Issued;
                 }
-                ProgItem::Instr(i) => {
-                    let instr = i.clone();
-                    return self.issue_instr(slot, pc, &instr);
+                PdItem::Instr(i) => {
+                    return self.issue_instr(slot, pc, &i);
                 }
             }
         }
@@ -990,17 +1200,21 @@ impl<'k> Sm<'k> {
         for &ws in &cs.warp_slots {
             self.remove_from_ready(ws);
             self.waiting_ready.retain(|&s| s != ws);
+            self.waiting_count[ws] = 0;
+            self.spill_values.clear_warp(ws);
             self.regfile
                 .retire_warp_traced(ws, self.now, self.sm_id, &mut self.sink);
             self.sanitizer.note_retire(ws);
             self.local.clear_warp(ws);
             let w = &mut self.warps[ws];
+            if w.status == WarpStatus::SwappedOut {
+                self.swapped_out -= 1;
+            }
+            let w = &mut self.warps[ws];
             w.status = WarpStatus::Idle;
             w.outstanding = 0;
             w.spilled_regs.clear();
         }
-        self.spill_values
-            .retain(|&(s, _), _| !cs.warp_slots.contains(&s));
         let heap = std::mem::take(&mut self.load_events);
         self.load_events = heap
             .into_iter()
@@ -1024,8 +1238,8 @@ impl<'k> Sm<'k> {
 
     // ---------------------------------------------------------------- issue
 
-    fn guard_mask(&self, slot: usize, i: &Instr) -> u32 {
-        match i.guard {
+    fn guard_mask(&self, slot: usize, guard: Option<PredGuard>) -> u32 {
+        match guard {
             None => u32::MAX,
             Some(g) => {
                 let bits = self.preds[slot][g.pred.index()];
@@ -1038,33 +1252,11 @@ impl<'k> Sm<'k> {
         }
     }
 
-    fn read_operand(&mut self, slot: usize, op: Operand) -> [u32; WARP_SIZE] {
-        match op {
-            Operand::Imm(v) => [v as u32; WARP_SIZE],
-            Operand::Reg(r) => {
-                let table = self.regfile.read(slot, r);
-                if self.sanitizer.enabled() {
-                    let live = table.is_some_and(|p| self.regfile.is_phys_live(p));
-                    let v = self.sanitizer.check_read(slot, r, table, live, self.now);
-                    self.flag_violation(v);
-                }
-                match table {
-                    Some(p) => self.values[p.index()],
-                    None => [POISON; WARP_SIZE],
-                }
-            }
-        }
-    }
-
-    fn issue_instr(&mut self, slot: usize, pc: usize, i: &Instr) -> IssueOutcome {
-        // scoreboard: block on in-flight loads touching srcs or dst
-        {
-            let w = &self.warps[slot];
-            if i.reads().any(|r| w.has_outstanding(r))
-                || i.dst.is_some_and(|d| w.has_outstanding(d))
-            {
-                return IssueOutcome::Blocked;
-            }
+    fn issue_instr(&mut self, slot: usize, pc: usize, i: &PredecodedInstr) -> IssueOutcome {
+        // scoreboard: block on in-flight loads touching srcs or dst —
+        // one AND against the predecoded hazard mask
+        if self.warps[slot].outstanding & i.hazard_mask != 0 {
+            return IssueOutcome::Blocked;
         }
 
         // fault injection: a spurious early release at instruction
@@ -1080,7 +1272,7 @@ impl<'k> Sm<'k> {
         }
 
         let active = self.warps[slot].stack.mask();
-        let exec = active & self.guard_mask(slot, i);
+        let exec = active & self.guard_mask(slot, i.guard);
         let cta = self.warps[slot].cta_slot;
 
         // control flow needs no register-file write path
@@ -1090,8 +1282,8 @@ impl<'k> Sm<'k> {
                 self.stats.instrs_issued += 1;
                 self.stats.active_lane_sum += u64::from(active.count_ones());
                 self.trace_issue(slot, pc, active);
-                let target = i.target.expect("validated branch");
-                let reconv = self.kernel.reconv_at(pc).flatten().unwrap_or(NO_RECONV);
+                let target = i.target as usize;
+                let reconv = i.reconv;
                 if exec == active {
                     self.warps[slot].stack.advance(target);
                 } else if exec == 0 {
@@ -1192,29 +1384,43 @@ impl<'k> Sm<'k> {
             }
         }
 
-        // operand fetch, counting operand-collector bank conflicts:
-        // two register sources resident in the same bank serialize on
-        // the bank port and cost an extra collection cycle each
-        // (§7.1's motivation for bank-preserving renaming)
+        // operand fetch + operand-collector bank-conflict accounting in
+        // one pass (each register source resolves through the renaming
+        // table exactly once): two register sources resident in the
+        // same bank serialize on the bank port and cost an extra
+        // collection cycle each (§7.1's motivation for bank-preserving
+        // renaming)
         let mut src_banks = [false; rfv_isa::NUM_REG_BANKS];
         let mut conflicts = 0u64;
-        for op in &i.srcs {
-            if let Operand::Reg(r) = op {
-                if let Some(p) = self.regfile.peek(slot, *r) {
-                    let b = self.regfile.bank_of_phys(p).index();
-                    if src_banks[b] {
-                        conflicts += 1;
+        // fixed-size operand buffer: no per-issue heap allocation
+        let mut srcs = [[0u32; WARP_SIZE]; MAX_SRC_OPERANDS];
+        let nsrcs = i.srcs().len();
+        for (k, &op) in i.srcs().iter().enumerate() {
+            match op {
+                Operand::Imm(v) => srcs[k] = [v as u32; WARP_SIZE],
+                Operand::Reg(r) => {
+                    let table = self.regfile.read(slot, r);
+                    if let Some(p) = table {
+                        let b = self.regfile.bank_of_phys(p).index();
+                        if src_banks[b] {
+                            conflicts += 1;
+                        }
+                        src_banks[b] = true;
                     }
-                    src_banks[b] = true;
+                    if self.sanitizer.enabled() {
+                        let live = table.is_some_and(|p| self.regfile.is_phys_live(p));
+                        let v = self.sanitizer.check_read(slot, r, table, live, self.now);
+                        self.flag_violation(v);
+                    }
+                    srcs[k] = match table {
+                        Some(p) => self.values[p.index()],
+                        None => [POISON; WARP_SIZE],
+                    };
                 }
             }
         }
         self.stats.bank_conflicts += conflicts;
-        let srcs: Vec<[u32; WARP_SIZE]> = i
-            .srcs
-            .iter()
-            .map(|&op| self.read_operand(slot, op))
-            .collect();
+        let srcs = &srcs[..nsrcs];
 
         if self.violation.is_some() && self.sanitizer.level() == SanitizeLevel::Recover {
             // a violation is pending (possibly raised by this very
@@ -1228,7 +1434,7 @@ impl<'k> Sm<'k> {
 
         // compiler release flags fire after the operands are read
         if self.policy.uses_release_flags() {
-            let flags = self.kernel.flags_at(pc);
+            let flags = i.flags;
             if flags.any() {
                 for (op_slot, r) in i.src_regs() {
                     if !flags.releases(op_slot) {
@@ -1281,7 +1487,7 @@ impl<'k> Sm<'k> {
         }
 
         self.trace_issue(slot, pc, exec);
-        let outcome = self.execute(slot, pc, i, exec, &srcs, dst_phys, ready_at, conflicts);
+        let outcome = self.execute(slot, pc, i, exec, srcs, dst_phys, ready_at, conflicts);
         self.stats.instrs_issued += 1;
         self.stats.active_lane_sum += u64::from(exec.count_ones());
         outcome
@@ -1292,7 +1498,7 @@ impl<'k> Sm<'k> {
         &mut self,
         slot: usize,
         pc: usize,
-        i: &Instr,
+        i: &PredecodedInstr,
         exec: u32,
         srcs: &[[u32; WARP_SIZE]],
         dst_phys: Option<rfv_isa::PhysReg>,
@@ -1305,18 +1511,17 @@ impl<'k> Sm<'k> {
         } else {
             0
         };
-        let lanes = |m: u32| (0..WARP_SIZE).filter(move |&l| m & (1 << l) != 0);
+        let lanes = Lanes;
 
         match i.opcode {
             Ldg | Ldl | Lds => {
-                let addrs: Vec<Option<u64>> = (0..WARP_SIZE)
-                    .map(|l| {
-                        (exec & (1 << l) != 0).then(|| {
-                            let base = srcs[0][l] as u64;
-                            base.wrapping_add(i.mem_offset as i64 as u64)
-                        })
-                    })
-                    .collect();
+                let mut addrs = [None::<u64>; WARP_SIZE];
+                for (l, a) in addrs.iter_mut().enumerate() {
+                    *a = (exec & (1 << l) != 0).then(|| {
+                        let base = srcs[0][l] as u64;
+                        base.wrapping_add(i.mem_offset as i64 as u64)
+                    });
+                }
                 let mut out = dst_phys.map(|p| self.values[p.index()]).unwrap_or_default();
                 let latency = match i.opcode {
                     Lds => {
@@ -1374,12 +1579,11 @@ impl<'k> Sm<'k> {
                 IssueOutcome::Issued
             }
             Stg | Stl | Sts => {
-                let addrs: Vec<Option<u64>> = (0..WARP_SIZE)
-                    .map(|l| {
-                        (exec & (1 << l) != 0)
-                            .then(|| (srcs[0][l] as u64).wrapping_add(i.mem_offset as i64 as u64))
-                    })
-                    .collect();
+                let mut addrs = [None::<u64>; WARP_SIZE];
+                for (l, a) in addrs.iter_mut().enumerate() {
+                    *a = (exec & (1 << l) != 0)
+                        .then(|| (srcs[0][l] as u64).wrapping_add(i.mem_offset as i64 as u64));
+                }
                 match i.opcode {
                     Sts => {
                         let cta = self.warps[slot].cta_slot;
@@ -1447,7 +1651,6 @@ impl<'k> Sm<'k> {
                 // ALU / SFU / S2R: pure lane-wise compute
                 let w = &self.warps[slot];
                 let (cta_id, warp_in_cta) = (w.cta_id, w.warp_in_cta);
-                let launch = self.kernel.kernel().launch();
                 let psrc_bits = i.psrc.map(|p| self.preds[slot][p.index()]);
                 let mut out = dst_phys.map(|p| self.values[p.index()]).unwrap_or_default();
                 for l in lanes(exec) {
@@ -1487,8 +1690,8 @@ impl<'k> Sm<'k> {
                         S2r(s) => match s {
                             Special::TidX => (warp_in_cta * WARP_SIZE + l) as u32,
                             Special::CtaIdX => cta_id,
-                            Special::NTidX => launch.threads_per_cta(),
-                            Special::NCtaIdX => launch.grid_ctas(),
+                            Special::NTidX => self.threads_per_cta,
+                            Special::NCtaIdX => self.grid_ctas,
                             Special::LaneId => l as u32,
                             Special::WarpId => warp_in_cta as u32,
                         },
@@ -1513,6 +1716,7 @@ impl<'k> Sm<'k> {
 
     fn issue_cost(&mut self, slot: usize, cycles: u64) {
         self.warps[slot].next_issue_at = self.now + cycles.max(1);
+        self.note_wake(slot);
     }
 
     fn after_control(&mut self, slot: usize) {
@@ -1619,6 +1823,7 @@ impl<'k> Sm<'k> {
                 self.warps[ws].status = WarpStatus::Ready;
                 self.warps[ws].next_issue_at = self.now + 1;
                 self.enqueue_ready(ws);
+                self.note_wake(ws);
             }
         }
     }
@@ -1656,7 +1861,7 @@ impl<'k> Sm<'k> {
                         && w.outstanding == 0
                         && (!avoid_barrier_ctas || !cta_at_barrier[w.cta_slot])
                 })
-                .map(|w| (self.regfile.mapped_regs(w.slot).len(), w.slot))
+                .map(|w| (self.regfile.mapped_count_of(w.slot), w.slot))
                 .filter(|&(n, _)| n > 0)
                 .max_by_key(|&(n, _)| n)
         };
@@ -1686,8 +1891,7 @@ impl<'k> Sm<'k> {
                         p.index() as u32,
                     );
                 } else {
-                    self.spill_values
-                        .insert((victim, r.raw()), self.values[p.index()]);
+                    self.spill_values.insert(victim, r, self.values[p.index()]);
                 }
                 if self.sink.enabled() {
                     self.sink.emit(TraceEvent::warp_event(
@@ -1711,15 +1915,21 @@ impl<'k> Sm<'k> {
         }
         let cost = self.config.mem_base_latency + regs.len() as u64 * self.config.mem_per_txn;
         self.stats.mem_txns += regs.len() as u64;
+        let now = self.now;
         let w = &mut self.warps[victim];
         w.spilled_regs = regs;
         w.status = WarpStatus::SwappedOut;
-        w.swap_ready_at = self.now + cost;
+        w.swap_ready_at = now + cost;
+        self.swapped_out += 1;
         self.remove_from_ready(victim);
+        self.note_wake(victim);
         self.stats.swap_outs += 1;
     }
 
     fn try_swap_ins(&mut self) {
+        if self.swapped_out == 0 {
+            return;
+        }
         for slot in 0..self.warps.len() {
             if self.warps[slot].status != WarpStatus::SwappedOut
                 || self.warps[slot].swap_ready_at > self.now
@@ -1739,7 +1949,7 @@ impl<'k> Sm<'k> {
                     .write_traced(slot, r, self.now, self.sm_id, &mut self.sink)
                 {
                     WriteOutcome::Mapped { phys, .. } => {
-                        match self.spill_values.get(&(slot, r.raw())) {
+                        match self.spill_values.get(slot, r) {
                             Some(val) => self.values[phys.index()] = *val,
                             None => {
                                 // the spill backup never made it to memory
@@ -1770,8 +1980,7 @@ impl<'k> Sm<'k> {
                 // roll back and retry later
                 for r in restored {
                     if let Some(p) = self.regfile.read(slot, r) {
-                        self.spill_values
-                            .insert((slot, r.raw()), self.values[p.index()]);
+                        self.spill_values.insert(slot, r, self.values[p.index()]);
                     }
                     self.sanitizer.note_release(slot, r);
                     self.regfile
@@ -1792,14 +2001,17 @@ impl<'k> Sm<'k> {
             }
             self.emit_balance(cta);
             for &r in &regs {
-                self.spill_values.remove(&(slot, r.raw()));
+                self.spill_values.remove(slot, r);
             }
             self.stats.mem_txns += regs.len() as u64;
+            let next_issue = self.now + self.config.mem_base_latency;
             let w = &mut self.warps[slot];
             w.spilled_regs.clear();
             w.status = WarpStatus::Ready;
-            w.next_issue_at = self.now + self.config.mem_base_latency;
+            w.next_issue_at = next_issue;
+            self.swapped_out -= 1;
             self.enqueue_ready(slot);
+            self.note_wake(slot);
         }
     }
 
@@ -1808,25 +2020,24 @@ impl<'k> Sm<'k> {
     /// and charge base latency plus one burst per *new* transaction.
     /// Returns the load-to-use latency.
     fn global_load_latency(&mut self, slot: usize, addrs: &[Option<u64>]) -> u64 {
-        let mut segments: Vec<u64> = addrs
-            .iter()
-            .flatten()
-            .map(|a| a / crate::memory::SEGMENT_BYTES)
-            .collect();
-        segments.sort_unstable();
-        segments.dedup();
+        let segments = crate::memory::SegmentSet::from_addrs(addrs);
+        let segments = segments.segments();
         // lazily expire completed segments
         let now = self.now;
-        self.inflight_segments.retain(|_, &mut ready| ready > now);
+        self.inflight_segments.retain(|&(_, ready)| ready > now);
         let mut new_txns = 0u64;
         let mut merged = 0u16;
         let base = segments
             .first()
             .map_or(0, |&s| s * crate::memory::SEGMENT_BYTES);
         let mut done_at = now;
-        for seg in segments {
-            match self.inflight_segments.get(&seg) {
-                Some(&ready) => {
+        for &seg in segments {
+            match self
+                .inflight_segments
+                .iter()
+                .find_map(|&(s, ready)| (s == seg).then_some(ready))
+            {
+                Some(ready) => {
                     self.stats.mshr_merges += 1;
                     merged += 1;
                     done_at = done_at.max(ready);
@@ -1835,7 +2046,7 @@ impl<'k> Sm<'k> {
                     new_txns += 1;
                     let ready =
                         now + self.config.mem_base_latency + new_txns * self.config.mem_per_txn;
-                    self.inflight_segments.insert(seg, ready);
+                    self.inflight_segments.push((seg, ready));
                     done_at = done_at.max(ready);
                 }
             }
@@ -1883,8 +2094,7 @@ impl<'k> Sm<'k> {
             return;
         }
         self.next_sample = self.now + self.config.sample_interval;
-        let warps_per_cta = self.kernel.kernel().launch().warps_per_cta() as usize;
-        let resident = self.resident_ctas() * warps_per_cta * self.kernel.num_regs();
+        let resident = self.resident_ctas() * self.warps_per_cta * self.num_regs;
         self.stats.samples.push(Sample {
             cycle: self.now,
             live_regs: self.regfile.live_count(),

@@ -1,0 +1,176 @@
+//! Differential tests for the cycle-engine hot-path overhaul: the
+//! incremental wake-event index must be *bit-identical* to the
+//! pre-overhaul O(warps) status rescan (kept as an executable
+//! specification behind `SimConfig::reference_wake_scan`), and the
+//! predecoded program image must match the compiled program field for
+//! field.
+
+use rfv_bench::harness::{compile_full, Machine};
+use rfv_isa::kernel::ProgItem;
+use rfv_sim::predecode::{PdItem, PredecodedKernel};
+use rfv_sim::warp::NO_RECONV;
+use rfv_sim::{simulate_traced_with_init, SimConfig, TracedRun};
+use rfv_trace::TraceEvent;
+use rfv_workloads::{suite, synth, PaperGeometry, SynthParams, Workload};
+
+fn chrome_json(events: &[TraceEvent]) -> String {
+    let out = rfv_trace::chrome::write_trace(Vec::new(), events).expect("in-memory write");
+    String::from_utf8(out).expect("chrome trace is utf-8")
+}
+
+/// A register-hungry multi-CTA workload that triggers the GPU-shrink
+/// throttle and its spill/swap machinery (the `SwappedOut` wake
+/// events the incremental index must track exactly).
+fn pressured_workload() -> Workload {
+    let p = SynthParams {
+        regs: 28,
+        loop_trips: 5,
+        divergent_loop: true,
+        diamond: true,
+        mem_ops: 3,
+        ctas: 8,
+        threads_per_cta: 128,
+        conc_ctas: 4,
+    };
+    Workload {
+        paper: PaperGeometry {
+            name: "synth-pressure",
+            ctas: p.ctas,
+            threads_per_cta: p.threads_per_cta,
+            regs_per_kernel: 28,
+            conc_ctas: p.conc_ctas,
+        },
+        kernel: synth(p),
+    }
+}
+
+fn init_words() -> Vec<(u64, u32)> {
+    (0..256).map(|i| (i * 4, (i * 37) as u32)).collect()
+}
+
+/// Runs `kernel` under `config` with the incremental wake index and
+/// with the reference rescan, asserting the two runs are
+/// bit-identical in every observable: statistics, final memories,
+/// trace events, and serialized Chrome JSON.
+fn assert_engines_match(
+    kernel: &rfv_compiler::CompiledKernel,
+    config: &SimConfig,
+    label: &str,
+) -> TracedRun {
+    let init = init_words();
+    let mut incr_cfg = *config;
+    incr_cfg.reference_wake_scan = false;
+    let mut ref_cfg = *config;
+    ref_cfg.reference_wake_scan = true;
+
+    let incr = simulate_traced_with_init(kernel, &incr_cfg, &init, 1 << 20).unwrap();
+    let refr = simulate_traced_with_init(kernel, &ref_cfg, &init, 1 << 20).unwrap();
+
+    assert_eq!(incr.result.cycles, refr.result.cycles, "{label}: cycles");
+    assert_eq!(incr.result.per_sm, refr.result.per_sm, "{label}: stats");
+    assert_eq!(
+        incr.result.memories, refr.result.memories,
+        "{label}: memories"
+    );
+    assert_eq!(incr.events, refr.events, "{label}: events");
+    assert_eq!(
+        chrome_json(&incr.events),
+        chrome_json(&refr.events),
+        "{label}: Chrome JSON"
+    );
+    incr
+}
+
+/// The four machine policies of the evaluation, on workloads covering
+/// streaming, reduction (barriers), and divergence.
+#[test]
+fn incremental_wake_index_matches_rescan_all_policies() {
+    for w in [suite::vectoradd(), suite::reduction(), suite::bfs()] {
+        let machines = [
+            Machine::Conventional,
+            Machine::Full128,
+            Machine::Shrink64,
+            Machine::HardwareOnly,
+        ];
+        for m in machines {
+            let ck = m.compile(&w);
+            let label = format!("{:?}/{}", m, w.name());
+            assert_engines_match(&ck, &m.config(), &label);
+        }
+    }
+}
+
+/// Both GPU-shrink configurations under register pressure: the
+/// spill/swap path populates the wake index with `SwappedOut` events,
+/// the hardest case for the lazy-invalidation argument.
+#[test]
+fn incremental_wake_index_matches_rescan_under_shrink_pressure() {
+    let w = pressured_workload();
+    let ck = compile_full(&w);
+    for pct in [50, 40] {
+        let config = SimConfig::gpu_shrink(pct);
+        let run = assert_engines_match(&ck, &config, &format!("shrink{pct}"));
+        assert!(run.result.cycles > 0, "shrink{pct} must simulate");
+    }
+}
+
+/// Multi-SM runs drain per-SM wake indexes independently; check the
+/// sharded path too.
+#[test]
+fn incremental_wake_index_matches_rescan_multi_sm() {
+    let w = suite::vectoradd();
+    let ck = compile_full(&w);
+    let mut config = SimConfig::baseline_full();
+    config.num_sms = 4;
+    config.sm_jobs = Some(1);
+    assert_engines_match(&ck, &config, "multi-sm");
+}
+
+/// Predecode is purely representational: every `PdItem` must carry
+/// exactly the fields of its `ProgItem`, with release flags,
+/// reconvergence PCs, and the scoreboard mask prefetched from the
+/// same side tables `try_issue` used to consult per cycle.
+#[test]
+fn predecoded_image_matches_compiled_program() {
+    for w in [suite::vectoradd(), suite::reduction(), pressured_workload()] {
+        let ck = compile_full(&w);
+        let pd = PredecodedKernel::new(&ck);
+        let program = ck.kernel();
+        assert_eq!(pd.len(), program.len(), "{}: item count", w.name());
+        assert_eq!(pd.is_empty(), program.items().is_empty());
+        for (pc, item) in program.items().iter().enumerate() {
+            match (item, pd.item(pc)) {
+                (ProgItem::Pir(p), PdItem::Pir { release_count }) => {
+                    assert_eq!(usize::from(*release_count), p.release_count());
+                }
+                (ProgItem::Pbr(p), PdItem::Pbr { lo, hi }) => {
+                    assert_eq!(pd.pbr_regs(*lo, *hi), p.regs());
+                }
+                (ProgItem::Instr(i), PdItem::Instr(d)) => {
+                    assert_eq!(d.opcode, i.opcode);
+                    assert_eq!(d.dst, i.dst);
+                    assert_eq!(d.pdst, i.pdst);
+                    assert_eq!(d.psrc, i.psrc);
+                    assert_eq!(d.guard, i.guard);
+                    assert_eq!(d.mem_offset, i.mem_offset);
+                    assert_eq!(d.srcs(), &i.srcs[..]);
+                    assert_eq!(d.target as usize, i.target.unwrap_or(0));
+                    assert_eq!(d.reconv, ck.reconv_at(pc).flatten().unwrap_or(NO_RECONV));
+                    assert_eq!(d.flags, ck.flags_at(pc));
+                    let mut mask = 0u64;
+                    for r in i.reads() {
+                        mask |= 1 << r.index();
+                    }
+                    if let Some(dst) = i.dst {
+                        mask |= 1 << dst.index();
+                    }
+                    assert_eq!(d.hazard_mask, mask, "pc {pc}");
+                    for (slot, r) in d.src_regs() {
+                        assert_eq!(i.srcs[slot].reg(), Some(r));
+                    }
+                }
+                (want, got) => panic!("{}: pc {pc}: {want:?} became {got:?}", w.name()),
+            }
+        }
+    }
+}
