@@ -5,6 +5,7 @@
 //! cargo run --release -p rfv-bench --bin figures -- all
 //! cargo run --release -p rfv-bench --bin figures -- fig11a
 //! cargo run --release -p rfv-bench --bin figures -- all --jobs 8 --csv out
+//! cargo run --release -p rfv-bench --bin figures -- all --journal sweep --retries 2
 //! ```
 //!
 //! `--jobs N` sizes the worker pool that fans independent
@@ -12,8 +13,25 @@
 //! `RFV_JOBS` environment variable, else the machine's available
 //! parallelism; `--jobs 1` restores fully sequential execution).
 //! Table and CSV row order is identical at every job count.
+//!
+//! # Crash-safe sweeps
+//!
+//! Every figure is a *cell*: it renders its whole table into memory
+//! and only then prints it. With `--journal DIR`, each completed
+//! cell's text is persisted (atomic write + rename) under `DIR/out/`
+//! and recorded in an append-only `DIR/manifest`; a re-run after a
+//! crash replays completed cells verbatim and computes only what is
+//! missing, so the final output is byte-identical to an uninterrupted
+//! sweep. A cell that panics or errors is retried up to `--retries N`
+//! times with exponential backoff; a persistently failing cell is
+//! emitted as `FAILED(reason)` while every other cell still completes
+//! (exit code 4 distinguishes a degraded sweep from a clean one).
 
+use std::collections::HashSet;
 use std::env;
+use std::io::Write as _;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 
 use rfv_bench::ablations;
 use rfv_bench::figures::{self, FIG13_CACHE_SIZES};
@@ -22,6 +40,18 @@ use rfv_bench::pool;
 use rfv_power::params::{register_bank, renaming_table, VDD_V};
 use rfv_power::{figure7_sweep, TechNode};
 use rfv_workloads::TABLE1;
+
+/// Appends a formatted line to a cell's output buffer (writing to a
+/// `String` cannot fail, so the `expect` is unreachable).
+macro_rules! wln {
+    ($out:expr) => {
+        $out.push('\n')
+    };
+    ($out:expr, $($arg:tt)*) => {{
+        use std::fmt::Write as _;
+        writeln!($out, $($arg)*).expect("write to String");
+    }};
+}
 
 const KNOWN: [&str; 15] = [
     "table1",
@@ -46,11 +76,14 @@ fn usage(error: &str) -> ! {
         eprintln!("error: {error}");
     }
     eprintln!(
-        "usage: figures [FIGURE] [--csv DIR] [--jobs N] [--sanitize off|check|recover]\n\
+        "usage: figures [FIGURE...] [--csv DIR] [--jobs N] [--sanitize off|check|recover]\n\
+         \x20              [--journal DIR] [--retries N]\n\
          \x20 FIGURE: all (default) {}\n\
          \x20 --csv DIR       also write each figure's data series as CSV files into DIR\n\
          \x20 --jobs N        worker threads for the sweep pool (default: RFV_JOBS or all cores)\n\
-         \x20 --sanitize L    run every sweep under the online register-file sanitizer",
+         \x20 --sanitize L    run every sweep under the online register-file sanitizer\n\
+         \x20 --journal DIR   record completed figures so an interrupted sweep resumes\n\
+         \x20 --retries N     retry a failed figure N times with exponential backoff",
         KNOWN.join(" ")
     );
     std::process::exit(2);
@@ -66,6 +99,95 @@ fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
         usage(&format!("{flag} needs an operand"));
     }
     Some(args.remove(pos))
+}
+
+/// The append-only sweep journal: `DIR/manifest` lists completed
+/// cells, `DIR/out/<cell>.txt` holds their rendered text. Both are
+/// written atomically (temp file + rename, append-only manifest), so
+/// a crash at any instant leaves every prior record intact.
+struct Journal {
+    dir: PathBuf,
+    done: HashSet<String>,
+}
+
+impl Journal {
+    fn open(dir: PathBuf) -> Result<Journal, String> {
+        std::fs::create_dir_all(dir.join("out"))
+            .map_err(|e| format!("--journal: cannot create {}: {e}", dir.display()))?;
+        let mut done = HashSet::new();
+        if let Ok(text) = std::fs::read_to_string(dir.join("manifest")) {
+            for line in text.lines() {
+                if let Some(name) = line.strip_prefix("ok ") {
+                    done.insert(name.to_string());
+                }
+            }
+        }
+        Ok(Journal { dir, done })
+    }
+
+    /// The saved text of a completed cell, if this journal has one.
+    fn replay(&self, cell: &str) -> Option<String> {
+        if !self.done.contains(cell) {
+            return None;
+        }
+        std::fs::read_to_string(self.dir.join("out").join(format!("{cell}.txt"))).ok()
+    }
+
+    /// Persists a freshly-computed cell: text first (atomically), then
+    /// the manifest line — a crash between the two re-computes the
+    /// cell on resume, never replays a half-written file.
+    fn record(&mut self, cell: &str, text: &str) -> Result<(), String> {
+        let out = self.dir.join("out").join(format!("{cell}.txt"));
+        let tmp = self.dir.join("out").join(format!("{cell}.txt.tmp"));
+        std::fs::write(&tmp, text).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+        std::fs::rename(&tmp, &out).map_err(|e| format!("rename {}: {e}", out.display()))?;
+        let manifest = self.dir.join("manifest");
+        std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&manifest)
+            .and_then(|mut f| writeln!(f, "ok {cell}"))
+            .map_err(|e| format!("append {}: {e}", manifest.display()))?;
+        self.done.insert(cell.to_string());
+        Ok(())
+    }
+}
+
+fn panic_text(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
+}
+
+/// Renders one cell, retrying panics and errors up to `retries` times
+/// with exponential backoff (50 ms, 100 ms, 200 ms, ...).
+fn run_cell(cell: &str, retries: usize) -> Result<String, String> {
+    let mut attempt = 0;
+    loop {
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            let mut out = String::new();
+            dispatch(cell, &mut out).map(|()| out)
+        }));
+        let reason = match outcome {
+            Ok(Ok(text)) => return Ok(text),
+            Ok(Err(e)) => e,
+            Err(payload) => panic_text(payload),
+        };
+        if attempt >= retries {
+            return Err(reason);
+        }
+        let delay = 50u64 << attempt.min(6);
+        eprintln!(
+            "warning: {cell} attempt {} failed ({reason}); retrying in {delay}ms",
+            attempt + 1
+        );
+        std::thread::sleep(std::time::Duration::from_millis(delay));
+        attempt += 1;
+    }
 }
 
 fn main() {
@@ -84,70 +206,114 @@ fn main() {
             )),
         }
     }
+    let retries = match take_flag(&mut args, "--retries") {
+        None => 0,
+        Some(n) => n
+            .parse::<usize>()
+            .unwrap_or_else(|_| usage(&format!("--retries needs an integer, got `{n}`"))),
+    };
+    let mut journal = take_flag(&mut args, "--journal").map(|dir| {
+        Journal::open(PathBuf::from(dir)).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            std::process::exit(1)
+        })
+    });
     // optional: `--csv DIR` dumps the data series next to the tables
     if let Some(dir) = take_flag(&mut args, "--csv") {
         let dir = std::path::PathBuf::from(dir);
-        std::fs::create_dir_all(&dir).expect("create csv dir");
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            usage(&format!("--csv: cannot create {}: {e}", dir.display()));
+        }
         CSV_DIR.set(dir).expect("set once");
     }
     if let Some(stray) = args.iter().find(|a| a.starts_with('-')) {
         usage(&format!("unknown flag `{stray}`"));
     }
-    if args.len() > 1 {
-        usage(&format!("expected one figure name, got {args:?}"));
+    let mut cells: Vec<&str> = Vec::new();
+    if args.is_empty() {
+        cells.extend(KNOWN);
     }
-    let what = args.first().map(String::as_str).unwrap_or("all");
-    if what == "all" {
-        for k in KNOWN {
-            dispatch(k);
+    for name in &args {
+        match name.as_str() {
+            "all" => cells.extend(KNOWN),
+            k if KNOWN.contains(&k) => cells.push(k),
+            _ => usage(&format!("unknown figure `{name}`")),
+        }
+    }
+    let multi = cells.len() > 1;
+
+    let mut degraded = false;
+    for cell in cells {
+        let replayed = journal.as_ref().and_then(|j| j.replay(cell));
+        let text = match replayed {
+            Some(text) => text,
+            None => match run_cell(cell, retries) {
+                Ok(text) => {
+                    if let Some(j) = journal.as_mut() {
+                        if let Err(e) = j.record(cell, &text) {
+                            eprintln!("error: journal: {e}");
+                            std::process::exit(1);
+                        }
+                    }
+                    text
+                }
+                Err(reason) => {
+                    degraded = true;
+                    let reason = reason.replace('\n', "; ");
+                    format!("=== {cell} ===\nFAILED({reason})\n")
+                }
+            },
+        };
+        print!("{text}");
+        if multi {
             println!();
         }
-        return;
     }
-    if KNOWN.contains(&what) {
-        dispatch(what);
-    } else {
-        usage(&format!("unknown figure `{what}`"));
+    if degraded {
+        std::process::exit(4);
     }
 }
 
-fn dispatch(what: &str) {
+fn dispatch(what: &str, out: &mut String) -> Result<(), String> {
     match what {
-        "table1" => table1(),
-        "table2" => table2(),
-        "fig1" => fig1(),
-        "fig2" => fig2(),
-        "fig7" => fig7(),
-        "fig8" => fig8(),
-        "fig9" => fig9(),
-        "fig10" => fig10(),
-        "fig11a" => fig11a(),
-        "fig11b" => fig11b(),
-        "fig12" => fig12(),
-        "fig13" => fig13(),
-        "fig14" => fig14(),
-        "fig15" => fig15(),
-        "ablations" => run_ablations(),
+        "table1" => table1(out),
+        "table2" => table2(out),
+        "fig1" => fig1(out),
+        "fig2" => fig2(out),
+        "fig7" => fig7(out),
+        "fig8" => fig8(out),
+        "fig9" => fig9(out),
+        "fig10" => fig10(out),
+        "fig11a" => fig11a(out),
+        "fig11b" => fig11b(out),
+        "fig12" => fig12(out),
+        "fig13" => fig13(out),
+        "fig14" => fig14(out),
+        "fig15" => fig15(out),
+        "ablations" => run_ablations(out),
         _ => unreachable!("checked by main"),
     }
 }
 
-fn header(title: &str) {
-    println!("=== {title} ===");
+fn header(out: &mut String, title: &str) {
+    wln!(out, "=== {title} ===");
     // echo active robustness settings so logged/CSV'd output is
     // self-describing (figures never injects faults, only sanitizes)
     let level = harness::sanitize_level();
     if level.is_on() {
-        println!("[robustness] sanitizer {level}, fault plan none");
+        wln!(out, "[robustness] sanitizer {level}, fault plan none");
     }
 }
 
 static CSV_DIR: std::sync::OnceLock<std::path::PathBuf> = std::sync::OnceLock::new();
 
 /// Writes a CSV data file next to the printed table when `--csv DIR`
-/// was given.
-fn write_csv(name: &str, header: &str, rows: &[String]) {
-    let Some(dir) = CSV_DIR.get() else { return };
+/// was given. An unwritable path is an ordinary cell error (the cell
+/// is retried/reported `FAILED`), never a panic.
+fn write_csv(out: &mut String, name: &str, header: &str, rows: &[String]) -> Result<(), String> {
+    let Some(dir) = CSV_DIR.get() else {
+        return Ok(());
+    };
     let mut text = String::from(header);
     text.push('\n');
     for r in rows {
@@ -155,69 +321,106 @@ fn write_csv(name: &str, header: &str, rows: &[String]) {
         text.push('\n');
     }
     let path = dir.join(format!("{name}.csv"));
-    std::fs::write(&path, text).expect("write csv");
-    println!("[csv] wrote {}", path.display());
+    std::fs::write(&path, text).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    wln!(out, "[csv] wrote {}", path.display());
+    Ok(())
 }
 
-fn table1() {
-    header("Table 1: Workloads");
-    println!(
+fn table1(out: &mut String) -> Result<(), String> {
+    header(out, "Table 1: Workloads");
+    wln!(
+        out,
         "{:<14} {:>7} {:>10} {:>12} {:>14}",
-        "Name", "# CTAs", "Thrds/CTA", "Regs/Kernel", "Conc.CTAs/SM"
+        "Name",
+        "# CTAs",
+        "Thrds/CTA",
+        "Regs/Kernel",
+        "Conc.CTAs/SM"
     );
     for g in TABLE1 {
-        println!(
+        wln!(
+            out,
             "{:<14} {:>7} {:>10} {:>12} {:>14}",
-            g.name, g.ctas, g.threads_per_cta, g.regs_per_kernel, g.conc_ctas
+            g.name,
+            g.ctas,
+            g.threads_per_cta,
+            g.regs_per_kernel,
+            g.conc_ctas
         );
     }
+    Ok(())
 }
 
-fn table2() {
-    header("Table 2: Renaming table and register bank energy (40nm)");
-    println!(
-        "{:<22} {:>15} {:>15}",
-        "Parameter", "Renaming table", "Register bank"
+fn table2(out: &mut String) -> Result<(), String> {
+    header(
+        out,
+        "Table 2: Renaming table and register bank energy (40nm)",
     );
-    println!("{:<22} {:>15} {:>15}", "Size", "1KB", "4KB");
-    println!("{:<22} {:>15} {:>15}", "# Banks", renaming_table::BANKS, 1);
-    println!("{:<22} {:>14}V {:>14}V", "Vdd", VDD_V, VDD_V);
-    println!(
+    wln!(
+        out,
+        "{:<22} {:>15} {:>15}",
+        "Parameter",
+        "Renaming table",
+        "Register bank"
+    );
+    wln!(out, "{:<22} {:>15} {:>15}", "Size", "1KB", "4KB");
+    wln!(
+        out,
+        "{:<22} {:>15} {:>15}",
+        "# Banks",
+        renaming_table::BANKS,
+        1
+    );
+    wln!(out, "{:<22} {:>14}V {:>14}V", "Vdd", VDD_V, VDD_V);
+    wln!(
+        out,
         "{:<22} {:>13}pJ {:>13}pJ",
         "Per-access energy",
         renaming_table::ACCESS_PJ,
         register_bank::ACCESS_PJ
     );
-    println!(
+    wln!(
+        out,
         "{:<22} {:>13}mW {:>13}mW",
         "Per-bank leakage",
         renaming_table::LEAK_PER_BANK_MW,
         register_bank::LEAK_PER_SUBBANK_MW
     );
+    Ok(())
 }
 
-fn fig1() {
-    header("Figure 1: Fraction of live registers during execution (%)");
+fn fig1(out: &mut String) -> Result<(), String> {
+    header(
+        out,
+        "Figure 1: Fraction of live registers during execution (%)",
+    );
     for w in figures::fig1_apps() {
         let series = figures::fig1(&w);
         let avg = figures::mean(&series, |&(_, p)| p);
-        println!("-- {} (mean {:.0}%):", w.name(), avg);
+        wln!(out, "-- {} (mean {:.0}%):", w.name(), avg);
         for (cycle, pct) in series.iter().step_by(16.max(series.len() / 24)) {
-            println!("   cycle {cycle:>6}: {:>5.1}%  {}", pct, bar(*pct, 100.0));
+            wln!(
+                out,
+                "   cycle {cycle:>6}: {:>5.1}%  {}",
+                pct,
+                bar(*pct, 100.0)
+            );
         }
         write_csv(
+            out,
             &format!("fig1_{}", w.name().to_lowercase()),
             "cycle,live_pct",
             &series
                 .iter()
                 .map(|(c, p)| format!("{c},{p:.2}"))
                 .collect::<Vec<_>>(),
-        );
+        )?;
     }
+    Ok(())
 }
 
-fn fig2() {
-    header("Figure 2: MatrixMul register lifetimes (warp 0)");
+fn fig2(out: &mut String) -> Result<(), String> {
+    header(out, "Figure 2: MatrixMul register lifetimes (warp 0)");
     for (reg, intervals) in figures::fig2() {
         let label = match reg {
             1 => "r1 (whole-kernel, like the paper's r1)",
@@ -225,28 +428,41 @@ fn fig2() {
             13 => "r13 (epilogue-only, like the paper's r3)",
             _ => "r?",
         };
-        println!("-- {label}");
+        wln!(out, "-- {label}");
         for (s, e) in &intervals {
-            println!("   live [{s:>6}, {e:>6}]  ({} cycles)", e - s);
+            wln!(out, "   live [{s:>6}, {e:>6}]  ({} cycles)", e - s);
         }
-        println!("   {} lifetime(s)", intervals.len());
+        wln!(out, "   {} lifetime(s)", intervals.len());
     }
+    Ok(())
 }
 
-fn fig7() {
-    header("Figure 7: Register file power vs size reduction (normalized %)");
-    println!(
+fn fig7(out: &mut String) -> Result<(), String> {
+    header(
+        out,
+        "Figure 7: Register file power vs size reduction (normalized %)",
+    );
+    wln!(
+        out,
         "{:>10} {:>10} {:>10} {:>10}",
-        "reduction", "dynamic", "leakage", "total"
+        "reduction",
+        "dynamic",
+        "leakage",
+        "total"
     );
     let sweep = figure7_sweep();
     for p in &sweep {
-        println!(
+        wln!(
+            out,
             "{:>9.0}% {:>9.1}% {:>9.1}% {:>9.1}%",
-            p.reduction_pct, p.dynamic_pct, p.leakage_pct, p.total_pct
+            p.reduction_pct,
+            p.dynamic_pct,
+            p.leakage_pct,
+            p.total_pct
         );
     }
     write_csv(
+        out,
         "fig7",
         "reduction_pct,dynamic_pct,leakage_pct,total_pct",
         &sweep
@@ -258,14 +474,17 @@ fn fig7() {
                 )
             })
             .collect::<Vec<_>>(),
-    );
+    )
 }
 
-fn fig8() {
-    header("Figure 8: Subarray occupancy with and without renaming (MatrixMul, mid-run)");
+fn fig8(out: &mut String) -> Result<(), String> {
+    header(
+        out,
+        "Figure 8: Subarray occupancy with and without renaming (MatrixMul, mid-run)",
+    );
     let w = rfv_workloads::suite::matrixmul();
     let ((c_cycle, conv), (v_cycle, virt)) = figures::fig8(&w);
-    let grid = |occ: &[usize]| {
+    let grid = |out: &mut String, occ: &[usize]| {
         for bank in 0..4 {
             let row: Vec<String> = (0..4)
                 .map(|sa| {
@@ -277,35 +496,46 @@ fn fig8() {
                     }
                 })
                 .collect();
-            println!("   bank{bank}: {}", row.join(""));
+            wln!(out, "   bank{bank}: {}", row.join(""));
         }
     };
-    println!("-- conventional (cycle {c_cycle}): every subarray holds registers");
-    grid(&conv);
-    println!(
+    wln!(
+        out,
+        "-- conventional (cycle {c_cycle}): every subarray holds registers"
+    );
+    grid(out, &conv);
+    wln!(
+        out,
         "-- virtualized (cycle {v_cycle}): live registers packed into {} of 16 subarrays",
         virt.iter().filter(|&&o| o > 0).count()
     );
-    grid(&virt);
+    grid(out, &virt);
+    Ok(())
 }
 
-fn fig9() {
-    header("Figure 9: Leakage fraction vs technology (normalized to 40nm)");
+fn fig9(out: &mut String) -> Result<(), String> {
+    header(
+        out,
+        "Figure 9: Leakage fraction vs technology (normalized to 40nm)",
+    );
     for node in TechNode::all() {
-        println!(
+        wln!(
+            out,
             "{:<10} {:>5.2}  {}",
             node.to_string(),
             node.leakage_factor(),
             bar(node.leakage_factor() * 50.0, 100.0)
         );
     }
+    Ok(())
 }
 
-fn fig10() {
-    header("Figure 10: Register allocation reduction (%)");
+fn fig10(out: &mut String) -> Result<(), String> {
+    header(out, "Figure 10: Register allocation reduction (%)");
     let rows = figures::fig10(&figures::full_suite());
     for r in &rows {
-        println!(
+        wln!(
+            out,
             "{:<14} alloc {:>5}  peak {:>5}  reduction {:>5.1}%  {}",
             r.name,
             r.alloc,
@@ -314,11 +544,13 @@ fn fig10() {
             bar(r.reduction_pct, 50.0)
         );
     }
-    println!(
+    wln!(
+        out,
         "AVG reduction: {:.1}%",
         figures::mean(&rows, |r| r.reduction_pct)
     );
     write_csv(
+        out,
         "fig10",
         "benchmark,alloc,peak_live,reduction_pct",
         &rows
@@ -330,18 +562,28 @@ fn fig10() {
                 )
             })
             .collect::<Vec<_>>(),
-    );
+    )
 }
 
-fn fig11a() {
-    header("Figure 11(a): Execution cycle increase with a 64KB register file (%)");
+fn fig11a(out: &mut String) -> Result<(), String> {
+    header(
+        out,
+        "Figure 11(a): Execution cycle increase with a 64KB register file (%)",
+    );
     let rows = figures::fig11a(&figures::full_suite());
-    println!(
+    wln!(
+        out,
         "{:<14} {:>10} {:>12} {:>12} {:>10} {:>10}",
-        "Name", "base(cyc)", "GPU-shrink", "Comp.spill", "shrink%", "spill%"
+        "Name",
+        "base(cyc)",
+        "GPU-shrink",
+        "Comp.spill",
+        "shrink%",
+        "spill%"
     );
     for r in &rows {
-        println!(
+        wln!(
+            out,
             "{:<14} {:>10} {:>12} {:>12} {:>9.2}% {:>9.1}%{}",
             r.name,
             r.base_cycles,
@@ -352,12 +594,14 @@ fn fig11a() {
             if r.spilled { "" } else { "  (no spill needed)" }
         );
     }
-    println!(
+    wln!(
+        out,
         "AVG: GPU-shrink {:+.2}%  compiler-spill {:+.1}%",
         figures::mean(&rows, Fig11aShrink::get),
         figures::mean(&rows, |r| r.spill_increase_pct())
     );
     write_csv(
+        out,
         "fig11a",
         "benchmark,base_cycles,shrink_cycles,spill_cycles,shrink_pct,spill_pct",
         &rows
@@ -374,7 +618,7 @@ fn fig11a() {
                 )
             })
             .collect::<Vec<_>>(),
-    );
+    )
 }
 
 struct Fig11aShrink;
@@ -384,34 +628,44 @@ impl Fig11aShrink {
     }
 }
 
-fn fig11b() {
-    header("Figure 11(b): Sensitivity to subarray wakeup latency");
+fn fig11b(out: &mut String) -> Result<(), String> {
+    header(out, "Figure 11(b): Sensitivity to subarray wakeup latency");
     for (wake, ratio) in figures::fig11b(&figures::full_suite()) {
-        println!("wakeup {wake:>2} cycles: normalized cycles {ratio:.4}");
+        wln!(out, "wakeup {wake:>2} cycles: normalized cycles {ratio:.4}");
     }
+    Ok(())
 }
 
-fn fig12() {
-    header("Figure 12: Register file energy breakdown (normalized to 128KB RF)");
+fn fig12(out: &mut String) -> Result<(), String> {
+    header(
+        out,
+        "Figure 12: Register file energy breakdown (normalized to 128KB RF)",
+    );
     let rows = figures::fig12(&figures::full_suite());
-    println!(
+    wln!(
+        out,
         "{:<14} {:>12} {:>10} {:>12}",
-        "Name", "128KB w/PG", "64KB", "64KB w/PG"
+        "Name",
+        "128KB w/PG",
+        "64KB",
+        "64KB w/PG"
     );
     for r in &rows {
         let (a, b, c) = r.normalized();
-        println!("{:<14} {:>12.3} {:>10.3} {:>12.3}", r.name, a, b, c);
+        wln!(out, "{:<14} {:>12.3} {:>10.3} {:>12.3}", r.name, a, b, c);
     }
     let avg = |f: fn(&rfv_bench::figures::Fig12Row) -> f64| {
         rows.iter().map(f).sum::<f64>() / rows.len() as f64
     };
-    println!(
+    wln!(
+        out,
         "AVG          {:>12.3} {:>10.3} {:>12.3}   (paper: 64KB w/PG saves ~42%)",
         avg(|r| r.normalized().0),
         avg(|r| r.normalized().1),
         avg(|r| r.normalized().2)
     );
     write_csv(
+        out,
         "fig12",
         "benchmark,norm_128kb_pg,norm_64kb,norm_64kb_pg",
         &rows
@@ -421,18 +675,26 @@ fn fig12() {
                 format!("{},{a:.4},{b:.4},{c:.4}", r.name)
             })
             .collect::<Vec<_>>(),
-    );
+    )
 }
 
-fn fig13() {
-    header("Figure 13: Static and dynamic code increase (%)");
+fn fig13(out: &mut String) -> Result<(), String> {
+    header(out, "Figure 13: Static and dynamic code increase (%)");
     let rows = figures::fig13(&figures::full_suite());
-    println!(
+    wln!(
+        out,
         "{:<14} {:>7} {:>9} {:>9} {:>9} {:>9} {:>10}",
-        "Name", "Static", "Dyn-0", "Dyn-1", "Dyn-2", "Dyn-5", "Dyn-10"
+        "Name",
+        "Static",
+        "Dyn-0",
+        "Dyn-1",
+        "Dyn-2",
+        "Dyn-5",
+        "Dyn-10"
     );
     for r in &rows {
-        println!(
+        wln!(
+            out,
             "{:<14} {:>6.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>9.2}%",
             r.name,
             r.static_pct,
@@ -444,12 +706,14 @@ fn fig13() {
         );
     }
     for (i, entries) in FIG13_CACHE_SIZES.into_iter().enumerate() {
-        println!(
+        wln!(
+            out,
             "AVG Dynamic-{entries}: {:.2}%",
             figures::mean(&rows, |r| r.dynamic_pct[i])
         );
     }
     write_csv(
+        out,
         "fig13",
         "benchmark,static_pct,dyn0,dyn1,dyn2,dyn5,dyn10",
         &rows
@@ -467,16 +731,24 @@ fn fig13() {
                 )
             })
             .collect::<Vec<_>>(),
-    );
+    )
 }
 
-fn fig14() {
-    header("Figure 14: Renaming table size and 1KB-constrained saving");
+fn fig14(out: &mut String) -> Result<(), String> {
+    header(
+        out,
+        "Figure 14: Renaming table size and 1KB-constrained saving",
+    );
     let rows = figures::fig14(&figures::full_suite());
     for r in &rows {
-        println!(
+        wln!(
+            out,
             "{:<14} unconstrained {:>5}B  constrained {:>5}B  exempt {:>2}  saving {:>5.3}",
-            r.name, r.unconstrained_bytes, r.constrained_bytes, r.exempted, r.normalized_saving
+            r.name,
+            r.unconstrained_bytes,
+            r.constrained_bytes,
+            r.exempted,
+            r.normalized_saving
         );
     }
     let over: Vec<&str> = rows
@@ -484,8 +756,9 @@ fn fig14() {
         .filter(|r| r.unconstrained_bytes > 1024)
         .map(|r| r.name)
         .collect();
-    println!("benchmarks exceeding 1KB unconstrained: {over:?}");
+    wln!(out, "benchmarks exceeding 1KB unconstrained: {over:?}");
     write_csv(
+        out,
         "fig14",
         "benchmark,unconstrained_bytes,constrained_bytes,exempted,normalized_saving",
         &rows
@@ -501,28 +774,39 @@ fn fig14() {
                 )
             })
             .collect::<Vec<_>>(),
-    );
+    )
 }
 
-fn fig15() {
-    header("Figure 15: Hardware-only renaming [46] normalized to ours");
+fn fig15(out: &mut String) -> Result<(), String> {
+    header(
+        out,
+        "Figure 15: Hardware-only renaming [46] normalized to ours",
+    );
     let rows = figures::fig15(&figures::full_suite());
-    println!(
+    wln!(
+        out,
         "{:<14} {:>16} {:>18}",
-        "Name", "alloc reduction", "static power red."
+        "Name",
+        "alloc reduction",
+        "static power red."
     );
     for r in &rows {
-        println!(
+        wln!(
+            out,
             "{:<14} {:>16.3} {:>18.3}",
-            r.name, r.alloc_reduction_ratio, r.static_reduction_ratio
+            r.name,
+            r.alloc_reduction_ratio,
+            r.static_reduction_ratio
         );
     }
-    println!(
+    wln!(
+        out,
         "AVG: alloc {:.3}, static {:.3}  (paper: ours saves ~2x more static power)",
         figures::mean(&rows, |r| r.alloc_reduction_ratio),
         figures::mean(&rows, |r| r.static_reduction_ratio)
     );
     write_csv(
+        out,
         "fig15",
         "benchmark,alloc_reduction_ratio,static_reduction_ratio",
         &rows
@@ -534,36 +818,50 @@ fn fig15() {
                 )
             })
             .collect::<Vec<_>>(),
-    );
+    )?;
     let _ = harness::spill_cap; // keep harness linked for doc purposes
+    Ok(())
 }
 
-fn run_ablations() {
-    header("Ablations (beyond the paper)");
-    println!("-- bank-preserving vs free-bank renaming (75% shrink):");
+fn run_ablations(out: &mut String) -> Result<(), String> {
+    header(out, "Ablations (beyond the paper)");
+    wln!(
+        out,
+        "-- bank-preserving vs free-bank renaming (75% shrink):"
+    );
     for r in ablations::bank_preservation(&ablations::pressure_subset()) {
-        println!(
+        wln!(
+            out,
             "   {:<12} strict {:>8} cyc / {:>6} stalls   free {:>8} cyc / {:>6} stalls",
-            r.name, r.strict_cycles, r.strict_stalls, r.free_cycles, r.free_stalls
+            r.name,
+            r.strict_cycles,
+            r.strict_stalls,
+            r.free_cycles,
+            r.free_stalls
         );
     }
     let ws = figures::full_suite();
-    println!("-- flag cache size sweep (avg dynamic increase %):");
+    wln!(out, "-- flag cache size sweep (avg dynamic increase %):");
     for (entries, pct) in ablations::flag_cache_sweep(&ws, &[0, 5, 10, 16, 32]) {
-        println!("   {entries:>3} entries: {pct:>5.2}%");
+        wln!(out, "   {entries:>3} entries: {pct:>5.2}%");
     }
-    println!("-- GPU-shrink depth sweep (avg cycle increase %):");
+    wln!(out, "-- GPU-shrink depth sweep (avg cycle increase %):");
     for (pct, inc) in ablations::shrink_sweep(&ws, &[30, 40, 50, 60, 75]) {
-        println!("   {pct:>2}% shrink: {inc:>+6.2}%");
+        wln!(out, "   {pct:>2}% shrink: {inc:>+6.2}%");
     }
-    println!("-- ready-queue size sweep (avg cycles vs 6-entry queue):");
+    wln!(
+        out,
+        "-- ready-queue size sweep (avg cycles vs 6-entry queue):"
+    );
     for (size, ratio) in ablations::ready_queue_sweep(&ws, &[2, 4, 6, 8, 12]) {
-        println!("   {size:>2} entries: {ratio:.4}x");
+        wln!(out, "   {size:>2} entries: {ratio:.4}x");
     }
-    println!(
+    wln!(
+        out,
         "-- extra renaming pipeline cycle costs {:+.2}% on average",
         ablations::rename_cycle_cost(&ws)
     );
+    Ok(())
 }
 
 fn bar(value: f64, full_scale: f64) -> String {

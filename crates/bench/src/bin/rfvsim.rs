@@ -37,6 +37,25 @@
 //!   deterministic placement stream (default 0). Active settings are
 //!   echoed in every report header.
 //!
+//! Checkpoint/resume flags:
+//!
+//! * `--checkpoint-every <CYCLES>` — snapshot the whole machine at
+//!   every CYCLES-cycle boundary into `--ckpt-dir` (default `.`).
+//!   Files are written atomically (`*.rfvckpt.tmp` then rename), so a
+//!   crash mid-write always leaves the previous checkpoint valid.
+//! * `--resume <PATH>` — restore a checkpoint file and run it to
+//!   completion; the final report, stats, and trace tail are
+//!   bit-identical to the uninterrupted run. Corrupt, truncated, or
+//!   version-mismatched files are rejected with an ordinary error.
+//! * `--max-cycles <N>` — override the watchdog cycle budget. When
+//!   the watchdog aborts a `--stats-json` run, the per-warp
+//!   diagnostic (pc/status/outstanding) is written to the stats path
+//!   instead of the normal counters.
+//!
+//! `rfvsim --probe-shrink WORKLOAD [PCT]` prints the GPU-shrink
+//! diagnostic probe (compile stats, conventional cycles, shrink
+//! pressure counters) and exits.
+//!
 //! With `--compare`, the machine label is inserted before the file
 //! extension (`trace.json` → `trace.full.json`). The compared
 //! machines run concurrently on the job pool and multi-SM
@@ -50,15 +69,18 @@ use std::fs::File;
 use std::io::{BufWriter, Write};
 use std::process::exit;
 
-use rfv_bench::harness::{compile_full, compile_plain, rf_activity};
+use std::path::Path;
+
+use rfv_bench::harness::{compile_full, compile_plain, rf_activity, Machine};
 use rfv_bench::pool;
 use rfv_compiler::CompiledKernel;
 use rfv_core::VirtualizationPolicy;
 use rfv_power::model::{energy, RfGeometry};
 use rfv_sim::{
-    simulate_traced, FaultPlan, SanitizeLevel, SimConfig, SimError, SimResult, TracedRun,
+    simulate, simulate_resumable_traced, simulate_traced, simulate_traced_checkpointed, Checkpoint,
+    FaultPlan, SanitizeLevel, SimConfig, SimError, SimResult, TracedRun, WatchdogSnapshot,
 };
-use rfv_trace::TraceEvent;
+use rfv_trace::{MetricsRegistry, TraceEvent};
 use rfv_workloads::{suite, PaperGeometry, Workload};
 
 struct Options {
@@ -74,14 +96,28 @@ struct Options {
     sanitize: SanitizeLevel,
     inject: Option<String>,
     seed: u64,
+    checkpoint_every: Option<u64>,
+    ckpt_dir: String,
+    resume: Option<String>,
+    max_cycles: Option<u64>,
 }
 
 fn usage() -> ! {
+    usage_error("")
+}
+
+fn usage_error(error: &str) -> ! {
+    if !error.is_empty() {
+        eprintln!("error: {error}");
+    }
     eprintln!(
         "usage: rfvsim <benchmark|file.asm> [--machine conventional|full|shrink50|shrink60|shrink75|hwonly]\n\
          \x20             [--sms N] [--jobs N] [--launch CTAS,THREADS,CONC] [--compare]\n\
          \x20             [--trace out.json] [--trace-capacity N] [--stats-json out.json]\n\
          \x20             [--sanitize off|check|recover] [--inject KIND:N[,KIND:N...]] [--seed N]\n\
+         \x20             [--checkpoint-every CYCLES] [--ckpt-dir DIR] [--resume PATH]\n\
+         \x20             [--max-cycles N]\n\
+         \x20      rfvsim --probe-shrink WORKLOAD [PCT]\n\
          fault kinds: premature-release dropped-release pir-flip pbr-flip rename-corrupt\n\
          \x20            stale-flag-hit spill-loss all\n\
          benchmarks: {}",
@@ -97,6 +133,9 @@ fn usage() -> ! {
 fn parse_args() -> Options {
     let mut args = env::args().skip(1);
     let Some(target) = args.next() else { usage() };
+    if target == "--probe-shrink" {
+        probe_shrink(args);
+    }
     let mut opts = Options {
         target,
         machine: "full".into(),
@@ -110,6 +149,10 @@ fn parse_args() -> Options {
         sanitize: SanitizeLevel::Off,
         inject: None,
         seed: 0,
+        checkpoint_every: None,
+        ckpt_dir: ".".into(),
+        resume: None,
+        max_cycles: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -158,10 +201,159 @@ fn parse_args() -> Options {
                     .and_then(|s| s.parse().ok())
                     .unwrap_or_else(|| usage())
             }
-            _ => usage(),
+            "--checkpoint-every" => {
+                opts.checkpoint_every = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .unwrap_or_else(|| {
+                            usage_error("--checkpoint-every needs a positive cycle count")
+                        }),
+                )
+            }
+            "--ckpt-dir" => {
+                opts.ckpt_dir = args
+                    .next()
+                    .unwrap_or_else(|| usage_error("--ckpt-dir needs a directory"))
+            }
+            "--resume" => {
+                opts.resume = Some(
+                    args.next()
+                        .unwrap_or_else(|| usage_error("--resume needs a checkpoint path")),
+                )
+            }
+            "--max-cycles" => {
+                opts.max_cycles = Some(
+                    args.next()
+                        .and_then(|s| s.parse().ok())
+                        .filter(|&n: &u64| n > 0)
+                        .unwrap_or_else(|| usage_error("--max-cycles needs a positive integer")),
+                )
+            }
+            other => usage_error(&format!("unknown flag `{other}`")),
         }
     }
+    if opts.compare && (opts.checkpoint_every.is_some() || opts.resume.is_some()) {
+        usage_error("--compare cannot be combined with --checkpoint-every or --resume");
+    }
+    if opts.checkpoint_every.is_some() && opts.resume.is_some() {
+        usage_error("--checkpoint-every and --resume are mutually exclusive");
+    }
     opts
+}
+
+/// `rfvsim --probe-shrink WORKLOAD [PCT]`: the GPU-shrink diagnostic
+/// probe (formerly the `debug_shrink` binary), with proper errors
+/// instead of panics on unknown workloads or malformed percentages.
+fn probe_shrink(mut args: impl Iterator<Item = String>) -> ! {
+    let Some(name) = args.next() else {
+        usage_error("--probe-shrink needs a workload name")
+    };
+    let pct = match args.next() {
+        None => 50,
+        Some(s) => s
+            .parse::<usize>()
+            .ok()
+            .filter(|p| (1..=99).contains(p))
+            .unwrap_or_else(|| {
+                usage_error(&format!(
+                    "--probe-shrink PCT must be a percentage in 1..=99, got `{s}`"
+                ))
+            }),
+    };
+    if let Some(stray) = args.next() {
+        usage_error(&format!("unexpected argument `{stray}` after PCT"));
+    }
+    let Some(w) = suite::by_name(&name) else {
+        usage_error(&format!("unknown benchmark `{name}`"))
+    };
+    let ck = compile_full(&w);
+    println!(
+        "{}: regs {}, exempt {}, renamed {}",
+        w.name(),
+        w.kernel.num_regs(),
+        ck.stats().num_exempt,
+        ck.stats().num_renamed
+    );
+    let base = Machine::Conventional.run(&w);
+    println!("conventional: {} cycles", base.cycles);
+    let mut cfg = SimConfig::gpu_shrink(pct);
+    cfg.max_cycles = 3_000_000;
+    match simulate(&ck, &cfg) {
+        Ok(r) => {
+            let s = r.sm0();
+            println!(
+                "shrink{pct}: {} cycles, stalls {}, throttled {}, swaps {}, ctas {}, bank conflicts {}",
+                r.cycles,
+                s.no_reg_stalls,
+                s.throttle_restricted_cycles,
+                s.swap_outs,
+                s.ctas_completed,
+                s.bank_conflicts
+            );
+            exit(0)
+        }
+        Err(e) => {
+            eprintln!("shrink{pct}: simulation failed: {e}");
+            exit(1)
+        }
+    }
+}
+
+/// Atomically persists one checkpoint: write the bytes to a `.tmp`
+/// sibling, then rename into place. A crash at any point leaves every
+/// previously-renamed checkpoint untouched and at worst an orphaned
+/// `.tmp` that loading code never considers.
+fn write_checkpoint(dir: &Path, ck: &Checkpoint) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("create {}: {e}", dir.display()))?;
+    let name = format!("ckpt-{:012}.rfvckpt", ck.cycle);
+    let tmp = dir.join(format!("{name}.tmp"));
+    let done = dir.join(&name);
+    std::fs::write(&tmp, ck.to_bytes()).map_err(|e| format!("write {}: {e}", tmp.display()))?;
+    std::fs::rename(&tmp, &done).map_err(|e| format!("rename {}: {e}", done.display()))?;
+    eprintln!("[ckpt] cycle {} -> {}", ck.cycle, done.display());
+    Ok(())
+}
+
+/// Loads and validates a checkpoint file for `--resume`.
+fn load_checkpoint(path: &str) -> Result<Checkpoint, SimError> {
+    let bytes = std::fs::read(path)
+        .map_err(|e| SimError::BadCheckpoint(format!("cannot read {path}: {e}")))?;
+    Checkpoint::from_bytes(&bytes)
+}
+
+/// When the watchdog aborts a `--stats-json` run, the artifact carries
+/// the per-warp diagnostic instead of final counters, so the stall can
+/// be analyzed from the JSON alone.
+fn write_watchdog_json(path: &str, limit: u64, snapshot: &WatchdogSnapshot) {
+    let mut m = MetricsRegistry::new();
+    m.add("watchdog.limit_cycles", limit);
+    m.add("watchdog.cycle", snapshot.cycle);
+    m.add("watchdog.live_regs", snapshot.live_regs as u64);
+    m.add("watchdog.warps", snapshot.warps.len() as u64);
+    for w in &snapshot.warps {
+        let p = format!("watchdog.warp.{:03}", w.slot);
+        if let Some(pc) = w.pc {
+            m.add(&format!("{p}.pc"), pc as u64);
+        }
+        m.add(&format!("{p}.status.{}", w.status), 1);
+        m.add(&format!("{p}.outstanding"), w.outstanding);
+        m.add(&format!("{p}.cta_slot"), w.cta_slot as u64);
+        m.add(&format!("{p}.next_issue_at"), w.next_issue_at);
+        m.add(&format!("{p}.mapped"), w.mapped as u64);
+    }
+    let file = File::create(path).unwrap_or_else(|e| {
+        eprintln!("cannot create {path}: {e}");
+        exit(1)
+    });
+    let mut w = BufWriter::new(file);
+    w.write_all(m.to_json().as_bytes())
+        .and_then(|()| w.flush())
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            exit(1)
+        });
+    eprintln!("[watchdog] per-warp diagnostic -> {path}");
 }
 
 fn machine_config(name: &str) -> Option<SimConfig> {
@@ -362,6 +554,9 @@ fn main() {
         c.sm_jobs = opts.jobs;
         c.sanitize = opts.sanitize;
         c.faults = faults;
+        if let Some(n) = opts.max_cycles {
+            c.max_cycles = n;
+        }
     };
     let Some(mut cfg) = machine_config(&opts.machine) else {
         usage()
@@ -389,14 +584,24 @@ fn main() {
     };
 
     // fan the machines across the job pool, then print in the fixed
-    // machine order so `--compare` output is stable
+    // machine order so `--compare` output is stable (checkpoint and
+    // resume runs are single-machine: --compare rejects both flags)
     let runs = pool::par_map(&machines, |(label, cfg)| {
         let ck = if cfg.regfile.policy.uses_release_flags() {
             compile_full(&w)
         } else {
             compile_plain(&w)
         };
-        let run = simulate_traced(&ck, cfg, capacity);
+        let run = if let Some(path) = &opts.resume {
+            load_checkpoint(path).and_then(|c| simulate_resumable_traced(&ck, cfg, &c))
+        } else if let Some(every) = opts.checkpoint_every {
+            let dir = std::path::PathBuf::from(&opts.ckpt_dir);
+            simulate_traced_checkpointed(&ck, cfg, &[], capacity, every, &mut |c| {
+                write_checkpoint(&dir, c)
+            })
+        } else {
+            simulate_traced(&ck, cfg, capacity)
+        };
         (*label, *cfg, ck, run)
     });
     for (label, cfg, ck, run) in runs {
@@ -411,6 +616,13 @@ fn main() {
                 }
             }
             Err(e) => {
+                // a watchdog abort still produces a stats artifact: the
+                // per-warp diagnostic replaces the final counters
+                if let (SimError::Watchdog { cycles, snapshot }, Some(base)) =
+                    (&e, &opts.stats_json)
+                {
+                    write_watchdog_json(&out_path(base, label, multiple), *cycles, snapshot);
+                }
                 // a sanitizer detection under --sanitize check is the
                 // expected outcome of a fault-injection run, not an
                 // internal failure — give it its own exit code

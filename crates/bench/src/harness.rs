@@ -98,6 +98,13 @@ pub fn compile_spilled(w: &Workload, phys_regs: usize) -> CompiledKernel {
 ///
 /// Panics when the simulation errors.
 pub fn run(kernel: &CompiledKernel, config: &SimConfig) -> SimResult {
+    // test hook for the sweep-resilience suite: rig the named workload
+    // to panic so journal/retry behaviour can be exercised end to end
+    if let Ok(rigged) = std::env::var("RFV_RIG_PANIC") {
+        if rigged == kernel.kernel().name() {
+            panic!("rigged panic for workload {rigged:?} (RFV_RIG_PANIC)");
+        }
+    }
     let mut config = *config;
     if !config.sanitize.is_on() {
         config.sanitize = sanitize_level();

@@ -7,11 +7,19 @@
 //! order**, so table rows and CSV files are byte-identical to a
 //! sequential run.
 //!
+//! Panics are contained per job: [`par_map_catching`] catches a
+//! panicking job and returns it as a typed [`JobError`] row while
+//! every other job still completes — one poisoned (workload, config)
+//! cell cannot take a whole sweep down. [`par_map`] is built on top
+//! and re-raises the first failure only after all jobs have finished.
+//!
 //! The worker count comes from, in priority order: an explicit
 //! [`set_jobs`] call (the binaries' `--jobs N` flag), the `RFV_JOBS`
 //! environment variable, and finally the machine's available
 //! parallelism. One worker short-circuits to a plain sequential map.
 
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
@@ -35,20 +43,68 @@ pub fn jobs() -> usize {
 
 /// The environment-derived default worker count: `RFV_JOBS` when set
 /// to a positive integer, else the machine's available parallelism.
+/// An unparsable `RFV_JOBS` earns one stderr warning naming the bad
+/// value instead of being silently ignored.
 pub fn default_jobs() -> usize {
-    std::env::var("RFV_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    match std::env::var("RFV_JOBS") {
+        Err(_) => machine_parallelism(),
+        Ok(raw) => parse_jobs(&raw).unwrap_or_else(|| {
+            eprintln!(
+                "warning: RFV_JOBS={raw:?} is not a positive integer; \
+                 using machine parallelism"
+            );
+            machine_parallelism()
+        }),
+    }
+}
+
+/// Parses an `RFV_JOBS`-style value: a positive integer (surrounding
+/// whitespace tolerated), else `None`.
+pub fn parse_jobs(raw: &str) -> Option<usize> {
+    raw.trim().parse().ok().filter(|&n| n > 0)
+}
+
+fn machine_parallelism() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// One job's failure inside [`par_map_catching`]: the job panicked and
+/// the panic was contained to its own result slot.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct JobError {
+    /// Input-slice index of the failed job.
+    pub index: usize,
+    /// The panic payload, rendered to text.
+    pub message: String,
+}
+
+impl fmt::Display for JobError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobError {}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic of unknown type".to_string()
+    }
 }
 
 /// Maps `f` over `items` on the pool's workers (see [`jobs`]),
 /// preserving input order in the returned vector.
+///
+/// # Panics
+///
+/// Re-raises the first job panic — but only after every other job has
+/// completed, so no work is lost to an unrelated failure.
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -59,26 +115,65 @@ where
 }
 
 /// [`par_map`] with an explicit worker count.
+///
+/// # Panics
+///
+/// See [`par_map`].
 pub fn par_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
     U: Send,
     F: Fn(&T) -> U + Sync,
 {
+    par_map_catching_with(workers, items, f)
+        .into_iter()
+        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
+        .collect()
+}
+
+/// [`par_map`] with per-job panic isolation: a panicking job yields
+/// `Err(JobError)` in its slot while all other jobs run to completion.
+pub fn par_map_catching<T, U, F>(items: &[T], f: F) -> Vec<Result<U, JobError>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_catching_with(jobs(), items, f)
+}
+
+/// [`par_map_catching`] with an explicit worker count.
+pub fn par_map_catching_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<Result<U, JobError>>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
     let workers = workers.min(items.len()).max(1);
+    let catching = |i: usize, item: &T| -> Result<U, JobError> {
+        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| JobError {
+            index: i,
+            message: panic_message(payload.as_ref()),
+        })
+    };
     if workers == 1 {
-        return items.iter().map(f).collect();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| catching(i, item))
+            .collect();
     }
     // work-stealing by atomic cursor: workers pull the next index and
     // write the result into its slot, so output order is input order
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<U>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<U, JobError>>>> =
+        items.iter().map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| loop {
                 let i = next.fetch_add(1, Ordering::Relaxed);
                 let Some(item) = items.get(i) else { break };
-                let result = f(item);
+                let result = catching(i, item);
                 *slots[i].lock().expect("result slot poisoned") = Some(result);
             });
         }
@@ -128,5 +223,45 @@ mod tests {
     fn default_jobs_is_positive() {
         assert!(default_jobs() >= 1);
         assert!(jobs() >= 1);
+    }
+
+    #[test]
+    fn jobs_env_values_parse_strictly() {
+        assert_eq!(parse_jobs("4"), Some(4));
+        assert_eq!(parse_jobs(" 16 "), Some(16));
+        for garbage in ["abc", "", "0", "-2", "3.5", "4x", "1e3"] {
+            assert_eq!(parse_jobs(garbage), None, "{garbage:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn one_panicking_job_does_not_poison_the_sweep() {
+        let items: Vec<u32> = (0..24).collect();
+        for workers in [1, 4] {
+            let out = par_map_catching_with(workers, &items, |&i| {
+                assert!(i != 13, "rigged failure on item 13");
+                i * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, r) in out.iter().enumerate() {
+                if i == 13 {
+                    let e = r.as_ref().expect_err("item 13 fails");
+                    assert_eq!(e.index, 13);
+                    assert!(e.message.contains("rigged failure"), "{}", e.message);
+                } else {
+                    assert_eq!(*r.as_ref().expect("other items succeed"), i as u32 * 2);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "job 3 panicked")]
+    fn par_map_reraises_after_all_jobs_finish() {
+        let items: Vec<u32> = (0..8).collect();
+        let _ = par_map_with(2, &items, |&i| {
+            assert!(i != 3, "boom");
+            i
+        });
     }
 }

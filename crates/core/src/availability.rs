@@ -19,6 +19,7 @@
 //! capacity is skipped without touching the bitset at all.
 
 use rfv_isa::{BankId, PhysReg, NUM_REG_BANKS};
+use rfv_trace::{Dec, Enc, WireError};
 
 use crate::config::{RegFileConfig, SUBARRAYS_PER_BANK};
 
@@ -183,6 +184,58 @@ impl Availability {
     pub fn occupied_subarrays(&self) -> usize {
         self.subarray_occupancy.iter().filter(|&&o| o > 0).count()
     }
+
+    /// Serializes the mutable allocation state (checkpoint frames).
+    /// Geometry fields are derived from the config at decode time and
+    /// not written.
+    pub fn encode(&self, e: &mut Enc) {
+        e.usize(self.words.len());
+        for &w in &self.words {
+            e.u64(w);
+        }
+        for &o in &self.subarray_occupancy {
+            e.usize(o);
+        }
+        e.usize(self.free_count);
+        for &f in &self.free_per_bank {
+            e.usize(f);
+        }
+    }
+
+    /// Rebuilds availability state written by [`Availability::encode`]
+    /// for the same `config`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects streams whose geometry disagrees with `config` or that
+    /// violate the trailing-bit invariant (bits at or above
+    /// `phys_regs` must stay clear).
+    pub fn decode(d: &mut Dec<'_>, config: &RegFileConfig) -> Result<Availability, WireError> {
+        let mut a = Availability::new(config);
+        if d.usize()? != a.words.len() {
+            return Err(WireError::Invalid("availability word count"));
+        }
+        for w in a.words.iter_mut() {
+            *w = d.u64()?;
+        }
+        if !a.phys_regs.is_multiple_of(64) {
+            let mask = (1u64 << (a.phys_regs % 64)) - 1;
+            if a.words.last().is_some_and(|&w| w & !mask != 0) {
+                return Err(WireError::Invalid("availability trailing bits set"));
+            }
+        }
+        for o in a.subarray_occupancy.iter_mut() {
+            *o = d.usize()?;
+        }
+        a.free_count = d.usize()?;
+        if a.free_count > a.phys_regs {
+            return Err(WireError::Invalid("availability free count"));
+        }
+        for f in a.free_per_bank.iter_mut() {
+            *f = d.usize()?;
+        }
+        Ok(a)
+    }
 }
 
 #[cfg(test)]
@@ -272,6 +325,36 @@ mod tests {
             assert!(a.alloc_in_bank(bank).is_some());
         }
         assert!(a.alloc_in_bank(bank).is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trips_and_rejects_bad_geometry() {
+        let config = RegFileConfig::shrunk(40); // non-word-aligned subarrays
+        let mut a = Availability::new(&config);
+        for _ in 0..37 {
+            a.alloc_in_bank(BankId::new(1));
+        }
+        let mut e = Enc::new();
+        a.encode(&mut e);
+        let bytes = e.into_bytes();
+        let b = Availability::decode(&mut Dec::new(&bytes), &config).unwrap();
+        assert_eq!(b.free_count(), a.free_count());
+        assert_eq!(b.subarray_occupancy(), a.subarray_occupancy());
+        // a restored vector allocates exactly like the original
+        let mut a2 = a.clone();
+        let mut b2 = b;
+        for _ in 0..10 {
+            assert_eq!(
+                a2.alloc_in_bank(BankId::new(1)),
+                b2.alloc_in_bank(BankId::new(1))
+            );
+        }
+        // wrong config geometry is a typed error, not a panic
+        assert!(
+            Availability::decode(&mut Dec::new(&bytes), &RegFileConfig::baseline_full()).is_err()
+        );
+        // truncation is a typed error
+        assert!(Availability::decode(&mut Dec::new(&bytes[..bytes.len() - 3]), &config).is_err());
     }
 
     /// The pre-bitset implementation, kept as an executable model:

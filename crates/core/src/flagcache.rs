@@ -7,7 +7,7 @@
 //! entry stores the 54-bit flag payload tagged by the `pir`'s PC; ten
 //! entries (68 B total) capture almost all locality (Figure 13).
 
-use rfv_trace::{Sink, TraceEvent, TraceKind};
+use rfv_trace::{Dec, Enc, Sink, TraceEvent, TraceKind, WireError};
 
 /// Access statistics for the release flag cache.
 #[derive(Clone, Copy, PartialEq, Eq, Default, Debug)]
@@ -141,6 +141,39 @@ impl ReleaseFlagCache {
     pub fn stats(&self) -> FlagCacheStats {
         self.stats
     }
+
+    /// Serializes the tag store and counters for a checkpoint frame.
+    pub fn encode(&self, e: &mut Enc) {
+        e.usize(self.tags.len());
+        for t in &self.tags {
+            e.opt_u64(t.map(|pc| pc as u64));
+        }
+        e.u64(self.stats.hits);
+        e.u64(self.stats.misses);
+    }
+
+    /// Rebuilds a cache written by [`ReleaseFlagCache::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects streams whose entry count disagrees with `entries`.
+    pub fn decode(d: &mut Dec<'_>, entries: usize) -> Result<ReleaseFlagCache, WireError> {
+        if d.usize()? != entries {
+            return Err(WireError::Invalid("flag cache entry count"));
+        }
+        let mut c = ReleaseFlagCache::new(entries);
+        for t in c.tags.iter_mut() {
+            *t = match d.opt_u64()? {
+                None => None,
+                Some(v) => {
+                    Some(usize::try_from(v).map_err(|_| WireError::Invalid("flag cache tag"))?)
+                }
+            };
+        }
+        c.stats.hits = d.u64()?;
+        c.stats.misses = d.u64()?;
+        Ok(c)
+    }
 }
 
 #[cfg(test)]
@@ -207,6 +240,20 @@ mod tests {
         assert_eq!(events[1].kind, TraceKind::FlagCacheHit { pc: 9 });
         assert_eq!((events[1].sm, events[1].warp), (1, 6));
         assert_eq!(c.stats().probes(), 2);
+    }
+
+    #[test]
+    fn snapshot_round_trips_tags_and_stats() {
+        let mut c = ReleaseFlagCache::new(4);
+        c.probe_and_fill(9);
+        c.probe_and_fill(9);
+        let mut e = Enc::new();
+        c.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut r = ReleaseFlagCache::decode(&mut Dec::new(&bytes), 4).unwrap();
+        assert_eq!(r.stats(), c.stats());
+        assert!(r.probe_and_fill(9), "restored tag still hits");
+        assert!(ReleaseFlagCache::decode(&mut Dec::new(&bytes), 10).is_err());
     }
 
     #[test]

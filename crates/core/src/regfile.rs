@@ -11,12 +11,12 @@
 use std::fmt;
 
 use rfv_isa::{ArchReg, BankId, PhysReg, MAX_REGS_PER_THREAD, NUM_REG_BANKS};
-use rfv_trace::{Sink, TraceEvent, TraceKind};
+use rfv_trace::{Dec, Enc, Sink, TraceEvent, TraceKind, WireError};
 
 use crate::availability::Availability;
 use crate::config::RegFileConfig;
 use crate::gating::SubarrayGating;
-use crate::renaming::{RenamingStats, RenamingTable};
+use crate::renaming::{decode_phys_row, encode_phys_row, RenamingStats, RenamingTable};
 
 /// Aggregate register-file event counters (consumed by the energy
 /// model).
@@ -511,6 +511,78 @@ impl RegisterFile {
         }
         self.table.corrupt(warp, reg, phys)
     }
+
+    /// Serializes the full register-file state (availability, renaming
+    /// table, static mappings, gating, counters) for a checkpoint
+    /// frame. The config itself is not written — the restore side
+    /// rebuilds from its own config and rejects geometry mismatches.
+    pub fn encode(&self, e: &mut Enc) {
+        self.avail.encode(e);
+        self.table.encode(e);
+        e.usize(self.static_map.len());
+        for row in &self.static_map {
+            encode_phys_row(e, row);
+        }
+        self.gating.encode(e);
+        e.u64(self.stats.rf_reads);
+        e.u64(self.stats.rf_writes);
+        e.u64(self.stats.allocs);
+        e.u64(self.stats.releases);
+        e.u64(self.stats.static_allocs);
+        e.u64(self.stats.alloc_failures);
+        e.u64(self.stats.double_free_attempts);
+        e.usize(self.stats.peak_live);
+    }
+
+    /// Rebuilds a register file written by [`RegisterFile::encode`]
+    /// for the same `config` and `warp_slots`.
+    ///
+    /// # Errors
+    ///
+    /// Rejects invalid configs and streams whose geometry disagrees
+    /// with `config`/`warp_slots`.
+    pub fn decode(
+        d: &mut Dec<'_>,
+        config: RegFileConfig,
+        warp_slots: usize,
+    ) -> Result<RegisterFile, WireError> {
+        config
+            .validate()
+            .map_err(|_| WireError::Invalid("register file config"))?;
+        let avail = Availability::decode(d, &config)?;
+        let table = RenamingTable::decode(d, warp_slots)?;
+        if d.usize()? != warp_slots {
+            return Err(WireError::Invalid("static map slot count"));
+        }
+        let mut static_map = Vec::with_capacity(warp_slots);
+        for _ in 0..warp_slots {
+            static_map.push(decode_phys_row(d)?);
+        }
+        let gating = SubarrayGating::decode(
+            d,
+            config.num_subarrays(),
+            config.power_gating,
+            config.wakeup_cycles,
+        )?;
+        let stats = RegFileStats {
+            rf_reads: d.u64()?,
+            rf_writes: d.u64()?,
+            allocs: d.u64()?,
+            releases: d.u64()?,
+            static_allocs: d.u64()?,
+            alloc_failures: d.u64()?,
+            double_free_attempts: d.u64()?,
+            peak_live: d.usize()?,
+        };
+        Ok(RegisterFile {
+            config,
+            avail,
+            table,
+            static_map,
+            gating,
+            stats,
+        })
+    }
 }
 
 #[cfg(test)]
@@ -732,6 +804,43 @@ mod tests {
         assert_eq!(events.len(), 9);
         // every event is attributed to SM 2; warp events to warp 1
         assert!(events.iter().all(|e| e.sm == 2));
+    }
+
+    #[test]
+    fn snapshot_round_trips_whole_register_file() {
+        let mut f = rf(RegFileConfig::baseline_full());
+        f.launch_warp(0, [ArchReg::R0, ArchReg::R4], 0).unwrap();
+        f.write(0, ArchReg::R1, 1);
+        f.write(3, ArchReg::R2, 2);
+        f.release(0, ArchReg::R1, 5);
+        let mut e = Enc::new();
+        f.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut r = RegisterFile::decode(&mut Dec::new(&bytes), RegFileConfig::baseline_full(), 48)
+            .unwrap();
+        assert_eq!(r.live_count(), f.live_count());
+        assert_eq!(r.stats(), f.stats());
+        assert_eq!(r.renaming_stats(), f.renaming_stats());
+        assert_eq!(r.peek(0, ArchReg::R0), f.peek(0, ArchReg::R0));
+        assert_eq!(r.peek(3, ArchReg::R2), f.peek(3, ArchReg::R2));
+        assert_eq!(r.subarrays_on(), f.subarrays_on());
+        // the restored file allocates identically from here on
+        match (f.write(1, ArchReg::R7, 10), r.write(1, ArchReg::R7, 10)) {
+            (WriteOutcome::Mapped { phys: a, .. }, WriteOutcome::Mapped { phys: b, .. }) => {
+                assert_eq!(a, b)
+            }
+            other => panic!("{other:?}"),
+        }
+        // wrong geometry is a typed error, never a panic
+        assert!(
+            RegisterFile::decode(&mut Dec::new(&bytes), RegFileConfig::shrunk(50), 48).is_err()
+        );
+        assert!(RegisterFile::decode(
+            &mut Dec::new(&bytes[..40]),
+            RegFileConfig::baseline_full(),
+            48
+        )
+        .is_err());
     }
 
     #[test]

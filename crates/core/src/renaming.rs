@@ -7,7 +7,28 @@
 //! and access counting.
 
 use rfv_isa::{ArchReg, PhysReg, MAX_REGS_PER_THREAD};
-use rfv_trace::{Sink, TraceEvent, TraceKind};
+use rfv_trace::{Dec, Enc, Sink, TraceEvent, TraceKind, WireError};
+
+pub(crate) fn encode_phys_row(e: &mut Enc, row: &[Option<PhysReg>; MAX_REGS_PER_THREAD]) {
+    for slot in row {
+        e.opt_u64(slot.map(|p| u64::from(p.raw())));
+    }
+}
+
+pub(crate) fn decode_phys_row(
+    d: &mut Dec<'_>,
+) -> Result<[Option<PhysReg>; MAX_REGS_PER_THREAD], WireError> {
+    let mut row = [None; MAX_REGS_PER_THREAD];
+    for slot in row.iter_mut() {
+        *slot = match d.opt_u64()? {
+            None => None,
+            Some(v) => Some(PhysReg::new(
+                u16::try_from(v).map_err(|_| WireError::Invalid("phys reg id"))?,
+            )),
+        };
+    }
+    Ok(row)
+}
 
 /// Sentinel `old_phys` in [`TraceKind::RegRename`] events: the
 /// architected register had no previously-traced physical mapping.
@@ -170,6 +191,52 @@ impl RenamingTable {
     pub fn stats(&self) -> RenamingStats {
         self.stats
     }
+
+    /// Serializes the table for a checkpoint frame. The lazily
+    /// allocated trace history round-trips faithfully: an untraced
+    /// table restores with no history footprint.
+    pub fn encode(&self, e: &mut Enc) {
+        e.usize(self.map.len());
+        for row in &self.map {
+            encode_phys_row(e, row);
+        }
+        for &m in &self.mapped_per_warp {
+            e.usize(m);
+        }
+        e.u64(self.stats.lookups);
+        e.u64(self.stats.updates);
+        e.bool(!self.history.is_empty());
+        for row in &self.history {
+            encode_phys_row(e, row);
+        }
+    }
+
+    /// Rebuilds a table written by [`RenamingTable::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects streams whose slot count disagrees with `warp_slots`.
+    pub fn decode(d: &mut Dec<'_>, warp_slots: usize) -> Result<RenamingTable, WireError> {
+        if d.usize()? != warp_slots {
+            return Err(WireError::Invalid("renaming table slot count"));
+        }
+        let mut t = RenamingTable::new(warp_slots);
+        for row in t.map.iter_mut() {
+            *row = decode_phys_row(d)?;
+        }
+        for m in t.mapped_per_warp.iter_mut() {
+            *m = d.usize()?;
+        }
+        t.stats.lookups = d.u64()?;
+        t.stats.updates = d.u64()?;
+        if d.bool()? {
+            t.history = Vec::with_capacity(warp_slots);
+            for _ in 0..warp_slots {
+                t.history.push(decode_phys_row(d)?);
+            }
+        }
+        Ok(t)
+    }
 }
 
 #[cfg(test)]
@@ -281,6 +348,31 @@ mod tests {
         let mut ring = Sink::ring(4);
         t.map_traced(1, ArchReg::R1, PhysReg::new(2), 0, 0, &mut ring);
         assert_eq!(t.history.len(), 48, "first traced map allocates");
+    }
+
+    #[test]
+    fn snapshot_round_trips_history_lazily() {
+        let mut t = RenamingTable::new(4);
+        t.map(1, ArchReg::R2, PhysReg::new(33));
+        let _ = t.lookup(1, ArchReg::R2);
+        let mut e = Enc::new();
+        t.encode(&mut e);
+        let bytes = e.into_bytes();
+        let r = RenamingTable::decode(&mut Dec::new(&bytes), 4).unwrap();
+        assert_eq!(r.peek(1, ArchReg::R2), Some(PhysReg::new(33)));
+        assert_eq!(r.mapped_count(1), 1);
+        assert_eq!(r.stats(), t.stats());
+        assert!(r.history.is_empty(), "untraced table restores lazily");
+        // slot-count mismatch is a typed error
+        assert!(RenamingTable::decode(&mut Dec::new(&bytes), 5).is_err());
+        // a traced table round-trips its history
+        let mut sink = Sink::ring(4);
+        t.map_traced(0, ArchReg::R1, PhysReg::new(7), 0, 0, &mut sink);
+        let mut e2 = Enc::new();
+        t.encode(&mut e2);
+        let b2 = e2.into_bytes();
+        let r2 = RenamingTable::decode(&mut Dec::new(&b2), 4).unwrap();
+        assert_eq!(r2.history, t.history);
     }
 
     #[test]

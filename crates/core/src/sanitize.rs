@@ -19,6 +19,7 @@
 use std::fmt;
 
 use rfv_isa::{ArchReg, PhysReg, MAX_REGS_PER_THREAD};
+use rfv_trace::{Dec, Enc, WireError};
 
 /// Sentinel: no shadow mapping.
 const UNMAPPED: u32 = u32::MAX;
@@ -374,6 +375,66 @@ impl Sanitizer {
         }
         self.detect(v)
     }
+
+    /// Serializes the shadow model for a checkpoint frame. At
+    /// `SanitizeLevel::Off` only the (empty) geometry and counter are
+    /// written.
+    pub fn encode(&self, e: &mut Enc) {
+        e.usize(self.shadow.len());
+        for row in &self.shadow {
+            for &v in row {
+                e.u32(v);
+            }
+        }
+        e.usize(self.owner.len());
+        for o in &self.owner {
+            match o {
+                None => e.bool(false),
+                Some((w, r)) => {
+                    e.bool(true);
+                    e.u16(*w);
+                    e.u8(*r);
+                }
+            }
+        }
+        e.u64(self.detections);
+    }
+
+    /// Rebuilds a sanitizer written by [`Sanitizer::encode`] for the
+    /// same `level` and SM geometry.
+    ///
+    /// # Errors
+    ///
+    /// Rejects streams whose shadow geometry disagrees with the
+    /// constructor arguments.
+    pub fn decode(
+        d: &mut Dec<'_>,
+        level: SanitizeLevel,
+        warp_slots: usize,
+        phys_regs: usize,
+    ) -> Result<Sanitizer, WireError> {
+        let mut s = Sanitizer::new(level, warp_slots, phys_regs);
+        if d.usize()? != s.shadow.len() {
+            return Err(WireError::Invalid("sanitizer shadow slot count"));
+        }
+        for row in s.shadow.iter_mut() {
+            for v in row.iter_mut() {
+                *v = d.u32()?;
+            }
+        }
+        if d.usize()? != s.owner.len() {
+            return Err(WireError::Invalid("sanitizer owner count"));
+        }
+        for o in s.owner.iter_mut() {
+            *o = if d.bool()? {
+                Some((d.u16()?, d.u8()?))
+            } else {
+                None
+            };
+        }
+        s.detections = d.u64()?;
+        Ok(s)
+    }
 }
 
 #[cfg(test)]
@@ -498,6 +559,31 @@ mod tests {
         s.note_retire(0);
         assert!(s.note_map(1, ArchReg::R2, p, 1).is_none(), "no stale alias");
         assert!(s.check_read(0, ArchReg::R1, None, false, 2).is_none());
+    }
+
+    #[test]
+    fn snapshot_round_trips_shadow_intent() {
+        let mut s = san();
+        let p = PhysReg::new(5);
+        s.note_map(1, ArchReg::R3, p, 0);
+        let mut e = Enc::new();
+        s.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut r = Sanitizer::decode(&mut Dec::new(&bytes), SanitizeLevel::Check, 8, 64).unwrap();
+        // the restored shadow still knows warp 1 owns R3: losing the
+        // mapping is still detected as a use-after-release
+        let v = r.check_read(1, ArchReg::R3, None, false, 4).unwrap();
+        assert_eq!(v.kind, ViolationKind::UseAfterRelease);
+        // geometry disagreement is a typed error
+        assert!(Sanitizer::decode(&mut Dec::new(&bytes), SanitizeLevel::Check, 9, 64).is_err());
+        assert!(Sanitizer::decode(&mut Dec::new(&bytes), SanitizeLevel::Off, 8, 64).is_err());
+        // an off-level sanitizer round-trips as empty
+        let off = Sanitizer::new(SanitizeLevel::Off, 8, 64);
+        let mut e2 = Enc::new();
+        off.encode(&mut e2);
+        let b2 = e2.into_bytes();
+        let r2 = Sanitizer::decode(&mut Dec::new(&b2), SanitizeLevel::Off, 8, 64).unwrap();
+        assert!(!r2.enabled());
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! to complete, the scheduler restricts issue to the CTA with the
 //! minimum balance until releases replenish the pool.
 
-use rfv_trace::{Sink, TraceEvent, TraceKind};
+use rfv_trace::{Dec, Enc, Sink, TraceEvent, TraceKind, WireError};
 
 /// The scheduler's decision for this cycle.
 #[derive(Clone, Copy, PartialEq, Eq, Debug)]
@@ -198,6 +198,46 @@ impl CtaThrottle {
     pub fn restrictions(&self) -> u64 {
         self.restrictions
     }
+
+    /// Serializes the balance counters for a checkpoint frame.
+    pub fn encode(&self, e: &mut Enc) {
+        e.usize(self.slots.len());
+        for s in &self.slots {
+            match s {
+                None => e.bool(false),
+                Some(b) => {
+                    e.bool(true);
+                    e.usize(b.budget);
+                    e.usize(b.assigned);
+                }
+            }
+        }
+        e.u64(self.restrictions);
+    }
+
+    /// Rebuilds counters written by [`CtaThrottle::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects streams whose slot count disagrees with `max_ctas`.
+    pub fn decode(d: &mut Dec<'_>, max_ctas: usize) -> Result<CtaThrottle, WireError> {
+        if d.usize()? != max_ctas {
+            return Err(WireError::Invalid("throttle slot count"));
+        }
+        let mut t = CtaThrottle::new(max_ctas);
+        for s in t.slots.iter_mut() {
+            *s = if d.bool()? {
+                Some(CtaBalance {
+                    budget: d.usize()?,
+                    assigned: d.usize()?,
+                })
+            } else {
+                None
+            };
+        }
+        t.restrictions = d.u64()?;
+        Ok(t)
+    }
 }
 
 #[cfg(test)]
@@ -297,6 +337,26 @@ mod tests {
                 TraceKind::ThrottleDeny { cta: 0, balance: 3 },
             ]
         );
+    }
+
+    #[test]
+    fn snapshot_round_trips_balances() {
+        let mut t = CtaThrottle::new(4);
+        t.launch(0, 64);
+        t.launch(2, 96);
+        for _ in 0..50 {
+            t.on_alloc(2);
+        }
+        t.decide(10); // one restriction
+        let mut e = Enc::new();
+        t.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut r = CtaThrottle::decode(&mut Dec::new(&bytes), 4).unwrap();
+        assert_eq!(r.balance(0), t.balance(0));
+        assert_eq!(r.balance(2), t.balance(2));
+        assert_eq!(r.restrictions(), 1);
+        assert_eq!(r.decide(10), t.decide(10));
+        assert!(CtaThrottle::decode(&mut Dec::new(&bytes), 8).is_err());
     }
 
     // the slot-free invariant is a debug_assert!, present only in

@@ -293,6 +293,47 @@ impl FaultInjector {
     pub fn total_fired(&self) -> u64 {
         self.streams.iter().map(|s| s.fired).sum()
     }
+
+    /// Number of `u64` state words per stream in
+    /// [`FaultInjector::state_words`].
+    pub const WORDS_PER_STREAM: usize = 5;
+
+    /// Dumps the injector's mutable state as plain words (5 per kind,
+    /// in [`FaultKind::ALL`] order) so a checkpointing host can
+    /// serialize it without this crate growing an encoding dependency.
+    pub fn state_words(&self) -> Vec<u64> {
+        let mut words = Vec::with_capacity(self.streams.len() * Self::WORDS_PER_STREAM);
+        for s in &self.streams {
+            words.push(s.rng);
+            words.push(s.seen);
+            words.push(s.next_at);
+            words.push(u64::from(s.remaining));
+            words.push(s.fired);
+        }
+        words
+    }
+
+    /// Rebuilds an injector from [`FaultInjector::state_words`] output
+    /// for the same `plan`. Returns `None` when the word count or a
+    /// field range is wrong (corrupt input).
+    pub fn from_state_words(plan: &FaultPlan, words: &[u64]) -> Option<FaultInjector> {
+        if words.len() != NUM_FAULT_KINDS * Self::WORDS_PER_STREAM {
+            return None;
+        }
+        let mut inj = FaultInjector::new(plan);
+        for (s, w) in inj
+            .streams
+            .iter_mut()
+            .zip(words.chunks(Self::WORDS_PER_STREAM))
+        {
+            s.rng = w[0];
+            s.seen = w[1];
+            s.next_at = w[2];
+            s.remaining = u16::try_from(w[3]).ok()?;
+            s.fired = w[4];
+        }
+        Some(inj)
+    }
 }
 
 #[cfg(test)]
@@ -402,6 +443,44 @@ mod tests {
             assert_eq!(x, b.pick(FaultKind::RenameCorrupt, n));
         }
         assert_eq!(a.pick(FaultKind::RenameCorrupt, 0), 0, "degenerate range");
+    }
+
+    #[test]
+    fn state_words_resume_the_firing_pattern_exactly() {
+        let plan = FaultPlan::parse("all:3", 77).unwrap();
+        let mut uninterrupted = FaultInjector::new(&plan);
+        let mut first_half = FaultInjector::new(&plan);
+        let mut a = Vec::new();
+        for occ in 0..60u64 {
+            for k in FaultKind::ALL {
+                if uninterrupted.should_fire(k) {
+                    a.push((occ, k));
+                }
+                first_half.should_fire(k);
+            }
+        }
+        // snapshot at occurrence 60, restore, and run both to 300
+        let words = first_half.state_words();
+        let mut resumed = FaultInjector::from_state_words(&plan, &words).unwrap();
+        let mut b: Vec<(u64, FaultKind)> = Vec::new();
+        for occ in 60..300u64 {
+            for k in FaultKind::ALL {
+                if uninterrupted.should_fire(k) {
+                    a.push((occ, k));
+                }
+                if resumed.should_fire(k) {
+                    b.push((occ, k));
+                }
+            }
+        }
+        let tail: Vec<_> = a.iter().filter(|(occ, _)| *occ >= 60).copied().collect();
+        assert_eq!(tail, b, "resumed stream continues the exact pattern");
+        assert_eq!(resumed.total_fired(), uninterrupted.total_fired());
+        // corrupt word counts are rejected, not panicked on
+        assert!(FaultInjector::from_state_words(&plan, &words[..words.len() - 1]).is_none());
+        let mut bad = words.clone();
+        bad[3] = u64::MAX; // remaining must fit u16
+        assert!(FaultInjector::from_state_words(&plan, &bad).is_none());
     }
 
     #[test]

@@ -1,7 +1,9 @@
 //! Simulator configuration (the paper's §9 baseline machine).
 
-use rfv_core::{RegFileConfig, SanitizeLevel};
-use rfv_faults::FaultPlan;
+use rfv_core::{RegFileConfig, SanitizeLevel, VirtualizationPolicy};
+use rfv_faults::{FaultKind, FaultPlan};
+use rfv_trace::wire::fnv1a;
+use rfv_trace::Enc;
 
 /// Timing and capacity parameters for one simulated GPU.
 ///
@@ -110,6 +112,54 @@ impl SimConfig {
         SimConfig::with_regfile(RegFileConfig::shrunk(percent))
     }
 
+    /// A stable identity hash over every field that shapes simulation
+    /// *results*. Checkpoints embed this hash; resuming under a config
+    /// that hashes differently is rejected.
+    ///
+    /// Deliberately excluded: `sm_jobs` (worker-thread count — the
+    /// parallel and sequential paths are bit-identical), `max_cycles`
+    /// (the watchdog only decides when to give up, so a checkpoint
+    /// from an aborted run may resume under a larger budget), and
+    /// `reference_wake_scan` (the two wake engines are equivalent by
+    /// construction and produce identical state).
+    pub fn stable_hash(&self) -> u64 {
+        let mut e = Enc::new();
+        e.usize(self.num_sms);
+        e.usize(self.max_warps_per_sm);
+        e.usize(self.max_ctas_per_sm);
+        e.usize(self.ready_queue);
+        e.usize(self.schedulers);
+        e.u64(self.alu_latency);
+        e.u64(self.sfu_latency);
+        e.u64(self.shared_latency);
+        e.u64(self.mem_base_latency);
+        e.u64(self.mem_per_txn);
+        e.bool(self.rename_extra_cycle);
+        e.usize(self.regfile.phys_regs);
+        e.u8(match self.regfile.policy {
+            VirtualizationPolicy::None => 0,
+            VirtualizationPolicy::HardwareOnly => 1,
+            VirtualizationPolicy::Full => 2,
+        });
+        e.bool(self.regfile.power_gating);
+        e.u64(self.regfile.wakeup_cycles);
+        e.usize(self.regfile.flag_cache_entries);
+        e.bool(self.regfile.bank_preserving);
+        e.u64(self.sample_interval);
+        e.bool(self.trace_warp0_regs);
+        e.opt_u64(self.snapshot_at_cycle);
+        e.u8(match self.sanitize {
+            SanitizeLevel::Off => 0,
+            SanitizeLevel::Check => 1,
+            SanitizeLevel::Recover => 2,
+        });
+        e.u64(self.faults.seed);
+        for k in FaultKind::ALL {
+            e.u16(self.faults.count(k));
+        }
+        fnv1a(e.bytes())
+    }
+
     /// Validates capacity parameters.
     ///
     /// # Errors
@@ -163,6 +213,21 @@ mod tests {
         for pct in [30, 40, 50] {
             assert!(SimConfig::gpu_shrink(pct).validate().is_ok());
         }
+    }
+
+    #[test]
+    fn stable_hash_tracks_result_shaping_fields_only() {
+        let a = SimConfig::baseline_full();
+        let mut b = a;
+        b.sm_jobs = Some(4);
+        b.max_cycles = 123;
+        b.reference_wake_scan = true;
+        assert_eq!(a.stable_hash(), b.stable_hash());
+        let mut c = a;
+        c.mem_base_latency += 1;
+        assert_ne!(a.stable_hash(), c.stable_hash());
+        assert_ne!(a.stable_hash(), SimConfig::conventional().stable_hash());
+        assert_ne!(a.stable_hash(), SimConfig::gpu_shrink(50).stable_hash());
     }
 
     #[test]

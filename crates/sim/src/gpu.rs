@@ -21,9 +21,10 @@
 use rfv_compiler::CompiledKernel;
 use rfv_trace::TraceEvent;
 
+use crate::checkpoint::{Checkpoint, CKPT_VERSION};
 use crate::config::SimConfig;
 use crate::memory::GlobalMemory;
-use crate::sm::{SimError, Sm};
+use crate::sm::{SimError, Sm, SmResult};
 use crate::stats::SimStats;
 
 /// Result of a whole-GPU simulation.
@@ -141,11 +142,7 @@ fn run_all(
     // reject zero-SM (and other degenerate) configs before the CTA
     // distribution below divides by num_sms or reporting indexes SM 0
     config.validate().map_err(SimError::BadConfig)?;
-    let grid = kernel.kernel().launch().grid_ctas();
-    let mut assignments: Vec<Vec<u32>> = vec![Vec::new(); config.num_sms];
-    for cta in 0..grid {
-        assignments[(cta as usize) % config.num_sms].push(cta);
-    }
+    let assignments = cta_assignments(kernel, config);
     let run_one = |sm_id: usize, assigned: Vec<u32>| -> Result<crate::sm::SmResult, SimError> {
         let mut sm = Sm::new(*config, kernel, assigned)?;
         sm.set_tracing(sm_id as u16, trace_capacity);
@@ -179,6 +176,14 @@ fn run_all(
         })
     };
 
+    merge_results(config, results)
+}
+
+/// Deterministic merge of per-SM results collected in SM order.
+fn merge_results(
+    config: &SimConfig,
+    results: Vec<Result<SmResult, SimError>>,
+) -> Result<TracedRun, SimError> {
     let mut per_sm = Vec::with_capacity(config.num_sms);
     let mut memories = Vec::with_capacity(config.num_sms);
     let mut shards: Vec<Vec<TraceEvent>> = Vec::with_capacity(config.num_sms);
@@ -198,6 +203,146 @@ fn run_all(
         },
         events: rfv_trace::merge_shards(shards),
     })
+}
+
+/// Round-robin CTA distribution across SMs — the single source of
+/// truth shared by fresh, checkpointed, and resumed runs, so a frame
+/// snapshotted on SM *i* always restores onto the SM holding the same
+/// CTA list.
+fn cta_assignments(kernel: &CompiledKernel, config: &SimConfig) -> Vec<Vec<u32>> {
+    let grid = kernel.kernel().launch().grid_ctas();
+    let mut assignments: Vec<Vec<u32>> = vec![Vec::new(); config.num_sms];
+    for cta in 0..grid {
+        assignments[(cta as usize) % config.num_sms].push(cta);
+    }
+    assignments
+}
+
+/// [`simulate_traced_with_init`] that additionally snapshots the whole
+/// machine every `every` cycles, handing each [`Checkpoint`] to
+/// `on_checkpoint` (typically an atomic file writer). The run itself
+/// is bit-identical to an uncheckpointed one: SMs advance in lockstep
+/// boundary rounds and snapshots are taken with read-only access at
+/// step boundaries. Checkpoints stop once every SM has completed (a
+/// snapshot of a finished machine has nothing left to resume).
+///
+/// # Errors
+///
+/// See [`SimError`]; an `Err` from `on_checkpoint` aborts the run
+/// as [`SimError::BadCheckpoint`] (checkpoints already handed over
+/// remain valid).
+pub fn simulate_traced_checkpointed(
+    kernel: &CompiledKernel,
+    config: &SimConfig,
+    init: &[(u64, u32)],
+    trace_capacity: usize,
+    every: u64,
+    on_checkpoint: &mut dyn FnMut(&Checkpoint) -> Result<(), String>,
+) -> Result<TracedRun, SimError> {
+    config.validate().map_err(SimError::BadConfig)?;
+    if every == 0 {
+        return Err(SimError::BadConfig(
+            "checkpoint interval must be positive".into(),
+        ));
+    }
+    let config_hash = config.stable_hash();
+    let kernel_hash = crate::checkpoint::kernel_identity_hash(kernel);
+    let mut sms = Vec::with_capacity(config.num_sms);
+    for (sm_id, assigned) in cta_assignments(kernel, config).into_iter().enumerate() {
+        let mut sm = Sm::new(*config, kernel, assigned)?;
+        sm.set_tracing(sm_id as u16, trace_capacity);
+        for &(addr, value) in init {
+            sm.write_global(addr, value);
+        }
+        sms.push(sm);
+    }
+    let mut done = vec![false; sms.len()];
+    let mut boundary = every;
+    loop {
+        for (sm, done) in sms.iter_mut().zip(done.iter_mut()) {
+            if !*done {
+                *done = sm.run_until(boundary)?;
+            }
+        }
+        if done.iter().all(|&d| d) {
+            break;
+        }
+        let ck = Checkpoint {
+            version: CKPT_VERSION,
+            config_hash,
+            kernel_hash,
+            cycle: boundary,
+            sm_frames: sms.iter().map(Sm::snapshot_frame).collect(),
+        };
+        on_checkpoint(&ck).map_err(|e| {
+            SimError::BadCheckpoint(format!("checkpoint at cycle {boundary} not written: {e}"))
+        })?;
+        boundary += every;
+    }
+    let results = sms.into_iter().map(Sm::finish).collect();
+    merge_results(config, results)
+}
+
+/// Resumes a run from `checkpoint` and drives it to completion. The
+/// final statistics, memories, and merged trace are bit-identical to
+/// the uninterrupted run that produced the checkpoint.
+///
+/// # Errors
+///
+/// [`SimError::BadCheckpoint`] when the checkpoint does not belong to
+/// (`kernel`, `config`) or a frame is malformed; otherwise see
+/// [`SimError`].
+pub fn simulate_resumable(
+    kernel: &CompiledKernel,
+    config: &SimConfig,
+    checkpoint: &Checkpoint,
+) -> Result<SimResult, SimError> {
+    Ok(simulate_resumable_traced(kernel, config, checkpoint)?.result)
+}
+
+/// [`simulate_resumable`] returning the merged trace as well (the
+/// trace tail recorded after the checkpoint continues the ring state
+/// captured in it).
+///
+/// # Errors
+///
+/// See [`simulate_resumable`].
+pub fn simulate_resumable_traced(
+    kernel: &CompiledKernel,
+    config: &SimConfig,
+    checkpoint: &Checkpoint,
+) -> Result<TracedRun, SimError> {
+    config.validate().map_err(SimError::BadConfig)?;
+    checkpoint.verify_identity(kernel, config)?;
+    let assignments = cta_assignments(kernel, config);
+    let run_one = |sm_id: usize, assigned: Vec<u32>| -> Result<SmResult, SimError> {
+        let mut sm = Sm::new(*config, kernel, assigned)?;
+        sm.restore_frame(&checkpoint.sm_frames[sm_id])
+            .map_err(|e| SimError::BadCheckpoint(format!("SM {sm_id} frame: {e}")))?;
+        sm.run_until(u64::MAX)?;
+        sm.finish()
+    };
+    let results: Vec<Result<SmResult, SimError>> = if sm_workers(config) == 1 {
+        assignments
+            .into_iter()
+            .enumerate()
+            .map(|(sm_id, assigned)| run_one(sm_id, assigned))
+            .collect()
+    } else {
+        std::thread::scope(|scope| {
+            let run_one = &run_one;
+            let handles: Vec<_> = assignments
+                .into_iter()
+                .enumerate()
+                .map(|(sm_id, assigned)| scope.spawn(move || run_one(sm_id, assigned)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().unwrap_or(Err(SimError::WorkerPanic)))
+                .collect()
+        })
+    };
+    merge_results(config, results)
 }
 
 /// [`simulate_with_init`] without memory pre-loads.

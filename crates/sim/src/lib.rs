@@ -42,6 +42,7 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod checkpoint;
 pub mod config;
 pub mod gpu;
 pub mod memory;
@@ -50,9 +51,12 @@ pub mod sm;
 pub mod stats;
 pub mod warp;
 
+pub use checkpoint::{kernel_identity_hash, Checkpoint, CKPT_MAGIC, CKPT_VERSION};
 pub use config::SimConfig;
 pub use gpu::{
-    simulate, simulate_traced, simulate_traced_with_init, simulate_with_init, SimResult, TracedRun,
+    simulate, simulate_resumable, simulate_resumable_traced, simulate_traced,
+    simulate_traced_checkpointed, simulate_traced_with_init, simulate_with_init, SimResult,
+    TracedRun,
 };
 pub use memory::GlobalMemory;
 pub use sm::{SimError, Sm, SmResult, WarpDiag, WatchdogSnapshot};

@@ -5,6 +5,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher};
 
 use rfv_isa::WARP_SIZE;
+use rfv_trace::{Dec, Enc, WireError};
 
 /// Size of one coalesced memory transaction, bytes.
 pub const SEGMENT_BYTES: u64 = 128;
@@ -118,6 +119,41 @@ impl GlobalMemory {
     pub fn footprint_words(&self) -> usize {
         self.words.len()
     }
+
+    /// Serializes the word store for a checkpoint frame. Keys are
+    /// written in sorted order so equal memories always encode to
+    /// identical bytes ([`FastHashBuilder`] iteration order is not
+    /// deterministic across maps with different insertion histories).
+    pub fn encode(&self, e: &mut Enc) {
+        let mut keys: Vec<u64> = self.words.keys().copied().collect();
+        keys.sort_unstable();
+        e.usize(keys.len());
+        for k in keys {
+            e.u64(k);
+            e.u32(self.words[&k]);
+        }
+        e.u64(self.reads);
+        e.u64(self.writes);
+    }
+
+    /// Rebuilds a memory written by [`GlobalMemory::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation/corruption as a typed [`WireError`].
+    pub fn decode(d: &mut Dec<'_>) -> Result<GlobalMemory, WireError> {
+        let n = d.usize()?;
+        let mut m = GlobalMemory::new();
+        m.words.reserve(n);
+        for _ in 0..n {
+            let k = d.u64()?;
+            let v = d.u32()?;
+            m.words.insert(k, v);
+        }
+        m.reads = d.u64()?;
+        m.writes = d.u64()?;
+        Ok(m)
+    }
 }
 
 /// A warp's per-lane addresses coalesced into sorted, deduplicated
@@ -196,6 +232,30 @@ impl SharedMemory {
     pub fn reset(&mut self) {
         self.words.fill(0);
     }
+
+    /// Serializes the word array for a checkpoint frame.
+    pub fn encode(&self, e: &mut Enc) {
+        e.usize(self.words.len());
+        for &w in &self.words {
+            e.u32(w);
+        }
+    }
+
+    /// Rebuilds a shared memory written by [`SharedMemory::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects streams whose size disagrees with `bytes`.
+    pub fn decode(d: &mut Dec<'_>, bytes: usize) -> Result<SharedMemory, WireError> {
+        let mut s = SharedMemory::new(bytes);
+        if d.usize()? != s.words.len() {
+            return Err(WireError::Invalid("shared memory size"));
+        }
+        for w in s.words.iter_mut() {
+            *w = d.u32()?;
+        }
+        Ok(s)
+    }
 }
 
 /// Per-thread local memory (spill space): sparse, zero-filled,
@@ -231,6 +291,39 @@ impl LocalMemory {
     /// Drops a warp slot's contents (warp retirement).
     pub fn clear_warp(&mut self, warp_slot: usize) {
         self.words.retain(|&(w, _, _), _| w != warp_slot);
+    }
+
+    /// Serializes the word store for a checkpoint frame (sorted keys,
+    /// see [`GlobalMemory::encode`]).
+    pub fn encode(&self, e: &mut Enc) {
+        let mut keys: Vec<(usize, usize, u64)> = self.words.keys().copied().collect();
+        keys.sort_unstable();
+        e.usize(keys.len());
+        for k in keys {
+            e.usize(k.0);
+            e.usize(k.1);
+            e.u64(k.2);
+            e.u32(self.words[&k]);
+        }
+        e.u64(self.accesses);
+    }
+
+    /// Rebuilds a local memory written by [`LocalMemory::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates truncation/corruption as a typed [`WireError`].
+    pub fn decode(d: &mut Dec<'_>) -> Result<LocalMemory, WireError> {
+        let n = d.usize()?;
+        let mut m = LocalMemory::new();
+        m.words.reserve(n);
+        for _ in 0..n {
+            let k = (d.usize()?, d.usize()?, d.u64()?);
+            let v = d.u32()?;
+            m.words.insert(k, v);
+        }
+        m.accesses = d.u64()?;
+        Ok(m)
     }
 }
 
@@ -280,6 +373,48 @@ mod tests {
         assert_eq!(s.read_word(16), 7);
         s.reset();
         assert_eq!(s.read_word(16), 0);
+    }
+
+    #[test]
+    fn memory_snapshots_encode_canonically_and_round_trip() {
+        // two globals with the same content but different insertion
+        // histories must encode to identical bytes
+        let mut a = GlobalMemory::new();
+        let mut b = GlobalMemory::new();
+        for addr in [0x100u64, 0x2000, 0x44] {
+            a.write_word(addr, (addr as u32) ^ 7);
+        }
+        for addr in [0x2000u64, 0x44, 0x100] {
+            b.write_word(addr, (addr as u32) ^ 7);
+        }
+        let enc = |m: &GlobalMemory| {
+            let mut e = Enc::new();
+            m.encode(&mut e);
+            e.into_bytes()
+        };
+        assert_eq!(enc(&a), enc(&b), "sorted-key encoding is canonical");
+        let bytes = enc(&a);
+        let r = GlobalMemory::decode(&mut Dec::new(&bytes)).unwrap();
+        assert_eq!(r, a);
+        assert!(GlobalMemory::decode(&mut Dec::new(&bytes[..5])).is_err());
+
+        let mut s = SharedMemory::new(64);
+        s.write_word(8, 99);
+        let mut e = Enc::new();
+        s.encode(&mut e);
+        let sb = e.into_bytes();
+        let rs = SharedMemory::decode(&mut Dec::new(&sb), 64).unwrap();
+        assert_eq!(rs.read_word(8), 99);
+        assert!(SharedMemory::decode(&mut Dec::new(&sb), 128).is_err());
+
+        let mut l = LocalMemory::new();
+        l.write_word(2, 5, 16, 77);
+        let mut e = Enc::new();
+        l.encode(&mut e);
+        let lb = e.into_bytes();
+        let mut rl = LocalMemory::decode(&mut Dec::new(&lb)).unwrap();
+        assert_eq!(rl.read_word(2, 5, 16), 77);
+        assert_eq!(rl.accesses, l.accesses + 1);
     }
 
     #[test]

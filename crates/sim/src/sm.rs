@@ -16,7 +16,10 @@ use rfv_isa::{
     ArchReg, BankId, Opcode, Operand, PhysReg, PredGuard, Special, MAX_REGS_PER_THREAD,
     MAX_SRC_OPERANDS, WARP_SIZE,
 };
-use rfv_trace::{FaultLabel, MemPhase, Sink, StallReason, TraceEvent, TraceKind};
+use rfv_trace::wire::{decode_event, encode_event};
+use rfv_trace::{
+    Dec, Enc, FaultLabel, MemPhase, RingSink, Sink, StallReason, TraceEvent, TraceKind, WireError,
+};
 
 use crate::config::SimConfig;
 use crate::memory::{coalesce_count, GlobalMemory, LocalMemory, SharedMemory};
@@ -58,6 +61,9 @@ pub enum SimError {
     },
     /// Configuration rejected.
     BadConfig(String),
+    /// A checkpoint file or frame was rejected (truncated, corrupted,
+    /// version-mismatched, or taken under a different config/kernel).
+    BadCheckpoint(String),
     /// An SM worker thread terminated abnormally (a defect in the
     /// simulator itself, not in the simulated machine).
     WorkerPanic,
@@ -80,6 +86,7 @@ impl fmt::Display for SimError {
                 write!(f, "unsound register state on SM {sm}: {violation}")
             }
             SimError::BadConfig(e) => write!(f, "bad configuration: {e}"),
+            SimError::BadCheckpoint(e) => write!(f, "bad checkpoint: {e}"),
             SimError::WorkerPanic => write!(f, "an SM worker thread terminated abnormally"),
         }
     }
@@ -322,6 +329,10 @@ pub struct Sm<'k> {
     /// turns it into [`SimError::Unsound`] (`Check`) or a quarantine
     /// (`Recover`).
     violation: Option<Violation>,
+    /// Whether the initial CTA launch has happened. Set by the first
+    /// [`Sm::run_until`] call and by [`Sm::restore_frame`] — a restored
+    /// machine is mid-run and must not launch its CTAs again.
+    launched: bool,
 }
 
 impl<'k> Sm<'k> {
@@ -385,6 +396,7 @@ impl<'k> Sm<'k> {
             ),
             injector: FaultInjector::new(&config.faults),
             violation: None,
+            launched: false,
             num_regs,
             warps_per_cta,
             threads_per_cta,
@@ -423,8 +435,29 @@ impl<'k> Sm<'k> {
     ///
     /// See [`SimError`].
     pub fn run(mut self) -> Result<SmResult, SimError> {
-        self.fill_cta_slots()?;
+        self.run_until(u64::MAX)?;
+        self.finish()
+    }
+
+    /// Advances the machine until either all work completes (`true`)
+    /// or the clock reaches `limit` (`false`) — always pausing on a
+    /// step boundary, so a [`Sm::snapshot_frame`] taken here restores
+    /// to the exact mid-run state. Resuming with a larger limit (or
+    /// [`Sm::finish`]ing after completion) reproduces an uninterrupted
+    /// run bit for bit.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn run_until(&mut self, limit: u64) -> Result<bool, SimError> {
+        if !self.launched {
+            self.fill_cta_slots()?;
+            self.launched = true;
+        }
         while self.work_remains() {
+            if self.now >= limit {
+                return Ok(false);
+            }
             self.step();
             if let Some(v) = self.violation.take() {
                 if self.sanitizer.level() == SanitizeLevel::Check {
@@ -438,10 +471,20 @@ impl<'k> Sm<'k> {
             if self.now > self.config.max_cycles {
                 return Err(SimError::Watchdog {
                     cycles: self.config.max_cycles,
-                    snapshot: Box::new(self.snapshot()),
+                    snapshot: Box::new(self.watchdog_snapshot()),
                 });
             }
         }
+        Ok(true)
+    }
+
+    /// Final sweep after [`Sm::run_until`] returned `true`: the
+    /// end-of-kernel leak check and statistics finalization.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn finish(mut self) -> Result<SmResult, SimError> {
         // end-of-kernel sweep: with every warp retired, no physical
         // register may remain assigned
         if let Some(v) = self
@@ -476,7 +519,7 @@ impl<'k> Sm<'k> {
     /// Captures the diagnostic machine state attached to
     /// [`SimError::Watchdog`] (warp statuses, register pressure,
     /// throttle balances).
-    fn snapshot(&self) -> WatchdogSnapshot {
+    fn watchdog_snapshot(&self) -> WatchdogSnapshot {
         WatchdogSnapshot {
             cycle: self.now,
             free_per_bank: (0..rfv_isa::NUM_REG_BANKS)
@@ -506,6 +549,340 @@ impl<'k> Sm<'k> {
 
     fn work_remains(&self) -> bool {
         self.next_assigned < self.assigned.len() || self.cta_slots.iter().any(Option::is_some)
+    }
+
+    /// The machine's current cycle.
+    pub fn cycle(&self) -> u64 {
+        self.now
+    }
+
+    // ------------------------------------------------- checkpoint frames
+
+    /// Serializes the complete mutable machine state into one
+    /// checkpoint frame. Derived state (the predecoded program, launch
+    /// geometry, config) is not written — [`Sm::restore_frame`]
+    /// rebuilds it from the same kernel and config, which the
+    /// checkpoint container pins by hash. The wake-event index is also
+    /// omitted: it only caches each warp's current wake time, so
+    /// restore reconstructs an equivalent index from the warps
+    /// themselves.
+    pub fn snapshot_frame(&self) -> Vec<u8> {
+        let mut e = Enc::new();
+        e.u16(self.sm_id);
+        e.u64(self.now);
+        e.u64(self.next_sample);
+        e.bool(self.launched);
+        self.regfile.encode(&mut e);
+        self.flag_cache.encode(&mut e);
+        self.throttle.encode(&mut e);
+        e.usize(self.warps.len());
+        for w in &self.warps {
+            w.encode(&mut e);
+        }
+        e.usize(self.values.len());
+        for v in &self.values {
+            for &x in v {
+                e.u32(x);
+            }
+        }
+        e.usize(self.preds.len());
+        for p in &self.preds {
+            for &x in p {
+                e.u32(x);
+            }
+        }
+        self.global.encode(&mut e);
+        e.usize(self.shared.len());
+        for s in &self.shared {
+            s.encode(&mut e);
+        }
+        self.local.encode(&mut e);
+        e.bool(!self.spill_values.values.is_empty());
+        if !self.spill_values.values.is_empty() {
+            e.usize(self.spill_values.values.len());
+            for v in &self.spill_values.values {
+                match v {
+                    None => e.bool(false),
+                    Some(vals) => {
+                        e.bool(true);
+                        for &x in vals {
+                            e.u32(x);
+                        }
+                    }
+                }
+            }
+        }
+        e.usize(self.ready.len());
+        for &s in &self.ready {
+            e.usize(s);
+        }
+        e.usize(self.waiting_ready.len());
+        for &s in &self.waiting_ready {
+            e.usize(s);
+        }
+        e.usize(self.rr_cursor);
+        e.usize(self.assigned.len());
+        e.usize(self.next_assigned);
+        e.usize(self.cta_slots.len());
+        for cs in &self.cta_slots {
+            match cs {
+                None => e.bool(false),
+                Some(cs) => {
+                    e.bool(true);
+                    e.usize(cs.warp_slots.len());
+                    for &ws in &cs.warp_slots {
+                        e.usize(ws);
+                    }
+                    e.usize(cs.live_warps);
+                    e.usize(cs.at_barrier);
+                }
+            }
+        }
+        // heap entries dumped in ascending pop order; rebuilding by
+        // pushing them back reproduces the identical pop sequence
+        // because the ordering key (cycle, slot, reg) is total
+        let mut loads: Vec<(u64, usize, u8)> = self.load_events.iter().map(|r| r.0).collect();
+        loads.sort_unstable();
+        e.usize(loads.len());
+        for (t, slot, reg) in loads {
+            e.u64(t);
+            e.usize(slot);
+            e.u8(reg);
+        }
+        e.usize(self.inflight_segments.len());
+        for &(seg, ready) in &self.inflight_segments {
+            e.u64(seg);
+            e.u64(ready);
+        }
+        self.stats.encode(&mut e);
+        let words = self.injector.state_words();
+        e.usize(words.len());
+        for w in words {
+            e.u64(w);
+        }
+        self.sanitizer.encode(&mut e);
+        match self.violation {
+            None => e.bool(false),
+            Some(v) => {
+                e.bool(true);
+                encode_violation(&mut e, v);
+            }
+        }
+        match &self.sink {
+            Sink::Noop => e.u8(0),
+            Sink::Ring(r) => {
+                e.u8(1);
+                e.usize(r.capacity());
+                e.u64(r.dropped());
+                e.usize(r.events().len());
+                for ev in r.events() {
+                    encode_event(ev, &mut e);
+                }
+            }
+        }
+        e.into_bytes()
+    }
+
+    /// Overwrites this freshly-constructed machine with the state in
+    /// `frame` (the inverse of [`Sm::snapshot_frame`]). The machine
+    /// must have been built by [`Sm::new`] with the same config,
+    /// kernel, and CTA assignment that produced the frame; the
+    /// checkpoint container enforces this by hash before calling.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated or inconsistent input; the
+    /// machine is left partially restored and must be discarded.
+    pub fn restore_frame(&mut self, frame: &[u8]) -> Result<(), WireError> {
+        let d = &mut Dec::new(frame);
+        self.sm_id = d.u16()?;
+        self.now = d.u64()?;
+        self.next_sample = d.u64()?;
+        self.launched = d.bool()?;
+        let warp_slots = self.config.max_warps_per_sm;
+        self.regfile = RegisterFile::decode(d, self.config.regfile, warp_slots)?;
+        self.flag_cache = ReleaseFlagCache::decode(d, self.config.regfile.flag_cache_entries)?;
+        self.throttle = CtaThrottle::decode(d, self.config.max_ctas_per_sm)?;
+        if d.usize()? != warp_slots {
+            return Err(WireError::Invalid("warp count"));
+        }
+        for slot in 0..warp_slots {
+            let w = Warp::decode(d)?;
+            if w.slot != slot || w.cta_slot >= self.config.max_ctas_per_sm {
+                return Err(WireError::Invalid("warp slot"));
+            }
+            self.warps[slot] = w;
+        }
+        if d.usize()? != self.values.len() {
+            return Err(WireError::Invalid("register value count"));
+        }
+        for v in &mut self.values {
+            for x in v.iter_mut() {
+                *x = d.u32()?;
+            }
+        }
+        if d.usize()? != self.preds.len() {
+            return Err(WireError::Invalid("predicate file size"));
+        }
+        for p in &mut self.preds {
+            for x in p.iter_mut() {
+                *x = d.u32()?;
+            }
+        }
+        self.global = GlobalMemory::decode(d)?;
+        if d.usize()? != self.shared.len() {
+            return Err(WireError::Invalid("shared memory count"));
+        }
+        for s in &mut self.shared {
+            *s = SharedMemory::decode(d, 48 * 1024)?;
+        }
+        self.local = LocalMemory::decode(d)?;
+        self.spill_values = SpillStore::new(warp_slots);
+        if d.bool()? {
+            let n = warp_slots * MAX_REGS_PER_THREAD;
+            if d.usize()? != n {
+                return Err(WireError::Invalid("spill store size"));
+            }
+            let mut values = vec![None; n];
+            for v in &mut values {
+                if d.bool()? {
+                    let mut vals = [0u32; WARP_SIZE];
+                    for x in &mut vals {
+                        *x = d.u32()?;
+                    }
+                    *v = Some(vals);
+                }
+            }
+            self.spill_values.values = values;
+        }
+        let decode_slot = |d: &mut Dec<'_>| -> Result<usize, WireError> {
+            let s = d.usize()?;
+            if s >= warp_slots {
+                return Err(WireError::Invalid("warp slot index"));
+            }
+            Ok(s)
+        };
+        let n = d.usize()?;
+        self.ready = Vec::with_capacity(n.min(warp_slots * 2));
+        for _ in 0..n {
+            self.ready.push(decode_slot(d)?);
+        }
+        let n = d.usize()?;
+        self.waiting_ready = VecDeque::with_capacity(n.min(warp_slots * 2));
+        for _ in 0..n {
+            self.waiting_ready.push_back(decode_slot(d)?);
+        }
+        self.ready_count.fill(0);
+        self.waiting_count.fill(0);
+        for i in 0..self.ready.len() {
+            self.ready_count[self.ready[i]] += 1;
+        }
+        for i in 0..self.waiting_ready.len() {
+            self.waiting_count[self.waiting_ready[i]] += 1;
+        }
+        self.rr_cursor = d.usize()?;
+        if d.usize()? != self.assigned.len() {
+            return Err(WireError::Invalid("assigned CTA count"));
+        }
+        self.next_assigned = d.usize()?;
+        if self.next_assigned > self.assigned.len() {
+            return Err(WireError::Invalid("assigned CTA cursor"));
+        }
+        if d.usize()? != self.cta_slots.len() {
+            return Err(WireError::Invalid("CTA slot count"));
+        }
+        for cs in &mut self.cta_slots {
+            *cs = None;
+        }
+        for slot in 0..self.config.max_ctas_per_sm {
+            if !d.bool()? {
+                continue;
+            }
+            let n = d.usize()?;
+            if n > warp_slots {
+                return Err(WireError::Invalid("CTA warp count"));
+            }
+            let mut ws = Vec::with_capacity(n);
+            for _ in 0..n {
+                ws.push(decode_slot(d)?);
+            }
+            let live_warps = d.usize()?;
+            let at_barrier = d.usize()?;
+            if live_warps > n || at_barrier > n {
+                return Err(WireError::Invalid("CTA warp accounting"));
+            }
+            self.cta_slots[slot] = Some(CtaState {
+                warp_slots: ws,
+                live_warps,
+                at_barrier,
+            });
+        }
+        self.load_events.clear();
+        for _ in 0..d.usize()? {
+            let t = d.u64()?;
+            let slot = decode_slot(d)?;
+            let reg = d.u8()?;
+            if usize::from(reg) >= MAX_REGS_PER_THREAD {
+                return Err(WireError::Invalid("load event register"));
+            }
+            self.load_events.push(Reverse((t, slot, reg)));
+        }
+        self.inflight_segments.clear();
+        for _ in 0..d.usize()? {
+            let seg = d.u64()?;
+            let ready = d.u64()?;
+            self.inflight_segments.push((seg, ready));
+        }
+        self.stats = SimStats::decode(d)?;
+        let n = d.usize()?;
+        let mut words = Vec::with_capacity(n.min(1 << 12));
+        for _ in 0..n {
+            words.push(d.u64()?);
+        }
+        self.injector = FaultInjector::from_state_words(&self.config.faults, &words)
+            .ok_or(WireError::Invalid("fault injector state"))?;
+        self.sanitizer = Sanitizer::decode(
+            d,
+            self.config.sanitize,
+            warp_slots,
+            self.config.regfile.phys_regs,
+        )?;
+        self.violation = if d.bool()? {
+            Some(decode_violation(d)?)
+        } else {
+            None
+        };
+        self.sink = match d.u8()? {
+            0 => Sink::Noop,
+            1 => {
+                let capacity = d.usize()?;
+                let dropped = d.u64()?;
+                let n = d.usize()?;
+                if n > capacity {
+                    return Err(WireError::Invalid("trace ring overflow"));
+                }
+                let mut buf = Vec::with_capacity(n);
+                for _ in 0..n {
+                    buf.push(decode_event(d)?);
+                }
+                Sink::Ring(RingSink::from_parts(buf, capacity, dropped))
+            }
+            _ => return Err(WireError::Invalid("sink tag")),
+        };
+        if !d.is_done() {
+            return Err(WireError::Invalid("trailing bytes in SM frame"));
+        }
+        // rebuild the derived wake/swap bookkeeping from the warps
+        self.swapped_out = self
+            .warps
+            .iter()
+            .filter(|w| w.status == WarpStatus::SwappedOut)
+            .count();
+        self.wake_events.clear();
+        for slot in 0..warp_slots {
+            self.note_wake(slot);
+        }
+        Ok(())
     }
 
     // ---------------------------------------------------------- CTA launch
@@ -2102,4 +2479,49 @@ impl<'k> Sm<'k> {
             subarrays_on: self.regfile.subarrays_on(),
         });
     }
+}
+
+fn violation_kind_tag(k: ViolationKind) -> u8 {
+    match k {
+        ViolationKind::UseAfterRelease => 0,
+        ViolationKind::MappingMismatch => 1,
+        ViolationKind::AliasedPhys => 2,
+        ViolationKind::AvailDisagree => 3,
+        ViolationKind::DoubleFree => 4,
+        ViolationKind::DroppedRelease => 5,
+        ViolationKind::RegisterLeak => 6,
+        ViolationKind::SpillLoss => 7,
+    }
+}
+
+fn violation_kind_untag(t: u8) -> Result<ViolationKind, WireError> {
+    Ok(match t {
+        0 => ViolationKind::UseAfterRelease,
+        1 => ViolationKind::MappingMismatch,
+        2 => ViolationKind::AliasedPhys,
+        3 => ViolationKind::AvailDisagree,
+        4 => ViolationKind::DoubleFree,
+        5 => ViolationKind::DroppedRelease,
+        6 => ViolationKind::RegisterLeak,
+        7 => ViolationKind::SpillLoss,
+        _ => return Err(WireError::Invalid("violation kind tag")),
+    })
+}
+
+fn encode_violation(e: &mut Enc, v: Violation) {
+    e.u8(violation_kind_tag(v.kind));
+    e.u64(v.cycle);
+    e.usize(v.warp);
+    e.u16(v.reg);
+    e.u32(v.phys);
+}
+
+fn decode_violation(d: &mut Dec<'_>) -> Result<Violation, WireError> {
+    Ok(Violation {
+        kind: violation_kind_untag(d.u8()?)?,
+        cycle: d.u64()?,
+        warp: d.usize()?,
+        reg: d.u16()?,
+        phys: d.u32()?,
+    })
 }

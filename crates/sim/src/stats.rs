@@ -1,7 +1,7 @@
 //! Simulation statistics and per-cycle samples.
 
 use rfv_core::{FlagCacheStats, RegFileStats, RenamingStats};
-use rfv_trace::MetricsRegistry;
+use rfv_trace::{Dec, Enc, MetricsRegistry, WireError};
 
 /// One periodic sample of register-file occupancy (drives Figure 1 and
 /// the energy model's averages).
@@ -95,6 +95,143 @@ pub struct SimStats {
 }
 
 impl SimStats {
+    /// Serializes every counter, sample, and trace event into a
+    /// checkpoint frame.
+    pub fn encode(&self, e: &mut Enc) {
+        e.u64(self.cycles);
+        e.u64(self.instrs_issued);
+        e.u64(self.active_lane_sum);
+        e.u64(self.meta_decoded);
+        e.u64(self.meta_encountered);
+        e.u64(self.mem_txns);
+        e.u64(self.mshr_merges);
+        e.u64(self.no_reg_stalls);
+        e.u64(self.bank_conflicts);
+        e.u64(self.swap_outs);
+        e.u64(self.barrier_waits);
+        e.u64(self.ctas_completed);
+        e.u64(self.throttle_restricted_cycles);
+        e.u64(self.faults_injected);
+        e.u64(self.sanitizer_detections);
+        e.u64(self.quarantined_warps);
+        e.u64(self.quarantined_ctas);
+        e.usize(self.samples.len());
+        for s in &self.samples {
+            e.u64(s.cycle);
+            e.usize(s.live_regs);
+            e.usize(s.resident_arch_regs);
+            e.usize(s.subarrays_on);
+        }
+        e.u64(self.regfile.rf_reads);
+        e.u64(self.regfile.rf_writes);
+        e.u64(self.regfile.allocs);
+        e.u64(self.regfile.releases);
+        e.u64(self.regfile.static_allocs);
+        e.u64(self.regfile.alloc_failures);
+        e.usize(self.regfile.peak_live);
+        e.u64(self.regfile.double_free_attempts);
+        e.u64(self.renaming.lookups);
+        e.u64(self.renaming.updates);
+        e.u64(self.flag_cache.hits);
+        e.u64(self.flag_cache.misses);
+        e.u64(self.subarray_on_cycles);
+        e.u64(self.wakeups);
+        e.usize(self.reg_trace.len());
+        for t in &self.reg_trace {
+            e.u64(t.cycle);
+            e.u8(t.reg);
+            e.bool(t.live);
+        }
+        match &self.subarray_snapshot {
+            None => e.bool(false),
+            Some((cycle, occ)) => {
+                e.bool(true);
+                e.u64(*cycle);
+                e.usize(occ.len());
+                for &o in occ {
+                    e.usize(o);
+                }
+            }
+        }
+    }
+
+    /// Inverse of [`SimStats::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WireError`] on truncated input.
+    pub fn decode(d: &mut Dec<'_>) -> Result<SimStats, WireError> {
+        let mut s = SimStats {
+            cycles: d.u64()?,
+            instrs_issued: d.u64()?,
+            active_lane_sum: d.u64()?,
+            meta_decoded: d.u64()?,
+            meta_encountered: d.u64()?,
+            mem_txns: d.u64()?,
+            mshr_merges: d.u64()?,
+            no_reg_stalls: d.u64()?,
+            bank_conflicts: d.u64()?,
+            swap_outs: d.u64()?,
+            barrier_waits: d.u64()?,
+            ctas_completed: d.u64()?,
+            throttle_restricted_cycles: d.u64()?,
+            faults_injected: d.u64()?,
+            sanitizer_detections: d.u64()?,
+            quarantined_warps: d.u64()?,
+            quarantined_ctas: d.u64()?,
+            ..SimStats::default()
+        };
+        let n = d.usize()?;
+        s.samples = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            s.samples.push(Sample {
+                cycle: d.u64()?,
+                live_regs: d.usize()?,
+                resident_arch_regs: d.usize()?,
+                subarrays_on: d.usize()?,
+            });
+        }
+        s.regfile = RegFileStats {
+            rf_reads: d.u64()?,
+            rf_writes: d.u64()?,
+            allocs: d.u64()?,
+            releases: d.u64()?,
+            static_allocs: d.u64()?,
+            alloc_failures: d.u64()?,
+            peak_live: d.usize()?,
+            double_free_attempts: d.u64()?,
+        };
+        s.renaming = RenamingStats {
+            lookups: d.u64()?,
+            updates: d.u64()?,
+        };
+        s.flag_cache = FlagCacheStats {
+            hits: d.u64()?,
+            misses: d.u64()?,
+        };
+        s.subarray_on_cycles = d.u64()?;
+        s.wakeups = d.u64()?;
+        let n = d.usize()?;
+        s.reg_trace = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            s.reg_trace.push(RegTraceEvent {
+                cycle: d.u64()?,
+                reg: d.u8()?,
+                live: d.bool()?,
+            });
+        }
+        if d.bool()? {
+            let cycle = d.u64()?;
+            let n = d.usize()?;
+            let mut occ = Vec::with_capacity(n.min(1 << 20));
+            for _ in 0..n {
+                occ.push(d.usize()?);
+            }
+            s.subarray_snapshot = Some((cycle, occ));
+        }
+        Ok(s)
+    }
+
     /// Total dynamic decode count: machine instructions plus decoded
     /// metadata (Figure 13 compares this against machine-only).
     pub fn total_decoded(&self) -> u64 {
@@ -274,6 +411,54 @@ mod tests {
             counters.get("sim.cycles").and_then(|v| v.as_num()),
             Some(100.0)
         );
+    }
+
+    #[test]
+    fn stats_snapshot_round_trips() {
+        let s = SimStats {
+            cycles: 4321,
+            instrs_issued: 999,
+            swap_outs: 7,
+            samples: vec![Sample {
+                cycle: 16,
+                live_regs: 40,
+                resident_arch_regs: 96,
+                subarrays_on: 5,
+            }],
+            regfile: RegFileStats {
+                rf_reads: 10,
+                rf_writes: 20,
+                allocs: 5,
+                releases: 4,
+                static_allocs: 2,
+                alloc_failures: 1,
+                double_free_attempts: 0,
+                peak_live: 77,
+            },
+            renaming: RenamingStats {
+                lookups: 3,
+                updates: 2,
+            },
+            flag_cache: FlagCacheStats { hits: 8, misses: 1 },
+            reg_trace: vec![RegTraceEvent {
+                cycle: 5,
+                reg: 3,
+                live: true,
+            }],
+            subarray_snapshot: Some((100, vec![1, 2, 3])),
+            ..SimStats::default()
+        };
+        let mut e = Enc::new();
+        s.encode(&mut e);
+        let bytes = e.into_bytes();
+        let mut d = Dec::new(&bytes);
+        let back = SimStats::decode(&mut d).expect("decode stats");
+        assert!(d.is_done());
+        assert_eq!(back, s);
+        // truncation never panics
+        for cut in [0, 8, bytes.len() - 1] {
+            assert!(SimStats::decode(&mut Dec::new(&bytes[..cut])).is_err());
+        }
     }
 
     #[test]

@@ -3,6 +3,8 @@
 
 use std::fmt;
 
+use rfv_trace::{Dec, Enc, WireError};
+
 /// Sentinel "no reconvergence PC" (branches whose post-dominator is
 /// the program exit never reconverge before the warp finishes).
 pub const NO_RECONV: usize = usize::MAX;
@@ -125,6 +127,17 @@ impl SimtStack {
         }
         self.normalize();
     }
+
+    /// The raw stack entries, bottom to top (checkpoint encoding).
+    pub fn entries(&self) -> &[StackEntry] {
+        &self.entries
+    }
+
+    /// Rebuilds a stack from checkpointed entries, verbatim (no
+    /// normalization — the snapshot was taken from a live stack).
+    pub fn from_entries(entries: Vec<StackEntry>) -> SimtStack {
+        SimtStack { entries }
+    }
 }
 
 impl fmt::Display for SimtStack {
@@ -216,6 +229,96 @@ impl Warp {
     pub fn clear_outstanding(&mut self, r: rfv_isa::ArchReg) {
         self.outstanding &= !(1u64 << r.index());
     }
+
+    /// Serializes the full warp context for a checkpoint frame.
+    pub fn encode(&self, e: &mut Enc) {
+        e.usize(self.slot);
+        e.usize(self.cta_slot);
+        e.usize(self.warp_in_cta);
+        e.u32(self.cta_id);
+        e.usize(self.stack.entries.len());
+        for en in &self.stack.entries {
+            e.usize(en.reconv_pc);
+            e.usize(en.pc);
+            e.u32(en.mask);
+        }
+        e.u8(status_tag(self.status));
+        e.u64(self.next_issue_at);
+        e.u64(self.outstanding);
+        e.usize(self.spilled_regs.len());
+        for r in &self.spilled_regs {
+            e.u8(r.raw());
+        }
+        e.u64(self.swap_ready_at);
+    }
+
+    /// Rebuilds a warp written by [`Warp::encode`].
+    ///
+    /// # Errors
+    ///
+    /// Rejects unknown status tags and out-of-range register ids.
+    pub fn decode(d: &mut Dec<'_>) -> Result<Warp, WireError> {
+        let slot = d.usize()?;
+        let cta_slot = d.usize()?;
+        let warp_in_cta = d.usize()?;
+        let cta_id = d.u32()?;
+        let depth = d.usize()?;
+        let mut entries = Vec::with_capacity(depth.min(64));
+        for _ in 0..depth {
+            entries.push(StackEntry {
+                reconv_pc: d.usize()?,
+                pc: d.usize()?,
+                mask: d.u32()?,
+            });
+        }
+        let status = status_untag(d.u8()?)?;
+        let next_issue_at = d.u64()?;
+        let outstanding = d.u64()?;
+        let nspill = d.usize()?;
+        let mut spilled_regs = Vec::with_capacity(nspill.min(64));
+        for _ in 0..nspill {
+            spilled_regs.push(
+                rfv_isa::ArchReg::try_new(d.u8()?)
+                    .ok_or(WireError::Invalid("spilled arch reg id"))?,
+            );
+        }
+        let swap_ready_at = d.u64()?;
+        Ok(Warp {
+            slot,
+            cta_slot,
+            warp_in_cta,
+            cta_id,
+            stack: SimtStack::from_entries(entries),
+            status,
+            next_issue_at,
+            outstanding,
+            spilled_regs,
+            swap_ready_at,
+        })
+    }
+}
+
+fn status_tag(s: WarpStatus) -> u8 {
+    match s {
+        WarpStatus::Idle => 0,
+        WarpStatus::Ready => 1,
+        WarpStatus::PendingMem => 2,
+        WarpStatus::AtBarrier => 3,
+        WarpStatus::SwappedOut => 4,
+        WarpStatus::Finished => 5,
+    }
+}
+
+fn status_untag(t: u8) -> Result<WarpStatus, WireError> {
+    Ok(match t {
+        0 => WarpStatus::Idle,
+        1 => WarpStatus::Ready,
+        2 => WarpStatus::PendingMem,
+        3 => WarpStatus::AtBarrier,
+        4 => WarpStatus::SwappedOut,
+        5 => WarpStatus::Finished,
+        _ => return Err(WireError::Invalid("warp status tag")),
+    })
 }
 
 #[cfg(test)]
@@ -321,6 +424,33 @@ mod tests {
     fn uniform_branch_must_not_diverge() {
         let mut s = SimtStack::new(FULL);
         s.diverge(FULL, 10, 1, 20);
+    }
+
+    #[test]
+    fn warp_snapshot_round_trips_stack_and_status() {
+        let mut w = Warp::idle(7);
+        w.cta_slot = 2;
+        w.warp_in_cta = 3;
+        w.cta_id = 19;
+        w.stack = SimtStack::new(FULL);
+        w.stack.diverge(0x0000_ffff, 10, 1, 20);
+        w.status = WarpStatus::PendingMem;
+        w.next_issue_at = 1234;
+        w.set_outstanding(rfv_isa::ArchReg::new(5));
+        w.spilled_regs = vec![rfv_isa::ArchReg::new(1), rfv_isa::ArchReg::new(9)];
+        w.swap_ready_at = 99;
+        let mut e = Enc::new();
+        w.encode(&mut e);
+        let bytes = e.into_bytes();
+        let r = Warp::decode(&mut Dec::new(&bytes)).unwrap();
+        assert_eq!(r.slot, 7);
+        assert_eq!(r.stack, w.stack);
+        assert_eq!(r.status, WarpStatus::PendingMem);
+        assert_eq!(r.outstanding, w.outstanding);
+        assert_eq!(r.spilled_regs, w.spilled_regs);
+        assert!(Warp::decode(&mut Dec::new(&bytes[..bytes.len() - 2])).is_err());
+        // garbage input is a typed error, never a panic
+        assert!(Warp::decode(&mut Dec::new(&[0xEE; 16])).is_err());
     }
 
     #[test]

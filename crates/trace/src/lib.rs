@@ -19,7 +19,12 @@
 //! * output ([`chrome`], [`metrics`], [`json`]): a streaming Chrome
 //!   trace-event JSON writer (loadable in Perfetto / `chrome://tracing`
 //!   with per-SM process tracks and per-warp thread tracks) and a
-//!   counter/histogram [`MetricsRegistry`] serializable to JSON.
+//!   counter/histogram [`MetricsRegistry`] serializable to JSON;
+//! * a checkpoint byte codec ([`wire`]): the fixed-width little-endian
+//!   [`wire::Enc`]/[`wire::Dec`] pair (plus FNV-1a hashing and a
+//!   [`TraceEvent`] codec) underpinning the simulator's `rfv-ckpt-v1`
+//!   snapshot format. Decoding is total — corrupt input is a typed
+//!   [`wire::WireError`], never a panic.
 //!
 //! Everything is dependency-free; JSON is written (and, for tests,
 //! parsed) by the small hand-rolled [`json`] module.
@@ -30,9 +35,11 @@ pub mod json;
 pub mod merge;
 pub mod metrics;
 pub mod sink;
+pub mod wire;
 
 pub use chrome::ChromeWriter;
 pub use event::{FaultLabel, MemPhase, StallReason, TraceEvent, TraceKind};
 pub use merge::merge_shards;
 pub use metrics::{Histogram, MetricsRegistry};
 pub use sink::{NoopSink, RingSink, Sink, TraceSink};
+pub use wire::{Dec, Enc, WireError};

@@ -1,0 +1,227 @@
+//! Crash-safety tests for the checkpoint CLI surface: corrupt files
+//! degrade into typed errors (never panics), the atomic write
+//! protocol keeps prior checkpoints loadable through a mid-write
+//! crash, a resumed CLI run is byte-identical to an uninterrupted
+//! one, and a watchdog abort leaves both a loadable checkpoint and a
+//! per-warp diagnostic artifact.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+use rfv_sim::{Checkpoint, SimError};
+
+fn rfvsim() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rfvsim"))
+}
+
+/// A unique scratch directory per test (std-only: no tempdir crate).
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rfv-ckpt-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("spawn rfvsim")
+}
+
+fn stderr_text(out: &Output) -> String {
+    String::from_utf8_lossy(&out.stderr).into_owned()
+}
+
+/// Checkpoint files written by the CLI, oldest first (`.tmp` orphans
+/// excluded — they are by construction incomplete).
+fn checkpoint_files(dir: &PathBuf) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .expect("read ckpt dir")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rfvckpt"))
+        .collect();
+    files.sort();
+    files
+}
+
+/// End to end: the CLI writes checkpoints a resumed CLI run turns
+/// into byte-identical stats, and corrupting those files on disk
+/// yields typed rejections, not panics.
+#[test]
+fn cli_checkpoints_resume_byte_identical_and_reject_corruption() {
+    let dir = scratch("resume");
+    let cks = dir.join("cks");
+    let full_json = dir.join("full.json");
+    let resumed_json = dir.join("resumed.json");
+
+    let out = run(rfvsim()
+        .args(["VectorAdd", "--checkpoint-every", "400", "--ckpt-dir"])
+        .arg(&cks)
+        .arg("--stats-json")
+        .arg(&full_json));
+    assert!(
+        out.status.success(),
+        "checkpointed run: {}",
+        stderr_text(&out)
+    );
+    let files = checkpoint_files(&cks);
+    assert!(!files.is_empty(), "no checkpoints were written");
+
+    // every file the CLI wrote parses and carries its boundary cycle
+    for f in &files {
+        let bytes = std::fs::read(f).expect("read checkpoint");
+        let c = Checkpoint::from_bytes(&bytes).expect("CLI checkpoint parses");
+        assert!(
+            c.cycle > 0 && c.cycle.is_multiple_of(400),
+            "cycle {}",
+            c.cycle
+        );
+    }
+
+    // resuming the last checkpoint reproduces the full run's stats
+    // artifact byte for byte
+    let last = files.last().expect("at least one");
+    let out = run(rfvsim()
+        .args(["VectorAdd", "--resume"])
+        .arg(last)
+        .arg("--stats-json")
+        .arg(&resumed_json));
+    assert!(out.status.success(), "resume run: {}", stderr_text(&out));
+    let full = std::fs::read(&full_json).expect("full stats");
+    let resumed = std::fs::read(&resumed_json).expect("resumed stats");
+    assert_eq!(full, resumed, "resumed stats artifact diverged");
+
+    // corruption of the on-disk file is a typed library error ...
+    let bytes = std::fs::read(last).expect("read checkpoint");
+    for cut in [0, 8, bytes.len() / 2, bytes.len() - 1] {
+        assert!(matches!(
+            Checkpoint::from_bytes(&bytes[..cut]),
+            Err(SimError::BadCheckpoint(_))
+        ));
+    }
+    for i in (0..bytes.len()).step_by(97) {
+        let mut b = bytes.clone();
+        b[i] ^= 0x04;
+        assert!(matches!(
+            Checkpoint::from_bytes(&b),
+            Err(SimError::BadCheckpoint(_))
+        ));
+    }
+
+    // ... and an ordinary CLI error (exit 1, no panic exit code 101)
+    let bad = dir.join("bad.rfvckpt");
+    let mut b = bytes.clone();
+    let mid = b.len() / 2;
+    b[mid] ^= 0xff;
+    std::fs::write(&bad, &b).expect("write corrupted file");
+    let out = run(rfvsim().args(["VectorAdd", "--resume"]).arg(&bad));
+    assert_eq!(out.status.code(), Some(1), "corrupt resume must exit 1");
+    assert!(
+        stderr_text(&out).contains("bad checkpoint"),
+        "stderr: {}",
+        stderr_text(&out)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A SIGKILL mid-write leaves only an orphaned `.tmp` behind; the
+/// previous fully-renamed checkpoint must still load and resume.
+#[test]
+fn interrupted_write_leaves_prior_checkpoint_loadable() {
+    let dir = scratch("atomic");
+    let cks = dir.join("cks");
+    let out = run(rfvsim()
+        .args(["VectorAdd", "--checkpoint-every", "500", "--ckpt-dir"])
+        .arg(&cks));
+    assert!(out.status.success(), "{}", stderr_text(&out));
+    let files = checkpoint_files(&cks);
+    assert!(!files.is_empty());
+
+    // simulate the crash: a half-written next checkpoint (.tmp never
+    // renamed) sitting next to the complete ones
+    let prior = files.last().expect("complete checkpoint").clone();
+    let torn = std::fs::read(&prior).expect("read");
+    std::fs::write(
+        cks.join("ckpt-999999999999.rfvckpt.tmp"),
+        &torn[..torn.len() / 3],
+    )
+    .expect("write torn tmp");
+
+    // the complete checkpoint is unaffected by the torn neighbour
+    let bytes = std::fs::read(&prior).expect("read prior");
+    Checkpoint::from_bytes(&bytes).expect("prior checkpoint still parses");
+    let out = run(rfvsim().args(["VectorAdd", "--resume"]).arg(&prior));
+    assert!(
+        out.status.success(),
+        "resume after torn write: {}",
+        stderr_text(&out)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A watchdog abort under `--checkpoint-every` leaves a loadable
+/// checkpoint at the last boundary, and `--stats-json` captures the
+/// per-warp diagnostic (pc/status/outstanding) in the artifact.
+#[test]
+fn watchdog_abort_leaves_checkpoint_and_warp_diagnostic() {
+    let dir = scratch("watchdog");
+    let cks = dir.join("cks");
+    let json = dir.join("wd.json");
+    let out = run(rfvsim()
+        .args([
+            "MatrixMul",
+            "--max-cycles",
+            "300",
+            "--checkpoint-every",
+            "100",
+            "--ckpt-dir",
+        ])
+        .arg(&cks)
+        .arg("--stats-json")
+        .arg(&json));
+    assert_eq!(out.status.code(), Some(1), "watchdog abort exits 1");
+    assert!(
+        stderr_text(&out).contains("watchdog"),
+        "stderr: {}",
+        stderr_text(&out)
+    );
+
+    // the last boundary before the abort is on disk and loads
+    let files = checkpoint_files(&cks);
+    assert!(!files.is_empty(), "no checkpoint survived the abort");
+    let bytes = std::fs::read(files.last().expect("last")).expect("read");
+    let c = Checkpoint::from_bytes(&bytes).expect("post-abort checkpoint parses");
+    assert!(c.cycle <= 300, "boundary {} past the budget", c.cycle);
+
+    // the per-warp diagnostic round-trips through the JSON artifact
+    let text = std::fs::read_to_string(&json).expect("watchdog artifact");
+    for key in [
+        "watchdog.limit_cycles",
+        "watchdog.cycle",
+        "watchdog.warp.000.pc",
+        "watchdog.warp.000.status.",
+        "watchdog.warp.000.outstanding",
+    ] {
+        assert!(text.contains(key), "artifact missing {key}: {text}");
+    }
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Flag-validation errors are usage errors (exit 2), not panics.
+#[test]
+fn checkpoint_flag_misuse_is_a_usage_error() {
+    for args in [
+        vec!["VectorAdd", "--checkpoint-every", "0"],
+        vec!["VectorAdd", "--checkpoint-every", "abc"],
+        vec!["VectorAdd", "--resume"],
+        vec!["VectorAdd", "--compare", "--checkpoint-every", "100"],
+        vec!["VectorAdd", "--checkpoint-every", "100", "--resume", "x"],
+        vec!["--probe-shrink"],
+        vec!["--probe-shrink", "VectorAdd", "120"],
+        vec!["--probe-shrink", "NoSuchWorkload"],
+    ] {
+        let out = run(rfvsim().args(&args));
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+    }
+}

@@ -1,0 +1,153 @@
+//! Sweep-resilience tests for the `figures` driver: a panicking cell
+//! must not take down the sweep (retries with backoff, then a
+//! `FAILED(...)` cell and a degraded exit code), the journal must let
+//! a rerun pick up exactly where the crash left off, and the final
+//! output after recovery must be byte-identical to a clean sweep.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn figures() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_figures"))
+}
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rfv-sweep-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+fn run(cmd: &mut Command) -> Output {
+    cmd.output().expect("spawn figures")
+}
+
+fn text(bytes: &[u8]) -> String {
+    String::from_utf8_lossy(bytes).into_owned()
+}
+
+/// A rigged panic in one cell leaves the others complete, is retried
+/// with backoff, renders as `FAILED(...)`, exits degraded (4), and a
+/// rerun over the same journal recovers byte-identically to a sweep
+/// that never failed.
+#[test]
+fn rigged_panic_degrades_then_recovers_byte_identically() {
+    let dir = scratch("rigged");
+    let journal = dir.join("journal");
+
+    // table2 runs no simulation; fig2 runs MatrixMul once — rig it
+    let out = run(figures()
+        .args(["table2", "fig2", "--retries", "1", "--journal"])
+        .arg(&journal)
+        .env("RFV_RIG_PANIC", "MatrixMul"));
+    assert_eq!(out.status.code(), Some(4), "degraded sweep must exit 4");
+    let stdout = text(&out.stdout);
+    let stderr = text(&out.stderr);
+    assert!(stdout.contains("Table 2"), "healthy cell missing: {stdout}");
+    assert!(
+        stdout.contains("FAILED(") && stdout.contains("rigged panic"),
+        "failed cell not rendered: {stdout}"
+    );
+    assert!(
+        stderr.contains("retrying in 50ms"),
+        "no backoff retry on stderr: {stderr}"
+    );
+
+    // the journal recorded the healthy cell only
+    let manifest = std::fs::read_to_string(journal.join("manifest")).expect("manifest");
+    assert!(manifest.contains("ok table2"), "manifest: {manifest}");
+    assert!(!manifest.contains("ok fig2"), "manifest: {manifest}");
+
+    // rerun without the rig: replays table2, computes fig2, exits clean
+    let recovered = run(figures()
+        .args(["table2", "fig2", "--journal"])
+        .arg(&journal));
+    assert!(
+        recovered.status.success(),
+        "recovery run: {}",
+        text(&recovered.stderr)
+    );
+
+    // and the recovered output is byte-identical to a clean sweep
+    let clean = run(figures().args(["table2", "fig2"]));
+    assert!(clean.status.success());
+    assert_eq!(
+        recovered.stdout, clean.stdout,
+        "journal replay diverged from a clean sweep"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A second sweep over a completed journal is a pure replay: still
+/// byte-identical, and the manifest keeps exactly one line per cell.
+#[test]
+fn completed_journal_replays_verbatim() {
+    let dir = scratch("replay");
+    let journal = dir.join("journal");
+
+    let first = run(figures().args(["table1", "--journal"]).arg(&journal));
+    assert!(first.status.success(), "{}", text(&first.stderr));
+    let second = run(figures().args(["table1", "--journal"]).arg(&journal));
+    assert!(second.status.success(), "{}", text(&second.stderr));
+    assert_eq!(first.stdout, second.stdout, "replay diverged");
+
+    let manifest = std::fs::read_to_string(journal.join("manifest")).expect("manifest");
+    assert_eq!(
+        manifest.matches("ok table1").count(),
+        1,
+        "replay must not re-append manifest lines: {manifest}"
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// `--csv` failures are reported errors, not panics: an uncreatable
+/// directory is a usage error (exit 2) and an unwritable file inside
+/// the sweep degrades that cell (exit 4) instead of aborting.
+#[test]
+fn csv_write_failures_are_reported_not_panics() {
+    let dir = scratch("csv");
+
+    // a path that cannot be a directory (component is a regular file)
+    let blocker = dir.join("blocker");
+    std::fs::write(&blocker, b"not a dir").expect("write blocker");
+    let out = run(figures().args(["fig7", "--csv"]).arg(blocker.join("sub")));
+    assert_eq!(
+        out.status.code(),
+        Some(2),
+        "uncreatable --csv dir: usage error"
+    );
+    assert!(
+        text(&out.stderr).contains("error:"),
+        "{}",
+        text(&out.stderr)
+    );
+
+    // the directory exists but the target file name is taken by a
+    // directory, so the write itself fails -> FAILED cell, exit 4
+    let csv_dir = dir.join("csv");
+    std::fs::create_dir_all(csv_dir.join("fig7.csv")).expect("occupy csv path");
+    let out = run(figures().args(["fig7", "--csv"]).arg(&csv_dir));
+    assert_eq!(out.status.code(), Some(4), "unwritable csv file: degraded");
+    assert!(
+        text(&out.stdout).contains("FAILED(cannot write"),
+        "{}",
+        text(&out.stdout)
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Unknown figures and malformed flags stay usage errors (exit 2).
+#[test]
+fn sweep_flag_misuse_is_a_usage_error() {
+    for args in [
+        vec!["nosuchfigure"],
+        vec!["table1", "--retries", "many"],
+        vec!["table1", "--journal"],
+    ] {
+        let out = run(figures().args(&args));
+        assert_eq!(out.status.code(), Some(2), "{args:?} must exit 2");
+    }
+}

@@ -29,7 +29,9 @@ pub mod prelude {
     pub use crate::arbitrary::{any, Arbitrary};
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Asserts a condition inside a `proptest!` body (panics on failure;
@@ -49,6 +51,19 @@ macro_rules! prop_assert_eq {
 #[macro_export]
 macro_rules! prop_assert_ne {
     ($($tok:tt)*) => { assert_ne!($($tok)*) };
+}
+
+/// Skips the current case when a precondition on the sampled inputs
+/// does not hold. Upstream proptest redraws a replacement sample;
+/// this port simply moves on to the next case, so heavy use of
+/// assumptions reduces the effective case count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            continue;
+        }
+    };
 }
 
 /// A weighted or unweighted union of strategies producing the same
