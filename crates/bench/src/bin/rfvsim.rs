@@ -71,10 +71,9 @@ use std::process::exit;
 
 use std::path::Path;
 
-use rfv_bench::harness::{compile_full, compile_plain, rf_activity, Machine};
+use rfv_bench::harness::{compile_full, compile_plain, machine_config, rf_activity, Machine};
 use rfv_bench::pool;
 use rfv_compiler::CompiledKernel;
-use rfv_core::VirtualizationPolicy;
 use rfv_power::model::{energy, RfGeometry};
 use rfv_sim::{
     simulate, simulate_resumable_traced, simulate_traced, simulate_traced_checkpointed, Checkpoint,
@@ -356,22 +355,6 @@ fn write_watchdog_json(path: &str, limit: u64, snapshot: &WatchdogSnapshot) {
     eprintln!("[watchdog] per-warp diagnostic -> {path}");
 }
 
-fn machine_config(name: &str) -> Option<SimConfig> {
-    Some(match name {
-        "conventional" => SimConfig::conventional(),
-        "full" => SimConfig::baseline_full(),
-        "shrink50" => SimConfig::gpu_shrink(50),
-        "shrink60" => SimConfig::gpu_shrink(60),
-        "shrink75" => SimConfig::gpu_shrink(75),
-        "hwonly" => {
-            let mut c = SimConfig::baseline_full();
-            c.regfile.policy = VirtualizationPolicy::HardwareOnly;
-            c
-        }
-        _ => return None,
-    })
-}
-
 fn load_workload(opts: &Options) -> Workload {
     if let Some(w) = suite::by_name(&opts.target) {
         return w;
@@ -576,6 +559,13 @@ fn main() {
     } else {
         vec![(opts.machine.as_str(), cfg)]
     };
+    // validate every configuration up front: a malformed machine must
+    // die here as a usage error, not as a worker panic mid-sweep
+    for (label, cfg) in &machines {
+        if let Err(e) = cfg.validate() {
+            usage_error(&format!("invalid configuration for `{label}`: {e}"));
+        }
+    }
     let multiple = machines.len() > 1;
     let capacity = if opts.trace.is_some() || opts.stats_json.is_some() {
         opts.trace_capacity

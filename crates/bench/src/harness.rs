@@ -168,6 +168,36 @@ impl Machine {
     }
 }
 
+/// Named machine configurations shared by the `rfvsim` CLI and the
+/// `rfvd` daemon: the four evaluated machines plus the extra shrink
+/// points the CLI exposes. `None` for an unknown name — callers turn
+/// that into a usage error or a typed protocol error.
+pub fn machine_config(name: &str) -> Option<SimConfig> {
+    Some(match name {
+        "conventional" => SimConfig::conventional(),
+        "full" => SimConfig::baseline_full(),
+        "shrink50" => SimConfig::gpu_shrink(50),
+        "shrink60" => SimConfig::gpu_shrink(60),
+        "shrink75" => SimConfig::gpu_shrink(75),
+        "hwonly" => {
+            let mut c = SimConfig::baseline_full();
+            c.regfile.policy = VirtualizationPolicy::HardwareOnly;
+            c
+        }
+        _ => return None,
+    })
+}
+
+/// The machine names [`machine_config`] accepts, for usage/help text.
+pub const MACHINE_NAMES: [&str; 6] = [
+    "conventional",
+    "full",
+    "shrink50",
+    "shrink60",
+    "shrink75",
+    "hwonly",
+];
+
 /// Theoretical conventional register allocation per SM at the
 /// workload's declared occupancy (what Figure 10 normalizes against).
 pub fn conventional_alloc(w: &Workload) -> usize {

@@ -1,0 +1,54 @@
+//! Daemon round-trip throughput: submit-to-result latency against an
+//! in-process server, cold (cache bypassed: generate + compile +
+//! predecode every job) vs warm (compile-cache hits). The gap is the
+//! service's headline win on repeat kernels.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::time::Duration;
+
+use rfvd::client::Client;
+use rfvd::proto::{JobRequest, Response};
+use rfvd::server::{serve, ServerConfig};
+
+const SPEC: &str = "synth:regs=63,trips=0,ctas=1,tpc=32,conc=1,rep=64";
+
+fn submit(client: &mut Client, use_cache: bool) {
+    let req = JobRequest {
+        spec: SPEC.into(),
+        num_sms: 1,
+        use_cache,
+        ..JobRequest::default()
+    };
+    match client.submit(&req) {
+        Ok(Response::Result(r)) => assert!(r.cycles > 0),
+        other => panic!("bench job failed: {other:?}"),
+    }
+}
+
+fn bench_round_trips(c: &mut Criterion) {
+    let server = serve(ServerConfig {
+        jobs: 1,
+        ..ServerConfig::default()
+    })
+    .expect("bind bench server");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let mut g = c.benchmark_group("rfvd_throughput");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(5));
+    g.warm_up_time(Duration::from_secs(1));
+    g.bench_function("submit_cold_bypass", |b| {
+        b.iter(|| submit(&mut client, false))
+    });
+    // prime the cache once, then every iteration is a hit
+    submit(&mut client, true);
+    g.bench_function("submit_warm_hit", |b| b.iter(|| submit(&mut client, true)));
+    g.finish();
+
+    drop(client);
+    server.begin_drain();
+    server.join();
+}
+
+criterion_group!(benches, bench_round_trips);
+criterion_main!(benches);

@@ -1,0 +1,137 @@
+//! `rfvd` — the simulation-as-a-service daemon.
+//!
+//! ```text
+//! rfvd [--port N] [--bind ADDR] [--jobs N] [--queue-depth N]
+//!      [--max-cycles-per-slice N]
+//! ```
+//!
+//! Listens for `rfv-job-v1` connections and serves simulation jobs
+//! until SIGTERM/SIGINT, then drains gracefully: in-flight and queued
+//! jobs finish, new submissions are rejected with a typed
+//! `shutting-down` error, and the process exits 0.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use rfvd::server::{serve, ServerConfig};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod sig {
+    use super::SHUTDOWN;
+
+    // minimal signal(2) binding — libc is already linked through std,
+    // so this adds no dependency
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" fn on_signal(_signum: i32) {
+        // async-signal-safe: one atomic store
+        SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+            signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod sig {
+    pub fn install() {}
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: rfvd [--port N] [--bind ADDR] [--jobs N] [--queue-depth N] \
+         [--max-cycles-per-slice N]\n\
+         \n\
+         \x20 --port N                  listen port (default 4650, 0 = ephemeral)\n\
+         \x20 --bind ADDR               bind address (default 127.0.0.1)\n\
+         \x20 --jobs N                  concurrent job runners (default: cores, max 8)\n\
+         \x20 --queue-depth N           waiting-job capacity (default 64)\n\
+         \x20 --max-cycles-per-slice N  preemption granularity in cycles\n\
+         \x20                           (default 50000; 0 disables preemption)"
+    );
+    std::process::exit(2)
+}
+
+fn parse<T: std::str::FromStr>(flag: &str, value: Option<String>) -> T {
+    value.and_then(|v| v.parse().ok()).unwrap_or_else(|| {
+        eprintln!("rfvd: {flag} needs a numeric argument");
+        usage()
+    })
+}
+
+fn main() {
+    let mut port: u16 = 4650;
+    let mut bind = "127.0.0.1".to_string();
+    let mut config = ServerConfig {
+        jobs: std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .min(8),
+        ..ServerConfig::default()
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--port" => port = parse("--port", args.next()),
+            "--bind" => bind = args.next().unwrap_or_else(|| usage()),
+            "--jobs" => config.jobs = parse("--jobs", args.next()),
+            "--queue-depth" => config.queue_depth = parse("--queue-depth", args.next()),
+            "--max-cycles-per-slice" => {
+                config.max_cycles_per_slice = parse("--max-cycles-per-slice", args.next());
+            }
+            "--help" | "-h" => usage(),
+            other => {
+                eprintln!("rfvd: unknown flag {other:?}");
+                usage()
+            }
+        }
+    }
+    if config.jobs == 0 || config.queue_depth == 0 {
+        eprintln!("rfvd: --jobs and --queue-depth must be positive");
+        usage()
+    }
+    config.addr = format!("{bind}:{port}");
+
+    sig::install();
+    let handle = match serve(config.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("rfvd: cannot bind {}: {e}", config.addr);
+            std::process::exit(1);
+        }
+    };
+    // machine-parseable readiness line (the CI smoke job waits for it)
+    println!("rfvd listening on {}", handle.local_addr());
+    eprintln!(
+        "rfvd: {} job runners, queue depth {}, slice {} cycles",
+        config.jobs, config.queue_depth, config.max_cycles_per_slice
+    );
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    eprintln!("rfvd: signal received, draining");
+    handle.begin_drain();
+    let stats = handle.join();
+    eprintln!(
+        "rfvd: drained ({} completed, {} failed, {} rejected, {} preemptions, \
+         cache {}/{} hit/miss), bye",
+        stats.completed,
+        stats.failed,
+        stats.rejected,
+        stats.preemptions,
+        stats.cache_hits,
+        stats.cache_misses
+    );
+}

@@ -1,0 +1,192 @@
+//! Per-kernel compile + predecode cache.
+//!
+//! Compilation (CFG, liveness, lifetime intervals, metadata packing)
+//! and predecode are pure: the same source kernel under the same
+//! compile flavor always produces the same [`CompiledKernel`] and
+//! [`PredecodedKernel`]. The daemon therefore memoizes both once per
+//! *kernel identity* — [`crate::spec::JobSpec::cache_key`], an FNV-1a
+//! hash over the job spec's canonical form plus the compile flavor —
+//! and every later job with the same identity reuses the `Arc`'d
+//! pair, paying zero generate, compile, and predecode cost. Keying by
+//! spec (not by built kernel) matters: a warm job never even
+//! constructs the source kernel.
+//!
+//! Building happens *outside* the map lock so a slow compile never
+//! blocks unrelated lookups; a racing duplicate build is benign
+//! (both produce identical results; the first insert wins).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use rfv_compiler::{compile, CompileOptions, CompiledKernel};
+use rfv_isa::prelude::Kernel;
+use rfv_sim::PredecodedKernel;
+
+/// A cached kernel: the compiled binary plus its issue-ready
+/// predecoded image. Both are pure functions of the source kernel
+/// and flavor, so every job with the same identity shares them.
+pub struct CachedKernel {
+    /// The compiled binary.
+    pub compiled: Arc<CompiledKernel>,
+    /// The predecoded program image every SM of every run reuses.
+    pub predecoded: Arc<PredecodedKernel>,
+}
+
+impl CachedKernel {
+    /// Compiles and predecodes `kernel` under `release_flags`.
+    ///
+    /// # Errors
+    ///
+    /// The compiler's error, stringified.
+    pub fn build(kernel: &Kernel, release_flags: bool) -> Result<CachedKernel, String> {
+        let compiled = Arc::new(compile_flavored(kernel, release_flags)?);
+        let predecoded = Arc::new(PredecodedKernel::new(&compiled));
+        Ok(CachedKernel {
+            compiled,
+            predecoded,
+        })
+    }
+}
+
+/// A concurrent compile cache keyed by
+/// [`crate::spec::JobSpec::cache_key`].
+#[derive(Default)]
+pub struct CompileCache {
+    map: Mutex<HashMap<u64, Arc<CachedKernel>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl CompileCache {
+    /// An empty cache.
+    pub fn new() -> CompileCache {
+        CompileCache::default()
+    }
+
+    /// Returns the cached kernel under `key`, running `build` (and
+    /// caching its result) on first sight. The `bool` is true on a
+    /// cache hit.
+    ///
+    /// # Errors
+    ///
+    /// Whatever `build` fails with (daemon input is validated, so in
+    /// practice this is unreachable for accepted specs).
+    pub fn get_or_build(
+        &self,
+        key: u64,
+        build: impl FnOnce() -> Result<CachedKernel, String>,
+    ) -> Result<(Arc<CachedKernel>, bool), String> {
+        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((Arc::clone(hit), true));
+        }
+        let built = Arc::new(build()?);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let mut map = self.map.lock().expect("cache lock");
+        let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
+        Ok((Arc::clone(entry), false))
+    }
+
+    /// Cache hits so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (builds) so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct kernels cached.
+    pub fn len(&self) -> usize {
+        self.map.lock().expect("cache lock").len()
+    }
+
+    /// Whether nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Compiles `kernel` under the daemon's two flavors: with the default
+/// renaming-table budget (virtualizing machines) or with a zero
+/// budget (conventional / hardware-only machines) — mirrors
+/// `rfv_bench::harness::{compile_full, compile_plain}` but returns
+/// the error instead of panicking.
+pub fn compile_flavored(kernel: &Kernel, release_flags: bool) -> Result<CompiledKernel, String> {
+    let opts = if release_flags {
+        CompileOptions::default()
+    } else {
+        CompileOptions {
+            table_budget_bytes: 0,
+        }
+    };
+    compile(kernel, &opts).map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spec::JobSpec;
+
+    fn spec(s: &str) -> JobSpec {
+        JobSpec::parse(s).unwrap()
+    }
+
+    fn build_for(spec: &JobSpec, release_flags: bool) -> Result<CachedKernel, String> {
+        CachedKernel::build(&spec.build_kernel(), release_flags)
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let cache = CompileCache::new();
+        let s = spec("synth:");
+        let key = s.cache_key(true);
+        let (a, hit_a) = cache.get_or_build(key, || build_for(&s, true)).unwrap();
+        let (b, hit_b) = cache.get_or_build(key, || build_for(&s, true)).unwrap();
+        assert!(!hit_a);
+        assert!(hit_b);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn flavors_do_not_collide() {
+        let cache = CompileCache::new();
+        let s = spec("synth:");
+        let (_, hit_full) = cache
+            .get_or_build(s.cache_key(true), || build_for(&s, true))
+            .unwrap();
+        let (_, hit_plain) = cache
+            .get_or_build(s.cache_key(false), || build_for(&s, false))
+            .unwrap();
+        assert!(!hit_full);
+        assert!(!hit_plain, "plain flavor must not reuse the full compile");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn distinct_specs_get_distinct_keys() {
+        let a = spec("synth:rep=1").cache_key(true);
+        let b = spec("synth:rep=2").cache_key(true);
+        let c = spec("synth:regs=20").cache_key(true);
+        let d = spec("VectorAdd").cache_key(true);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_ne!(a, d);
+        // and the key is deterministic
+        assert_eq!(a, spec("synth:rep=1").cache_key(true));
+    }
+
+    #[test]
+    fn build_error_is_not_cached() {
+        let cache = CompileCache::new();
+        let err = cache.get_or_build(7, || Err("boom".into()));
+        assert!(matches!(err, Err(ref e) if e == "boom"));
+        assert!(cache.is_empty());
+        let ok = cache.get_or_build(7, || build_for(&spec("synth:"), true));
+        assert!(ok.is_ok(), "a failed build must not poison the key");
+    }
+}

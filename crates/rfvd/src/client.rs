@@ -1,0 +1,128 @@
+//! A small blocking client for the `rfv-job-v1` protocol, shared by
+//! the `rfvload` load generator, the daemon's tests, and the
+//! throughput bench.
+
+use std::io::{self, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::proto::{
+    read_frame, write_frame, JobRequest, ProtoError, Request, Response, ServerStats,
+};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Transport failure (connect, read, write, disconnect).
+    Io(io::Error),
+    /// The server's bytes did not parse as a response.
+    Protocol(ProtoError),
+    /// The server closed the connection instead of responding.
+    Closed,
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o: {e}"),
+            ClientError::Protocol(e) => write!(f, "protocol: {e}"),
+            ClientError::Closed => write!(f, "server closed the connection"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// One connection to an `rfvd` server. Requests are strictly
+/// sequential per connection (submit, wait, submit, ...); run several
+/// clients for concurrency.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a server.
+    ///
+    /// # Errors
+    ///
+    /// The connect error, verbatim.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Sends one request and waits for its response.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &request.encode())?;
+        self.read_response()
+    }
+
+    /// Reads one response without sending anything (for tests that
+    /// write raw bytes first).
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn read_response(&mut self) -> Result<Response, ClientError> {
+        match read_frame(&mut self.stream)? {
+            None => Err(ClientError::Closed),
+            Some(payload) => Response::decode(&payload).map_err(ClientError::Protocol),
+        }
+    }
+
+    /// Submits a job and waits for its outcome.
+    ///
+    /// # Errors
+    ///
+    /// See [`ClientError`].
+    pub fn submit(&mut self, job: &JobRequest) -> Result<Response, ClientError> {
+        self.request(&Request::Submit(job.clone()))
+    }
+
+    /// Fetches the server's counters.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Protocol`] when the server answers anything but
+    /// a stats snapshot; otherwise see [`ClientError`].
+    pub fn stats(&mut self) -> Result<ServerStats, ClientError> {
+        match self.request(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error(e) => Err(ClientError::Protocol(e)),
+            Response::Result(_) => Err(ClientError::Protocol(ProtoError::new(
+                crate::proto::ErrorCode::Malformed,
+                "job result in reply to a stats request",
+            ))),
+        }
+    }
+
+    /// Writes raw bytes on the wire (test hook for malformed input).
+    ///
+    /// # Errors
+    ///
+    /// The write error, verbatim.
+    pub fn send_raw(&mut self, bytes: &[u8]) -> io::Result<()> {
+        self.stream.write_all(bytes)?;
+        self.stream.flush()
+    }
+
+    /// Shuts down the write half mid-conversation (test hook for
+    /// abrupt disconnects).
+    ///
+    /// # Errors
+    ///
+    /// The shutdown error, verbatim.
+    pub fn shutdown(&mut self) -> io::Result<()> {
+        self.stream.shutdown(std::net::Shutdown::Both)
+    }
+}

@@ -1,0 +1,471 @@
+//! The `rfvd` server: accept loop, per-connection protocol handling,
+//! and the worker runners that execute jobs on a persistent
+//! [`rfv_bench::pool::Pool`].
+//!
+//! ## Execution model
+//!
+//! * An **acceptor** thread takes connections and hands each to its
+//!   own connection thread (clients are few and long-lived — the
+//!   load generator model — so thread-per-connection is the simple
+//!   correct choice).
+//! * A connection thread parses `rfv-job-v1` frames. Validation is
+//!   complete *before* enqueueing: spec parse, machine lookup, and
+//!   [`rfv_sim::SimConfig::validate`] all happen on the connection
+//!   thread, so a malformed job is a typed error to its submitter and
+//!   never reaches a worker.
+//! * `jobs` **worker runners** on a dedicated pool pop jobs and drive
+//!   them through [`SlicedSim`] in bounded cycle slices. Between
+//!   slices a normal-priority job checks for waiting high-priority
+//!   work and, if any, snapshots itself into a [`rfv_sim::Checkpoint`]
+//!   and goes back to the queue front — checkpoint-backed preemption.
+//!   Slicing and preemption are invisible in results: the stats JSON
+//!   of a preempted run is byte-identical to an uninterrupted one.
+//!
+//! ## Shutdown
+//!
+//! [`ServerHandle::begin_drain`] (wired to SIGTERM in the binary)
+//! stops the acceptor, makes new submissions fail with
+//! [`ErrorCode::ShuttingDown`], lets queued and running jobs finish,
+//! and then [`ServerHandle::join`] reaps every thread.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::channel;
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use rfv_bench::harness::machine_config;
+use rfv_bench::pool::Pool;
+use rfv_sim::SlicedSim;
+
+use crate::cache::{CachedKernel, CompileCache};
+use crate::proto::{
+    write_frame, CacheOutcome, ErrorCode, FrameReader, JobRequest, JobResult, Priority, ProtoError,
+    Recv, Request, Response, ServerStats,
+};
+use crate::queue::{Job, JobQueue, Submit, SubmitError};
+use crate::result_stats_json;
+use crate::spec::JobSpec;
+
+/// How a server is stood up.
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// Bind address (`127.0.0.1:0` picks a free port).
+    pub addr: String,
+    /// Concurrent job runners.
+    pub jobs: usize,
+    /// Queue capacity beyond the running jobs.
+    pub queue_depth: usize,
+    /// Cycles per execution slice; preemption is only possible at
+    /// slice boundaries. `0` disables slicing (jobs run to completion
+    /// in one slice and are never preempted).
+    pub max_cycles_per_slice: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            jobs: 2,
+            queue_depth: 64,
+            max_cycles_per_slice: 50_000,
+        }
+    }
+}
+
+struct ServerState {
+    queue: JobQueue,
+    cache: CompileCache,
+    slice_cycles: u64,
+    draining: AtomicBool,
+    submitted: AtomicU64,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    failed: AtomicU64,
+    preemptions: AtomicU64,
+    active: AtomicU64,
+}
+
+impl ServerState {
+    fn draining(&self) -> bool {
+        self.draining.load(Ordering::SeqCst)
+    }
+
+    fn stats(&self) -> ServerStats {
+        ServerStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            preemptions: self.preemptions.load(Ordering::Relaxed),
+            queued: self.queue.len() as u64,
+            active: self.active.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A running server. Dropping the handle without [`ServerHandle::join`]
+/// detaches the threads (fine for a process about to exit; tests
+/// should join).
+pub struct ServerHandle {
+    local_addr: SocketAddr,
+    state: Arc<ServerState>,
+    acceptor: Option<JoinHandle<()>>,
+    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    pool: Option<Pool>,
+}
+
+/// Binds `config.addr` and starts the acceptor and `config.jobs`
+/// worker runners.
+///
+/// # Errors
+///
+/// The bind error, verbatim.
+pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    let local_addr = listener.local_addr()?;
+    listener.set_nonblocking(true)?;
+    let state = Arc::new(ServerState {
+        queue: JobQueue::new(config.queue_depth),
+        cache: CompileCache::new(),
+        slice_cycles: config.max_cycles_per_slice,
+        draining: AtomicBool::new(false),
+        submitted: AtomicU64::new(0),
+        completed: AtomicU64::new(0),
+        rejected: AtomicU64::new(0),
+        failed: AtomicU64::new(0),
+        preemptions: AtomicU64::new(0),
+        active: AtomicU64::new(0),
+    });
+
+    let pool = Pool::new(config.jobs.max(1));
+    for _ in 0..config.jobs.max(1) {
+        let state = Arc::clone(&state);
+        pool.spawn(move || worker_loop(&state));
+    }
+
+    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+    let acceptor = {
+        let state = Arc::clone(&state);
+        let conns = Arc::clone(&conns);
+        std::thread::Builder::new()
+            .name("rfvd-accept".into())
+            .spawn(move || accept_loop(&listener, &state, &conns))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        local_addr,
+        state,
+        acceptor: Some(acceptor),
+        conns,
+        pool: Some(pool),
+    })
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Starts a graceful drain: stop accepting, reject new submits
+    /// with [`ErrorCode::ShuttingDown`], finish queued and running
+    /// jobs. Idempotent.
+    pub fn begin_drain(&self) {
+        self.state.draining.store(true, Ordering::SeqCst);
+        self.state.queue.drain();
+    }
+
+    /// A local counter snapshot (same numbers [`Request::Stats`]
+    /// serves remotely).
+    pub fn stats(&self) -> ServerStats {
+        self.state.stats()
+    }
+
+    /// Drains (if not already draining) and reaps every thread: the
+    /// acceptor, the worker runners — which finish all queued jobs
+    /// first — and the connection threads, which exit once their
+    /// replies are written. Returns the final counter snapshot.
+    pub fn join(mut self) -> ServerStats {
+        self.begin_drain();
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        // dropping the pool joins the workers, which drain the queue
+        // first — every pending reply is sent before this returns
+        drop(self.pool.take());
+        let handles = std::mem::take(&mut *self.conns.lock().expect("conn registry"));
+        for h in handles {
+            let _ = h.join();
+        }
+        self.state.stats()
+    }
+}
+
+impl Drop for ServerHandle {
+    /// A handle dropped without [`ServerHandle::join`] (early return,
+    /// panic unwind) still begins a drain: the pool's own `Drop` joins
+    /// the worker runners, which only exit once the queue reports
+    /// drained — without the flag, that join would block forever.
+    fn drop(&mut self) {
+        self.begin_drain();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    state: &Arc<ServerState>,
+    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    loop {
+        if state.draining() {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let state = Arc::clone(state);
+                let handle = std::thread::Builder::new()
+                    .name("rfvd-conn".into())
+                    .spawn(move || serve_connection(&state, stream))
+                    .expect("spawn connection thread");
+                conns.lock().expect("conn registry").push(handle);
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(10)),
+        }
+    }
+}
+
+fn send(stream: &mut TcpStream, response: &Response) -> bool {
+    write_frame(stream, &response.encode()).is_ok()
+}
+
+fn serve_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let mut reader = FrameReader::new();
+    loop {
+        match reader.poll(&mut stream) {
+            Ok(Recv::Idle) => {
+                if state.draining() {
+                    return;
+                }
+            }
+            Ok(Recv::Closed | Recv::Truncated) => return,
+            Ok(Recv::Oversized(len)) => {
+                // the stream is unsynchronized: reply, then hang up
+                let e = ProtoError::new(
+                    ErrorCode::Oversized,
+                    format!("frame of {len} bytes exceeds the 1 MiB payload limit"),
+                );
+                send(&mut stream, &Response::Error(e));
+                return;
+            }
+            Ok(Recv::Payload(payload)) => match Request::decode(&payload) {
+                Ok(Request::Stats) => {
+                    if !send(&mut stream, &Response::Stats(state.stats())) {
+                        return;
+                    }
+                }
+                Ok(Request::Submit(req)) => {
+                    let response = handle_submit(state, req);
+                    if !send(&mut stream, &response) {
+                        return;
+                    }
+                }
+                Err(e) => {
+                    let fatal = e.code.poisons_stream();
+                    send(&mut stream, &Response::Error(e));
+                    if fatal {
+                        return;
+                    }
+                }
+            },
+            Err(_) => return,
+        }
+    }
+}
+
+/// Validates a submission end to end and, if sound, enqueues it and
+/// blocks until its outcome. All rejection paths are typed.
+fn handle_submit(state: &Arc<ServerState>, req: JobRequest) -> Response {
+    if state.draining() {
+        return Response::Error(ProtoError::new(
+            ErrorCode::ShuttingDown,
+            "daemon is draining",
+        ));
+    }
+    let spec = match JobSpec::parse(&req.spec) {
+        Ok(s) => s,
+        Err(e) => return Response::Error(ProtoError::new(ErrorCode::UnknownWorkload, e)),
+    };
+    let Some(mut config) = machine_config(&req.machine) else {
+        return Response::Error(ProtoError::new(
+            ErrorCode::UnknownMachine,
+            format!("unknown machine {:?}", req.machine),
+        ));
+    };
+    if req.num_sms > 0 {
+        config.num_sms = req.num_sms as usize;
+    }
+    if let Some(max_cycles) = req.max_cycles {
+        config.max_cycles = max_cycles;
+    }
+    if let Err(e) = config.validate() {
+        return Response::Error(ProtoError::new(ErrorCode::BadConfig, e));
+    }
+    let release_flags = config.regfile.policy.uses_release_flags();
+    let (reply, outcome) = channel();
+    let job = Job {
+        request: req,
+        spec,
+        config,
+        release_flags,
+        reply,
+        resume: None,
+        preemptions: 0,
+        compiled: None,
+        cache: None,
+    };
+    match state.queue.submit(job) {
+        Submit::Rejected(_job, SubmitError::Full) => {
+            state.rejected.fetch_add(1, Ordering::Relaxed);
+            Response::Error(ProtoError::new(
+                ErrorCode::QueueFull,
+                format!("queue at capacity ({} waiting)", state.queue.len()),
+            ))
+        }
+        Submit::Rejected(_job, SubmitError::Draining) => Response::Error(ProtoError::new(
+            ErrorCode::ShuttingDown,
+            "daemon is draining",
+        )),
+        Submit::Accepted => {
+            state.submitted.fetch_add(1, Ordering::Relaxed);
+            match outcome.recv() {
+                Ok(Ok(result)) => Response::Result(result),
+                Ok(Err(e)) => Response::Error(e),
+                Err(_) => Response::Error(ProtoError::new(
+                    ErrorCode::SimFailed,
+                    "worker dropped the job",
+                )),
+            }
+        }
+    }
+}
+
+fn worker_loop(state: &Arc<ServerState>) {
+    while let Some(job) = state.queue.pop() {
+        state.active.fetch_add(1, Ordering::SeqCst);
+        let preempted = run_job(state, job);
+        state.active.fetch_sub(1, Ordering::SeqCst);
+        if let Some(job) = preempted {
+            state.queue.requeue_preempted(job);
+        }
+    }
+}
+
+fn sim_failed(e: impl std::fmt::Display) -> ProtoError {
+    ProtoError::new(ErrorCode::SimFailed, e.to_string())
+}
+
+/// Runs one job for (at most) one scheduling quantum. `Some(job)`
+/// means it was preempted at a slice boundary and must be requeued;
+/// `None` means a reply (result or error) was sent.
+fn run_job(state: &Arc<ServerState>, mut job: Job) -> Option<Job> {
+    // compile, consulting the cache unless the job opted out; resumed
+    // jobs carry their binary and skip this entirely. A cache hit
+    // never even builds the source kernel: the lookup key is derived
+    // from the spec itself.
+    if job.compiled.is_none() {
+        let build = || CachedKernel::build(&job.spec.build_kernel(), job.release_flags);
+        let (compiled, outcome) = if job.request.use_cache {
+            let key = job.spec.cache_key(job.release_flags);
+            match state.cache.get_or_build(key, build) {
+                Ok((c, true)) => (c, CacheOutcome::Hit),
+                Ok((c, false)) => (c, CacheOutcome::Miss),
+                Err(e) => {
+                    state.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Err(sim_failed(e)));
+                    return None;
+                }
+            }
+        } else {
+            match build() {
+                Ok(c) => (Arc::new(c), CacheOutcome::Bypass),
+                Err(e) => {
+                    state.failed.fetch_add(1, Ordering::Relaxed);
+                    let _ = job.reply.send(Err(sim_failed(e)));
+                    return None;
+                }
+            }
+        };
+        job.compiled = Some(compiled);
+        job.cache = Some(outcome);
+    }
+    let cached = Arc::clone(job.compiled.as_ref().expect("compiled above"));
+    let prog = Arc::clone(&cached.predecoded);
+
+    let sim = match job.resume.take() {
+        Some(checkpoint) => {
+            SlicedSim::resume_with_predecoded(&cached.compiled, &job.config, &checkpoint, prog)
+        }
+        None => SlicedSim::with_predecoded(&cached.compiled, &job.config, &[], 0, prog),
+    };
+    let mut sim = match sim {
+        Ok(s) => s,
+        Err(e) => {
+            state.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(sim_failed(e)));
+            return None;
+        }
+    };
+    let slice = if state.slice_cycles == 0 {
+        u64::MAX
+    } else {
+        state.slice_cycles
+    };
+    loop {
+        match sim.advance(slice) {
+            Err(e) => {
+                state.failed.fetch_add(1, Ordering::Relaxed);
+                let _ = job.reply.send(Err(sim_failed(e)));
+                return None;
+            }
+            Ok(true) => break,
+            Ok(false) => {
+                if job.request.priority == Priority::Normal && state.queue.has_high_waiting() {
+                    job.resume = Some(sim.checkpoint());
+                    job.preemptions += 1;
+                    state.preemptions.fetch_add(1, Ordering::Relaxed);
+                    return Some(job);
+                }
+            }
+        }
+    }
+    match sim.finish() {
+        Ok(run) => {
+            let stats_json = result_stats_json(&run.result, job.config.num_sms);
+            let result = JobResult {
+                cycles: run.result.cycles,
+                instrs: run.result.total(|s| s.instrs_issued),
+                cache: job.cache.unwrap_or(CacheOutcome::Bypass),
+                preemptions: job.preemptions,
+                stats_json,
+            };
+            state.completed.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Ok(result));
+        }
+        Err(e) => {
+            state.failed.fetch_add(1, Ordering::Relaxed);
+            let _ = job.reply.send(Err(sim_failed(e)));
+        }
+    }
+    None
+}

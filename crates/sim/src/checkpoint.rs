@@ -128,12 +128,27 @@ impl Checkpoint {
         kernel: &CompiledKernel,
         config: &SimConfig,
     ) -> Result<(), SimError> {
+        self.verify_identity_hashed(kernel_identity_hash(kernel), config)
+    }
+
+    /// [`Checkpoint::verify_identity`] against an already-computed
+    /// [`kernel_identity_hash`] — callers that share a predecoded
+    /// image (which memoizes the hash) skip the program walk.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadCheckpoint`] naming the mismatched identity.
+    pub fn verify_identity_hashed(
+        &self,
+        kernel_hash: u64,
+        config: &SimConfig,
+    ) -> Result<(), SimError> {
         if self.config_hash != config.stable_hash() {
             return Err(SimError::BadCheckpoint(
                 "checkpoint was taken under a different machine configuration".into(),
             ));
         }
-        if self.kernel_hash != kernel_identity_hash(kernel) {
+        if self.kernel_hash != kernel_hash {
             return Err(SimError::BadCheckpoint(
                 "checkpoint was taken under a different kernel".into(),
             ));

@@ -18,12 +18,15 @@
 //! environment variable, checked when the config leaves it `None`)
 //! forces the worker count; `1` restores the sequential path.
 
+use std::sync::Arc;
+
 use rfv_compiler::CompiledKernel;
 use rfv_trace::TraceEvent;
 
 use crate::checkpoint::{Checkpoint, CKPT_VERSION};
 use crate::config::SimConfig;
 use crate::memory::GlobalMemory;
+use crate::predecode::PredecodedKernel;
 use crate::sm::{SimError, Sm, SmResult};
 use crate::stats::SimStats;
 
@@ -239,48 +242,216 @@ pub fn simulate_traced_checkpointed(
     every: u64,
     on_checkpoint: &mut dyn FnMut(&Checkpoint) -> Result<(), String>,
 ) -> Result<TracedRun, SimError> {
-    config.validate().map_err(SimError::BadConfig)?;
     if every == 0 {
         return Err(SimError::BadConfig(
             "checkpoint interval must be positive".into(),
         ));
     }
-    let config_hash = config.stable_hash();
-    let kernel_hash = crate::checkpoint::kernel_identity_hash(kernel);
-    let mut sms = Vec::with_capacity(config.num_sms);
-    for (sm_id, assigned) in cta_assignments(kernel, config).into_iter().enumerate() {
-        let mut sm = Sm::new(*config, kernel, assigned)?;
-        sm.set_tracing(sm_id as u16, trace_capacity);
-        for &(addr, value) in init {
-            sm.write_global(addr, value);
-        }
-        sms.push(sm);
-    }
-    let mut done = vec![false; sms.len()];
-    let mut boundary = every;
+    let mut sim = SlicedSim::new(kernel, config, init, trace_capacity)?;
     loop {
-        for (sm, done) in sms.iter_mut().zip(done.iter_mut()) {
+        if sim.advance(every)? {
+            break;
+        }
+        let ck = sim.checkpoint();
+        on_checkpoint(&ck).map_err(|e| {
+            SimError::BadCheckpoint(format!("checkpoint at cycle {} not written: {e}", ck.cycle))
+        })?;
+    }
+    sim.finish()
+}
+
+/// An incrementally-driven whole-GPU simulation: the machine state
+/// stays live between [`SlicedSim::advance`] calls, so a long run can
+/// be executed in bounded cycle slices, snapshotted at any boundary,
+/// handed off as a [`Checkpoint`], and picked up again later by
+/// [`SlicedSim::resume`] — the mechanism behind `rfvd`'s
+/// checkpoint-backed job preemption.
+///
+/// Slicing is invisible in the results: SMs advance in lockstep
+/// boundary rounds exactly as [`simulate_traced_checkpointed`] does,
+/// so a run driven in any mix of slice sizes — including one that is
+/// checkpointed, dropped, and resumed in a different process —
+/// finishes with stats, memories, and trace bit-identical to an
+/// uninterrupted [`simulate_traced`] run.
+pub struct SlicedSim<'k> {
+    config: SimConfig,
+    config_hash: u64,
+    kernel_hash: u64,
+    sms: Vec<Sm<'k>>,
+    done: Vec<bool>,
+    /// The cycle boundary every live SM has been driven to.
+    cycle: u64,
+}
+
+impl<'k> SlicedSim<'k> {
+    /// Builds a fresh machine ready to run `kernel`, with `init`
+    /// pre-loaded into every SM's global memory (see
+    /// [`simulate_with_init`]) and per-SM tracing capacity
+    /// `trace_capacity` (0 disables tracing).
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn new(
+        kernel: &'k CompiledKernel,
+        config: &SimConfig,
+        init: &[(u64, u32)],
+        trace_capacity: usize,
+    ) -> Result<SlicedSim<'k>, SimError> {
+        let prog = Arc::new(PredecodedKernel::new(kernel));
+        SlicedSim::with_predecoded(kernel, config, init, trace_capacity, prog)
+    }
+
+    /// [`SlicedSim::new`] reusing an already-predecoded program image
+    /// (see [`Sm::with_predecoded`]) — the `rfvd` compile+predecode
+    /// cache hands every run of a cached kernel the same `Arc`.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn with_predecoded(
+        kernel: &'k CompiledKernel,
+        config: &SimConfig,
+        init: &[(u64, u32)],
+        trace_capacity: usize,
+        prog: Arc<PredecodedKernel>,
+    ) -> Result<SlicedSim<'k>, SimError> {
+        config.validate().map_err(SimError::BadConfig)?;
+        let mut sms = Vec::with_capacity(config.num_sms);
+        for (sm_id, assigned) in cta_assignments(kernel, config).into_iter().enumerate() {
+            let mut sm = Sm::with_predecoded(*config, kernel, assigned, Arc::clone(&prog))?;
+            sm.set_tracing(sm_id as u16, trace_capacity);
+            for &(addr, value) in init {
+                sm.write_global(addr, value);
+            }
+            sms.push(sm);
+        }
+        let done = vec![false; sms.len()];
+        Ok(SlicedSim {
+            config: *config,
+            config_hash: config.stable_hash(),
+            kernel_hash: prog.kernel_hash(),
+            sms,
+            done,
+            cycle: 0,
+        })
+    }
+
+    /// Restores a machine from `checkpoint` (identity-verified against
+    /// `kernel` and `config`) so a preempted run can continue. Tracing
+    /// state — ring capacity and contents — is restored from the
+    /// frames themselves.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::BadCheckpoint`] when the checkpoint does not belong
+    /// to (`kernel`, `config`) or a frame is malformed; otherwise see
+    /// [`SimError`].
+    pub fn resume(
+        kernel: &'k CompiledKernel,
+        config: &SimConfig,
+        checkpoint: &Checkpoint,
+    ) -> Result<SlicedSim<'k>, SimError> {
+        let prog = Arc::new(PredecodedKernel::new(kernel));
+        SlicedSim::resume_with_predecoded(kernel, config, checkpoint, prog)
+    }
+
+    /// [`SlicedSim::resume`] reusing an already-predecoded program
+    /// image (see [`Sm::with_predecoded`]).
+    ///
+    /// # Errors
+    ///
+    /// See [`SlicedSim::resume`].
+    pub fn resume_with_predecoded(
+        kernel: &'k CompiledKernel,
+        config: &SimConfig,
+        checkpoint: &Checkpoint,
+        prog: Arc<PredecodedKernel>,
+    ) -> Result<SlicedSim<'k>, SimError> {
+        config.validate().map_err(SimError::BadConfig)?;
+        checkpoint.verify_identity_hashed(prog.kernel_hash(), config)?;
+        let mut sms = Vec::with_capacity(config.num_sms);
+        for (sm_id, assigned) in cta_assignments(kernel, config).into_iter().enumerate() {
+            let mut sm = Sm::with_predecoded(*config, kernel, assigned, Arc::clone(&prog))?;
+            sm.restore_frame(&checkpoint.sm_frames[sm_id])
+                .map_err(|e| SimError::BadCheckpoint(format!("SM {sm_id} frame: {e}")))?;
+            sms.push(sm);
+        }
+        // a restored SM may already have finished before the snapshot;
+        // the first advance() round discovers that via run_until
+        let done = vec![false; sms.len()];
+        Ok(SlicedSim {
+            config: *config,
+            config_hash: checkpoint.config_hash,
+            kernel_hash: checkpoint.kernel_hash,
+            sms,
+            done,
+            cycle: checkpoint.cycle,
+        })
+    }
+
+    /// Drives every unfinished SM forward by `budget` cycles (to the
+    /// boundary `cycle() + budget`), returning whether the whole
+    /// machine has now completed. A zero budget is rejected as
+    /// [`SimError::BadConfig`].
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn advance(&mut self, budget: u64) -> Result<bool, SimError> {
+        if budget == 0 {
+            return Err(SimError::BadConfig("slice budget must be positive".into()));
+        }
+        let boundary = self.cycle.saturating_add(budget);
+        for (sm, done) in self.sms.iter_mut().zip(self.done.iter_mut()) {
             if !*done {
                 *done = sm.run_until(boundary)?;
             }
         }
-        if done.iter().all(|&d| d) {
-            break;
-        }
-        let ck = Checkpoint {
-            version: CKPT_VERSION,
-            config_hash,
-            kernel_hash,
-            cycle: boundary,
-            sm_frames: sms.iter().map(Sm::snapshot_frame).collect(),
-        };
-        on_checkpoint(&ck).map_err(|e| {
-            SimError::BadCheckpoint(format!("checkpoint at cycle {boundary} not written: {e}"))
-        })?;
-        boundary += every;
+        self.cycle = boundary;
+        Ok(self.is_done())
     }
-    let results = sms.into_iter().map(Sm::finish).collect();
-    merge_results(config, results)
+
+    /// Whether every SM has run to completion.
+    pub fn is_done(&self) -> bool {
+        self.done.iter().all(|&d| d)
+    }
+
+    /// The cycle boundary the machine has been driven to.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Snapshots the whole machine as a [`Checkpoint`] at the current
+    /// boundary. Meaningful while [`SlicedSim::is_done`] is false — a
+    /// snapshot of a finished machine resumes to an immediate
+    /// completion.
+    pub fn checkpoint(&self) -> Checkpoint {
+        Checkpoint {
+            version: CKPT_VERSION,
+            config_hash: self.config_hash,
+            kernel_hash: self.kernel_hash,
+            cycle: self.cycle,
+            sm_frames: self.sms.iter().map(Sm::snapshot_frame).collect(),
+        }
+    }
+
+    /// Runs the machine to completion (if it is not there already) and
+    /// merges the per-SM results; see [`simulate_traced`] for the
+    /// result shape.
+    ///
+    /// # Errors
+    ///
+    /// See [`SimError`].
+    pub fn finish(mut self) -> Result<TracedRun, SimError> {
+        for (sm, done) in self.sms.iter_mut().zip(self.done.iter_mut()) {
+            if !*done {
+                *done = sm.run_until(u64::MAX)?;
+            }
+        }
+        let results = self.sms.into_iter().map(Sm::finish).collect();
+        merge_results(&self.config, results)
+    }
 }
 
 /// Resumes a run from `checkpoint` and drives it to completion. The

@@ -56,9 +56,10 @@ pub use config::SimConfig;
 pub use gpu::{
     simulate, simulate_resumable, simulate_resumable_traced, simulate_traced,
     simulate_traced_checkpointed, simulate_traced_with_init, simulate_with_init, SimResult,
-    TracedRun,
+    SlicedSim, TracedRun,
 };
 pub use memory::GlobalMemory;
+pub use predecode::PredecodedKernel;
 pub use sm::{SimError, Sm, SmResult, WarpDiag, WatchdogSnapshot};
 pub use stats::{RegTraceEvent, Sample, SimStats};
 

@@ -100,6 +100,7 @@ pub enum PdItem {
 pub struct PredecodedKernel {
     items: Vec<PdItem>,
     pbr_regs: Vec<ArchReg>,
+    kernel_hash: u64,
 }
 
 impl PredecodedKernel {
@@ -149,7 +150,20 @@ impl PredecodedKernel {
                 }
             });
         }
-        PredecodedKernel { items, pbr_regs }
+        PredecodedKernel {
+            items,
+            pbr_regs,
+            kernel_hash: crate::checkpoint::kernel_identity_hash(kernel),
+        }
+    }
+
+    /// [`crate::checkpoint::kernel_identity_hash`] of the source
+    /// kernel, memoized here because computing it walks (and formats)
+    /// the whole program — sharing the predecoded image across runs
+    /// also shares the hash, so checkpoint identity binding costs
+    /// nothing per run.
+    pub fn kernel_hash(&self) -> u64 {
+        self.kernel_hash
     }
 
     /// The item at `pc`.

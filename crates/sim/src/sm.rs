@@ -5,6 +5,7 @@
 use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 use std::fmt;
+use std::sync::Arc;
 
 use rfv_compiler::CompiledKernel;
 use rfv_core::{
@@ -254,7 +255,7 @@ pub struct Sm<'k> {
     kernel: &'k CompiledKernel,
     /// Issue-ready program image (see [`crate::predecode`]), built
     /// once in [`Sm::new`].
-    prog: PredecodedKernel,
+    prog: Arc<PredecodedKernel>,
     policy: VirtualizationPolicy,
     regfile: RegisterFile,
     flag_cache: ReleaseFlagCache,
@@ -347,6 +348,25 @@ impl<'k> Sm<'k> {
         kernel: &'k CompiledKernel,
         assigned: Vec<u32>,
     ) -> Result<Sm<'k>, SimError> {
+        let prog = Arc::new(PredecodedKernel::new(kernel));
+        Sm::with_predecoded(config, kernel, assigned, prog)
+    }
+
+    /// [`Sm::new`] reusing an already-predecoded program image.
+    /// Predecode is pure — the same `kernel` always predecodes to the
+    /// same image — so sharing one `Arc` across the SMs of a run (or
+    /// across repeat runs of a cached kernel, as `rfvd` does) changes
+    /// nothing observable while skipping the per-SM rebuild.
+    ///
+    /// # Errors
+    ///
+    /// Fails on invalid configuration.
+    pub fn with_predecoded(
+        config: SimConfig,
+        kernel: &'k CompiledKernel,
+        assigned: Vec<u32>,
+        prog: Arc<PredecodedKernel>,
+    ) -> Result<Sm<'k>, SimError> {
         config.validate().map_err(SimError::BadConfig)?;
         let policy = config.regfile.policy;
         let regfile = RegisterFile::new(config.regfile, config.max_warps_per_sm)
@@ -403,7 +423,7 @@ impl<'k> Sm<'k> {
             grid_ctas,
             regfile,
             policy,
-            prog: PredecodedKernel::new(kernel),
+            prog,
             kernel,
             config,
             static_regs,

@@ -51,15 +51,41 @@ impl Default for SynthParams {
 ///
 /// Panics when `regs` is outside `6..=63` or `mem_ops > 3`.
 pub fn synth(p: SynthParams) -> Kernel {
+    synth_repeated(p, 1)
+}
+
+/// [`synth`] with the straight-line register chain emitted
+/// `chain_repeats` times per loop iteration (`synth` is
+/// `synth_repeated(p, 1)`).
+///
+/// Repeating the chain grows the *program* without growing the
+/// per-thread state: compile-time analysis (CFG, liveness, lifetime
+/// intervals) scales with program length while a straight-line body
+/// executes each instruction exactly once. High repeat counts
+/// therefore produce compile-heavy, simulation-light kernels — the
+/// shape that exercises `rfvd`'s per-kernel compile cache.
+///
+/// # Panics
+///
+/// Panics when `regs` is outside `6..=63`, `mem_ops > 3`, or
+/// `chain_repeats` is zero.
+pub fn synth_repeated(p: SynthParams, chain_repeats: u32) -> Kernel {
     assert!((6..=63).contains(&p.regs), "regs {} out of range", p.regs);
     assert!(p.mem_ops <= 3, "at most 3 loads per iteration");
+    assert!(chain_repeats > 0, "chain_repeats must be positive");
+    let rep_suffix = if chain_repeats > 1 {
+        format!("x{chain_repeats}")
+    } else {
+        String::new()
+    };
     let mut b = KernelBuilder::new(format!(
-        "synth_r{}_t{}_{}{}m{}",
+        "synth_r{}_t{}_{}{}m{}{}",
         p.regs,
         p.loop_trips,
         if p.divergent_loop { "d" } else { "u" },
         if p.diamond { "b" } else { "s" },
-        p.mem_ops
+        p.mem_ops,
+        rep_suffix
     ));
     let r = R::new;
     b.s2r(r(0), Special::TidX);
@@ -109,8 +135,10 @@ pub fn synth(p: SynthParams) -> Kernel {
         b.label("join");
     }
     // register chain: each register consumes its predecessor
-    for i in 5..p.regs.saturating_sub(1) {
-        b.imad(r(i), r(i - 1), Operand::Imm(3), Operand::Reg(r(i)));
+    for _ in 0..chain_repeats {
+        for i in 5..p.regs.saturating_sub(1) {
+            b.imad(r(i), r(i - 1), Operand::Imm(3), Operand::Reg(r(i)));
+        }
     }
     if p.loop_trips > 0 {
         b.iadd(r(p.regs - 1), r(p.regs - 1), Operand::Imm(-1));
@@ -185,5 +213,32 @@ mod tests {
             regs: 5,
             ..SynthParams::default()
         });
+    }
+
+    #[test]
+    fn repeated_chain_grows_program_not_registers() {
+        let p = SynthParams {
+            loop_trips: 0,
+            ..SynthParams::default()
+        };
+        let base = synth_repeated(p, 1);
+        let big = synth_repeated(p, 8);
+        assert_eq!(base.items().len(), synth(p).items().len());
+        assert_eq!(big.num_regs(), base.num_regs());
+        // each extra repeat adds exactly one more register chain
+        let chain = usize::from(p.regs) - 6; // ids 5..regs-1
+        assert_eq!(
+            big.num_machine_instrs(),
+            base.num_machine_instrs() + 7 * chain
+        );
+        assert_ne!(base.name(), big.name());
+        rfv_compiler::compile(&big, &rfv_compiler::CompileOptions::default())
+            .expect("repeated kernels compile");
+    }
+
+    #[test]
+    #[should_panic(expected = "chain_repeats")]
+    fn zero_repeats_rejected() {
+        synth_repeated(SynthParams::default(), 0);
     }
 }

@@ -18,7 +18,7 @@ pub mod suite;
 pub mod table1;
 pub mod validate;
 
-pub use generator::{synth, SynthParams};
+pub use generator::{synth, synth_repeated, SynthParams};
 pub use suite::{all, by_name, Workload};
 pub use table1::{paper_geometry, PaperGeometry, TABLE1};
 pub use validate::{standard_init, validator_for};
