@@ -2,13 +2,17 @@
 //!
 //! ```text
 //! rfvd [--port N] [--bind ADDR] [--jobs N] [--queue-depth N]
-//!      [--max-cycles-per-slice N]
+//!      [--max-cycles-per-slice N] [--cache-entries N] [--spool-dir DIR]
 //! ```
 //!
 //! Listens for `rfv-job-v1` connections and serves simulation jobs
 //! until SIGTERM/SIGINT, then drains gracefully: in-flight and queued
 //! jobs finish, new submissions are rejected with a typed
 //! `shutting-down` error, and the process exits 0.
+//!
+//! With `--spool-dir`, accepted jobs are journaled to disk and a
+//! restarted daemon (same directory) replays any that never finished
+//! — a crash loses no accepted work.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -51,14 +55,18 @@ mod sig {
 fn usage() -> ! {
     eprintln!(
         "usage: rfvd [--port N] [--bind ADDR] [--jobs N] [--queue-depth N] \
-         [--max-cycles-per-slice N]\n\
+         [--max-cycles-per-slice N] [--cache-entries N] [--spool-dir DIR]\n\
          \n\
          \x20 --port N                  listen port (default 4650, 0 = ephemeral)\n\
          \x20 --bind ADDR               bind address (default 127.0.0.1)\n\
          \x20 --jobs N                  concurrent job runners (default: cores, max 8)\n\
          \x20 --queue-depth N           waiting-job capacity (default 64)\n\
          \x20 --max-cycles-per-slice N  preemption granularity in cycles\n\
-         \x20                           (default 50000; 0 disables preemption)"
+         \x20                           (default 50000; 0 disables preemption)\n\
+         \x20 --cache-entries N         compile-cache capacity, LRU-evicted\n\
+         \x20                           (default 0 = unbounded)\n\
+         \x20 --spool-dir DIR           journal accepted jobs to DIR and replay\n\
+         \x20                           unfinished ones on restart (default: off)"
     );
     std::process::exit(2)
 }
@@ -90,6 +98,10 @@ fn main() {
             "--max-cycles-per-slice" => {
                 config.max_cycles_per_slice = parse("--max-cycles-per-slice", args.next());
             }
+            "--cache-entries" => config.cache_entries = parse("--cache-entries", args.next()),
+            "--spool-dir" => {
+                config.spool_dir = Some(args.next().unwrap_or_else(|| usage()).into());
+            }
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("rfvd: unknown flag {other:?}");
@@ -107,16 +119,30 @@ fn main() {
     let handle = match serve(config.clone()) {
         Ok(h) => h,
         Err(e) => {
-            eprintln!("rfvd: cannot bind {}: {e}", config.addr);
+            eprintln!("rfvd: cannot start on {}: {e}", config.addr);
             std::process::exit(1);
         }
     };
     // machine-parseable readiness line (the CI smoke job waits for it)
     println!("rfvd listening on {}", handle.local_addr());
     eprintln!(
-        "rfvd: {} job runners, queue depth {}, slice {} cycles",
-        config.jobs, config.queue_depth, config.max_cycles_per_slice
+        "rfvd: {} job runners, queue depth {}, slice {} cycles, cache {}",
+        config.jobs,
+        config.queue_depth,
+        config.max_cycles_per_slice,
+        if config.cache_entries == 0 {
+            "unbounded".to_string()
+        } else {
+            format!("{} entries", config.cache_entries)
+        }
     );
+    if let Some(dir) = &config.spool_dir {
+        let replayed = handle.stats().replayed;
+        eprintln!(
+            "rfvd: spooling to {} ({replayed} jobs replayed)",
+            dir.display()
+        );
+    }
 
     while !SHUTDOWN.load(Ordering::SeqCst) {
         std::thread::sleep(Duration::from_millis(50));

@@ -3,7 +3,7 @@
 //! ```text
 //! rfvload ADDR [--connections N] [--requests N] [--spec S1,S2,...]
 //!         [--machine M] [--sms N] [--high-every K] [--no-cache]
-//!         [--compare-cache] [--out FILE.json]
+//!         [--timeout-ms N] [--compare-cache] [--out FILE.json]
 //! ```
 //!
 //! Opens `--connections` concurrent connections; each replays the
@@ -14,20 +14,23 @@
 //! `--compare-cache` runs the same mix twice — cold (cache bypassed)
 //! then warm (cache primed) — and prints the warm/cold speedup, the
 //! daemon's headline number for repeat-kernel submissions.
+//!
+//! `--timeout-ms` bounds each submission: a stalled daemon costs one
+//! counted timeout and a reconnect, never a wedged load generator.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
-use rfvd::client::Client;
+use rfvd::client::{Client, ClientError};
 use rfvd::proto::{CacheOutcome, ErrorCode, JobRequest, Priority, Response};
 
 fn usage() -> ! {
     eprintln!(
         "usage: rfvload ADDR [--connections N] [--requests N] [--spec S1,S2,...]\n\
          \x20              [--machine M] [--sms N] [--high-every K] [--no-cache]\n\
-         \x20              [--compare-cache] [--out FILE.json]\n\
+         \x20              [--timeout-ms N] [--compare-cache] [--out FILE.json]\n\
          \n\
          \x20 ADDR              server address, e.g. 127.0.0.1:4650\n\
          \x20 --connections N   concurrent client connections (default 4)\n\
@@ -38,6 +41,8 @@ fn usage() -> ! {
          \x20 --sms N           SM count override (default 1)\n\
          \x20 --high-every K    every Kth job is high priority (0 = never)\n\
          \x20 --no-cache        bypass the server's compile cache\n\
+         \x20 --timeout-ms N    per-request response deadline; an expiry counts\n\
+         \x20                   a timeout and reconnects (default 0 = wait forever)\n\
          \x20 --compare-cache   measure cold (bypass) vs warm (primed) throughput\n\
          \x20 --out FILE        write an rfv-load-v1 JSON report"
     );
@@ -54,6 +59,14 @@ struct LoadSpec {
     sms: u32,
     high_every: usize,
     use_cache: bool,
+    /// Per-request response deadline in ms; 0 waits forever.
+    timeout_ms: u64,
+}
+
+impl LoadSpec {
+    fn timeout(&self) -> Option<Duration> {
+        (self.timeout_ms > 0).then(|| Duration::from_millis(self.timeout_ms))
+    }
 }
 
 #[derive(Default)]
@@ -61,6 +74,7 @@ struct Tally {
     ok: u64,
     rejected: u64,
     failed: u64,
+    timeouts: u64,
     hits: u64,
     misses: u64,
     bypass: u64,
@@ -73,6 +87,7 @@ impl Tally {
         self.ok += other.ok;
         self.rejected += other.rejected;
         self.failed += other.failed;
+        self.timeouts += other.timeouts;
         self.hits += other.hits;
         self.misses += other.misses;
         self.bypass += other.bypass;
@@ -110,7 +125,12 @@ fn run_pass(load: &LoadSpec) -> Report {
             let barrier = Arc::clone(&barrier);
             let job_counter = Arc::clone(&job_counter);
             handles.push(scope.spawn(move || {
-                let mut client = Client::connect(&load.addr).unwrap_or_else(|e| {
+                let connect = || -> std::io::Result<Client> {
+                    let mut client = Client::connect(&load.addr)?;
+                    client.set_timeout(load.timeout())?;
+                    Ok(client)
+                };
+                let mut client = connect().unwrap_or_else(|e| {
                     eprintln!("rfvload: cannot connect to {}: {e}", load.addr);
                     std::process::exit(1);
                 });
@@ -155,6 +175,18 @@ fn run_pass(load: &LoadSpec) -> Report {
                             eprintln!("rfvload: stats reply to a submit");
                             t.failed += 1;
                         }
+                        Err(ClientError::TimedOut) => {
+                            // the connection may be mid-frame: count
+                            // it and start fresh instead of wedging
+                            t.timeouts += 1;
+                            match connect() {
+                                Ok(c) => client = c,
+                                Err(e) => {
+                                    eprintln!("rfvload: reconnect after timeout failed: {e}");
+                                    break;
+                                }
+                            }
+                        }
                         Err(e) => {
                             eprintln!("rfvload: transport error: {e}");
                             t.failed += 1;
@@ -172,7 +204,7 @@ fn run_pass(load: &LoadSpec) -> Report {
     let wall_secs = started.elapsed().as_secs_f64();
     let mut sorted = tally.latencies_us.clone();
     sorted.sort_unstable();
-    let attempts = tally.ok + tally.rejected + tally.failed;
+    let attempts = tally.ok + tally.rejected + tally.failed + tally.timeouts;
     Report {
         wall_secs,
         jobs_per_sec: tally.ok as f64 / wall_secs.max(1e-9),
@@ -190,10 +222,11 @@ fn run_pass(load: &LoadSpec) -> Report {
 
 fn print_report(label: &str, r: &Report) {
     println!(
-        "{label}: {ok} ok, {rej} rejected, {fail} failed in {wall:.3}s -> {jps:.1} jobs/s",
+        "{label}: {ok} ok, {rej} rejected, {fail} failed, {to} timed out in {wall:.3}s -> {jps:.1} jobs/s",
         ok = r.tally.ok,
         rej = r.tally.rejected,
         fail = r.tally.failed,
+        to = r.tally.timeouts,
         wall = r.wall_secs,
         jps = r.jobs_per_sec,
     );
@@ -212,7 +245,7 @@ fn print_report(label: &str, r: &Report) {
 fn report_json(r: &Report) -> String {
     format!(
         "{{\n    \"jobs_per_sec\": {jps:.3},\n    \"wall_secs\": {wall:.6},\n    \
-         \"ok\": {ok},\n    \"rejected\": {rej},\n    \"failed\": {fail},\n    \
+         \"ok\": {ok},\n    \"rejected\": {rej},\n    \"failed\": {fail},\n    \"timeouts\": {to},\n    \
          \"rejection_rate\": {rr:.6},\n    \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}}},\n    \
          \"cache\": {{\"hit\": {h}, \"miss\": {m}, \"bypass\": {b}}},\n    \
          \"preemptions\": {pre}\n  }}",
@@ -221,6 +254,7 @@ fn report_json(r: &Report) -> String {
         ok = r.tally.ok,
         rej = r.tally.rejected,
         fail = r.tally.failed,
+        to = r.tally.timeouts,
         rr = r.rejection_rate,
         p50 = r.p50_us,
         p90 = r.p90_us,
@@ -247,6 +281,7 @@ fn main() {
         sms: 1,
         high_every: 0,
         use_cache: true,
+        timeout_ms: 0,
     };
     let mut compare_cache = false;
     let mut out: Option<String> = None;
@@ -276,6 +311,7 @@ fn main() {
             "--sms" => load.sms = parse("--sms", args.next()) as u32,
             "--high-every" => load.high_every = parse("--high-every", args.next()),
             "--no-cache" => load.use_cache = false,
+            "--timeout-ms" => load.timeout_ms = parse("--timeout-ms", args.next()) as u64,
             "--compare-cache" => compare_cache = true,
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),
@@ -299,6 +335,7 @@ fn main() {
             eprintln!("rfvload: cannot connect: {e}");
             std::process::exit(1);
         });
+        let _ = primer.set_timeout(load.timeout());
         for spec in &load.specs {
             let job = JobRequest {
                 spec: spec.clone(),

@@ -1,4 +1,4 @@
-//! Per-kernel compile + predecode cache.
+//! Per-kernel compile + predecode cache, bounded and build-coalescing.
 //!
 //! Compilation (CFG, liveness, lifetime intervals, metadata packing)
 //! and predecode are pure: the same source kernel under the same
@@ -11,13 +11,24 @@
 //! spec (not by built kernel) matters: a warm job never even
 //! constructs the source kernel.
 //!
-//! Building happens *outside* the map lock so a slow compile never
-//! blocks unrelated lookups; a racing duplicate build is benign
-//! (both produce identical results; the first insert wins).
+//! Two resource guarantees (PR 7):
+//!
+//! * **Bounded residency.** The cache holds at most `capacity`
+//!   kernels (0 = unbounded). Inserting past the bound evicts the
+//!   least-recently-used ready entry; eviction is counted and
+//!   surfaced through the daemon's `Stats` response. An evicted
+//!   kernel simply rebuilds on next sight — compilation is pure, so
+//!   the rebuilt entry is byte-identical.
+//! * **Single-flight builds.** A miss installs an in-flight marker
+//!   *before* building, so a second racing miss on the same key
+//!   blocks on the first build instead of duplicating the full
+//!   compile+predecode. Building still happens outside the map lock,
+//!   so a slow compile never stalls unrelated lookups. A failed
+//!   build is handed to every waiter but never cached.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
 use rfv_compiler::{compile, CompileOptions, CompiledKernel};
 use rfv_isa::prelude::Kernel;
@@ -49,46 +60,209 @@ impl CachedKernel {
     }
 }
 
-/// A concurrent compile cache keyed by
-/// [`crate::spec::JobSpec::cache_key`].
-#[derive(Default)]
+/// The in-flight rendezvous one building thread shares with its
+/// waiters: `result` is `None` until the build finishes.
+struct Flight {
+    result: Mutex<Option<Result<Arc<CachedKernel>, String>>>,
+    done: Condvar,
+}
+
+/// A resident entry plus the recency tick LRU eviction orders by.
+struct Ready {
+    kernel: Arc<CachedKernel>,
+    last_used: u64,
+}
+
+enum Slot {
+    /// Built and resident.
+    Ready(Ready),
+    /// A build is in flight; waiters block on the [`Flight`].
+    Building(Arc<Flight>),
+}
+
+struct Inner {
+    map: HashMap<u64, Slot>,
+    /// Monotonic recency clock; bumped on every hit and insert.
+    tick: u64,
+}
+
+impl Inner {
+    fn touch(&mut self) -> u64 {
+        self.tick += 1;
+        self.tick
+    }
+
+    fn ready_count(&self) -> usize {
+        self.map
+            .values()
+            .filter(|s| matches!(s, Slot::Ready(_)))
+            .count()
+    }
+
+    /// Evicts the least-recently-used ready entry. In-flight builds
+    /// are never evicted (there is nothing resident to drop yet).
+    fn evict_lru(&mut self) -> bool {
+        let victim = self
+            .map
+            .iter()
+            .filter_map(|(k, s)| match s {
+                Slot::Ready(r) => Some((*k, r.last_used)),
+                Slot::Building(_) => None,
+            })
+            .min_by_key(|&(_, used)| used)
+            .map(|(k, _)| k);
+        match victim {
+            Some(k) => {
+                self.map.remove(&k);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+/// A concurrent, bounded compile cache keyed by
+/// [`crate::spec::JobSpec::cache_key`]. See the module docs for the
+/// eviction and build-coalescing contracts.
 pub struct CompileCache {
-    map: Mutex<HashMap<u64, Arc<CachedKernel>>>,
+    inner: Mutex<Inner>,
+    /// Maximum resident kernels; 0 means unbounded.
+    capacity: usize,
     hits: AtomicU64,
     misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Default for CompileCache {
+    fn default() -> CompileCache {
+        CompileCache::unbounded()
+    }
 }
 
 impl CompileCache {
-    /// An empty cache.
+    /// A cache evicting LRU entries beyond `capacity` resident
+    /// kernels; `0` disables the bound.
+    pub fn with_capacity(capacity: usize) -> CompileCache {
+        CompileCache {
+            inner: Mutex::new(Inner {
+                map: HashMap::new(),
+                tick: 0,
+            }),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// An unbounded cache (embedders that manage their own lifetime).
+    pub fn unbounded() -> CompileCache {
+        CompileCache::with_capacity(0)
+    }
+
+    /// An empty unbounded cache.
     pub fn new() -> CompileCache {
         CompileCache::default()
     }
 
     /// Returns the cached kernel under `key`, running `build` (and
     /// caching its result) on first sight. The `bool` is true on a
-    /// cache hit.
+    /// cache hit — including a wait on another thread's in-flight
+    /// build, which serves this caller without compiling anything.
     ///
     /// # Errors
     ///
     /// Whatever `build` fails with (daemon input is validated, so in
-    /// practice this is unreachable for accepted specs).
+    /// practice this is unreachable for accepted specs). Waiters on a
+    /// failed in-flight build receive the same error; nothing is
+    /// cached either way.
     pub fn get_or_build(
         &self,
         key: u64,
         build: impl FnOnce() -> Result<CachedKernel, String>,
     ) -> Result<(Arc<CachedKernel>, bool), String> {
-        if let Some(hit) = self.map.lock().expect("cache lock").get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok((Arc::clone(hit), true));
+        let my_flight: Arc<Flight>;
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            match inner.map.get(&key) {
+                Some(Slot::Ready(_)) => {
+                    let tick = inner.touch();
+                    if let Some(Slot::Ready(r)) = inner.map.get_mut(&key) {
+                        r.last_used = tick;
+                        self.hits.fetch_add(1, Ordering::Relaxed);
+                        return Ok((Arc::clone(&r.kernel), true));
+                    }
+                    unreachable!("entry vanished under the lock");
+                }
+                Some(Slot::Building(f)) => {
+                    // someone else is building this key: wait for
+                    // their result instead of duplicating the build
+                    let flight = Arc::clone(f);
+                    drop(inner);
+                    let mut result = flight.result.lock().expect("flight lock");
+                    while result.is_none() {
+                        result = flight.done.wait(result).expect("flight lock");
+                    }
+                    return match result.as_ref().expect("loop exits on Some") {
+                        Ok(kernel) => {
+                            self.hits.fetch_add(1, Ordering::Relaxed);
+                            Ok((Arc::clone(kernel), true))
+                        }
+                        Err(e) => Err(e.clone()),
+                    };
+                }
+                None => {
+                    // claim the key before building so racing misses
+                    // coalesce onto this build
+                    my_flight = Arc::new(Flight {
+                        result: Mutex::new(None),
+                        done: Condvar::new(),
+                    });
+                    inner
+                        .map
+                        .insert(key, Slot::Building(Arc::clone(&my_flight)));
+                }
+            }
         }
-        let built = Arc::new(build()?);
+
+        // we own the build; run it outside the map lock
+        let built = build().map(Arc::new);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        let mut map = self.map.lock().expect("cache lock");
-        let entry = map.entry(key).or_insert_with(|| Arc::clone(&built));
-        Ok((Arc::clone(entry), false))
+        {
+            let mut inner = self.inner.lock().expect("cache lock");
+            match &built {
+                Ok(kernel) => {
+                    let tick = inner.touch();
+                    inner.map.insert(
+                        key,
+                        Slot::Ready(Ready {
+                            kernel: Arc::clone(kernel),
+                            last_used: tick,
+                        }),
+                    );
+                    if self.capacity > 0 {
+                        while inner.ready_count() > self.capacity {
+                            if !inner.evict_lru() {
+                                break;
+                            }
+                            self.evictions.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                }
+                // a failed build must not poison the key
+                Err(_) => {
+                    inner.map.remove(&key);
+                }
+            }
+        }
+        // release the waiters, success or failure alike
+        *my_flight.result.lock().expect("flight lock") = Some(built.clone());
+        my_flight.done.notify_all();
+        built.map(|k| (k, false))
     }
 
-    /// Cache hits so far.
+    /// Cache hits so far (including coalesced waits on in-flight
+    /// builds).
     pub fn hits(&self) -> u64 {
         self.hits.load(Ordering::Relaxed)
     }
@@ -98,12 +272,17 @@ impl CompileCache {
         self.misses.load(Ordering::Relaxed)
     }
 
-    /// Number of distinct kernels cached.
-    pub fn len(&self) -> usize {
-        self.map.lock().expect("cache lock").len()
+    /// Evictions so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
     }
 
-    /// Whether nothing has been cached yet.
+    /// Number of distinct kernels resident right now.
+    pub fn len(&self) -> usize {
+        self.inner.lock().expect("cache lock").ready_count()
+    }
+
+    /// Whether nothing is resident.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
@@ -129,6 +308,7 @@ pub fn compile_flavored(kernel: &Kernel, release_flags: bool) -> Result<Compiled
 mod tests {
     use super::*;
     use crate::spec::JobSpec;
+    use std::sync::atomic::AtomicUsize;
 
     fn spec(s: &str) -> JobSpec {
         JobSpec::parse(s).unwrap()
@@ -188,5 +368,124 @@ mod tests {
         assert!(cache.is_empty());
         let ok = cache.get_or_build(7, || build_for(&spec("synth:"), true));
         assert!(ok.is_ok(), "a failed build must not poison the key");
+    }
+
+    #[test]
+    fn capacity_bound_evicts_lru_and_counts_it() {
+        let cache = CompileCache::with_capacity(2);
+        let specs = ["synth:rep=1", "synth:rep=2", "synth:rep=3"];
+        let keys: Vec<u64> = specs.iter().map(|s| spec(s).cache_key(true)).collect();
+        for (s, &key) in specs.iter().zip(&keys) {
+            cache
+                .get_or_build(key, || build_for(&spec(s), true))
+                .unwrap();
+        }
+        // rep=1 was least recently used: it was the eviction victim
+        assert_eq!(cache.len(), 2, "the bound is a hard ceiling");
+        assert_eq!(cache.evictions(), 1);
+        let (_, hit) = cache
+            .get_or_build(keys[1], || build_for(&spec(specs[1]), true))
+            .unwrap();
+        assert!(hit, "rep=2 must have survived");
+        let (_, hit) = cache
+            .get_or_build(keys[0], || build_for(&spec(specs[0]), true))
+            .unwrap();
+        assert!(!hit, "the evicted key rebuilds as a miss");
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.evictions(), 2, "the rebuild evicted in turn");
+    }
+
+    #[test]
+    fn a_hit_refreshes_recency() {
+        let cache = CompileCache::with_capacity(2);
+        let ids = ["synth:rep=1", "synth:rep=2", "synth:rep=3"];
+        let keys: Vec<u64> = ids.iter().map(|s| spec(s).cache_key(true)).collect();
+        cache
+            .get_or_build(keys[0], || build_for(&spec(ids[0]), true))
+            .unwrap();
+        cache
+            .get_or_build(keys[1], || build_for(&spec(ids[1]), true))
+            .unwrap();
+        // touch rep=1 so rep=2 becomes the LRU
+        cache
+            .get_or_build(keys[0], || build_for(&spec(ids[0]), true))
+            .unwrap();
+        cache
+            .get_or_build(keys[2], || build_for(&spec(ids[2]), true))
+            .unwrap();
+        let (_, hit) = cache
+            .get_or_build(keys[0], || build_for(&spec(ids[0]), true))
+            .unwrap();
+        assert!(hit, "recently touched rep=1 must survive the eviction");
+        let (_, hit) = cache
+            .get_or_build(keys[1], || build_for(&spec(ids[1]), true))
+            .unwrap();
+        assert!(!hit, "rep=2 was the LRU victim");
+    }
+
+    #[test]
+    fn racing_misses_coalesce_into_one_build() {
+        let cache = Arc::new(CompileCache::new());
+        let builds = Arc::new(AtomicUsize::new(0));
+        let s = Arc::new(spec("synth:regs=24,rep=8"));
+        let key = s.cache_key(true);
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let cache = Arc::clone(&cache);
+            let builds = Arc::clone(&builds);
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                cache
+                    .get_or_build(key, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // widen the race window: the other threads must
+                        // wait on this build, not start their own
+                        std::thread::sleep(std::time::Duration::from_millis(50));
+                        build_for(&s, true)
+                    })
+                    .unwrap()
+                    .0
+            }));
+        }
+        let kernels: Vec<Arc<CachedKernel>> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(
+            builds.load(Ordering::SeqCst),
+            1,
+            "concurrent misses on one key must run exactly one build"
+        );
+        for k in &kernels[1..] {
+            assert!(Arc::ptr_eq(&kernels[0], k));
+        }
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 3, "waiters count as served-from-cache");
+    }
+
+    #[test]
+    fn waiters_on_a_failed_build_get_the_error_and_can_retry() {
+        let cache = Arc::new(CompileCache::new());
+        let gate = Arc::new(std::sync::Barrier::new(2));
+        let c2 = Arc::clone(&cache);
+        let g2 = Arc::clone(&gate);
+        let waiter = std::thread::spawn(move || {
+            g2.wait(); // the builder owns the key before we look
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            c2.get_or_build(42, || build_for(&spec("synth:"), true))
+        });
+        let err = cache.get_or_build(42, || {
+            gate.wait();
+            std::thread::sleep(std::time::Duration::from_millis(60));
+            Err("boom".into())
+        });
+        assert!(matches!(err, Err(ref e) if e == "boom"));
+        // the waiter either observed the in-flight failure or retried
+        // fresh; both are sound, and the key is never poisoned
+        match waiter.join().unwrap() {
+            Ok((_, _)) => assert_eq!(cache.len(), 1),
+            Err(e) => {
+                assert_eq!(e, "boom");
+                assert!(cache.is_empty());
+            }
+        }
     }
 }

@@ -4,6 +4,7 @@
 
 use std::io::{self, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use crate::proto::{
     read_frame, write_frame, JobRequest, ProtoError, Request, Response, ServerStats,
@@ -18,6 +19,10 @@ pub enum ClientError {
     Protocol(ProtoError),
     /// The server closed the connection instead of responding.
     Closed,
+    /// No response within the configured deadline (see
+    /// [`Client::set_timeout`]). The connection may be mid-frame and
+    /// must not be reused — reconnect.
+    TimedOut,
 }
 
 impl std::fmt::Display for ClientError {
@@ -26,6 +31,7 @@ impl std::fmt::Display for ClientError {
             ClientError::Io(e) => write!(f, "i/o: {e}"),
             ClientError::Protocol(e) => write!(f, "protocol: {e}"),
             ClientError::Closed => write!(f, "server closed the connection"),
+            ClientError::TimedOut => write!(f, "no response within the deadline"),
         }
     }
 }
@@ -34,7 +40,16 @@ impl std::error::Error for ClientError {}
 
 impl From<io::Error> for ClientError {
     fn from(e: io::Error) -> ClientError {
-        ClientError::Io(e)
+        // both kinds mean "the socket deadline expired": unix reports
+        // WouldBlock from SO_RCVTIMEO, windows reports TimedOut
+        if matches!(
+            e.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        ) {
+            ClientError::TimedOut
+        } else {
+            ClientError::Io(e)
+        }
     }
 }
 
@@ -55,6 +70,20 @@ impl Client {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
         Ok(Client { stream })
+    }
+
+    /// Bounds how long any single request may wait for its response
+    /// (`None` waits forever, the default). On expiry the pending
+    /// call fails with [`ClientError::TimedOut`] and the connection
+    /// is left mid-conversation: drop this client and reconnect —
+    /// reusing it would desynchronize the frame stream.
+    ///
+    /// # Errors
+    ///
+    /// The `setsockopt` error, verbatim.
+    pub fn set_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.stream.set_read_timeout(timeout)?;
+        self.stream.set_write_timeout(timeout)
     }
 
     /// Sends one request and waits for its response.

@@ -14,7 +14,16 @@
 //!   capacity and typed `QueueFull` backpressure.
 //! * **Compile caching** ([`cache`]): kernels are compiled once per
 //!   identity hash and shared as `Arc`s; repeat submissions skip the
-//!   compiler entirely.
+//!   compiler entirely. The cache is bounded (LRU eviction) and
+//!   single-flight: concurrent misses on one key coalesce into one
+//!   build.
+//! * **Poll-multiplexed connections**: one event-loop thread drives
+//!   every connection through nonblocking sockets, so idle clients
+//!   cost file descriptors, not thread stacks.
+//! * **Durable job spool** ([`persist`]): with `--spool-dir`, every
+//!   accepted job is journaled before its submitter hears `Accepted`;
+//!   a restarted daemon replays unfinished records, so a crash loses
+//!   no accepted work.
 //! * **Checkpoint-backed preemption** ([`server`]): jobs execute in
 //!   bounded cycle slices on [`rfv_sim::SlicedSim`]; when
 //!   high-priority work arrives, a normal job snapshots into an
@@ -27,6 +36,8 @@
 
 pub mod cache;
 pub mod client;
+mod mux;
+pub mod persist;
 pub mod proto;
 pub mod queue;
 pub mod server;

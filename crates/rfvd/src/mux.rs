@@ -1,0 +1,653 @@
+//! The poll-multiplexed connection layer.
+//!
+//! PR 6's server spawned one OS thread per connection and pushed its
+//! `JoinHandle` into a registry that was only reaped at shutdown —
+//! two slow resource-exhaustion bugs in one: a long-lived daemon
+//! serving many short-lived clients accumulated dead handles forever,
+//! and every *idle* client pinned a whole thread stack. This module
+//! replaces both with a single event-loop thread driving every
+//! connection through nonblocking sockets:
+//!
+//! * **One thread, N connections.** The loop multiplexes the
+//!   listener, a self-wake channel, and every connection through
+//!   `poll(2)` (on Linux; a short-tick scan elsewhere). A thousand
+//!   idle clients cost a thousand file descriptors and zero threads.
+//! * **Eager reaping.** A connection that closes, errors, or poisons
+//!   its stream is dropped from the map immediately — there is no
+//!   handle registry to leak, and `conns_open` in the `Stats`
+//!   response reports the live count.
+//! * **Non-blocking submits.** The old design parked the connection
+//!   thread on the job's completion channel. Here a submit enqueues
+//!   the job with a reply closure that posts the outcome back to the
+//!   event loop (and wakes it); the loop writes the response frame
+//!   when it arrives. While a connection has a submit in flight it is
+//!   simply not polled for reads — the kernel's socket buffer is the
+//!   backpressure, and buffered follow-up frames are pumped as soon
+//!   as the reply is delivered, preserving strict per-connection
+//!   request/response ordering.
+//!
+//! Writes are buffered per connection and drained on `POLLOUT`, so a
+//! slow reader can never wedge the loop. Framing-level errors
+//! (`BadMagic`, `BadChecksum`, `Oversized`) still reply-then-close;
+//! the close is deferred until the error frame is flushed.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::Ordering;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use crate::proto::{ErrorCode, FrameReader, ProtoError, Recv, Request, Response};
+use crate::queue::Submit;
+use crate::server::{validate_submit, ServerState};
+
+/// How long the event loop sleeps when nothing is ready. Wakes from
+/// job completions and drains arrive through the [`Waker`], so this
+/// only bounds how stale the drain-exit check can get.
+const IDLE_WAIT: Duration = Duration::from_millis(200);
+
+/// How long a draining loop keeps trying to flush final replies to
+/// slow readers before giving up and closing.
+const DRAIN_FLUSH_DEADLINE: Duration = Duration::from_secs(5);
+
+/// A completed job's outcome, posted back to the event loop by the
+/// reply closure a submit installed.
+pub(crate) type Completion = (u64, Result<crate::proto::JobResult, ProtoError>);
+
+// ---------------------------------------------------------- wake pair
+
+/// Wakes the event loop from another thread (worker completions,
+/// `begin_drain`). On Unix this writes one byte into a socketpair the
+/// loop polls; the write is nonblocking and coalesces — a full pipe
+/// means a wake is already pending, which is all we need.
+#[derive(Clone)]
+pub struct Waker {
+    #[cfg(unix)]
+    tx: Arc<std::os::unix::net::UnixStream>,
+}
+
+impl Waker {
+    /// Interrupts the event loop's wait.
+    pub fn wake(&self) {
+        #[cfg(unix)]
+        {
+            let _ = (&*self.tx).write(&[1u8]);
+        }
+    }
+}
+
+#[cfg(unix)]
+pub(crate) struct WakeRx(std::os::unix::net::UnixStream);
+
+#[cfg(not(unix))]
+pub(crate) struct WakeRx;
+
+/// Builds the waker and its loop-side receiving end.
+pub(crate) fn wake_pair() -> io::Result<(Waker, WakeRx)> {
+    #[cfg(unix)]
+    {
+        let (rx, tx) = std::os::unix::net::UnixStream::pair()?;
+        rx.set_nonblocking(true)?;
+        tx.set_nonblocking(true)?;
+        Ok((Waker { tx: Arc::new(tx) }, WakeRx(rx)))
+    }
+    #[cfg(not(unix))]
+    {
+        Ok((Waker {}, WakeRx))
+    }
+}
+
+// ---------------------------------------------------------- listener
+
+/// Binds the listener with `SO_REUSEADDR`, so a daemon restarted
+/// after a crash can rebind its port immediately instead of failing
+/// with `EADDRINUSE` while the dead process's connections sit in
+/// `TIME_WAIT` — without this, spool replay after a `SIGKILL` only
+/// works if the operator also changes ports or waits out the kernel
+/// timer. `std`'s `TcpListener::bind` deliberately leaves the option
+/// unset and offers no pre-bind hook, so on Linux the socket is built
+/// by hand (same no-dependency `extern "C"` route as the `poll(2)`
+/// binding below); elsewhere, and for IPv6, it falls back to the
+/// plain bind.
+pub(crate) fn bind_reusable(addr: &str) -> io::Result<TcpListener> {
+    #[cfg(target_os = "linux")]
+    {
+        use std::net::ToSocketAddrs;
+        if let Some(std::net::SocketAddr::V4(v4)) = addr.to_socket_addrs()?.next() {
+            return bind_reusable_v4(&v4);
+        }
+    }
+    TcpListener::bind(addr)
+}
+
+#[cfg(target_os = "linux")]
+fn bind_reusable_v4(addr: &std::net::SocketAddrV4) -> io::Result<TcpListener> {
+    use std::os::fd::FromRawFd;
+
+    const AF_INET: i32 = 2;
+    const SOCK_STREAM: i32 = 1;
+    const SOCK_CLOEXEC: i32 = 0o2000000;
+    const SOL_SOCKET: i32 = 1;
+    const SO_REUSEADDR: i32 = 2;
+
+    #[repr(C)]
+    struct SockaddrIn {
+        sin_family: u16,
+        sin_port: u16, // network byte order
+        sin_addr: u32, // network byte order
+        sin_zero: [u8; 8],
+    }
+
+    extern "C" {
+        fn socket(domain: i32, ty: i32, protocol: i32) -> i32;
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+        fn bind(fd: i32, addr: *const SockaddrIn, len: u32) -> i32;
+        fn listen(fd: i32, backlog: i32) -> i32;
+        fn close(fd: i32) -> i32;
+    }
+
+    unsafe {
+        let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let fail = |fd: i32| -> io::Error {
+            let e = io::Error::last_os_error();
+            close(fd);
+            e
+        };
+        let one: i32 = 1;
+        if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) < 0 {
+            return Err(fail(fd));
+        }
+        let sa = SockaddrIn {
+            sin_family: AF_INET as u16,
+            sin_port: addr.port().to_be(),
+            // octets are already network order; from_ne_bytes keeps them
+            sin_addr: u32::from_ne_bytes(addr.ip().octets()),
+            sin_zero: [0; 8],
+        };
+        if bind(fd, &sa, std::mem::size_of::<SockaddrIn>() as u32) < 0 {
+            return Err(fail(fd));
+        }
+        if listen(fd, 128) < 0 {
+            return Err(fail(fd));
+        }
+        Ok(TcpListener::from_raw_fd(fd))
+    }
+}
+
+impl WakeRx {
+    /// Drains pending wake bytes (they only mean "look again").
+    fn drain(&mut self) {
+        #[cfg(unix)]
+        {
+            let mut sink = [0u8; 64];
+            while matches!(self.0.read(&mut sink), Ok(n) if n > 0) {}
+        }
+    }
+}
+
+// -------------------------------------------------------- connections
+
+struct Conn {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Bytes queued for the peer, `out[out_pos..]` still unsent.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// A submit is awaiting its worker; reads are paused until the
+    /// reply is written so responses stay in request order.
+    inflight: bool,
+    /// The stream is poisoned: close once `out` is flushed.
+    close_after_flush: bool,
+}
+
+impl Conn {
+    fn has_output(&self) -> bool {
+        self.out_pos < self.out.len()
+    }
+
+    /// Queues one response frame for the peer.
+    fn push_response(&mut self, response: &Response) {
+        let payload = response.encode();
+        self.out
+            .extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        self.out.extend_from_slice(&payload);
+    }
+
+    /// Writes as much buffered output as the socket accepts.
+    /// `Ok(true)` means fully flushed; `Err` means the peer is gone.
+    fn flush(&mut self) -> io::Result<bool> {
+        while self.has_output() {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+        Ok(true)
+    }
+}
+
+/// What to do with a connection after pumping it.
+enum Pump {
+    Keep,
+    Drop,
+}
+
+// ---------------------------------------------------------- the mux
+
+pub(crate) struct Mux {
+    listener: Option<TcpListener>,
+    state: Arc<ServerState>,
+    conns: HashMap<u64, Conn>,
+    next_conn_id: u64,
+    completions: Receiver<Completion>,
+    completions_tx: Sender<Completion>,
+    waker: Waker,
+    wake_rx: WakeRx,
+    /// Accepted submits whose replies have not been written yet.
+    pending_jobs: usize,
+    /// Set once draining starts and the final flush window opens.
+    drain_deadline: Option<Instant>,
+}
+
+impl Mux {
+    pub(crate) fn new(
+        listener: TcpListener,
+        state: Arc<ServerState>,
+        completions: Receiver<Completion>,
+        completions_tx: Sender<Completion>,
+        waker: Waker,
+        wake_rx: WakeRx,
+    ) -> Mux {
+        Mux {
+            listener: Some(listener),
+            state,
+            conns: HashMap::new(),
+            next_conn_id: 1,
+            completions,
+            completions_tx,
+            waker,
+            wake_rx,
+            pending_jobs: 0,
+            drain_deadline: None,
+        }
+    }
+
+    /// The event loop. Returns once the server is draining and every
+    /// accepted job's reply has been delivered (or abandoned with its
+    /// dead connection).
+    pub(crate) fn run(mut self) {
+        loop {
+            self.wake_rx.drain();
+            self.deliver_completions();
+            if self.state.draining() {
+                // stop accepting; pending replies still flow
+                if self.listener.take().is_some() {
+                    // dropped: the OS refuses new connections from here
+                }
+                if self.drain_complete() {
+                    break;
+                }
+            } else {
+                self.accept_ready();
+            }
+            self.wait_and_dispatch();
+        }
+        // connections close on drop; count them out first
+        let open = self.conns.len() as u64;
+        self.state.conns_open.fetch_sub(open, Ordering::SeqCst);
+    }
+
+    /// Whether the drain can finish: no reply outstanding and every
+    /// buffered byte flushed (or the flush window expired).
+    fn drain_complete(&mut self) -> bool {
+        if self.pending_jobs > 0 {
+            return false;
+        }
+        let deadline = *self
+            .drain_deadline
+            .get_or_insert_with(|| Instant::now() + DRAIN_FLUSH_DEADLINE);
+        !self.conns.values().any(Conn::has_output) || Instant::now() >= deadline
+    }
+
+    /// Routes finished jobs' outcomes to their connections and pumps
+    /// any frames the client pipelined behind the submit.
+    fn deliver_completions(&mut self) {
+        while let Ok((conn_id, outcome)) = self.completions.try_recv() {
+            self.pending_jobs = self.pending_jobs.saturating_sub(1);
+            let Some(conn) = self.conns.get_mut(&conn_id) else {
+                // the submitter disconnected mid-job; the result is
+                // dropped (the job itself completed and was counted)
+                continue;
+            };
+            conn.inflight = false;
+            let response = match outcome {
+                Ok(result) => Response::Result(result),
+                Err(e) => Response::Error(e),
+            };
+            conn.push_response(&response);
+            match self.pump(conn_id) {
+                Pump::Keep => {}
+                Pump::Drop => self.drop_conn(conn_id),
+            }
+        }
+    }
+
+    /// Accepts every connection the listener has ready.
+    fn accept_ready(&mut self) {
+        let Some(listener) = &self.listener else {
+            return;
+        };
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    self.conns.insert(
+                        id,
+                        Conn {
+                            stream,
+                            reader: FrameReader::new(),
+                            out: Vec::new(),
+                            out_pos: 0,
+                            inflight: false,
+                            close_after_flush: false,
+                        },
+                    );
+                    self.state.conns_open.fetch_add(1, Ordering::SeqCst);
+                    self.state.conns_total.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn drop_conn(&mut self, id: u64) {
+        if self.conns.remove(&id).is_some() {
+            self.state.conns_open.fetch_sub(1, Ordering::SeqCst);
+        }
+    }
+
+    /// Reads and handles frames from one connection until it would
+    /// block, goes in flight, or dies; flushes whatever the handlers
+    /// queued.
+    fn pump(&mut self, id: u64) -> Pump {
+        loop {
+            let conn = self.conns.get_mut(&id).expect("pumped conn exists");
+            if conn.close_after_flush {
+                break;
+            }
+            if conn.inflight {
+                break;
+            }
+            let recv = match conn.reader.poll(&mut conn.stream) {
+                Ok(r) => r,
+                Err(_) => return Pump::Drop,
+            };
+            match recv {
+                Recv::Idle => break,
+                Recv::Closed | Recv::Truncated => return Pump::Drop,
+                Recv::Oversized(len) => {
+                    let e = ProtoError::new(
+                        ErrorCode::Oversized,
+                        format!("frame of {len} bytes exceeds the 1 MiB payload limit"),
+                    );
+                    conn.push_response(&Response::Error(e));
+                    conn.close_after_flush = true;
+                    break;
+                }
+                Recv::Payload(payload) => self.handle_frame(id, &payload),
+            }
+        }
+        let conn = self.conns.get_mut(&id).expect("pumped conn exists");
+        match conn.flush() {
+            Err(_) => Pump::Drop,
+            Ok(true) if conn.close_after_flush => Pump::Drop,
+            Ok(_) => Pump::Keep,
+        }
+    }
+
+    /// Dispatches one decoded frame on connection `id`.
+    fn handle_frame(&mut self, id: u64, payload: &[u8]) {
+        match Request::decode(payload) {
+            Ok(Request::Stats) => {
+                let stats = self.state.stats();
+                let conn = self.conns.get_mut(&id).expect("conn exists");
+                conn.push_response(&Response::Stats(stats));
+            }
+            Ok(Request::Submit(req)) => {
+                let response = self.handle_submit(id, req);
+                if let Some(response) = response {
+                    let conn = self.conns.get_mut(&id).expect("conn exists");
+                    conn.push_response(&response);
+                }
+            }
+            Err(e) => {
+                let fatal = e.code.poisons_stream();
+                let conn = self.conns.get_mut(&id).expect("conn exists");
+                conn.push_response(&Response::Error(e));
+                if fatal {
+                    conn.close_after_flush = true;
+                }
+            }
+        }
+    }
+
+    /// Validates and enqueues a submission. `None` means the job was
+    /// accepted — its reply arrives through the completion channel.
+    fn handle_submit(&mut self, conn_id: u64, req: crate::proto::JobRequest) -> Option<Response> {
+        if self.state.draining() {
+            return Some(Response::Error(ProtoError::new(
+                ErrorCode::ShuttingDown,
+                "daemon is draining",
+            )));
+        }
+        let valid = match validate_submit(&req) {
+            Ok(v) => v,
+            Err(e) => return Some(Response::Error(e)),
+        };
+        // journal before enqueueing: from here the job survives a
+        // crash, and a rejected submit removes the record again
+        let spool_id = match self.state.journal_accept(&req) {
+            Ok(id) => id,
+            Err(e) => {
+                return Some(Response::Error(ProtoError::new(
+                    ErrorCode::SimFailed,
+                    format!("spool write failed: {e}"),
+                )));
+            }
+        };
+        let tx = self.completions_tx.clone();
+        let waker = self.waker.clone();
+        let job = crate::queue::Job {
+            request: req,
+            spec: valid.spec,
+            config: valid.config,
+            release_flags: valid.release_flags,
+            reply: Box::new(move |outcome| {
+                let _ = tx.send((conn_id, outcome));
+                waker.wake();
+            }),
+            resume: None,
+            preemptions: 0,
+            compiled: None,
+            cache: None,
+            spool_id,
+            spool_restored: false,
+        };
+        match self.state.queue.submit(job) {
+            Submit::Rejected(job, err) => {
+                self.state.forget_spooled(job.spool_id);
+                match err {
+                    crate::queue::SubmitError::Full => {
+                        self.state.rejected.fetch_add(1, Ordering::Relaxed);
+                        Some(Response::Error(ProtoError::new(
+                            ErrorCode::QueueFull,
+                            format!("queue at capacity ({} waiting)", self.state.queue.len()),
+                        )))
+                    }
+                    crate::queue::SubmitError::Draining => Some(Response::Error(ProtoError::new(
+                        ErrorCode::ShuttingDown,
+                        "daemon is draining",
+                    ))),
+                }
+            }
+            Submit::Accepted => {
+                self.state.submitted.fetch_add(1, Ordering::Relaxed);
+                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                conn.inflight = true;
+                self.pending_jobs += 1;
+                None
+            }
+        }
+    }
+
+    /// Waits for readiness and services whatever is ready.
+    fn wait_and_dispatch(&mut self) {
+        let ready = wait_ready(
+            self.listener.as_ref(),
+            &self.wake_rx,
+            &self.conns,
+            IDLE_WAIT,
+        );
+        for id in ready {
+            // flush first so a drained out-buffer can close a
+            // poisoned conn without waiting for another read
+            let keep = match self.conns.get_mut(&id) {
+                None => continue,
+                Some(conn) => match conn.flush() {
+                    Err(_) => Pump::Drop,
+                    Ok(true) if conn.close_after_flush => Pump::Drop,
+                    Ok(_) => {
+                        if conn.inflight || conn.close_after_flush {
+                            Pump::Keep
+                        } else {
+                            self.pump(id)
+                        }
+                    }
+                },
+            };
+            if let Pump::Drop = keep {
+                self.drop_conn(id);
+            }
+        }
+    }
+}
+
+// --------------------------------------------------- readiness: linux
+
+/// Returns the ids of connections worth servicing. On Linux this is a
+/// real `poll(2)` over the listener, the wake channel, and every
+/// pollable connection; elsewhere it is a short sleep followed by a
+/// scan of every connection (nonblocking reads make that safe, just
+/// less efficient).
+#[cfg(target_os = "linux")]
+fn wait_ready(
+    listener: Option<&TcpListener>,
+    wake_rx: &WakeRx,
+    conns: &HashMap<u64, Conn>,
+    timeout: Duration,
+) -> Vec<u64> {
+    use std::os::unix::io::AsRawFd;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    extern "C" {
+        // nfds_t is c_ulong on linux
+        fn poll(fds: *mut PollFd, nfds: u64, timeout_ms: i32) -> i32;
+    }
+
+    let mut fds: Vec<PollFd> = Vec::with_capacity(conns.len() + 2);
+    let mut tags: Vec<u64> = Vec::with_capacity(conns.len() + 2);
+    const TAG_LISTENER: u64 = u64::MAX;
+    const TAG_WAKER: u64 = u64::MAX - 1;
+
+    if let Some(l) = listener {
+        fds.push(PollFd {
+            fd: l.as_raw_fd(),
+            events: POLLIN,
+            revents: 0,
+        });
+        tags.push(TAG_LISTENER);
+    }
+    fds.push(PollFd {
+        fd: wake_rx.0.as_raw_fd(),
+        events: POLLIN,
+        revents: 0,
+    });
+    tags.push(TAG_WAKER);
+    for (&id, conn) in conns {
+        let mut events = 0i16;
+        // while a submit is in flight, reads stay paused (ordering +
+        // no busy-wake on data we will not consume yet)
+        if !conn.inflight && !conn.close_after_flush {
+            events |= POLLIN;
+        }
+        if conn.has_output() {
+            events |= POLLOUT;
+        }
+        if events != 0 {
+            fds.push(PollFd {
+                fd: conn.stream.as_raw_fd(),
+                events,
+                revents: 0,
+            });
+            tags.push(id);
+        }
+    }
+
+    let n = unsafe {
+        poll(
+            fds.as_mut_ptr(),
+            fds.len() as u64,
+            timeout.as_millis() as i32,
+        )
+    };
+    let mut ready = Vec::new();
+    if n <= 0 {
+        return ready;
+    }
+    for (fd, &tag) in fds.iter().zip(&tags) {
+        if fd.revents == 0 {
+            continue;
+        }
+        match tag {
+            TAG_LISTENER | TAG_WAKER => {} // handled at loop top
+            id => ready.push(id),
+        }
+    }
+    ready
+}
+
+/// Portable fallback: tick, then service every connection (reads are
+/// nonblocking, so "service everything" is correct — just costlier).
+#[cfg(not(target_os = "linux"))]
+fn wait_ready(
+    _listener: Option<&TcpListener>,
+    _wake_rx: &WakeRx,
+    conns: &HashMap<u64, Conn>,
+    _timeout: Duration,
+) -> Vec<u64> {
+    std::thread::sleep(Duration::from_millis(2));
+    conns.keys().copied().collect()
+}

@@ -1,0 +1,336 @@
+//! The durable job spool: crash-safe persistence for accepted jobs.
+//!
+//! PR 6's daemon held accepted jobs only in memory — a crash between
+//! `Accepted` and the reply silently lost them. This module journals
+//! every accepted job to a spool directory so a restarted daemon can
+//! replay it:
+//!
+//! * `job-<id>.job` — the accepted submission, encoded with the same
+//!   `rfv-job-v1` envelope the wire uses (magic, version, checksum —
+//!   a torn write is detected exactly like a corrupt frame). Written
+//!   *before* the submitter hears `Accepted`, so "accepted" and
+//!   "durable" are the same event.
+//! * `job-<id>.ckpt` — optional: the job's latest preemption
+//!   checkpoint (a `u32` preemption count followed by the §6f
+//!   `rfv-ckpt-v1` container). Refreshed at every preemption, so a
+//!   crash mid-run resumes from the last slice boundary instead of
+//!   recomputing from scratch. Advisory only: if it fails to decode
+//!   or resume, the job reruns from the start — results are
+//!   byte-identical either way, because slicing is invisible in
+//!   stats.
+//! * `job-<id>.done` — the job's final [`Response`] (result *or*
+//!   error, so a failing job is recorded as failed rather than
+//!   replayed forever). Once present, the job is complete; the next
+//!   [`Spool::open`] prunes the whole record.
+//!
+//! Every write is atomic (`tmp` + `rename` in the same directory), so
+//! a file either exists with valid contents or not at all; there is
+//! no torn state to repair, only complete files to read. A `.job`
+//! that fails its checksum anyway (e.g. external truncation) is
+//! renamed to `.corrupt` and skipped, never silently deleted.
+
+use std::fs;
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crate::proto::{JobRequest, Request, Response};
+
+/// A job recovered from the spool at startup.
+pub struct SpooledJob {
+    /// The record id (kept so the worker can mark it done).
+    pub id: u64,
+    /// The original submission, exactly as accepted.
+    pub request: JobRequest,
+    /// Last preemption snapshot, if any: (preemption count so far,
+    /// raw `rfv-ckpt-v1` bytes). Decoding is the caller's business —
+    /// and allowed to fail.
+    pub checkpoint: Option<(u32, Vec<u8>)>,
+}
+
+/// A spool directory. All methods are callable from any thread; ids
+/// are handed out from an atomic counter seeded past every id found
+/// on disk.
+pub struct Spool {
+    dir: PathBuf,
+    next_id: AtomicU64,
+}
+
+impl Spool {
+    /// Opens (creating if needed) the spool at `dir`, prunes records
+    /// whose `.done` is already written, and quarantines corrupt
+    /// `.job` files as `.corrupt`.
+    pub fn open(dir: &Path) -> io::Result<Spool> {
+        fs::create_dir_all(dir)?;
+        let mut max_id = 0u64;
+        for entry in fs::read_dir(dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            // stale tmp files are debris from a crash mid-write
+            if name.starts_with("tmp-") {
+                let _ = fs::remove_file(entry.path());
+                continue;
+            }
+            let Some(id) = parse_record_id(name) else {
+                continue;
+            };
+            max_id = max_id.max(id);
+            if name.ends_with(".job") {
+                let spool = SpoolPaths::new(dir, id);
+                if spool.done.exists() {
+                    // completed in a previous life: the record served
+                    // its purpose
+                    let _ = fs::remove_file(&spool.job);
+                    let _ = fs::remove_file(&spool.ckpt);
+                    let _ = fs::remove_file(&spool.done);
+                }
+            }
+        }
+        Ok(Spool {
+            dir: dir.to_path_buf(),
+            next_id: AtomicU64::new(max_id + 1),
+        })
+    }
+
+    /// Journals an accepted submission; returns its record id. On
+    /// `Err` nothing was accepted and nothing is on disk.
+    pub fn journal(&self, request: &JobRequest) -> io::Result<u64> {
+        let id = self.next_id.fetch_add(1, Ordering::SeqCst);
+        let bytes = Request::Submit(request.clone()).encode();
+        self.write_atomic(&SpoolPaths::new(&self.dir, id).job, &bytes)?;
+        Ok(id)
+    }
+
+    /// Records the job's latest preemption checkpoint (replacing any
+    /// earlier one).
+    pub fn record_checkpoint(&self, id: u64, preemptions: u32, ckpt: &[u8]) -> io::Result<()> {
+        let mut bytes = Vec::with_capacity(4 + ckpt.len());
+        bytes.extend_from_slice(&preemptions.to_le_bytes());
+        bytes.extend_from_slice(ckpt);
+        self.write_atomic(&SpoolPaths::new(&self.dir, id).ckpt, &bytes)
+    }
+
+    /// Records the job's final outcome. The checkpoint (now obsolete)
+    /// is removed; the `.job`/`.done` pair is pruned at the next
+    /// [`Spool::open`].
+    pub fn record_done(&self, id: u64, response: &Response) -> io::Result<()> {
+        let paths = SpoolPaths::new(&self.dir, id);
+        self.write_atomic(&paths.done, &response.encode())?;
+        let _ = fs::remove_file(&paths.ckpt);
+        Ok(())
+    }
+
+    /// Erases a record that never became a job (the queue rejected it
+    /// after journaling).
+    pub fn forget(&self, id: u64) {
+        let paths = SpoolPaths::new(&self.dir, id);
+        let _ = fs::remove_file(&paths.job);
+        let _ = fs::remove_file(&paths.ckpt);
+        let _ = fs::remove_file(&paths.done);
+    }
+
+    /// Reads back every accepted-but-unfinished job, in id order
+    /// (arrival order of the previous life). Corrupt records are
+    /// quarantined, not returned and not deleted.
+    pub fn replay(&self) -> io::Result<Vec<SpooledJob>> {
+        let mut ids: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let entry = entry?;
+            let name = entry.file_name();
+            let Some(name) = name.to_str() else { continue };
+            if !name.ends_with(".job") {
+                continue;
+            }
+            if let Some(id) = parse_record_id(name) {
+                ids.push(id);
+            }
+        }
+        ids.sort_unstable();
+        let mut jobs = Vec::new();
+        for id in ids {
+            let paths = SpoolPaths::new(&self.dir, id);
+            if paths.done.exists() {
+                continue; // finished; open() will prune it next time
+            }
+            let bytes = match fs::read(&paths.job) {
+                Ok(b) => b,
+                Err(_) => continue,
+            };
+            let request = match Request::decode(&bytes) {
+                Ok(Request::Submit(req)) => req,
+                // checksum failure, truncation, or a frame that is
+                // not a submission: quarantine for inspection
+                Ok(_) | Err(_) => {
+                    let _ = fs::rename(&paths.job, paths.job.with_extension("corrupt"));
+                    continue;
+                }
+            };
+            let checkpoint = fs::read(&paths.ckpt).ok().and_then(|b| {
+                let count = u32::from_le_bytes(b.get(..4)?.try_into().ok()?);
+                Some((count, b[4..].to_vec()))
+            });
+            jobs.push(SpooledJob {
+                id,
+                request,
+                checkpoint,
+            });
+        }
+        Ok(jobs)
+    }
+
+    /// Writes `bytes` to `path` so that `path` is never observed in a
+    /// half-written state: write + fsync a sibling tmp file, then
+    /// rename over the target.
+    fn write_atomic(&self, path: &Path, bytes: &[u8]) -> io::Result<()> {
+        let name = path
+            .file_name()
+            .and_then(|n| n.to_str())
+            .unwrap_or("record");
+        let tmp = self.dir.join(format!("tmp-{name}"));
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(bytes)?;
+        f.sync_all()?;
+        drop(f);
+        fs::rename(&tmp, path)
+    }
+}
+
+struct SpoolPaths {
+    job: PathBuf,
+    ckpt: PathBuf,
+    done: PathBuf,
+}
+
+impl SpoolPaths {
+    fn new(dir: &Path, id: u64) -> SpoolPaths {
+        let stem = format!("job-{id:016x}");
+        SpoolPaths {
+            job: dir.join(format!("{stem}.job")),
+            ckpt: dir.join(format!("{stem}.ckpt")),
+            done: dir.join(format!("{stem}.done")),
+        }
+    }
+}
+
+/// Extracts the id from a `job-<16 hex digits>.<ext>` file name.
+fn parse_record_id(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("job-")?;
+    let hex = rest.get(..16)?;
+    if !rest[16..].starts_with('.') {
+        return None;
+    }
+    u64::from_str_radix(hex, 16).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::proto::{ErrorCode, ProtoError};
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rfvd-spool-{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn request(spec: &str) -> JobRequest {
+        JobRequest {
+            spec: spec.into(),
+            ..JobRequest::default()
+        }
+    }
+
+    #[test]
+    fn journal_then_replay_round_trips_in_order() {
+        let dir = tmp_dir("order");
+        let spool = Spool::open(&dir).unwrap();
+        let a = spool.journal(&request("synth:")).unwrap();
+        let b = spool.journal(&request("VectorAdd")).unwrap();
+        assert!(b > a, "ids are monotone");
+        let jobs = spool.replay().unwrap();
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].request.spec, "synth:");
+        assert_eq!(jobs[1].request.spec, "VectorAdd");
+        assert!(jobs.iter().all(|j| j.checkpoint.is_none()));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn done_records_are_not_replayed_and_open_prunes_them() {
+        let dir = tmp_dir("prune");
+        let spool = Spool::open(&dir).unwrap();
+        let done = spool.journal(&request("synth:")).unwrap();
+        let live = spool.journal(&request("VectorAdd")).unwrap();
+        spool
+            .record_done(
+                done,
+                &Response::Error(ProtoError::new(ErrorCode::SimFailed, "recorded failure")),
+            )
+            .unwrap();
+        let jobs = spool.replay().unwrap();
+        assert_eq!(jobs.len(), 1, "a done job (even a failed one) stays done");
+        assert_eq!(jobs[0].id, live);
+
+        // a fresh open prunes the finished record and seeds ids past
+        // every survivor
+        let reopened = Spool::open(&dir).unwrap();
+        assert!(!SpoolPaths::new(&dir, done).job.exists());
+        assert!(!SpoolPaths::new(&dir, done).done.exists());
+        let next = reopened.journal(&request("synth:")).unwrap();
+        assert!(next > live, "reopened spool never reuses a live id");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoints_ride_along_and_die_with_completion() {
+        let dir = tmp_dir("ckpt");
+        let spool = Spool::open(&dir).unwrap();
+        let id = spool.journal(&request("synth:")).unwrap();
+        spool.record_checkpoint(id, 2, b"snapshot-bytes").unwrap();
+        let jobs = spool.replay().unwrap();
+        assert_eq!(
+            jobs[0].checkpoint,
+            Some((2, b"snapshot-bytes".to_vec())),
+            "count and payload round-trip"
+        );
+        spool
+            .record_done(
+                id,
+                &Response::Error(ProtoError::new(ErrorCode::SimFailed, "x")),
+            )
+            .unwrap();
+        assert!(
+            !SpoolPaths::new(&dir, id).ckpt.exists(),
+            "completion retires the checkpoint"
+        );
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_job_files_are_quarantined_not_lost() {
+        let dir = tmp_dir("corrupt");
+        let spool = Spool::open(&dir).unwrap();
+        let id = spool.journal(&request("synth:")).unwrap();
+        let paths = SpoolPaths::new(&dir, id);
+        // truncate the record: the envelope checksum no longer verifies
+        let bytes = fs::read(&paths.job).unwrap();
+        fs::write(&paths.job, &bytes[..bytes.len() - 3]).unwrap();
+        let jobs = spool.replay().unwrap();
+        assert!(jobs.is_empty());
+        assert!(paths.job.with_extension("corrupt").exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn forget_erases_the_whole_record() {
+        let dir = tmp_dir("forget");
+        let spool = Spool::open(&dir).unwrap();
+        let id = spool.journal(&request("synth:")).unwrap();
+        spool.record_checkpoint(id, 1, b"x").unwrap();
+        spool.forget(id);
+        assert!(spool.replay().unwrap().is_empty());
+        assert!(fs::read_dir(&dir).unwrap().next().is_none(), "no debris");
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

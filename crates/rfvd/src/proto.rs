@@ -30,7 +30,9 @@ use rfv_trace::wire::{fnv1a, Dec, Enc};
 pub const JOB_MAGIC: [u8; 8] = *b"rfv-job1";
 
 /// Protocol version. Bump on any incompatible envelope/body change.
-pub const JOB_VERSION: u32 = 1;
+/// Version 2 enriched the stats body with cache-eviction, cache-size,
+/// connection, and spool-replay counters.
+pub const JOB_VERSION: u32 = 2;
 
 /// Hard ceiling on a frame's payload size (1 MiB). A length prefix
 /// above this is rejected *before* any allocation, so a hostile or
@@ -368,6 +370,17 @@ pub struct ServerStats {
     pub queued: u64,
     /// Jobs currently executing.
     pub active: u64,
+    /// Compile-cache evictions (entries dropped to stay under the
+    /// configured bound).
+    pub cache_evictions: u64,
+    /// Kernels currently resident in the compile cache.
+    pub cache_entries: u64,
+    /// Connections currently open.
+    pub conns_open: u64,
+    /// Connections accepted over the daemon's lifetime.
+    pub conns_total: u64,
+    /// Jobs replayed from the spool after a restart.
+    pub replayed: u64,
 }
 
 /// A server-to-client message.
@@ -410,6 +423,11 @@ impl Response {
                     s.preemptions,
                     s.queued,
                     s.active,
+                    s.cache_evictions,
+                    s.cache_entries,
+                    s.conns_open,
+                    s.conns_total,
+                    s.replayed,
                 ] {
                     b.u64(v);
                 }
@@ -464,6 +482,11 @@ impl Response {
                     preemptions: take()?,
                     queued: take()?,
                     active: take()?,
+                    cache_evictions: take()?,
+                    cache_entries: take()?,
+                    conns_open: take()?,
+                    conns_total: take()?,
+                    replayed: take()?,
                 })
             }
             RSP_ERROR => {
@@ -702,6 +725,11 @@ mod tests {
                 preemptions: 4,
                 queued: 1,
                 active: 2,
+                cache_evictions: 3,
+                cache_entries: 2,
+                conns_open: 6,
+                conns_total: 40,
+                replayed: 1,
             }),
             Response::Error(ProtoError::new(ErrorCode::QueueFull, "queue at 8/8")),
         ];

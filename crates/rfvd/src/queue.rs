@@ -13,7 +13,6 @@
 //! ahead of later arrivals.
 
 use std::collections::VecDeque;
-use std::sync::mpsc::Sender;
 use std::sync::{Condvar, Mutex};
 
 use std::sync::Arc;
@@ -23,6 +22,14 @@ use rfv_sim::{Checkpoint, SimConfig};
 
 use crate::proto::{CacheOutcome, JobRequest, JobResult, Priority, ProtoError};
 use crate::spec::JobSpec;
+
+/// How a finished job's outcome leaves the worker: a one-shot
+/// callback. The multiplexer hands jobs a closure that routes the
+/// outcome back to the owning connection (and wakes the event loop);
+/// spool-replayed jobs, whose submitter is long gone, use a no-op —
+/// their durable record is the spool's `.done` file, written by the
+/// worker itself.
+pub type ReplyFn = Box<dyn FnOnce(Result<JobResult, ProtoError>) + Send + 'static>;
 
 /// A fully validated unit of work: by the time a job is constructed,
 /// its spec parsed and its config validated, so workers only ever see
@@ -36,8 +43,8 @@ pub struct Job {
     pub config: SimConfig,
     /// Whether the kernel compiles with release-flag metadata.
     pub release_flags: bool,
-    /// Where the serving connection waits for the outcome.
-    pub reply: Sender<Result<JobResult, ProtoError>>,
+    /// Routes the outcome back to whoever is waiting (see [`ReplyFn`]).
+    pub reply: ReplyFn,
     /// Set when the job was preempted: the snapshot to resume from.
     pub resume: Option<Checkpoint>,
     /// Preemption count so far.
@@ -47,6 +54,12 @@ pub struct Job {
     pub compiled: Option<Arc<CachedKernel>>,
     /// How the compile cache served this job (set with `compiled`).
     pub cache: Option<CacheOutcome>,
+    /// The job's spool record id when persistence is on.
+    pub spool_id: Option<u64>,
+    /// True for jobs rebuilt from the spool after a restart: their
+    /// checkpoint (if any) is advisory — a resume failure falls back
+    /// to running from scratch instead of failing the job.
+    pub spool_restored: bool,
 }
 
 /// Why a submission was not accepted.
@@ -129,6 +142,19 @@ impl JobQueue {
         self.ready.notify_one();
     }
 
+    /// Enqueues a spool-replayed job at the back of its priority
+    /// lane, ignoring capacity: the job was admitted by a previous
+    /// daemon life, and bouncing it on restart would turn a crash
+    /// into job loss.
+    pub fn restore(&self, job: Job) {
+        let mut lanes = self.lanes.lock().expect("queue lock");
+        match job.request.priority {
+            Priority::High => lanes.high.push_back(job),
+            Priority::Normal => lanes.normal.push_back(job),
+        }
+        self.ready.notify_one();
+    }
+
     /// Blocks until a job is available (high lane first) or the queue
     /// is draining *and* empty — then `None`: the worker should exit.
     pub fn pop(&self) -> Option<Job> {
@@ -175,11 +201,9 @@ impl JobQueue {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::mpsc::channel;
     use std::sync::Arc;
 
     fn test_job(priority: Priority) -> Job {
-        let (tx, _rx) = channel();
         Job {
             request: JobRequest {
                 spec: "synth:".into(),
@@ -189,11 +213,13 @@ mod tests {
             spec: JobSpec::parse("synth:").unwrap(),
             config: SimConfig::baseline_full(),
             release_flags: true,
-            reply: tx,
+            reply: Box::new(|_| {}),
             resume: None,
             preemptions: 0,
             compiled: None,
             cache: None,
+            spool_id: None,
+            spool_restored: false,
         }
     }
 
@@ -258,5 +284,19 @@ mod tests {
         accepted(q.submit(test_job(Priority::Normal)));
         q.requeue_preempted(test_job(Priority::Normal));
         assert_eq!(q.len(), 2, "a moved job never bounces");
+    }
+
+    #[test]
+    fn restore_bypasses_capacity_and_keeps_lanes() {
+        let q = JobQueue::new(1);
+        accepted(q.submit(test_job(Priority::Normal)));
+        q.restore(test_job(Priority::High));
+        q.restore(test_job(Priority::Normal));
+        assert_eq!(q.len(), 3, "replayed jobs never bounce on capacity");
+        assert_eq!(
+            q.pop().unwrap().request.priority,
+            Priority::High,
+            "a restored high-priority job still leads"
+        );
     }
 }

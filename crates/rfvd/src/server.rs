@@ -1,51 +1,58 @@
-//! The `rfvd` server: accept loop, per-connection protocol handling,
-//! and the worker runners that execute jobs on a persistent
-//! [`rfv_bench::pool::Pool`].
+//! The `rfvd` server: the poll-multiplexed connection layer, the
+//! durable job spool, and the worker runners that execute jobs on a
+//! persistent [`rfv_bench::pool::Pool`].
 //!
 //! ## Execution model
 //!
-//! * An **acceptor** thread takes connections and hands each to its
-//!   own connection thread (clients are few and long-lived — the
-//!   load generator model — so thread-per-connection is the simple
-//!   correct choice).
-//! * A connection thread parses `rfv-job-v1` frames. Validation is
-//!   complete *before* enqueueing: spec parse, machine lookup, and
-//!   [`rfv_sim::SimConfig::validate`] all happen on the connection
-//!   thread, so a malformed job is a typed error to its submitter and
-//!   never reaches a worker.
+//! * A single **multiplexer** thread ([`crate::mux`]) owns the
+//!   listener and every connection: nonblocking sockets driven by one
+//!   `poll(2)` loop, so a thousand idle clients cost file descriptors,
+//!   not thread stacks, and a closed connection is reaped the moment
+//!   it closes. Validation is complete *before* enqueueing: spec
+//!   parse, machine lookup, and [`rfv_sim::SimConfig::validate`] all
+//!   happen in [`validate_submit`], so a malformed job is a typed
+//!   error to its submitter and never reaches a worker.
+//! * When a spool directory is configured, every accepted job is
+//!   journaled ([`crate::persist`]) *before* its submitter hears
+//!   `Accepted`; a restarted daemon replays unfinished records, so a
+//!   crash loses no accepted work.
 //! * `jobs` **worker runners** on a dedicated pool pop jobs and drive
 //!   them through [`SlicedSim`] in bounded cycle slices. Between
 //!   slices a normal-priority job checks for waiting high-priority
 //!   work and, if any, snapshots itself into a [`rfv_sim::Checkpoint`]
-//!   and goes back to the queue front — checkpoint-backed preemption.
-//!   Slicing and preemption are invisible in results: the stats JSON
-//!   of a preempted run is byte-identical to an uninterrupted one.
+//!   (also journaled to the spool) and goes back to the queue front —
+//!   checkpoint-backed preemption. Slicing and preemption are
+//!   invisible in results: the stats JSON of a preempted run is
+//!   byte-identical to an uninterrupted one.
 //!
 //! ## Shutdown
 //!
 //! [`ServerHandle::begin_drain`] (wired to SIGTERM in the binary)
 //! stops the acceptor, makes new submissions fail with
 //! [`ErrorCode::ShuttingDown`], lets queued and running jobs finish,
-//! and then [`ServerHandle::join`] reaps every thread.
+//! and then [`ServerHandle::join`] reaps the workers and the
+//! multiplexer — which exits only after every accepted job's reply
+//! has been written.
 
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Duration;
 
 use rfv_bench::harness::machine_config;
 use rfv_bench::pool::Pool;
-use rfv_sim::SlicedSim;
+use rfv_sim::{Checkpoint, SimConfig, SlicedSim};
 
 use crate::cache::{CachedKernel, CompileCache};
+use crate::mux::{wake_pair, Mux, Waker};
+use crate::persist::Spool;
 use crate::proto::{
-    write_frame, CacheOutcome, ErrorCode, FrameReader, JobRequest, JobResult, Priority, ProtoError,
-    Recv, Request, Response, ServerStats,
+    CacheOutcome, ErrorCode, JobRequest, JobResult, Priority, ProtoError, Response, ServerStats,
 };
-use crate::queue::{Job, JobQueue, Submit, SubmitError};
+use crate::queue::{Job, JobQueue};
 use crate::result_stats_json;
 use crate::spec::JobSpec;
 
@@ -62,6 +69,12 @@ pub struct ServerConfig {
     /// slice boundaries. `0` disables slicing (jobs run to completion
     /// in one slice and are never preempted).
     pub max_cycles_per_slice: u64,
+    /// Compile-cache capacity in entries; `0` means unbounded. When
+    /// full, the least-recently-used kernel is evicted.
+    pub cache_entries: usize,
+    /// Directory for the durable job spool; `None` disables
+    /// persistence (accepted jobs die with the process).
+    pub spool_dir: Option<PathBuf>,
 }
 
 impl Default for ServerConfig {
@@ -71,29 +84,35 @@ impl Default for ServerConfig {
             jobs: 2,
             queue_depth: 64,
             max_cycles_per_slice: 50_000,
+            cache_entries: 0,
+            spool_dir: None,
         }
     }
 }
 
-struct ServerState {
-    queue: JobQueue,
-    cache: CompileCache,
-    slice_cycles: u64,
-    draining: AtomicBool,
-    submitted: AtomicU64,
-    completed: AtomicU64,
-    rejected: AtomicU64,
-    failed: AtomicU64,
-    preemptions: AtomicU64,
-    active: AtomicU64,
+pub(crate) struct ServerState {
+    pub(crate) queue: JobQueue,
+    pub(crate) cache: CompileCache,
+    pub(crate) spool: Option<Spool>,
+    pub(crate) slice_cycles: u64,
+    pub(crate) draining: AtomicBool,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) rejected: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) preemptions: AtomicU64,
+    pub(crate) active: AtomicU64,
+    pub(crate) conns_open: AtomicU64,
+    pub(crate) conns_total: AtomicU64,
+    pub(crate) replayed: AtomicU64,
 }
 
 impl ServerState {
-    fn draining(&self) -> bool {
+    pub(crate) fn draining(&self) -> bool {
         self.draining.load(Ordering::SeqCst)
     }
 
-    fn stats(&self) -> ServerStats {
+    pub(crate) fn stats(&self) -> ServerStats {
         ServerStats {
             submitted: self.submitted.load(Ordering::Relaxed),
             completed: self.completed.load(Ordering::Relaxed),
@@ -104,8 +123,66 @@ impl ServerState {
             preemptions: self.preemptions.load(Ordering::Relaxed),
             queued: self.queue.len() as u64,
             active: self.active.load(Ordering::Relaxed),
+            cache_evictions: self.cache.evictions(),
+            cache_entries: self.cache.len() as u64,
+            conns_open: self.conns_open.load(Ordering::Relaxed),
+            conns_total: self.conns_total.load(Ordering::Relaxed),
+            replayed: self.replayed.load(Ordering::Relaxed),
         }
     }
+
+    /// Journals an accepted submission when persistence is on.
+    pub(crate) fn journal_accept(&self, req: &JobRequest) -> io::Result<Option<u64>> {
+        match &self.spool {
+            Some(spool) => spool.journal(req).map(Some),
+            None => Ok(None),
+        }
+    }
+
+    /// Erases the spool record of a submission the queue bounced.
+    pub(crate) fn forget_spooled(&self, id: Option<u64>) {
+        if let (Some(spool), Some(id)) = (&self.spool, id) {
+            spool.forget(id);
+        }
+    }
+}
+
+/// Everything [`validate_submit`] proves about a submission before it
+/// may become a [`Job`].
+pub(crate) struct ValidSubmit {
+    pub(crate) spec: JobSpec,
+    pub(crate) config: SimConfig,
+    pub(crate) release_flags: bool,
+}
+
+/// Validates a submission end to end: spec parse, machine lookup,
+/// overrides, config validation. All rejection paths are typed.
+pub(crate) fn validate_submit(req: &JobRequest) -> Result<ValidSubmit, ProtoError> {
+    let spec = match JobSpec::parse(&req.spec) {
+        Ok(s) => s,
+        Err(e) => return Err(ProtoError::new(ErrorCode::UnknownWorkload, e)),
+    };
+    let Some(mut config) = machine_config(&req.machine) else {
+        return Err(ProtoError::new(
+            ErrorCode::UnknownMachine,
+            format!("unknown machine {:?}", req.machine),
+        ));
+    };
+    if req.num_sms > 0 {
+        config.num_sms = req.num_sms as usize;
+    }
+    if let Some(max_cycles) = req.max_cycles {
+        config.max_cycles = max_cycles;
+    }
+    if let Err(e) = config.validate() {
+        return Err(ProtoError::new(ErrorCode::BadConfig, e));
+    }
+    let release_flags = config.regfile.policy.uses_release_flags();
+    Ok(ValidSubmit {
+        spec,
+        config,
+        release_flags,
+    })
 }
 
 /// A running server. Dropping the handle without [`ServerHandle::join`]
@@ -114,24 +191,29 @@ impl ServerState {
 pub struct ServerHandle {
     local_addr: SocketAddr,
     state: Arc<ServerState>,
-    acceptor: Option<JoinHandle<()>>,
-    conns: Arc<Mutex<Vec<JoinHandle<()>>>>,
+    mux: Option<JoinHandle<()>>,
     pool: Option<Pool>,
+    waker: Waker,
 }
 
-/// Binds `config.addr` and starts the acceptor and `config.jobs`
-/// worker runners.
+/// Binds `config.addr`, replays any unfinished spool records, and
+/// starts `config.jobs` worker runners plus the multiplexer thread.
 ///
 /// # Errors
 ///
-/// The bind error, verbatim.
+/// The bind or spool-open error, verbatim.
 pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
-    let listener = TcpListener::bind(&config.addr)?;
+    let listener = crate::mux::bind_reusable(&config.addr)?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    let spool = match &config.spool_dir {
+        Some(dir) => Some(Spool::open(dir)?),
+        None => None,
+    };
     let state = Arc::new(ServerState {
         queue: JobQueue::new(config.queue_depth),
-        cache: CompileCache::new(),
+        cache: CompileCache::with_capacity(config.cache_entries),
+        spool,
         slice_cycles: config.max_cycles_per_slice,
         draining: AtomicBool::new(false),
         submitted: AtomicU64::new(0),
@@ -140,7 +222,12 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         failed: AtomicU64::new(0),
         preemptions: AtomicU64::new(0),
         active: AtomicU64::new(0),
+        conns_open: AtomicU64::new(0),
+        conns_total: AtomicU64::new(0),
+        replayed: AtomicU64::new(0),
     });
+
+    replay_spool(&state)?;
 
     let pool = Pool::new(config.jobs.max(1));
     for _ in 0..config.jobs.max(1) {
@@ -148,23 +235,76 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         pool.spawn(move || worker_loop(&state));
     }
 
-    let conns: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
-    let acceptor = {
-        let state = Arc::clone(&state);
-        let conns = Arc::clone(&conns);
+    let (waker, wake_rx) = wake_pair()?;
+    let (completions_tx, completions) = channel();
+    let mux = {
+        let mux = Mux::new(
+            listener,
+            Arc::clone(&state),
+            completions,
+            completions_tx,
+            waker.clone(),
+            wake_rx,
+        );
         std::thread::Builder::new()
-            .name("rfvd-accept".into())
-            .spawn(move || accept_loop(&listener, &state, &conns))
-            .expect("spawn acceptor")
+            .name("rfvd-mux".into())
+            .spawn(move || mux.run())
+            .expect("spawn multiplexer")
     };
 
     Ok(ServerHandle {
         local_addr,
         state,
-        acceptor: Some(acceptor),
-        conns,
+        mux: Some(mux),
         pool: Some(pool),
+        waker,
     })
+}
+
+/// Re-enqueues every accepted-but-unfinished job found in the spool.
+/// Replayed jobs have no submitter to answer; their reply is a no-op
+/// and their durable outcome is the `.done` record the worker writes.
+fn replay_spool(state: &Arc<ServerState>) -> io::Result<()> {
+    let Some(spool) = &state.spool else {
+        return Ok(());
+    };
+    for spooled in spool.replay()? {
+        let valid = match validate_submit(&spooled.request) {
+            Ok(v) => v,
+            Err(e) => {
+                // accepted by a previous life but no longer runnable
+                // (e.g. a machine table change): record the failure so
+                // the job is done, not lost in a replay loop
+                let _ = spool.record_done(spooled.id, &Response::Error(e));
+                state.failed.fetch_add(1, Ordering::Relaxed);
+                continue;
+            }
+        };
+        // the checkpoint is advisory: a decode failure just means the
+        // job reruns from cycle 0 (same final stats either way)
+        let preemptions = spooled.checkpoint.as_ref().map_or(0, |(count, _)| *count);
+        let resume = spooled
+            .checkpoint
+            .as_ref()
+            .and_then(|(_, bytes)| Checkpoint::from_bytes(bytes).ok());
+        let job = Job {
+            request: spooled.request,
+            spec: valid.spec,
+            config: valid.config,
+            release_flags: valid.release_flags,
+            reply: Box::new(|_| {}),
+            resume,
+            preemptions,
+            compiled: None,
+            cache: None,
+            spool_id: Some(spooled.id),
+            spool_restored: true,
+        };
+        state.queue.restore(job);
+        state.submitted.fetch_add(1, Ordering::Relaxed);
+        state.replayed.fetch_add(1, Ordering::Relaxed);
+    }
+    Ok(())
 }
 
 impl ServerHandle {
@@ -179,29 +319,28 @@ impl ServerHandle {
     pub fn begin_drain(&self) {
         self.state.draining.store(true, Ordering::SeqCst);
         self.state.queue.drain();
+        self.waker.wake();
     }
 
-    /// A local counter snapshot (same numbers [`Request::Stats`]
+    /// A local counter snapshot (same numbers [`crate::proto::Request::Stats`]
     /// serves remotely).
     pub fn stats(&self) -> ServerStats {
         self.state.stats()
     }
 
     /// Drains (if not already draining) and reaps every thread: the
-    /// acceptor, the worker runners — which finish all queued jobs
-    /// first — and the connection threads, which exit once their
-    /// replies are written. Returns the final counter snapshot.
+    /// worker runners — which finish all queued jobs first — and then
+    /// the multiplexer, which exits once every accepted job's reply
+    /// is written. Returns the final counter snapshot.
     pub fn join(mut self) -> ServerStats {
         self.begin_drain();
-        if let Some(acceptor) = self.acceptor.take() {
-            let _ = acceptor.join();
-        }
         // dropping the pool joins the workers, which drain the queue
-        // first — every pending reply is sent before this returns
+        // first — every outcome reaches the multiplexer before this
+        // returns
         drop(self.pool.take());
-        let handles = std::mem::take(&mut *self.conns.lock().expect("conn registry"));
-        for h in handles {
-            let _ = h.join();
+        self.waker.wake();
+        if let Some(mux) = self.mux.take() {
+            let _ = mux.join();
         }
         self.state.stats()
     }
@@ -211,152 +350,10 @@ impl Drop for ServerHandle {
     /// A handle dropped without [`ServerHandle::join`] (early return,
     /// panic unwind) still begins a drain: the pool's own `Drop` joins
     /// the worker runners, which only exit once the queue reports
-    /// drained — without the flag, that join would block forever.
+    /// drained — without the flag, that join would block forever. The
+    /// multiplexer sees the flag and winds itself down.
     fn drop(&mut self) {
         self.begin_drain();
-    }
-}
-
-fn accept_loop(
-    listener: &TcpListener,
-    state: &Arc<ServerState>,
-    conns: &Arc<Mutex<Vec<JoinHandle<()>>>>,
-) {
-    loop {
-        if state.draining() {
-            return;
-        }
-        match listener.accept() {
-            Ok((stream, _peer)) => {
-                let state = Arc::clone(state);
-                let handle = std::thread::Builder::new()
-                    .name("rfvd-conn".into())
-                    .spawn(move || serve_connection(&state, stream))
-                    .expect("spawn connection thread");
-                conns.lock().expect("conn registry").push(handle);
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(10));
-            }
-            Err(_) => std::thread::sleep(Duration::from_millis(10)),
-        }
-    }
-}
-
-fn send(stream: &mut TcpStream, response: &Response) -> bool {
-    write_frame(stream, &response.encode()).is_ok()
-}
-
-fn serve_connection(state: &Arc<ServerState>, mut stream: TcpStream) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
-    let mut reader = FrameReader::new();
-    loop {
-        match reader.poll(&mut stream) {
-            Ok(Recv::Idle) => {
-                if state.draining() {
-                    return;
-                }
-            }
-            Ok(Recv::Closed | Recv::Truncated) => return,
-            Ok(Recv::Oversized(len)) => {
-                // the stream is unsynchronized: reply, then hang up
-                let e = ProtoError::new(
-                    ErrorCode::Oversized,
-                    format!("frame of {len} bytes exceeds the 1 MiB payload limit"),
-                );
-                send(&mut stream, &Response::Error(e));
-                return;
-            }
-            Ok(Recv::Payload(payload)) => match Request::decode(&payload) {
-                Ok(Request::Stats) => {
-                    if !send(&mut stream, &Response::Stats(state.stats())) {
-                        return;
-                    }
-                }
-                Ok(Request::Submit(req)) => {
-                    let response = handle_submit(state, req);
-                    if !send(&mut stream, &response) {
-                        return;
-                    }
-                }
-                Err(e) => {
-                    let fatal = e.code.poisons_stream();
-                    send(&mut stream, &Response::Error(e));
-                    if fatal {
-                        return;
-                    }
-                }
-            },
-            Err(_) => return,
-        }
-    }
-}
-
-/// Validates a submission end to end and, if sound, enqueues it and
-/// blocks until its outcome. All rejection paths are typed.
-fn handle_submit(state: &Arc<ServerState>, req: JobRequest) -> Response {
-    if state.draining() {
-        return Response::Error(ProtoError::new(
-            ErrorCode::ShuttingDown,
-            "daemon is draining",
-        ));
-    }
-    let spec = match JobSpec::parse(&req.spec) {
-        Ok(s) => s,
-        Err(e) => return Response::Error(ProtoError::new(ErrorCode::UnknownWorkload, e)),
-    };
-    let Some(mut config) = machine_config(&req.machine) else {
-        return Response::Error(ProtoError::new(
-            ErrorCode::UnknownMachine,
-            format!("unknown machine {:?}", req.machine),
-        ));
-    };
-    if req.num_sms > 0 {
-        config.num_sms = req.num_sms as usize;
-    }
-    if let Some(max_cycles) = req.max_cycles {
-        config.max_cycles = max_cycles;
-    }
-    if let Err(e) = config.validate() {
-        return Response::Error(ProtoError::new(ErrorCode::BadConfig, e));
-    }
-    let release_flags = config.regfile.policy.uses_release_flags();
-    let (reply, outcome) = channel();
-    let job = Job {
-        request: req,
-        spec,
-        config,
-        release_flags,
-        reply,
-        resume: None,
-        preemptions: 0,
-        compiled: None,
-        cache: None,
-    };
-    match state.queue.submit(job) {
-        Submit::Rejected(_job, SubmitError::Full) => {
-            state.rejected.fetch_add(1, Ordering::Relaxed);
-            Response::Error(ProtoError::new(
-                ErrorCode::QueueFull,
-                format!("queue at capacity ({} waiting)", state.queue.len()),
-            ))
-        }
-        Submit::Rejected(_job, SubmitError::Draining) => Response::Error(ProtoError::new(
-            ErrorCode::ShuttingDown,
-            "daemon is draining",
-        )),
-        Submit::Accepted => {
-            state.submitted.fetch_add(1, Ordering::Relaxed);
-            match outcome.recv() {
-                Ok(Ok(result)) => Response::Result(result),
-                Ok(Err(e)) => Response::Error(e),
-                Err(_) => Response::Error(ProtoError::new(
-                    ErrorCode::SimFailed,
-                    "worker dropped the job",
-                )),
-            }
-        }
     }
 }
 
@@ -375,9 +372,23 @@ fn sim_failed(e: impl std::fmt::Display) -> ProtoError {
     ProtoError::new(ErrorCode::SimFailed, e.to_string())
 }
 
+/// Delivers a job's final outcome: the spool's `.done` record first
+/// (the durable reply — for a restored job, the only one), then the
+/// reply callback.
+fn finish_job(state: &ServerState, job: Job, outcome: Result<JobResult, ProtoError>) {
+    if let (Some(spool), Some(id)) = (&state.spool, job.spool_id) {
+        let response = match &outcome {
+            Ok(result) => Response::Result(result.clone()),
+            Err(e) => Response::Error(e.clone()),
+        };
+        let _ = spool.record_done(id, &response);
+    }
+    (job.reply)(outcome);
+}
+
 /// Runs one job for (at most) one scheduling quantum. `Some(job)`
 /// means it was preempted at a slice boundary and must be requeued;
-/// `None` means a reply (result or error) was sent.
+/// `None` means a reply (result or error) was delivered.
 fn run_job(state: &Arc<ServerState>, mut job: Job) -> Option<Job> {
     // compile, consulting the cache unless the job opted out; resumed
     // jobs carry their binary and skip this entirely. A cache hit
@@ -392,7 +403,7 @@ fn run_job(state: &Arc<ServerState>, mut job: Job) -> Option<Job> {
                 Ok((c, false)) => (c, CacheOutcome::Miss),
                 Err(e) => {
                     state.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = job.reply.send(Err(sim_failed(e)));
+                    finish_job(state, job, Err(sim_failed(e)));
                     return None;
                 }
             }
@@ -401,7 +412,7 @@ fn run_job(state: &Arc<ServerState>, mut job: Job) -> Option<Job> {
                 Ok(c) => (Arc::new(c), CacheOutcome::Bypass),
                 Err(e) => {
                     state.failed.fetch_add(1, Ordering::Relaxed);
-                    let _ = job.reply.send(Err(sim_failed(e)));
+                    finish_job(state, job, Err(sim_failed(e)));
                     return None;
                 }
             }
@@ -414,7 +425,21 @@ fn run_job(state: &Arc<ServerState>, mut job: Job) -> Option<Job> {
 
     let sim = match job.resume.take() {
         Some(checkpoint) => {
-            SlicedSim::resume_with_predecoded(&cached.compiled, &job.config, &checkpoint, prog)
+            match SlicedSim::resume_with_predecoded(
+                &cached.compiled,
+                &job.config,
+                &checkpoint,
+                Arc::clone(&prog),
+            ) {
+                Ok(s) => Ok(s),
+                // a spool-restored checkpoint is advisory: rerun from
+                // scratch rather than fail the job (slicing is
+                // invisible in stats, so the result is identical)
+                Err(_) if job.spool_restored => {
+                    SlicedSim::with_predecoded(&cached.compiled, &job.config, &[], 0, prog)
+                }
+                Err(e) => Err(e),
+            }
         }
         None => SlicedSim::with_predecoded(&cached.compiled, &job.config, &[], 0, prog),
     };
@@ -422,7 +447,7 @@ fn run_job(state: &Arc<ServerState>, mut job: Job) -> Option<Job> {
         Ok(s) => s,
         Err(e) => {
             state.failed.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(Err(sim_failed(e)));
+            finish_job(state, job, Err(sim_failed(e)));
             return None;
         }
     };
@@ -435,14 +460,21 @@ fn run_job(state: &Arc<ServerState>, mut job: Job) -> Option<Job> {
         match sim.advance(slice) {
             Err(e) => {
                 state.failed.fetch_add(1, Ordering::Relaxed);
-                let _ = job.reply.send(Err(sim_failed(e)));
+                finish_job(state, job, Err(sim_failed(e)));
                 return None;
             }
             Ok(true) => break,
             Ok(false) => {
                 if job.request.priority == Priority::Normal && state.queue.has_high_waiting() {
-                    job.resume = Some(sim.checkpoint());
+                    let checkpoint = sim.checkpoint();
                     job.preemptions += 1;
+                    // journal the snapshot so a crash mid-run resumes
+                    // from this slice boundary instead of cycle 0
+                    if let (Some(spool), Some(id)) = (&state.spool, job.spool_id) {
+                        let _ =
+                            spool.record_checkpoint(id, job.preemptions, &checkpoint.to_bytes());
+                    }
+                    job.resume = Some(checkpoint);
                     state.preemptions.fetch_add(1, Ordering::Relaxed);
                     return Some(job);
                 }
@@ -460,11 +492,11 @@ fn run_job(state: &Arc<ServerState>, mut job: Job) -> Option<Job> {
                 stats_json,
             };
             state.completed.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(Ok(result));
+            finish_job(state, job, Ok(result));
         }
         Err(e) => {
             state.failed.fetch_add(1, Ordering::Relaxed);
-            let _ = job.reply.send(Err(sim_failed(e)));
+            finish_job(state, job, Err(sim_failed(e)));
         }
     }
     None
