@@ -3,6 +3,7 @@
 //! ```text
 //! rfvd [--port N] [--bind ADDR] [--jobs N] [--queue-depth N]
 //!      [--max-cycles-per-slice N] [--cache-entries N] [--spool-dir DIR]
+//!      [--spool-max-records N] [--chaos SPEC] [--chaos-seed N]
 //! ```
 //!
 //! Listens for `rfv-job-v1` connections and serves simulation jobs
@@ -13,10 +14,16 @@
 //! With `--spool-dir`, accepted jobs are journaled to disk and a
 //! restarted daemon (same directory) replays any that never finished
 //! — a crash loses no accepted work.
+//!
+//! `--chaos` arms deterministic environment fault injection (see
+//! `rfvd::chaos`): the daemon's own disk and socket I/O misbehaves at
+//! the configured rates, seeded by `--chaos-seed`. Strictly a test
+//! and CI feature — never set it in production.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
 
+use rfvd::chaos::ChaosPlan;
 use rfvd::server::{serve, ServerConfig};
 
 static SHUTDOWN: AtomicBool = AtomicBool::new(false);
@@ -55,7 +62,8 @@ mod sig {
 fn usage() -> ! {
     eprintln!(
         "usage: rfvd [--port N] [--bind ADDR] [--jobs N] [--queue-depth N] \
-         [--max-cycles-per-slice N] [--cache-entries N] [--spool-dir DIR]\n\
+         [--max-cycles-per-slice N] [--cache-entries N] [--spool-dir DIR] \
+         [--spool-max-records N] [--chaos SPEC] [--chaos-seed N]\n\
          \n\
          \x20 --port N                  listen port (default 4650, 0 = ephemeral)\n\
          \x20 --bind ADDR               bind address (default 127.0.0.1)\n\
@@ -66,7 +74,12 @@ fn usage() -> ! {
          \x20 --cache-entries N         compile-cache capacity, LRU-evicted\n\
          \x20                           (default 0 = unbounded)\n\
          \x20 --spool-dir DIR           journal accepted jobs to DIR and replay\n\
-         \x20                           unfinished ones on restart (default: off)"
+         \x20                           unfinished ones on restart (default: off)\n\
+         \x20 --spool-max-records N     compact the spool once it holds more than\n\
+         \x20                           N records (default 4096, 0 = unbounded)\n\
+         \x20 --chaos SPEC              arm fault injection, e.g.\n\
+         \x20                           'disk_torn:0.05,net_reset:0.05' (test only)\n\
+         \x20 --chaos-seed N            chaos determinism seed (default 1)"
     );
     std::process::exit(2)
 }
@@ -88,6 +101,8 @@ fn main() {
             .min(8),
         ..ServerConfig::default()
     };
+    let mut chaos_spec: Option<String> = None;
+    let mut chaos_seed: u64 = 1;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -102,6 +117,11 @@ fn main() {
             "--spool-dir" => {
                 config.spool_dir = Some(args.next().unwrap_or_else(|| usage()).into());
             }
+            "--spool-max-records" => {
+                config.spool_max_records = parse("--spool-max-records", args.next());
+            }
+            "--chaos" => chaos_spec = Some(args.next().unwrap_or_else(|| usage())),
+            "--chaos-seed" => chaos_seed = parse("--chaos-seed", args.next()),
             "--help" | "-h" => usage(),
             other => {
                 eprintln!("rfvd: unknown flag {other:?}");
@@ -112,6 +132,12 @@ fn main() {
     if config.jobs == 0 || config.queue_depth == 0 {
         eprintln!("rfvd: --jobs and --queue-depth must be positive");
         usage()
+    }
+    if let Some(spec) = chaos_spec {
+        config.chaos = ChaosPlan::parse(&spec, chaos_seed).unwrap_or_else(|e| {
+            eprintln!("rfvd: bad --chaos spec: {e}");
+            usage()
+        });
     }
     config.addr = format!("{bind}:{port}");
 
@@ -141,6 +167,12 @@ fn main() {
         eprintln!(
             "rfvd: spooling to {} ({replayed} jobs replayed)",
             dir.display()
+        );
+    }
+    if !config.chaos.is_empty() {
+        eprintln!(
+            "rfvd: CHAOS ARMED ({}) seed {chaos_seed} — test mode, expect injected faults",
+            config.chaos.summary()
         );
     }
 

@@ -3,7 +3,8 @@
 //! ```text
 //! rfvload ADDR [--connections N] [--requests N] [--spec S1,S2,...]
 //!         [--machine M] [--sms N] [--high-every K] [--no-cache]
-//!         [--timeout-ms N] [--compare-cache] [--out FILE.json]
+//!         [--timeout-ms N] [--retries N] [--retry-base-ms N] [--seed N]
+//!         [--compare-cache] [--out FILE.json]
 //! ```
 //!
 //! Opens `--connections` concurrent connections; each replays the
@@ -17,20 +18,27 @@
 //!
 //! `--timeout-ms` bounds each submission: a stalled daemon costs one
 //! counted timeout and a reconnect, never a wedged load generator.
+//!
+//! Every submission rides a `ResilientClient` with an idempotency
+//! nonce, so `--retries N` survives connection resets, timeouts, and
+//! brownout `retry-after` rejections without ever running a job
+//! twice; the report counts `retries` and `resets` so a chaos run's
+//! turbulence is visible next to its throughput.
 
 use std::io::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Barrier};
 use std::time::{Duration, Instant};
 
-use rfvd::client::{Client, ClientError};
-use rfvd::proto::{CacheOutcome, ErrorCode, JobRequest, Priority, Response};
+use rfvd::client::{Client, ClientError, ResilientClient, RetryPolicy};
+use rfvd::proto::{CacheOutcome, JobRequest, Priority, Response};
 
 fn usage() -> ! {
     eprintln!(
         "usage: rfvload ADDR [--connections N] [--requests N] [--spec S1,S2,...]\n\
          \x20              [--machine M] [--sms N] [--high-every K] [--no-cache]\n\
-         \x20              [--timeout-ms N] [--compare-cache] [--out FILE.json]\n\
+         \x20              [--timeout-ms N] [--retries N] [--retry-base-ms N]\n\
+         \x20              [--seed N] [--compare-cache] [--out FILE.json]\n\
          \n\
          \x20 ADDR              server address, e.g. 127.0.0.1:4650\n\
          \x20 --connections N   concurrent client connections (default 4)\n\
@@ -43,6 +51,11 @@ fn usage() -> ! {
          \x20 --no-cache        bypass the server's compile cache\n\
          \x20 --timeout-ms N    per-request response deadline; an expiry counts\n\
          \x20                   a timeout and reconnects (default 0 = wait forever)\n\
+         \x20 --retries N       resubmit each job up to N extra times after a\n\
+         \x20                   reset, timeout, or retry-after rejection, under\n\
+         \x20                   one idempotency nonce (default 0 = never)\n\
+         \x20 --retry-base-ms N backoff floor between retries (default 25)\n\
+         \x20 --seed N          nonce/jitter determinism seed (default: entropy)\n\
          \x20 --compare-cache   measure cold (bypass) vs warm (primed) throughput\n\
          \x20 --out FILE        write an rfv-load-v1 JSON report"
     );
@@ -61,11 +74,25 @@ struct LoadSpec {
     use_cache: bool,
     /// Per-request response deadline in ms; 0 waits forever.
     timeout_ms: u64,
+    /// Extra attempts per job after a retryable failure; 0 = one shot.
+    retries: u32,
+    /// Backoff floor between retries, in ms.
+    retry_base_ms: u64,
+    /// Nonce/jitter seed; None draws entropy per connection.
+    seed: Option<u64>,
 }
 
 impl LoadSpec {
     fn timeout(&self) -> Option<Duration> {
         (self.timeout_ms > 0).then(|| Duration::from_millis(self.timeout_ms))
+    }
+
+    fn policy(&self) -> RetryPolicy {
+        RetryPolicy {
+            max_attempts: self.retries + 1,
+            base: Duration::from_millis(self.retry_base_ms.max(1)),
+            ..RetryPolicy::default()
+        }
     }
 }
 
@@ -75,6 +102,8 @@ struct Tally {
     rejected: u64,
     failed: u64,
     timeouts: u64,
+    retries: u64,
+    resets: u64,
     hits: u64,
     misses: u64,
     bypass: u64,
@@ -88,6 +117,8 @@ impl Tally {
         self.rejected += other.rejected;
         self.failed += other.failed;
         self.timeouts += other.timeouts;
+        self.retries += other.retries;
+        self.resets += other.resets;
         self.hits += other.hits;
         self.misses += other.misses;
         self.bypass += other.bypass;
@@ -121,19 +152,20 @@ fn run_pass(load: &LoadSpec) -> Report {
     let mut tally = Tally::default();
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for _ in 0..load.connections {
+        for conn_idx in 0..load.connections {
             let barrier = Arc::clone(&barrier);
             let job_counter = Arc::clone(&job_counter);
             handles.push(scope.spawn(move || {
-                let connect = || -> std::io::Result<Client> {
-                    let mut client = Client::connect(&load.addr)?;
-                    client.set_timeout(load.timeout())?;
-                    Ok(client)
+                let mut client = match load.seed {
+                    Some(seed) => ResilientClient::seeded(
+                        load.addr.clone(),
+                        load.timeout(),
+                        load.policy(),
+                        // decorrelate per-connection nonce streams
+                        seed ^ (conn_idx as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                    ),
+                    None => ResilientClient::new(load.addr.clone(), load.timeout(), load.policy()),
                 };
-                let mut client = connect().unwrap_or_else(|e| {
-                    eprintln!("rfvload: cannot connect to {}: {e}", load.addr);
-                    std::process::exit(1);
-                });
                 let mut t = Tally::default();
                 barrier.wait();
                 for _ in 0..load.requests {
@@ -151,9 +183,10 @@ fn run_pass(load: &LoadSpec) -> Report {
                         max_cycles: None,
                         priority,
                         use_cache: load.use_cache,
+                        nonce: 0, // the client mints one per submission
                     };
                     let sent = Instant::now();
-                    match client.submit(&job) {
+                    match client.submit_idempotent(&job) {
                         Ok(Response::Result(r)) => {
                             t.ok += 1;
                             t.latencies_us.push(sent.elapsed().as_micros() as u64);
@@ -164,7 +197,10 @@ fn run_pass(load: &LoadSpec) -> Report {
                                 CacheOutcome::Bypass => t.bypass += 1,
                             }
                         }
-                        Ok(Response::Error(e)) if e.code == ErrorCode::QueueFull => {
+                        Ok(Response::Error(e)) if e.code.retryable() => {
+                            // queue-full / retry-after / shutting-down:
+                            // back pressure the daemon chose to apply,
+                            // not a failure
                             t.rejected += 1;
                         }
                         Ok(Response::Error(e)) => {
@@ -176,16 +212,9 @@ fn run_pass(load: &LoadSpec) -> Report {
                             t.failed += 1;
                         }
                         Err(ClientError::TimedOut) => {
-                            // the connection may be mid-frame: count
-                            // it and start fresh instead of wedging
+                            // the client already dropped the stalled
+                            // connection; the next submit re-dials
                             t.timeouts += 1;
-                            match connect() {
-                                Ok(c) => client = c,
-                                Err(e) => {
-                                    eprintln!("rfvload: reconnect after timeout failed: {e}");
-                                    break;
-                                }
-                            }
                         }
                         Err(e) => {
                             eprintln!("rfvload: transport error: {e}");
@@ -194,6 +223,8 @@ fn run_pass(load: &LoadSpec) -> Report {
                         }
                     }
                 }
+                t.retries = client.retries();
+                t.resets = client.resets();
                 t
             }));
         }
@@ -222,13 +253,15 @@ fn run_pass(load: &LoadSpec) -> Report {
 
 fn print_report(label: &str, r: &Report) {
     println!(
-        "{label}: {ok} ok, {rej} rejected, {fail} failed, {to} timed out in {wall:.3}s -> {jps:.1} jobs/s",
+        "{label}: {ok} ok, {rej} rejected, {fail} failed, {to} timed out in {wall:.3}s -> {jps:.1} jobs/s ({retries} retries, {resets} resets)",
         ok = r.tally.ok,
         rej = r.tally.rejected,
         fail = r.tally.failed,
         to = r.tally.timeouts,
         wall = r.wall_secs,
         jps = r.jobs_per_sec,
+        retries = r.tally.retries,
+        resets = r.tally.resets,
     );
     println!(
         "{label}: latency p50 {p50}us p90 {p90}us p99 {p99}us | cache {h} hit / {m} miss / {b} bypass | {pre} preemptions",
@@ -246,6 +279,7 @@ fn report_json(r: &Report) -> String {
     format!(
         "{{\n    \"jobs_per_sec\": {jps:.3},\n    \"wall_secs\": {wall:.6},\n    \
          \"ok\": {ok},\n    \"rejected\": {rej},\n    \"failed\": {fail},\n    \"timeouts\": {to},\n    \
+         \"retries\": {retries},\n    \"resets\": {resets},\n    \
          \"rejection_rate\": {rr:.6},\n    \"latency_us\": {{\"p50\": {p50}, \"p90\": {p90}, \"p99\": {p99}}},\n    \
          \"cache\": {{\"hit\": {h}, \"miss\": {m}, \"bypass\": {b}}},\n    \
          \"preemptions\": {pre}\n  }}",
@@ -255,6 +289,8 @@ fn report_json(r: &Report) -> String {
         rej = r.tally.rejected,
         fail = r.tally.failed,
         to = r.tally.timeouts,
+        retries = r.tally.retries,
+        resets = r.tally.resets,
         rr = r.rejection_rate,
         p50 = r.p50_us,
         p90 = r.p90_us,
@@ -282,6 +318,9 @@ fn main() {
         high_every: 0,
         use_cache: true,
         timeout_ms: 0,
+        retries: 0,
+        retry_base_ms: 25,
+        seed: None,
     };
     let mut compare_cache = false;
     let mut out: Option<String> = None;
@@ -312,6 +351,11 @@ fn main() {
             "--high-every" => load.high_every = parse("--high-every", args.next()),
             "--no-cache" => load.use_cache = false,
             "--timeout-ms" => load.timeout_ms = parse("--timeout-ms", args.next()) as u64,
+            "--retries" => load.retries = parse("--retries", args.next()) as u32,
+            "--retry-base-ms" => {
+                load.retry_base_ms = parse("--retry-base-ms", args.next()) as u64;
+            }
+            "--seed" => load.seed = Some(parse("--seed", args.next()) as u64),
             "--compare-cache" => compare_cache = true,
             "--out" => out = Some(args.next().unwrap_or_else(|| usage())),
             "--help" | "-h" => usage(),

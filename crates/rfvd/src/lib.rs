@@ -24,6 +24,12 @@
 //!   accepted job is journaled before its submitter hears `Accepted`;
 //!   a restarted daemon replays unfinished records, so a crash loses
 //!   no accepted work.
+//! * **Environment chaos layer** ([`chaos`]): seeded, deterministic
+//!   fault injection at the daemon's I/O boundaries — torn spool
+//!   renames, short and failed writes, connection resets, accept
+//!   failures, frame stalls — behind zero-cost `SpoolIo`/`SockIo`
+//!   passthrough traits. Paired with nonce-keyed idempotent retry in
+//!   [`client`] and automatic brownout degradation in [`server`].
 //! * **Checkpoint-backed preemption** ([`server`]): jobs execute in
 //!   bounded cycle slices on [`rfv_sim::SlicedSim`]; when
 //!   high-priority work arrives, a normal job snapshots into an
@@ -35,6 +41,7 @@
 //! percentiles, and rejection rate).
 
 pub mod cache;
+pub mod chaos;
 pub mod client;
 mod mux;
 pub mod persist;

@@ -39,9 +39,10 @@ use std::sync::mpsc::{Receiver, Sender};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use crate::proto::{ErrorCode, FrameReader, ProtoError, Recv, Request, Response};
-use crate::queue::Submit;
-use crate::server::{validate_submit, ServerState};
+use crate::chaos::SockIo;
+use crate::proto::{ErrorCode, FrameReader, Priority, ProtoError, Recv, Request, Response};
+use crate::queue::{ReplyFn, Submit};
+use crate::server::{validate_submit, NonceGate, ServerState};
 
 /// How long the event loop sleeps when nothing is ready. Wakes from
 /// job completions and drains arrive through the [`Waker`], so this
@@ -51,6 +52,21 @@ const IDLE_WAIT: Duration = Duration::from_millis(200);
 /// How long a draining loop keeps trying to flush final replies to
 /// slow readers before giving up and closing.
 const DRAIN_FLUSH_DEADLINE: Duration = Duration::from_secs(5);
+
+/// How often a browned-out daemon probes the spool for healing.
+const PROBE_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Backoff hint attached to `ShuttingDown` rejections.
+const DRAIN_RETRY_HINT_MS: u64 = 500;
+
+/// Backoff hint attached to disk-brownout rejections.
+const DISK_RETRY_HINT_MS: u64 = 250;
+
+/// Backoff hint for queue-pressure rejections: scales with the
+/// backlog so a deeper queue pushes retries further out.
+fn queue_retry_hint(queued: usize) -> u64 {
+    (25 + 10 * queued as u64).min(2_000)
+}
 
 /// A completed job's outcome, posted back to the event loop by the
 /// reply closure a submit installed.
@@ -220,9 +236,9 @@ impl Conn {
 
     /// Writes as much buffered output as the socket accepts.
     /// `Ok(true)` means fully flushed; `Err` means the peer is gone.
-    fn flush(&mut self) -> io::Result<bool> {
+    fn flush(&mut self, io: &dyn SockIo) -> io::Result<bool> {
         while self.has_output() {
-            match self.stream.write(&self.out[self.out_pos..]) {
+            match io.write(&mut self.stream, &self.out[self.out_pos..]) {
                 Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
                 Ok(n) => self.out_pos += n,
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(false),
@@ -233,6 +249,19 @@ impl Conn {
         self.out.clear();
         self.out_pos = 0;
         Ok(true)
+    }
+}
+
+/// Adapts a connection's socket reads to go through the [`SockIo`]
+/// boundary so [`FrameReader::poll`] sees injected faults too.
+struct SockRead<'a> {
+    io: &'a dyn SockIo,
+    stream: &'a mut TcpStream,
+}
+
+impl Read for SockRead<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        self.io.read(self.stream, buf)
     }
 }
 
@@ -257,6 +286,11 @@ pub(crate) struct Mux {
     pending_jobs: usize,
     /// Set once draining starts and the final flush window opens.
     drain_deadline: Option<Instant>,
+    /// Every socket op funnels through this boundary (production: a
+    /// passthrough; chaos builds: the injector).
+    io: Box<dyn SockIo>,
+    /// Last disk-healing probe while in disk brownout.
+    last_probe: Instant,
 }
 
 impl Mux {
@@ -267,6 +301,7 @@ impl Mux {
         completions_tx: Sender<Completion>,
         waker: Waker,
         wake_rx: WakeRx,
+        io: Box<dyn SockIo>,
     ) -> Mux {
         Mux {
             listener: Some(listener),
@@ -279,6 +314,8 @@ impl Mux {
             wake_rx,
             pending_jobs: 0,
             drain_deadline: None,
+            io,
+            last_probe: Instant::now(),
         }
     }
 
@@ -289,6 +326,13 @@ impl Mux {
         loop {
             self.wake_rx.drain();
             self.deliver_completions();
+            if self.state.in_brownout() && self.last_probe.elapsed() >= PROBE_INTERVAL {
+                // probe for recovery so brownouts exit on their own
+                // instead of waiting for the next submission
+                self.state.spool_probe();
+                self.state.update_queue_brownout();
+                self.last_probe = Instant::now();
+            }
             if self.state.draining() {
                 // stop accepting; pending replies still flow
                 if self.listener.take().is_some() {
@@ -348,7 +392,7 @@ impl Mux {
             return;
         };
         loop {
-            match listener.accept() {
+            match self.io.accept(listener) {
                 Ok((stream, _peer)) => {
                     if stream.set_nonblocking(true).is_err() {
                         continue;
@@ -387,6 +431,7 @@ impl Mux {
     /// queued.
     fn pump(&mut self, id: u64) -> Pump {
         loop {
+            let io = &*self.io;
             let conn = self.conns.get_mut(&id).expect("pumped conn exists");
             if conn.close_after_flush {
                 break;
@@ -394,9 +439,15 @@ impl Mux {
             if conn.inflight {
                 break;
             }
-            let recv = match conn.reader.poll(&mut conn.stream) {
-                Ok(r) => r,
-                Err(_) => return Pump::Drop,
+            let recv = {
+                let mut src = SockRead {
+                    io,
+                    stream: &mut conn.stream,
+                };
+                match conn.reader.poll(&mut src) {
+                    Ok(r) => r,
+                    Err(_) => return Pump::Drop,
+                }
             };
             match recv {
                 Recv::Idle => break,
@@ -413,8 +464,9 @@ impl Mux {
                 Recv::Payload(payload) => self.handle_frame(id, &payload),
             }
         }
+        let io = &*self.io;
         let conn = self.conns.get_mut(&id).expect("pumped conn exists");
-        match conn.flush() {
+        match conn.flush(io) {
             Err(_) => Pump::Drop,
             Ok(true) if conn.close_after_flush => Pump::Drop,
             Ok(_) => Pump::Keep,
@@ -448,40 +500,85 @@ impl Mux {
     }
 
     /// Validates and enqueues a submission. `None` means the job was
-    /// accepted — its reply arrives through the completion channel.
+    /// accepted (or a duplicate attached to a running one) — its
+    /// reply arrives through the completion channel.
     fn handle_submit(&mut self, conn_id: u64, req: crate::proto::JobRequest) -> Option<Response> {
+        // Idempotency gate first: a retry of a known nonce converges
+        // even while draining or browned out — replaying a recorded
+        // reply costs no queue slot and no disk write, which is
+        // exactly what lets a retry storm drain instead of amplify.
+        let tx = self.completions_tx.clone();
+        let waker = self.waker.clone();
+        let waiter: ReplyFn = Box::new(move |outcome| {
+            let _ = tx.send((conn_id, outcome));
+            waker.wake();
+        });
+        let reply = match self.state.nonce_gate(req.nonce, waiter) {
+            NonceGate::New(waiter) => waiter,
+            NonceGate::Replayed(response) => return Some(response),
+            NonceGate::Attached => {
+                let conn = self.conns.get_mut(&conn_id).expect("conn exists");
+                conn.inflight = true;
+                self.pending_jobs += 1;
+                return None;
+            }
+        };
         if self.state.draining() {
-            return Some(Response::Error(ProtoError::new(
-                ErrorCode::ShuttingDown,
-                "daemon is draining",
-            )));
+            return Some(Response::Error(
+                ProtoError::new(ErrorCode::ShuttingDown, "daemon is draining")
+                    .with_retry_after(DRAIN_RETRY_HINT_MS),
+            ));
         }
         let valid = match validate_submit(&req) {
             Ok(v) => v,
             Err(e) => return Some(Response::Error(e)),
         };
+        // Brownout shedding: normal-priority work is turned away with
+        // a typed backoff hint *before* it costs a disk write or a
+        // queue slot; high-priority and stats traffic keep flowing.
+        self.state.update_queue_brownout();
+        if req.priority == Priority::Normal && self.state.in_brownout() {
+            self.state.shed.fetch_add(1, Ordering::Relaxed);
+            let (cause, hint) = if self.state.in_disk_brownout() {
+                ("spool disk is failing".into(), DISK_RETRY_HINT_MS)
+            } else {
+                let queued = self.state.queue.len();
+                (
+                    format!("queue is saturated ({queued} waiting)"),
+                    queue_retry_hint(queued),
+                )
+            };
+            return Some(Response::Error(
+                ProtoError::new(
+                    ErrorCode::RetryAfter,
+                    format!("brownout: {cause}; shedding normal-priority work"),
+                )
+                .with_retry_after(hint),
+            ));
+        }
         // journal before enqueueing: from here the job survives a
         // crash, and a rejected submit removes the record again
         let spool_id = match self.state.journal_accept(&req) {
             Ok(id) => id,
+            // a high-priority job outlives a failing disk: accept it
+            // non-durable rather than turn it away
+            Err(_) if req.priority == Priority::High => None,
             Err(e) => {
-                return Some(Response::Error(ProtoError::new(
-                    ErrorCode::SimFailed,
-                    format!("spool write failed: {e}"),
-                )));
+                return Some(Response::Error(
+                    ProtoError::new(ErrorCode::RetryAfter, format!("spool write failed: {e}"))
+                        .with_retry_after(DISK_RETRY_HINT_MS),
+                ));
             }
         };
-        let tx = self.completions_tx.clone();
-        let waker = self.waker.clone();
+        // register before submitting: a worker may finish the job the
+        // instant it hits the queue, and nonce_finish needs the entry
+        self.state.nonce_register(req.nonce);
         let job = crate::queue::Job {
             request: req,
             spec: valid.spec,
             config: valid.config,
             release_flags: valid.release_flags,
-            reply: Box::new(move |outcome| {
-                let _ = tx.send((conn_id, outcome));
-                waker.wake();
-            }),
+            reply,
             resume: None,
             preemptions: 0,
             compiled: None,
@@ -492,19 +589,28 @@ impl Mux {
         match self.state.queue.submit(job) {
             Submit::Rejected(job, err) => {
                 self.state.forget_spooled(job.spool_id);
-                match err {
+                let error = match err {
                     crate::queue::SubmitError::Full => {
                         self.state.rejected.fetch_add(1, Ordering::Relaxed);
-                        Some(Response::Error(ProtoError::new(
+                        self.state.enter_queue_brownout();
+                        let queued = self.state.queue.len();
+                        ProtoError::new(
                             ErrorCode::QueueFull,
-                            format!("queue at capacity ({} waiting)", self.state.queue.len()),
-                        )))
+                            format!("queue at capacity ({queued} waiting)"),
+                        )
+                        .with_retry_after(queue_retry_hint(queued))
                     }
-                    crate::queue::SubmitError::Draining => Some(Response::Error(ProtoError::new(
-                        ErrorCode::ShuttingDown,
-                        "daemon is draining",
-                    ))),
+                    crate::queue::SubmitError::Draining => {
+                        ProtoError::new(ErrorCode::ShuttingDown, "daemon is draining")
+                            .with_retry_after(DRAIN_RETRY_HINT_MS)
+                    }
+                };
+                // answer any duplicates that attached to the nonce
+                // while this submission was being bounced
+                for waiter in self.state.nonce_unregister(job.request.nonce) {
+                    waiter(Err(error.clone()));
                 }
+                Some(Response::Error(error))
             }
             Submit::Accepted => {
                 self.state.submitted.fetch_add(1, Ordering::Relaxed);
@@ -527,9 +633,10 @@ impl Mux {
         for id in ready {
             // flush first so a drained out-buffer can close a
             // poisoned conn without waiting for another read
+            let io = &*self.io;
             let keep = match self.conns.get_mut(&id) {
                 None => continue,
-                Some(conn) => match conn.flush() {
+                Some(conn) => match conn.flush(io) {
                     Err(_) => Pump::Drop,
                     Ok(true) if conn.close_after_flush => Pump::Drop,
                     Ok(_) => {

@@ -31,8 +31,11 @@ pub const JOB_MAGIC: [u8; 8] = *b"rfv-job1";
 
 /// Protocol version. Bump on any incompatible envelope/body change.
 /// Version 2 enriched the stats body with cache-eviction, cache-size,
-/// connection, and spool-replay counters.
-pub const JOB_VERSION: u32 = 2;
+/// connection, and spool-replay counters. Version 3 added the
+/// idempotency nonce to submissions, the `RetryAfter` error code with
+/// a backoff hint on every error body, and brownout/spool counters to
+/// the stats body.
+pub const JOB_VERSION: u32 = 3;
 
 /// Hard ceiling on a frame's payload size (1 MiB). A length prefix
 /// above this is rejected *before* any allocation, so a hostile or
@@ -72,6 +75,10 @@ pub enum ErrorCode {
     SimFailed,
     /// The daemon is draining and accepts no new work.
     ShuttingDown,
+    /// The daemon is in brownout (persistent spool failure or queue
+    /// saturation) and is shedding normal-priority work; resubmit
+    /// after the attached backoff hint.
+    RetryAfter,
 }
 
 impl ErrorCode {
@@ -88,6 +95,7 @@ impl ErrorCode {
             ErrorCode::QueueFull => 9,
             ErrorCode::SimFailed => 10,
             ErrorCode::ShuttingDown => 11,
+            ErrorCode::RetryAfter => 12,
         }
     }
 
@@ -104,6 +112,7 @@ impl ErrorCode {
             9 => ErrorCode::QueueFull,
             10 => ErrorCode::SimFailed,
             11 => ErrorCode::ShuttingDown,
+            12 => ErrorCode::RetryAfter,
             _ => return None,
         })
     }
@@ -117,6 +126,17 @@ impl ErrorCode {
         matches!(
             self,
             ErrorCode::BadMagic | ErrorCode::BadChecksum | ErrorCode::Oversized
+        )
+    }
+
+    /// Whether a client may retry the *same* request and reasonably
+    /// expect a different outcome. These are the load/lifecycle
+    /// rejections; everything else is deterministic and retrying it
+    /// verbatim would fail the same way.
+    pub fn retryable(self) -> bool {
+        matches!(
+            self,
+            ErrorCode::QueueFull | ErrorCode::ShuttingDown | ErrorCode::RetryAfter
         )
     }
 }
@@ -135,6 +155,7 @@ impl std::fmt::Display for ErrorCode {
             ErrorCode::QueueFull => "queue-full",
             ErrorCode::SimFailed => "sim-failed",
             ErrorCode::ShuttingDown => "shutting-down",
+            ErrorCode::RetryAfter => "retry-after",
         };
         f.write_str(s)
     }
@@ -147,6 +168,11 @@ pub struct ProtoError {
     pub code: ErrorCode,
     /// Human-readable detail (never needed to dispatch on).
     pub message: String,
+    /// Server guidance: wait at least this long before retrying.
+    /// Populated on load/lifecycle rejections ([`ErrorCode::QueueFull`],
+    /// [`ErrorCode::ShuttingDown`], [`ErrorCode::RetryAfter`]); `None`
+    /// on deterministic failures, where retrying is pointless.
+    pub retry_after_ms: Option<u64>,
 }
 
 impl ProtoError {
@@ -155,13 +181,24 @@ impl ProtoError {
         ProtoError {
             code,
             message: message.into(),
+            retry_after_ms: None,
         }
+    }
+
+    /// Attaches a backoff hint.
+    pub fn with_retry_after(mut self, ms: u64) -> ProtoError {
+        self.retry_after_ms = Some(ms);
+        self
     }
 }
 
 impl std::fmt::Display for ProtoError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{}: {}", self.code, self.message)
+        write!(f, "{}: {}", self.code, self.message)?;
+        if let Some(ms) = self.retry_after_ms {
+            write!(f, " (retry after {ms}ms)")?;
+        }
+        Ok(())
     }
 }
 
@@ -200,6 +237,14 @@ pub struct JobRequest {
     pub priority: Priority,
     /// Whether the per-kernel compile cache may serve this job.
     pub use_cache: bool,
+    /// Client-generated idempotency nonce; `0` means "no dedupe". A
+    /// resubmission carrying a nonce the daemon has already accepted
+    /// is *not* re-run: if the job finished, the recorded reply is
+    /// replayed; if it is still in flight, the new connection is
+    /// attached as an additional waiter. This is what makes blind
+    /// retry after a connection reset safe — the job runs exactly
+    /// once no matter how many times the submission is repeated.
+    pub nonce: u64,
 }
 
 impl Default for JobRequest {
@@ -211,6 +256,7 @@ impl Default for JobRequest {
             max_cycles: None,
             priority: Priority::Normal,
             use_cache: true,
+            nonce: 0,
         }
     }
 }
@@ -243,6 +289,7 @@ impl Request {
                     Priority::High => 1,
                 });
                 b.bool(job.use_cache);
+                b.u64(job.nonce);
                 envelope(REQ_SUBMIT, b.bytes())
             }
             Request::Stats => envelope(REQ_STATS, &[]),
@@ -271,6 +318,7 @@ impl Request {
                     _ => return Err(malformed("priority byte")),
                 };
                 let use_cache = d.bool().map_err(|_| malformed("use_cache byte"))?;
+                let nonce = d.u64().map_err(|_| malformed("submit body truncated"))?;
                 Request::Submit(JobRequest {
                     spec,
                     machine,
@@ -278,6 +326,7 @@ impl Request {
                     max_cycles,
                     priority,
                     use_cache,
+                    nonce,
                 })
             }
             REQ_STATS => Request::Stats,
@@ -381,6 +430,21 @@ pub struct ServerStats {
     pub conns_total: u64,
     /// Jobs replayed from the spool after a restart.
     pub replayed: u64,
+    /// Submissions answered from the nonce table (stored reply
+    /// replayed or waiter attached) instead of re-running the job.
+    pub deduped: u64,
+    /// Normal-priority submissions shed with [`ErrorCode::RetryAfter`]
+    /// while in brownout.
+    pub shed: u64,
+    /// Times the daemon entered brownout over its lifetime.
+    pub brownouts: u64,
+    /// 1 while a brownout (disk or queue) is active, else 0.
+    pub brownout: u64,
+    /// Records currently resident in the spool directory (live,
+    /// completed, and quarantined).
+    pub spool_records: u64,
+    /// Spool compaction passes that pruned at least one record.
+    pub spool_compactions: u64,
 }
 
 /// A server-to-client message.
@@ -428,6 +492,12 @@ impl Response {
                     s.conns_open,
                     s.conns_total,
                     s.replayed,
+                    s.deduped,
+                    s.shed,
+                    s.brownouts,
+                    s.brownout,
+                    s.spool_records,
+                    s.spool_compactions,
                 ] {
                     b.u64(v);
                 }
@@ -437,6 +507,7 @@ impl Response {
                 let mut b = Enc::new();
                 b.u8(e.code.tag());
                 b.frame(e.message.as_bytes());
+                b.opt_u64(e.retry_after_ms);
                 envelope(RSP_ERROR, b.bytes())
             }
         }
@@ -487,6 +558,12 @@ impl Response {
                     conns_open: take()?,
                     conns_total: take()?,
                     replayed: take()?,
+                    deduped: take()?,
+                    shed: take()?,
+                    brownouts: take()?,
+                    brownout: take()?,
+                    spool_records: take()?,
+                    spool_compactions: take()?,
                 })
             }
             RSP_ERROR => {
@@ -496,7 +573,12 @@ impl Response {
                     .and_then(ErrorCode::from_tag)
                     .ok_or_else(|| malformed("error code tag"))?;
                 let message = read_string(&mut d, "error message")?;
-                Response::Error(ProtoError { code, message })
+                let retry_after_ms = d.opt_u64().map_err(|_| malformed("error body truncated"))?;
+                Response::Error(ProtoError {
+                    code,
+                    message,
+                    retry_after_ms,
+                })
             }
             _ => return Err(malformed("unknown response kind")),
         };
@@ -694,6 +776,7 @@ mod tests {
             max_cycles: Some(1_000_000),
             priority: Priority::High,
             use_cache: false,
+            nonce: 0xdead_beef_cafe_f00d,
         })
     }
 
@@ -730,8 +813,17 @@ mod tests {
                 conns_open: 6,
                 conns_total: 40,
                 replayed: 1,
+                deduped: 9,
+                shed: 12,
+                brownouts: 2,
+                brownout: 1,
+                spool_records: 33,
+                spool_compactions: 4,
             }),
             Response::Error(ProtoError::new(ErrorCode::QueueFull, "queue at 8/8")),
+            Response::Error(
+                ProtoError::new(ErrorCode::RetryAfter, "brownout").with_retry_after(250),
+            ),
         ];
         for rsp in cases {
             let payload = rsp.encode();
@@ -753,13 +845,36 @@ mod tests {
             ErrorCode::QueueFull,
             ErrorCode::SimFailed,
             ErrorCode::ShuttingDown,
+            ErrorCode::RetryAfter,
         ] {
             assert_eq!(ErrorCode::from_tag(code.tag()), Some(code));
             let rsp = Response::Error(ProtoError::new(code, "x"));
             assert_eq!(Response::decode(&rsp.encode()).unwrap(), rsp);
+            let hinted = Response::Error(ProtoError::new(code, "x").with_retry_after(77));
+            assert_eq!(Response::decode(&hinted.encode()).unwrap(), hinted);
         }
         assert_eq!(ErrorCode::from_tag(0), None);
         assert_eq!(ErrorCode::from_tag(200), None);
+    }
+
+    #[test]
+    fn retryable_codes_are_the_load_rejections() {
+        for code in [
+            ErrorCode::QueueFull,
+            ErrorCode::ShuttingDown,
+            ErrorCode::RetryAfter,
+        ] {
+            assert!(code.retryable(), "{code}");
+            assert!(!code.poisons_stream(), "{code}");
+        }
+        for code in [
+            ErrorCode::Malformed,
+            ErrorCode::BadConfig,
+            ErrorCode::UnknownWorkload,
+            ErrorCode::SimFailed,
+        ] {
+            assert!(!code.retryable(), "{code}");
+        }
     }
 
     #[test]
@@ -786,7 +901,7 @@ mod tests {
 
     #[test]
     fn wrong_version_rejected_with_valid_checksum() {
-        // rebuild the envelope by hand with version 2 and a *correct*
+        // rebuild the envelope by hand with a wrong version and a *correct*
         // checksum, so the failure is attributable to the version alone
         let mut e = Enc::new();
         e.raw(&JOB_MAGIC);

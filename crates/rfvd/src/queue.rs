@@ -180,6 +180,11 @@ impl JobQueue {
         !self.lanes.lock().expect("queue lock").high.is_empty()
     }
 
+    /// The configured admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Jobs currently waiting.
     pub fn len(&self) -> usize {
         self.lanes.lock().expect("queue lock").len()

@@ -34,12 +34,13 @@
 //! multiplexer — which exits only after every accepted job's reply
 //! has been written.
 
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::SocketAddr;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::mpsc::channel;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 
 use rfv_bench::harness::machine_config;
@@ -47,12 +48,15 @@ use rfv_bench::pool::Pool;
 use rfv_sim::{Checkpoint, SimConfig, SlicedSim};
 
 use crate::cache::{CachedKernel, CompileCache};
+use crate::chaos::{
+    ChaosInjector, ChaosPlan, ChaosSockIo, ChaosSpoolIo, RealSockIo, RealSpoolIo, SockIo, SpoolIo,
+};
 use crate::mux::{wake_pair, Mux, Waker};
 use crate::persist::Spool;
 use crate::proto::{
     CacheOutcome, ErrorCode, JobRequest, JobResult, Priority, ProtoError, Response, ServerStats,
 };
-use crate::queue::{Job, JobQueue};
+use crate::queue::{Job, JobQueue, ReplyFn};
 use crate::result_stats_json;
 use crate::spec::JobSpec;
 
@@ -75,6 +79,11 @@ pub struct ServerConfig {
     /// Directory for the durable job spool; `None` disables
     /// persistence (accepted jobs die with the process).
     pub spool_dir: Option<PathBuf>,
+    /// Completed/quarantined spool records to retain as dedupe
+    /// memory before compaction prunes the oldest; `0` = unbounded.
+    pub spool_max_records: usize,
+    /// Environment fault-injection plan (empty in production).
+    pub chaos: ChaosPlan,
 }
 
 impl Default for ServerConfig {
@@ -86,9 +95,54 @@ impl Default for ServerConfig {
             max_cycles_per_slice: 50_000,
             cache_entries: 0,
             spool_dir: None,
+            spool_max_records: 4096,
+            chaos: ChaosPlan::none(),
         }
     }
 }
+
+/// What a nonce is currently known to be.
+pub(crate) enum NonceEntry {
+    /// The job is queued or running; attached waiters get a copy of
+    /// the outcome when it finishes.
+    Inflight(Vec<ReplyFn>),
+    /// The job finished; the recorded reply is replayed verbatim.
+    Done(Response),
+}
+
+/// In-memory idempotency index, FIFO-bounded on completed entries.
+/// Mirrors the spool's retained `.done` records (which re-seed it
+/// after a restart) but also covers spool-less daemons.
+pub(crate) struct NonceTable {
+    entries: HashMap<u64, NonceEntry>,
+    done_order: VecDeque<u64>,
+    cap: usize,
+}
+
+impl NonceTable {
+    fn new(cap: usize) -> NonceTable {
+        NonceTable {
+            entries: HashMap::new(),
+            done_order: VecDeque::new(),
+            cap: cap.max(1),
+        }
+    }
+}
+
+/// The dedupe decision for one submission.
+pub(crate) enum NonceGate {
+    /// Never seen: run the job (the waiter is handed back to become
+    /// its reply).
+    New(ReplyFn),
+    /// Seen and finished: replay this recorded reply, run nothing.
+    Replayed(Response),
+    /// Seen and still in flight: the waiter was attached to the
+    /// running job; it will be answered when the job finishes.
+    Attached,
+}
+
+/// Consecutive spool-write failures that trip the disk brownout.
+const DISK_FAIL_THRESHOLD: u32 = 3;
 
 pub(crate) struct ServerState {
     pub(crate) queue: JobQueue,
@@ -105,6 +159,13 @@ pub(crate) struct ServerState {
     pub(crate) conns_open: AtomicU64,
     pub(crate) conns_total: AtomicU64,
     pub(crate) replayed: AtomicU64,
+    pub(crate) deduped: AtomicU64,
+    pub(crate) shed: AtomicU64,
+    pub(crate) brownouts: AtomicU64,
+    pub(crate) nonces: Mutex<NonceTable>,
+    pub(crate) disk_fail_streak: AtomicU32,
+    pub(crate) disk_brownout: AtomicBool,
+    pub(crate) queue_brownout: AtomicBool,
 }
 
 impl ServerState {
@@ -128,13 +189,24 @@ impl ServerState {
             conns_open: self.conns_open.load(Ordering::Relaxed),
             conns_total: self.conns_total.load(Ordering::Relaxed),
             replayed: self.replayed.load(Ordering::Relaxed),
+            deduped: self.deduped.load(Ordering::Relaxed),
+            shed: self.shed.load(Ordering::Relaxed),
+            brownouts: self.brownouts.load(Ordering::Relaxed),
+            brownout: u64::from(self.in_brownout()),
+            spool_records: self.spool.as_ref().map_or(0, Spool::records),
+            spool_compactions: self.spool.as_ref().map_or(0, Spool::compactions),
         }
     }
 
-    /// Journals an accepted submission when persistence is on.
+    /// Journals an accepted submission when persistence is on, and
+    /// feeds the disk-brownout failure streak either way.
     pub(crate) fn journal_accept(&self, req: &JobRequest) -> io::Result<Option<u64>> {
         match &self.spool {
-            Some(spool) => spool.journal(req).map(Some),
+            Some(spool) => {
+                let result = spool.journal(req);
+                self.note_spool_write(result.is_ok());
+                result.map(Some)
+            }
             None => Ok(None),
         }
     }
@@ -144,6 +216,145 @@ impl ServerState {
         if let (Some(spool), Some(id)) = (&self.spool, id) {
             spool.forget(id);
         }
+    }
+
+    // ------------------------------------------------ nonce dedupe
+
+    /// Routes a submission through the idempotency index. Only the
+    /// multiplexer thread calls this, so lookup and registration
+    /// cannot interleave with another submission of the same nonce.
+    pub(crate) fn nonce_gate(&self, nonce: u64, waiter: ReplyFn) -> NonceGate {
+        if nonce == 0 {
+            return NonceGate::New(waiter);
+        }
+        let mut table = self.nonces.lock().expect("nonce lock");
+        match table.entries.get_mut(&nonce) {
+            None => NonceGate::New(waiter),
+            Some(NonceEntry::Done(response)) => {
+                self.deduped.fetch_add(1, Ordering::Relaxed);
+                NonceGate::Replayed(response.clone())
+            }
+            Some(NonceEntry::Inflight(waiters)) => {
+                self.deduped.fetch_add(1, Ordering::Relaxed);
+                waiters.push(waiter);
+                NonceGate::Attached
+            }
+        }
+    }
+
+    /// Marks a nonce in flight. Must happen *before* the job is
+    /// queued: a worker may finish it the instant it is submitted,
+    /// and `nonce_finish` needs the entry to transition.
+    pub(crate) fn nonce_register(&self, nonce: u64) {
+        if nonce == 0 {
+            return;
+        }
+        let mut table = self.nonces.lock().expect("nonce lock");
+        table
+            .entries
+            .insert(nonce, NonceEntry::Inflight(Vec::new()));
+    }
+
+    /// Rolls back a registration whose submission the queue bounced.
+    /// Returns any waiters that attached in the meantime so the
+    /// caller can answer them with the same rejection.
+    pub(crate) fn nonce_unregister(&self, nonce: u64) -> Vec<ReplyFn> {
+        if nonce == 0 {
+            return Vec::new();
+        }
+        let mut table = self.nonces.lock().expect("nonce lock");
+        match table.entries.remove(&nonce) {
+            Some(NonceEntry::Inflight(waiters)) => waiters,
+            Some(done @ NonceEntry::Done(_)) => {
+                // the job somehow finished; keep the record
+                table.entries.insert(nonce, done);
+                Vec::new()
+            }
+            None => Vec::new(),
+        }
+    }
+
+    /// Records a nonce's final reply and returns the waiters to
+    /// answer. FIFO-evicts the oldest completed entries past the cap.
+    pub(crate) fn nonce_finish(&self, nonce: u64, response: &Response) -> Vec<ReplyFn> {
+        if nonce == 0 {
+            return Vec::new();
+        }
+        let mut table = self.nonces.lock().expect("nonce lock");
+        let waiters = match table
+            .entries
+            .insert(nonce, NonceEntry::Done(response.clone()))
+        {
+            Some(NonceEntry::Inflight(waiters)) => waiters,
+            _ => Vec::new(),
+        };
+        table.done_order.push_back(nonce);
+        while table.done_order.len() > table.cap {
+            let oldest = table.done_order.pop_front().expect("non-empty");
+            // an evicted nonce may have been re-registered in flight;
+            // only completed entries are evictable
+            if matches!(table.entries.get(&oldest), Some(NonceEntry::Done(_))) {
+                table.entries.remove(&oldest);
+            }
+        }
+        waiters
+    }
+
+    // --------------------------------------------------- brownout
+
+    /// Feeds the disk health tracker: [`DISK_FAIL_THRESHOLD`]
+    /// consecutive spool-write failures enter the disk brownout; the
+    /// first success (real write or probe) exits it.
+    pub(crate) fn note_spool_write(&self, ok: bool) {
+        if ok {
+            self.disk_fail_streak.store(0, Ordering::Relaxed);
+            self.disk_brownout.store(false, Ordering::SeqCst);
+        } else {
+            let streak = self.disk_fail_streak.fetch_add(1, Ordering::Relaxed) + 1;
+            if streak >= DISK_FAIL_THRESHOLD && !self.disk_brownout.swap(true, Ordering::SeqCst) {
+                self.brownouts.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Probes the spool while in disk brownout; a successful probe
+    /// heals it. Driven from the multiplexer's idle ticks.
+    pub(crate) fn spool_probe(&self) {
+        if let Some(spool) = &self.spool {
+            if self.disk_brownout.load(Ordering::SeqCst) {
+                self.note_spool_write(spool.probe().is_ok());
+            }
+        }
+    }
+
+    /// Enters the queue brownout (called on a full-queue rejection).
+    pub(crate) fn enter_queue_brownout(&self) {
+        if !self.queue_brownout.swap(true, Ordering::SeqCst) {
+            self.brownouts.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Exits the queue brownout once the backlog has drained to half
+    /// capacity (hysteresis, so the daemon does not flap at the
+    /// boundary).
+    pub(crate) fn update_queue_brownout(&self) {
+        if self.queue_brownout.load(Ordering::SeqCst)
+            && self.queue.len() <= self.queue.capacity() / 2
+        {
+            self.queue_brownout.store(false, Ordering::SeqCst);
+        }
+    }
+
+    pub(crate) fn in_disk_brownout(&self) -> bool {
+        self.disk_brownout.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn in_queue_brownout(&self) -> bool {
+        self.queue_brownout.load(Ordering::SeqCst)
+    }
+
+    pub(crate) fn in_brownout(&self) -> bool {
+        self.in_disk_brownout() || self.in_queue_brownout()
     }
 }
 
@@ -191,6 +402,7 @@ pub(crate) fn validate_submit(req: &JobRequest) -> Result<ValidSubmit, ProtoErro
 pub struct ServerHandle {
     local_addr: SocketAddr,
     state: Arc<ServerState>,
+    chaos: Arc<ChaosInjector>,
     mux: Option<JoinHandle<()>>,
     pool: Option<Pool>,
     waker: Waker,
@@ -206,9 +418,23 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     let listener = crate::mux::bind_reusable(&config.addr)?;
     let local_addr = listener.local_addr()?;
     listener.set_nonblocking(true)?;
+    let chaos = Arc::new(ChaosInjector::new(config.chaos));
+    let chaos_armed = !config.chaos.is_empty();
     let spool = match &config.spool_dir {
-        Some(dir) => Some(Spool::open(dir)?),
+        Some(dir) => {
+            let io: Box<dyn SpoolIo> = if chaos_armed {
+                Box::new(ChaosSpoolIo::new(Arc::clone(&chaos)))
+            } else {
+                Box::new(RealSpoolIo)
+            };
+            Some(Spool::open_with(dir, io, config.spool_max_records)?)
+        }
         None => None,
+    };
+    let nonce_cap = if config.spool_max_records > 0 {
+        config.spool_max_records
+    } else {
+        65_536
     };
     let state = Arc::new(ServerState {
         queue: JobQueue::new(config.queue_depth),
@@ -225,6 +451,13 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
         conns_open: AtomicU64::new(0),
         conns_total: AtomicU64::new(0),
         replayed: AtomicU64::new(0),
+        deduped: AtomicU64::new(0),
+        shed: AtomicU64::new(0),
+        brownouts: AtomicU64::new(0),
+        nonces: Mutex::new(NonceTable::new(nonce_cap)),
+        disk_fail_streak: AtomicU32::new(0),
+        disk_brownout: AtomicBool::new(false),
+        queue_brownout: AtomicBool::new(false),
     });
 
     replay_spool(&state)?;
@@ -237,6 +470,11 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
 
     let (waker, wake_rx) = wake_pair()?;
     let (completions_tx, completions) = channel();
+    let sock_io: Box<dyn SockIo> = if chaos_armed {
+        Box::new(ChaosSockIo::new(Arc::clone(&chaos)))
+    } else {
+        Box::new(RealSockIo)
+    };
     let mux = {
         let mux = Mux::new(
             listener,
@@ -245,6 +483,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
             completions_tx,
             waker.clone(),
             wake_rx,
+            sock_io,
         );
         std::thread::Builder::new()
             .name("rfvd-mux".into())
@@ -255,6 +494,7 @@ pub fn serve(config: ServerConfig) -> io::Result<ServerHandle> {
     Ok(ServerHandle {
         local_addr,
         state,
+        chaos,
         mux: Some(mux),
         pool: Some(pool),
         waker,
@@ -268,6 +508,15 @@ fn replay_spool(state: &Arc<ServerState>) -> io::Result<()> {
     let Some(spool) = &state.spool else {
         return Ok(());
     };
+    // Seed the nonce table from retained completed records first:
+    // a client retrying across the restart gets the recorded reply,
+    // not a second run. (`completed()` also quarantines torn `.done`
+    // records, reviving their jobs for the replay pass below.)
+    for done in spool.completed()? {
+        if done.request.nonce != 0 {
+            let _ = state.nonce_finish(done.request.nonce, &done.response);
+        }
+    }
     for spooled in spool.replay()? {
         let valid = match validate_submit(&spooled.request) {
             Ok(v) => v,
@@ -300,6 +549,7 @@ fn replay_spool(state: &Arc<ServerState>) -> io::Result<()> {
             spool_id: Some(spooled.id),
             spool_restored: true,
         };
+        state.nonce_register(job.request.nonce);
         state.queue.restore(job);
         state.submitted.fetch_add(1, Ordering::Relaxed);
         state.replayed.fetch_add(1, Ordering::Relaxed);
@@ -326,6 +576,13 @@ impl ServerHandle {
     /// serves remotely).
     pub fn stats(&self) -> ServerStats {
         self.state.stats()
+    }
+
+    /// The server's chaos injector: tests scale the storm up and down
+    /// at runtime ([`ChaosInjector::set_scale`]) and read per-kind
+    /// fire counts.
+    pub fn chaos(&self) -> Arc<ChaosInjector> {
+        Arc::clone(&self.chaos)
     }
 
     /// Drains (if not already draining) and reaps every thread: the
@@ -374,14 +631,17 @@ fn sim_failed(e: impl std::fmt::Display) -> ProtoError {
 
 /// Delivers a job's final outcome: the spool's `.done` record first
 /// (the durable reply — for a restored job, the only one), then the
-/// reply callback.
+/// nonce table's waiters, then the reply callback.
 fn finish_job(state: &ServerState, job: Job, outcome: Result<JobResult, ProtoError>) {
+    let response = match &outcome {
+        Ok(result) => Response::Result(result.clone()),
+        Err(e) => Response::Error(e.clone()),
+    };
     if let (Some(spool), Some(id)) = (&state.spool, job.spool_id) {
-        let response = match &outcome {
-            Ok(result) => Response::Result(result.clone()),
-            Err(e) => Response::Error(e.clone()),
-        };
-        let _ = spool.record_done(id, &response);
+        state.note_spool_write(spool.record_done(id, &response).is_ok());
+    }
+    for waiter in state.nonce_finish(job.request.nonce, &response) {
+        waiter(outcome.clone());
     }
     (job.reply)(outcome);
 }

@@ -179,11 +179,20 @@ fn sigkilled_daemon_replays_every_accepted_job_byte_identically() {
     assert_eq!(stats.failed, 0, "no replayed job may fail");
     daemon.kill();
 
-    // life 3: everything is done; a fresh open prunes and replays nothing
+    // life 3: everything is done; a fresh open replays nothing, and
+    // the completed pairs are *retained* as idempotency memory (they
+    // are what lets a restarted daemon dedupe resubmitted nonces)
     let daemon = Daemon::spawn(&spool);
     let mut probe = Client::connect(daemon.addr).unwrap();
-    assert_eq!(probe.stats().unwrap().replayed, 0, "done jobs stay done");
-    assert!(spool_ids(&spool, ".job").is_empty(), "records were pruned");
+    let stats = probe.stats().unwrap();
+    assert_eq!(stats.replayed, 0, "done jobs stay done");
+    let jobs = spool_ids(&spool, ".job");
+    assert_eq!(
+        jobs,
+        spool_ids(&spool, ".done"),
+        "every retained record is a completed job/done pair"
+    );
+    assert_eq!(stats.spool_records, jobs.len() as u64);
     daemon.kill();
 
     let _ = std::fs::remove_dir_all(&spool);
