@@ -24,11 +24,15 @@ fn usage(error: &str) -> ! {
     }
     eprintln!(
         "usage: perf [--quick] [--repeat N] [--out PATH] [--sweep-before S --sweep-after S]\n\
+         \x20           [--baseline FILE [--max-regress PCT]]\n\
          \x20 --quick           reduced workload set (CI smoke)\n\
          \x20 --repeat N        timed runs per (workload, policy); best kept (default 3)\n\
          \x20 --out PATH        report destination (default BENCH_PR4.json)\n\
          \x20 --sweep-before S  record a figures-sweep wall time before the overhaul, seconds\n\
-         \x20 --sweep-after S   record the matching wall time after, seconds"
+         \x20 --sweep-after S   record the matching wall time after, seconds\n\
+         \x20 --baseline FILE   rfv-perf-v1 report to gate against: exit 1 when any\n\
+         \x20                   policy's wall time regresses past --max-regress\n\
+         \x20 --max-regress PCT allowed regression percentage (default 50)"
     );
     exit(2);
 }
@@ -77,6 +81,34 @@ fn main() {
         (None, None) => None,
         _ => usage("--sweep-before and --sweep-after must be given together"),
     };
+    let baseline_path = take_flag(&mut args, "--baseline");
+    let max_regress = match take_flag(&mut args, "--max-regress") {
+        Some(v) => {
+            if baseline_path.is_none() {
+                usage("--max-regress needs --baseline");
+            }
+            match v.parse::<f64>() {
+                Ok(x) if x >= 0.0 && x.is_finite() => x,
+                _ => usage(&format!(
+                    "--max-regress needs a non-negative number, got `{v}`"
+                )),
+            }
+        }
+        None => 50.0,
+    };
+    let baseline = baseline_path.map(|path| {
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read baseline {path}: {e}");
+            exit(2);
+        });
+        match perf::parse_baseline(&json) {
+            Ok(b) => (path, b),
+            Err(e) => {
+                eprintln!("error: baseline {path}: {e}");
+                exit(2);
+            }
+        }
+    });
     if !args.is_empty() {
         usage(&format!("unknown argument `{}`", args[0]));
     }
@@ -97,4 +129,15 @@ fn main() {
         exit(1);
     }
     eprintln!("wrote {out}");
+    if let Some((path, baseline)) = baseline {
+        let violations = perf::regressions(&report, &baseline, max_regress);
+        if violations.is_empty() {
+            eprintln!("perf gate: within {max_regress}% of {path}");
+        } else {
+            for v in &violations {
+                eprintln!("perf gate FAILED: {v}");
+            }
+            exit(1);
+        }
+    }
 }

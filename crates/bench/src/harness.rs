@@ -2,12 +2,15 @@
 //! configurations, runs them, and converts simulator statistics into
 //! energy-model activity.
 
-use std::sync::OnceLock;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use rfv_compiler::{compile, spill_to_cap, CompileOptions, CompiledKernel};
 use rfv_core::VirtualizationPolicy;
 use rfv_power::model::RfActivity;
-use rfv_sim::{simulate, SanitizeLevel, SimConfig, SimResult, SimStats};
+use rfv_sim::{
+    simulate, simulate_predecoded, PredecodedKernel, SanitizeLevel, SimConfig, SimResult, SimStats,
+};
 use rfv_workloads::Workload;
 
 /// Process-wide sanitizer override for harness-driven experiments
@@ -28,6 +31,32 @@ pub fn sanitize_level() -> SanitizeLevel {
     SANITIZE.get().copied().unwrap_or_default()
 }
 
+/// Compiled-kernel memo shared by the `compile_*` helpers. Sweep
+/// drivers recompile the same workload at every sweep point (the
+/// compiler is pure, so the output is identical each time); the memo
+/// turns those repeats into a clone. Keyed like [`RESULT_MEMO`] by
+/// the `Debug` rendering of the input kernel and options — exact, not
+/// name-based, so a mutated kernel under a reused name cannot collide.
+static COMPILE_MEMO: OnceLock<Mutex<HashMap<String, CompiledKernel>>> = OnceLock::new();
+
+/// Entry cap for [`COMPILE_MEMO`]; saturates rather than evicts, like
+/// [`RESULT_MEMO_CAP`].
+const COMPILE_MEMO_CAP: usize = 256;
+
+fn compile_memoized(kernel: &rfv_isa::Kernel, opts: &CompileOptions) -> CompiledKernel {
+    let key = format!("{kernel:?}|{opts:?}");
+    let memo = COMPILE_MEMO.get_or_init(Default::default);
+    if let Some(hit) = memo.lock().expect("compile memo lock").get(&key) {
+        return hit.clone();
+    }
+    let ck = compile(kernel, opts).expect("suite kernels compile");
+    let mut memo = memo.lock().expect("compile memo lock");
+    if memo.len() < COMPILE_MEMO_CAP {
+        memo.insert(key, ck.clone());
+    }
+    ck
+}
+
 /// Compiles a workload with the paper's default 1 KB renaming-table
 /// budget (metadata embedded).
 ///
@@ -35,7 +64,7 @@ pub fn sanitize_level() -> SanitizeLevel {
 ///
 /// Panics when compilation fails — suite kernels are known-good.
 pub fn compile_full(w: &Workload) -> CompiledKernel {
-    compile(&w.kernel, &CompileOptions::default()).expect("suite kernels compile")
+    compile_memoized(&w.kernel, &CompileOptions::default())
 }
 
 /// Compiles a workload with a zero renaming budget: no registers are
@@ -49,7 +78,7 @@ pub fn compile_plain(w: &Workload) -> CompiledKernel {
     let opts = CompileOptions {
         table_budget_bytes: 0,
     };
-    compile(&w.kernel, &opts).expect("suite kernels compile")
+    compile_memoized(&w.kernel, &opts)
 }
 
 /// Compiles a workload with an effectively unlimited renaming-table
@@ -62,7 +91,7 @@ pub fn compile_unconstrained(w: &Workload) -> CompiledKernel {
     let opts = CompileOptions {
         table_budget_bytes: 64 * 1024,
     };
-    compile(&w.kernel, &opts).expect("suite kernels compile")
+    compile_memoized(&w.kernel, &opts)
 }
 
 /// The register cap the *compiler-spill* baseline must hit so that a
@@ -86,13 +115,40 @@ pub fn compile_spilled(w: &Workload, phys_regs: usize) -> CompiledKernel {
     let opts = CompileOptions {
         table_budget_bytes: 0,
     };
-    compile(&spilled.kernel, &opts).expect("spilled kernels compile")
+    compile_memoized(&spilled.kernel, &opts)
 }
+
+/// Completed-run memo for [`run`]. The simulator is deterministic
+/// (the engine-equivalence and parallel-determinism suites assert
+/// bit-identical results across engines, thread counts, and
+/// checkpoint boundaries), so a repeated `(kernel, config)` pair —
+/// common across sweeps that share a baseline point, e.g. every
+/// sweep's `baseline_full` reference row — can reuse the first run's
+/// result verbatim. Keyed by the full `Debug` rendering of both
+/// kernel and resolved config, so any semantic difference (compile
+/// options, shrink depth, sanitize level) produces a distinct key and
+/// a hit is exact, not approximate.
+///
+/// The timed benchmark path ([`run_predecoded`], used by the `perf`
+/// harness's repeat loops) deliberately bypasses the memo: its
+/// repeats must exercise the engine, not a table lookup.
+static RESULT_MEMO: OnceLock<Mutex<HashMap<String, SimResult>>> = OnceLock::new();
+
+/// Memo entry cap. A full `figures all` sweep needs a few hundred
+/// entries; the cap only guards long-lived embedders against
+/// unbounded growth. On overflow the memo saturates (stops inserting)
+/// rather than evicting — results never change, so a stale entry is
+/// impossible and saturation merely lowers the hit rate.
+const RESULT_MEMO_CAP: usize = 1024;
 
 /// Runs a compiled kernel, panicking on simulator errors (used by
 /// experiments where failure means a harness bug). The process-wide
 /// sanitize override (see [`set_sanitize`]) is applied unless the
 /// config already requests a level itself.
+///
+/// Identical `(kernel, config)` pairs are memoized per process (see
+/// [`RESULT_MEMO`]); the first call simulates, later calls return a
+/// clone of the recorded result.
 ///
 /// # Panics
 ///
@@ -109,7 +165,39 @@ pub fn run(kernel: &CompiledKernel, config: &SimConfig) -> SimResult {
     if !config.sanitize.is_on() {
         config.sanitize = sanitize_level();
     }
-    simulate(kernel, &config).unwrap_or_else(|e| panic!("simulation failed: {e}"))
+    let key = format!("{kernel:?}|{config:?}");
+    let memo = RESULT_MEMO.get_or_init(Default::default);
+    if let Some(hit) = memo.lock().expect("result memo lock").get(&key) {
+        return hit.clone();
+    }
+    // the lock is NOT held while simulating: concurrent workers may
+    // race on the same key and both simulate, but determinism makes
+    // the duplicate insert harmless
+    let result = simulate(kernel, &config).unwrap_or_else(|e| panic!("simulation failed: {e}"));
+    let mut memo = memo.lock().expect("result memo lock");
+    if memo.len() < RESULT_MEMO_CAP {
+        memo.insert(key, result.clone());
+    }
+    result
+}
+
+/// [`run`] reusing an already-predecoded program image, so timing
+/// loops repeat only the simulation itself (predecode + plan lowering
+/// happen once, outside the timed region).
+///
+/// # Panics
+///
+/// Panics when the simulation errors.
+pub fn run_predecoded(
+    kernel: &CompiledKernel,
+    config: &SimConfig,
+    prog: &Arc<PredecodedKernel>,
+) -> SimResult {
+    let mut config = *config;
+    if !config.sanitize.is_on() {
+        config.sanitize = sanitize_level();
+    }
+    simulate_predecoded(kernel, &config, prog).unwrap_or_else(|e| panic!("simulation failed: {e}"))
 }
 
 /// Converts an SM's statistics into energy-model activity counts.

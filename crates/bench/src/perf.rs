@@ -15,7 +15,10 @@
 //! perf-motivated change did not alter simulated behaviour.
 
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
+
+use rfv_sim::PredecodedKernel;
 
 use crate::figures::full_suite;
 use crate::harness::{self, Machine};
@@ -104,14 +107,17 @@ pub fn run(quick: bool, repeat: usize) -> Vec<PolicyPerf> {
             let rows = suite
                 .iter()
                 .map(|w| {
+                    // compile, predecode, and plan-lower once: the
+                    // timed region repeats only the simulation itself
                     let compiled = machine.compile(w);
                     let config = machine.config();
+                    let prog = Arc::new(PredecodedKernel::new(&compiled));
                     let mut best = f64::INFINITY;
                     let mut cycles = 0;
                     let mut instrs = 0;
                     for _ in 0..repeat {
                         let t0 = Instant::now();
-                        let result = harness::run(&compiled, &config);
+                        let result = harness::run_predecoded(&compiled, &config, &prog);
                         let wall = t0.elapsed().as_secs_f64();
                         best = best.min(wall);
                         cycles = result.cycles;
@@ -203,6 +209,102 @@ pub fn to_json(
     s
 }
 
+// ------------------------------------------------- regression gating
+
+/// Per-machine workload wall times parsed back out of an
+/// `rfv-perf-v1` report — the baseline side of the CI regression
+/// gate. Hand-rolled line scanning, mirroring the hand-rolled writer.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineReport {
+    /// `(machine, [(workload, wall_s)])` in report order.
+    pub machines: Vec<(String, Vec<(String, f64)>)>,
+}
+
+/// Extracts the value following `"key": ` on `line` up to the next
+/// `,`, `}`, or end of line.
+fn field_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Some(rest[..end].trim())
+}
+
+/// Extracts the string value of `"key": "..."` on `line`.
+fn str_field_after<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    field_after(line, key)?.strip_prefix('"')?.strip_suffix('"')
+}
+
+/// Parses an `rfv-perf-v1` report's machine/workload wall times.
+///
+/// # Errors
+///
+/// Rejects reports without the `rfv-perf-v1` schema marker or with no
+/// machine sections (anything else in the file is ignored — the gate
+/// only needs the wall times).
+pub fn parse_baseline(json: &str) -> Result<BaselineReport, String> {
+    if !json.contains("\"schema\": \"rfv-perf-v1\"") {
+        return Err("not an rfv-perf-v1 report".into());
+    }
+    let mut report = BaselineReport::default();
+    for line in json.lines() {
+        if let Some(machine) = str_field_after(line, "machine") {
+            report.machines.push((machine.to_string(), Vec::new()));
+        } else if let (Some(name), Some(wall)) =
+            (str_field_after(line, "name"), field_after(line, "wall_s"))
+        {
+            let wall: f64 = wall
+                .parse()
+                .map_err(|_| format!("bad wall_s `{wall}` for workload `{name}`"))?;
+            let Some((_, rows)) = report.machines.last_mut() else {
+                return Err(format!("workload `{name}` precedes any machine section"));
+            };
+            rows.push((name.to_string(), wall));
+        }
+    }
+    if report.machines.is_empty() {
+        return Err("report contains no machine sections".into());
+    }
+    Ok(report)
+}
+
+/// Compares a fresh report against a baseline, returning one message
+/// per machine whose wall time regressed by more than
+/// `max_regress_pct` percent. Totals are summed over the workloads
+/// present in *both* reports, so a `--quick` run gates correctly
+/// against a full baseline. Empty means the gate passes.
+pub fn regressions(
+    current: &[PolicyPerf],
+    baseline: &BaselineReport,
+    max_regress_pct: f64,
+) -> Vec<String> {
+    let mut msgs = Vec::new();
+    for p in current {
+        let Some((_, base_rows)) = baseline.machines.iter().find(|(m, _)| m == p.machine) else {
+            continue;
+        };
+        let mut base_sum = 0.0;
+        let mut cur_sum = 0.0;
+        for r in &p.rows {
+            if let Some((_, wall)) = base_rows.iter().find(|(n, _)| n == r.name) {
+                base_sum += wall;
+                cur_sum += r.wall_s;
+            }
+        }
+        if base_sum <= 0.0 {
+            continue;
+        }
+        let pct = (cur_sum - base_sum) / base_sum * 100.0;
+        if pct > max_regress_pct {
+            msgs.push(format!(
+                "{}: {cur_sum:.3}s vs baseline {base_sum:.3}s (+{pct:.1}% > {max_regress_pct:.1}%)",
+                p.machine
+            ));
+        }
+    }
+    msgs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -236,5 +338,68 @@ mod tests {
         // balanced braces / brackets (hand-rolled writer)
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    /// A tiny report: one machine, two workloads with the given times.
+    fn fake_policy(machine: &'static str, walls: &[(&'static str, f64)]) -> PolicyPerf {
+        PolicyPerf {
+            machine,
+            rows: walls
+                .iter()
+                .map(|&(name, wall_s)| WorkloadPerf {
+                    name,
+                    cycles: 100,
+                    instrs: 10,
+                    wall_s,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn baseline_round_trips_through_json() {
+        let report = vec![
+            fake_policy("conventional", &[("mm", 1.5), ("stencil", 0.5)]),
+            fake_policy("full_virtualization", &[("mm", 2.0), ("stencil", 1.0)]),
+        ];
+        let json = to_json(&report, false, 3, None);
+        let parsed = parse_baseline(&json).expect("writer output parses");
+        assert_eq!(parsed.machines.len(), 2);
+        assert_eq!(parsed.machines[0].0, "conventional");
+        assert_eq!(
+            parsed.machines[0].1,
+            vec![("mm".into(), 1.5), ("stencil".into(), 0.5)]
+        );
+        // identical report → no regression at any threshold
+        assert!(regressions(&report, &parsed, 0.0).is_empty());
+    }
+
+    #[test]
+    fn gate_flags_only_past_threshold_regressions() {
+        let baseline_report = vec![fake_policy(
+            "conventional",
+            &[("mm", 1.0), ("stencil", 1.0)],
+        )];
+        let baseline = parse_baseline(&to_json(&baseline_report, false, 3, None)).unwrap();
+        // 50% slower on the common workloads
+        let current = vec![fake_policy(
+            "conventional",
+            &[("mm", 1.5), ("stencil", 1.5)],
+        )];
+        assert!(regressions(&current, &baseline, 60.0).is_empty());
+        let flagged = regressions(&current, &baseline, 25.0);
+        assert_eq!(flagged.len(), 1);
+        assert!(flagged[0].starts_with("conventional:"), "{}", flagged[0]);
+        // unknown machines and workloads are ignored, not flagged
+        let unknown = vec![fake_policy("gpu_shrink_50", &[("mm", 9.0)])];
+        assert!(regressions(&unknown, &baseline, 0.0).is_empty());
+        let disjoint = vec![fake_policy("conventional", &[("other", 9.0)])];
+        assert!(regressions(&disjoint, &baseline, 0.0).is_empty());
+    }
+
+    #[test]
+    fn baseline_parser_rejects_foreign_json() {
+        assert!(parse_baseline("{}").is_err());
+        assert!(parse_baseline("{\"schema\": \"rfv-perf-v1\"}").is_err());
     }
 }

@@ -1,529 +1,11 @@
-//! Zero-dependency persistent job pool.
+//! Compatibility re-export of the persistent job pool.
 //!
-//! The figure/table sweeps are embarrassingly parallel: every
-//! (workload, configuration) run is independent, and the paper's
-//! evaluation replays hundreds of them. [`par_map`] fans such runs
-//! out across worker threads while returning results **in input
-//! order**, so table rows and CSV files are byte-identical to a
-//! sequential run.
-//!
-//! Panics are contained per job: [`par_map_catching`] catches a
-//! panicking job and returns it as a typed [`JobError`] row while
-//! every other job still completes — one poisoned (workload, config)
-//! cell cannot take a whole sweep down. [`par_map`] is built on top
-//! and re-raises the first failure only after all jobs have finished.
-//!
-//! Worker threads are spawned **once per process** into a shared
-//! [`Pool`] and reused by every subsequent `par_map` call — the
-//! per-run scoped-thread spawn the original implementation paid (one
-//! `clone`+spawn+join per worker per sweep cell batch) was the first
-//! scalability cliff on the road to datacenter-scale sweeps. Daemons
-//! that need dedicated capacity (e.g. `rfvd`'s job runners) create
-//! their own [`Pool`] and either [`Pool::spawn`] owned tasks or
-//! [`Pool::broadcast`] borrowed closures.
-//!
-//! The worker count comes from, in priority order: an explicit
-//! [`set_jobs`] call (the binaries' `--jobs N` flag), the `RFV_JOBS`
-//! environment variable, and finally the machine's available
-//! parallelism. One worker short-circuits to a plain sequential map.
+//! The pool started life here in `rfv-bench`, but the simulator's
+//! per-SM fan-out (`rfv_sim::gpu`) needs the same persistent workers
+//! and `rfv-bench` depends on `rfv-sim` — so the implementation moved
+//! to the zero-dependency [`rfv_pool`] crate at the bottom of the
+//! dependency graph. Existing `rfv_bench::pool::*` call sites (the
+//! figure sweeps, `rfvsim`, `rfvd`'s job runners) keep working through
+//! this re-export.
 
-use std::cell::Cell;
-use std::collections::VecDeque;
-use std::fmt;
-use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
-
-/// Global worker-count override; `0` means "not set".
-static JOBS: AtomicUsize = AtomicUsize::new(0);
-
-/// Fixes the pool's worker count for the rest of the process (the
-/// `--jobs N` flag). Values below one are clamped to one.
-pub fn set_jobs(n: usize) {
-    JOBS.store(n.max(1), Ordering::Relaxed);
-}
-
-/// The worker count [`par_map`] will use: [`set_jobs`] if called,
-/// else [`default_jobs`].
-pub fn jobs() -> usize {
-    match JOBS.load(Ordering::Relaxed) {
-        0 => default_jobs(),
-        n => n,
-    }
-}
-
-/// The environment-derived default worker count: `RFV_JOBS` when set
-/// to a positive integer, else the machine's available parallelism.
-/// An unparsable `RFV_JOBS` earns one stderr warning naming the bad
-/// value instead of being silently ignored.
-pub fn default_jobs() -> usize {
-    match std::env::var("RFV_JOBS") {
-        Err(_) => machine_parallelism(),
-        Ok(raw) => parse_jobs(&raw).unwrap_or_else(|| {
-            eprintln!(
-                "warning: RFV_JOBS={raw:?} is not a positive integer; \
-                 using machine parallelism"
-            );
-            machine_parallelism()
-        }),
-    }
-}
-
-/// Parses an `RFV_JOBS`-style value: a positive integer (surrounding
-/// whitespace tolerated), else `None`.
-pub fn parse_jobs(raw: &str) -> Option<usize> {
-    raw.trim().parse().ok().filter(|&n| n > 0)
-}
-
-fn machine_parallelism() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
-}
-
-/// One job's failure inside [`par_map_catching`]: the job panicked and
-/// the panic was contained to its own result slot.
-#[derive(Clone, PartialEq, Eq, Debug)]
-pub struct JobError {
-    /// Input-slice index of the failed job.
-    pub index: usize,
-    /// The panic payload, rendered to text.
-    pub message: String,
-}
-
-impl fmt::Display for JobError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "job {} panicked: {}", self.index, self.message)
-    }
-}
-
-impl std::error::Error for JobError {}
-
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&str>() {
-        (*s).to_string()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "panic of unknown type".to_string()
-    }
-}
-
-// ------------------------------------------------ persistent workers
-
-type Task = Box<dyn FnOnce() + Send + 'static>;
-
-struct PoolShared {
-    queue: Mutex<PoolQueue>,
-    ready: Condvar,
-}
-
-struct PoolQueue {
-    tasks: VecDeque<Task>,
-    closed: bool,
-}
-
-thread_local! {
-    /// Set while the current thread is a pool worker executing a task,
-    /// so a nested `par_map` degrades to the sequential path instead
-    /// of submitting work it would then deadlock waiting for.
-    static IN_POOL_WORKER: Cell<bool> = const { Cell::new(false) };
-}
-
-/// A fixed set of long-lived worker threads executing queued tasks.
-///
-/// Unlike a scoped-thread fan-out, the threads survive across calls:
-/// a sweep that issues thousands of `par_map` batches reuses the same
-/// OS threads throughout. Dropping the pool closes the queue, lets
-/// queued tasks finish, and joins every worker.
-pub struct Pool {
-    shared: Arc<PoolShared>,
-    handles: Vec<std::thread::JoinHandle<()>>,
-}
-
-impl Pool {
-    /// Spawns a pool of `workers` threads (clamped to at least one).
-    pub fn new(workers: usize) -> Pool {
-        let shared = Arc::new(PoolShared {
-            queue: Mutex::new(PoolQueue {
-                tasks: VecDeque::new(),
-                closed: false,
-            }),
-            ready: Condvar::new(),
-        });
-        let handles = (0..workers.max(1))
-            .map(|i| {
-                let shared = Arc::clone(&shared);
-                std::thread::Builder::new()
-                    .name(format!("rfv-pool-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .expect("spawn pool worker")
-            })
-            .collect();
-        Pool { shared, handles }
-    }
-
-    /// Number of worker threads.
-    pub fn workers(&self) -> usize {
-        self.handles.len()
-    }
-
-    /// Enqueues an owned task for execution on some worker. A task
-    /// that panics is contained to itself (the worker survives).
-    pub fn spawn(&self, task: impl FnOnce() + Send + 'static) {
-        let mut q = self.shared.queue.lock().expect("pool queue poisoned");
-        assert!(!q.closed, "spawn on a closed pool");
-        q.tasks.push_back(Box::new(task));
-        drop(q);
-        self.shared.ready.notify_one();
-    }
-
-    /// Runs `copies` instances of `work` on the pool and returns once
-    /// every instance has finished — the persistent-pool equivalent of
-    /// spawning `copies` scoped threads. `work` may borrow from the
-    /// caller's stack; the latch below guarantees those borrows end
-    /// before this function returns.
-    pub fn broadcast(&self, copies: usize, work: &(dyn Fn() + Sync)) {
-        if copies == 0 {
-            return;
-        }
-        let latch = Arc::new(Latch::new(copies));
-        // SAFETY: lifetime erasure only. Every submitted task holds a
-        // clone of `latch` and decrements it when it drops (even on
-        // panic, via LatchGuard), and we block on `latch.wait()` until
-        // all `copies` decrements have happened — so no worker can
-        // touch `work` after this frame returns, which is exactly the
-        // guarantee std::thread::scope provides.
-        let work: &'static (dyn Fn() + Sync) = unsafe { std::mem::transmute(work) };
-        {
-            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
-            assert!(!q.closed, "broadcast on a closed pool");
-            for _ in 0..copies {
-                let latch = Arc::clone(&latch);
-                q.tasks.push_back(Box::new(move || {
-                    let _done = LatchGuard(&latch);
-                    work();
-                }));
-            }
-        }
-        self.shared.ready.notify_all();
-        latch.wait();
-    }
-}
-
-impl Drop for Pool {
-    fn drop(&mut self) {
-        {
-            let mut q = self.shared.queue.lock().expect("pool queue poisoned");
-            q.closed = true;
-        }
-        self.shared.ready.notify_all();
-        for h in self.handles.drain(..) {
-            let _ = h.join();
-        }
-    }
-}
-
-fn worker_loop(shared: &PoolShared) {
-    loop {
-        let task = {
-            let mut q = shared.queue.lock().expect("pool queue poisoned");
-            loop {
-                if let Some(t) = q.tasks.pop_front() {
-                    break t;
-                }
-                if q.closed {
-                    return;
-                }
-                q = shared.ready.wait(q).expect("pool queue poisoned");
-            }
-        };
-        IN_POOL_WORKER.with(|f| f.set(true));
-        // contain task panics to the task: par_map already catches per
-        // item, so an unwind reaching here is a harness bug — but it
-        // must not take the worker thread (and the pool) down with it
-        let _ = catch_unwind(AssertUnwindSafe(task));
-        IN_POOL_WORKER.with(|f| f.set(false));
-    }
-}
-
-/// Countdown latch: `wait` blocks until `count_down` has been called
-/// the configured number of times.
-struct Latch {
-    remaining: Mutex<usize>,
-    done: Condvar,
-}
-
-impl Latch {
-    fn new(n: usize) -> Latch {
-        Latch {
-            remaining: Mutex::new(n),
-            done: Condvar::new(),
-        }
-    }
-
-    fn count_down(&self) {
-        let mut r = self.remaining.lock().expect("latch poisoned");
-        *r -= 1;
-        if *r == 0 {
-            self.done.notify_all();
-        }
-    }
-
-    fn wait(&self) {
-        let mut r = self.remaining.lock().expect("latch poisoned");
-        while *r > 0 {
-            r = self.done.wait(r).expect("latch poisoned");
-        }
-    }
-}
-
-/// Decrements its latch on drop, so a panicking broadcast task still
-/// releases the waiting caller.
-struct LatchGuard<'a>(&'a Latch);
-
-impl Drop for LatchGuard<'_> {
-    fn drop(&mut self) {
-        self.0.count_down();
-    }
-}
-
-/// The process-wide pool `par_map` runs on, created on first use and
-/// sized to the larger of the machine parallelism and the configured
-/// job count (a `par_map` call asking for fewer workers simply
-/// submits fewer runner tasks).
-fn global() -> &'static Pool {
-    static GLOBAL: OnceLock<Pool> = OnceLock::new();
-    GLOBAL.get_or_init(|| Pool::new(machine_parallelism().max(jobs())))
-}
-
-/// Maps `f` over `items` on the pool's workers (see [`jobs`]),
-/// preserving input order in the returned vector.
-///
-/// # Panics
-///
-/// Re-raises the first job panic — but only after every other job has
-/// completed, so no work is lost to an unrelated failure.
-pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    par_map_with(jobs(), items, f)
-}
-
-/// [`par_map`] with an explicit worker count.
-///
-/// # Panics
-///
-/// See [`par_map`].
-pub fn par_map_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    par_map_catching_with(workers, items, f)
-        .into_iter()
-        .map(|r| r.unwrap_or_else(|e| panic!("{e}")))
-        .collect()
-}
-
-/// [`par_map`] with per-job panic isolation: a panicking job yields
-/// `Err(JobError)` in its slot while all other jobs run to completion.
-pub fn par_map_catching<T, U, F>(items: &[T], f: F) -> Vec<Result<U, JobError>>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    par_map_catching_with(jobs(), items, f)
-}
-
-/// [`par_map_catching`] with an explicit worker count.
-pub fn par_map_catching_with<T, U, F>(workers: usize, items: &[T], f: F) -> Vec<Result<U, JobError>>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    let workers = workers.min(items.len()).max(1);
-    let catching = |i: usize, item: &T| -> Result<U, JobError> {
-        catch_unwind(AssertUnwindSafe(|| f(item))).map_err(|payload| JobError {
-            index: i,
-            message: panic_message(payload.as_ref()),
-        })
-    };
-    // sequential fallback: trivial batches, and calls made from inside
-    // a pool worker (whose runner tasks could otherwise wait on pool
-    // capacity the caller itself is occupying)
-    if workers == 1 || IN_POOL_WORKER.with(Cell::get) {
-        return items
-            .iter()
-            .enumerate()
-            .map(|(i, item)| catching(i, item))
-            .collect();
-    }
-    // work-stealing by atomic cursor: runner tasks on the persistent
-    // pool pull the next index and write the result into its slot, so
-    // output order is input order regardless of scheduling
-    let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<Result<U, JobError>>>> =
-        items.iter().map(|_| Mutex::new(None)).collect();
-    global().broadcast(workers, &|| loop {
-        let i = next.fetch_add(1, Ordering::Relaxed);
-        let Some(item) = items.get(i) else { break };
-        let result = catching(i, item);
-        *slots[i].lock().expect("result slot poisoned") = Some(result);
-    });
-    slots
-        .into_iter()
-        .map(|slot| {
-            slot.into_inner()
-                .expect("result slot poisoned")
-                .expect("worker filled every slot")
-        })
-        .collect()
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn preserves_input_order() {
-        let items: Vec<usize> = (0..100).collect();
-        for workers in [1, 2, 7, 64] {
-            let out = par_map_with(workers, &items, |&i| i * 3);
-            assert_eq!(out, items.iter().map(|i| i * 3).collect::<Vec<_>>());
-        }
-    }
-
-    #[test]
-    fn handles_empty_and_single_inputs() {
-        let empty: Vec<u32> = Vec::new();
-        assert!(par_map_with(8, &empty, |x| *x).is_empty());
-        assert_eq!(par_map_with(8, &[42u32], |x| *x + 1), vec![43]);
-    }
-
-    #[test]
-    fn uneven_work_still_lands_in_order() {
-        // later items finish first; order must still hold
-        let items: Vec<u64> = (0..16).rev().collect();
-        let out = par_map_with(4, &items, |&n| {
-            std::thread::sleep(std::time::Duration::from_millis(n / 4));
-            n
-        });
-        assert_eq!(out, items);
-    }
-
-    #[test]
-    fn default_jobs_is_positive() {
-        assert!(default_jobs() >= 1);
-        assert!(jobs() >= 1);
-    }
-
-    #[test]
-    fn jobs_env_values_parse_strictly() {
-        assert_eq!(parse_jobs("4"), Some(4));
-        assert_eq!(parse_jobs(" 16 "), Some(16));
-        for garbage in ["abc", "", "0", "-2", "3.5", "4x", "1e3"] {
-            assert_eq!(parse_jobs(garbage), None, "{garbage:?} must be rejected");
-        }
-    }
-
-    #[test]
-    fn one_panicking_job_does_not_poison_the_sweep() {
-        let items: Vec<u32> = (0..24).collect();
-        for workers in [1, 4] {
-            let out = par_map_catching_with(workers, &items, |&i| {
-                assert!(i != 13, "rigged failure on item 13");
-                i * 2
-            });
-            assert_eq!(out.len(), items.len());
-            for (i, r) in out.iter().enumerate() {
-                if i == 13 {
-                    let e = r.as_ref().expect_err("item 13 fails");
-                    assert_eq!(e.index, 13);
-                    assert!(e.message.contains("rigged failure"), "{}", e.message);
-                } else {
-                    assert_eq!(*r.as_ref().expect("other items succeed"), i as u32 * 2);
-                }
-            }
-        }
-    }
-
-    #[test]
-    #[should_panic(expected = "job 3 panicked")]
-    fn par_map_reraises_after_all_jobs_finish() {
-        let items: Vec<u32> = (0..8).collect();
-        let _ = par_map_with(2, &items, |&i| {
-            assert!(i != 3, "boom");
-            i
-        });
-    }
-
-    #[test]
-    fn par_map_reuses_one_persistent_thread_set() {
-        use std::collections::HashSet;
-        use std::thread::ThreadId;
-        // five batches through the global pool must never touch more
-        // distinct threads than the pool owns; the old scoped-spawn
-        // implementation would have created 5 * workers fresh threads
-        let mut seen: HashSet<ThreadId> = HashSet::new();
-        let items: Vec<usize> = (0..32).collect();
-        for _ in 0..5 {
-            let ids = par_map_with(4, &items, |_| {
-                std::thread::sleep(std::time::Duration::from_micros(200));
-                std::thread::current().id()
-            });
-            seen.extend(ids);
-        }
-        assert!(
-            seen.len() <= global().workers(),
-            "{} distinct threads for a {}-thread pool",
-            seen.len(),
-            global().workers()
-        );
-    }
-
-    #[test]
-    fn nested_par_map_degrades_to_sequential_without_deadlock() {
-        let outer: Vec<u32> = (0..4).collect();
-        let out = par_map_with(2, &outer, |&i| {
-            let inner: Vec<u32> = (0..4).collect();
-            par_map_with(4, &inner, |&j| i * 10 + j).iter().sum::<u32>()
-        });
-        assert_eq!(out, vec![6, 46, 86, 126]);
-    }
-
-    #[test]
-    fn private_pool_spawn_runs_tasks_and_survives_panics() {
-        let pool = Pool::new(2);
-        let hits = Arc::new(AtomicUsize::new(0));
-        pool.spawn(|| panic!("contained"));
-        for _ in 0..8 {
-            let hits = Arc::clone(&hits);
-            pool.spawn(move || {
-                hits.fetch_add(1, Ordering::Relaxed);
-            });
-        }
-        // dropping joins: every queued task ran despite the panic
-        drop(pool);
-        assert_eq!(hits.load(Ordering::Relaxed), 8);
-    }
-
-    #[test]
-    fn broadcast_waits_for_all_copies_and_contains_panics() {
-        let pool = Pool::new(3);
-        let hits = AtomicUsize::new(0);
-        pool.broadcast(6, &|| {
-            let n = hits.fetch_add(1, Ordering::Relaxed);
-            assert!(n != 2, "one copy panics");
-        });
-        // returning proves the latch released despite the panic
-        assert_eq!(hits.load(Ordering::Relaxed), 6);
-        pool.broadcast(0, &|| unreachable!("zero copies never run"));
-    }
-}
+pub use rfv_pool::*;

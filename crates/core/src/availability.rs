@@ -36,6 +36,12 @@ pub struct Availability {
     subarray_occupancy: Vec<usize>,
     free_count: usize,
     free_per_bank: [usize; NUM_REG_BANKS],
+    /// Precomputed `phys index → (bank, global subarray)`: `bank_of` /
+    /// `subarray_of` run per operand and per alloc/free on the
+    /// simulator's issue path, and the divisions by runtime bank and
+    /// subarray sizes (not powers of two for shrunk files) are the
+    /// expensive part.
+    place: Vec<(u8, u16)>,
 }
 
 impl Availability {
@@ -47,27 +53,36 @@ impl Availability {
         if !phys_regs.is_multiple_of(64) {
             *words.last_mut().expect("phys_regs > 0") = (1u64 << (phys_regs % 64)) - 1;
         }
+        let (bank_size, subarray_size) = (config.bank_size(), config.subarray_size());
+        let place = (0..phys_regs)
+            .map(|idx| {
+                let bank = idx / bank_size;
+                let gsa = bank * SUBARRAYS_PER_BANK + (idx % bank_size) / subarray_size;
+                (bank as u8, gsa as u16)
+            })
+            .collect();
         Availability {
-            bank_size: config.bank_size(),
-            subarray_size: config.subarray_size(),
+            bank_size,
+            subarray_size,
             phys_regs,
             words,
             subarray_occupancy: vec![0; config.num_subarrays()],
             free_count: phys_regs,
             free_per_bank: [config.bank_size(); NUM_REG_BANKS],
+            place,
         }
     }
 
     /// The bank a physical register lives in.
+    #[inline]
     pub fn bank_of(&self, p: PhysReg) -> BankId {
-        BankId::new(p.index() / self.bank_size)
+        BankId::new(usize::from(self.place[p.index()].0))
     }
 
     /// The global subarray id a physical register lives in.
+    #[inline]
     pub fn subarray_of(&self, p: PhysReg) -> usize {
-        let bank = p.index() / self.bank_size;
-        let within = p.index() % self.bank_size;
-        bank * SUBARRAYS_PER_BANK + within / self.subarray_size
+        usize::from(self.place[p.index()].1)
     }
 
     /// Allocates a register in `bank`, preferring subarrays that are
@@ -148,8 +163,9 @@ impl Availability {
         }
         self.words[idx / 64] |= mask;
         self.free_count += 1;
-        self.free_per_bank[idx / self.bank_size] += 1;
-        let sa = self.subarray_of(p);
+        let (bank, sa) = self.place[idx];
+        self.free_per_bank[usize::from(bank)] += 1;
+        let sa = usize::from(sa);
         self.subarray_occupancy[sa] -= 1;
         Some((sa, self.subarray_occupancy[sa] == 0))
     }

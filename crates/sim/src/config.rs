@@ -63,11 +63,22 @@ pub struct SimConfig {
     /// machinery (see `rfv_faults`). Empty by default.
     pub faults: FaultPlan,
     /// Differential-testing switch: compute idle-cycle skips with the
-    /// pre-overhaul O(warps) status rescan instead of the incremental
-    /// wake-event index. The two are equivalent by construction; the
+    /// lazily-validated wake-event heap instead of the SoA warp-status
+    /// min-scan. The two are equivalent by construction; the
     /// engine-equivalence suite runs both and asserts bit-identical
-    /// results. Off (incremental) by default.
-    pub reference_wake_scan: bool,
+    /// results. Off (scan) by default — with warp scheduling state in
+    /// contiguous SoA arrays, the branchless O(warps) sweep on idle
+    /// cycles is cheaper than pushing a heap entry on every warp
+    /// status transition.
+    pub incremental_wake_index: bool,
+    /// Executable-spec switch: issue instructions through the original
+    /// `match`-based interpreter instead of the precompiled
+    /// threaded-code execution plan (see `sm::plan`). The plan is
+    /// lowered from the same predecoded image and must be byte-exact
+    /// with the interpreter — the engine-equivalence suite runs both
+    /// and asserts bit-identical stats, memories, and traces. Off
+    /// (plan engine) by default.
+    pub reference_interpreter: bool,
 }
 
 impl SimConfig {
@@ -93,7 +104,8 @@ impl SimConfig {
             sm_jobs: None,
             sanitize: SanitizeLevel::Off,
             faults: FaultPlan::none(),
-            reference_wake_scan: false,
+            incremental_wake_index: false,
+            reference_interpreter: false,
         }
     }
 
@@ -120,8 +132,11 @@ impl SimConfig {
     /// parallel and sequential paths are bit-identical), `max_cycles`
     /// (the watchdog only decides when to give up, so a checkpoint
     /// from an aborted run may resume under a larger budget), and
-    /// `reference_wake_scan` (the two wake engines are equivalent by
-    /// construction and produce identical state).
+    /// `incremental_wake_index` (the two wake engines are equivalent by
+    /// construction and produce identical state), and
+    /// `reference_interpreter` (the threaded-code plan and the
+    /// interpreter are byte-exact by the same contract, so a
+    /// checkpoint taken under one engine may resume under the other).
     pub fn stable_hash(&self) -> u64 {
         let mut e = Enc::new();
         e.usize(self.num_sms);
@@ -221,7 +236,8 @@ mod tests {
         let mut b = a;
         b.sm_jobs = Some(4);
         b.max_cycles = 123;
-        b.reference_wake_scan = true;
+        b.incremental_wake_index = true;
+        b.reference_interpreter = true;
         assert_eq!(a.stable_hash(), b.stable_hash());
         let mut c = a;
         c.mem_base_latency += 1;

@@ -8,15 +8,20 @@
 //!
 //! # Parallel execution
 //!
-//! Because SMs are independent, multi-SM runs execute each SM on its
-//! own `std::thread::scope` worker and merge the results afterwards.
-//! The merge is deterministic: per-SM statistics and memories are
-//! collected in SM order regardless of thread completion order, and
-//! trace events are combined by [`rfv_trace::merge_shards`] on the
-//! total key `(cycle, sm, seq)` — so a parallel run is bit-identical
-//! to a sequential one. [`SimConfig::sm_jobs`] (or the `RFV_JOBS`
-//! environment variable, checked when the config leaves it `None`)
-//! forces the worker count; `1` restores the sequential path.
+//! Because SMs are independent, multi-SM runs execute each SM on the
+//! process-wide persistent worker pool ([`rfv_pool`]) and merge the
+//! results afterwards — repeated runs (sweep rows, benchmark repeats,
+//! `rfvd` job slices) reuse one set of threads instead of spawning a
+//! scope per run. The merge is deterministic: per-SM statistics and
+//! memories are collected in SM order regardless of thread completion
+//! order, and trace events are combined by [`rfv_trace::merge_shards`]
+//! on the total key `(cycle, sm, seq)` — so a parallel run is
+//! bit-identical to a sequential one. [`SimConfig::sm_jobs`] (or the
+//! `RFV_JOBS` environment variable, checked when the config leaves it
+//! `None`) forces the worker count; `1` restores the sequential path.
+//!
+//! Each run also predecodes (and plan-lowers, see [`crate::sm::plan`])
+//! the kernel exactly once, sharing the image across its SMs.
 
 use std::sync::Arc;
 
@@ -145,40 +150,43 @@ fn run_all(
     // reject zero-SM (and other degenerate) configs before the CTA
     // distribution below divides by num_sms or reporting indexes SM 0
     config.validate().map_err(SimError::BadConfig)?;
-    let assignments = cta_assignments(kernel, config);
+    // predecode + plan-lower once; every SM of the run shares the image
+    let prog = Arc::new(PredecodedKernel::new(kernel));
     let run_one = |sm_id: usize, assigned: Vec<u32>| -> Result<crate::sm::SmResult, SimError> {
-        let mut sm = Sm::new(*config, kernel, assigned)?;
+        let mut sm = Sm::with_predecoded(*config, kernel, assigned, Arc::clone(&prog))?;
         sm.set_tracing(sm_id as u16, trace_capacity);
         for &(addr, value) in init {
             sm.write_global(addr, value);
         }
         sm.run()
     };
+    run_sms(config, cta_assignments(kernel, config), run_one)
+}
 
-    // SMs share no state, so they run on real threads when more than
-    // one worker is allowed; results are collected in SM order either
-    // way, so the merge below never sees scheduling effects
-    let results: Vec<Result<crate::sm::SmResult, SimError>> = if sm_workers(config) == 1 {
+/// Executes one closure per SM — sequentially, or on the persistent
+/// worker pool — collecting results in SM order, and merges them. A
+/// panicked worker surfaces as [`SimError::WorkerPanic`].
+fn run_sms(
+    config: &SimConfig,
+    assignments: Vec<Vec<u32>>,
+    run_one: impl Fn(usize, Vec<u32>) -> Result<SmResult, SimError> + Sync,
+) -> Result<TracedRun, SimError> {
+    let workers = sm_workers(config);
+    let results: Vec<Result<SmResult, SimError>> = if workers == 1 {
         assignments
             .into_iter()
             .enumerate()
             .map(|(sm_id, assigned)| run_one(sm_id, assigned))
             .collect()
     } else {
-        std::thread::scope(|scope| {
-            let run_one = &run_one;
-            let handles: Vec<_> = assignments
-                .into_iter()
-                .enumerate()
-                .map(|(sm_id, assigned)| scope.spawn(move || run_one(sm_id, assigned)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or(Err(SimError::WorkerPanic)))
-                .collect()
+        let jobs: Vec<(usize, Vec<u32>)> = assignments.into_iter().enumerate().collect();
+        rfv_pool::par_map_catching_with(workers, &jobs, |(sm_id, assigned)| {
+            run_one(*sm_id, assigned.clone())
         })
+        .into_iter()
+        .map(|r| r.unwrap_or(Err(SimError::WorkerPanic)))
+        .collect()
     };
-
     merge_results(config, results)
 }
 
@@ -485,35 +493,15 @@ pub fn simulate_resumable_traced(
 ) -> Result<TracedRun, SimError> {
     config.validate().map_err(SimError::BadConfig)?;
     checkpoint.verify_identity(kernel, config)?;
-    let assignments = cta_assignments(kernel, config);
+    let prog = Arc::new(PredecodedKernel::new(kernel));
     let run_one = |sm_id: usize, assigned: Vec<u32>| -> Result<SmResult, SimError> {
-        let mut sm = Sm::new(*config, kernel, assigned)?;
+        let mut sm = Sm::with_predecoded(*config, kernel, assigned, Arc::clone(&prog))?;
         sm.restore_frame(&checkpoint.sm_frames[sm_id])
             .map_err(|e| SimError::BadCheckpoint(format!("SM {sm_id} frame: {e}")))?;
         sm.run_until(u64::MAX)?;
         sm.finish()
     };
-    let results: Vec<Result<SmResult, SimError>> = if sm_workers(config) == 1 {
-        assignments
-            .into_iter()
-            .enumerate()
-            .map(|(sm_id, assigned)| run_one(sm_id, assigned))
-            .collect()
-    } else {
-        std::thread::scope(|scope| {
-            let run_one = &run_one;
-            let handles: Vec<_> = assignments
-                .into_iter()
-                .enumerate()
-                .map(|(sm_id, assigned)| scope.spawn(move || run_one(sm_id, assigned)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().unwrap_or(Err(SimError::WorkerPanic)))
-                .collect()
-        })
-    };
-    merge_results(config, results)
+    run_sms(config, cta_assignments(kernel, config), run_one)
 }
 
 /// [`simulate_with_init`] without memory pre-loads.
@@ -523,4 +511,26 @@ pub fn simulate_resumable_traced(
 /// See [`SimError`].
 pub fn simulate(kernel: &CompiledKernel, config: &SimConfig) -> Result<SimResult, SimError> {
     simulate_with_init(kernel, config, &[])
+}
+
+/// [`simulate`] reusing an already-predecoded program image (see
+/// [`Sm::with_predecoded`]): repeat runs of the same kernel — a
+/// benchmark's timing loop, a sweep's policy column — skip the per-run
+/// predecode + plan lowering with no observable difference.
+///
+/// # Errors
+///
+/// See [`SimError`].
+pub fn simulate_predecoded(
+    kernel: &CompiledKernel,
+    config: &SimConfig,
+    prog: &Arc<PredecodedKernel>,
+) -> Result<SimResult, SimError> {
+    config.validate().map_err(SimError::BadConfig)?;
+    let run_one = |sm_id: usize, assigned: Vec<u32>| -> Result<SmResult, SimError> {
+        let mut sm = Sm::with_predecoded(*config, kernel, assigned, Arc::clone(prog))?;
+        sm.set_tracing(sm_id as u16, 0);
+        sm.run()
+    };
+    Ok(run_sms(config, cta_assignments(kernel, config), run_one)?.result)
 }

@@ -44,6 +44,7 @@
 
 pub mod checkpoint;
 pub mod config;
+mod fp;
 pub mod gpu;
 pub mod memory;
 pub mod predecode;
@@ -54,7 +55,7 @@ pub mod warp;
 pub use checkpoint::{kernel_identity_hash, Checkpoint, CKPT_MAGIC, CKPT_VERSION};
 pub use config::SimConfig;
 pub use gpu::{
-    simulate, simulate_resumable, simulate_resumable_traced, simulate_traced,
+    simulate, simulate_predecoded, simulate_resumable, simulate_resumable_traced, simulate_traced,
     simulate_traced_checkpointed, simulate_traced_with_init, simulate_with_init, SimResult,
     SlicedSim, TracedRun,
 };

@@ -59,6 +59,29 @@ pub struct PredecodedInstr {
 }
 
 impl PredecodedInstr {
+    /// An inert instruction occupying `pir`/`pbr` PCs in the execution
+    /// plan's dense instruction array (so handlers index it
+    /// unconditionally). Never executed: those PCs dispatch to the
+    /// metadata handlers, which read [`ExecPlan`]'s side table instead.
+    ///
+    /// [`ExecPlan`]: crate::sm::plan::ExecPlan
+    pub(crate) fn placeholder() -> PredecodedInstr {
+        PredecodedInstr {
+            opcode: Opcode::Nop,
+            dst: None,
+            pdst: None,
+            psrc: None,
+            guard: None,
+            mem_offset: 0,
+            target: 0,
+            reconv: NO_RECONV,
+            flags: ReleaseFlags::NONE,
+            hazard_mask: 0,
+            nsrcs: 0,
+            srcs: [Operand::Imm(0); MAX_SRC_OPERANDS],
+        }
+    }
+
     /// Source operands, in operand-slot order.
     pub fn srcs(&self) -> &[Operand] {
         &self.srcs[..self.nsrcs as usize]
@@ -101,6 +124,10 @@ pub struct PredecodedKernel {
     items: Vec<PdItem>,
     pbr_regs: Vec<ArchReg>,
     kernel_hash: u64,
+    /// Threaded-code lowering of `items` (see [`crate::sm::plan`]),
+    /// built here so rfvd's compile cache and checkpoint resume share
+    /// the plan for free alongside the image.
+    plan: crate::sm::plan::ExecPlan,
 }
 
 impl PredecodedKernel {
@@ -150,11 +177,19 @@ impl PredecodedKernel {
                 }
             });
         }
+        let plan = crate::sm::plan::ExecPlan::lower(&items);
         PredecodedKernel {
             items,
             pbr_regs,
             kernel_hash: crate::checkpoint::kernel_identity_hash(kernel),
+            plan,
         }
+    }
+
+    /// The threaded-code execution plan lowered from this image.
+    #[inline]
+    pub(crate) fn plan(&self) -> &crate::sm::plan::ExecPlan {
+        &self.plan
     }
 
     /// [`crate::checkpoint::kernel_identity_hash`] of the source

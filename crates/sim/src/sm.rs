@@ -26,7 +26,9 @@ use crate::config::SimConfig;
 use crate::memory::{coalesce_count, GlobalMemory, LocalMemory, SharedMemory};
 use crate::predecode::{PdItem, PredecodedInstr, PredecodedKernel};
 use crate::stats::{RegTraceEvent, Sample, SimStats};
-use crate::warp::{SimtStack, Warp, WarpStatus};
+use crate::warp::{SimtStack, Warp, WarpHot, WarpStatus};
+
+pub(crate) mod plan;
 
 /// Value pattern left in freed registers, to surface use-after-release
 /// bugs in differential tests.
@@ -260,7 +262,21 @@ pub struct Sm<'k> {
     regfile: RegisterFile,
     flag_cache: ReleaseFlagCache,
     throttle: CtaThrottle,
+    /// Scheduler-cold per-warp state (SIMT stack, CTA identity, spill
+    /// list). The scheduler-hot fields live in the parallel arrays
+    /// below (struct-of-arrays) so the per-cycle scans walk dense
+    /// cache lines; `WarpHot` is only materialized at checkpoint and
+    /// launch boundaries.
     warps: Vec<Warp>,
+    /// Hot per-warp field: scheduling status, parallel to `warps`.
+    warp_status: Vec<WarpStatus>,
+    /// Hot per-warp field: earliest cycle the warp may issue again.
+    warp_next_issue: Vec<u64>,
+    /// Hot per-warp field: bitmask of arch registers with in-flight
+    /// loads (the scoreboard).
+    warp_outstanding: Vec<u64>,
+    /// Hot per-warp field: cycle a GPU-shrink spill/reload completes.
+    warp_swap_ready: Vec<u64>,
     /// Functional values, indexed by *physical* register — so a buggy
     /// early release corrupts outputs instead of hiding.
     values: Vec<[u32; WARP_SIZE]>,
@@ -287,10 +303,11 @@ pub struct Sm<'k> {
     load_events: BinaryHeap<Reverse<(u64, usize, u8)>>,
     /// Incremental next-wake index over warps: `(cycle, slot)` pushed
     /// at every transition into `Ready` / `SwappedOut` and at every
-    /// `next_issue_at` update. Entries are validated lazily at pop —
-    /// an entry counts only while it still matches the warp's current
-    /// wake time — so `next_event_cycle` is a heap peek instead of an
-    /// O(warps) rescan every idle cycle.
+    /// `next_issue_at` update, validated lazily at pop. Populated and
+    /// consulted only under [`SimConfig::incremental_wake_index`] —
+    /// the production path sweeps the SoA status arrays instead (see
+    /// [`Sm::next_event_cycle_scan`]), which profiles faster because
+    /// it costs nothing on the issue path.
     wake_events: BinaryHeap<Reverse<(u64, usize)>>,
     /// MSHR-style merge: global-memory 128 B segments currently in
     /// flight and when their data arrives. A load hitting an in-flight
@@ -385,6 +402,10 @@ impl<'k> Sm<'k> {
             flag_cache: ReleaseFlagCache::new(config.regfile.flag_cache_entries),
             throttle: CtaThrottle::new(config.max_ctas_per_sm),
             warps: (0..config.max_warps_per_sm).map(Warp::idle).collect(),
+            warp_status: vec![WarpStatus::Idle; config.max_warps_per_sm],
+            warp_next_issue: vec![0; config.max_warps_per_sm],
+            warp_outstanding: vec![0; config.max_warps_per_sm],
+            warp_swap_ready: vec![0; config.max_warps_per_sm],
             values: vec![[POISON; WARP_SIZE]; config.regfile.phys_regs],
             preds: vec![[0; 4]; config.max_warps_per_sm],
             global: GlobalMemory::new(),
@@ -553,14 +574,14 @@ impl<'k> Sm<'k> {
             warps: self
                 .warps
                 .iter()
-                .filter(|w| w.status != WarpStatus::Idle)
+                .filter(|w| self.warp_status[w.slot] != WarpStatus::Idle)
                 .map(|w| WarpDiag {
                     slot: w.slot,
                     cta_slot: w.cta_slot,
-                    status: format!("{:?}", w.status),
+                    status: format!("{:?}", self.warp_status[w.slot]),
                     pc: (!w.stack.is_done()).then(|| w.stack.pc()),
-                    next_issue_at: w.next_issue_at,
-                    outstanding: w.outstanding,
+                    next_issue_at: self.warp_next_issue[w.slot],
+                    outstanding: self.warp_outstanding[w.slot],
                     mapped: self.regfile.mapped_count_of(w.slot),
                 })
                 .collect(),
@@ -574,6 +595,25 @@ impl<'k> Sm<'k> {
     /// The machine's current cycle.
     pub fn cycle(&self) -> u64 {
         self.now
+    }
+
+    /// Gathers `slot`'s hot scheduling fields from the SoA arrays
+    /// (checkpoint encoding and diagnostics only — never the hot path).
+    fn warp_hot(&self, slot: usize) -> WarpHot {
+        WarpHot {
+            status: self.warp_status[slot],
+            next_issue_at: self.warp_next_issue[slot],
+            outstanding: self.warp_outstanding[slot],
+            swap_ready_at: self.warp_swap_ready[slot],
+        }
+    }
+
+    /// Scatters a decoded [`WarpHot`] back into the SoA arrays.
+    fn set_warp_hot(&mut self, slot: usize, hot: WarpHot) {
+        self.warp_status[slot] = hot.status;
+        self.warp_next_issue[slot] = hot.next_issue_at;
+        self.warp_outstanding[slot] = hot.outstanding;
+        self.warp_swap_ready[slot] = hot.swap_ready_at;
     }
 
     // ------------------------------------------------- checkpoint frames
@@ -597,7 +637,7 @@ impl<'k> Sm<'k> {
         self.throttle.encode(&mut e);
         e.usize(self.warps.len());
         for w in &self.warps {
-            w.encode(&mut e);
+            w.encode(&self.warp_hot(w.slot), &mut e);
         }
         e.usize(self.values.len());
         for v in &self.values {
@@ -727,11 +767,12 @@ impl<'k> Sm<'k> {
             return Err(WireError::Invalid("warp count"));
         }
         for slot in 0..warp_slots {
-            let w = Warp::decode(d)?;
+            let (w, hot) = Warp::decode(d)?;
             if w.slot != slot || w.cta_slot >= self.config.max_ctas_per_sm {
                 return Err(WireError::Invalid("warp slot"));
             }
             self.warps[slot] = w;
+            self.set_warp_hot(slot, hot);
         }
         if d.usize()? != self.values.len() {
             return Err(WireError::Invalid("register value count"));
@@ -894,9 +935,9 @@ impl<'k> Sm<'k> {
         }
         // rebuild the derived wake/swap bookkeeping from the warps
         self.swapped_out = self
-            .warps
+            .warp_status
             .iter()
-            .filter(|w| w.status == WarpStatus::SwappedOut)
+            .filter(|&&s| s == WarpStatus::SwappedOut)
             .count();
         self.wake_events.clear();
         for slot in 0..warp_slots {
@@ -947,10 +988,11 @@ impl<'k> Sm<'k> {
         let launch = self.kernel.kernel().launch();
         let warps_per_cta = launch.warps_per_cta() as usize;
         let free_slots: Vec<usize> = self
-            .warps
+            .warp_status
             .iter()
-            .filter(|w| w.status == WarpStatus::Idle)
-            .map(|w| w.slot)
+            .enumerate()
+            .filter(|&(_, &s)| s == WarpStatus::Idle)
+            .map(|(slot, _)| slot)
             .take(warps_per_cta)
             .collect();
         if free_slots.len() < warps_per_cta {
@@ -1030,10 +1072,10 @@ impl<'k> Sm<'k> {
             w.warp_in_cta = wi;
             w.cta_id = cta_id;
             w.stack = SimtStack::new(mask);
-            w.status = WarpStatus::Ready;
-            w.next_issue_at = self.now;
-            w.outstanding = 0;
             w.spilled_regs.clear();
+            self.warp_status[ws] = WarpStatus::Ready;
+            self.warp_next_issue[ws] = self.now;
+            self.warp_outstanding[ws] = 0;
             self.preds[ws] = [0; 4];
             self.enqueue_ready(ws);
             self.note_wake(ws);
@@ -1084,7 +1126,7 @@ impl<'k> Sm<'k> {
                 break;
             };
             self.waiting_count[slot] -= 1;
-            if self.warps[slot].status == WarpStatus::Ready {
+            if self.warp_status[slot] == WarpStatus::Ready {
                 self.ready_push(slot);
             }
         }
@@ -1095,10 +1137,12 @@ impl<'k> Sm<'k> {
     /// `Ready` / `SwappedOut` and every `next_issue_at` update; stale
     /// entries are discarded lazily by [`Sm::next_event_cycle`].
     fn note_wake(&mut self, slot: usize) {
-        let w = &self.warps[slot];
-        let t = match w.status {
-            WarpStatus::Ready => w.next_issue_at,
-            WarpStatus::SwappedOut => w.swap_ready_at,
+        if !self.config.incremental_wake_index {
+            return;
+        }
+        let t = match self.warp_status[slot] {
+            WarpStatus::Ready => self.warp_next_issue[slot],
+            WarpStatus::SwappedOut => self.warp_swap_ready[slot],
             _ => return,
         };
         self.wake_events.push(Reverse((t, slot)));
@@ -1128,7 +1172,7 @@ impl<'k> Sm<'k> {
             let runnable = self
                 .warps
                 .iter()
-                .any(|w| w.cta_slot == c && w.status == WarpStatus::Ready);
+                .any(|w| w.cta_slot == c && self.warp_status[w.slot] == WarpStatus::Ready);
             if runnable {
                 self.stats.throttle_restricted_cycles += 1;
                 self.ensure_cta_schedulable(c);
@@ -1144,7 +1188,16 @@ impl<'k> Sm<'k> {
             let Some(pick) = self.pick_warp(decision, &issued) else {
                 continue;
             };
-            match self.try_issue(pick) {
+            // issue through the threaded-code plan by default; the
+            // interpreter below stays as the executable specification
+            // (`SimConfig::reference_interpreter`) the equivalence
+            // suite diffs against
+            let outcome = if self.config.reference_interpreter {
+                self.try_issue(pick)
+            } else {
+                self.try_issue_plan(pick)
+            };
+            match outcome {
                 IssueOutcome::Issued => issued.push(pick),
                 IssueOutcome::Blocked => self.trace_stall(pick, StallReason::Scoreboard),
                 IssueOutcome::NoReg => {
@@ -1167,10 +1220,10 @@ impl<'k> Sm<'k> {
         self.issued_scratch = issued;
         if idle {
             // nothing issued: jump to the next interesting cycle
-            let next = if self.config.reference_wake_scan {
-                self.next_event_cycle_rescan()
+            let next = if self.config.incremental_wake_index {
+                self.next_event_cycle_indexed()
             } else {
-                self.next_event_cycle()
+                self.next_event_cycle_scan()
             };
             self.now = next.max(self.now + 1);
         } else {
@@ -1180,23 +1233,24 @@ impl<'k> Sm<'k> {
 
     /// Earliest upcoming wake time, from the incremental index: pop
     /// entries that no longer match their warp's state until the top
-    /// is live, then min with the load-completion heap.
+    /// is live, then min with the load-completion heap. Kept behind
+    /// [`SimConfig::incremental_wake_index`] as the differential
+    /// counterpart of the production scan.
     ///
-    /// Equivalent to [`Sm::next_event_cycle_rescan`]: every
+    /// Equivalent to [`Sm::next_event_cycle_scan`]: every
     /// `(status, wake-time)` a warp currently holds was pushed when it
     /// was set, and validation discards exactly the entries whose warp
     /// has since moved on — never a live one — so the first live entry
     /// in heap order is the true minimum.
-    fn next_event_cycle(&mut self) -> u64 {
+    fn next_event_cycle_indexed(&mut self) -> u64 {
         let mut next = u64::MAX;
         if let Some(&Reverse((t, _, _))) = self.load_events.peek() {
             next = next.min(t);
         }
         while let Some(&Reverse((t, slot))) = self.wake_events.peek() {
-            let w = &self.warps[slot];
-            let live = match w.status {
-                WarpStatus::Ready => w.next_issue_at == t,
-                WarpStatus::SwappedOut => w.swap_ready_at == t,
+            let live = match self.warp_status[slot] {
+                WarpStatus::Ready => self.warp_next_issue[slot] == t,
+                WarpStatus::SwappedOut => self.warp_swap_ready[slot] == t,
                 _ => false,
             };
             if live {
@@ -1212,19 +1266,20 @@ impl<'k> Sm<'k> {
         }
     }
 
-    /// The pre-overhaul O(warps) rescan, kept behind
-    /// [`SimConfig::reference_wake_scan`] as the executable
-    /// specification the differential tests compare the incremental
-    /// index against.
-    fn next_event_cycle_rescan(&self) -> u64 {
+    /// Production idle-cycle skip: a straight min-sweep over the SoA
+    /// status and wake-time arrays. Contiguous, branch-predictable,
+    /// and — unlike the wake-event heap — free on the issue path (no
+    /// bookkeeping per status transition). Only runs on cycles where
+    /// nothing issued.
+    fn next_event_cycle_scan(&self) -> u64 {
         let mut next = u64::MAX;
         if let Some(&Reverse((t, _, _))) = self.load_events.peek() {
             next = next.min(t);
         }
-        for w in &self.warps {
-            match w.status {
-                WarpStatus::Ready => next = next.min(w.next_issue_at),
-                WarpStatus::SwappedOut => next = next.min(w.swap_ready_at),
+        for (slot, &s) in self.warp_status.iter().enumerate() {
+            match s {
+                WarpStatus::Ready => next = next.min(self.warp_next_issue[slot]),
+                WarpStatus::SwappedOut => next = next.min(self.warp_swap_ready[slot]),
                 _ => {}
             }
         }
@@ -1241,11 +1296,11 @@ impl<'k> Sm<'k> {
                 break;
             }
             self.load_events.pop();
-            let w = &mut self.warps[slot];
-            w.clear_outstanding(ArchReg::new(reg));
-            if w.status == WarpStatus::PendingMem && w.outstanding == 0 {
-                w.status = WarpStatus::Ready;
-                w.next_issue_at = w.next_issue_at.max(t);
+            self.warp_outstanding[slot] &= !(1u64 << ArchReg::new(reg).index());
+            if self.warp_status[slot] == WarpStatus::PendingMem && self.warp_outstanding[slot] == 0
+            {
+                self.warp_status[slot] = WarpStatus::Ready;
+                self.warp_next_issue[slot] = self.warp_next_issue[slot].max(t);
                 self.enqueue_ready(slot);
                 self.note_wake(slot);
             }
@@ -1260,7 +1315,7 @@ impl<'k> Sm<'k> {
         if self
             .ready
             .iter()
-            .any(|&s| self.warps[s].cta_slot == cta && self.warps[s].status == WarpStatus::Ready)
+            .any(|&s| self.warps[s].cta_slot == cta && self.warp_status[s] == WarpStatus::Ready)
         {
             return;
         }
@@ -1269,7 +1324,9 @@ impl<'k> Sm<'k> {
             .warps
             .iter()
             .find(|w| {
-                w.cta_slot == cta && w.status == WarpStatus::Ready && self.ready_count[w.slot] == 0
+                w.cta_slot == cta
+                    && self.warp_status[w.slot] == WarpStatus::Ready
+                    && self.ready_count[w.slot] == 0
             })
             .map(|w| w.slot);
         let Some(incoming) = candidate else { return };
@@ -1307,12 +1364,12 @@ impl<'k> Sm<'k> {
             if already.contains(&slot) {
                 continue;
             }
-            let w = &self.warps[slot];
-            if w.status != WarpStatus::Ready || w.next_issue_at > self.now {
+            if self.warp_status[slot] != WarpStatus::Ready || self.warp_next_issue[slot] > self.now
+            {
                 continue;
             }
             if let ThrottleDecision::OnlyCta(c) = decision {
-                if w.cta_slot != c {
+                if self.warps[slot].cta_slot != c {
                     continue;
                 }
             }
@@ -1583,7 +1640,7 @@ impl<'k> Sm<'k> {
         if v.warp == Violation::NO_WARP || v.warp >= self.warps.len() {
             return;
         }
-        if self.warps[v.warp].status == WarpStatus::Idle {
+        if self.warp_status[v.warp] == WarpStatus::Idle {
             return; // the owning CTA already completed
         }
         let cta = self.warps[v.warp].cta_slot;
@@ -1603,14 +1660,12 @@ impl<'k> Sm<'k> {
                 .retire_warp_traced(ws, self.now, self.sm_id, &mut self.sink);
             self.sanitizer.note_retire(ws);
             self.local.clear_warp(ws);
-            let w = &mut self.warps[ws];
-            if w.status == WarpStatus::SwappedOut {
+            if self.warp_status[ws] == WarpStatus::SwappedOut {
                 self.swapped_out -= 1;
             }
-            let w = &mut self.warps[ws];
-            w.status = WarpStatus::Idle;
-            w.outstanding = 0;
-            w.spilled_regs.clear();
+            self.warp_status[ws] = WarpStatus::Idle;
+            self.warp_outstanding[ws] = 0;
+            self.warps[ws].spilled_regs.clear();
         }
         let heap = std::mem::take(&mut self.load_events);
         self.load_events = heap
@@ -1652,7 +1707,7 @@ impl<'k> Sm<'k> {
     fn issue_instr(&mut self, slot: usize, pc: usize, i: &PredecodedInstr) -> IssueOutcome {
         // scoreboard: block on in-flight loads touching srcs or dst —
         // one AND against the predecoded hazard mask
-        if self.warps[slot].outstanding & i.hazard_mask != 0 {
+        if self.warp_outstanding[slot] & i.hazard_mask != 0 {
             return IssueOutcome::Blocked;
         }
 
@@ -1710,7 +1765,7 @@ impl<'k> Sm<'k> {
                 self.trace_issue(slot, pc, active);
                 self.trace_stall(slot, StallReason::Barrier);
                 self.warps[slot].stack.advance(pc + 1);
-                self.warps[slot].status = WarpStatus::AtBarrier;
+                self.warp_status[slot] = WarpStatus::AtBarrier;
                 self.remove_from_ready(slot);
                 if let Some(cs) = self.cta_slots[cta].as_mut() {
                     cs.at_barrier += 1;
@@ -1948,7 +2003,7 @@ impl<'k> Sm<'k> {
                 }
                 let dst = i.dst.expect("loads have a destination");
                 let done_at = ready_at.max(self.now) + bank_conflicts + latency;
-                self.warps[slot].set_outstanding(dst);
+                self.warp_outstanding[slot] |= 1u64 << dst.index();
                 self.load_events.push(Reverse((done_at, slot, dst.raw())));
                 self.warps[slot].stack.advance(pc + 1);
                 if i.opcode == Lds {
@@ -1956,7 +2011,7 @@ impl<'k> Sm<'k> {
                     self.issue_cost(slot, 1 + rename_penalty);
                 } else {
                     // long-latency: two-level scheduler pending queue
-                    self.warps[slot].status = WarpStatus::PendingMem;
+                    self.warp_status[slot] = WarpStatus::PendingMem;
                     self.remove_from_ready(slot);
                     self.trace_stall(slot, StallReason::Memory);
                     if i.opcode == Ldg && self.sink.enabled() {
@@ -2075,11 +2130,11 @@ impl<'k> Sm<'k> {
                                 b
                             }
                         }
-                        Fadd => (fa + fb).to_bits(),
-                        Fmul => (fa * fb).to_bits(),
-                        Ffma => fa.mul_add(fb, fc).to_bits(),
-                        Fmin => fa.min(fb).to_bits(),
-                        Fmax => fa.max(fb).to_bits(),
+                        Fadd => crate::fp::fadd(fa, fb).to_bits(),
+                        Fmul => crate::fp::fmul(fa, fb).to_bits(),
+                        Ffma => crate::fp::ffma(fa, fb, fc).to_bits(),
+                        Fmin => crate::fp::fmin(fa, fb).to_bits(),
+                        Fmax => crate::fp::fmax(fa, fb).to_bits(),
                         Frcp => (1.0 / fa).to_bits(),
                         Fsqrt => fa.sqrt().to_bits(),
                         Fexp => fa.exp2().to_bits(),
@@ -2112,7 +2167,7 @@ impl<'k> Sm<'k> {
     }
 
     fn issue_cost(&mut self, slot: usize, cycles: u64) {
-        self.warps[slot].next_issue_at = self.now + cycles.max(1);
+        self.warp_next_issue[slot] = self.now + cycles.max(1);
         self.note_wake(slot);
     }
 
@@ -2126,7 +2181,7 @@ impl<'k> Sm<'k> {
 
     fn finish_warp(&mut self, slot: usize) {
         let cta = self.warps[slot].cta_slot;
-        self.warps[slot].status = WarpStatus::Finished;
+        self.warp_status[slot] = WarpStatus::Finished;
         self.remove_from_ready(slot);
         if self.config.trace_warp0_regs && slot == 0 {
             for r in self.regfile.mapped_regs(slot) {
@@ -2191,7 +2246,7 @@ impl<'k> Sm<'k> {
             ));
         }
         for ws in cs.warp_slots {
-            self.warps[ws].status = WarpStatus::Idle;
+            self.warp_status[ws] = WarpStatus::Idle;
         }
         self.throttle.retire(cta);
         self.stats.ctas_completed += 1;
@@ -2216,9 +2271,9 @@ impl<'k> Sm<'k> {
             cs.at_barrier = 0;
         }
         for ws in slots {
-            if self.warps[ws].status == WarpStatus::AtBarrier {
-                self.warps[ws].status = WarpStatus::Ready;
-                self.warps[ws].next_issue_at = self.now + 1;
+            if self.warp_status[ws] == WarpStatus::AtBarrier {
+                self.warp_status[ws] = WarpStatus::Ready;
+                self.warp_next_issue[ws] = self.now + 1;
                 self.enqueue_ready(ws);
                 self.note_wake(ws);
             }
@@ -2246,7 +2301,7 @@ impl<'k> Sm<'k> {
             .map(|c| {
                 self.warps
                     .iter()
-                    .any(|w| w.cta_slot == c && w.status == WarpStatus::AtBarrier)
+                    .any(|w| w.cta_slot == c && self.warp_status[w.slot] == WarpStatus::AtBarrier)
             })
             .collect();
         let candidates = |avoid_barrier_ctas: bool| {
@@ -2254,8 +2309,11 @@ impl<'k> Sm<'k> {
                 .iter()
                 .filter(|w| {
                     w.slot != stalled
-                        && matches!(w.status, WarpStatus::Ready | WarpStatus::PendingMem)
-                        && w.outstanding == 0
+                        && matches!(
+                            self.warp_status[w.slot],
+                            WarpStatus::Ready | WarpStatus::PendingMem
+                        )
+                        && self.warp_outstanding[w.slot] == 0
                         && (!avoid_barrier_ctas || !cta_at_barrier[w.cta_slot])
                 })
                 .map(|w| (self.regfile.mapped_count_of(w.slot), w.slot))
@@ -2313,10 +2371,9 @@ impl<'k> Sm<'k> {
         let cost = self.config.mem_base_latency + regs.len() as u64 * self.config.mem_per_txn;
         self.stats.mem_txns += regs.len() as u64;
         let now = self.now;
-        let w = &mut self.warps[victim];
-        w.spilled_regs = regs;
-        w.status = WarpStatus::SwappedOut;
-        w.swap_ready_at = now + cost;
+        self.warps[victim].spilled_regs = regs;
+        self.warp_status[victim] = WarpStatus::SwappedOut;
+        self.warp_swap_ready[victim] = now + cost;
         self.swapped_out += 1;
         self.remove_from_ready(victim);
         self.note_wake(victim);
@@ -2328,8 +2385,8 @@ impl<'k> Sm<'k> {
             return;
         }
         for slot in 0..self.warps.len() {
-            if self.warps[slot].status != WarpStatus::SwappedOut
-                || self.warps[slot].swap_ready_at > self.now
+            if self.warp_status[slot] != WarpStatus::SwappedOut
+                || self.warp_swap_ready[slot] > self.now
             {
                 continue;
             }
@@ -2402,10 +2459,9 @@ impl<'k> Sm<'k> {
             }
             self.stats.mem_txns += regs.len() as u64;
             let next_issue = self.now + self.config.mem_base_latency;
-            let w = &mut self.warps[slot];
-            w.spilled_regs.clear();
-            w.status = WarpStatus::Ready;
-            w.next_issue_at = next_issue;
+            self.warps[slot].spilled_regs.clear();
+            self.warp_status[slot] = WarpStatus::Ready;
+            self.warp_next_issue[slot] = next_issue;
             self.swapped_out -= 1;
             self.enqueue_ready(slot);
             self.note_wake(slot);

@@ -172,7 +172,41 @@ pub enum WarpStatus {
     Finished,
 }
 
-/// One hardware warp context.
+/// The scheduler-hot per-warp fields.
+///
+/// The SM keeps these in dense parallel arrays (struct-of-arrays, see
+/// `Sm::warp_status` and friends) so the per-cycle scheduling scans —
+/// `pick_warp`, `note_wake`, the idle-skip rescan — walk packed cache
+/// lines instead of striding through full [`Warp`] structs. This
+/// struct is the transport form used by checkpoint encode/decode and
+/// CTA launch; it never lives in the hot loop itself.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct WarpHot {
+    /// Scheduling status.
+    pub status: WarpStatus,
+    /// Earliest cycle the warp may issue again.
+    pub next_issue_at: u64,
+    /// Architected registers with outstanding (in-flight) loads,
+    /// as a bitmask.
+    pub outstanding: u64,
+    /// Cycle the spill/reload traffic completes.
+    pub swap_ready_at: u64,
+}
+
+impl WarpHot {
+    /// The hot state of an unused warp slot.
+    pub fn idle() -> WarpHot {
+        WarpHot {
+            status: WarpStatus::Idle,
+            next_issue_at: 0,
+            outstanding: 0,
+            swap_ready_at: 0,
+        }
+    }
+}
+
+/// One hardware warp context (the scheduler-cold fields; the hot
+/// scheduling fields live in [`WarpHot`] arrays on the SM).
 #[derive(Clone, Debug)]
 pub struct Warp {
     /// Hardware warp slot (index into the SM's warp table).
@@ -185,17 +219,8 @@ pub struct Warp {
     pub cta_id: u32,
     /// SIMT stack.
     pub stack: SimtStack,
-    /// Scheduling status.
-    pub status: WarpStatus,
-    /// Earliest cycle the warp may issue again.
-    pub next_issue_at: u64,
-    /// Architected registers with outstanding (in-flight) loads,
-    /// as a bitmask.
-    pub outstanding: u64,
     /// Registers saved by a GPU-shrink spill (empty otherwise).
     pub spilled_regs: Vec<rfv_isa::ArchReg>,
-    /// Cycle the spill/reload traffic completes.
-    pub swap_ready_at: u64,
 }
 
 impl Warp {
@@ -207,31 +232,15 @@ impl Warp {
             warp_in_cta: 0,
             cta_id: 0,
             stack: SimtStack::new(0),
-            status: WarpStatus::Idle,
-            next_issue_at: 0,
-            outstanding: 0,
             spilled_regs: Vec::new(),
-            swap_ready_at: 0,
         }
     }
 
-    /// Whether register `r` has an in-flight load.
-    pub fn has_outstanding(&self, r: rfv_isa::ArchReg) -> bool {
-        self.outstanding & (1u64 << r.index()) != 0
-    }
-
-    /// Marks register `r` as having an in-flight load.
-    pub fn set_outstanding(&mut self, r: rfv_isa::ArchReg) {
-        self.outstanding |= 1u64 << r.index();
-    }
-
-    /// Clears register `r`'s in-flight load.
-    pub fn clear_outstanding(&mut self, r: rfv_isa::ArchReg) {
-        self.outstanding &= !(1u64 << r.index());
-    }
-
-    /// Serializes the full warp context for a checkpoint frame.
-    pub fn encode(&self, e: &mut Enc) {
+    /// Serializes the full warp context (cold fields plus its hot
+    /// scheduling state) for a checkpoint frame. The wire layout is
+    /// byte-identical to the pre-SoA format, interleaving `hot` fields
+    /// where the monolithic struct used to carry them.
+    pub fn encode(&self, hot: &WarpHot, e: &mut Enc) {
         e.usize(self.slot);
         e.usize(self.cta_slot);
         e.usize(self.warp_in_cta);
@@ -242,14 +251,14 @@ impl Warp {
             e.usize(en.pc);
             e.u32(en.mask);
         }
-        e.u8(status_tag(self.status));
-        e.u64(self.next_issue_at);
-        e.u64(self.outstanding);
+        e.u8(status_tag(hot.status));
+        e.u64(hot.next_issue_at);
+        e.u64(hot.outstanding);
         e.usize(self.spilled_regs.len());
         for r in &self.spilled_regs {
             e.u8(r.raw());
         }
-        e.u64(self.swap_ready_at);
+        e.u64(hot.swap_ready_at);
     }
 
     /// Rebuilds a warp written by [`Warp::encode`].
@@ -257,7 +266,7 @@ impl Warp {
     /// # Errors
     ///
     /// Rejects unknown status tags and out-of-range register ids.
-    pub fn decode(d: &mut Dec<'_>) -> Result<Warp, WireError> {
+    pub fn decode(d: &mut Dec<'_>) -> Result<(Warp, WarpHot), WireError> {
         let slot = d.usize()?;
         let cta_slot = d.usize()?;
         let warp_in_cta = d.usize()?;
@@ -283,18 +292,22 @@ impl Warp {
             );
         }
         let swap_ready_at = d.u64()?;
-        Ok(Warp {
-            slot,
-            cta_slot,
-            warp_in_cta,
-            cta_id,
-            stack: SimtStack::from_entries(entries),
-            status,
-            next_issue_at,
-            outstanding,
-            spilled_regs,
-            swap_ready_at,
-        })
+        Ok((
+            Warp {
+                slot,
+                cta_slot,
+                warp_in_cta,
+                cta_id,
+                stack: SimtStack::from_entries(entries),
+                spilled_regs,
+            },
+            WarpHot {
+                status,
+                next_issue_at,
+                outstanding,
+                swap_ready_at,
+            },
+        ))
     }
 }
 
@@ -434,19 +447,20 @@ mod tests {
         w.cta_id = 19;
         w.stack = SimtStack::new(FULL);
         w.stack.diverge(0x0000_ffff, 10, 1, 20);
-        w.status = WarpStatus::PendingMem;
-        w.next_issue_at = 1234;
-        w.set_outstanding(rfv_isa::ArchReg::new(5));
         w.spilled_regs = vec![rfv_isa::ArchReg::new(1), rfv_isa::ArchReg::new(9)];
-        w.swap_ready_at = 99;
+        let hot = WarpHot {
+            status: WarpStatus::PendingMem,
+            next_issue_at: 1234,
+            outstanding: 1u64 << rfv_isa::ArchReg::new(5).index(),
+            swap_ready_at: 99,
+        };
         let mut e = Enc::new();
-        w.encode(&mut e);
+        w.encode(&hot, &mut e);
         let bytes = e.into_bytes();
-        let r = Warp::decode(&mut Dec::new(&bytes)).unwrap();
+        let (r, rh) = Warp::decode(&mut Dec::new(&bytes)).unwrap();
         assert_eq!(r.slot, 7);
         assert_eq!(r.stack, w.stack);
-        assert_eq!(r.status, WarpStatus::PendingMem);
-        assert_eq!(r.outstanding, w.outstanding);
+        assert_eq!(rh, hot);
         assert_eq!(r.spilled_regs, w.spilled_regs);
         assert!(Warp::decode(&mut Dec::new(&bytes[..bytes.len() - 2])).is_err());
         // garbage input is a typed error, never a panic
@@ -454,14 +468,11 @@ mod tests {
     }
 
     #[test]
-    fn warp_outstanding_bits() {
-        let mut w = Warp::idle(0);
-        let r = rfv_isa::ArchReg::new(17);
-        assert!(!w.has_outstanding(r));
-        w.set_outstanding(r);
-        assert!(w.has_outstanding(r));
-        w.clear_outstanding(r);
-        assert!(!w.has_outstanding(r));
-        assert_eq!(w.status, WarpStatus::Idle);
+    fn warp_hot_starts_idle() {
+        let hot = WarpHot::idle();
+        assert_eq!(hot.status, WarpStatus::Idle);
+        assert_eq!(hot.outstanding, 0);
+        assert_eq!(hot.next_issue_at, 0);
+        assert_eq!(hot.swap_ready_at, 0);
     }
 }

@@ -114,6 +114,46 @@ fn zero_sm_config_is_a_bad_config_error() {
     ));
 }
 
+/// Worker threads are spawned once into the process-wide pool and
+/// reused: repeated multi-SM parallel runs must not grow the process
+/// thread count (per-run thread churn was the old behaviour).
+#[test]
+fn repeated_parallel_runs_keep_a_flat_thread_count() {
+    // counts live `rfv-pool-*` workers via procfs, so the assertion is
+    // immune to the test harness's own thread churn
+    fn pool_thread_count() -> usize {
+        std::fs::read_dir("/proc/self/task")
+            .expect("procfs")
+            .filter_map(|t| {
+                let comm = t.ok()?.path().join("comm");
+                std::fs::read_to_string(comm).ok()
+            })
+            .filter(|name| name.starts_with("rfv-pool"))
+            .count()
+    }
+
+    let w = multi_cta_workload();
+    let ck = compile_full(&w);
+    let mut cfg = SimConfig::baseline_full();
+    cfg.num_sms = 4;
+    cfg.sm_jobs = Some(4);
+    let init = init_words();
+
+    // warm-up: first parallel run populates the persistent pool
+    let first = simulate_with_init(&ck, &cfg, &init).unwrap();
+    let warm = pool_thread_count();
+    assert!(warm > 0, "parallel run must have spawned pool workers");
+    for _ in 0..8 {
+        let again = simulate_with_init(&ck, &cfg, &init).unwrap();
+        assert_eq!(first.per_sm, again.per_sm, "reruns must be deterministic");
+        let now = pool_thread_count();
+        assert_eq!(
+            now, warm,
+            "pool thread count grew from {warm} to {now}: workers are not being reused"
+        );
+    }
+}
+
 /// The bench job pool must not change any table row: `fig10` (which
 /// feeds the figures binary and its CSVs) is replayed serially and
 /// with four workers.
